@@ -1,0 +1,73 @@
+// E16 — the Section 4.2 "practical heuristic": hierarchical ||' composition
+// over the communication tree with sound reductions after every step.
+// Ablation: bisimulation quotienting and trivial-tau compression toggled
+// independently; the counter reports the largest intermediate composite, the
+// quantity the reductions exist to control. The explicit decider is the
+// exponential foil on the same instances.
+#include <benchmark/benchmark.h>
+
+#include "network/families.hpp"
+#include "network/generate.hpp"
+#include "success/cyclic.hpp"
+
+namespace {
+
+using namespace ccfsp;
+
+Network make_cyclic_tree(std::size_t m) {
+  Rng rng(5500 + m);
+  NetworkGenOptions opt;
+  opt.num_processes = m;
+  opt.states_per_process = 4;
+  opt.symbols_per_edge = 1;
+  return random_cyclic_tree_network(rng, opt);
+}
+
+void run_heuristic(benchmark::State& state, bool bisim, bool tau) {
+  Network net = make_cyclic_tree(static_cast<std::size_t>(state.range(0)));
+  CyclicHeuristicOptions opt;
+  opt.use_bisimulation = bisim;
+  opt.use_tau_compression = tau;
+  std::size_t max_intermediate = 0;
+  for (auto _ : state) {
+    CyclicDecision d = cyclic_decide_tree(net, 0, opt);
+    benchmark::DoNotOptimize(d.potential_blocking);
+    max_intermediate = d.max_intermediate_states;
+  }
+  state.counters["max_intermediate_states"] = static_cast<double>(max_intermediate);
+}
+
+void BM_HeuristicFull(benchmark::State& state) { run_heuristic(state, true, true); }
+void BM_HeuristicNoBisim(benchmark::State& state) { run_heuristic(state, false, true); }
+void BM_HeuristicNoTauCompress(benchmark::State& state) { run_heuristic(state, true, false); }
+void BM_HeuristicNoReductions(benchmark::State& state) { run_heuristic(state, false, false); }
+
+BENCHMARK(BM_HeuristicFull)->DenseRange(3, 9, 2)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_HeuristicNoBisim)->DenseRange(3, 9, 2)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_HeuristicNoTauCompress)->DenseRange(3, 9, 2)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_HeuristicNoReductions)->DenseRange(3, 9, 2)->Unit(benchmark::kMillisecond);
+
+void BM_ExplicitFoil(benchmark::State& state) {
+  Network net = make_cyclic_tree(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    CyclicDecision d = cyclic_decide_explicit(net, 0);
+    benchmark::DoNotOptimize(d.potential_blocking);
+  }
+}
+BENCHMARK(BM_ExplicitFoil)->DenseRange(3, 9, 2)->Unit(benchmark::kMillisecond);
+
+void BM_PhilosophersHeuristic(benchmark::State& state) {
+  Network net = dining_philosophers(static_cast<std::size_t>(state.range(0)));
+  std::size_t max_intermediate = 0;
+  for (auto _ : state) {
+    CyclicDecision d = cyclic_decide_tree(net, 0);
+    benchmark::DoNotOptimize(d.potential_blocking);
+    max_intermediate = d.max_intermediate_states;
+  }
+  state.counters["max_intermediate_states"] = static_cast<double>(max_intermediate);
+}
+BENCHMARK(BM_PhilosophersHeuristic)->DenseRange(2, 6, 1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// E12-adjacent — the cost of the equivalence checks themselves. Section 4.2
+// notes that testing possibility equivalence of *cyclic* processes is
+// PSPACE-complete [KS]; on trees the annotated subset construction stays
+// near-linear. The series compares language / failure / possibility
+// equivalence on matched tree and cyclic workloads, plus strong
+// bisimulation (the cheap sound reducer the heuristic uses instead).
+#include <benchmark/benchmark.h>
+
+#include "equiv/bisim.hpp"
+#include "equiv/equivalences.hpp"
+#include "fsp/generate.hpp"
+#include "semantics/normal_form.hpp"
+
+namespace {
+
+using namespace ccfsp;
+
+struct TreePair {
+  AlphabetPtr alphabet = std::make_shared<Alphabet>();
+  Fsp a, b;
+  explicit TreePair(std::size_t n)
+      : a(alphabet, "tmp"), b(alphabet, "tmp") {
+    Rng rng(4000 + n);
+    std::vector<ActionId> pool{alphabet->intern("x"), alphabet->intern("y")};
+    TreeFspOptions opt;
+    opt.num_states = n;
+    opt.tau_probability = 0.25;
+    a = random_tree_fsp(rng, alphabet, pool, opt, "A");
+    b = poss_normal_form(a);  // equivalent by construction: worst case for the check
+  }
+};
+
+void BM_PossEquivTrees(benchmark::State& state) {
+  TreePair w(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(possibility_equivalent(w.a, w.b));
+  }
+}
+BENCHMARK(BM_PossEquivTrees)->RangeMultiplier(2)->Range(16, 256)->Unit(benchmark::kMicrosecond);
+
+void BM_FailEquivTrees(benchmark::State& state) {
+  TreePair w(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(failure_equivalent(w.a, w.b));
+  }
+}
+BENCHMARK(BM_FailEquivTrees)->RangeMultiplier(2)->Range(16, 256)->Unit(benchmark::kMicrosecond);
+
+void BM_LangEquivTrees(benchmark::State& state) {
+  TreePair w(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(language_equivalent(w.a, w.b));
+  }
+}
+BENCHMARK(BM_LangEquivTrees)->RangeMultiplier(2)->Range(16, 256)->Unit(benchmark::kMicrosecond);
+
+struct CyclicPair {
+  AlphabetPtr alphabet = std::make_shared<Alphabet>();
+  Fsp a, b;
+  explicit CyclicPair(std::size_t n) : a(alphabet, "tmp"), b(alphabet, "tmp") {
+    Rng rng(5000 + n);
+    std::vector<ActionId> pool{alphabet->intern("x"), alphabet->intern("y")};
+    a = random_cyclic_fsp(rng, alphabet, pool, n, n, "A");
+    b = quotient_by_bisimulation(a);
+  }
+};
+
+void BM_PossEquivCyclic(benchmark::State& state) {
+  CyclicPair w(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(possibility_equivalent(w.a, w.b));
+  }
+}
+BENCHMARK(BM_PossEquivCyclic)->RangeMultiplier(2)->Range(4, 32)->Unit(benchmark::kMicrosecond);
+
+void BM_BisimQuotientCyclic(benchmark::State& state) {
+  CyclicPair w(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quotient_by_bisimulation(w.a).num_states());
+  }
+}
+BENCHMARK(BM_BisimQuotientCyclic)->RangeMultiplier(2)->Range(4, 32)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// E4 — the Game of Figure 4: knowledge-set solving cost as the context
+// grows. Positions are (P-state, belief) pairs; the belief space is the
+// exponential part, so the counters track both. Compare with the Lemma 5
+// star evaluation (used inside the Theorem 3 pipeline) on the same
+// tau-free workloads.
+#include <benchmark/benchmark.h>
+
+#include "network/generate.hpp"
+#include "success/game.hpp"
+#include "success/tree_pipeline.hpp"
+
+namespace {
+
+using namespace ccfsp;
+
+Network make_net(std::size_t m) {
+  Rng rng(2200 + m);
+  NetworkGenOptions opt;
+  opt.num_processes = m;
+  opt.states_per_process = 5;
+  opt.symbols_per_edge = 2;
+  opt.tau_probability = 0.0;  // the Game requires a tau-free P
+  return random_tree_network(rng, opt);
+}
+
+void BM_KnowledgeGame(benchmark::State& state) {
+  Network net = make_net(static_cast<std::size_t>(state.range(0)));
+  GameStats stats;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        success_adversity_network(net, 0, false, 1u << 22, &stats));
+  }
+  state.counters["positions"] = static_cast<double>(stats.positions);
+  state.counters["beliefs"] = static_cast<double>(stats.beliefs);
+}
+BENCHMARK(BM_KnowledgeGame)->DenseRange(2, 8, 1)->Unit(benchmark::kMillisecond);
+
+void BM_Lemma5StarEvaluation(benchmark::State& state) {
+  Network net = make_net(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    Theorem3Result r = theorem3_decide(net, 0);
+    benchmark::DoNotOptimize(r.success_adversity);
+  }
+}
+BENCHMARK(BM_Lemma5StarEvaluation)->DenseRange(2, 8, 1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

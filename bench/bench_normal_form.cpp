@@ -1,0 +1,89 @@
+// E11 — the Reduction Step (Figures 8b, 9): computing the possibility
+// normal form of a (subtree) composite. The paper's claim is that the
+// normal form of tree material stays linear-size in the parent process;
+// the counters below report composite size vs normal-form size so the
+// compression ratio is visible directly.
+#include <benchmark/benchmark.h>
+
+#include "algebra/compose.hpp"
+#include "fsp/generate.hpp"
+#include "semantics/normal_form.hpp"
+
+namespace {
+
+using namespace ccfsp;
+
+struct Workload {
+  AlphabetPtr alphabet = std::make_shared<Alphabet>();
+  std::vector<Fsp> children;
+  Fsp parent;
+
+  explicit Workload(std::size_t parent_states, std::size_t num_children, std::uint64_t seed)
+      : parent(alphabet, "tmp") {
+    Rng rng(seed);
+    std::vector<ActionId> parent_pool{alphabet->intern("up0"), alphabet->intern("up1")};
+    std::vector<ActionId> all_parent = parent_pool;
+    for (std::size_t c = 0; c < num_children; ++c) {
+      std::vector<ActionId> child_pool{alphabet->intern("c" + std::to_string(c) + "_0"),
+                                       alphabet->intern("c" + std::to_string(c) + "_1")};
+      TreeFspOptions copt;
+      copt.num_states = 5;
+      copt.tau_probability = 0.2;
+      children.push_back(random_tree_fsp(rng, alphabet, child_pool, copt,
+                                         "C" + std::to_string(c)));
+      all_parent.insert(all_parent.end(), child_pool.begin(), child_pool.end());
+    }
+    TreeFspOptions popt;
+    popt.num_states = parent_states;
+    popt.tau_probability = 0.15;
+    parent = random_tree_fsp(rng, alphabet, all_parent, popt, "F");
+  }
+
+  Fsp composite() const {
+    Fsp acc = parent;
+    for (const auto& c : children) acc = compose(acc, c);
+    return acc;
+  }
+};
+
+void BM_ReductionStep(benchmark::State& state) {
+  Workload w(static_cast<std::size_t>(state.range(0)),
+             static_cast<std::size_t>(state.range(1)), 31337);
+  Fsp composite = w.composite();
+  std::size_t nf_states = 0;
+  for (auto _ : state) {
+    Fsp nf = poss_normal_form(composite);
+    benchmark::DoNotOptimize(nf.num_states());
+    nf_states = nf.num_states();
+  }
+  state.counters["composite_states"] = static_cast<double>(composite.num_states());
+  state.counters["normal_form_states"] = static_cast<double>(nf_states);
+}
+BENCHMARK(BM_ReductionStep)
+    ->Args({8, 1})
+    ->Args({16, 1})
+    ->Args({16, 2})
+    ->Args({32, 2})
+    ->Args({32, 3})
+    ->Args({64, 3})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_NormalFormOfPlainTree(benchmark::State& state) {
+  auto alphabet = std::make_shared<Alphabet>();
+  Rng rng(99);
+  std::vector<ActionId> pool{alphabet->intern("a"), alphabet->intern("b"),
+                             alphabet->intern("c")};
+  TreeFspOptions opt;
+  opt.num_states = static_cast<std::size_t>(state.range(0));
+  opt.tau_probability = 0.25;
+  Fsp f = random_tree_fsp(rng, alphabet, pool, opt, "T");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(poss_normal_form(f).num_states());
+  }
+  state.counters["input_states"] = static_cast<double>(f.num_states());
+}
+BENCHMARK(BM_NormalFormOfPlainTree)->RangeMultiplier(2)->Range(16, 512)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// E5 — Proposition 1: for networks of linear processes all three success
+// notions coincide and are decidable in O(n) time by occurrence matching.
+// The series sweeps the total network size n (processes x length); expect
+// near-linear growth for the matcher and product-of-sizes growth for the
+// global-machine oracle on the same instances.
+#include <benchmark/benchmark.h>
+
+#include "network/generate.hpp"
+#include "success/baseline.hpp"
+#include "success/linear.hpp"
+
+namespace {
+
+using namespace ccfsp;
+
+// Wave chains: always-live pipelines of linear processes, so the decision
+// problem is non-trivially exercised at every size and the global machine
+// genuinely has the interleavings to count (a random chain would deadlock
+// on its first mismatched handshake and yield a one-state baseline).
+void BM_LinearMatcher(benchmark::State& state) {
+  std::size_t m = static_cast<std::size_t>(state.range(0));
+  std::size_t rounds = static_cast<std::size_t>(state.range(1));
+  Network net = wave_chain_network(m, rounds);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linear_network_success(net, 0));
+  }
+  state.counters["n_total_states"] = static_cast<double>(net.total_states());
+}
+BENCHMARK(BM_LinearMatcher)
+    ->Args({4, 8})
+    ->Args({8, 16})
+    ->Args({16, 32})
+    ->Args({32, 64})
+    ->Args({64, 128})
+    ->Args({128, 256})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_LinearViaGlobal(benchmark::State& state) {
+  std::size_t m = static_cast<std::size_t>(state.range(0));
+  std::size_t rounds = static_cast<std::size_t>(state.range(1));
+  Network net = wave_chain_network(m, rounds);
+  std::size_t global_states = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(success_collab_global(net, 0));
+    GlobalMachine g = build_global(net);
+    global_states = g.num_states();
+  }
+  state.counters["global_states"] = static_cast<double>(global_states);
+}
+BENCHMARK(BM_LinearViaGlobal)
+    ->Args({4, 8})
+    ->Args({6, 10})
+    ->Args({8, 12})
+    ->Args({10, 14})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RandomChainMatcher(benchmark::State& state) {
+  // The original random (mostly deadlocking) chains, for contrast: the
+  // matcher handles dead material just as fast.
+  std::size_t m = static_cast<std::size_t>(state.range(0));
+  std::size_t len = static_cast<std::size_t>(state.range(1));
+  Rng rng(7000 + m * 131 + len);
+  Network net = random_linear_chain_network(rng, m, len);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linear_network_success(net, 0));
+  }
+}
+BENCHMARK(BM_RandomChainMatcher)
+    ->Args({16, 32})
+    ->Args({64, 128})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

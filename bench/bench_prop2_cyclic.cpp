@@ -1,0 +1,59 @@
+// E14 — Proposition 2: the cyclic case is PSPACE-hard even for trees of
+// constant-size processes, and S_a costs exponential time. The series runs
+// the explicit cyclic deciders over growing trees of small cyclic
+// processes and over dining-philosopher rings; the global state counter is
+// the exponential witness.
+#include <benchmark/benchmark.h>
+
+#include "network/families.hpp"
+#include "network/generate.hpp"
+#include "success/baseline.hpp"
+#include "success/cyclic.hpp"
+
+namespace {
+
+using namespace ccfsp;
+
+Network make_cyclic_tree(std::size_t m) {
+  Rng rng(3300 + m);
+  NetworkGenOptions opt;
+  opt.num_processes = m;
+  opt.states_per_process = 4;
+  opt.symbols_per_edge = 1;
+  return random_cyclic_tree_network(rng, opt);
+}
+
+void BM_CyclicExplicitBlocking(benchmark::State& state) {
+  Network net = make_cyclic_tree(static_cast<std::size_t>(state.range(0)));
+  std::size_t global_states = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(potential_blocking_cyclic_global(net, 0));
+    global_states = build_global(net).num_states();
+  }
+  state.counters["global_states"] = static_cast<double>(global_states);
+}
+BENCHMARK(BM_CyclicExplicitBlocking)->DenseRange(2, 9, 1)->Unit(benchmark::kMillisecond);
+
+void BM_CyclicAdversityGame(benchmark::State& state) {
+  Network net = make_cyclic_tree(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    CyclicDecision d = cyclic_decide_explicit(net, 0);
+    benchmark::DoNotOptimize(d.success_adversity);
+  }
+}
+BENCHMARK(BM_CyclicAdversityGame)->DenseRange(2, 7, 1)->Unit(benchmark::kMillisecond);
+
+void BM_PhilosophersExplicit(benchmark::State& state) {
+  Network net = dining_philosophers(static_cast<std::size_t>(state.range(0)));
+  std::size_t global_states = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(potential_blocking_cyclic_global(net, 0));
+    global_states = build_global(net).num_states();
+  }
+  state.counters["global_states"] = static_cast<double>(global_states);
+}
+BENCHMARK(BM_PhilosophersExplicit)->DenseRange(2, 7, 1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

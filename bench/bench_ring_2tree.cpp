@@ -1,0 +1,69 @@
+// E10 — Figure 8a: a ring network is a 2-tree. The pipeline folds the ring
+// into a path of quadratic-size composites and stays polynomial as the ring
+// grows; the global machine grows with the product of all process sizes.
+#include <benchmark/benchmark.h>
+
+#include "network/generate.hpp"
+#include "success/baseline.hpp"
+#include "success/tree_pipeline.hpp"
+
+namespace {
+
+using namespace ccfsp;
+
+Network make_ring(std::size_t m) {
+  Rng rng(9000 + m);
+  NetworkGenOptions opt;
+  opt.num_processes = m;
+  opt.states_per_process = 5;
+  opt.symbols_per_edge = 1;
+  opt.tau_probability = 0.1;
+  return random_ring_network(rng, opt);
+}
+
+/// The Figure 8a fold: opposite pairs, quotient path, distinguished at 0.
+KTreePartition fold_partition(std::size_t m) {
+  KTreePartition part;
+  part.parts.push_back({0});
+  for (std::size_t d = 1; 2 * d <= m; ++d) {
+    std::size_t a = d, b = m - d;
+    if (a == b) {
+      part.parts.push_back({a});
+      break;
+    }
+    part.parts.push_back({a, b});
+  }
+  for (std::size_t i = 0; i + 1 < part.parts.size(); ++i) part.quotient_edges.push_back({i, i + 1});
+  part.width = 2;
+  return part;
+}
+
+void BM_RingPipelineFolded(benchmark::State& state) {
+  std::size_t m = static_cast<std::size_t>(state.range(0));
+  Network net = make_ring(m);
+  KTreePartition part = fold_partition(m);
+  std::size_t max_nf = 0;
+  for (auto _ : state) {
+    Theorem3Result r = theorem3_decide(net, 0, {}, &part);
+    benchmark::DoNotOptimize(r.success_collab);
+    max_nf = r.max_intermediate_states;
+  }
+  state.counters["max_intermediate_states"] = static_cast<double>(max_nf);
+  state.counters["partition_width"] = 2;
+}
+BENCHMARK(BM_RingPipelineFolded)->DenseRange(4, 12, 2)->Unit(benchmark::kMillisecond);
+
+void BM_RingGlobalBaseline(benchmark::State& state) {
+  Network net = make_ring(static_cast<std::size_t>(state.range(0)));
+  std::size_t global_states = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(success_collab_global(net, 0));
+    global_states = build_global(net).num_states();
+  }
+  state.counters["global_states"] = static_cast<double>(global_states);
+}
+BENCHMARK(BM_RingGlobalBaseline)->DenseRange(4, 10, 2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

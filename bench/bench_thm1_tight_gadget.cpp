@@ -1,0 +1,79 @@
+// E7 — Theorem 1 case (2), Figure 6: NP-hardness with every process an
+// O(1) tree FSP; the hardness now lives in the tight coupling of C_N
+// (variable processes wired directly to clause processes). Same shape as
+// E6: construction is linear, explicit analysis exponential in variables.
+#include <benchmark/benchmark.h>
+
+#include "reductions/gadgets_thm1.hpp"
+#include "reductions/sat_solver.hpp"
+#include "success/baseline.hpp"
+
+namespace {
+
+using namespace ccfsp;
+
+Cnf make_formula(std::uint32_t vars) {
+  Rng rng(4242 + vars);
+  return limit_occurrences(random_cnf(rng, vars, vars * 2, 3));
+}
+
+/// Smaller instances for the exponential global-machine series (vars
+/// clauses instead of 2*vars): the blow-up is the point, not a timeout.
+Cnf make_small_formula(std::uint32_t vars) {
+  Rng rng(17 + vars);
+  return limit_occurrences(random_cnf(rng, vars, vars, 3));
+}
+
+void BM_GadgetConstruction(benchmark::State& state) {
+  Cnf f = make_formula(static_cast<std::uint32_t>(state.range(0)));
+  std::size_t net_size = 0, max_proc = 0;
+  for (auto _ : state) {
+    GadgetNetwork g = thm1_case2_collab_gadget(f);
+    benchmark::DoNotOptimize(g.distinguished);
+    net_size = g.net.size();
+    max_proc = 0;
+    for (std::size_t i = 0; i < g.net.size(); ++i) {
+      max_proc = std::max(max_proc, g.net.process(i).num_states());
+    }
+  }
+  state.counters["processes"] = static_cast<double>(net_size);
+  state.counters["max_process_states"] = static_cast<double>(max_proc);
+}
+BENCHMARK(BM_GadgetConstruction)->DenseRange(4, 16, 4)->Unit(benchmark::kMicrosecond);
+
+void BM_DecideScOnGadgetGlobal(benchmark::State& state) {
+  Cnf f = make_small_formula(static_cast<std::uint32_t>(state.range(0)));
+  GadgetNetwork g = thm1_case2_collab_gadget(f);
+  std::size_t global_states = 0;
+  for (auto _ : state) {
+    try {
+      benchmark::DoNotOptimize(success_collab_global(g.net, g.distinguished));
+      global_states = build_global(g.net).num_states();
+    } catch (const std::runtime_error&) {
+      // The blow-up IS the measured phenomenon: the tightly-coupled gadget
+      // exceeds the 4M-state budget already at 3 variables.
+      state.SkipWithError("global machine exceeds 2^22 states (exponential blow-up)");
+      return;
+    }
+  }
+  state.counters["global_states"] = static_cast<double>(global_states);
+}
+BENCHMARK(BM_DecideScOnGadgetGlobal)->DenseRange(2, 4, 1)->Unit(benchmark::kMillisecond);
+
+void BM_BlockingVariant(benchmark::State& state) {
+  Cnf f = make_small_formula(static_cast<std::uint32_t>(state.range(0)));
+  GadgetNetwork g = thm1_case2_blocking_gadget(f);
+  for (auto _ : state) {
+    try {
+      benchmark::DoNotOptimize(potential_blocking_global(g.net, g.distinguished));
+    } catch (const std::runtime_error&) {
+      state.SkipWithError("global machine exceeds 2^22 states (exponential blow-up)");
+      return;
+    }
+  }
+}
+BENCHMARK(BM_BlockingVariant)->DenseRange(2, 4, 1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// E6 — Theorem 1 case (1), Figure 5: S_c is NP-complete already for star
+// networks where every process but one is an O(1) linear counter. The
+// gadget's *construction* is linear in the formula, but deciding S_c on it
+// with the explicit global machine blows up exponentially in the number of
+// variables, while the DPLL oracle (attacking the formula directly) stays
+// fast on these sizes — the succinct-choices phenomenon the theorem is
+// about. Both deciders agree on every instance (asserted in tests).
+#include <benchmark/benchmark.h>
+
+#include "reductions/gadgets_thm1.hpp"
+#include "reductions/sat_solver.hpp"
+#include "success/baseline.hpp"
+
+namespace {
+
+using namespace ccfsp;
+
+Cnf make_formula(std::uint32_t vars) {
+  Rng rng(42 + vars);
+  return random_cnf(rng, vars, vars * 3, 3);
+}
+
+void BM_GadgetConstruction(benchmark::State& state) {
+  Cnf f = make_formula(static_cast<std::uint32_t>(state.range(0)));
+  std::size_t net_states = 0;
+  for (auto _ : state) {
+    GadgetNetwork g = thm1_case1_collab_gadget(f);
+    benchmark::DoNotOptimize(g.distinguished);
+    net_states = g.net.total_states();
+  }
+  state.counters["gadget_states"] = static_cast<double>(net_states);
+}
+BENCHMARK(BM_GadgetConstruction)->DenseRange(4, 20, 4)->Unit(benchmark::kMicrosecond);
+
+void BM_DecideScOnGadgetGlobal(benchmark::State& state) {
+  Cnf f = make_formula(static_cast<std::uint32_t>(state.range(0)));
+  GadgetNetwork g = thm1_case1_collab_gadget(f);
+  std::size_t global_states = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(success_collab_global(g.net, g.distinguished));
+    global_states = build_global(g.net).num_states();
+  }
+  state.counters["global_states"] = static_cast<double>(global_states);
+}
+BENCHMARK(BM_DecideScOnGadgetGlobal)->DenseRange(4, 14, 2)->Unit(benchmark::kMillisecond);
+
+void BM_DpllOracle(benchmark::State& state) {
+  Cnf f = make_formula(static_cast<std::uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_sat(f).has_value());
+  }
+}
+BENCHMARK(BM_DpllOracle)->DenseRange(4, 20, 4)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// E8 — Theorem 2, Figure 7: S_a is PSPACE-complete; the game nature of
+// antagonism is strictly harder than collaboration. The knowledge-set game
+// solver's position count explodes with the number of quantified variables
+// in the QBF gadget, while the gadget itself stays linear-size.
+#include <benchmark/benchmark.h>
+
+#include "reductions/gadget_thm2.hpp"
+#include "success/game.hpp"
+
+namespace {
+
+using namespace ccfsp;
+
+Qbf make_qbf(std::uint32_t vars) {
+  Rng rng(777 + vars);
+  Qbf q;
+  // Strictly alternating prefix (worst case for the game).
+  for (std::uint32_t v = 0; v < vars; ++v) {
+    q.prefix.push_back(v % 2 ? Quantifier::kForAll : Quantifier::kExists);
+  }
+  q.matrix = random_cnf(rng, vars, vars, 3);
+  return q;
+}
+
+void BM_AdversityGameOnGadget(benchmark::State& state) {
+  Qbf q = make_qbf(static_cast<std::uint32_t>(state.range(0)));
+  Thm2Gadget g = thm2_adversity_gadget(q);
+  GameStats stats;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        success_adversity_network(g.net, g.distinguished, false, 1u << 22, &stats));
+  }
+  state.counters["game_positions"] = static_cast<double>(stats.positions);
+  state.counters["belief_sets"] = static_cast<double>(stats.beliefs);
+  state.counters["gadget_states"] = static_cast<double>(g.net.total_states());
+}
+BENCHMARK(BM_AdversityGameOnGadget)->DenseRange(2, 5, 1)->Unit(benchmark::kMillisecond);
+
+void BM_QbfOracle(benchmark::State& state) {
+  Qbf q = make_qbf(static_cast<std::uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_qbf(q));
+  }
+}
+BENCHMARK(BM_QbfOracle)->DenseRange(2, 5, 1)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+// E9 — Theorem 3 (the headline result): on tree networks of tree processes,
+// the possibility-normal-form pipeline decides S_u / S_a / S_c in polynomial
+// time, while the explicit global machine grows exponentially with the
+// number of processes. The two series below share workloads (same seeds):
+// the pipeline's cost tracks the *sum* of process sizes, the baseline's the
+// *product*. Expect the crossover almost immediately and a widening gap —
+// the paper's claim is the O(n^k) bound, not a constant factor.
+#include <benchmark/benchmark.h>
+
+#include "network/generate.hpp"
+#include "success/baseline.hpp"
+#include "success/tree_pipeline.hpp"
+
+namespace {
+
+using namespace ccfsp;
+
+Network make_net(std::size_t m) {
+  Rng rng(1000 + m);
+  NetworkGenOptions opt;
+  opt.num_processes = m;
+  opt.states_per_process = 6;
+  opt.symbols_per_edge = 2;
+  opt.tau_probability = 0.15;
+  return random_tree_network(rng, opt);
+}
+
+/// Always-live wave trees: here the global machine has real interleavings
+/// to enumerate (random nets deadlock early and stay small), so this is
+/// the series where the exponential-vs-polynomial gap shows.
+Network make_wave(std::size_t m) {
+  Rng rng(1500 + m);
+  return wave_tree_network(rng, m, /*rounds=*/3);
+}
+
+void BM_Theorem3Pipeline(benchmark::State& state) {
+  Network net = make_net(static_cast<std::size_t>(state.range(0)));
+  std::size_t max_nf = 0;
+  for (auto _ : state) {
+    Theorem3Result r = theorem3_decide(net, 0);
+    benchmark::DoNotOptimize(r.success_collab);
+    max_nf = r.max_normal_form_states;
+  }
+  state.counters["max_normal_form_states"] = static_cast<double>(max_nf);
+  state.counters["network_states"] = static_cast<double>(net.total_states());
+}
+BENCHMARK(BM_Theorem3Pipeline)->DenseRange(2, 14, 2)->Unit(benchmark::kMillisecond);
+
+void BM_GlobalBaseline(benchmark::State& state) {
+  Network net = make_net(static_cast<std::size_t>(state.range(0)));
+  std::size_t global_states = 0;
+  for (auto _ : state) {
+    GlobalMachine g = build_global(net);
+    bool collab = false;
+    for (std::uint32_t s = 0; s < g.num_states(); ++s) {
+      if (g.is_stuck(s) && net.process(0).is_leaf(g.tuples[s][0])) collab = true;
+    }
+    benchmark::DoNotOptimize(collab);
+    global_states = g.num_states();
+  }
+  state.counters["global_states"] = static_cast<double>(global_states);
+  state.counters["network_states"] = static_cast<double>(net.total_states());
+}
+BENCHMARK(BM_GlobalBaseline)->DenseRange(2, 10, 2)->Unit(benchmark::kMillisecond);
+
+void BM_Theorem3PipelineWave(benchmark::State& state) {
+  Network net = make_wave(static_cast<std::size_t>(state.range(0)));
+  std::size_t max_nf = 0;
+  for (auto _ : state) {
+    Theorem3Result r = theorem3_decide(net, 0);
+    benchmark::DoNotOptimize(r.success_collab);
+    max_nf = r.max_normal_form_states;
+  }
+  state.counters["max_normal_form_states"] = static_cast<double>(max_nf);
+  state.counters["network_states"] = static_cast<double>(net.total_states());
+}
+BENCHMARK(BM_Theorem3PipelineWave)->DenseRange(3, 15, 2)->Unit(benchmark::kMillisecond);
+
+void BM_GlobalBaselineWave(benchmark::State& state) {
+  Network net = make_wave(static_cast<std::size_t>(state.range(0)));
+  std::size_t global_states = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(success_collab_global(net, 0));
+    global_states = build_global(net).num_states();
+  }
+  state.counters["global_states"] = static_cast<double>(global_states);
+}
+BENCHMARK(BM_GlobalBaselineWave)->DenseRange(3, 15, 2)->Unit(benchmark::kMillisecond);
+
+// Ablation: the pipeline WITHOUT normal forms — hierarchical composition
+// alone. Shows where the polynomial bound comes from (DESIGN.md E9).
+void BM_PipelineNoNormalForm(benchmark::State& state) {
+  Network net = make_net(static_cast<std::size_t>(state.range(0)));
+  Theorem3Options opt;
+  opt.use_normal_form = false;
+  std::size_t max_intermediate = 0;
+  for (auto _ : state) {
+    Theorem3Result r = theorem3_decide(net, 0, opt);
+    benchmark::DoNotOptimize(r.success_collab);
+    max_intermediate = r.max_intermediate_states;
+  }
+  state.counters["max_intermediate_states"] = static_cast<double>(max_intermediate);
+}
+BENCHMARK(BM_PipelineNoNormalForm)->DenseRange(2, 10, 2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// E15 — Theorem 4: for unary-alphabet tree networks of O(1) cyclic
+// processes, S_c is polynomial via binary-coded counts and fixed-dimension
+// integer programming. The multiply-by-2 chain is the paper's own stress
+// case: the root budget is 2^(m-2), so ANY explicit-state method needs
+// ~2^(m-2) states while the count propagation stays polynomial in m (each
+// step is an ILP over a constant-size machine with O(m)-bit numbers).
+//
+// Before the timed series, print the computed budgets — the "table" this
+// experiment regenerates.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "network/families.hpp"
+#include "success/baseline.hpp"
+#include "success/unary_sc.hpp"
+
+namespace {
+
+using namespace ccfsp;
+
+void BM_UnaryPropagation(benchmark::State& state) {
+  Network net = multiply_by_2_chain(static_cast<std::size_t>(state.range(0)));
+  std::size_t bits = 0;
+  for (auto _ : state) {
+    UnaryScResult r = unary_success_collab(net, 0);
+    benchmark::DoNotOptimize(r.success_collab);
+    bits = r.root_budgets[0].second.count.bit_length();
+  }
+  state.counters["budget_bits"] = static_cast<double>(bits);
+}
+BENCHMARK(BM_UnaryPropagation)->DenseRange(4, 64, 10)->Unit(benchmark::kMillisecond);
+
+void BM_ExplicitGlobalOnChain(benchmark::State& state) {
+  // The exponential foil: the global machine must unroll the doubling.
+  Network net = multiply_by_2_chain(static_cast<std::size_t>(state.range(0)));
+  std::size_t global_states = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(success_collab_cyclic_global(net, 0));
+    global_states = build_global(net).num_states();
+  }
+  state.counters["global_states"] = static_cast<double>(global_states);
+}
+BENCHMARK(BM_ExplicitGlobalOnChain)->DenseRange(4, 14, 2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("E15 / Theorem 4 — multiply-by-2 chains: root budget = 2^(m-2)\n");
+  std::printf("%6s  %12s  %s\n", "m", "budget_bits", "budget (decimal, truncated to 40 chars)");
+  for (std::size_t m : {4, 8, 16, 32, 64, 128}) {
+    ccfsp::Network net = ccfsp::multiply_by_2_chain(m);
+    ccfsp::UnaryScResult r = ccfsp::unary_success_collab(net, 0);
+    std::string dec = r.root_budgets[0].second.count.to_string();
+    if (dec.size() > 40) dec = dec.substr(0, 40) + "...";
+    std::printf("%6zu  %12zu  %s\n", m, r.root_budgets[0].second.count.bit_length(),
+                dec.c_str());
+  }
+  std::printf("\n");
+
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

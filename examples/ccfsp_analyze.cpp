@@ -1,0 +1,164 @@
+// ccfsp_analyze — the command-line face of the library: read a network
+// specification (DSL file or stdin), pick a distinguished process, and
+// report everything the paper's theory can say about it, including concrete
+// witness schedules.
+//
+//   ccfsp_analyze [options] [file.ccfsp]
+//     --distinguished NAME   process to analyze (default: the first)
+//     --cyclic               use the Section 4 (cyclic) predicates
+//     --witness              print blocking / success schedules (lassos in
+//                            cyclic mode)
+//     --simulate N           run one random maximal schedule of N steps
+//     --dot                  dump the communication graph and exit
+//
+// Example specification (see models/*.ccfsp for a library):
+//   process P { start p1; p1 -a-> p2; }
+//   process Q { start q1; q1 -a-> q2; q1 -tau-> q3; }
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "fsp/parse.hpp"
+#include "network/network.hpp"
+#include "success/cyclic.hpp"
+#include "success/simulate.hpp"
+#include "success/tree_pipeline.hpp"
+#include "success/witness.hpp"
+
+using namespace ccfsp;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--distinguished NAME] [--cyclic] [--witness] [--dot] [file]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string distinguished_name;
+  bool cyclic = false, witness = false, dot = false;
+  long simulate_steps = 0;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--distinguished") && i + 1 < argc) {
+      distinguished_name = argv[++i];
+    } else if (!std::strcmp(argv[i], "--cyclic")) {
+      cyclic = true;
+    } else if (!std::strcmp(argv[i], "--witness")) {
+      witness = true;
+    } else if (!std::strcmp(argv[i], "--simulate") && i + 1 < argc) {
+      simulate_steps = std::atol(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--dot")) {
+      dot = true;
+    } else if (argv[i][0] == '-') {
+      return usage(argv[0]);
+    } else {
+      path = argv[i];
+    }
+  }
+
+  std::string text;
+  if (path.empty()) {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    text = ss.str();
+  } else {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    text = ss.str();
+  }
+
+  try {
+    auto alphabet = std::make_shared<Alphabet>();
+    Network net(alphabet, parse_processes(text, alphabet));
+
+    std::size_t p = 0;
+    if (!distinguished_name.empty()) {
+      bool found = false;
+      for (std::size_t i = 0; i < net.size(); ++i) {
+        if (net.process(i).name() == distinguished_name) {
+          p = i;
+          found = true;
+        }
+      }
+      if (!found) {
+        std::fprintf(stderr, "no process named '%s'\n", distinguished_name.c_str());
+        return 2;
+      }
+    }
+
+    if (dot) {
+      std::printf("%s", net.to_dot().c_str());
+      return 0;
+    }
+
+    std::printf("network: %zu processes, %zu states, C_N %s\n", net.size(),
+                net.total_states(),
+                net.is_tree_network()  ? "tree"
+                : net.is_ring_network() ? "ring"
+                                        : "general");
+    std::printf("distinguished: %s\n\n", net.process(p).name().c_str());
+
+    if (simulate_steps > 0) {
+      SimulationResult run =
+          simulate_random(net, 0x5eed, static_cast<std::size_t>(simulate_steps));
+      std::printf("random schedule (%zu steps):\n%s\n", run.steps.size(),
+                  format_schedule(net, run).c_str());
+    }
+
+    if (cyclic) {
+      CyclicDecision d = cyclic_decide_explicit(net, p);
+      std::printf("Section 4 (cyclic) predicates:\n");
+      std::printf("  potential blocking : %s\n", d.potential_blocking ? "yes" : "no");
+      std::printf("  S_c (runs forever with help) : %s\n", d.success_collab ? "yes" : "no");
+      if (d.success_adversity.has_value()) {
+        std::printf("  S_a (survives antagonism)    : %s\n",
+                    *d.success_adversity ? "yes" : "no");
+      }
+      if (witness) {
+        if (auto w = cyclic_blocking_witness(net, p)) {
+          std::printf("\n%s counterexample:\n%s",
+                      w->is_starvation() ? "starvation" : "deadlock",
+                      format_lasso(net, *w).c_str());
+        }
+      }
+    } else {
+      Theorem3Result r = theorem3_decide(net, p);
+      std::printf("Section 3 (acyclic) predicates:\n");
+      std::printf("  S_u : %s\n", r.unavoidable_success ? "yes" : "no");
+      if (r.success_adversity.has_value()) {
+        std::printf("  S_a : %s\n", *r.success_adversity ? "yes" : "no");
+      } else {
+        std::printf("  S_a : n/a (P has tau moves)\n");
+      }
+      std::printf("  S_c : %s\n", r.success_collab ? "yes" : "no");
+
+      if (witness) {
+        if (auto w = blocking_witness(net, p)) {
+          std::printf("\nblocking schedule (%zu steps):\n%s", w->steps.size(),
+                      format_witness(net, *w).c_str());
+        }
+        if (auto w = collab_witness(net, p)) {
+          std::printf("\nsuccess schedule (%zu steps):\n%s", w->steps.size(),
+                      format_witness(net, *w).c_str());
+        }
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,227 @@
+#include "algebra/compose.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/graph.hpp"
+
+namespace ccfsp {
+
+namespace {
+
+std::vector<StateAtom> merged_atoms(const Fsp& p1, StateId s1, const Fsp& p2, StateId s2) {
+  std::vector<StateAtom> atoms = p1.atoms(s1);
+  const auto& a2 = p2.atoms(s2);
+  atoms.insert(atoms.end(), a2.begin(), a2.end());
+  std::sort(atoms.begin(), atoms.end());
+  return atoms;
+}
+
+std::string pair_label(const Fsp& p1, StateId s1, const Fsp& p2, StateId s2) {
+  return "(" + p1.state_label(s1) + "," + p2.state_label(s2) + ")";
+}
+
+void check_composable(const Fsp& p1, const Fsp& p2) {
+  if (p1.alphabet() != p2.alphabet()) {
+    throw std::logic_error("compose: processes over different Alphabets");
+  }
+}
+
+/// Add the Definition 3 transitions out of (q1, q2) to `out` given the two
+/// component states; `shared` = Sigma1 ∩ Sigma2.
+template <typename Emit>
+void product_moves(const Fsp& p1, StateId q1, const Fsp& p2, StateId q2,
+                   const ActionSet& sigma1, const ActionSet& sigma2, Emit&& emit) {
+  for (const auto& t : p1.out(q1)) {
+    if (t.action == kTau || !sigma2.test(t.action)) {
+      emit(t.action, t.target, q2);
+    }
+  }
+  for (const auto& t : p2.out(q2)) {
+    if (t.action == kTau || !sigma1.test(t.action)) {
+      emit(t.action, q1, t.target);
+    }
+  }
+  for (const auto& t1 : p1.out(q1)) {
+    if (t1.action == kTau || !sigma2.test(t1.action)) continue;
+    for (const auto& t2 : p2.out(q2)) {
+      if (t2.action == t1.action) emit(t1.action, t1.target, t2.target);
+    }
+  }
+}
+
+void declare_sigma(Fsp& f, const Fsp& p1, const Fsp& p2, bool hide_shared) {
+  ActionSet sigma1 = p1.sigma_set();
+  ActionSet sigma2 = p2.sigma_set();
+  ActionSet target = hide_shared ? (sigma1 | sigma2) - (sigma1 & sigma2) : (sigma1 | sigma2);
+  ActionSet used(f.alphabet()->size());
+  for (StateId s = 0; s < f.num_states(); ++s) used |= f.out_actions(s);
+  for (std::size_t a : (target - used).to_indices()) {
+    f.declare_action(static_cast<ActionId>(a));
+  }
+}
+
+}  // namespace
+
+Fsp full_product(const Fsp& p1, const Fsp& p2) {
+  check_composable(p1, p2);
+  ActionSet sigma1 = p1.sigma_set();
+  ActionSet sigma2 = p2.sigma_set();
+
+  Fsp out(p1.alphabet(), "(" + p1.name() + "x" + p2.name() + ")");
+  auto pair_id = [&](StateId s1, StateId s2) {
+    return static_cast<StateId>(s1 * p2.num_states() + s2);
+  };
+  for (StateId s1 = 0; s1 < p1.num_states(); ++s1) {
+    for (StateId s2 = 0; s2 < p2.num_states(); ++s2) {
+      StateId s = out.add_state(pair_label(p1, s1, p2, s2));
+      out.set_atoms(s, merged_atoms(p1, s1, p2, s2));
+    }
+  }
+  for (StateId s1 = 0; s1 < p1.num_states(); ++s1) {
+    for (StateId s2 = 0; s2 < p2.num_states(); ++s2) {
+      product_moves(p1, s1, p2, s2, sigma1, sigma2, [&](ActionId a, StateId t1, StateId t2) {
+        out.add_transition(pair_id(s1, s2), a, pair_id(t1, t2));
+      });
+    }
+  }
+  out.set_start(pair_id(p1.start(), p2.start()));
+  declare_sigma(out, p1, p2, /*hide_shared=*/false);
+  return out;
+}
+
+Fsp reachable_product(const Fsp& p1, const Fsp& p2) {
+  check_composable(p1, p2);
+  ActionSet sigma1 = p1.sigma_set();
+  ActionSet sigma2 = p2.sigma_set();
+
+  Fsp out(p1.alphabet(), "(" + p1.name() + "&" + p2.name() + ")");
+  std::unordered_map<std::uint64_t, StateId> ids;
+  auto key = [&](StateId s1, StateId s2) {
+    return (static_cast<std::uint64_t>(s1) << 32) | s2;
+  };
+  std::vector<std::pair<StateId, StateId>> work;
+  auto intern = [&](StateId s1, StateId s2) {
+    auto [it, fresh] = ids.try_emplace(key(s1, s2), 0);
+    if (fresh) {
+      it->second = out.add_state(pair_label(p1, s1, p2, s2));
+      out.set_atoms(it->second, merged_atoms(p1, s1, p2, s2));
+      work.emplace_back(s1, s2);
+    }
+    return it->second;
+  };
+
+  StateId start = intern(p1.start(), p2.start());
+  out.set_start(start);
+  while (!work.empty()) {
+    auto [s1, s2] = work.back();
+    work.pop_back();
+    StateId from = ids.at(key(s1, s2));
+    product_moves(p1, s1, p2, s2, sigma1, sigma2, [&](ActionId a, StateId t1, StateId t2) {
+      out.add_transition(from, a, intern(t1, t2));
+    });
+  }
+  declare_sigma(out, p1, p2, /*hide_shared=*/false);
+  return out;
+}
+
+Fsp compose(const Fsp& p1, const Fsp& p2) {
+  check_composable(p1, p2);
+  ActionSet shared = p1.sigma_set() & p2.sigma_set();
+  Fsp prod = reachable_product(p1, p2);
+
+  // Rebuild with shared symbols hidden (there is no in-place mutation of
+  // transition labels by design; an Fsp's transitions are append-only).
+  Fsp out(p1.alphabet(), "(" + p1.name() + "||" + p2.name() + ")");
+  for (StateId s = 0; s < prod.num_states(); ++s) {
+    StateId ns = out.add_state(prod.state_label(s));
+    out.set_atoms(ns, prod.atoms(s));
+  }
+  for (StateId s = 0; s < prod.num_states(); ++s) {
+    for (const auto& t : prod.out(s)) {
+      ActionId a = (t.action != kTau && shared.test(t.action)) ? kTau : t.action;
+      out.add_transition(s, a, t.target);
+    }
+  }
+  out.set_start(prod.start());
+  declare_sigma(out, p1, p2, /*hide_shared=*/true);
+  return out;
+}
+
+Fsp add_divergence_leaves(const Fsp& p) {
+  // tau-subgraph SCC analysis: a state is tau-divergent iff it can reach,
+  // through tau-moves, a tau-cycle (a nontrivial tau-SCC or a tau-self-loop).
+  Digraph tau_graph(p.num_states());
+  for (StateId s = 0; s < p.num_states(); ++s) {
+    for (const auto& t : p.out(s)) {
+      if (t.action == kTau) tau_graph.add_edge(s, t.target);
+    }
+  }
+  auto scc = tau_graph.scc();
+  std::vector<std::size_t> comp_size(scc.num_components, 0);
+  for (StateId s = 0; s < p.num_states(); ++s) ++comp_size[scc.component[s]];
+  std::vector<std::size_t> cycle_states;
+  for (StateId s = 0; s < p.num_states(); ++s) {
+    bool in_cycle = comp_size[scc.component[s]] > 1;
+    if (!in_cycle) {
+      for (const auto& t : p.out(s)) {
+        if (t.action == kTau && t.target == s) in_cycle = true;
+      }
+    }
+    if (in_cycle) cycle_states.push_back(s);
+  }
+  if (cycle_states.empty()) return p;
+
+  std::vector<bool> divergent = tau_graph.co_reachable(cycle_states);
+
+  Fsp out = p;
+  StateId omega = out.add_state("Ω" + std::to_string(p.uid()));
+  for (StateId s = 0; s < p.num_states(); ++s) {
+    if (divergent[s]) out.add_transition(s, kTau, omega);
+  }
+  return out;
+}
+
+Fsp cyclic_compose(const Fsp& p1, const Fsp& p2) {
+  return add_divergence_leaves(compose(p1, p2));
+}
+
+Fsp compose_all(const std::vector<const Fsp*>& processes, bool cyclic) {
+  if (processes.empty()) throw std::invalid_argument("compose_all: no processes");
+  Fsp acc = *processes[0];
+  for (std::size_t i = 1; i < processes.size(); ++i) {
+    acc = cyclic ? cyclic_compose(acc, *processes[i]) : compose(acc, *processes[i]);
+  }
+  return acc;
+}
+
+bool isomorphic_by_atoms(const Fsp& a, const Fsp& b) {
+  if (a.num_states() != b.num_states()) return false;
+  std::map<std::vector<StateAtom>, StateId> of_b;
+  for (StateId s = 0; s < b.num_states(); ++s) {
+    if (!of_b.emplace(b.atoms(s), s).second) return false;  // duplicate atoms in b
+  }
+  std::vector<StateId> map_ab(a.num_states());
+  for (StateId s = 0; s < a.num_states(); ++s) {
+    auto it = of_b.find(a.atoms(s));
+    if (it == of_b.end()) return false;
+    map_ab[s] = it->second;
+  }
+  if (map_ab[a.start()] != b.start()) return false;
+  for (StateId s = 0; s < a.num_states(); ++s) {
+    std::vector<Transition> ta;
+    for (const auto& t : a.out(s)) ta.push_back({t.action, map_ab[t.target]});
+    std::vector<Transition> tb = b.out(map_ab[s]);
+    auto lt = [](const Transition& x, const Transition& y) {
+      return std::tie(x.action, x.target) < std::tie(y.action, y.target);
+    };
+    std::sort(ta.begin(), ta.end(), lt);
+    std::sort(tb.begin(), tb.end(), lt);
+    if (ta != tb) return false;
+  }
+  return true;
+}
+
+}  // namespace ccfsp

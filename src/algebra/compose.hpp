@@ -1,0 +1,48 @@
+// The composition algebra of Section 2.2: the full product P1 x P2, the
+// reachable restriction P1 ⊓ P2, and the composition P1 || P2 which hides
+// the shared handshake symbols, plus the Section 4 variant ||' for cyclic
+// processes that materializes tau-divergence as fresh leaves.
+#pragma once
+
+#include <vector>
+
+#include "fsp/fsp.hpp"
+
+namespace ccfsp {
+
+/// Definition 3's P1 x P2 on the full state set K1 x K2 (including
+/// unreachable pairs). Mostly of pedagogical value; analysis code uses
+/// reachable_product.
+Fsp full_product(const Fsp& p1, const Fsp& p2);
+
+/// P1 ⊓ P2: the product restricted to states reachable from (start1, start2),
+/// built directly by BFS. Shared symbols remain visible.
+Fsp reachable_product(const Fsp& p1, const Fsp& p2);
+
+/// P1 || P2: reachable product with every action of Sigma1 ∩ Sigma2 replaced
+/// by tau. The result's Sigma is the symmetric difference Sigma1 ⊕ Sigma2
+/// (declared even where unused, so later compositions see the right sharing).
+Fsp compose(const Fsp& p1, const Fsp& p2);
+
+/// Section 4's ||' : like compose, but any state that can reach a cycle of
+/// tau-moves through tau-moves gets an extra tau-edge to a fresh leaf,
+/// modeling the context's option to diverge silently forever. Restores the
+/// property that Poss determines Lang (Lemma 2').
+Fsp cyclic_compose(const Fsp& p1, const Fsp& p2);
+
+/// Left fold of compose / cyclic_compose over >= 1 processes (associative
+/// and commutative by Lemma 1, so the order does not affect the result up to
+/// state naming).
+Fsp compose_all(const std::vector<const Fsp*>& processes, bool cyclic = false);
+
+/// Add the tau-divergence leaf treatment of ||' to an already-composed
+/// process (used when a composite was produced by plain compose).
+Fsp add_divergence_leaves(const Fsp& p);
+
+/// Exact structural equality keyed on composite-state atoms: both processes
+/// must have the same atom-identified states, the same start atom-set, and
+/// identical transition multisets. This is the naming convention under which
+/// Lemma 1 states associativity/commutativity of ||.
+bool isomorphic_by_atoms(const Fsp& a, const Fsp& b);
+
+}  // namespace ccfsp

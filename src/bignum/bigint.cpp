@@ -1,0 +1,387 @@
+#include "bignum/bigint.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace ccfsp {
+
+namespace {
+constexpr std::uint64_t kBase = 1ull << 32;
+}
+
+BigInt::BigInt(std::int64_t v) {
+  negative_ = v < 0;
+  // Careful with INT64_MIN: negate in unsigned space.
+  std::uint64_t mag = negative_ ? ~static_cast<std::uint64_t>(v) + 1 : static_cast<std::uint64_t>(v);
+  while (mag != 0) {
+    limbs_.push_back(static_cast<std::uint32_t>(mag & 0xffffffffu));
+    mag >>= 32;
+  }
+}
+
+BigInt BigInt::from_string(std::string_view s) {
+  BigInt out;
+  bool neg = false;
+  std::size_t i = 0;
+  if (i < s.size() && (s[i] == '-' || s[i] == '+')) {
+    neg = s[i] == '-';
+    ++i;
+  }
+  if (i >= s.size()) throw std::invalid_argument("BigInt: empty numeral");
+  for (; i < s.size(); ++i) {
+    char c = s[i];
+    if (c < '0' || c > '9') throw std::invalid_argument("BigInt: bad digit");
+    out = out * BigInt(10) + BigInt(c - '0');
+  }
+  if (neg && !out.is_zero()) out.negative_ = true;
+  return out;
+}
+
+void BigInt::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+  if (limbs_.empty()) negative_ = false;
+}
+
+int BigInt::cmp_mag(const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (std::size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::vector<std::uint32_t> BigInt::add_mag(const std::vector<std::uint32_t>& a,
+                                           const std::vector<std::uint32_t>& b) {
+  const auto& big = a.size() >= b.size() ? a : b;
+  const auto& small = a.size() >= b.size() ? b : a;
+  std::vector<std::uint32_t> out;
+  out.reserve(big.size() + 1);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    std::uint64_t sum = carry + big[i] + (i < small.size() ? small[i] : 0u);
+    out.push_back(static_cast<std::uint32_t>(sum & 0xffffffffu));
+    carry = sum >> 32;
+  }
+  if (carry) out.push_back(static_cast<std::uint32_t>(carry));
+  return out;
+}
+
+std::vector<std::uint32_t> BigInt::sub_mag(const std::vector<std::uint32_t>& a,
+                                           const std::vector<std::uint32_t>& b) {
+  assert(cmp_mag(a, b) >= 0);
+  std::vector<std::uint32_t> out;
+  out.reserve(a.size());
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(a[i]) - borrow -
+                        (i < b.size() ? static_cast<std::int64_t>(b[i]) : 0);
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.push_back(static_cast<std::uint32_t>(diff));
+  }
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+std::vector<std::uint32_t> BigInt::mul_mag(const std::vector<std::uint32_t>& a,
+                                           const std::vector<std::uint32_t>& b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<std::uint32_t> out(a.size() + b.size(), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      std::uint64_t cur = static_cast<std::uint64_t>(a[i]) * b[j] + out[i + j] + carry;
+      out[i + j] = static_cast<std::uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + b.size();
+    while (carry) {
+      std::uint64_t cur = out[k] + carry;
+      out[k] = static_cast<std::uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+void BigInt::divmod_mag(const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b,
+                        std::vector<std::uint32_t>& q, std::vector<std::uint32_t>& r) {
+  if (b.empty()) throw std::domain_error("BigInt: division by zero");
+  q.clear();
+  r.clear();
+  if (cmp_mag(a, b) < 0) {
+    r = a;
+    return;
+  }
+  if (b.size() == 1) {
+    // Fast path: divide by a single limb.
+    std::uint64_t d = b[0];
+    q.assign(a.size(), 0);
+    std::uint64_t rem = 0;
+    for (std::size_t i = a.size(); i-- > 0;) {
+      std::uint64_t cur = (rem << 32) | a[i];
+      q[i] = static_cast<std::uint32_t>(cur / d);
+      rem = cur % d;
+    }
+    while (!q.empty() && q.back() == 0) q.pop_back();
+    if (rem) r.push_back(static_cast<std::uint32_t>(rem));
+    return;
+  }
+
+  // Knuth algorithm D with normalization.
+  int shift = 0;
+  std::uint32_t top = b.back();
+  while ((top & 0x80000000u) == 0) {
+    top <<= 1;
+    ++shift;
+  }
+  auto shl = [&](const std::vector<std::uint32_t>& x) {
+    if (shift == 0) return x;
+    std::vector<std::uint32_t> y(x.size() + 1, 0);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      y[i] |= x[i] << shift;
+      y[i + 1] = x[i] >> (32 - shift);
+    }
+    while (!y.empty() && y.back() == 0) y.pop_back();
+    return y;
+  };
+  std::vector<std::uint32_t> u = shl(a);
+  std::vector<std::uint32_t> v = shl(b);
+  const std::size_t n = v.size();
+  const std::size_t m = u.size() - n;
+  u.resize(u.size() + 1, 0);  // extra limb for the algorithm
+  q.assign(m + 1, 0);
+
+  for (std::size_t j = m + 1; j-- > 0;) {
+    std::uint64_t num = (static_cast<std::uint64_t>(u[j + n]) << 32) | u[j + n - 1];
+    std::uint64_t qhat = num / v[n - 1];
+    std::uint64_t rhat = num % v[n - 1];
+    while (qhat >= kBase ||
+           qhat * v[n - 2] > ((rhat << 32) | u[j + n - 2])) {
+      --qhat;
+      rhat += v[n - 1];
+      if (rhat >= kBase) break;
+    }
+    // Multiply-subtract qhat * v from u[j .. j+n].
+    std::int64_t borrow = 0;
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint64_t p = qhat * v[i] + carry;
+      carry = p >> 32;
+      std::int64_t t = static_cast<std::int64_t>(u[i + j]) -
+                       static_cast<std::int64_t>(p & 0xffffffffu) - borrow;
+      if (t < 0) {
+        t += static_cast<std::int64_t>(kBase);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      u[i + j] = static_cast<std::uint32_t>(t);
+    }
+    std::int64_t t = static_cast<std::int64_t>(u[j + n]) - static_cast<std::int64_t>(carry) - borrow;
+    if (t < 0) {
+      // qhat was one too large; add back.
+      t += static_cast<std::int64_t>(kBase);
+      --qhat;
+      std::uint64_t c2 = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t s = static_cast<std::uint64_t>(u[i + j]) + v[i] + c2;
+        u[i + j] = static_cast<std::uint32_t>(s & 0xffffffffu);
+        c2 = s >> 32;
+      }
+      t += static_cast<std::int64_t>(c2);
+      t &= 0xffffffff;
+    }
+    u[j + n] = static_cast<std::uint32_t>(t);
+    q[j] = static_cast<std::uint32_t>(qhat);
+  }
+
+  while (!q.empty() && q.back() == 0) q.pop_back();
+  // Remainder = u[0..n) shifted back.
+  r.assign(u.begin(), u.begin() + static_cast<std::ptrdiff_t>(n));
+  if (shift != 0) {
+    for (std::size_t i = 0; i + 1 < r.size(); ++i) {
+      r[i] = (r[i] >> shift) | (r[i + 1] << (32 - shift));
+    }
+    if (!r.empty()) r.back() >>= shift;
+  }
+  while (!r.empty() && r.back() == 0) r.pop_back();
+}
+
+BigInt BigInt::operator-() const {
+  BigInt out = *this;
+  if (!out.is_zero()) out.negative_ = !out.negative_;
+  return out;
+}
+
+BigInt BigInt::abs() const {
+  BigInt out = *this;
+  out.negative_ = false;
+  return out;
+}
+
+BigInt operator+(const BigInt& a, const BigInt& b) {
+  BigInt out;
+  if (a.negative_ == b.negative_) {
+    out.limbs_ = BigInt::add_mag(a.limbs_, b.limbs_);
+    out.negative_ = a.negative_;
+  } else {
+    int c = BigInt::cmp_mag(a.limbs_, b.limbs_);
+    if (c == 0) return BigInt{};
+    if (c > 0) {
+      out.limbs_ = BigInt::sub_mag(a.limbs_, b.limbs_);
+      out.negative_ = a.negative_;
+    } else {
+      out.limbs_ = BigInt::sub_mag(b.limbs_, a.limbs_);
+      out.negative_ = b.negative_;
+    }
+  }
+  out.trim();
+  return out;
+}
+
+BigInt operator-(const BigInt& a, const BigInt& b) { return a + (-b); }
+
+BigInt operator*(const BigInt& a, const BigInt& b) {
+  BigInt out;
+  out.limbs_ = BigInt::mul_mag(a.limbs_, b.limbs_);
+  out.negative_ = !out.limbs_.empty() && (a.negative_ != b.negative_);
+  return out;
+}
+
+void BigInt::divmod(const BigInt& a, const BigInt& b, BigInt& q, BigInt& r) {
+  std::vector<std::uint32_t> qm, rm;
+  divmod_mag(a.limbs_, b.limbs_, qm, rm);
+  q.limbs_ = std::move(qm);
+  q.negative_ = !q.limbs_.empty() && (a.negative_ != b.negative_);
+  r.limbs_ = std::move(rm);
+  r.negative_ = !r.limbs_.empty() && a.negative_;
+}
+
+BigInt operator/(const BigInt& a, const BigInt& b) {
+  BigInt q, r;
+  BigInt::divmod(a, b, q, r);
+  return q;
+}
+
+BigInt operator%(const BigInt& a, const BigInt& b) {
+  BigInt q, r;
+  BigInt::divmod(a, b, q, r);
+  return r;
+}
+
+BigInt BigInt::fdiv(const BigInt& a, const BigInt& b) {
+  BigInt q, r;
+  divmod(a, b, q, r);
+  // Truncated quotient rounds toward zero; fix up when signs differ and
+  // the division was inexact.
+  if (!r.is_zero() && (a.is_negative() != b.is_negative())) q -= BigInt(1);
+  return q;
+}
+
+BigInt BigInt::gcd(BigInt a, BigInt b) {
+  a.negative_ = false;
+  b.negative_ = false;
+  while (!b.is_zero()) {
+    BigInt r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BigInt BigInt::pow2(std::size_t k) { return BigInt(1).shifted_left(k); }
+
+BigInt BigInt::shifted_left(std::size_t bits) const {
+  if (is_zero()) return {};
+  BigInt out;
+  std::size_t limb_shift = bits / 32;
+  std::size_t bit_shift = bits % 32;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    out.limbs_[i + limb_shift] |= limbs_[i] << bit_shift;
+    if (bit_shift != 0) out.limbs_[i + limb_shift + 1] = limbs_[i] >> (32 - bit_shift);
+  }
+  out.negative_ = negative_;
+  out.trim();
+  return out;
+}
+
+std::strong_ordering BigInt::operator<=>(const BigInt& o) const {
+  if (negative_ != o.negative_) {
+    return negative_ ? std::strong_ordering::less : std::strong_ordering::greater;
+  }
+  int c = cmp_mag(limbs_, o.limbs_);
+  if (negative_) c = -c;
+  return c < 0   ? std::strong_ordering::less
+         : c > 0 ? std::strong_ordering::greater
+                 : std::strong_ordering::equal;
+}
+
+std::size_t BigInt::bit_length() const {
+  if (limbs_.empty()) return 0;
+  std::size_t bits = (limbs_.size() - 1) * 32;
+  std::uint32_t top = limbs_.back();
+  while (top) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigInt::fits_int64(std::int64_t& out) const {
+  if (limbs_.size() > 2) return false;
+  std::uint64_t mag = 0;
+  if (limbs_.size() >= 1) mag |= limbs_[0];
+  if (limbs_.size() == 2) mag |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+  if (negative_) {
+    if (mag > 0x8000000000000000ull) return false;
+    out = static_cast<std::int64_t>(~mag + 1);
+  } else {
+    if (mag > 0x7fffffffffffffffull) return false;
+    out = static_cast<std::int64_t>(mag);
+  }
+  return true;
+}
+
+std::string BigInt::to_string() const {
+  if (is_zero()) return "0";
+  std::vector<std::uint32_t> mag = limbs_;
+  std::string digits;
+  while (!mag.empty()) {
+    // Divide magnitude by 10^9, collect remainder.
+    std::uint64_t rem = 0;
+    for (std::size_t i = mag.size(); i-- > 0;) {
+      std::uint64_t cur = (rem << 32) | mag[i];
+      mag[i] = static_cast<std::uint32_t>(cur / 1000000000ull);
+      rem = cur % 1000000000ull;
+    }
+    while (!mag.empty() && mag.back() == 0) mag.pop_back();
+    for (int d = 0; d < 9; ++d) {
+      digits.push_back(static_cast<char>('0' + rem % 10));
+      rem /= 10;
+    }
+  }
+  while (digits.size() > 1 && digits.back() == '0') digits.pop_back();
+  if (negative_) digits.push_back('-');
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+std::size_t BigInt::hash() const {
+  std::size_t h = negative_ ? 0x9e3779b97f4a7c15ull : 0x85ebca6b1ce4e5b9ull;
+  for (std::uint32_t l : limbs_) {
+    h ^= l;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace ccfsp

@@ -1,0 +1,87 @@
+// Arbitrary-precision signed integer, written from scratch for this library.
+// Theorem 4's unary-language normal forms are O(m)-bit lengths (a chain of m
+// multiply-by-2 processes yields 2^m), and the exact simplex over rationals
+// needs overflow-free arithmetic, so fixed-width integers do not suffice.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ccfsp {
+
+/// Sign-magnitude big integer over 32-bit limbs (little-endian).
+/// Invariant: no leading zero limbs; zero is {} with non-negative sign.
+class BigInt {
+ public:
+  BigInt() = default;
+  BigInt(std::int64_t v);  // NOLINT(google-explicit-constructor) — deliberate, ints are BigInts
+  static BigInt from_string(std::string_view decimal);
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_negative() const { return negative_; }
+  int sign() const { return is_zero() ? 0 : (negative_ ? -1 : 1); }
+
+  BigInt operator-() const;
+  BigInt abs() const;
+
+  friend BigInt operator+(const BigInt& a, const BigInt& b);
+  friend BigInt operator-(const BigInt& a, const BigInt& b);
+  friend BigInt operator*(const BigInt& a, const BigInt& b);
+  /// Truncated division (C++ semantics: quotient rounds toward zero).
+  friend BigInt operator/(const BigInt& a, const BigInt& b);
+  friend BigInt operator%(const BigInt& a, const BigInt& b);
+
+  BigInt& operator+=(const BigInt& o) { return *this = *this + o; }
+  BigInt& operator-=(const BigInt& o) { return *this = *this - o; }
+  BigInt& operator*=(const BigInt& o) { return *this = *this * o; }
+  BigInt& operator/=(const BigInt& o) { return *this = *this / o; }
+  BigInt& operator%=(const BigInt& o) { return *this = *this % o; }
+
+  /// Quotient and remainder in one pass; remainder has the dividend's sign.
+  static void divmod(const BigInt& a, const BigInt& b, BigInt& q, BigInt& r);
+
+  /// Floor division (quotient rounds toward -inf); used by the ILP brancher.
+  static BigInt fdiv(const BigInt& a, const BigInt& b);
+
+  static BigInt gcd(BigInt a, BigInt b);
+  static BigInt pow2(std::size_t k);  // 2^k
+
+  BigInt shifted_left(std::size_t bits) const;
+
+  std::strong_ordering operator<=>(const BigInt& o) const;
+  bool operator==(const BigInt& o) const = default;
+
+  /// Number of bits in the magnitude (0 for zero).
+  std::size_t bit_length() const;
+
+  /// Exact conversion; returns false (and leaves out untouched) on overflow.
+  bool fits_int64(std::int64_t& out) const;
+
+  std::string to_string() const;
+  std::size_t hash() const;
+
+ private:
+  static int cmp_mag(const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b);
+  static std::vector<std::uint32_t> add_mag(const std::vector<std::uint32_t>& a,
+                                            const std::vector<std::uint32_t>& b);
+  // Requires |a| >= |b|.
+  static std::vector<std::uint32_t> sub_mag(const std::vector<std::uint32_t>& a,
+                                            const std::vector<std::uint32_t>& b);
+  static std::vector<std::uint32_t> mul_mag(const std::vector<std::uint32_t>& a,
+                                            const std::vector<std::uint32_t>& b);
+  static void divmod_mag(const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b,
+                         std::vector<std::uint32_t>& q, std::vector<std::uint32_t>& r);
+  void trim();
+
+  bool negative_ = false;
+  std::vector<std::uint32_t> limbs_;
+};
+
+struct BigIntHash {
+  std::size_t operator()(const BigInt& v) const { return v.hash(); }
+};
+
+}  // namespace ccfsp

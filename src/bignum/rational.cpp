@@ -1,0 +1,64 @@
+#include "bignum/rational.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ccfsp {
+
+Rational::Rational(BigInt num, BigInt den) : num_(std::move(num)), den_(std::move(den)) {
+  if (den_.is_zero()) throw std::domain_error("Rational: zero denominator");
+  normalize();
+}
+
+void Rational::normalize() {
+  if (den_.is_negative()) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  if (num_.is_zero()) {
+    den_ = BigInt(1);
+    return;
+  }
+  BigInt g = BigInt::gcd(num_, den_);
+  if (g != BigInt(1)) {
+    num_ /= g;
+    den_ /= g;
+  }
+}
+
+Rational Rational::operator-() const {
+  Rational out = *this;
+  out.num_ = -out.num_;
+  return out;
+}
+
+Rational operator+(const Rational& a, const Rational& b) {
+  return Rational(a.num_ * b.den_ + b.num_ * a.den_, a.den_ * b.den_);
+}
+
+Rational operator-(const Rational& a, const Rational& b) { return a + (-b); }
+
+Rational operator*(const Rational& a, const Rational& b) {
+  return Rational(a.num_ * b.num_, a.den_ * b.den_);
+}
+
+Rational operator/(const Rational& a, const Rational& b) {
+  if (b.is_zero()) throw std::domain_error("Rational: division by zero");
+  return Rational(a.num_ * b.den_, a.den_ * b.num_);
+}
+
+std::strong_ordering Rational::operator<=>(const Rational& o) const {
+  // den > 0 on both sides, so cross-multiplication preserves order.
+  return num_ * o.den_ <=> o.num_ * den_;
+}
+
+BigInt Rational::floor() const { return BigInt::fdiv(num_, den_); }
+
+BigInt Rational::ceil() const { return -BigInt::fdiv(-num_, den_); }
+
+std::string Rational::to_string() const {
+  if (is_integer()) return num_.to_string();
+  return num_.to_string() + "/" + den_.to_string();
+}
+
+}  // namespace ccfsp

@@ -1,0 +1,55 @@
+// Exact rational numbers over BigInt. The simplex solver in src/ilp works
+// entirely in these, so LP pivoting is exact and ILP feasibility answers are
+// never subject to floating-point error.
+#pragma once
+
+#include <compare>
+#include <string>
+
+#include "bignum/bigint.hpp"
+
+namespace ccfsp {
+
+/// Invariant: denominator > 0, gcd(|num|, den) == 1, zero is 0/1.
+class Rational {
+ public:
+  Rational() : num_(0), den_(1) {}
+  Rational(BigInt num) : num_(std::move(num)), den_(1) {}  // NOLINT — deliberate promotion
+  Rational(std::int64_t v) : num_(v), den_(1) {}           // NOLINT — deliberate promotion
+  Rational(BigInt num, BigInt den);
+
+  const BigInt& num() const { return num_; }
+  const BigInt& den() const { return den_; }
+
+  bool is_zero() const { return num_.is_zero(); }
+  bool is_integer() const { return den_ == BigInt(1); }
+  int sign() const { return num_.sign(); }
+
+  Rational operator-() const;
+  friend Rational operator+(const Rational& a, const Rational& b);
+  friend Rational operator-(const Rational& a, const Rational& b);
+  friend Rational operator*(const Rational& a, const Rational& b);
+  friend Rational operator/(const Rational& a, const Rational& b);
+
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+
+  std::strong_ordering operator<=>(const Rational& o) const;
+  bool operator==(const Rational& o) const = default;
+
+  /// Largest integer <= this (exact).
+  BigInt floor() const;
+  /// Smallest integer >= this (exact).
+  BigInt ceil() const;
+
+  std::string to_string() const;
+
+ private:
+  void normalize();
+  BigInt num_;
+  BigInt den_;
+};
+
+}  // namespace ccfsp

@@ -1,0 +1,119 @@
+#include "equiv/bisim.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace ccfsp {
+
+std::vector<std::size_t> bisimulation_classes(const Fsp& p) {
+  std::vector<std::size_t> cls(p.num_states(), 0);
+  std::size_t num_classes = 1;
+  while (true) {
+    // Signature = set of (action, target class); bisimilar states share it.
+    std::map<std::set<std::pair<ActionId, std::size_t>>, std::size_t> sig_ids;
+    std::vector<std::size_t> next(p.num_states());
+    for (StateId s = 0; s < p.num_states(); ++s) {
+      std::set<std::pair<ActionId, std::size_t>> sig;
+      for (const auto& t : p.out(s)) sig.emplace(t.action, cls[t.target]);
+      auto [it, _] = sig_ids.try_emplace(sig, sig_ids.size());
+      next[s] = it->second;
+    }
+    if (sig_ids.size() == num_classes) {
+      // Refinement is monotone (classes only split), so an unchanged count
+      // means a fixed point.
+      return next;
+    }
+    num_classes = sig_ids.size();
+    cls = std::move(next);
+  }
+}
+
+Fsp quotient_by_bisimulation(const Fsp& p) {
+  auto cls = bisimulation_classes(p);
+  std::size_t num_classes = *std::max_element(cls.begin(), cls.end()) + 1;
+
+  Fsp out(p.alphabet(), p.name() + "_bq");
+  std::vector<StateId> block_state(num_classes);
+  std::vector<StateId> representative(num_classes, 0);
+  std::vector<bool> seen(num_classes, false);
+  for (StateId s = 0; s < p.num_states(); ++s) {
+    if (!seen[cls[s]]) {
+      seen[cls[s]] = true;
+      representative[cls[s]] = s;
+    }
+  }
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    block_state[c] = out.add_state(p.state_label(representative[c]));
+    out.set_atoms(block_state[c], p.atoms(representative[c]));
+  }
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    std::set<std::pair<ActionId, std::size_t>> sig;
+    for (const auto& t : p.out(representative[c])) sig.emplace(t.action, cls[t.target]);
+    for (auto [a, d] : sig) out.add_transition(block_state[c], a, block_state[d]);
+  }
+  out.set_start(block_state[cls[p.start()]]);
+
+  ActionSet used(p.alphabet()->size());
+  for (StateId s = 0; s < out.num_states(); ++s) used |= out.out_actions(s);
+  for (ActionId a : p.sigma()) {
+    if (!used.test(a)) out.declare_action(a);
+  }
+  return out.trimmed();
+}
+
+Fsp compress_trivial_tau(const Fsp& p) {
+  // candidate[s] = t if s's only transition is a single tau to t != s.
+  std::vector<StateId> redirect(p.num_states());
+  for (StateId s = 0; s < p.num_states(); ++s) redirect[s] = s;
+  for (StateId s = 0; s < p.num_states(); ++s) {
+    if (p.out(s).size() == 1 && p.out(s)[0].action == kTau && p.out(s)[0].target != s) {
+      redirect[s] = p.out(s)[0].target;
+    }
+  }
+  // Resolve chains; a pure pass-through tau cycle stays put (it encodes
+  // divergence, which must not be erased).
+  auto resolve = [&](StateId s) {
+    std::set<StateId> onpath;
+    StateId cur = s;
+    while (redirect[cur] != cur) {
+      if (!onpath.insert(cur).second) return s;  // cycle: keep s as-is
+      cur = redirect[cur];
+    }
+    return cur;
+  };
+
+  Fsp out(p.alphabet(), p.name() + "_tc");
+  std::vector<StateId> newid(p.num_states(), 0);
+  std::vector<bool> kept(p.num_states(), false);
+  for (StateId s = 0; s < p.num_states(); ++s) {
+    StateId r = resolve(s);
+    if (r == s) kept[s] = true;
+  }
+  // A cycle member that resolve() returned as itself must stay; ensure the
+  // start's representative is kept too.
+  StateId start_rep = resolve(p.start());
+  kept[start_rep] = true;
+  for (StateId s = 0; s < p.num_states(); ++s) {
+    if (kept[s]) {
+      newid[s] = out.add_state(p.state_label(s));
+      out.set_atoms(newid[s], p.atoms(s));
+    }
+  }
+  for (StateId s = 0; s < p.num_states(); ++s) {
+    if (!kept[s]) continue;
+    for (const auto& t : p.out(s)) {
+      out.add_transition(newid[s], t.action, newid[resolve(t.target)]);
+    }
+  }
+  out.set_start(newid[start_rep]);
+
+  ActionSet used(p.alphabet()->size());
+  for (StateId s = 0; s < out.num_states(); ++s) used |= out.out_actions(s);
+  for (ActionId a : p.sigma()) {
+    if (!used.test(a)) out.declare_action(a);
+  }
+  return out.trimmed();
+}
+
+}  // namespace ccfsp

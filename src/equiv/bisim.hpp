@@ -1,0 +1,28 @@
+// Strong bisimulation (tau treated as an ordinary label) via partition
+// refinement. Strictly finer than possibility equivalence, so quotienting
+// by it is a *sound* state-space reducer: the paper suggests exactly this
+// kind of cheap reduction as the practical heuristic for the cyclic case,
+// where exact possibility normal forms are PSPACE-hard [KS].
+#pragma once
+
+#include <vector>
+
+#include "fsp/fsp.hpp"
+
+namespace ccfsp {
+
+/// Coarsest strong bisimulation: block index per state.
+std::vector<std::size_t> bisimulation_classes(const Fsp& p);
+
+/// Quotient of p by strong bisimilarity (transitions deduplicated). The
+/// result is possibility-equivalent (hence language- and failure-
+/// equivalent) to p.
+Fsp quotient_by_bisimulation(const Fsp& p);
+
+/// Remove "pass-through" tau transitions: a state whose only transition is
+/// a single tau to another state is merged into its target (sound for all
+/// three equivalences; this is the tau-compression half of the cyclic
+/// heuristic's ablation).
+Fsp compress_trivial_tau(const Fsp& p);
+
+}  // namespace ccfsp

@@ -1,0 +1,28 @@
+#include "equiv/equivalences.hpp"
+
+#include "semantics/poss_automaton.hpp"
+
+namespace ccfsp {
+
+namespace {
+
+bool equivalent(const Fsp& a, const Fsp& b, SemanticAnnotation kind) {
+  return annotated_dfa_equivalent(annotated_determinize(a, kind),
+                                  annotated_determinize(b, kind));
+}
+
+}  // namespace
+
+bool language_equivalent(const Fsp& a, const Fsp& b) {
+  return equivalent(a, b, SemanticAnnotation::kLanguage);
+}
+
+bool failure_equivalent(const Fsp& a, const Fsp& b) {
+  return equivalent(a, b, SemanticAnnotation::kFailures);
+}
+
+bool possibility_equivalent(const Fsp& a, const Fsp& b) {
+  return equivalent(a, b, SemanticAnnotation::kPossibilities);
+}
+
+}  // namespace ccfsp

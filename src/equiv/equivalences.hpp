@@ -1,0 +1,16 @@
+// The equivalence notions the paper juggles, in increasing fineness on
+// acyclic FSPs: language, failure (HBR), possibility (the paper's choice).
+// All three decide via the annotated subset construction; worst-case
+// exponential ([KS]: possibility equivalence of cyclic FSPs is
+// PSPACE-complete), cheap on tree-structured inputs.
+#pragma once
+
+#include "fsp/fsp.hpp"
+
+namespace ccfsp {
+
+bool language_equivalent(const Fsp& a, const Fsp& b);
+bool failure_equivalent(const Fsp& a, const Fsp& b);
+bool possibility_equivalent(const Fsp& a, const Fsp& b);
+
+}  // namespace ccfsp

@@ -1,0 +1,50 @@
+// The action alphabet shared by every process of a network. Actions are
+// interned to dense ids so that hot paths compare integers and represent
+// action sets as bitsets; the unobservable action tau is a reserved id that
+// never appears in an Alphabet.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/bitset.hpp"
+#include "util/interner.hpp"
+
+namespace ccfsp {
+
+using ActionId = std::uint32_t;
+
+/// The unobservable action. Not a member of any alphabet (Definition 1:
+/// tau is not in Sigma); transitions may carry it, action sets may not.
+inline constexpr ActionId kTau = 0xffffffffu;
+
+/// A set of observable actions over a fixed Alphabet universe.
+using ActionSet = DynamicBitset;
+
+/// Interned universe of observable action names. One Alphabet instance is
+/// shared (via shared_ptr) by all FSPs of a network and everything composed
+/// from them, so their ActionSets are directly compatible.
+class Alphabet {
+ public:
+  ActionId intern(std::string_view name) { return interner_.intern(name); }
+  std::optional<ActionId> find(std::string_view name) const { return interner_.find(name); }
+  const std::string& name(ActionId a) const { return interner_.str(a); }
+  std::size_t size() const { return interner_.size(); }
+
+  ActionSet empty_set() const { return ActionSet(size()); }
+  ActionSet make_set(std::initializer_list<std::string_view> names) {
+    ActionSet s(size());
+    for (auto n : names) s.set(intern(n));
+    return s;
+  }
+
+ private:
+  Interner interner_;
+};
+
+using AlphabetPtr = std::shared_ptr<Alphabet>;
+
+}  // namespace ccfsp

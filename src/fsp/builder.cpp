@@ -1,0 +1,47 @@
+#include "fsp/builder.hpp"
+
+#include <stdexcept>
+
+namespace ccfsp {
+
+StateId FspBuilder::state_id(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  StateId s = fsp_.add_state(std::string(name));
+  ids_.emplace(std::string(name), s);
+  if (!start_set_ && ids_.size() == 1) fsp_.set_start(s);
+  return s;
+}
+
+FspBuilder& FspBuilder::trans(std::string_view from, std::string_view action,
+                              std::string_view to) {
+  StateId f = state_id(from);
+  StateId t = state_id(to);
+  ActionId a = action == "tau" ? kTau : fsp_.alphabet()->intern(action);
+  fsp_.add_transition(f, a, t);
+  return *this;
+}
+
+FspBuilder& FspBuilder::start(std::string_view state) {
+  fsp_.set_start(state_id(state));
+  start_set_ = true;
+  return *this;
+}
+
+FspBuilder& FspBuilder::action(std::string_view name) {
+  if (name == "tau") throw std::invalid_argument("FspBuilder: tau cannot be declared");
+  fsp_.declare_action(fsp_.alphabet()->intern(name));
+  return *this;
+}
+
+FspBuilder& FspBuilder::state(std::string_view name) {
+  state_id(name);
+  return *this;
+}
+
+Fsp FspBuilder::build() {
+  fsp_.validate();
+  return std::move(fsp_);
+}
+
+}  // namespace ccfsp

@@ -1,0 +1,42 @@
+// Fluent construction of FSPs by state name. Examples and tests use this to
+// transcribe the paper's figures without manual id bookkeeping.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "fsp/fsp.hpp"
+
+namespace ccfsp {
+
+class FspBuilder {
+ public:
+  FspBuilder(AlphabetPtr alphabet, std::string name)
+      : fsp_(std::move(alphabet), std::move(name)) {}
+
+  /// Add a transition, creating states on first mention. The first state
+  /// ever mentioned becomes the start state unless start() is called.
+  /// `action` == "tau" denotes the unobservable action.
+  FspBuilder& trans(std::string_view from, std::string_view action, std::string_view to);
+
+  FspBuilder& start(std::string_view state);
+
+  /// Declare an action in Sigma that no transition uses.
+  FspBuilder& action(std::string_view name);
+
+  /// Add an isolated state (useful for single-state processes).
+  FspBuilder& state(std::string_view name);
+
+  /// Validate and return the process.
+  Fsp build();
+
+ private:
+  StateId state_id(std::string_view name);
+
+  Fsp fsp_;
+  std::unordered_map<std::string, StateId> ids_;
+  bool start_set_ = false;
+};
+
+}  // namespace ccfsp

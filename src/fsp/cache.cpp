@@ -1,0 +1,35 @@
+#include "fsp/cache.hpp"
+
+#include <set>
+
+namespace ccfsp {
+
+FspAnalysisCache::FspAnalysisCache(const Fsp& f) : fsp_(&f) {
+  const std::size_t n = f.num_states();
+  closures_.reserve(n);
+  ready_.reserve(n);
+  arrows_.resize(n);
+  for (StateId s = 0; s < n; ++s) {
+    closures_.push_back(f.tau_closure(s));
+    ready_.push_back(f.ready_actions(s));
+  }
+  for (StateId s = 0; s < n; ++s) {
+    std::map<ActionId, std::set<StateId>> acc;
+    for (StateId q : closures_[s]) {
+      for (const auto& t : f.out(q)) {
+        if (t.action == kTau) continue;
+        for (StateId r : closures_[t.target]) acc[t.action].insert(r);
+      }
+    }
+    for (auto& [a, states] : acc) {
+      arrows_[s].emplace(a, std::vector<StateId>(states.begin(), states.end()));
+    }
+  }
+}
+
+const std::vector<StateId>& FspAnalysisCache::arrow_successors(StateId s, ActionId a) const {
+  auto it = arrows_[s].find(a);
+  return it == arrows_[s].end() ? empty_ : it->second;
+}
+
+}  // namespace ccfsp

@@ -1,0 +1,33 @@
+// Precomputed per-state analysis tables for one FSP: tau closures, ready
+// sets, and arrow-successor lookup. Fsp computes these on demand with fresh
+// allocations, which is fine for one-shot queries but dominates the game
+// solver's inner loop (every belief member of every position); the cache
+// turns each into a table lookup.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "fsp/fsp.hpp"
+
+namespace ccfsp {
+
+class FspAnalysisCache {
+ public:
+  explicit FspAnalysisCache(const Fsp& f);
+
+  const Fsp& fsp() const { return *fsp_; }
+  const std::vector<StateId>& tau_closure(StateId s) const { return closures_[s]; }
+  const ActionSet& ready_actions(StateId s) const { return ready_[s]; }
+  /// s ==a==> targets, tau-closed and sorted (empty vector if none).
+  const std::vector<StateId>& arrow_successors(StateId s, ActionId a) const;
+
+ private:
+  const Fsp* fsp_;
+  std::vector<std::vector<StateId>> closures_;
+  std::vector<ActionSet> ready_;
+  std::vector<std::map<ActionId, std::vector<StateId>>> arrows_;
+  std::vector<StateId> empty_;
+};
+
+}  // namespace ccfsp

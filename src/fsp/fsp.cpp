@@ -1,0 +1,249 @@
+#include "fsp/fsp.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <stdexcept>
+
+namespace ccfsp {
+
+std::uint32_t Fsp::next_uid() {
+  static std::atomic<std::uint32_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+Fsp::Fsp(AlphabetPtr alphabet, std::string name)
+    : alphabet_(std::move(alphabet)), name_(std::move(name)), uid_(next_uid()) {
+  if (!alphabet_) throw std::invalid_argument("Fsp: null alphabet");
+}
+
+StateId Fsp::add_state(std::string label) {
+  StateId s = static_cast<StateId>(out_.size());
+  out_.emplace_back();
+  if (label.empty()) label = std::to_string(s);
+  labels_.push_back(std::move(label));
+  atoms_.push_back({make_atom(uid_, s)});
+  return s;
+}
+
+void Fsp::add_transition(StateId from, ActionId action, StateId to) {
+  if (from >= num_states() || to >= num_states()) {
+    throw std::out_of_range("Fsp::add_transition: bad state id");
+  }
+  out_[from].push_back({action, to});
+  sigma_dirty_ = true;
+}
+
+void Fsp::declare_action(ActionId a) {
+  if (a == kTau) throw std::invalid_argument("Fsp::declare_action: tau is not in Sigma");
+  declared_.push_back(a);
+  sigma_dirty_ = true;
+}
+
+std::size_t Fsp::num_transitions() const {
+  std::size_t n = 0;
+  for (const auto& ts : out_) n += ts.size();
+  return n;
+}
+
+const std::vector<ActionId>& Fsp::sigma() const {
+  if (sigma_dirty_) {
+    std::set<ActionId> acts(declared_.begin(), declared_.end());
+    for (const auto& ts : out_) {
+      for (const auto& t : ts) {
+        if (t.action != kTau) acts.insert(t.action);
+      }
+    }
+    sigma_cache_.assign(acts.begin(), acts.end());
+    sigma_dirty_ = false;
+  }
+  return sigma_cache_;
+}
+
+ActionSet Fsp::sigma_set() const {
+  ActionSet s(alphabet_->size());
+  for (ActionId a : sigma()) s.set(a);
+  return s;
+}
+
+bool Fsp::has_tau_out(StateId s) const {
+  for (const auto& t : out_[s]) {
+    if (t.action == kTau) return true;
+  }
+  return false;
+}
+
+ActionSet Fsp::out_actions(StateId s) const {
+  ActionSet set(alphabet_->size());
+  for (const auto& t : out_[s]) {
+    if (t.action != kTau) set.set(t.action);
+  }
+  return set;
+}
+
+ActionSet Fsp::ready_actions(StateId s) const {
+  ActionSet set(alphabet_->size());
+  for (StateId q : tau_closure(s)) set |= out_actions(q);
+  return set;
+}
+
+std::vector<StateId> Fsp::tau_closure(StateId s) const {
+  std::vector<bool> seen(num_states(), false);
+  std::vector<StateId> stack{s};
+  std::vector<StateId> closure;
+  seen[s] = true;
+  while (!stack.empty()) {
+    StateId q = stack.back();
+    stack.pop_back();
+    closure.push_back(q);
+    for (const auto& t : out_[q]) {
+      if (t.action == kTau && !seen[t.target]) {
+        seen[t.target] = true;
+        stack.push_back(t.target);
+      }
+    }
+  }
+  std::sort(closure.begin(), closure.end());
+  return closure;
+}
+
+std::vector<StateId> Fsp::arrow_successors(StateId s, ActionId a) const {
+  std::set<StateId> result;
+  for (StateId q : tau_closure(s)) {
+    for (const auto& t : out_[q]) {
+      if (t.action == a) {
+        for (StateId r : tau_closure(t.target)) result.insert(r);
+      }
+    }
+  }
+  return {result.begin(), result.end()};
+}
+
+Digraph Fsp::digraph() const {
+  Digraph g(num_states());
+  for (StateId s = 0; s < num_states(); ++s) {
+    for (const auto& t : out_[s]) g.add_edge(s, t.target);
+  }
+  return g;
+}
+
+bool Fsp::is_acyclic() const { return !digraph().has_cycle(); }
+
+bool Fsp::is_tree() const {
+  std::vector<std::size_t> indeg(num_states(), 0);
+  for (StateId s = 0; s < num_states(); ++s) {
+    for (const auto& t : out_[s]) ++indeg[t.target];
+  }
+  if (indeg[start_] != 0) return false;
+  for (StateId s = 0; s < num_states(); ++s) {
+    if (s != start_ && indeg[s] != 1) return false;
+  }
+  // In-degree constraints plus reachability from the root imply acyclicity,
+  // but only if reachability holds; validate() guarantees it, re-check here
+  // so is_tree() is safe on unvalidated processes.
+  return is_acyclic();
+}
+
+bool Fsp::is_linear() const {
+  if (!is_tree()) return false;
+  for (StateId s = 0; s < num_states(); ++s) {
+    if (out_[s].size() > 1) return false;
+  }
+  return true;
+}
+
+bool Fsp::has_tau_moves() const {
+  for (StateId s = 0; s < num_states(); ++s) {
+    if (has_tau_out(s)) return true;
+  }
+  return false;
+}
+
+bool Fsp::has_leaves() const {
+  for (StateId s = 0; s < num_states(); ++s) {
+    if (is_leaf(s)) return true;
+  }
+  return false;
+}
+
+std::vector<StateId> Fsp::leaves() const {
+  std::vector<StateId> ls;
+  for (StateId s = 0; s < num_states(); ++s) {
+    if (is_leaf(s)) ls.push_back(s);
+  }
+  return ls;
+}
+
+void Fsp::validate() const {
+  if (num_states() == 0) throw std::logic_error("Fsp '" + name_ + "': no states");
+  auto reach = digraph().reachable_from(start_);
+  for (StateId s = 0; s < num_states(); ++s) {
+    if (!reach[s]) {
+      throw std::logic_error("Fsp '" + name_ + "': state " + labels_[s] +
+                             " unreachable from start");
+    }
+  }
+  for (StateId s = 0; s < num_states(); ++s) {
+    for (const auto& t : out_[s]) {
+      if (t.action != kTau && t.action >= alphabet_->size()) {
+        throw std::logic_error("Fsp '" + name_ + "': transition with unknown action id");
+      }
+    }
+  }
+}
+
+Fsp Fsp::trimmed() const {
+  auto reach = digraph().reachable_from(start_);
+  std::vector<StateId> remap(num_states(), 0);
+  Fsp out(alphabet_, name_);
+  for (StateId s = 0; s < num_states(); ++s) {
+    if (reach[s]) {
+      remap[s] = out.add_state(labels_[s]);
+      out.set_atoms(remap[s], atoms_[s]);
+    }
+  }
+  for (StateId s = 0; s < num_states(); ++s) {
+    if (!reach[s]) continue;
+    for (const auto& t : out_[s]) {
+      if (reach[t.target]) out.add_transition(remap[s], t.action, remap[t.target]);
+    }
+  }
+  out.set_start(remap[start_]);
+  for (ActionId a : declared_) out.declare_action(a);
+  return out;
+}
+
+std::size_t Fsp::depth() const {
+  auto order = digraph().topological_order();
+  if (!order) throw std::logic_error("Fsp::depth: process is cyclic");
+  std::vector<std::size_t> dist(num_states(), 0);
+  std::size_t best = 0;
+  for (StateId s : *order) {
+    for (const auto& t : out_[s]) {
+      dist[t.target] = std::max(dist[t.target], dist[s] + 1);
+      best = std::max(best, dist[t.target]);
+    }
+  }
+  return best;
+}
+
+std::string Fsp::to_dot() const {
+  std::string dot = "digraph \"" + name_ + "\" {\n  rankdir=LR;\n";
+  dot += "  start [shape=point];\n  start -> s" + std::to_string(start_) + ";\n";
+  for (StateId s = 0; s < num_states(); ++s) {
+    dot += "  s" + std::to_string(s) + " [label=\"" + labels_[s] + "\"";
+    if (is_leaf(s)) dot += ", shape=doublecircle";
+    dot += "];\n";
+  }
+  for (StateId s = 0; s < num_states(); ++s) {
+    for (const auto& t : out_[s]) {
+      std::string label = t.action == kTau ? std::string("τ") : alphabet_->name(t.action);
+      dot += "  s" + std::to_string(s) + " -> s" + std::to_string(t.target) + " [label=\"" +
+             label + "\"];\n";
+    }
+  }
+  dot += "}\n";
+  return dot;
+}
+
+}  // namespace ccfsp

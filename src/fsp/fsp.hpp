@@ -1,0 +1,125 @@
+// The Finite State Process of Definition 1: states, a start state, an
+// action alphabet Sigma, and a transition relation over Sigma + {tau}.
+// Every state is reachable from the start state (enforced by validate()).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fsp/alphabet.hpp"
+#include "util/graph.hpp"
+
+namespace ccfsp {
+
+using StateId = std::uint32_t;
+
+struct Transition {
+  ActionId action;  // may be kTau
+  StateId target;
+
+  bool operator==(const Transition&) const = default;
+};
+
+/// Atom identifying one state of one *original* process inside a composite
+/// state tuple: (process uid << 32) | state id. Keeping composite states as
+/// sorted atom vectors realizes the paper's convention that tuple order is
+/// irrelevant, which is what makes || associative and commutative (Lemma 1).
+using StateAtom = std::uint64_t;
+
+inline StateAtom make_atom(std::uint32_t process_uid, StateId s) {
+  return (static_cast<StateAtom>(process_uid) << 32) | s;
+}
+
+class Fsp {
+ public:
+  Fsp(AlphabetPtr alphabet, std::string name);
+
+  // ---- construction ----
+  StateId add_state(std::string label = "");
+  void add_transition(StateId from, ActionId action, StateId to);
+  void set_start(StateId s) { start_ = s; }
+  /// Add an action to Sigma even if no transition uses it (a process may
+  /// listen on symbols it never gets to use in some branch).
+  void declare_action(ActionId a);
+
+  // ---- basic accessors ----
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+  const AlphabetPtr& alphabet() const { return alphabet_; }
+  StateId start() const { return start_; }
+  std::size_t num_states() const { return out_.size(); }
+  std::size_t num_transitions() const;
+  const std::vector<Transition>& out(StateId s) const { return out_[s]; }
+  const std::string& state_label(StateId s) const { return labels_[s]; }
+  std::uint32_t uid() const { return uid_; }
+
+  /// Sorted atoms forming this state (a single atom for original processes,
+  /// a flattened tuple for composites).
+  const std::vector<StateAtom>& atoms(StateId s) const { return atoms_[s]; }
+  void set_atoms(StateId s, std::vector<StateAtom> a) { atoms_[s] = std::move(a); }
+
+  // ---- Sigma ----
+  /// Declared + used observable actions, sorted ascending.
+  const std::vector<ActionId>& sigma() const;
+  /// Same as a bitset over the *current* alphabet size. Call only after the
+  /// shared Alphabet is fully populated (analysis phase).
+  ActionSet sigma_set() const;
+
+  // ---- per-state structure ----
+  bool has_tau_out(StateId s) const;
+  bool is_stable(StateId s) const { return !has_tau_out(s); }
+  /// True iff the state has no outgoing transitions at all (a "leaf").
+  bool is_leaf(StateId s) const { return out_[s].empty(); }
+  /// Observable out-action set of a single state (not tau-closed).
+  ActionSet out_actions(StateId s) const;
+  /// Ready set: observable actions a with s ==a==> (i.e. reachable through
+  /// leading tau moves). Used by game solvers.
+  ActionSet ready_actions(StateId s) const;
+  /// States reachable from s via tau moves only (including s).
+  std::vector<StateId> tau_closure(StateId s) const;
+  /// Successor states under s ==a==> t (tau* a tau*).
+  std::vector<StateId> arrow_successors(StateId s, ActionId a) const;
+
+  // ---- whole-process structure (Section 2.1 taxonomy) ----
+  Digraph digraph() const;
+  bool is_acyclic() const;  // DAG (single root = start, by reachability)
+  bool is_tree() const;     // every non-start state has exactly one parent
+  bool is_linear() const;   // a simple path
+  bool has_tau_moves() const;
+  bool has_leaves() const;
+  /// All leaf states.
+  std::vector<StateId> leaves() const;
+
+  /// Throws std::logic_error if some state is unreachable from start or a
+  /// transition carries an action not in Sigma's universe.
+  void validate() const;
+
+  /// Copy restricted to states reachable from start (relabels state ids,
+  /// preserves labels/atoms). The paper's processes are reachable by
+  /// definition; products must be trimmed to get P1 (sqcap) P2.
+  Fsp trimmed() const;
+
+  /// Longest path length (#transitions) from start; requires acyclic.
+  std::size_t depth() const;
+
+  /// GraphViz rendering (actions by name, tau as the Greek letter).
+  std::string to_dot() const;
+
+ private:
+  static std::uint32_t next_uid();
+
+  AlphabetPtr alphabet_;
+  std::string name_;
+  std::uint32_t uid_;
+  StateId start_ = 0;
+  std::vector<std::vector<Transition>> out_;
+  std::vector<std::string> labels_;
+  std::vector<std::vector<StateAtom>> atoms_;
+  std::vector<ActionId> declared_;
+
+  mutable std::vector<ActionId> sigma_cache_;
+  mutable bool sigma_dirty_ = true;
+};
+
+}  // namespace ccfsp

@@ -1,0 +1,100 @@
+#include "fsp/generate.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ccfsp {
+
+namespace {
+
+ActionId pick_label(Rng& rng, const std::vector<ActionId>& pool, double tau_probability) {
+  if (tau_probability > 0 && rng.uniform01() < tau_probability) return kTau;
+  return pool[rng.below(pool.size())];
+}
+
+}  // namespace
+
+Fsp random_tree_fsp(Rng& rng, const AlphabetPtr& alphabet, const std::vector<ActionId>& pool,
+                    const TreeFspOptions& opt, const std::string& name) {
+  if (pool.empty()) throw std::invalid_argument("random_tree_fsp: empty action pool");
+  Fsp f(alphabet, name);
+  StateId root = f.add_state();
+  f.set_start(root);
+  std::vector<StateId> open{root};
+  std::vector<std::size_t> child_count{0};
+  while (f.num_states() < opt.num_states) {
+    // Attach a fresh state under a random parent that still has capacity.
+    std::size_t pi = rng.below(open.size());
+    StateId parent = open[pi];
+    StateId child = f.add_state();
+    child_count.push_back(0);
+    f.add_transition(parent, pick_label(rng, pool, opt.tau_probability), child);
+    open.push_back(child);
+    if (++child_count[pi] >= opt.max_children) {
+      open[pi] = open.back();
+      child_count[pi] = child_count.back();
+      open.pop_back();
+      child_count.pop_back();
+    }
+  }
+  return f;
+}
+
+Fsp random_linear_fsp(Rng& rng, const AlphabetPtr& alphabet, const std::vector<ActionId>& pool,
+                      std::size_t length, double tau_probability, const std::string& name) {
+  if (pool.empty()) throw std::invalid_argument("random_linear_fsp: empty action pool");
+  Fsp f(alphabet, name);
+  StateId prev = f.add_state();
+  f.set_start(prev);
+  for (std::size_t i = 0; i < length; ++i) {
+    StateId next = f.add_state();
+    f.add_transition(prev, pick_label(rng, pool, tau_probability), next);
+    prev = next;
+  }
+  return f;
+}
+
+Fsp random_acyclic_fsp(Rng& rng, const AlphabetPtr& alphabet, const std::vector<ActionId>& pool,
+                       const TreeFspOptions& opt, std::size_t extra_edges,
+                       const std::string& name) {
+  Fsp f = random_tree_fsp(rng, alphabet, pool, opt, name);
+  // Add forward edges (lower id -> strictly higher id keeps the DAG shape,
+  // because tree states are created in topological order).
+  for (std::size_t i = 0; i < extra_edges && f.num_states() >= 2; ++i) {
+    StateId from = static_cast<StateId>(rng.below(f.num_states() - 1));
+    StateId to = static_cast<StateId>(from + 1 + rng.below(f.num_states() - from - 1));
+    f.add_transition(from, pick_label(rng, pool, opt.tau_probability), to);
+  }
+  return f;
+}
+
+Fsp random_cyclic_fsp(Rng& rng, const AlphabetPtr& alphabet, const std::vector<ActionId>& pool,
+                      std::size_t num_states, std::size_t extra_edges, const std::string& name) {
+  if (pool.empty()) throw std::invalid_argument("random_cyclic_fsp: empty action pool");
+  if (num_states == 0) throw std::invalid_argument("random_cyclic_fsp: need >= 1 state");
+  Fsp f(alphabet, name);
+  for (std::size_t i = 0; i < num_states; ++i) f.add_state();
+  f.set_start(0);
+  // Spanning reachability: state i+1 hangs off a random state <= i.
+  for (StateId s = 1; s < num_states; ++s) {
+    StateId parent = static_cast<StateId>(rng.below(s));
+    f.add_transition(parent, pool[rng.below(pool.size())], s);
+  }
+  // No leaves: give every out-degree-0 state a transition to a random state
+  // (possibly creating the cycles that make the process live).
+  for (StateId s = 0; s < num_states; ++s) {
+    if (f.is_leaf(s)) {
+      f.add_transition(s, pool[rng.below(pool.size())],
+                       static_cast<StateId>(rng.below(num_states)));
+    }
+  }
+  for (std::size_t i = 0; i < extra_edges; ++i) {
+    StateId from = static_cast<StateId>(rng.below(num_states));
+    StateId to = static_cast<StateId>(rng.below(num_states));
+    f.add_transition(from, pool[rng.below(pool.size())], to);
+  }
+  assert(!f.has_leaves());
+  return f;
+}
+
+}  // namespace ccfsp

@@ -1,0 +1,38 @@
+// Seeded random FSP generators. The paper supplies no workloads, so these
+// provide the controllable synthetic families used by tests (cross-validating
+// fast algorithms against the explicit-global-machine oracle) and benches.
+#pragma once
+
+#include <vector>
+
+#include "fsp/fsp.hpp"
+#include "util/rng.hpp"
+
+namespace ccfsp {
+
+struct TreeFspOptions {
+  std::size_t num_states = 8;
+  double tau_probability = 0.15;  // probability an edge is a tau move
+  std::size_t max_children = 3;
+};
+
+/// Random tree FSP with edges labeled from `pool` (or tau).
+Fsp random_tree_fsp(Rng& rng, const AlphabetPtr& alphabet, const std::vector<ActionId>& pool,
+                    const TreeFspOptions& opt, const std::string& name);
+
+/// Random linear FSP (a path) of `length` transitions labeled from `pool`.
+Fsp random_linear_fsp(Rng& rng, const AlphabetPtr& alphabet, const std::vector<ActionId>& pool,
+                      std::size_t length, double tau_probability, const std::string& name);
+
+/// Random acyclic FSP: a random tree plus `extra_edges` forward edges.
+Fsp random_acyclic_fsp(Rng& rng, const AlphabetPtr& alphabet, const std::vector<ActionId>& pool,
+                       const TreeFspOptions& opt, std::size_t extra_edges,
+                       const std::string& name);
+
+/// Random cyclic FSP with no leaves and no tau moves (the Section 4 normal
+/// assumptions): every state has at least one outgoing transition and every
+/// state is reachable from the start.
+Fsp random_cyclic_fsp(Rng& rng, const AlphabetPtr& alphabet, const std::vector<ActionId>& pool,
+                      std::size_t num_states, std::size_t extra_edges, const std::string& name);
+
+}  // namespace ccfsp

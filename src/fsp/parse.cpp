@@ -1,0 +1,205 @@
+#include "fsp/parse.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+#include "fsp/builder.hpp"
+
+namespace ccfsp {
+
+namespace {
+
+struct Token {
+  enum Kind { kIdent, kLBrace, kRBrace, kSemi, kArrow, kEnd } kind;
+  std::string text;
+  std::size_t line;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  Token next() {
+    skip_ws();
+    if (pos_ >= src_.size()) return {Token::kEnd, "", line_};
+    char c = src_[pos_];
+    if (c == '{') {
+      ++pos_;
+      return {Token::kLBrace, "{", line_};
+    }
+    if (c == '}') {
+      ++pos_;
+      return {Token::kRBrace, "}", line_};
+    }
+    if (c == ';') {
+      ++pos_;
+      return {Token::kSemi, ";", line_};
+    }
+    if (c == '-') {
+      // -<action>->  : lex the whole arrow as one token carrying the action.
+      std::size_t start = pos_ + 1;
+      std::size_t p = start;
+      while (p < src_.size() && src_[p] != '-') ++p;
+      if (p + 1 >= src_.size() || src_[p + 1] != '>') {
+        fail("malformed arrow, expected -action->");
+      }
+      std::string action(src_.substr(start, p - start));
+      if (action.empty()) fail("arrow with empty action");
+      pos_ = p + 2;
+      return {Token::kArrow, action, line_};
+    }
+    if (is_ident_char(c)) {
+      std::size_t start = pos_;
+      while (pos_ < src_.size() && is_ident_char(src_[pos_])) ++pos_;
+      return {Token::kIdent, std::string(src_.substr(start, pos_ - start)), line_};
+    }
+    fail(std::string("unexpected character '") + c + "'");
+  }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw std::runtime_error("parse error at line " + std::to_string(line_) + ": " + msg);
+  }
+
+ private:
+  static bool is_ident_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.' || c == '\'';
+  }
+
+  void skip_ws() {
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (c == '#') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+      } else if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+};
+
+class Parser {
+ public:
+  Parser(std::string_view src, AlphabetPtr alphabet)
+      : lexer_(src), alphabet_(std::move(alphabet)) {
+    advance();
+  }
+
+  bool at_end() const { return tok_.kind == Token::kEnd; }
+
+  Fsp parse_process() {
+    expect_ident("process");
+    if (tok_.kind != Token::kIdent) fail("expected process name");
+    FspBuilder b(alphabet_, tok_.text);
+    advance();
+    expect(Token::kLBrace, "{");
+    while (tok_.kind != Token::kRBrace) {
+      if (tok_.kind != Token::kIdent) fail("expected statement");
+      if (tok_.text == "start") {
+        advance();
+        if (tok_.kind != Token::kIdent) fail("expected state after 'start'");
+        b.start(tok_.text);
+        advance();
+        expect(Token::kSemi, ";");
+      } else if (tok_.text == "alphabet") {
+        advance();
+        while (tok_.kind == Token::kIdent) {
+          b.action(tok_.text);
+          advance();
+        }
+        expect(Token::kSemi, ";");
+      } else {
+        std::string from = tok_.text;
+        advance();
+        if (tok_.kind != Token::kArrow) fail("expected -action-> after state");
+        std::string action = tok_.text;
+        advance();
+        if (tok_.kind != Token::kIdent) fail("expected target state");
+        std::string to = tok_.text;
+        advance();
+        b.trans(from, action, to);
+        expect(Token::kSemi, ";");
+      }
+    }
+    advance();  // consume '}'
+    return b.build();
+  }
+
+ private:
+  void advance() { tok_ = lexer_.next(); }
+
+  void expect(Token::Kind k, const char* what) {
+    if (tok_.kind != k) fail(std::string("expected '") + what + "'");
+    advance();
+  }
+
+  void expect_ident(const std::string& word) {
+    if (tok_.kind != Token::kIdent || tok_.text != word) fail("expected '" + word + "'");
+    advance();
+  }
+
+  [[noreturn]] void fail(const std::string& msg) {
+    throw std::runtime_error("parse error at line " + std::to_string(tok_.line) + ": " + msg +
+                             " (got '" + tok_.text + "')");
+  }
+
+  Lexer lexer_;
+  AlphabetPtr alphabet_;
+  Token tok_{Token::kEnd, "", 0};
+};
+
+}  // namespace
+
+Fsp parse_fsp(std::string_view text, const AlphabetPtr& alphabet) {
+  Parser p(text, alphabet);
+  Fsp f = p.parse_process();
+  if (!p.at_end()) throw std::runtime_error("parse_fsp: trailing input after process block");
+  return f;
+}
+
+std::vector<Fsp> parse_processes(std::string_view text, const AlphabetPtr& alphabet) {
+  Parser p(text, alphabet);
+  std::vector<Fsp> out;
+  while (!p.at_end()) out.push_back(p.parse_process());
+  return out;
+}
+
+std::string to_dsl(const Fsp& fsp) {
+  std::string s = "process " + fsp.name() + " {\n";
+  s += "  start " + fsp.state_label(fsp.start()) + ";\n";
+  for (StateId q = 0; q < fsp.num_states(); ++q) {
+    for (const auto& t : fsp.out(q)) {
+      std::string action = t.action == kTau ? "tau" : fsp.alphabet()->name(t.action);
+      s += "  " + fsp.state_label(q) + " -" + action + "-> " + fsp.state_label(t.target) + ";\n";
+    }
+  }
+  // Emit declared-but-unused actions so Sigma round-trips.
+  ActionSet used(fsp.alphabet()->size());
+  for (StateId q = 0; q < fsp.num_states(); ++q) used |= fsp.out_actions(q);
+  std::string extra;
+  for (ActionId a : fsp.sigma()) {
+    if (!used.test(a)) extra += " " + fsp.alphabet()->name(a);
+  }
+  if (!extra.empty()) s += "  alphabet" + extra + ";\n";
+  s += "}\n";
+  return s;
+}
+
+std::string to_dsl(const std::vector<Fsp>& processes) {
+  std::string s;
+  for (const Fsp& p : processes) {
+    if (!s.empty()) s += "\n";
+    s += to_dsl(p);
+  }
+  return s;
+}
+
+}  // namespace ccfsp

@@ -1,0 +1,36 @@
+// A small text DSL for FSPs and networks, so examples can be written as
+// readable specifications. Grammar (comments run # to end of line):
+//
+//   process <name> {
+//     start <state> ;            # optional; default = first state mentioned
+//     <state> -<action>-> <state> ;   # action "tau" = unobservable
+//     alphabet <a> <b> ... ;     # optional extra Sigma members
+//   }
+//
+// A file may contain several process blocks; parse_network returns them all
+// over one shared Alphabet (and it is the caller's job to wrap them in a
+// Network, which validates the pairwise-sharing condition of Definition 2).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "fsp/fsp.hpp"
+
+namespace ccfsp {
+
+/// Parse exactly one process block. Throws std::runtime_error with a
+/// line-numbered message on syntax errors.
+Fsp parse_fsp(std::string_view text, const AlphabetPtr& alphabet);
+
+/// Parse all process blocks in the text, sharing `alphabet`.
+std::vector<Fsp> parse_processes(std::string_view text, const AlphabetPtr& alphabet);
+
+/// Render a process back to DSL form (parse_fsp . to_dsl == identity up to
+/// state naming).
+std::string to_dsl(const Fsp& fsp);
+
+/// Render a whole process list; parse_processes inverts it.
+std::string to_dsl(const std::vector<Fsp>& processes);
+
+}  // namespace ccfsp

@@ -1,0 +1,60 @@
+#include "fsp/rename.hpp"
+
+#include <set>
+#include <stdexcept>
+
+namespace ccfsp {
+
+Fsp rename_actions(const Fsp& f, const std::map<ActionId, ActionId>& mapping,
+                   const std::string& new_name) {
+  auto apply = [&](ActionId a) {
+    if (a == kTau) return kTau;
+    auto it = mapping.find(a);
+    return it == mapping.end() ? a : it->second;
+  };
+  for (const auto& [from, to] : mapping) {
+    if (from == kTau || to == kTau) {
+      throw std::invalid_argument("rename_actions: tau cannot be renamed");
+    }
+  }
+  // Injectivity on Sigma(f): distinct source actions must land apart.
+  std::set<ActionId> images;
+  for (ActionId a : f.sigma()) {
+    if (!images.insert(apply(a)).second) {
+      throw std::invalid_argument("rename_actions: mapping glues two actions of Sigma");
+    }
+  }
+
+  Fsp out(f.alphabet(), new_name);
+  for (StateId s = 0; s < f.num_states(); ++s) out.add_state(f.state_label(s));
+  for (StateId s = 0; s < f.num_states(); ++s) {
+    for (const auto& t : f.out(s)) {
+      out.add_transition(s, apply(t.action), t.target);
+    }
+  }
+  out.set_start(f.start());
+
+  ActionSet used(f.alphabet()->size());
+  for (StateId s = 0; s < out.num_states(); ++s) used |= out.out_actions(s);
+  for (ActionId a : f.sigma()) {
+    ActionId img = apply(a);
+    if (!used.test(img)) out.declare_action(img);
+  }
+  return out;
+}
+
+Fsp rename_actions(const Fsp& f,
+                   const std::vector<std::pair<std::string, std::string>>& pairs,
+                   const std::string& new_name) {
+  std::map<ActionId, ActionId> mapping;
+  for (const auto& [from, to] : pairs) {
+    auto from_id = f.alphabet()->find(from);
+    if (!from_id) {
+      throw std::invalid_argument("rename_actions: unknown action '" + from + "'");
+    }
+    mapping[*from_id] = f.alphabet()->intern(to);
+  }
+  return rename_actions(f, mapping, new_name);
+}
+
+}  // namespace ccfsp

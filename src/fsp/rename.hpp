@@ -1,0 +1,29 @@
+// Action relabeling: instantiate a process template under an alphabet
+// morphism (e.g. stamp out philosopher i from a generic philosopher by
+// renaming take_left -> take3_3). Renaming must stay injective on the
+// process's Sigma — gluing two distinct actions together would change
+// synchronization behaviour silently, so it throws instead.
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fsp/fsp.hpp"
+
+namespace ccfsp {
+
+/// Copy of `f` with every transition and declared action relabeled through
+/// `mapping`; ids absent from the mapping keep themselves. Throws
+/// std::invalid_argument if the restriction of the mapping to Sigma(f) is
+/// not injective, or if tau appears on either side.
+Fsp rename_actions(const Fsp& f, const std::map<ActionId, ActionId>& mapping,
+                   const std::string& new_name);
+
+/// Name-based convenience; right-hand names are interned on demand.
+Fsp rename_actions(const Fsp& f,
+                   const std::vector<std::pair<std::string, std::string>>& pairs,
+                   const std::string& new_name);
+
+}  // namespace ccfsp

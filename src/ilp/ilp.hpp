@@ -1,0 +1,30 @@
+// Branch-and-bound integer programming over the exact simplex. The paper's
+// Theorem 4 invokes Lenstra's fixed-dimension IP algorithm [Le]; here the
+// dimension is likewise a constant (edge multiplicities of an O(1)-size
+// machine), so plain branch-and-bound with exact LP relaxations serves as the
+// functional equivalent (see DESIGN.md §1).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "ilp/simplex.hpp"
+
+namespace ccfsp {
+
+enum class IlpStatus { kOptimal, kInfeasible, kUnbounded };
+
+struct IlpResult {
+  IlpStatus status = IlpStatus::kInfeasible;
+  Rational objective;              // integral when kOptimal (vars are integers)
+  std::vector<BigInt> solution;    // size num_vars when kOptimal
+  std::size_t nodes_explored = 0;  // branch-and-bound statistics
+};
+
+/// maximize objective . x subject to lp.constraints, x >= 0 and integral.
+///
+/// `max_nodes` caps the search; if exceeded the solver throws, which in this
+/// codebase indicates a misuse (the Theorem 4 instances are tiny in dimension).
+IlpResult solve_ilp(const LinearProgram& lp, std::size_t max_nodes = 100000);
+
+}  // namespace ccfsp

@@ -1,0 +1,233 @@
+#include "ilp/simplex.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ccfsp {
+
+namespace {
+
+/// Dense tableau: rows = constraints, columns = variables (structural +
+/// slack/surplus + artificial) + RHS column. basis_[r] = variable of row r.
+class Tableau {
+ public:
+  Tableau(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), a_(rows, std::vector<Rational>(cols + 1)), basis_(rows, 0) {}
+
+  Rational& at(std::size_t r, std::size_t c) { return a_[r][c]; }
+  Rational& rhs(std::size_t r) { return a_[r][cols_]; }
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::vector<std::size_t>& basis() { return basis_; }
+
+  /// Pivot on (pr, pc): variable pc enters the basis at row pr.
+  void pivot(std::size_t pr, std::size_t pc) {
+    Rational p = a_[pr][pc];
+    assert(!p.is_zero());
+    for (auto& v : a_[pr]) v /= p;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (r == pr || a_[r][pc].is_zero()) continue;
+      Rational f = a_[r][pc];
+      for (std::size_t c = 0; c <= cols_; ++c) {
+        a_[r][c] -= f * a_[pr][c];
+      }
+    }
+    basis_[pr] = pc;
+  }
+
+ private:
+  std::size_t rows_, cols_;
+  std::vector<std::vector<Rational>> a_;
+  std::vector<std::size_t> basis_;
+};
+
+/// Reduced cost of column c under objective obj (maximization):
+///   z_c - obj_c  =  sum_r obj[basis_r] * a[r][c]  -  obj[c].
+/// A column improves the objective when this is negative.
+Rational reduced_cost(Tableau& t, const std::vector<Rational>& obj, std::size_t c) {
+  Rational z;
+  for (std::size_t r = 0; r < t.rows(); ++r) {
+    const Rational& coef = t.at(r, c);
+    if (!coef.is_zero() && !obj[t.basis()[r]].is_zero()) {
+      z += obj[t.basis()[r]] * coef;
+    }
+  }
+  return z - obj[c];
+}
+
+enum class IterStatus { kOptimal, kUnbounded };
+
+/// Run primal simplex iterations to optimality with Bland's rule.
+/// `allowed` masks out columns that must not enter (e.g. artificials in
+/// phase 2).
+IterStatus iterate(Tableau& t, const std::vector<Rational>& obj, const std::vector<bool>& allowed) {
+  while (true) {
+    // Entering column: lowest index with negative reduced cost (Bland).
+    std::size_t enter = t.cols();
+    for (std::size_t c = 0; c < t.cols(); ++c) {
+      if (!allowed[c]) continue;
+      if (reduced_cost(t, obj, c).sign() < 0) {
+        enter = c;
+        break;
+      }
+    }
+    if (enter == t.cols()) return IterStatus::kOptimal;
+
+    // Leaving row: min ratio rhs/coef over positive coefs; ties broken by
+    // smallest basis variable index (Bland).
+    std::size_t leave = t.rows();
+    Rational best_ratio;
+    for (std::size_t r = 0; r < t.rows(); ++r) {
+      const Rational& coef = t.at(r, enter);
+      if (coef.sign() <= 0) continue;
+      Rational ratio = t.rhs(r) / coef;
+      if (leave == t.rows() || ratio < best_ratio ||
+          (ratio == best_ratio && t.basis()[r] < t.basis()[leave])) {
+        leave = r;
+        best_ratio = ratio;
+      }
+    }
+    if (leave == t.rows()) return IterStatus::kUnbounded;
+    t.pivot(leave, enter);
+  }
+}
+
+}  // namespace
+
+LpResult solve_lp(const LinearProgram& lp) {
+  for (const auto& con : lp.constraints) {
+    if (con.coeffs.size() != lp.num_vars) {
+      throw std::invalid_argument("solve_lp: constraint arity mismatch");
+    }
+  }
+  if (lp.objective.size() != lp.num_vars) {
+    throw std::invalid_argument("solve_lp: objective arity mismatch");
+  }
+
+  const std::size_t m = lp.constraints.size();
+  const std::size_t n = lp.num_vars;
+
+  // Column layout: [0, n) structural, then one slack/surplus per inequality,
+  // then one artificial per row that needs it.
+  std::size_t num_slack = 0;
+  for (const auto& con : lp.constraints) {
+    if (con.relation != Relation::kEqual) ++num_slack;
+  }
+
+  // Normalize rows so RHS >= 0 (flip the row otherwise), then decide which
+  // rows need artificials: a <= row with rhs >= 0 can start with its slack
+  // basic; everything else gets an artificial.
+  struct Row {
+    std::vector<Rational> coeffs;
+    Rational rhs;
+    Relation rel;
+  };
+  std::vector<Row> rows(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    rows[i].coeffs = lp.constraints[i].coeffs;
+    rows[i].rhs = lp.constraints[i].rhs;
+    rows[i].rel = lp.constraints[i].relation;
+    if (rows[i].rhs.sign() < 0) {
+      for (auto& c : rows[i].coeffs) c = -c;
+      rows[i].rhs = -rows[i].rhs;
+      if (rows[i].rel == Relation::kLessEqual) {
+        rows[i].rel = Relation::kGreaterEqual;
+      } else if (rows[i].rel == Relation::kGreaterEqual) {
+        rows[i].rel = Relation::kLessEqual;
+      }
+    }
+  }
+
+  std::size_t num_artificial = 0;
+  for (const auto& row : rows) {
+    if (row.rel != Relation::kLessEqual) ++num_artificial;
+  }
+
+  const std::size_t total_cols = n + num_slack + num_artificial;
+  Tableau t(m, total_cols);
+
+  std::size_t slack_at = n;
+  std::size_t art_at = n + num_slack;
+  std::vector<bool> is_artificial(total_cols, false);
+
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) t.at(i, j) = rows[i].coeffs[j];
+    t.rhs(i) = rows[i].rhs;
+    switch (rows[i].rel) {
+      case Relation::kLessEqual:
+        t.at(i, slack_at) = Rational(1);
+        t.basis()[i] = slack_at++;
+        break;
+      case Relation::kGreaterEqual:
+        t.at(i, slack_at) = Rational(-1);
+        ++slack_at;
+        t.at(i, art_at) = Rational(1);
+        is_artificial[art_at] = true;
+        t.basis()[i] = art_at++;
+        break;
+      case Relation::kEqual:
+        t.at(i, art_at) = Rational(1);
+        is_artificial[art_at] = true;
+        t.basis()[i] = art_at++;
+        break;
+    }
+  }
+
+  std::vector<bool> allow_all(total_cols, true);
+
+  // Phase 1: maximize -(sum of artificials); feasible iff optimum is 0.
+  if (num_artificial > 0) {
+    std::vector<Rational> phase1(total_cols);
+    for (std::size_t c = 0; c < total_cols; ++c) {
+      if (is_artificial[c]) phase1[c] = Rational(-1);
+    }
+    IterStatus st = iterate(t, phase1, allow_all);
+    (void)st;  // phase 1 objective is bounded above by 0; cannot be unbounded
+    Rational phase1_obj;
+    for (std::size_t r = 0; r < m; ++r) {
+      if (is_artificial[t.basis()[r]]) phase1_obj -= t.rhs(r);
+    }
+    if (!phase1_obj.is_zero()) {
+      return {LpStatus::kInfeasible, Rational(), {}};
+    }
+    // Drive any artificial still basic (at zero) out of the basis.
+    for (std::size_t r = 0; r < m; ++r) {
+      if (!is_artificial[t.basis()[r]]) continue;
+      std::size_t enter = total_cols;
+      for (std::size_t c = 0; c < n + num_slack; ++c) {
+        if (!t.at(r, c).is_zero()) {
+          enter = c;
+          break;
+        }
+      }
+      if (enter != total_cols) {
+        t.pivot(r, enter);
+      }
+      // If the whole row is zero the constraint is redundant; the artificial
+      // stays basic at value 0, which is harmless as long as it never
+      // re-enters — guaranteed by the phase-2 mask below.
+    }
+  }
+
+  // Phase 2: original objective, artificials barred from entering.
+  std::vector<Rational> obj(total_cols);
+  for (std::size_t j = 0; j < n; ++j) obj[j] = lp.objective[j];
+  std::vector<bool> allowed(total_cols, true);
+  for (std::size_t c = 0; c < total_cols; ++c) {
+    if (is_artificial[c]) allowed[c] = false;
+  }
+  if (iterate(t, obj, allowed) == IterStatus::kUnbounded) {
+    return {LpStatus::kUnbounded, Rational(), {}};
+  }
+
+  LpResult res;
+  res.status = LpStatus::kOptimal;
+  res.solution.assign(n, Rational());
+  for (std::size_t r = 0; r < m; ++r) {
+    if (t.basis()[r] < n) res.solution[t.basis()[r]] = t.rhs(r);
+  }
+  for (std::size_t j = 0; j < n; ++j) res.objective += lp.objective[j] * res.solution[j];
+  return res;
+}
+
+}  // namespace ccfsp

@@ -1,0 +1,40 @@
+// Exact two-phase primal simplex over rationals (dense tableau, Bland's
+// anti-cycling rule). This is the LP engine under the fixed-dimension ILP
+// solver that stands in for Lenstra's algorithm [Le] in Theorem 4.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bignum/rational.hpp"
+
+namespace ccfsp {
+
+enum class Relation { kLessEqual, kEqual, kGreaterEqual };
+
+struct LinearConstraint {
+  std::vector<Rational> coeffs;  // one per structural variable
+  Relation relation = Relation::kLessEqual;
+  Rational rhs;
+};
+
+/// maximize objective . x  subject to constraints, x >= 0 componentwise.
+struct LinearProgram {
+  std::size_t num_vars = 0;
+  std::vector<Rational> objective;  // size num_vars
+  std::vector<LinearConstraint> constraints;
+};
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded };
+
+struct LpResult {
+  LpStatus status = LpStatus::kInfeasible;
+  Rational objective;
+  std::vector<Rational> solution;  // size num_vars when kOptimal
+};
+
+/// Solve exactly. Never returns approximate answers; throws only on
+/// malformed input (mismatched coefficient counts).
+LpResult solve_lp(const LinearProgram& lp);
+
+}  // namespace ccfsp

@@ -1,0 +1,130 @@
+#include "network/families.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "fsp/builder.hpp"
+
+namespace ccfsp {
+
+Network figure3_network() {
+  auto alphabet = std::make_shared<Alphabet>();
+  Fsp p = FspBuilder(alphabet, "P").trans("1", "a", "2").build();
+  Fsp q = FspBuilder(alphabet, "Q").trans("1", "a", "2").trans("1", "tau", "3").build();
+  std::vector<Fsp> procs;
+  procs.push_back(std::move(p));
+  procs.push_back(std::move(q));
+  return Network(alphabet, std::move(procs));
+}
+
+Network success_separation_network() {
+  auto alphabet = std::make_shared<Alphabet>();
+  // P branches on 'a': the left branch then needs a 'b' handshake with P4,
+  // the right branch is already a leaf. P4 may silently defect (tau).
+  Fsp p = FspBuilder(alphabet, "P")
+              .trans("r", "a", "left")
+              .trans("r", "a", "right")
+              .trans("left", "b", "left_done")
+              .build();
+  Fsp p2 = FspBuilder(alphabet, "P2").trans("q0", "a", "q1").build();
+  Fsp p4 = FspBuilder(alphabet, "P4")
+               .trans("s0", "b", "s1")
+               .trans("s0", "tau", "s2")
+               .build();
+  std::vector<Fsp> procs;
+  procs.push_back(std::move(p));
+  procs.push_back(std::move(p2));
+  procs.push_back(std::move(p4));
+  return Network(alphabet, std::move(procs));
+}
+
+Network dining_philosophers(std::size_t n) {
+  if (n < 2) throw std::invalid_argument("dining_philosophers: need >= 2");
+  auto alphabet = std::make_shared<Alphabet>();
+  std::vector<Fsp> procs;
+
+  auto take = [&](std::size_t phil, std::size_t fork) {
+    return "take" + std::to_string(phil) + "_" + std::to_string(fork);
+  };
+  auto put = [&](std::size_t phil, std::size_t fork) {
+    return "put" + std::to_string(phil) + "_" + std::to_string(fork);
+  };
+
+  // Philosopher i grabs left fork i, then right fork (i+1) mod n, eats,
+  // releases in the same order, forever.
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t left = i, right = (i + 1) % n;
+    procs.push_back(FspBuilder(alphabet, "Phil" + std::to_string(i))
+                        .trans("think", take(i, left), "one")
+                        .trans("one", take(i, right), "eat")
+                        .trans("eat", put(i, left), "halfdone")
+                        .trans("halfdone", put(i, right), "think")
+                        .build());
+  }
+  // Fork j alternates take/put with whichever adjacent philosopher grabbed
+  // it: philosopher j (as left fork) or philosopher (j-1+n)%n (as right).
+  for (std::size_t j = 0; j < n; ++j) {
+    std::size_t as_left_of = j, as_right_of = (j + n - 1) % n;
+    procs.push_back(FspBuilder(alphabet, "Fork" + std::to_string(j))
+                        .trans("free", take(as_left_of, j), "heldL")
+                        .trans("heldL", put(as_left_of, j), "free")
+                        .trans("free", take(as_right_of, j), "heldR")
+                        .trans("heldR", put(as_right_of, j), "free")
+                        .build());
+  }
+  return Network(alphabet, std::move(procs));
+}
+
+Network token_ring(std::size_t n) {
+  if (n < 2) throw std::invalid_argument("token_ring: need >= 2");
+  auto alphabet = std::make_shared<Alphabet>();
+  auto pass = [&](std::size_t i) { return "pass" + std::to_string(i); };
+  std::vector<Fsp> procs;
+  // Station 0 holds the token initially: it sends first, then waits.
+  procs.push_back(FspBuilder(alphabet, "St0")
+                      .trans("have", pass(0), "wait")
+                      .trans("wait", pass(n - 1), "have")
+                      .build());
+  for (std::size_t i = 1; i < n; ++i) {
+    procs.push_back(FspBuilder(alphabet, "St" + std::to_string(i))
+                        .trans("wait", pass(i - 1), "have")
+                        .trans("have", pass(i), "wait")
+                        .build());
+  }
+  return Network(alphabet, std::move(procs));
+}
+
+Network multiply_by_2_chain(std::size_t m) { return multiply_by_k_chain(m, 2); }
+
+Network multiply_by_k_chain(std::size_t m, std::size_t factor) {
+  if (m < 2) throw std::invalid_argument("multiply_by_k_chain: need >= 2 processes");
+  if (factor < 1) throw std::invalid_argument("multiply_by_k_chain: factor >= 1");
+  auto alphabet = std::make_shared<Alphabet>();
+  auto tally = [&](std::size_t i) { return "t" + std::to_string(i); };
+  std::vector<Fsp> procs;
+
+  // Root: distinguished process, counts t1 handshakes forever.
+  procs.push_back(FspBuilder(alphabet, "Root").trans("r", tally(1), "r").build());
+
+  // Middles: one child handshake buys `factor` parent handshakes.
+  for (std::size_t i = 1; i + 1 < m; ++i) {
+    FspBuilder b(alphabet, "M" + std::to_string(i));
+    b.start("s0");
+    b.trans("s0", tally(i + 1), "s1");
+    for (std::size_t k = 1; k < factor; ++k) {
+      b.trans("s" + std::to_string(k), tally(i), "s" + std::to_string(k + 1));
+    }
+    b.trans("s" + std::to_string(factor), tally(i), "s0");
+    procs.push_back(b.build());
+  }
+
+  // Budget: allows exactly one handshake on the last edge, then stops.
+  // (Deliberately has a leaf — this is where finiteness enters the chain;
+  // see DESIGN.md on the Theorem 4 family.)
+  procs.push_back(FspBuilder(alphabet, "Budget").trans("b0", tally(m - 1), "b1").build());
+
+  return Network(alphabet, std::move(procs));
+}
+
+}  // namespace ccfsp

@@ -1,0 +1,44 @@
+// Named network families: the paper's worked examples (Figure 3), classic
+// concurrency workloads used by the examples and benchmarks (dining
+// philosophers, token ring), and the multiply-by-2 chain that Theorem 4's
+// discussion appeals to ("it is easy to construct a chain of multiply-by-2
+// processes").
+#pragma once
+
+#include <cstddef>
+
+#include "network/network.hpp"
+
+namespace ccfsp {
+
+/// Figure 3: P = 1 -a-> 2 (linear); Q = 1 -a-> 2, 1 -tau-> 3.
+/// S_c(P,Q) = true but S_u(P,Q) = false (Q's tau move strands P), and
+/// S_a(P,Q) = false. The distinguished process is index 0.
+Network figure3_network();
+
+/// The Section 3.3 closing example: P branches on 'a' toward a leaf (right)
+/// or toward a dead end (left); the context can tau away one collaborator.
+/// Exhibits S_u = false, S_a = true, S_c = true simultaneously, which
+/// separates all three predicates.
+Network success_separation_network();
+
+/// n philosophers and n forks around a table. Every process is a cyclic FSP
+/// with no leaves and no tau moves; C_N is a ring of 2n nodes (a 2-tree).
+/// The classic deadlock is "potential blocking" in the paper's vocabulary.
+Network dining_philosophers(std::size_t n);
+
+/// n stations passing a token around a ring; deadlock-free by construction,
+/// so potential blocking must come out false.
+Network token_ring(std::size_t n);
+
+/// Chain of m cyclic processes where process i must handshake twice with
+/// its parent for every handshake with its child; the number of root-level
+/// actions achievable grows like 2^m, so unary-language normal forms need
+/// O(m)-bit integers (Theorem 4).
+Network multiply_by_2_chain(std::size_t m);
+
+/// Generalization: each middle process buys `factor` parent handshakes per
+/// child handshake, so the root budget is factor^(m-2). factor >= 1.
+Network multiply_by_k_chain(std::size_t m, std::size_t factor);
+
+}  // namespace ccfsp

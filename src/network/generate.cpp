@@ -1,0 +1,171 @@
+#include "network/generate.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace ccfsp {
+
+namespace {
+
+/// Fresh action names for edge {i,j}: "e<i>_<j>_<k>".
+std::vector<ActionId> edge_pool(Alphabet& alphabet, std::size_t i, std::size_t j,
+                                std::size_t count) {
+  std::vector<ActionId> pool;
+  pool.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    pool.push_back(alphabet.intern("e" + std::to_string(i) + "_" + std::to_string(j) + "_" +
+                                   std::to_string(k)));
+  }
+  return pool;
+}
+
+/// Random tree shape over `m` vertices: parent[v] for v >= 1.
+std::vector<std::size_t> random_tree_shape(Rng& rng, std::size_t m) {
+  std::vector<std::size_t> parent(m, 0);
+  for (std::size_t v = 1; v < m; ++v) parent[v] = rng.below(v);
+  return parent;
+}
+
+Network assemble(const AlphabetPtr& alphabet, Rng& rng, const NetworkGenOptions& opt,
+                 const std::vector<std::vector<ActionId>>& pool_of, bool cyclic) {
+  std::vector<Fsp> procs;
+  procs.reserve(opt.num_processes);
+  for (std::size_t i = 0; i < opt.num_processes; ++i) {
+    const std::string name = "P" + std::to_string(i + 1);
+    if (cyclic) {
+      procs.push_back(random_cyclic_fsp(rng, alphabet, pool_of[i], opt.states_per_process,
+                                        /*extra_edges=*/opt.states_per_process / 2, name));
+    } else {
+      TreeFspOptions topt;
+      topt.num_states = opt.states_per_process;
+      topt.tau_probability = opt.tau_probability;
+      procs.push_back(random_tree_fsp(rng, alphabet, pool_of[i], topt, name));
+    }
+    // A random process may not use every pool symbol; declare the rest so
+    // Sigma_i matches the intended communication structure.
+    for (ActionId a : pool_of[i]) {
+      const auto& sig = procs.back().sigma();
+      if (!std::binary_search(sig.begin(), sig.end(), a)) procs.back().declare_action(a);
+    }
+  }
+  return Network(alphabet, std::move(procs));
+}
+
+}  // namespace
+
+Network random_tree_network(Rng& rng, const NetworkGenOptions& opt) {
+  if (opt.num_processes == 0) throw std::invalid_argument("random_tree_network: empty");
+  auto alphabet = std::make_shared<Alphabet>();
+  auto parent = random_tree_shape(rng, opt.num_processes);
+  std::vector<std::vector<ActionId>> pool_of(opt.num_processes);
+  for (std::size_t v = 1; v < opt.num_processes; ++v) {
+    auto pool = edge_pool(*alphabet, parent[v], v, opt.symbols_per_edge);
+    pool_of[v].insert(pool_of[v].end(), pool.begin(), pool.end());
+    pool_of[parent[v]].insert(pool_of[parent[v]].end(), pool.begin(), pool.end());
+  }
+  if (opt.num_processes == 1) {
+    // A single process still needs a non-empty pool; give it a partner-less
+    // symbol is not allowed by Definition 2, so require >= 2 processes.
+    throw std::invalid_argument("random_tree_network: need >= 2 processes");
+  }
+  return assemble(alphabet, rng, opt, pool_of, /*cyclic=*/false);
+}
+
+Network random_ring_network(Rng& rng, const NetworkGenOptions& opt) {
+  if (opt.num_processes < 3) throw std::invalid_argument("random_ring_network: need >= 3");
+  auto alphabet = std::make_shared<Alphabet>();
+  std::vector<std::vector<ActionId>> pool_of(opt.num_processes);
+  for (std::size_t v = 0; v < opt.num_processes; ++v) {
+    std::size_t w = (v + 1) % opt.num_processes;
+    auto pool = edge_pool(*alphabet, v, w, opt.symbols_per_edge);
+    pool_of[v].insert(pool_of[v].end(), pool.begin(), pool.end());
+    pool_of[w].insert(pool_of[w].end(), pool.begin(), pool.end());
+  }
+  return assemble(alphabet, rng, opt, pool_of, /*cyclic=*/false);
+}
+
+Network random_cyclic_tree_network(Rng& rng, const NetworkGenOptions& opt) {
+  if (opt.num_processes < 2) throw std::invalid_argument("random_cyclic_tree_network: need >= 2");
+  auto alphabet = std::make_shared<Alphabet>();
+  auto parent = random_tree_shape(rng, opt.num_processes);
+  std::vector<std::vector<ActionId>> pool_of(opt.num_processes);
+  for (std::size_t v = 1; v < opt.num_processes; ++v) {
+    auto pool = edge_pool(*alphabet, parent[v], v, opt.symbols_per_edge);
+    pool_of[v].insert(pool_of[v].end(), pool.begin(), pool.end());
+    pool_of[parent[v]].insert(pool_of[parent[v]].end(), pool.begin(), pool.end());
+  }
+  return assemble(alphabet, rng, opt, pool_of, /*cyclic=*/true);
+}
+
+Network random_linear_chain_network(Rng& rng, std::size_t num_processes,
+                                    std::size_t process_length) {
+  if (num_processes < 2) throw std::invalid_argument("random_linear_chain_network: need >= 2");
+  auto alphabet = std::make_shared<Alphabet>();
+  std::vector<std::vector<ActionId>> pool_of(num_processes);
+  for (std::size_t v = 0; v + 1 < num_processes; ++v) {
+    auto pool = edge_pool(*alphabet, v, v + 1, 2);
+    pool_of[v].insert(pool_of[v].end(), pool.begin(), pool.end());
+    pool_of[v + 1].insert(pool_of[v + 1].end(), pool.begin(), pool.end());
+  }
+  std::vector<Fsp> procs;
+  for (std::size_t i = 0; i < num_processes; ++i) {
+    procs.push_back(random_linear_fsp(rng, alphabet, pool_of[i], process_length,
+                                      /*tau_probability=*/0.1, "P" + std::to_string(i + 1)));
+    for (ActionId a : pool_of[i]) {
+      const auto& sig = procs.back().sigma();
+      if (!std::binary_search(sig.begin(), sig.end(), a)) procs.back().declare_action(a);
+    }
+  }
+  return Network(alphabet, std::move(procs));
+}
+
+namespace {
+
+Network wave_network_from_parents(const std::vector<std::size_t>& parent, std::size_t rounds) {
+  if (rounds == 0) throw std::invalid_argument("wave network: need >= 1 round");
+  const std::size_t m = parent.size();
+  auto alphabet = std::make_shared<Alphabet>();
+  std::vector<ActionId> up(m, 0);  // up[v] = symbol of the v-parent edge
+  for (std::size_t v = 1; v < m; ++v) {
+    up[v] = alphabet->intern("w" + std::to_string(parent[v]) + "_" + std::to_string(v));
+  }
+  std::vector<std::vector<std::size_t>> children(m);
+  for (std::size_t v = 1; v < m; ++v) children[parent[v]].push_back(v);
+
+  std::vector<Fsp> procs;
+  for (std::size_t v = 0; v < m; ++v) {
+    Fsp f(alphabet, "W" + std::to_string(v));
+    StateId cur = f.add_state();
+    f.set_start(cur);
+    for (std::size_t r = 0; r < rounds; ++r) {
+      if (v != 0) {
+        StateId next = f.add_state();
+        f.add_transition(cur, up[v], next);
+        cur = next;
+      }
+      for (std::size_t c : children[v]) {
+        StateId next = f.add_state();
+        f.add_transition(cur, up[c], next);
+        cur = next;
+      }
+    }
+    procs.push_back(std::move(f));
+  }
+  return Network(alphabet, std::move(procs));
+}
+
+}  // namespace
+
+Network wave_tree_network(Rng& rng, std::size_t num_processes, std::size_t rounds) {
+  if (num_processes < 2) throw std::invalid_argument("wave_tree_network: need >= 2");
+  return wave_network_from_parents(random_tree_shape(rng, num_processes), rounds);
+}
+
+Network wave_chain_network(std::size_t num_processes, std::size_t rounds) {
+  if (num_processes < 2) throw std::invalid_argument("wave_chain_network: need >= 2");
+  std::vector<std::size_t> parent(num_processes, 0);
+  for (std::size_t v = 1; v < num_processes; ++v) parent[v] = v - 1;
+  return wave_network_from_parents(parent, rounds);
+}
+
+}  // namespace ccfsp

@@ -1,0 +1,49 @@
+// Seeded random network generators for tests and benchmarks: tree / ring /
+// k-tree communication shapes populated with tree, acyclic, or cyclic FSPs.
+#pragma once
+
+#include "fsp/generate.hpp"
+#include "network/network.hpp"
+#include "util/rng.hpp"
+
+namespace ccfsp {
+
+struct NetworkGenOptions {
+  std::size_t num_processes = 4;
+  std::size_t symbols_per_edge = 2;  // |Sigma_i ∩ Sigma_j| on each C_N edge
+  std::size_t states_per_process = 6;
+  double tau_probability = 0.1;  // within processes (ignored for cyclic FSPs)
+};
+
+/// Tree-shaped C_N whose processes are tree FSPs — the Theorem 3 setting.
+/// Process 0 is the natural distinguished process (root of the C_N shape).
+Network random_tree_network(Rng& rng, const NetworkGenOptions& opt);
+
+/// Ring-shaped C_N (num_processes >= 3) with tree FSPs — a 2-tree (Fig 8a).
+Network random_ring_network(Rng& rng, const NetworkGenOptions& opt);
+
+/// Tree-shaped C_N whose processes are cyclic FSPs without leaves or tau
+/// moves — the Section 4 setting.
+Network random_cyclic_tree_network(Rng& rng, const NetworkGenOptions& opt);
+
+/// Chain C_N of linear processes — the Proposition 1 setting. Sequences are
+/// random, so most instances deadlock quickly (useful for correctness
+/// cross-validation, not for scaling studies).
+Network random_linear_chain_network(Rng& rng, std::size_t num_processes,
+                                    std::size_t process_length);
+
+/// A "wave" network: tree-shaped C_N, single-symbol edges, every process a
+/// *linear* tau-free FSP running `rounds` synchronization rounds — in each
+/// round it handshakes its parent edge once, then each child edge once.
+/// Deadlock-free by construction (the wait-for relation follows tree edges),
+/// so every success predicate holds for every process, while the number of
+/// reachable global interleavings grows combinatorially with the number of
+/// independent branches. This is the scaling workload for the Prop 1 /
+/// Thm 3 benches: per-process analysis stays linear, the global machine
+/// does not.
+Network wave_tree_network(Rng& rng, std::size_t num_processes, std::size_t rounds);
+
+/// The chain-shaped special case (C_N a path), deterministic by m.
+Network wave_chain_network(std::size_t num_processes, std::size_t rounds);
+
+}  // namespace ccfsp

@@ -1,0 +1,109 @@
+#include "network/ktree.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace ccfsp {
+
+std::size_t KTreePartition::part_of(std::size_t process) const {
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (std::binary_search(parts[i].begin(), parts[i].end(), process)) return i;
+  }
+  throw std::out_of_range("KTreePartition::part_of: process not in any part");
+}
+
+KTreePartition ktree_partition(const Network& net) {
+  const UndirectedGraph& g = net.comm_graph();
+  const std::size_t n = g.num_vertices();
+
+  // Vertex sets of biconnected components (blocks).
+  auto comps = g.biconnected_components();
+  std::vector<std::set<std::size_t>> block_vertices;
+  block_vertices.reserve(comps.size());
+  for (const auto& edge_ids : comps) {
+    // A bridge (single-edge block) must not merge its endpoints: a tree
+    // would otherwise come out as a 2-tree instead of a 1-tree. Only truly
+    // 2-connected blocks force their vertices into one part.
+    if (edge_ids.size() < 2) continue;
+    std::set<std::size_t> vs;
+    for (std::size_t e : edge_ids) {
+      auto [u, v] = g.edges()[e];
+      vs.insert(u);
+      vs.insert(v);
+    }
+    block_vertices.push_back(std::move(vs));
+  }
+
+  // Assign each vertex to exactly one block (cut vertices appear in many;
+  // keep the first). Isolated vertices get singleton parts.
+  std::vector<std::size_t> part_of(n, static_cast<std::size_t>(-1));
+  KTreePartition out;
+  for (const auto& vs : block_vertices) {
+    std::vector<std::size_t> part;
+    for (std::size_t v : vs) {
+      if (part_of[v] == static_cast<std::size_t>(-1)) {
+        part_of[v] = out.parts.size();
+        part.push_back(v);
+      }
+    }
+    if (!part.empty()) out.parts.push_back(std::move(part));
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    if (part_of[v] == static_cast<std::size_t>(-1)) {
+      part_of[v] = out.parts.size();
+      out.parts.push_back({v});
+    }
+  }
+
+  // Quotient edges (dedup; cannot be cyclic because any C_N cycle lies inside
+  // a single biconnected component, hence inside one part).
+  std::set<std::pair<std::size_t, std::size_t>> qedges;
+  for (auto [u, v] : g.edges()) {
+    std::size_t a = part_of[u], b = part_of[v];
+    if (a != b) qedges.insert({std::min(a, b), std::max(a, b)});
+  }
+  out.quotient_edges.assign(qedges.begin(), qedges.end());
+
+  for (const auto& part : out.parts) out.width = std::max(out.width, part.size());
+  return out;
+}
+
+bool is_valid_ktree_partition(const Network& net, const KTreePartition& partition) {
+  const std::size_t n = net.size();
+  std::vector<std::size_t> part_of(n, static_cast<std::size_t>(-1));
+  for (std::size_t i = 0; i < partition.parts.size(); ++i) {
+    for (std::size_t v : partition.parts[i]) {
+      if (v >= n || part_of[v] != static_cast<std::size_t>(-1)) return false;  // out of range / overlap
+      part_of[v] = i;
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    if (part_of[v] == static_cast<std::size_t>(-1)) return false;  // not covering
+  }
+
+  // Quotient graph induced by C_N must be acyclic (a forest).
+  std::set<std::pair<std::size_t, std::size_t>> qedges;
+  for (auto [u, v] : net.comm_graph().edges()) {
+    std::size_t a = part_of[u], b = part_of[v];
+    if (a != b) qedges.insert({std::min(a, b), std::max(a, b)});
+  }
+  UndirectedGraph q(partition.parts.size());
+  for (auto [a, b] : qedges) q.add_edge(a, b);
+  // A forest has #edges <= #vertices - #components; equivalently no cycle.
+  // Reuse is_tree per connected component via a union-find cycle check.
+  std::vector<std::size_t> parent(q.num_vertices());
+  for (std::size_t i = 0; i < parent.size(); ++i) parent[i] = i;
+  auto find = [&](std::size_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  for (auto [a, b] : q.edges()) {
+    std::size_t ra = find(a), rb = find(b);
+    if (ra == rb) return false;  // cycle in quotient
+    parent[ra] = rb;
+  }
+  return true;
+}
+
+}  // namespace ccfsp

@@ -1,0 +1,37 @@
+// k-tree structure of a communication graph (Section 2.1): a partition of
+// the processes into parts of size <= k whose quotient graph is a tree (or a
+// forest when C_N is disconnected). A tree network is a 1-tree, a ring a
+// 2-tree, and in general k is the largest biconnected component size.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "network/network.hpp"
+
+namespace ccfsp {
+
+struct KTreePartition {
+  /// parts[i] = sorted process indices forming part i.
+  std::vector<std::vector<std::size_t>> parts;
+  /// Edges of the quotient graph over part indices (a forest).
+  std::vector<std::pair<std::size_t, std::size_t>> quotient_edges;
+  /// max_i |parts[i]| — the k of the k-tree.
+  std::size_t width = 0;
+
+  std::size_t part_of(std::size_t process) const;
+};
+
+/// Compute a k-tree partition of C_N via its block-cut structure: every
+/// biconnected component becomes a part (articulation vertices are assigned
+/// to exactly one incident part), so the quotient is the collapsed block-cut
+/// tree and the width is the largest biconnected component size.
+KTreePartition ktree_partition(const Network& net);
+
+/// Verify that a claimed partition is a k-tree partition (parts disjoint and
+/// covering, quotient graph acyclic). Used by tests and by the Theorem 3
+/// pipeline before it trusts a user-supplied partition.
+bool is_valid_ktree_partition(const Network& net, const KTreePartition& partition);
+
+}  // namespace ccfsp

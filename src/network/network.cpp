@@ -1,0 +1,96 @@
+#include "network/network.hpp"
+
+#include <stdexcept>
+
+namespace ccfsp {
+
+Network::Network(AlphabetPtr alphabet, std::vector<Fsp> processes)
+    : alphabet_(std::move(alphabet)), processes_(std::move(processes)), comm_graph_(0) {
+  if (processes_.empty()) throw std::logic_error("Network: empty process list");
+  for (const auto& p : processes_) {
+    if (p.alphabet() != alphabet_) {
+      throw std::logic_error("Network: process '" + p.name() + "' uses a different Alphabet");
+    }
+    p.validate();
+  }
+
+  // Definition 2(2): each action belongs to exactly two process alphabets.
+  std::vector<int> owners(alphabet_->size(), 0);
+  for (const auto& p : processes_) {
+    for (ActionId a : p.sigma()) ++owners[a];
+  }
+  for (ActionId a = 0; a < owners.size(); ++a) {
+    if (owners[a] != 0 && owners[a] != 2) {
+      throw std::logic_error("Network: action '" + alphabet_->name(a) + "' belongs to " +
+                             std::to_string(owners[a]) + " processes (must be exactly 2)");
+    }
+  }
+
+  comm_graph_ = UndirectedGraph(processes_.size());
+  for (std::size_t i = 0; i < processes_.size(); ++i) {
+    ActionSet si = processes_[i].sigma_set();
+    for (std::size_t j = i + 1; j < processes_.size(); ++j) {
+      if (si.intersects(processes_[j].sigma_set())) {
+        comm_graph_.add_edge(i, j);
+      }
+    }
+  }
+}
+
+std::size_t Network::total_states() const {
+  std::size_t n = 0;
+  for (const auto& p : processes_) n += p.num_states();
+  return n;
+}
+
+std::size_t Network::total_transitions() const {
+  std::size_t n = 0;
+  for (const auto& p : processes_) n += p.num_transitions();
+  return n;
+}
+
+ActionSet Network::shared_actions(std::size_t i, std::size_t j) const {
+  return processes_[i].sigma_set() & processes_[j].sigma_set();
+}
+
+bool Network::all_linear() const {
+  for (const auto& p : processes_) {
+    if (!p.is_linear()) return false;
+  }
+  return true;
+}
+
+bool Network::all_trees() const {
+  for (const auto& p : processes_) {
+    if (!p.is_tree()) return false;
+  }
+  return true;
+}
+
+bool Network::all_acyclic() const {
+  for (const auto& p : processes_) {
+    if (!p.is_acyclic()) return false;
+  }
+  return true;
+}
+
+std::string Network::to_dot() const {
+  std::string dot = "graph C_N {\n";
+  for (std::size_t i = 0; i < processes_.size(); ++i) {
+    dot += "  p" + std::to_string(i) + " [label=\"" + processes_[i].name() + "\"];\n";
+  }
+  for (auto [u, v] : comm_graph_.edges()) {
+    ActionSet shared = shared_actions(u, v);
+    std::string label;
+    for (std::size_t a : shared.to_indices()) {
+      if (!label.empty()) label += ",";
+      label += alphabet_->name(static_cast<ActionId>(a));
+    }
+    dot += "  p" + std::to_string(u) + " -- p" + std::to_string(v) + " [label=\"" + label +
+           "\"];\n";
+  }
+  dot += "}\n";
+  return dot;
+}
+
+}  // namespace ccfsp

@@ -1,0 +1,54 @@
+// A network of processes (Definition 2): a closed system of FSPs over one
+// shared Alphabet in which every action symbol belongs to exactly two
+// process alphabets, plus its communication graph C_N.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fsp/fsp.hpp"
+#include "util/graph.hpp"
+
+namespace ccfsp {
+
+class Network {
+ public:
+  /// Validates Definition 2: every action used or declared by some process
+  /// appears in exactly two of the processes' alphabets. Throws
+  /// std::logic_error otherwise.
+  Network(AlphabetPtr alphabet, std::vector<Fsp> processes);
+
+  const AlphabetPtr& alphabet() const { return alphabet_; }
+  std::size_t size() const { return processes_.size(); }
+  const Fsp& process(std::size_t i) const { return processes_[i]; }
+  const std::vector<Fsp>& processes() const { return processes_; }
+
+  /// Sum of state counts — the "size n" of Section 3.2.
+  std::size_t total_states() const;
+  std::size_t total_transitions() const;
+
+  /// Sigma_i intersect Sigma_j.
+  ActionSet shared_actions(std::size_t i, std::size_t j) const;
+
+  /// The labeled undirected graph C_N: vertex per process, edge {i,j} iff
+  /// Sigma_i and Sigma_j intersect.
+  const UndirectedGraph& comm_graph() const { return comm_graph_; }
+
+  bool is_tree_network() const { return comm_graph_.is_tree(); }
+  bool is_ring_network() const { return comm_graph_.is_ring(); }
+
+  /// True iff every process is a linear / tree / acyclic / cyclic FSP.
+  bool all_linear() const;
+  bool all_trees() const;
+  bool all_acyclic() const;
+
+  std::string to_dot() const;
+
+ private:
+  AlphabetPtr alphabet_;
+  std::vector<Fsp> processes_;
+  UndirectedGraph comm_graph_;
+};
+
+}  // namespace ccfsp

@@ -1,0 +1,83 @@
+#include "reductions/cnf.hpp"
+
+#include <set>
+
+namespace ccfsp {
+
+std::string Cnf::to_string() const {
+  std::string out;
+  for (std::size_t c = 0; c < clauses.size(); ++c) {
+    if (c) out += " & ";
+    out += "(";
+    for (std::size_t l = 0; l < clauses[c].size(); ++l) {
+      if (l) out += " | ";
+      if (clauses[c][l].negated) out += "~";
+      out += "x" + std::to_string(clauses[c][l].var + 1);
+    }
+    out += ")";
+  }
+  return out;
+}
+
+Cnf to_three_sat(const Cnf& f) {
+  Cnf out;
+  out.num_vars = f.num_vars;
+  for (const Clause& c : f.clauses) {
+    if (c.empty()) {
+      // An empty clause is unsatisfiable; encode as (y) & (~y) over a fresh var.
+      std::uint32_t y = out.num_vars++;
+      out.clauses.push_back({{y, false}});
+      out.clauses.push_back({{y, true}});
+      continue;
+    }
+    if (c.size() <= 3) {
+      Clause padded = c;
+      while (padded.size() < 3) padded.push_back(c.back());
+      out.clauses.push_back(std::move(padded));
+      continue;
+    }
+    // (l1 | l2 | y1) & (~y1 | l3 | y2) & ... & (~y_{k-3} | l_{k-1} | l_k)
+    std::uint32_t prev = out.num_vars++;
+    out.clauses.push_back({c[0], c[1], {prev, false}});
+    for (std::size_t i = 2; i + 2 < c.size(); ++i) {
+      std::uint32_t next = out.num_vars++;
+      out.clauses.push_back({{prev, true}, c[i], {next, false}});
+      prev = next;
+    }
+    out.clauses.push_back({{prev, true}, c[c.size() - 2], c[c.size() - 1]});
+  }
+  return out;
+}
+
+bool evaluates_true(const Cnf& f, const std::vector<bool>& assignment) {
+  for (const Clause& c : f.clauses) {
+    bool sat = false;
+    for (const Literal& l : c) {
+      if (assignment[l.var] != l.negated) {
+        sat = true;
+        break;
+      }
+    }
+    if (!sat) return false;
+  }
+  return true;
+}
+
+Cnf random_cnf(Rng& rng, std::uint32_t num_vars, std::uint32_t num_clauses,
+               std::uint32_t clause_size) {
+  Cnf f;
+  f.num_vars = num_vars;
+  for (std::uint32_t c = 0; c < num_clauses; ++c) {
+    Clause clause;
+    std::set<std::uint32_t> used;
+    while (clause.size() < clause_size && used.size() < num_vars) {
+      std::uint32_t v = static_cast<std::uint32_t>(rng.below(num_vars));
+      if (!used.insert(v).second) continue;
+      clause.push_back({v, rng.chance(1, 2)});
+    }
+    f.clauses.push_back(std::move(clause));
+  }
+  return f;
+}
+
+}  // namespace ccfsp

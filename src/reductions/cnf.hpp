@@ -1,0 +1,42 @@
+// Propositional CNF machinery for the hardness constructions of Theorems 1
+// and 2: representation, 3SAT normalization, and seeded random instances
+// used to cross-validate the gadgets against the DPLL oracle.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ccfsp {
+
+struct Literal {
+  std::uint32_t var;  // 0-based
+  bool negated;
+
+  bool operator==(const Literal&) const = default;
+};
+
+using Clause = std::vector<Literal>;
+
+struct Cnf {
+  std::uint32_t num_vars = 0;
+  std::vector<Clause> clauses;
+
+  std::string to_string() const;
+};
+
+/// Split long clauses into 3-literal clauses with fresh linking variables
+/// (equisatisfiable); pad 1/2-literal clauses by literal repetition.
+Cnf to_three_sat(const Cnf& f);
+
+/// Evaluate under a full assignment.
+bool evaluates_true(const Cnf& f, const std::vector<bool>& assignment);
+
+/// Random k-SAT instance (clauses sampled uniformly, no tautological
+/// clauses). Near clause/variable ratio 4.2 these mix sat and unsat.
+Cnf random_cnf(Rng& rng, std::uint32_t num_vars, std::uint32_t num_clauses,
+               std::uint32_t clause_size = 3);
+
+}  // namespace ccfsp

@@ -1,0 +1,104 @@
+#include "reductions/gadget_thm2.hpp"
+
+#include <stdexcept>
+
+#include "fsp/builder.hpp"
+
+namespace ccfsp {
+
+Thm2Gadget thm2_adversity_gadget(const Qbf& q) {
+  const Cnf& f = q.matrix;
+  for (const Clause& c : f.clauses) {
+    if (c.empty() || c.size() > 3) {
+      throw std::invalid_argument("thm2_adversity_gadget: matrix must be 3-CNF");
+    }
+  }
+  if (f.num_vars > q.prefix.size()) {
+    throw std::invalid_argument("thm2_adversity_gadget: matrix uses unquantified variables");
+  }
+
+  auto alphabet = std::make_shared<Alphabet>();
+  auto sym_clause = [](std::size_t j) { return "s" + std::to_string(j); };
+
+  // Occurrences by polarity.
+  std::vector<std::vector<std::size_t>> pos(q.prefix.size()), neg(q.prefix.size());
+  for (std::size_t j = 0; j < f.clauses.size(); ++j) {
+    for (const Literal& l : f.clauses[j]) {
+      (l.negated ? neg : pos)[l.var].push_back(j);
+    }
+  }
+
+  // P: one segment per quantified variable, in prefix order. A segment
+  // branches on the variable's value — by P's own nondeterminism on the
+  // clock action for exists, by the chooser's offer (t_i vs f_i) for
+  // forall — and then emits s_j once per clause occurrence made FALSE by
+  // that value. Mandatory emissions: a clause with three false literals
+  // exhausts its capacity-2 counter and strands P mid-segment.
+  FspBuilder p(alphabet, "P");
+  auto v_state = [](std::size_t i) { return "v" + std::to_string(i); };
+  p.start(v_state(0));
+  for (std::size_t i = 0; i < q.prefix.size(); ++i) {
+    for (bool value_true : {true, false}) {
+      const auto& emits = value_true ? neg[i] : pos[i];
+      std::string cur = "b" + std::to_string(i) + (value_true ? "T" : "F") + "0";
+      std::string branch_action;
+      if (q.prefix[i] == Quantifier::kExists) {
+        branch_action = "c" + std::to_string(i);  // same label both branches: P chooses
+      } else {
+        branch_action = (value_true ? "t" : "f") + std::to_string(i);  // adversary chooses
+      }
+      p.trans(v_state(i), branch_action, cur);
+      for (std::size_t k = 0; k < emits.size(); ++k) {
+        std::string nxt = "b" + std::to_string(i) + (value_true ? "T" : "F") +
+                          std::to_string(k + 1);
+        p.trans(cur, sym_clause(emits[k]), nxt);
+        cur = nxt;
+      }
+      // Rejoin via the next segment's entry action; the join state is
+      // shared, which keeps P polynomial-size (a DAG describing 2^n paths).
+      if (i + 1 < q.prefix.size()) {
+        // connect to the next diamond by aliasing the tail state
+        // (handled below by emitting the next branch action from `cur`).
+      }
+      p.trans(cur, "j" + std::to_string(i), v_state(i + 1));
+    }
+  }
+  p.state(v_state(q.prefix.size()));
+
+  std::vector<Fsp> procs;
+  procs.push_back(p.build());
+
+  // Clocks for the exists branches and the joins; choosers for foralls;
+  // capacity-2 counters per clause.
+  for (std::size_t i = 0; i < q.prefix.size(); ++i) {
+    if (q.prefix[i] == Quantifier::kExists) {
+      procs.push_back(FspBuilder(alphabet, "C" + std::to_string(i))
+                          .trans("c0", "c" + std::to_string(i), "c1")
+                          .build());
+    } else {
+      procs.push_back(FspBuilder(alphabet, "U" + std::to_string(i))
+                          .trans("u0", "t" + std::to_string(i), "uT")
+                          .trans("u0", "f" + std::to_string(i), "uF")
+                          .build());
+    }
+    procs.push_back(FspBuilder(alphabet, "J" + std::to_string(i))
+                        .trans("j0", "j" + std::to_string(i), "j1")
+                        .build());
+  }
+  for (std::size_t j = 0; j < f.clauses.size(); ++j) {
+    // Capacity |clause| - 1: the clause is falsified exactly when every one
+    // of its literal occurrences goes false, i.e. on the |clause|-th
+    // emission, which the counter refuses.
+    FspBuilder b(alphabet, "K" + std::to_string(j));
+    b.start("k0");
+    for (std::size_t k = 0; k + 1 < f.clauses[j].size(); ++k) {
+      b.trans("k" + std::to_string(k), sym_clause(j), "k" + std::to_string(k + 1));
+    }
+    if (f.clauses[j].size() == 1) b.action(sym_clause(j));
+    procs.push_back(b.build());
+  }
+
+  return {Network(alphabet, std::move(procs)), 0};
+}
+
+}  // namespace ccfsp

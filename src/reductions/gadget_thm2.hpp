@@ -1,0 +1,24 @@
+// Theorem 2's PSPACE-hardness construction (Figure 7): QBF -> network such
+// that S_a(P, Q) == validity of the QBF. P plays the existential quantifiers
+// (nondeterministic same-label branching), the context plays the universal
+// ones (a chooser process per forall variable offers t_i or f_i at the
+// adversary's pleasure), and counting clause processes — capacity 2 on a
+// unary edge — make P deadlock exactly when a clause has all three literals
+// false. C_N is a star around P (a tree), every other process is an O(1)
+// tree FSP, and P is tau-free as the Game of Figure 4 requires.
+#pragma once
+
+#include "network/network.hpp"
+#include "reductions/qbf.hpp"
+
+namespace ccfsp {
+
+struct Thm2Gadget {
+  Network net;
+  std::size_t distinguished;  // P
+};
+
+/// Matrix must be 3-CNF.
+Thm2Gadget thm2_adversity_gadget(const Qbf& q);
+
+}  // namespace ccfsp

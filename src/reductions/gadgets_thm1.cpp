@@ -1,0 +1,282 @@
+#include "reductions/gadgets_thm1.hpp"
+
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "fsp/builder.hpp"
+
+namespace ccfsp {
+
+namespace {
+
+void require_three_cnf(const Cnf& f) {
+  for (const Clause& c : f.clauses) {
+    if (c.empty() || c.size() > 3) {
+      throw std::invalid_argument("gadget: formula must be 3-CNF (use to_three_sat)");
+    }
+  }
+}
+
+std::string sym_clause(std::size_t j) { return "s" + std::to_string(j); }
+
+/// Occurrences of variable v, split by polarity: clause indices (with
+/// multiplicity — a padded clause may repeat a literal).
+struct Occurrences {
+  std::vector<std::vector<std::size_t>> positive;  // per var: clause indices
+  std::vector<std::vector<std::size_t>> negative;
+};
+
+Occurrences collect_occurrences(const Cnf& f) {
+  Occurrences occ;
+  occ.positive.resize(f.num_vars);
+  occ.negative.resize(f.num_vars);
+  for (std::size_t j = 0; j < f.clauses.size(); ++j) {
+    for (const Literal& l : f.clauses[j]) {
+      (l.negated ? occ.negative : occ.positive)[l.var].push_back(j);
+    }
+  }
+  return occ;
+}
+
+}  // namespace
+
+Cnf limit_occurrences(const Cnf& f) {
+  Cnf out;
+  out.num_vars = 0;
+  // First count occurrences per variable.
+  std::vector<std::size_t> count(f.num_vars, 0);
+  for (const Clause& c : f.clauses) {
+    for (const Literal& l : c) ++count[l.var];
+  }
+  // Assign copies: variable v gets max(count, 1) copies; occurrence k of v
+  // uses copy k. Copies are fresh variables, chained by implications.
+  std::vector<std::vector<std::uint32_t>> copies(f.num_vars);
+  for (std::uint32_t v = 0; v < f.num_vars; ++v) {
+    std::size_t k = std::max<std::size_t>(count[v], 1);
+    for (std::size_t i = 0; i < k; ++i) copies[v].push_back(out.num_vars++);
+  }
+  // Occurrence rewriting.
+  std::vector<std::size_t> next(f.num_vars, 0);
+  for (const Clause& c : f.clauses) {
+    Clause nc;
+    for (const Literal& l : c) {
+      nc.push_back({copies[l.var][next[l.var]++], l.negated});
+    }
+    out.clauses.push_back(std::move(nc));
+  }
+  // Equality cycle x1 -> x2 -> ... -> xk -> x1 as (~xi | x_{i+1}); skip
+  // singletons. Each copy gains exactly one extra positive and one extra
+  // negative occurrence, so every copy has <= 2 of each polarity.
+  for (std::uint32_t v = 0; v < f.num_vars; ++v) {
+    const auto& cs = copies[v];
+    if (cs.size() < 2) continue;
+    for (std::size_t i = 0; i < cs.size(); ++i) {
+      std::uint32_t a = cs[i], b = cs[(i + 1) % cs.size()];
+      out.clauses.push_back({{a, true}, {b, false}});
+    }
+  }
+  return out;
+}
+
+GadgetNetwork thm1_case1_collab_gadget(const Cnf& f) {
+  require_three_cnf(f);
+  auto alphabet = std::make_shared<Alphabet>();
+  Occurrences occ = collect_occurrences(f);
+
+  // W: one tau-diamond per variable; the TRUE branch emits s_j for every
+  // clause that contains ~x (those literals go false), the FALSE branch for
+  // every clause containing x. W completes iff every clause keeps <= 2
+  // false literals, i.e. the assignment satisfies the formula.
+  FspBuilder w(alphabet, "W");
+  auto v_state = [](std::size_t i) { return "v" + std::to_string(i); };
+  w.start(v_state(0));
+  for (std::uint32_t i = 0; i < f.num_vars; ++i) {
+    for (bool branch_true : {true, false}) {
+      const auto& emits = branch_true ? occ.negative[i] : occ.positive[i];
+      std::string cur = "b" + std::to_string(i) + (branch_true ? "T" : "F") + "0";
+      w.trans(v_state(i), "tau", cur);
+      for (std::size_t k = 0; k < emits.size(); ++k) {
+        std::string nxt = "b" + std::to_string(i) + (branch_true ? "T" : "F") +
+                          std::to_string(k + 1);
+        w.trans(cur, sym_clause(emits[k]), nxt);
+        cur = nxt;
+      }
+      w.trans(cur, "tau", v_state(i + 1));
+    }
+  }
+  w.state(v_state(f.num_vars));  // ensure the leaf exists even with 0 vars
+
+  std::vector<Fsp> procs;
+  procs.push_back(w.build());
+  for (std::size_t j = 0; j < f.clauses.size(); ++j) {
+    // Capacity |clause| - 1: all literal occurrences false = one emission
+    // too many (see gadget_thm2.cpp for the same counter).
+    FspBuilder b(alphabet, "K" + std::to_string(j));
+    b.start("k0");
+    for (std::size_t k = 0; k + 1 < f.clauses[j].size(); ++k) {
+      b.trans("k" + std::to_string(k), sym_clause(j), "k" + std::to_string(k + 1));
+    }
+    if (f.clauses[j].size() == 1) b.action(sym_clause(j));
+    procs.push_back(b.build());
+  }
+  return {Network(alphabet, std::move(procs)), 0};
+}
+
+GadgetNetwork thm1_case1_blocking_gadget(const Cnf& f) {
+  require_three_cnf(f);
+  auto alphabet = std::make_shared<Alphabet>();
+  Occurrences occ = collect_occurrences(f);
+
+  // W: optional (tau-skippable) emissions for TRUE literals; final state F
+  // demands one s_j per clause with a dummy leaf behind each. F deadlocks
+  // exactly when every clause process has already consumed its single
+  // permitted handshake — i.e. the chosen assignment satisfies the formula.
+  FspBuilder w(alphabet, "W");
+  auto v_state = [](std::size_t i) { return "v" + std::to_string(i); };
+  w.start(v_state(0));
+  for (std::uint32_t i = 0; i < f.num_vars; ++i) {
+    for (bool branch_true : {true, false}) {
+      const auto& emits = branch_true ? occ.positive[i] : occ.negative[i];
+      std::string cur = "b" + std::to_string(i) + (branch_true ? "T" : "F") + "0";
+      w.trans(v_state(i), "tau", cur);
+      for (std::size_t k = 0; k < emits.size(); ++k) {
+        std::string nxt = "b" + std::to_string(i) + (branch_true ? "T" : "F") +
+                          std::to_string(k + 1);
+        w.trans(cur, sym_clause(emits[k]), nxt);
+        w.trans(cur, "tau", nxt);  // emitting is optional
+        cur = nxt;
+      }
+      w.trans(cur, "tau", v_state(i + 1));
+    }
+  }
+  std::string final_state = "F";
+  w.trans(v_state(f.num_vars), "tau", final_state);
+  for (std::size_t j = 0; j < f.clauses.size(); ++j) {
+    w.trans(final_state, sym_clause(j), "dummy" + std::to_string(j));
+  }
+
+  std::vector<Fsp> procs;
+  procs.push_back(w.build());
+  for (std::size_t j = 0; j < f.clauses.size(); ++j) {
+    procs.push_back(FspBuilder(alphabet, "K" + std::to_string(j))
+                        .trans("k0", sym_clause(j), "k1")
+                        .build());
+  }
+  return {Network(alphabet, std::move(procs)), 0};
+}
+
+namespace {
+
+/// Shared plumbing for the case (2) gadgets: variable processes with
+/// optional per-occurrence emissions, clause processes that accept one
+/// literal handshake and then relay a token g_{j-1} -> g_j along the clause
+/// chain, a starter that injects g_0.
+struct Case2Parts {
+  AlphabetPtr alphabet = std::make_shared<Alphabet>();
+  std::vector<Fsp> procs;  // all but the distinguished end process
+
+  static std::string sym_occurrence(std::size_t j, std::size_t slot) {
+    return "u" + std::to_string(j) + "_" + std::to_string(slot);
+  }
+  static std::string sym_token(std::size_t j) { return "g" + std::to_string(j); }
+
+  void build(const Cnf& f) {
+    // Occurrence slots per clause: (var, negated) with slot index.
+    struct Slot {
+      std::size_t clause;
+      std::size_t slot;
+    };
+    std::vector<std::vector<Slot>> pos(f.num_vars), neg(f.num_vars);
+    for (std::size_t j = 0; j < f.clauses.size(); ++j) {
+      for (std::size_t s = 0; s < f.clauses[j].size(); ++s) {
+        const Literal& l = f.clauses[j][s];
+        (l.negated ? neg : pos)[l.var].push_back({j, s});
+      }
+    }
+
+    for (std::uint32_t v = 0; v < f.num_vars; ++v) {
+      FspBuilder b(alphabet, "V" + std::to_string(v));
+      b.start("r");
+      // Each emission is optional (emit or skip); keeping the process a
+      // *tree* FSP (the Theorem 1 case (2) shape) means the emit and skip
+      // branches may not rejoin, so the suffix is duplicated per branch —
+      // 2^occurrences states, constant once occurrences are limited.
+      std::size_t fresh = 0;
+      for (bool branch_true : {true, false}) {
+        const auto& slots = branch_true ? pos[v] : neg[v];
+        std::string entry = std::string(branch_true ? "T" : "F");
+        b.trans("r", "tau", entry);
+        auto grow = [&](auto&& self, const std::string& cur, std::size_t k) -> void {
+          if (k == slots.size()) return;
+          std::string emit = entry + std::to_string(fresh++);
+          std::string skip = entry + std::to_string(fresh++);
+          b.trans(cur, sym_occurrence(slots[k].clause, slots[k].slot), emit);
+          b.trans(cur, "tau", skip);
+          self(self, emit, k + 1);
+          self(self, skip, k + 1);
+        };
+        grow(grow, entry, 0);
+      }
+      procs.push_back(b.build());
+    }
+
+    for (std::size_t j = 0; j < f.clauses.size(); ++j) {
+      FspBuilder b(alphabet, "K" + std::to_string(j));
+      b.start("c0");
+      for (std::size_t s = 0; s < f.clauses[j].size(); ++s) {
+        b.trans("c0", sym_occurrence(j, s), "c1_" + std::to_string(s));
+        b.trans("c1_" + std::to_string(s), sym_token(j == 0 ? 0 : j), "hold_" + std::to_string(s));
+        b.trans("hold_" + std::to_string(s), sym_token(j + 1), "done_" + std::to_string(s));
+      }
+      procs.push_back(b.build());
+    }
+
+    // Starter injects g_0 (paired with K_0's receive above; for j==0 the
+    // incoming token symbol is g0 shared with this starter).
+    procs.push_back(FspBuilder(alphabet, "Start").trans("s0", sym_token(0), "s1").build());
+  }
+};
+
+}  // namespace
+
+GadgetNetwork thm1_case2_collab_gadget(const Cnf& f) {
+  require_three_cnf(f);
+  Case2Parts parts;
+  parts.build(f);
+  std::size_t m = f.clauses.size();
+  Fsp end = FspBuilder(parts.alphabet, "End")
+                .trans("e0", Case2Parts::sym_token(m), "e1")
+                .build();
+  std::vector<Fsp> procs = std::move(parts.procs);
+  std::size_t distinguished = procs.size();
+  procs.push_back(std::move(end));
+  return {Network(parts.alphabet, std::move(procs)), distinguished};
+}
+
+GadgetNetwork thm1_case2_blocking_gadget(const Cnf& f) {
+  require_three_cnf(f);
+  Case2Parts parts;
+  parts.build(f);
+  std::size_t m = f.clauses.size();
+  // End': may bail out to a safe leaf, or accept the token and then demand
+  // a handshake the refuser never grants — the only way End' blocks.
+  Fsp end = FspBuilder(parts.alphabet, "End")
+                .trans("e0", Case2Parts::sym_token(m), "e1")
+                .trans("e0", "tau", "safe")
+                .trans("e1", "blocked_want", "e2")
+                .build();
+  Fsp refuser = [&] {
+    FspBuilder b(parts.alphabet, "Refuser");
+    b.state("r0");
+    b.action("blocked_want");
+    return b.build();
+  }();
+  std::vector<Fsp> procs = std::move(parts.procs);
+  std::size_t distinguished = procs.size();
+  procs.push_back(std::move(end));
+  procs.push_back(std::move(refuser));
+  return {Network(parts.alphabet, std::move(procs)), distinguished};
+}
+
+}  // namespace ccfsp

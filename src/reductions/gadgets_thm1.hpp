@@ -1,0 +1,44 @@
+// Executable forms of the Theorem 1 hardness constructions (Figures 5, 6):
+// formula -> network, such that a success predicate of the network equals
+// satisfiability of the formula. The figures themselves are illustrations
+// of two specific formulas; these builders implement the general reductions
+// with the structural guarantees the theorem states:
+//   case (1): C_N is a tree (a star), every process but the distinguished
+//             one is an O(1) *linear* FSP, and every C_N edge carries a
+//             single symbol;
+//   case (2): every process is an O(1) *tree* FSP (the communication graph
+//             is tightly coupled instead), single-symbol edges.
+// Counts do the work on the unary edges: a clause process's capacity for
+// its symbol encodes "at most two false literals" (S_c) or "exactly one
+// chosen true literal" (potential blocking).
+#pragma once
+
+#include "network/network.hpp"
+#include "reductions/cnf.hpp"
+
+namespace ccfsp {
+
+struct GadgetNetwork {
+  Network net;
+  std::size_t distinguished;
+};
+
+/// Limit every variable to at most 2 positive and 2 negative occurrences by
+/// the standard copy-cycle construction (equisatisfiable). Keeps case (2)'s
+/// variable processes O(1).
+Cnf limit_occurrences(const Cnf& f);
+
+/// Case (1): S_c(net, distinguished) == satisfiable(f). f must be 3-CNF.
+GadgetNetwork thm1_case1_collab_gadget(const Cnf& f);
+
+/// Case (1): potential blocking (= not S_u) == satisfiable(f).
+GadgetNetwork thm1_case1_blocking_gadget(const Cnf& f);
+
+/// Case (2): S_c == satisfiable(f). f must be 3-CNF with occurrences
+/// already limited (use limit_occurrences).
+GadgetNetwork thm1_case2_collab_gadget(const Cnf& f);
+
+/// Case (2): potential blocking == satisfiable(f).
+GadgetNetwork thm1_case2_blocking_gadget(const Cnf& f);
+
+}  // namespace ccfsp

@@ -1,0 +1,39 @@
+#include "reductions/qbf.hpp"
+
+#include <stdexcept>
+
+namespace ccfsp {
+
+namespace {
+
+bool recurse(const Qbf& q, std::vector<bool>& assignment, std::size_t depth) {
+  if (depth == q.prefix.size()) return evaluates_true(q.matrix, assignment);
+  for (bool b : {false, true}) {
+    assignment[depth] = b;
+    bool sub = recurse(q, assignment, depth + 1);
+    if (q.prefix[depth] == Quantifier::kExists && sub) return true;
+    if (q.prefix[depth] == Quantifier::kForAll && !sub) return false;
+  }
+  return q.prefix[depth] == Quantifier::kForAll;
+}
+
+}  // namespace
+
+bool solve_qbf(const Qbf& q) {
+  if (q.matrix.num_vars > q.prefix.size()) {
+    throw std::logic_error("solve_qbf: matrix uses unquantified variables");
+  }
+  std::vector<bool> assignment(q.prefix.size(), false);
+  return recurse(q, assignment, 0);
+}
+
+Qbf random_qbf(Rng& rng, std::uint32_t num_vars, std::uint32_t num_clauses) {
+  Qbf q;
+  for (std::uint32_t v = 0; v < num_vars; ++v) {
+    q.prefix.push_back(rng.chance(1, 2) ? Quantifier::kExists : Quantifier::kForAll);
+  }
+  q.matrix = random_cnf(rng, num_vars, num_clauses);
+  return q;
+}
+
+}  // namespace ccfsp

@@ -1,0 +1,28 @@
+// Quantified boolean formulas in prenex CNF plus a recursive solver — the
+// oracle for the Theorem 2 gadget (S_a is PSPACE-complete by reduction from
+// QBF validity).
+#pragma once
+
+#include <vector>
+
+#include "reductions/cnf.hpp"
+
+namespace ccfsp {
+
+enum class Quantifier { kExists, kForAll };
+
+struct Qbf {
+  /// Quantifier prefix over variables 0 .. prefix.size()-1 in order; the
+  /// matrix may only use those variables.
+  std::vector<Quantifier> prefix;
+  Cnf matrix;
+};
+
+/// Validity of the closed QBF, by straightforward recursion with early
+/// clause evaluation. Exponential — fine for the small gadget tests.
+bool solve_qbf(const Qbf& q);
+
+/// Random QBF: random prefix (alternating-biased) over a random 3-CNF.
+Qbf random_qbf(Rng& rng, std::uint32_t num_vars, std::uint32_t num_clauses);
+
+}  // namespace ccfsp

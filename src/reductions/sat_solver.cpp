@@ -1,0 +1,101 @@
+#include "reductions/sat_solver.hpp"
+
+#include <algorithm>
+
+namespace ccfsp {
+
+namespace {
+
+enum : std::int8_t { kUnset = -1, kFalse = 0, kTrue = 1 };
+
+struct Dpll {
+  const Cnf* f;
+  std::vector<std::int8_t> value;
+
+  bool literal_true(const Literal& l) const {
+    return value[l.var] != kUnset && (value[l.var] == kTrue) != l.negated;
+  }
+  bool literal_false(const Literal& l) const {
+    return value[l.var] != kUnset && (value[l.var] == kTrue) == l.negated;
+  }
+
+  /// Unit propagation to fixpoint; false on conflict.
+  bool propagate() {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const Clause& c : f->clauses) {
+        std::size_t unassigned = 0;
+        const Literal* unit = nullptr;
+        bool sat = false;
+        for (const Literal& l : c) {
+          if (literal_true(l)) {
+            sat = true;
+            break;
+          }
+          if (value[l.var] == kUnset) {
+            ++unassigned;
+            unit = &l;
+          }
+        }
+        if (sat) continue;
+        if (unassigned == 0) return false;  // conflict
+        if (unassigned == 1) {
+          value[unit->var] = unit->negated ? kFalse : kTrue;
+          changed = true;
+        }
+      }
+    }
+    return true;
+  }
+
+  bool solve() {
+    if (!propagate()) return false;
+
+    // Pick the unset variable with the most occurrences in unsatisfied
+    // clauses; if none, the formula is satisfied.
+    std::vector<std::size_t> score(f->num_vars, 0);
+    bool any_unset_in_open_clause = false;
+    for (const Clause& c : f->clauses) {
+      bool sat = std::any_of(c.begin(), c.end(), [&](const Literal& l) {
+        return literal_true(l);
+      });
+      if (sat) continue;
+      for (const Literal& l : c) {
+        if (value[l.var] == kUnset) {
+          ++score[l.var];
+          any_unset_in_open_clause = true;
+        }
+      }
+    }
+    if (!any_unset_in_open_clause) return true;
+
+    std::uint32_t best = 0;
+    for (std::uint32_t v = 1; v < f->num_vars; ++v) {
+      if (score[v] > score[best]) best = v;
+    }
+
+    std::vector<std::int8_t> saved = value;
+    for (std::int8_t b : {kTrue, kFalse}) {
+      value = saved;
+      value[best] = b;
+      if (solve()) return true;
+    }
+    value = saved;
+    return false;
+  }
+};
+
+}  // namespace
+
+std::optional<std::vector<bool>> solve_sat(const Cnf& f) {
+  Dpll d;
+  d.f = &f;
+  d.value.assign(f.num_vars, kUnset);
+  if (!d.solve()) return std::nullopt;
+  std::vector<bool> out(f.num_vars, false);
+  for (std::uint32_t v = 0; v < f.num_vars; ++v) out[v] = d.value[v] == kTrue;
+  return out;
+}
+
+}  // namespace ccfsp

@@ -1,0 +1,17 @@
+// A small DPLL SAT solver (unit propagation + pure literals + branching on
+// the most frequent variable). This is the independent oracle the Theorem 1
+// gadgets are validated against — the gadget run through the FSP engine and
+// the formula run through DPLL must always agree.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "reductions/cnf.hpp"
+
+namespace ccfsp {
+
+/// A satisfying assignment, or nullopt if unsatisfiable.
+std::optional<std::vector<bool>> solve_sat(const Cnf& f);
+
+}  // namespace ccfsp

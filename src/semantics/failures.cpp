@@ -1,0 +1,29 @@
+#include "semantics/failures.hpp"
+
+#include <set>
+
+namespace ccfsp {
+
+bool fail_contains(const Fsp& p, const std::vector<ActionId>& s, const ActionSet& z) {
+  // Subset of states reachable via s, tau-closed.
+  std::set<StateId> cur;
+  for (StateId q : p.tau_closure(p.start())) cur.insert(q);
+  for (ActionId a : s) {
+    std::set<StateId> next;
+    for (StateId q : cur) {
+      for (const auto& t : p.out(q)) {
+        if (t.action == a) {
+          for (StateId r : p.tau_closure(t.target)) next.insert(r);
+        }
+      }
+    }
+    cur = std::move(next);
+    if (cur.empty()) return false;
+  }
+  for (StateId q : cur) {
+    if (!p.ready_actions(q).intersects(z)) return true;
+  }
+  return false;
+}
+
+}  // namespace ccfsp

@@ -1,0 +1,16 @@
+// Direct Fail(p) queries from the HBR failures model as quoted in Section 2:
+//   Fail(p) = { (s, Z) | some p' with p ==s==> p' refuses every z in Z }.
+// Used by tests to reproduce Figure 2's point: Fail(P) = Fail(Q) does not
+// imply Poss(P) = Poss(Q) (possibility equivalence is strictly finer).
+#pragma once
+
+#include <vector>
+
+#include "fsp/fsp.hpp"
+
+namespace ccfsp {
+
+/// Is (s, Z) a failure of P?
+bool fail_contains(const Fsp& p, const std::vector<ActionId>& s, const ActionSet& z);
+
+}  // namespace ccfsp

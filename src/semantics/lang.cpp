@@ -1,0 +1,189 @@
+#include "semantics/lang.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace ccfsp {
+
+namespace {
+
+/// tau-closed subset of states reached from `states` by one observable `a`.
+std::vector<StateId> step(const Fsp& p, const std::vector<StateId>& states, ActionId a) {
+  std::set<StateId> next;
+  for (StateId s : states) {
+    for (const auto& t : p.out(s)) {
+      if (t.action == a) {
+        for (StateId r : p.tau_closure(t.target)) next.insert(r);
+      }
+    }
+  }
+  return {next.begin(), next.end()};
+}
+
+}  // namespace
+
+bool lang_contains(const Fsp& p, const std::vector<ActionId>& s) {
+  std::vector<StateId> cur = p.tau_closure(p.start());
+  for (ActionId a : s) {
+    cur = step(p, cur, a);
+    if (cur.empty()) return false;
+  }
+  return true;
+}
+
+std::vector<std::vector<ActionId>> enumerate_lang(const Fsp& p, std::size_t max_len,
+                                                  std::size_t limit) {
+  // BFS over tau-closed subsets; a subset may repeat along different strings,
+  // and that is fine — we enumerate strings, not states.
+  std::vector<std::vector<ActionId>> out;
+  struct Item {
+    std::vector<ActionId> s;
+    std::vector<StateId> states;
+  };
+  std::vector<Item> frontier{{{}, p.tau_closure(p.start())}};
+  out.push_back({});
+  for (std::size_t len = 0; len < max_len && !frontier.empty(); ++len) {
+    std::vector<Item> next_frontier;
+    for (const auto& item : frontier) {
+      // Candidate next actions = union of out-actions over the subset.
+      std::set<ActionId> actions;
+      for (StateId s : item.states) {
+        for (const auto& t : p.out(s)) {
+          if (t.action != kTau) actions.insert(t.action);
+        }
+      }
+      for (ActionId a : actions) {
+        auto next = step(p, item.states, a);
+        if (next.empty()) continue;
+        std::vector<ActionId> s2 = item.s;
+        s2.push_back(a);
+        out.push_back(s2);
+        if (out.size() > limit) throw std::runtime_error("enumerate_lang: limit exceeded");
+        next_frontier.push_back({std::move(s2), std::move(next)});
+      }
+    }
+    frontier = std::move(next_frontier);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool lang_infinite(const Fsp& p) {
+  // Infinite iff some reachable cycle contains an observable transition:
+  // check for an observable edge inside a single SCC.
+  auto scc = p.digraph().scc();
+  for (StateId s = 0; s < p.num_states(); ++s) {
+    for (const auto& t : p.out(s)) {
+      if (t.action != kTau && scc.component[s] == scc.component[t.target]) {
+        // Self-loops and intra-SCC edges both qualify; an intra-SCC edge can
+        // be traversed arbitrarily often. (All states are reachable from the
+        // start by the FSP invariant.)
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::optional<std::size_t> longest_string_length(const Fsp& p) {
+  if (lang_infinite(p)) return std::nullopt;
+  // Longest observable path in a graph whose observable edges form a DAG
+  // across SCCs (tau cycles may exist; collapse SCCs first — inside an SCC
+  // only tau edges can occur here, contributing length 0).
+  auto scc = p.digraph().scc();
+  std::size_t k = scc.num_components;
+  // Build condensation with weights (1 for observable, 0 for tau).
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> cadj(k);
+  for (StateId s = 0; s < p.num_states(); ++s) {
+    for (const auto& t : p.out(s)) {
+      std::size_t a = scc.component[s], b = scc.component[t.target];
+      std::size_t w = t.action == kTau ? 0 : 1;
+      if (a != b || w != 0) {
+        if (a == b) continue;  // intra-SCC observable is impossible here
+        cadj[a].emplace_back(b, w);
+      }
+    }
+  }
+  // Tarjan numbers components in reverse topological order: every edge goes
+  // from a higher component id to a lower one, so iterate ids descending.
+  std::vector<std::size_t> best(k, 0);
+  std::size_t answer = 0;
+  for (std::size_t c = k; c-- > 0;) {
+    // best[c] is finalized only after all predecessors processed; reverse
+    // topological order guarantees predecessors have higher ids.
+    for (auto [d, w] : cadj[c]) {
+      // process edges out of c when visiting c; push-style relaxation needs
+      // c finalized first, so walk ids from high to low.
+      best[d] = std::max(best[d], best[c] + w);
+      answer = std::max(answer, best[d]);
+    }
+  }
+  return answer;
+}
+
+bool lang_intersection_infinite(const Fsp& p, const Fsp& q) {
+  if (p.alphabet() != q.alphabet()) {
+    throw std::logic_error("lang_intersection_infinite: different Alphabets");
+  }
+  ActionSet shared = p.sigma_set() & q.sigma_set();
+
+  // Synchronized product: shared observables handshake, everything else
+  // (tau and symbols private to one side) moves alone. A reachable cycle
+  // containing a shared action yields arbitrarily long common strings.
+  struct Key {
+    StateId a, b;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return (static_cast<std::size_t>(k.a) << 32) ^ k.b;
+    }
+  };
+  std::unordered_map<Key, std::size_t, KeyHash> id;
+  std::vector<Key> nodes;
+  auto intern = [&](Key k) {
+    auto [it, fresh] = id.try_emplace(k, nodes.size());
+    if (fresh) nodes.push_back(k);
+    return it->second;
+  };
+
+  std::vector<std::vector<std::pair<std::size_t, bool>>> adj;  // (target, is_shared)
+  intern({p.start(), q.start()});
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    Key k = nodes[i];
+    std::vector<std::pair<std::size_t, bool>> edges;
+    for (const auto& t : p.out(k.a)) {
+      if (t.action == kTau || !shared.test(t.action)) {
+        edges.emplace_back(intern({t.target, k.b}), false);
+      } else {
+        for (const auto& u : q.out(k.b)) {
+          if (u.action == t.action) edges.emplace_back(intern({t.target, u.target}), true);
+        }
+      }
+    }
+    for (const auto& u : q.out(k.b)) {
+      if (u.action == kTau || !shared.test(u.action)) {
+        edges.emplace_back(intern({k.a, u.target}), false);
+      }
+    }
+    adj.push_back(std::move(edges));
+    // `nodes` can grow during iteration; adj stays index-aligned because we
+    // append exactly one row per visited node in order.
+  }
+
+  Digraph g(nodes.size());
+  for (std::size_t i = 0; i < adj.size(); ++i) {
+    for (auto [j, sharedEdge] : adj[i]) g.add_edge(i, j);
+  }
+  auto scc = g.scc();
+  for (std::size_t i = 0; i < adj.size(); ++i) {
+    for (auto [j, sharedEdge] : adj[i]) {
+      if (sharedEdge && scc.component[i] == scc.component[j]) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace ccfsp

@@ -1,0 +1,36 @@
+// Lang(P) queries (Definition 4): membership, bounded enumeration, and
+// finiteness/longest-string analysis. An FSP's language is prefix-closed by
+// construction (every state "accepts").
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "fsp/fsp.hpp"
+
+namespace ccfsp {
+
+/// Is s in Lang(P)? (s given as observable action ids; tau never appears.)
+bool lang_contains(const Fsp& p, const std::vector<ActionId>& s);
+
+/// All strings of Lang(P) with length <= max_len, sorted lexicographically.
+/// Throws if more than `limit` strings would be produced.
+std::vector<std::vector<ActionId>> enumerate_lang(const Fsp& p, std::size_t max_len,
+                                                  std::size_t limit = 1u << 20);
+
+/// True iff Lang(P) is infinite, i.e. some reachable cycle contains an
+/// observable action.
+bool lang_infinite(const Fsp& p);
+
+/// Length of the longest string in Lang(P), or nullopt if Lang(P) is
+/// infinite.
+std::optional<std::size_t> longest_string_length(const Fsp& p);
+
+/// True iff Lang(P) ∩ Lang(Q) is infinite — the cyclic success-with-
+/// collaboration predicate of Section 4 in its two-process form. Both
+/// processes are treated as NFAs over their full alphabets; the
+/// intersection synchronizes on shared symbols only (symbols private to one
+/// side interleave freely).
+bool lang_intersection_infinite(const Fsp& p, const Fsp& q);
+
+}  // namespace ccfsp

@@ -1,0 +1,86 @@
+#include "semantics/normal_form.hpp"
+
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace ccfsp {
+
+Fsp fsp_from_possibilities(const std::vector<Possibility>& poss, const AlphabetPtr& alphabet,
+                           const std::string& name) {
+  if (poss.empty()) {
+    throw std::invalid_argument("fsp_from_possibilities: empty set (even the empty "
+                                "string must carry a possibility in an acyclic FSP)");
+  }
+
+  // Group possibilities by string and collect the string set.
+  std::map<std::vector<ActionId>, std::vector<const Possibility*>> by_string;
+  for (const auto& p : poss) by_string[p.s].push_back(&p);
+
+  // Prefix closure check.
+  for (const auto& [s, _] : by_string) {
+    if (!s.empty()) {
+      std::vector<ActionId> prefix(s.begin(), s.end() - 1);
+      if (!by_string.count(prefix)) {
+        throw std::invalid_argument("fsp_from_possibilities: string set not prefix-closed");
+      }
+    }
+  }
+
+  Fsp out(alphabet, name);
+  std::map<std::vector<ActionId>, StateId> router;
+  for (const auto& [s, _] : by_string) {
+    std::string label = "n";
+    for (ActionId a : s) label += "_" + alphabet->name(a);
+    router[s] = out.add_state(label);
+  }
+  out.set_start(router.at({}));
+
+  for (const auto& [s, group] : by_string) {
+    StateId rs = router.at(s);
+    // Which extensions are covered by some stable sibling's ready set?
+    std::set<ActionId> covered;
+    for (const Possibility* p : group) {
+      StateId stable = out.add_state(out.state_label(rs) + "!");
+      out.add_transition(rs, kTau, stable);
+      for (ActionId a : p->z) {
+        std::vector<ActionId> sa = s;
+        sa.push_back(a);
+        auto it = router.find(sa);
+        if (it == router.end()) {
+          throw std::invalid_argument(
+              "fsp_from_possibilities: ready action leads outside the string set");
+        }
+        out.add_transition(stable, a, it->second);
+        covered.insert(a);
+      }
+    }
+    // Direct router edges for extensions no stable sibling offers.
+    for (const auto& [s2, _2] : by_string) {
+      if (s2.size() != s.size() + 1) continue;
+      if (!std::equal(s.begin(), s.end(), s2.begin())) continue;
+      ActionId a = s2.back();
+      if (!covered.count(a)) out.add_transition(rs, a, router.at(s2));
+    }
+  }
+
+  out.validate();
+  return out;
+}
+
+Fsp poss_normal_form(const Fsp& p, std::size_t limit) {
+  std::vector<Possibility> poss =
+      p.is_tree() ? possibilities_tree(p) : possibilities_acyclic(p, limit);
+  Fsp nf = fsp_from_possibilities(poss, p.alphabet(), p.name() + "_nf");
+  // Sigma must be preserved exactly: a declared-but-unused symbol still
+  // blocks the partner's handshakes under ||, whereas dropping it from
+  // Sigma would let the partner move autonomously — a different semantics.
+  ActionSet used(p.alphabet()->size());
+  for (StateId s = 0; s < nf.num_states(); ++s) used |= nf.out_actions(s);
+  for (ActionId a : p.sigma()) {
+    if (!used.test(a)) nf.declare_action(a);
+  }
+  return nf;
+}
+
+}  // namespace ccfsp

@@ -1,0 +1,34 @@
+// Possibility-preserving normal forms — the Reduction Step of Theorem 3
+// (Figures 8b and 9). Given Poss(P) as an explicit set, build a small FSP
+// realizing exactly that possibility set; replacing a subtree of the network
+// by its normal form leaves every success predicate unchanged (Lemmas 2-5).
+//
+// Construction: a trie of "router" states, one per possibility string
+// (possibility strings are prefix-closed for any acyclic FSP), where each
+// router n_s is unstable (tau edges to one "stable" child per possibility
+// (s, Z)) and the stable child has exactly Z outgoing, each action a in Z
+// leading to router n_{sa}. Routers also carry direct a-edges to n_{sa}
+// for extensions not offered by any stable sibling, keeping Lang intact.
+// The result is a DAG of size O(sum |s| + sum |Z|); the paper flattens it
+// to a tree, which is equivalent up to possibility equivalence (tested).
+#pragma once
+
+#include <string>
+
+#include "semantics/possibilities.hpp"
+
+namespace ccfsp {
+
+/// Realize an explicit possibility set as an FSP. Preconditions (satisfied
+/// by any set produced from an acyclic FSP, enforced by throwing):
+///  - the string set {s | (s,Z) in poss} is prefix-closed and non-empty,
+///  - for every (s,Z) and a in Z, sa is also a possibility string.
+Fsp fsp_from_possibilities(const std::vector<Possibility>& poss, const AlphabetPtr& alphabet,
+                           const std::string& name);
+
+/// Possibility normal form of an acyclic FSP: extract Poss and rebuild.
+/// Uses the linear-time tree extraction when p is a tree, the subset-based
+/// extraction otherwise. `limit` bounds the general extraction.
+Fsp poss_normal_form(const Fsp& p, std::size_t limit = 1u << 20);
+
+}  // namespace ccfsp

@@ -1,0 +1,164 @@
+#include "semantics/poss_automaton.hpp"
+
+#include <algorithm>
+
+namespace ccfsp {
+
+namespace {
+
+std::vector<ActionId> set_to_sorted(const ActionSet& s) {
+  std::vector<ActionId> out;
+  for (std::size_t a : s.to_indices()) out.push_back(static_cast<ActionId>(a));
+  return out;
+}
+
+std::set<std::vector<ActionId>> annotate(const Fsp& p, const std::vector<StateId>& subset,
+                                         SemanticAnnotation kind) {
+  std::set<std::vector<ActionId>> ann;
+  switch (kind) {
+    case SemanticAnnotation::kLanguage:
+      break;
+    case SemanticAnnotation::kPossibilities:
+      for (StateId q : subset) {
+        if (p.is_stable(q)) ann.insert(set_to_sorted(p.out_actions(q)));
+      }
+      break;
+    case SemanticAnnotation::kFailures: {
+      // Minimal ready sets form an antichain equivalent to the maximal
+      // refusal sets of the failures model.
+      std::vector<ActionSet> readies;
+      for (StateId q : subset) readies.push_back(p.ready_actions(q));
+      for (std::size_t i = 0; i < readies.size(); ++i) {
+        bool minimal = true;
+        for (std::size_t j = 0; j < readies.size() && minimal; ++j) {
+          if (i != j && readies[j].is_subset_of(readies[i]) && readies[j] != readies[i]) {
+            minimal = false;
+          }
+        }
+        if (minimal) ann.insert(set_to_sorted(readies[i]));
+      }
+      break;
+    }
+  }
+  return ann;
+}
+
+}  // namespace
+
+AnnotatedDfa annotated_determinize(const Fsp& p, SemanticAnnotation kind) {
+  AnnotatedDfa dfa;
+  std::map<std::vector<StateId>, std::uint32_t> ids;
+
+  auto intern = [&](std::vector<StateId> subset) {
+    auto [it, fresh] = ids.try_emplace(subset, static_cast<std::uint32_t>(dfa.trans.size()));
+    if (fresh) {
+      dfa.trans.emplace_back();
+      dfa.annotation.push_back(annotate(p, subset, kind));
+      dfa.subsets.push_back(std::move(subset));
+    }
+    return it->second;
+  };
+
+  dfa.start = intern(p.tau_closure(p.start()));
+  for (std::uint32_t i = 0; i < dfa.trans.size(); ++i) {
+    // Collect candidate actions from the subset (copy: vectors may reallocate
+    // as intern() appends).
+    std::vector<StateId> subset = dfa.subsets[i];
+    std::set<ActionId> actions;
+    for (StateId s : subset) {
+      for (const auto& t : p.out(s)) {
+        if (t.action != kTau) actions.insert(t.action);
+      }
+    }
+    for (ActionId a : actions) {
+      std::set<StateId> next;
+      for (StateId s : subset) {
+        for (const auto& t : p.out(s)) {
+          if (t.action == a) {
+            for (StateId r : p.tau_closure(t.target)) next.insert(r);
+          }
+        }
+      }
+      if (next.empty()) continue;
+      std::uint32_t target = intern(std::vector<StateId>(next.begin(), next.end()));
+      dfa.trans[i].emplace(a, target);
+    }
+  }
+  return dfa;
+}
+
+AnnotatedDfa minimize(const AnnotatedDfa& dfa) {
+  const std::size_t n = dfa.num_states();
+  // Initial partition by annotation.
+  std::map<std::set<std::vector<ActionId>>, std::size_t> ann_ids;
+  std::vector<std::size_t> cls(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    auto [it, _] = ann_ids.try_emplace(dfa.annotation[s], ann_ids.size());
+    cls[s] = it->second;
+  }
+  std::size_t num_classes = ann_ids.size();
+
+  // Moore refinement: signature = (current class, action -> target class).
+  while (true) {
+    std::map<std::pair<std::size_t, std::map<ActionId, std::size_t>>, std::size_t> sig_ids;
+    std::vector<std::size_t> next(n);
+    for (std::size_t s = 0; s < n; ++s) {
+      std::map<ActionId, std::size_t> moves;
+      for (const auto& [a, t] : dfa.trans[s]) moves.emplace(a, cls[t]);
+      auto [it, _] = sig_ids.try_emplace({cls[s], std::move(moves)}, sig_ids.size());
+      next[s] = it->second;
+    }
+    if (sig_ids.size() == num_classes) break;
+    num_classes = sig_ids.size();
+    cls = std::move(next);
+  }
+
+  // Build the quotient, numbering classes in BFS order from the start so
+  // equivalent inputs produce identical (not merely isomorphic) automata.
+  AnnotatedDfa out;
+  std::vector<std::uint32_t> renumber(num_classes, UINT32_MAX);
+  std::vector<std::size_t> representative;
+  auto visit = [&](std::size_t s) {
+    if (renumber[cls[s]] == UINT32_MAX) {
+      renumber[cls[s]] = static_cast<std::uint32_t>(representative.size());
+      representative.push_back(s);
+    }
+    return renumber[cls[s]];
+  };
+  out.start = visit(dfa.start);
+  for (std::uint32_t c = 0; c < representative.size(); ++c) {
+    std::size_t rep = representative[c];
+    out.trans.emplace_back();
+    out.annotation.push_back(dfa.annotation[rep]);
+    for (const auto& [a, t] : dfa.trans[rep]) {
+      out.trans[c].emplace(a, visit(t));
+    }
+  }
+  return out;
+}
+
+bool annotated_dfa_equivalent(const AnnotatedDfa& a, const AnnotatedDfa& b) {
+  std::set<std::pair<std::uint32_t, std::uint32_t>> visited;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> work{{a.start, b.start}};
+  visited.insert(work[0]);
+  while (!work.empty()) {
+    auto [u, v] = work.back();
+    work.pop_back();
+    if (a.annotation[u] != b.annotation[v]) return false;
+    // Defined-action sets must agree.
+    auto it = a.trans[u].begin();
+    auto jt = b.trans[v].begin();
+    while (it != a.trans[u].end() || jt != b.trans[v].end()) {
+      if (it == a.trans[u].end() || jt == b.trans[v].end() || it->first != jt->first) {
+        return false;
+      }
+      auto next = std::make_pair(it->second, jt->second);
+      if (visited.insert(next).second) work.push_back(next);
+      ++it;
+      ++jt;
+    }
+  }
+  return true;
+}
+
+}  // namespace ccfsp

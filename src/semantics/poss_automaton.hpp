@@ -1,0 +1,52 @@
+// The annotated subset construction: a deterministic automaton over
+// observable strings whose states are tau-closed NFA state subsets, each
+// carrying a canonical semantic annotation. One engine serves all three
+// equivalences used in the paper:
+//   - language equivalence        (no annotation),
+//   - possibility equivalence     (ready sets of stable members; Def. 4),
+//   - failure equivalence         (minimal ready antichain ≙ maximal
+//                                  refusals; the HBR model).
+// Worst-case exponential — testing possibility equivalence of cyclic
+// processes is PSPACE-complete [KS] — but small on the tree-structured
+// inputs of Theorem 3.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "fsp/fsp.hpp"
+
+namespace ccfsp {
+
+enum class SemanticAnnotation { kLanguage, kPossibilities, kFailures };
+
+struct AnnotatedDfa {
+  std::uint32_t start = 0;
+  /// Deterministic transitions; absent action = string leaves the language.
+  std::vector<std::map<ActionId, std::uint32_t>> trans;
+  /// Canonical per-state annotation: a set of sorted action-id vectors.
+  std::vector<std::set<std::vector<ActionId>>> annotation;
+  /// Underlying NFA subsets (diagnostics, size studies in the benches).
+  std::vector<std::vector<StateId>> subsets;
+
+  std::size_t num_states() const { return trans.size(); }
+};
+
+AnnotatedDfa annotated_determinize(const Fsp& p, SemanticAnnotation kind);
+
+/// Equivalence of two annotated DFAs by synchronous traversal from the
+/// start states: annotations must match everywhere and the transition
+/// structure must agree on defined actions.
+bool annotated_dfa_equivalent(const AnnotatedDfa& a, const AnnotatedDfa& b);
+
+/// Canonical minimization: merge states with equal annotation and equal
+/// (action -> class) behaviour, to a fixed point (Moore-style refinement
+/// seeded by the annotations). Two FSPs are semantically equivalent under
+/// the chosen annotation iff their minimized automata are isomorphic, and
+/// the minimized size is a canonical complexity measure (used by benches).
+/// The `subsets` diagnostic is dropped in the result.
+AnnotatedDfa minimize(const AnnotatedDfa& dfa);
+
+}  // namespace ccfsp

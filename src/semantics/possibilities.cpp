@@ -1,0 +1,118 @@
+#include "semantics/possibilities.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace ccfsp {
+
+std::vector<Possibility> possibilities_tree(const Fsp& p) {
+  if (!p.is_tree()) throw std::logic_error("possibilities_tree: not a tree FSP");
+
+  // Unique parent edge per non-root state.
+  std::vector<StateId> parent(p.num_states(), 0);
+  std::vector<ActionId> in_action(p.num_states(), kTau);
+  for (StateId s = 0; s < p.num_states(); ++s) {
+    for (const auto& t : p.out(s)) {
+      parent[t.target] = s;
+      in_action[t.target] = t.action;
+    }
+  }
+
+  std::vector<Possibility> poss;
+  for (StateId q = 0; q < p.num_states(); ++q) {
+    if (!p.is_stable(q)) continue;
+    Possibility pz;
+    // Read the root path backwards, keeping observable labels only.
+    for (StateId v = q; v != p.start(); v = parent[v]) {
+      if (in_action[v] != kTau) pz.s.push_back(in_action[v]);
+    }
+    std::reverse(pz.s.begin(), pz.s.end());
+    for (std::size_t a : p.out_actions(q).to_indices()) pz.z.push_back(static_cast<ActionId>(a));
+    poss.push_back(std::move(pz));
+  }
+  canonicalize(poss);
+  return poss;
+}
+
+std::vector<Possibility> possibilities_acyclic(const Fsp& p, std::size_t limit) {
+  if (!p.is_acyclic()) throw std::logic_error("possibilities_acyclic: process has a cycle");
+
+  std::set<Possibility> poss;
+  struct Item {
+    std::vector<ActionId> s;
+    std::vector<StateId> states;  // tau-closed subset reached by s
+  };
+  std::vector<Item> frontier{{{}, p.tau_closure(p.start())}};
+  std::size_t work = 0;
+
+  auto harvest = [&](const Item& item) {
+    for (StateId q : item.states) {
+      if (p.is_stable(q)) {
+        Possibility pz;
+        pz.s = item.s;
+        for (std::size_t a : p.out_actions(q).to_indices()) {
+          pz.z.push_back(static_cast<ActionId>(a));
+        }
+        poss.insert(std::move(pz));
+      }
+    }
+  };
+
+  while (!frontier.empty()) {
+    std::vector<Item> next_frontier;
+    for (const auto& item : frontier) {
+      if (++work > limit || poss.size() > limit) {
+        throw std::runtime_error("possibilities_acyclic: limit exceeded");
+      }
+      harvest(item);
+      std::set<ActionId> actions;
+      for (StateId s : item.states) {
+        for (const auto& t : p.out(s)) {
+          if (t.action != kTau) actions.insert(t.action);
+        }
+      }
+      for (ActionId a : actions) {
+        std::set<StateId> next;
+        for (StateId s : item.states) {
+          for (const auto& t : p.out(s)) {
+            if (t.action == a) {
+              for (StateId r : p.tau_closure(t.target)) next.insert(r);
+            }
+          }
+        }
+        if (next.empty()) continue;
+        Item ni;
+        ni.s = item.s;
+        ni.s.push_back(a);
+        ni.states.assign(next.begin(), next.end());
+        next_frontier.push_back(std::move(ni));
+      }
+    }
+    frontier = std::move(next_frontier);
+  }
+  return {poss.begin(), poss.end()};
+}
+
+void canonicalize(std::vector<Possibility>& poss) {
+  std::sort(poss.begin(), poss.end());
+  poss.erase(std::unique(poss.begin(), poss.end()), poss.end());
+}
+
+std::string to_string(const Possibility& poss, const Alphabet& alphabet) {
+  std::string out = "(";
+  for (std::size_t i = 0; i < poss.s.size(); ++i) {
+    if (i) out += ' ';
+    out += alphabet.name(poss.s[i]);
+  }
+  if (poss.s.empty()) out += "ε";
+  out += ", {";
+  for (std::size_t i = 0; i < poss.z.size(); ++i) {
+    if (i) out += ',';
+    out += alphabet.name(poss.z[i]);
+  }
+  out += "})";
+  return out;
+}
+
+}  // namespace ccfsp

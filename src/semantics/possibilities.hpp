@@ -1,0 +1,41 @@
+// Poss(P), the paper's central semantic object (Definition 4): the pairs
+// (s, Z) such that s drives P to some stable state (no outgoing tau) whose
+// outgoing action set is exactly Z. Possibility equivalence refines HBR
+// failure equivalence and is a congruence for composition (Lemma 2 / 2'),
+// which is what makes the Theorem 3 hierarchy sound.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fsp/fsp.hpp"
+
+namespace ccfsp {
+
+struct Possibility {
+  std::vector<ActionId> s;  // the observable string
+  std::vector<ActionId> z;  // the ready set at the stable state, sorted
+
+  bool operator==(const Possibility&) const = default;
+  auto operator<=>(const Possibility&) const = default;
+};
+
+/// Explicit Poss(P) for a *tree* FSP: one possibility per reachable stable
+/// state, whose string is read off the unique root path. Linear time and
+/// size; the backbone of the Theorem 3 reduction step.
+std::vector<Possibility> possibilities_tree(const Fsp& p);
+
+/// Explicit Poss(P) for any acyclic FSP by exhaustive path traversal.
+/// Worst-case exponential (that blow-up is Theorem 1's succinctness source);
+/// throws if more than `limit` distinct possibilities accumulate. Intended
+/// for oracles in tests and for the polynomially-bounded composites arising
+/// inside the Theorem 3 pipeline.
+std::vector<Possibility> possibilities_acyclic(const Fsp& p, std::size_t limit = 1u << 20);
+
+/// Canonicalize: sort + dedupe.
+void canonicalize(std::vector<Possibility>& poss);
+
+/// Human-readable rendering "(a b, {c,d})" for debugging and docs.
+std::string to_string(const Possibility& poss, const Alphabet& alphabet);
+
+}  // namespace ccfsp

@@ -1,0 +1,54 @@
+#include "semantics/unary.hpp"
+
+#include <algorithm>
+
+#include "util/graph.hpp"
+
+namespace ccfsp {
+
+UnaryBound unary_bound_explicit(const Fsp& p, ActionId symbol) {
+  auto scc = p.digraph().scc();
+  for (StateId s = 0; s < p.num_states(); ++s) {
+    for (const auto& t : p.out(s)) {
+      if (t.action == symbol && scc.component[s] == scc.component[t.target]) {
+        return UnaryBound::inf();
+      }
+    }
+  }
+  // Longest weighted path over the SCC condensation (symbol edges weigh 1).
+  // Tarjan ids are in reverse topological order; the start's component is
+  // the unique maximum, so process ids descending with push relaxation.
+  std::size_t k = scc.num_components;
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> cadj(k);
+  for (StateId s = 0; s < p.num_states(); ++s) {
+    for (const auto& t : p.out(s)) {
+      std::size_t a = scc.component[s], b = scc.component[t.target];
+      if (a != b) cadj[a].emplace_back(b, t.action == symbol ? 1u : 0u);
+    }
+  }
+  std::vector<std::size_t> best(k, 0);
+  std::size_t answer = 0;
+  for (std::size_t c = k; c-- > 0;) {
+    for (auto [d, w] : cadj[c]) {
+      best[d] = std::max(best[d], best[c] + w);
+      answer = std::max(answer, best[d]);
+    }
+  }
+  return UnaryBound::of(BigInt(static_cast<std::int64_t>(answer)));
+}
+
+Fsp unary_budget_fsp(const AlphabetPtr& alphabet, ActionId symbol, std::size_t count,
+                     const std::string& name) {
+  Fsp f(alphabet, name);
+  StateId prev = f.add_state();
+  f.set_start(prev);
+  for (std::size_t i = 0; i < count; ++i) {
+    StateId next = f.add_state();
+    f.add_transition(prev, symbol, next);
+    prev = next;
+  }
+  if (count == 0) f.declare_action(symbol);
+  return f;
+}
+
+}  // namespace ccfsp

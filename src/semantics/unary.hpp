@@ -1,0 +1,35 @@
+// Unary-language normal forms (Theorem 4): over a one-symbol communication
+// alphabet, a prefix-closed language is determined by the supremum of its
+// string lengths — a number L (meaning {a^j | j <= L}) or infinity. The
+// number must be held in binary (BigInt): a chain of multiply-by-2
+// processes makes L exponential in the network size.
+#pragma once
+
+#include "bignum/bigint.hpp"
+#include "fsp/fsp.hpp"
+
+namespace ccfsp {
+
+struct UnaryBound {
+  bool infinite = false;
+  BigInt count;  // meaningful when !infinite
+
+  static UnaryBound inf() { return {true, BigInt(0)}; }
+  static UnaryBound of(BigInt v) { return {false, std::move(v)}; }
+
+  bool operator==(const UnaryBound&) const = default;
+  std::string to_string() const { return infinite ? "inf" : count.to_string(); }
+};
+
+/// Max number of occurrences of `symbol` along any path of p (tau and other
+/// symbols traverse freely but do not count); infinite iff some reachable
+/// cycle contains a `symbol` transition. This is the explicit-state oracle
+/// that the ILP-based Theorem 4 propagation is validated against.
+UnaryBound unary_bound_explicit(const Fsp& p, ActionId symbol);
+
+/// The FSP realization of the budget language {symbol^j | j <= count}:
+/// a path of `count` transitions. Only for small counts (testing).
+Fsp unary_budget_fsp(const AlphabetPtr& alphabet, ActionId symbol, std::size_t count,
+                     const std::string& name);
+
+}  // namespace ccfsp

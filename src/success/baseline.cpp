@@ -1,0 +1,78 @@
+#include "success/baseline.hpp"
+
+#include "util/graph.hpp"
+
+namespace ccfsp {
+
+namespace {
+
+bool p_at_leaf(const Network& net, const GlobalMachine& g, std::uint32_t state,
+               std::size_t p_index) {
+  return net.process(p_index).is_leaf(g.tuples[state][p_index]);
+}
+
+}  // namespace
+
+bool success_collab_global(const Network& net, std::size_t p_index, std::size_t max_states) {
+  GlobalMachine g = build_global(net, max_states);
+  for (std::uint32_t s = 0; s < g.num_states(); ++s) {
+    if (g.is_stuck(s) && p_at_leaf(net, g, s, p_index)) return true;
+  }
+  return false;
+}
+
+bool potential_blocking_global(const Network& net, std::size_t p_index, std::size_t max_states) {
+  GlobalMachine g = build_global(net, max_states);
+  for (std::uint32_t s = 0; s < g.num_states(); ++s) {
+    if (g.is_stuck(s) && !p_at_leaf(net, g, s, p_index)) return true;
+  }
+  return false;
+}
+
+bool success_collab_cyclic_global(const Network& net, std::size_t p_index,
+                                  std::size_t max_states) {
+  GlobalMachine g = build_global(net, max_states);
+  Digraph d(g.num_states());
+  for (std::uint32_t s = 0; s < g.num_states(); ++s) {
+    for (const auto& e : g.edges[s]) d.add_edge(s, e.target);
+  }
+  auto scc = d.scc();
+  for (std::uint32_t s = 0; s < g.num_states(); ++s) {
+    for (const auto& e : g.edges[s]) {
+      if (g.process_moves(e, p_index) && scc.component[s] == scc.component[e.target]) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool potential_blocking_cyclic_global(const Network& net, std::size_t p_index,
+                                      std::size_t max_states) {
+  GlobalMachine g = build_global(net, max_states);
+  // Case 1: a reachable stuck state (with no leaves anywhere in a Section 4
+  // network, any stall strands P; if P does sit at a leaf there, it has
+  // still "stopped moving", which is failure in the cyclic reading).
+  for (std::uint32_t s = 0; s < g.num_states(); ++s) {
+    if (g.is_stuck(s)) return true;
+  }
+  // Case 2: a reachable cycle consisting purely of non-P moves — the rest of
+  // the network can churn forever while P is starved.
+  Digraph d(g.num_states());
+  for (std::uint32_t s = 0; s < g.num_states(); ++s) {
+    for (const auto& e : g.edges[s]) {
+      if (!g.process_moves(e, p_index)) d.add_edge(s, e.target);
+    }
+  }
+  auto scc = d.scc();
+  for (std::uint32_t s = 0; s < g.num_states(); ++s) {
+    for (const auto& e : g.edges[s]) {
+      if (!g.process_moves(e, p_index) && scc.component[s] == scc.component[e.target]) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace ccfsp

@@ -1,0 +1,168 @@
+#include "success/cyclic.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "algebra/compose.hpp"
+#include "equiv/bisim.hpp"
+#include "semantics/lang.hpp"
+#include "success/baseline.hpp"
+#include "success/context.hpp"
+#include "success/game.hpp"
+
+namespace ccfsp {
+
+CyclicDecision cyclic_decide_explicit(const Network& net, std::size_t p_index,
+                                      std::size_t max_states) {
+  CyclicDecision d;
+  d.potential_blocking = potential_blocking_cyclic_global(net, p_index, max_states);
+  d.success_collab = success_collab_cyclic_global(net, p_index, max_states);
+  const Fsp& p = net.process(p_index);
+  if (!p.has_tau_moves()) {
+    Fsp q = compose_context(net, p_index, /*cyclic=*/true);
+    d.max_intermediate_states = q.num_states();
+    d.success_adversity = success_adversity(p, q, /*cyclic_goal=*/true, max_states);
+  }
+  return d;
+}
+
+namespace {
+
+Fsp reduce_cyclic(const Fsp& f, const CyclicHeuristicOptions& opt) {
+  Fsp cur = f;
+  if (opt.use_tau_compression) cur = compress_trivial_tau(cur);
+  if (opt.use_bisimulation) cur = quotient_by_bisimulation(cur);
+  return cur;
+}
+
+struct CyclicPipeline {
+  const Network* net;
+  const CyclicHeuristicOptions* opt;
+  std::vector<std::vector<std::size_t>> quotient_adj;
+  std::vector<std::vector<std::size_t>> part_members;
+  std::size_t max_states = 0;
+
+  Fsp reduce_subtree(std::size_t part, std::size_t parent) {
+    std::vector<const Fsp*> members;
+    for (std::size_t i : part_members[part]) members.push_back(&net->process(i));
+    Fsp acc = compose_all(members, /*cyclic=*/true);
+    for (std::size_t child : quotient_adj[part]) {
+      if (child == parent) continue;
+      Fsp child_red = reduce_subtree(child, part);
+      acc = cyclic_compose(acc, child_red);
+    }
+    max_states = std::max(max_states, acc.num_states());
+    return reduce_cyclic(acc, *opt);
+  }
+};
+
+}  // namespace
+
+CyclicDecision cyclic_decide_tree(const Network& net, std::size_t p_index,
+                                  const CyclicHeuristicOptions& opt, std::size_t max_states) {
+  KTreePartition partition = ktree_partition(net);
+
+  CyclicPipeline pipe;
+  pipe.net = &net;
+  pipe.opt = &opt;
+  pipe.part_members = partition.parts;
+  pipe.quotient_adj.assign(partition.parts.size(), {});
+  for (auto [a, b] : partition.quotient_edges) {
+    pipe.quotient_adj[a].push_back(b);
+    pipe.quotient_adj[b].push_back(a);
+  }
+
+  const std::size_t root_part = partition.part_of(p_index);
+  const Fsp& p = net.process(p_index);
+
+  // Reduce everything except P itself into one context process. Start with
+  // P's part-mates, then fold in each reduced subtree, then every stray
+  // quotient component.
+  std::vector<Fsp> pieces;
+  for (std::size_t i : partition.parts[root_part]) {
+    if (i != p_index) pieces.push_back(net.process(i));
+  }
+  for (std::size_t child : pipe.quotient_adj[root_part]) {
+    pieces.push_back(pipe.reduce_subtree(child, root_part));
+  }
+  {
+    std::vector<bool> seen(partition.parts.size(), false);
+    std::vector<std::size_t> stack{root_part};
+    seen[root_part] = true;
+    while (!stack.empty()) {
+      std::size_t v = stack.back();
+      stack.pop_back();
+      for (std::size_t w : pipe.quotient_adj[v]) {
+        if (!seen[w]) {
+          seen[w] = true;
+          stack.push_back(w);
+        }
+      }
+    }
+    for (std::size_t part = 0; part < partition.parts.size(); ++part) {
+      if (seen[part]) continue;
+      pieces.push_back(pipe.reduce_subtree(part, static_cast<std::size_t>(-1)));
+      std::vector<std::size_t> s2{part};
+      seen[part] = true;
+      while (!s2.empty()) {
+        std::size_t v = s2.back();
+        s2.pop_back();
+        for (std::size_t w : pipe.quotient_adj[v]) {
+          if (!seen[w]) {
+            seen[w] = true;
+            s2.push_back(w);
+          }
+        }
+      }
+    }
+  }
+
+  Fsp q = [&] {
+    if (pieces.empty()) {
+      throw std::logic_error("cyclic_decide_tree: network has no context for P");
+    }
+    std::vector<const Fsp*> ptrs;
+    for (const auto& f : pieces) ptrs.push_back(&f);
+    Fsp composed = compose_all(ptrs, /*cyclic=*/true);
+    if (ptrs.size() == 1) composed = add_divergence_leaves(composed);
+    return reduce_cyclic(composed, opt);
+  }();
+  pipe.max_states = std::max(pipe.max_states, q.num_states());
+
+  CyclicDecision d;
+  d.max_intermediate_states = pipe.max_states;
+
+  // Final two-process analysis on {P, Q}: small thanks to the reductions.
+  // Potential blocking: a reachable product state where P and Q are both
+  // stable with disjoint offers (Q's divergence options are leaves by ||').
+  {
+    Fsp prod = reachable_product(p, q);
+    // In the product, P's moves synchronize on all of P's symbols; blocking
+    // states are those with no outgoing transitions at all, or where only Q
+    // could move silently forever — the latter shows up as a tau-cycle,
+    // which ||' already turned into a reachable leaf inside q.
+    bool blocked = false;
+    for (StateId s = 0; s < prod.num_states() && !blocked; ++s) {
+      if (prod.is_leaf(s)) blocked = true;
+    }
+    if (!blocked) {
+      // A reachable cycle of pure tau (Q churning alone) also strands P:
+      // look for a cycle in the tau-only subgraph.
+      Digraph tau_graph(prod.num_states());
+      for (StateId s = 0; s < prod.num_states(); ++s) {
+        for (const auto& t : prod.out(s)) {
+          if (t.action == kTau) tau_graph.add_edge(s, t.target);
+        }
+      }
+      blocked = tau_graph.has_cycle();
+    }
+    d.potential_blocking = blocked;
+  }
+  d.success_collab = lang_intersection_infinite(p, q);
+  if (!p.has_tau_moves()) {
+    d.success_adversity = success_adversity(p, q, /*cyclic_goal=*/true, max_states);
+  }
+  return d;
+}
+
+}  // namespace ccfsp

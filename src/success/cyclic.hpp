@@ -1,0 +1,43 @@
+// Section 4 deciders for networks of cyclic processes, in two flavors:
+// the explicit two-process analysis (exponential, Proposition 2's upper
+// bounds) and the tree-structured heuristic the paper advocates — compose
+// leaves-to-root with the ||' operator, shrinking intermediate composites
+// with sound (possibility-preserving) reductions: strong-bisimulation
+// quotients and trivial-tau compression. Exact possibility normal forms
+// would be PSPACE-hard here [KS]; the heuristic trades canonicity for
+// soundness and is validated against the explicit deciders.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "network/ktree.hpp"
+#include "network/network.hpp"
+
+namespace ccfsp {
+
+struct CyclicDecision {
+  bool potential_blocking = false;          // not S_u
+  bool success_collab = false;              // S_c: P can run forever with help
+  std::optional<bool> success_adversity;    // S_a; absent if P has tau moves
+
+  std::size_t max_intermediate_states = 0;  // diagnostics
+};
+
+/// Explicit analysis on the global machine / composed context.
+CyclicDecision cyclic_decide_explicit(const Network& net, std::size_t p_index,
+                                      std::size_t max_states = 1u << 22);
+
+struct CyclicHeuristicOptions {
+  bool use_bisimulation = true;   // quotient composites by strong bisimulation
+  bool use_tau_compression = true;  // merge pass-through tau states
+};
+
+/// Tree-structured heuristic: hierarchical ||' composition over the k-tree
+/// partition of C_N with sound reduction after every step, then the
+/// explicit deciders on the (small) final two-process system.
+CyclicDecision cyclic_decide_tree(const Network& net, std::size_t p_index,
+                                  const CyclicHeuristicOptions& opt = {},
+                                  std::size_t max_states = 1u << 22);
+
+}  // namespace ccfsp

@@ -1,0 +1,196 @@
+#include "success/game.hpp"
+
+#include <set>
+#include <stdexcept>
+
+#include "fsp/cache.hpp"
+#include "success/context.hpp"
+
+namespace ccfsp {
+
+namespace {
+
+using Belief = std::vector<StateId>;  // sorted, tau-closed set of Q states
+
+struct Position {
+  StateId p;
+  std::uint32_t belief;
+  auto operator<=>(const Position&) const = default;
+};
+
+/// The solved game: the knowledge-set position graph plus the least
+/// fixpoint of "Q can force a stop that defeats P".
+struct SolvedGame {
+  std::vector<Position> positions;
+  std::vector<Belief> beliefs;
+
+  struct Expanded {
+    bool q_can_stop = false;
+    bool p_leaf = false;
+    /// Per offerable action: the action id and P's response positions.
+    std::vector<std::pair<ActionId, std::vector<std::uint32_t>>> action_groups;
+  };
+  std::vector<Expanded> expanded;
+  std::vector<bool> bad;
+  std::uint32_t initial = 0;
+
+  bool p_wins() const { return !bad[initial]; }
+};
+
+SolvedGame solve(const Fsp& p, const Fsp& q, bool cyclic_goal, std::size_t max_positions) {
+  if (p.has_tau_moves()) {
+    throw std::logic_error("success_adversity: P must have no tau moves (Fig 4 assumption)");
+  }
+  SolvedGame g;
+  FspAnalysisCache qc(q);
+
+  std::map<Belief, std::uint32_t> belief_ids;
+  auto intern_belief = [&](Belief b) {
+    auto [it, fresh] = belief_ids.try_emplace(b, static_cast<std::uint32_t>(g.beliefs.size()));
+    if (fresh) g.beliefs.push_back(std::move(b));
+    return it->second;
+  };
+
+  std::map<Position, std::uint32_t> pos_ids;
+  auto intern_pos = [&](Position pos) {
+    auto [it, fresh] =
+        pos_ids.try_emplace(pos, static_cast<std::uint32_t>(g.positions.size()));
+    if (fresh) {
+      if (g.positions.size() >= max_positions) {
+        throw std::runtime_error("success_adversity: position budget exceeded");
+      }
+      g.positions.push_back(pos);
+    }
+    return it->second;
+  };
+
+  g.initial = intern_pos({p.start(), intern_belief(q.tau_closure(q.start()))});
+
+  for (std::uint32_t i = 0; i < g.positions.size(); ++i) {
+    Position pos = g.positions[i];
+    // Copy: intern_belief below may reallocate the beliefs vector.
+    Belief belief = g.beliefs[pos.belief];
+    SolvedGame::Expanded ex;
+    ex.p_leaf = p.is_leaf(pos.p);
+
+    ActionSet p_out = p.out_actions(pos.p);
+    for (StateId qs : belief) {
+      if (!qc.ready_actions(qs).intersects(p_out)) {
+        ex.q_can_stop = true;
+        break;
+      }
+    }
+
+    std::set<ActionId> seen_actions;
+    for (const auto& t : p.out(pos.p)) {
+      if (!seen_actions.insert(t.action).second) continue;
+
+      // Belief update: Q-states after q ==a==> (tau-closed).
+      std::set<StateId> next;
+      for (StateId qs : belief) {
+        for (StateId r : qc.arrow_successors(qs, t.action)) next.insert(r);
+      }
+      if (next.empty()) continue;  // Q can never offer this action here
+      std::uint32_t nb = intern_belief(Belief(next.begin(), next.end()));
+
+      std::vector<std::uint32_t> responses;
+      for (const auto& t2 : p.out(pos.p)) {
+        if (t2.action == t.action) responses.push_back(intern_pos({t2.target, nb}));
+      }
+      ex.action_groups.emplace_back(t.action, std::move(responses));
+    }
+    g.expanded.push_back(std::move(ex));
+  }
+
+  // Least fixpoint of "bad" (Q can force a stop that defeats P).
+  //   acyclic goal: bad if (Q can stop and P off-leaf) or some offerable
+  //                 action has only bad responses;
+  //   cyclic goal:  bad if P is on a leaf, or Q can stop, or some offerable
+  //                 action has only bad responses.
+  g.bad.assign(g.positions.size(), false);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::uint32_t i = 0; i < g.positions.size(); ++i) {
+      if (g.bad[i]) continue;
+      const auto& ex = g.expanded[i];
+      bool b = cyclic_goal ? (ex.p_leaf || ex.q_can_stop) : (ex.q_can_stop && !ex.p_leaf);
+      if (!b) {
+        for (const auto& [action, group] : ex.action_groups) {
+          bool all_bad = true;
+          for (std::uint32_t r : group) {
+            if (!g.bad[r]) {
+              all_bad = false;
+              break;
+            }
+          }
+          if (all_bad) {
+            b = true;
+            break;
+          }
+        }
+      }
+      if (b) {
+        g.bad[i] = true;
+        changed = true;
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
+bool success_adversity(const Fsp& p, const Fsp& q, bool cyclic_goal,
+                       std::size_t max_positions, GameStats* stats) {
+  SolvedGame g = solve(p, q, cyclic_goal, max_positions);
+  if (stats) {
+    stats->positions = g.positions.size();
+    stats->beliefs = g.beliefs.size();
+  }
+  return g.p_wins();
+}
+
+bool success_adversity_network(const Network& net, std::size_t p_index, bool cyclic_goal,
+                               std::size_t max_positions, GameStats* stats) {
+  Fsp q = compose_context(net, p_index, cyclic_goal);
+  return success_adversity(net.process(p_index), q, cyclic_goal, max_positions, stats);
+}
+
+StateId Strategy::respond(ActionId a) {
+  const Entry& entry = table_[position_];
+  auto it = entry.response.find(a);
+  if (it == entry.response.end()) {
+    throw std::logic_error("Strategy::respond: action not offerable here");
+  }
+  p_state_ = it->second.first;
+  position_ = it->second.second;
+  return p_state_;
+}
+
+std::optional<Strategy> winning_strategy(const Fsp& p, const Fsp& q, bool cyclic_goal,
+                                         std::size_t max_positions) {
+  SolvedGame g = solve(p, q, cyclic_goal, max_positions);
+  if (!g.p_wins()) return std::nullopt;
+
+  Strategy s;
+  s.table_.resize(g.positions.size());
+  for (std::uint32_t i = 0; i < g.positions.size(); ++i) {
+    if (g.bad[i]) continue;  // never entered under the strategy
+    for (const auto& [action, group] : g.expanded[i].action_groups) {
+      // P wins from i, so every offerable action has a good response.
+      for (std::uint32_t r : group) {
+        if (!g.bad[r]) {
+          s.table_[i].response.emplace(action, std::make_pair(g.positions[r].p, r));
+          break;
+        }
+      }
+    }
+  }
+  s.initial_p_ = p.start();
+  s.initial_position_ = g.initial;
+  s.reset();
+  return s;
+}
+
+}  // namespace ccfsp

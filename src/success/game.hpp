@@ -1,0 +1,72 @@
+// Game(P, Q) of Figure 4 — the partial-information game defining success in
+// adversity. Player Q knows the global state and picks the next action;
+// player P sees only the action sequence and its own state. Solved by a
+// knowledge-set (belief) construction: positions are (P-state, set of
+// Q-states consistent with the history), evaluated as a least fixpoint of
+// the "Q can force a stop" attractor. Exponential in |Q| — exactly the
+// upper-bound construction behind Theorem 2 membership and Proposition 2.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "fsp/fsp.hpp"
+#include "network/network.hpp"
+
+namespace ccfsp {
+
+struct GameStats {
+  std::size_t positions = 0;  // knowledge-set positions explored
+  std::size_t beliefs = 0;    // distinct belief sets
+};
+
+/// Acyclic rules: P wins iff every maximal play leaves it on a leaf.
+/// Cyclic rules (`cyclic_goal`): P wins iff it can keep the game running
+/// forever; any stop (including P reaching a leaf) is a win for Q.
+/// Precondition: P has no tau moves (the Figure 4 assumption); throws
+/// std::logic_error otherwise. Q may be any FSP (compose the context first;
+/// use the cyclic composition so Q's tau-divergence becomes leaves).
+bool success_adversity(const Fsp& p, const Fsp& q, bool cyclic_goal = false,
+                       std::size_t max_positions = 1u << 22, GameStats* stats = nullptr);
+
+/// Convenience: builds Q = compose_context(net, p_index, cyclic_goal).
+bool success_adversity_network(const Network& net, std::size_t p_index,
+                               bool cyclic_goal = false, std::size_t max_positions = 1u << 22,
+                               GameStats* stats = nullptr);
+
+/// A winning strategy for player P, extracted from the solved game: a map
+/// from (P-state, knowledge set) to a P-response per offerable action. The
+/// object is self-contained (it owns the belief tables) and is driven by
+/// feeding it the adversary's actions.
+class Strategy {
+ public:
+  StateId current() const { return p_state_; }
+  /// The adversary offers `a`; returns P's chosen successor state.
+  /// Throws std::logic_error if `a` is not offerable here (i.e. the caller
+  /// is not playing a legal adversary).
+  StateId respond(ActionId a);
+  void reset() {
+    p_state_ = initial_p_;
+    position_ = initial_position_;
+  }
+
+ private:
+  friend std::optional<Strategy> winning_strategy(const Fsp&, const Fsp&, bool, std::size_t);
+  struct Entry {
+    std::map<ActionId, std::pair<StateId, std::uint32_t>> response;  // a -> (p', position')
+  };
+  std::vector<Entry> table_;
+  StateId initial_p_ = 0;
+  std::uint32_t initial_position_ = 0;
+  StateId p_state_ = 0;
+  std::uint32_t position_ = 0;
+};
+
+/// The strategy witnessing S_a, or nullopt if player Q wins. Same
+/// preconditions as success_adversity.
+std::optional<Strategy> winning_strategy(const Fsp& p, const Fsp& q, bool cyclic_goal = false,
+                                         std::size_t max_positions = 1u << 22);
+
+}  // namespace ccfsp

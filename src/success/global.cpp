@@ -1,0 +1,76 @@
+#include "success/global.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace ccfsp {
+
+GlobalMachine build_global(const Network& net, std::size_t max_states) {
+  const std::size_t m = net.size();
+
+  // Per-action owner pair (each action belongs to exactly two processes).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> owners(
+      net.alphabet()->size(), {UINT32_MAX, UINT32_MAX});
+  for (std::uint32_t i = 0; i < m; ++i) {
+    for (ActionId a : net.process(i).sigma()) {
+      if (owners[a].first == UINT32_MAX) {
+        owners[a].first = i;
+      } else {
+        owners[a].second = i;
+      }
+    }
+  }
+
+  GlobalMachine g;
+  std::map<std::vector<StateId>, std::uint32_t> ids;
+  auto intern = [&](std::vector<StateId> tuple) {
+    auto [it, fresh] = ids.try_emplace(tuple, static_cast<std::uint32_t>(g.tuples.size()));
+    if (fresh) {
+      if (g.tuples.size() >= max_states) {
+        throw std::runtime_error("build_global: state budget exceeded");
+      }
+      g.tuples.push_back(std::move(tuple));
+      g.edges.emplace_back();
+    }
+    return it->second;
+  };
+
+  std::vector<StateId> init(m);
+  for (std::size_t i = 0; i < m; ++i) init[i] = net.process(i).start();
+  intern(std::move(init));
+
+  for (std::uint32_t cur = 0; cur < g.tuples.size(); ++cur) {
+    std::vector<StateId> tuple = g.tuples[cur];  // copy: tuples vector grows
+    for (std::uint32_t i = 0; i < m; ++i) {
+      const Fsp& pi = net.process(i);
+      for (const auto& t : pi.out(tuple[i])) {
+        if (t.action == kTau) {
+          std::vector<StateId> next = tuple;
+          next[i] = t.target;
+          // intern() may reallocate g.edges; resolve the target first.
+          std::uint32_t target = intern(std::move(next));
+          g.edges[cur].push_back({target, i, i, kTau});
+        } else {
+          // Handshake with the unique partner process.
+          auto [o1, o2] = owners[t.action];
+          std::uint32_t j = (o1 == i) ? o2 : o1;
+          if (j == UINT32_MAX || j == i) continue;  // symbol declared only here
+          if (j < i) continue;                      // emit each handshake once (from the lower id)
+          const Fsp& pj = net.process(j);
+          for (const auto& u : pj.out(tuple[j])) {
+            if (u.action == t.action) {
+              std::vector<StateId> next = tuple;
+              next[i] = t.target;
+              next[j] = u.target;
+              std::uint32_t target = intern(std::move(next));
+              g.edges[cur].push_back({target, i, j, t.action});
+            }
+          }
+        }
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace ccfsp

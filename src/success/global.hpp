@@ -1,0 +1,43 @@
+// The explicit global process G = P1 || P2 || ... || Pm, materialized as a
+// reachable tuple graph. The paper calls analyzing G "standard, albeit
+// inefficient"; here it serves exactly that role — the oracle baseline that
+// the structured algorithms (Prop 1, Thm 3, Thm 4) are validated against
+// and benchmarked around.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "network/network.hpp"
+
+namespace ccfsp {
+
+struct GlobalMachine {
+  /// tuples[g][i] = local state of process i in global state g; state 0 is
+  /// the initial tuple.
+  std::vector<std::vector<StateId>> tuples;
+
+  struct Edge {
+    std::uint32_t target;
+    /// Index of a moving process, and of the second one for a handshake
+    /// (== mover otherwise). Lets callers ask "did process i move here?".
+    std::uint32_t mover;
+    std::uint32_t partner;
+    /// The handshake symbol, or kTau for an internal move. (The global
+    /// process itself has only tau moves — this remembers what was hidden.)
+    ActionId action;
+  };
+  std::vector<std::vector<Edge>> edges;
+
+  std::size_t num_states() const { return tuples.size(); }
+  bool is_stuck(std::uint32_t g) const { return edges[g].empty(); }
+  bool process_moves(const Edge& e, std::size_t i) const {
+    return e.mover == i || e.partner == i;
+  }
+};
+
+/// Build G by BFS from the initial tuple. `max_states` guards against the
+/// exponential blow-up this baseline exists to demonstrate.
+GlobalMachine build_global(const Network& net, std::size_t max_states = 1u << 22);
+
+}  // namespace ccfsp

@@ -1,0 +1,48 @@
+#include "success/group.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "success/global.hpp"
+
+namespace ccfsp {
+
+GroupSuccess group_success(const Network& net, const std::vector<std::size_t>& group,
+                           std::size_t max_states) {
+  if (group.empty()) throw std::invalid_argument("group_success: empty group");
+  std::vector<std::size_t> sorted = group;
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+    throw std::invalid_argument("group_success: duplicate process index");
+  }
+  if (sorted.back() >= net.size()) {
+    throw std::invalid_argument("group_success: process index out of range");
+  }
+
+  GlobalMachine g = build_global(net, max_states);
+  auto group_done = [&](std::uint32_t s) {
+    for (std::size_t i : sorted) {
+      if (!net.process(i).is_leaf(g.tuples[s][i])) return false;
+    }
+    return true;
+  };
+
+  GroupSuccess result;
+  result.unavoidable_success = true;
+  for (std::uint32_t s = 0; s < g.num_states(); ++s) {
+    if (!g.is_stuck(s)) continue;
+    if (group_done(s)) {
+      result.success_collab = true;
+    } else {
+      result.unavoidable_success = false;
+    }
+  }
+  // A network whose global machine never sticks (cyclic material) cannot
+  // park the group at leaves at all.
+  bool any_stuck = false;
+  for (std::uint32_t s = 0; s < g.num_states(); ++s) any_stuck |= g.is_stuck(s);
+  if (!any_stuck) result.unavoidable_success = false;
+  return result;
+}
+
+}  // namespace ccfsp

@@ -1,0 +1,29 @@
+// Section 5 raises the symmetric generalization: the process of interest is
+// itself a composition P = P_1 || ... || P_m of network members. The paper
+// leaves the tree-process case open; here we provide the natural semantics
+// and the explicit decision procedures, so the open question is at least
+// executable:
+//   group unavoidable success:  every maximal evolution parks EVERY group
+//                               member on one of its leaves;
+//   group success w/ collab:    some maximal evolution does.
+// (Success-in-adversity for a group needs a joint partial-information
+// strategy and is exactly the open problem — not provided.)
+#pragma once
+
+#include <vector>
+
+#include "network/network.hpp"
+
+namespace ccfsp {
+
+struct GroupSuccess {
+  bool unavoidable_success = false;
+  bool success_collab = false;
+};
+
+/// Explicit decision on the global machine. `group` must be a non-empty set
+/// of distinct process indices.
+GroupSuccess group_success(const Network& net, const std::vector<std::size_t>& group,
+                           std::size_t max_states = 1u << 22);
+
+}  // namespace ccfsp

@@ -1,0 +1,132 @@
+#include "success/linear.hpp"
+
+#include <map>
+#include <stdexcept>
+
+#include "util/graph.hpp"
+
+namespace ccfsp {
+
+namespace {
+
+/// The observable action sequence of a linear process, in path order.
+std::vector<ActionId> action_sequence(const Fsp& p) {
+  std::vector<ActionId> seq;
+  StateId cur = p.start();
+  while (!p.is_leaf(cur)) {
+    const Transition& t = p.out(cur)[0];
+    if (t.action != kTau) seq.push_back(t.action);
+    cur = t.target;
+  }
+  return seq;
+}
+
+}  // namespace
+
+bool linear_network_success(const Network& net, std::size_t p_index) {
+  const std::size_t m = net.size();
+  for (std::size_t i = 0; i < m; ++i) {
+    if (!net.process(i).is_linear()) {
+      throw std::logic_error("linear_network_success: process '" + net.process(i).name() +
+                             "' is not linear");
+    }
+  }
+
+  // Node = one occurrence of an action in one process's sequence.
+  struct Node {
+    std::size_t process;
+    std::size_t index;      // position within the process sequence
+    ActionId action;
+    std::size_t occurrence;  // k-th occurrence of this action in this process
+  };
+  std::vector<Node> nodes;
+  std::vector<std::vector<std::size_t>> node_of(m);  // process -> its node ids in order
+  for (std::size_t i = 0; i < m; ++i) {
+    auto seq = action_sequence(net.process(i));
+    std::map<ActionId, std::size_t> occ;
+    for (std::size_t k = 0; k < seq.size(); ++k) {
+      node_of[i].push_back(nodes.size());
+      nodes.push_back({i, k, seq[k], occ[seq[k]]++});
+    }
+  }
+
+  // Match the k-th occurrence of each action across its two owner processes.
+  std::map<std::pair<ActionId, std::size_t>, std::vector<std::size_t>> by_occ;
+  for (std::size_t n = 0; n < nodes.size(); ++n) {
+    by_occ[{nodes[n].action, nodes[n].occurrence}].push_back(n);
+  }
+  std::vector<std::size_t> partner(nodes.size(), static_cast<std::size_t>(-1));
+  for (const auto& [key, group] : by_occ) {
+    if (group.size() == 2) {
+      partner[group[0]] = group[1];
+      partner[group[1]] = group[0];
+    }
+    // group.size() == 1: occurrence with no counterpart — stays unmatched.
+  }
+
+  // Delete unmatched nodes and everything after them (in-process), with
+  // deletions propagating to partners.
+  std::vector<bool> dead(nodes.size(), false);
+  std::vector<std::size_t> work;
+  auto kill = [&](std::size_t n) {
+    if (!dead[n]) {
+      dead[n] = true;
+      work.push_back(n);
+    }
+  };
+  for (std::size_t n = 0; n < nodes.size(); ++n) {
+    if (partner[n] == static_cast<std::size_t>(-1)) kill(n);
+  }
+  while (!work.empty()) {
+    std::size_t n = work.back();
+    work.pop_back();
+    // Everything after n in its process can never run.
+    const auto& order = node_of[nodes[n].process];
+    for (std::size_t k = nodes[n].index + 1; k < order.size(); ++k) kill(order[k]);
+    // The partner occurrence can never handshake.
+    if (partner[n] != static_cast<std::size_t>(-1)) kill(partner[n]);
+  }
+
+  // If any action of the distinguished process died, it cannot complete.
+  for (std::size_t n : node_of[p_index]) {
+    if (dead[n]) return false;
+  }
+
+  // H': one vertex per surviving matched pair; arcs follow in-process order.
+  std::vector<std::size_t> pair_id(nodes.size(), static_cast<std::size_t>(-1));
+  std::size_t num_pairs = 0;
+  for (std::size_t n = 0; n < nodes.size(); ++n) {
+    if (!dead[n] && pair_id[n] == static_cast<std::size_t>(-1)) {
+      pair_id[n] = pair_id[partner[n]] = num_pairs++;
+    }
+  }
+  Digraph h(num_pairs);
+  for (std::size_t i = 0; i < m; ++i) {
+    std::size_t prev = static_cast<std::size_t>(-1);
+    for (std::size_t n : node_of[i]) {
+      if (dead[n]) break;  // everything later is dead too
+      if (prev != static_cast<std::size_t>(-1) && pair_id[n] != prev) {
+        h.add_edge(prev, pair_id[n]);
+      }
+      prev = pair_id[n];
+    }
+  }
+
+  // Keep only pairs that P's pairs depend on (predecessors of P's pairs,
+  // including those pairs themselves); a dependency cycle there blocks P.
+  std::vector<std::size_t> p_pairs;
+  for (std::size_t n : node_of[p_index]) p_pairs.push_back(pair_id[n]);
+  if (p_pairs.empty()) return true;  // P has nothing to do: its start is its leaf
+  auto relevant = h.co_reachable(p_pairs);
+
+  Digraph hr(num_pairs);
+  for (std::size_t v = 0; v < num_pairs; ++v) {
+    if (!relevant[v]) continue;
+    for (std::size_t w : h.successors(v)) {
+      if (relevant[w]) hr.add_edge(v, w);
+    }
+  }
+  return !hr.has_cycle();
+}
+
+}  // namespace ccfsp

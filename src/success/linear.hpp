@@ -1,0 +1,14 @@
+// Proposition 1: for networks of linear FSPs there are no meaningful
+// choices, all three success notions coincide, and they can be decided in
+// linear time by occurrence matching + dependency-cycle detection.
+#pragma once
+
+#include "network/network.hpp"
+
+namespace ccfsp {
+
+/// The common value of S_u = S_a = S_c for an all-linear network.
+/// Throws std::logic_error if some process is not linear.
+bool linear_network_success(const Network& net, std::size_t p_index);
+
+}  // namespace ccfsp

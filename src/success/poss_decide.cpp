@@ -1,0 +1,84 @@
+#include "success/poss_decide.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "semantics/poss_automaton.hpp"
+
+namespace ccfsp {
+
+namespace {
+
+/// Walk the synchronized product of the two possibility automata and test
+/// `found` at every reachable pair (every common string s).
+template <typename Found>
+bool search_product(const Fsp& p, const Fsp& q, Found&& found) {
+  if (p.alphabet() != q.alphabet()) {
+    throw std::logic_error("poss_decide: processes over different Alphabets");
+  }
+  AnnotatedDfa dp = annotated_determinize(p, SemanticAnnotation::kPossibilities);
+  AnnotatedDfa dq = annotated_determinize(q, SemanticAnnotation::kPossibilities);
+
+  std::set<std::pair<std::uint32_t, std::uint32_t>> seen;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> work{{dp.start, dq.start}};
+  seen.insert(work[0]);
+  while (!work.empty()) {
+    auto [sp, sq] = work.back();
+    work.pop_back();
+    if (found(dp.annotation[sp], dq.annotation[sq])) return true;
+    // Common extensions only: both sides must define the action.
+    for (const auto& [a, tp] : dp.trans[sp]) {
+      auto it = dq.trans[sq].find(a);
+      if (it == dq.trans[sq].end()) continue;
+      auto next = std::make_pair(tp, it->second);
+      if (seen.insert(next).second) work.push_back(next);
+    }
+  }
+  return false;
+}
+
+using Annotation = std::set<std::vector<ActionId>>;
+
+bool mutually_refusing(const Annotation& ap, const Annotation& aq, bool require_nonempty_x) {
+  for (const auto& x : ap) {
+    if (require_nonempty_x && x.empty()) continue;
+    for (const auto& y : aq) {
+      bool disjoint = true;
+      for (ActionId a : x) {
+        // Both sorted; a linear merge would be faster, but Z sets are tiny.
+        if (std::binary_search(y.begin(), y.end(), a)) {
+          disjoint = false;
+          break;
+        }
+      }
+      if (disjoint) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool collab_by_possibilities(const Fsp& p, const Fsp& q) {
+  return search_product(p, q, [](const Annotation& ap, const Annotation& aq) {
+    (void)aq;
+    return ap.count({}) > 0;  // (s, {}) in Poss(P); s in Lang(Q) by reachability
+  });
+}
+
+bool blocking_by_possibilities(const Fsp& p, const Fsp& q) {
+  return search_product(p, q, [](const Annotation& ap, const Annotation& aq) {
+    return mutually_refusing(ap, aq, /*require_nonempty_x=*/true);
+  });
+}
+
+bool cyclic_blocking_by_possibilities(const Fsp& p, const Fsp& q) {
+  return search_product(p, q, [](const Annotation& ap, const Annotation& aq) {
+    return mutually_refusing(ap, aq, /*require_nonempty_x=*/false);
+  });
+}
+
+}  // namespace ccfsp

@@ -1,0 +1,30 @@
+// Lemmas 3 and 4 taken literally, at the semantic level: decide success
+// predicates for the two-process view {P, Q} purely from Poss(P), Poss(Q)
+// and Lang(Q), by walking the synchronized product of the two annotated
+// possibility automata. No global tuple machine, no game — a third,
+// independent decision path used to cross-validate the other two, and the
+// clearest executable rendering of what the lemmas actually say:
+//   S_c  (Lemma 3):   some s in Lang(Q) with (s, {}) in Poss(P);
+//   ¬S_u (Lemma 4):   some s with (s,X) in Poss(P), (s,Y) in Poss(Q),
+//                     X nonempty (acyclic reading) and X ∩ Y = {}.
+// The Section 4 variants use the same formulas after Q has been composed
+// with ||' (divergence leaves make Poss(Q) honest about tau-loops) and
+// drop the X nonempty requirement.
+#pragma once
+
+#include "fsp/fsp.hpp"
+
+namespace ccfsp {
+
+/// Lemma 3. P and Q over the same Alphabet; all of P's symbols must be
+/// shared with Q (the closed two-process view — compose the context first).
+bool collab_by_possibilities(const Fsp& p, const Fsp& q);
+
+/// Lemma 4 (acyclic reading: X must be nonempty — P stalled off-leaf).
+bool blocking_by_possibilities(const Fsp& p, const Fsp& q);
+
+/// Lemma 4' (cyclic reading: any mutually-refusing stable pair blocks,
+/// including Y = {} from a divergence leaf). Pass Q built with ||'.
+bool cyclic_blocking_by_possibilities(const Fsp& p, const Fsp& q);
+
+}  // namespace ccfsp

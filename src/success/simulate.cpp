@@ -1,0 +1,78 @@
+#include "success/simulate.hpp"
+
+namespace ccfsp {
+
+namespace {
+
+struct EnabledMove {
+  std::uint32_t mover;
+  std::uint32_t partner;
+  ActionId action;
+  StateId mover_target;
+  StateId partner_target;
+};
+
+std::vector<EnabledMove> enabled_moves(const Network& net, const std::vector<StateId>& tuple) {
+  std::vector<EnabledMove> moves;
+  const std::size_t m = net.size();
+  for (std::uint32_t i = 0; i < m; ++i) {
+    const Fsp& pi = net.process(i);
+    for (const auto& t : pi.out(tuple[i])) {
+      if (t.action == kTau) {
+        moves.push_back({i, i, kTau, t.target, 0});
+        continue;
+      }
+      for (std::uint32_t j = static_cast<std::uint32_t>(i) + 1; j < m; ++j) {
+        const Fsp& pj = net.process(j);
+        if (!pj.sigma_set().test(t.action)) continue;
+        for (const auto& u : pj.out(tuple[j])) {
+          if (u.action == t.action) {
+            moves.push_back({i, j, t.action, t.target, u.target});
+          }
+        }
+      }
+    }
+  }
+  return moves;
+}
+
+}  // namespace
+
+SimulationResult simulate_random(const Network& net, std::uint64_t seed,
+                                 std::size_t max_steps) {
+  Rng rng(seed);
+  SimulationResult result;
+  std::vector<StateId> tuple(net.size());
+  for (std::size_t i = 0; i < net.size(); ++i) tuple[i] = net.process(i).start();
+
+  for (std::size_t step = 0; step < max_steps; ++step) {
+    auto moves = enabled_moves(net, tuple);
+    if (moves.empty()) {
+      result.stuck = true;
+      break;
+    }
+    const EnabledMove& mv = moves[rng.below(moves.size())];
+    tuple[mv.mover] = mv.mover_target;
+    if (mv.partner != mv.mover) tuple[mv.partner] = mv.partner_target;
+    result.steps.push_back({mv.mover, mv.partner, mv.action});
+  }
+  result.final_tuple = tuple;
+  return result;
+}
+
+std::string format_schedule(const Network& net, const SimulationResult& result) {
+  std::string out;
+  for (const auto& step : result.steps) {
+    if (step.mover == step.partner) {
+      out += "  " + net.process(step.mover).name() + ": tau\n";
+    } else {
+      out += "  " + net.process(step.mover).name() + " --" +
+             net.alphabet()->name(step.action) + "-- " + net.process(step.partner).name() +
+             "\n";
+    }
+  }
+  out += result.stuck ? "  (stuck)\n" : "  (still running)\n";
+  return out;
+}
+
+}  // namespace ccfsp

@@ -1,0 +1,37 @@
+// Random maximal schedules of a network, respecting the continuity rule:
+// while any handshake or internal move is enabled, one fires (picked
+// uniformly). A differential validator for the analytic deciders — a
+// schedule that jams with the distinguished process off-leaf IS a potential
+// blocking witness, and a network certified S_u can never produce one —
+// and the engine behind demo traces.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "network/network.hpp"
+#include "util/rng.hpp"
+
+namespace ccfsp {
+
+struct ScheduleStep {
+  std::uint32_t mover;
+  std::uint32_t partner;  // == mover for an internal tau move
+  ActionId action;        // kTau for internal moves
+};
+
+struct SimulationResult {
+  std::vector<ScheduleStep> steps;
+  std::vector<StateId> final_tuple;
+  /// True iff the run ended because nothing was enabled (as opposed to
+  /// hitting max_steps, which only cyclic networks do).
+  bool stuck = false;
+};
+
+SimulationResult simulate_random(const Network& net, std::uint64_t seed,
+                                 std::size_t max_steps = 10000);
+
+/// Render a schedule as readable lines (mirrors format_witness).
+std::string format_schedule(const Network& net, const SimulationResult& result);
+
+}  // namespace ccfsp

@@ -1,0 +1,156 @@
+#include "success/star.hpp"
+
+#include <map>
+#include <optional>
+#include <stdexcept>
+
+#include "semantics/poss_automaton.hpp"
+#include "semantics/possibilities.hpp"
+
+namespace ccfsp {
+
+namespace {
+
+constexpr std::uint32_t kNoFactor = UINT32_MAX;
+constexpr std::uint32_t kDeadDfaState = UINT32_MAX;
+
+struct StarView {
+  const Fsp* p;
+  std::vector<AnnotatedDfa> dfas;          // one per factor, kPossibilities
+  std::vector<std::uint32_t> factor_of;    // action -> factor index (or kNoFactor)
+
+  std::size_t num_factors() const { return dfas.size(); }
+};
+
+StarView make_view(const Fsp& p, const StarContext& ctx) {
+  StarView v;
+  v.p = &p;
+  v.factor_of.assign(p.alphabet()->size(), kNoFactor);
+  for (std::uint32_t i = 0; i < ctx.factors.size(); ++i) {
+    for (ActionId a : ctx.factors[i]->sigma()) {
+      if (v.factor_of[a] != kNoFactor) {
+        throw std::logic_error("star context: factor alphabets are not disjoint");
+      }
+      v.factor_of[a] = i;
+    }
+    v.dfas.push_back(annotated_determinize(*ctx.factors[i], SemanticAnnotation::kPossibilities));
+  }
+  return v;
+}
+
+/// Walk every factor's DFA along the projection of s; returns one DFA state
+/// per factor, or nullopt if some projection leaves its factor's language
+/// (or s uses a symbol no factor owns).
+std::optional<std::vector<std::uint32_t>> walk(const StarView& v,
+                                               const std::vector<ActionId>& s) {
+  std::vector<std::uint32_t> cur(v.num_factors());
+  for (std::uint32_t i = 0; i < v.num_factors(); ++i) cur[i] = v.dfas[i].start;
+  for (ActionId a : s) {
+    std::uint32_t f = v.factor_of[a];
+    if (f == kNoFactor) return std::nullopt;
+    auto it = v.dfas[f].trans[cur[f]].find(a);
+    if (it == v.dfas[f].trans[cur[f]].end()) return std::nullopt;
+    cur[f] = it->second;
+  }
+  return cur;
+}
+
+/// Can the whole context reach a stable configuration (one stable state per
+/// factor) whose combined ready set avoids `x`? (Lemma 4's condition with
+/// Y = union of the Y_i, decomposed per factor.)
+bool context_can_refuse(const StarView& v, const std::vector<std::uint32_t>& dfa_states,
+                        const ActionSet& x) {
+  for (std::uint32_t i = 0; i < v.num_factors(); ++i) {
+    bool ok = false;
+    for (const auto& z : v.dfas[i].annotation[dfa_states[i]]) {
+      bool disjoint = true;
+      for (ActionId a : z) {
+        if (x.test(a)) {
+          disjoint = false;
+          break;
+        }
+      }
+      if (disjoint) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::vector<Possibility> possibilities_of(const Fsp& p) {
+  return p.is_tree() ? possibilities_tree(p) : possibilities_acyclic(p);
+}
+
+}  // namespace
+
+bool star_success_collab(const Fsp& p, const StarContext& ctx) {
+  StarView v = make_view(p, ctx);
+  for (const auto& poss : possibilities_of(p)) {
+    if (!poss.z.empty()) continue;  // Lemma 3 wants (s, {})
+    if (walk(v, poss.s)) return true;
+  }
+  return false;
+}
+
+bool star_potential_blocking(const Fsp& p, const StarContext& ctx) {
+  StarView v = make_view(p, ctx);
+  for (const auto& poss : possibilities_of(p)) {
+    if (poss.z.empty()) continue;  // Lemma 4 wants X nonempty
+    auto states = walk(v, poss.s);
+    if (!states) continue;  // s not in Lang(Q)
+    ActionSet x(p.alphabet()->size());
+    for (ActionId a : poss.z) x.set(a);
+    if (context_can_refuse(v, *states, x)) return true;
+  }
+  return false;
+}
+
+bool star_success_adversity(const Fsp& p, const StarContext& ctx) {
+  if (p.has_tau_moves()) {
+    throw std::logic_error("star_success_adversity: P must be tau-free (Fig 4)");
+  }
+  if (!p.is_tree()) {
+    throw std::logic_error("star_success_adversity: P must be a tree FSP");
+  }
+  StarView v = make_view(p, ctx);
+
+  // Lemma 5's bottom-up evaluation, run top-down with memoization implicit
+  // in the tree shape (each P state is visited once, with the unique factor
+  // DFA states induced by its root path).
+  auto win = [&](auto&& self, StateId ps, const std::vector<std::uint32_t>& dfa_states) -> bool {
+    if (p.is_leaf(ps)) return true;
+    ActionSet out = p.out_actions(ps);
+    if (context_can_refuse(v, dfa_states, out)) return false;  // Q can block here
+
+    // Group P's transitions by action.
+    std::map<ActionId, std::vector<StateId>> children;
+    for (const auto& t : p.out(ps)) children[t.action].push_back(t.target);
+
+    for (const auto& [a, succs] : children) {
+      std::uint32_t f = v.factor_of[a];
+      if (f == kNoFactor) continue;  // never offered
+      auto it = v.dfas[f].trans[dfa_states[f]].find(a);
+      if (it == v.dfas[f].trans[dfa_states[f]].end()) continue;  // not playable
+      std::vector<std::uint32_t> next = dfa_states;
+      next[f] = it->second;
+      bool some_win = false;
+      for (StateId c : succs) {
+        if (self(self, c, next)) {
+          some_win = true;
+          break;
+        }
+      }
+      if (!some_win) return false;  // Q offers a and every response loses
+    }
+    return true;
+  };
+
+  std::vector<std::uint32_t> init(v.num_factors());
+  for (std::uint32_t i = 0; i < v.num_factors(); ++i) init[i] = v.dfas[i].start;
+  return win(win, p.start(), init);
+}
+
+}  // namespace ccfsp

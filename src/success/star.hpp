@@ -1,0 +1,31 @@
+// The Final Step of Theorem 3: deciding the three success predicates on a
+// star network — a distinguished *tree* process P at the center, and
+// context factors Q_1 ... Q_l each of which shares symbols with P only
+// (their own alphabets are pairwise disjoint). Although prod_i Q_i can be
+// huge, there is no interaction between the Q_i, so every query decomposes
+// into independent per-factor queries against Lang(Q_i) / Poss(Q_i):
+//   Lemma 3 (S_c):    some (s, {}) in Poss(P) with s|_i in Lang(Q_i) for all i,
+//   Lemma 4 (~S_u):   some (s, X) in Poss(P), X nonempty, and per factor a
+//                     possibility (s|_i, Y_i) with X cap Y_i empty,
+//   Lemma 5 (S_a):    bottom-up game evaluation over P's tree against the
+//                     factors' possibility automata.
+#pragma once
+
+#include <vector>
+
+#include "fsp/fsp.hpp"
+
+namespace ccfsp {
+
+/// A star context: the factors Q_i. Alphabets of distinct factors must be
+/// disjoint; every factor symbol must be shared with P.
+struct StarContext {
+  std::vector<const Fsp*> factors;
+};
+
+bool star_success_collab(const Fsp& p, const StarContext& ctx);
+bool star_potential_blocking(const Fsp& p, const StarContext& ctx);
+/// Requires P tau-free (Figure 4 assumption), like the game solver.
+bool star_success_adversity(const Fsp& p, const StarContext& ctx);
+
+}  // namespace ccfsp

@@ -1,0 +1,176 @@
+#include "success/tree_pipeline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "algebra/compose.hpp"
+#include "semantics/normal_form.hpp"
+#include "success/star.hpp"
+
+namespace ccfsp {
+
+namespace {
+
+struct PipelineState {
+  const Network* net;
+  const Theorem3Options* opt;
+  Theorem3Result* result;
+  std::vector<std::vector<std::size_t>> quotient_adj;  // part -> neighbor parts
+  std::vector<std::vector<std::size_t>> part_members;
+};
+
+void note_size(Theorem3Result& r, const Fsp& composite, const Fsp& reduced) {
+  r.max_intermediate_states = std::max(r.max_intermediate_states, composite.num_states());
+  r.max_normal_form_states = std::max(r.max_normal_form_states, reduced.num_states());
+}
+
+/// Compose all members of a part into one process.
+Fsp compose_part(const PipelineState& st, std::size_t part) {
+  std::vector<const Fsp*> members;
+  for (std::size_t i : st.part_members[part]) members.push_back(&st.net->process(i));
+  return compose_all(members);
+}
+
+/// Post-order reduction of the subtree rooted at `part` (entered from
+/// `parent`, or -1 for a root): returns the possibility normal form of the
+/// whole subtree's composition, whose Sigma is the subtree's external
+/// symbols (those shared with the parent part).
+Fsp reduce_subtree(const PipelineState& st, std::size_t part, std::size_t parent) {
+  Fsp acc = compose_part(st, part);
+  for (std::size_t child : st.quotient_adj[part]) {
+    if (child == parent) continue;
+    Fsp child_nf = reduce_subtree(st, child, part);
+    acc = compose(acc, child_nf);
+  }
+  if (!st.opt->use_normal_form) {
+    st.result->max_intermediate_states =
+        std::max(st.result->max_intermediate_states, acc.num_states());
+    return acc;
+  }
+  Fsp nf = poss_normal_form(acc, st.opt->poss_limit);
+  note_size(*st.result, acc, nf);
+  return nf;
+}
+
+}  // namespace
+
+Theorem3Result theorem3_decide(const Network& net, std::size_t p_index,
+                               const Theorem3Options& opt, const KTreePartition* partition) {
+  if (!net.all_acyclic()) {
+    throw std::logic_error("theorem3_decide: Section 3 requires acyclic processes");
+  }
+  KTreePartition computed;
+  if (!partition) {
+    computed = ktree_partition(net);
+    partition = &computed;
+  } else if (!is_valid_ktree_partition(net, *partition)) {
+    throw std::logic_error("theorem3_decide: supplied partition is not a k-tree partition");
+  }
+
+  Theorem3Result result;
+  result.partition_width = partition->width;
+
+  PipelineState st;
+  st.net = &net;
+  st.opt = &opt;
+  st.result = &result;
+  st.part_members = partition->parts;
+  st.quotient_adj.assign(partition->parts.size(), {});
+  for (auto [a, b] : partition->quotient_edges) {
+    st.quotient_adj[a].push_back(b);
+    st.quotient_adj[b].push_back(a);
+  }
+
+  const std::size_t root_part = partition->part_of(p_index);
+  const Fsp& p = net.process(p_index);
+
+  // Reduce every subtree hanging off the root part.
+  std::vector<Fsp> child_nfs;
+  std::vector<std::size_t> child_parts;
+  for (std::size_t child : st.quotient_adj[root_part]) {
+    child_nfs.push_back(reduce_subtree(st, child, root_part));
+    child_parts.push_back(child);
+  }
+  // Quotient-forest components not containing the root still gate global
+  // stability; reduce each to a (tiny, all-internal) factor.
+  {
+    std::vector<bool> seen(partition->parts.size(), false);
+    std::vector<std::size_t> stack{root_part};
+    seen[root_part] = true;
+    while (!stack.empty()) {
+      std::size_t v = stack.back();
+      stack.pop_back();
+      for (std::size_t w : st.quotient_adj[v]) {
+        if (!seen[w]) {
+          seen[w] = true;
+          stack.push_back(w);
+        }
+      }
+    }
+    for (std::size_t part = 0; part < partition->parts.size(); ++part) {
+      if (!seen[part]) {
+        // Reduce this whole stray component rooted at `part`.
+        seen[part] = true;  // reduce_subtree's parent guard handles revisits below
+        child_nfs.push_back(reduce_subtree(st, part, static_cast<std::size_t>(-1)));
+        child_parts.push_back(part);
+        // Mark its whole component visited.
+        std::vector<std::size_t> s2{part};
+        while (!s2.empty()) {
+          std::size_t v = s2.back();
+          s2.pop_back();
+          for (std::size_t w : st.quotient_adj[v]) {
+            if (!seen[w]) {
+              seen[w] = true;
+              s2.push_back(w);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Split the star: factors touching only P stay independent; everything
+  // else (other root-part members plus the child subtrees touching them)
+  // folds into one residue factor R.
+  ActionSet p_sigma = p.sigma_set();
+  std::vector<const Fsp*> root_others;
+  for (std::size_t i : st.part_members[root_part]) {
+    if (i != p_index) root_others.push_back(&net.process(i));
+  }
+  ActionSet others_sigma(net.alphabet()->size());
+  for (const Fsp* f : root_others) others_sigma |= f->sigma_set();
+
+  std::vector<Fsp> factors;
+  std::vector<const Fsp*> residue = root_others;
+  for (auto& nf : child_nfs) {
+    if (!root_others.empty() && nf.sigma_set().intersects(others_sigma)) {
+      residue.push_back(&nf);
+    } else {
+      factors.push_back(std::move(nf));
+    }
+  }
+  if (!residue.empty()) {
+    Fsp r = compose_all(residue);
+    if (opt.use_normal_form) {
+      Fsp rn = poss_normal_form(r, opt.poss_limit);
+      note_size(result, r, rn);
+      factors.push_back(std::move(rn));
+    } else {
+      result.max_intermediate_states =
+          std::max(result.max_intermediate_states, r.num_states());
+      factors.push_back(std::move(r));
+    }
+  }
+
+  StarContext ctx;
+  for (const auto& f : factors) ctx.factors.push_back(&f);
+
+  result.success_collab = star_success_collab(p, ctx);
+  result.unavoidable_success = !star_potential_blocking(p, ctx);
+  if (!p.has_tau_moves() && p.is_tree()) {
+    result.success_adversity = star_success_adversity(p, ctx);
+  }
+  return result;
+}
+
+}  // namespace ccfsp

@@ -1,0 +1,46 @@
+// Theorem 3, end to end: for a network of tree processes whose C_N is a
+// k-tree, decide S_u, S_a, S_c in polynomial time by
+//  (1) composing each partition part into one process (k-tree -> tree),
+//  (2) reducing every subtree of the quotient tree, leaves first, to its
+//      possibility normal form (the Reduction Step; sound by Lemmas 2-5),
+//  (3) deciding the resulting star network around P with Lemmas 3, 4, 5.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "network/ktree.hpp"
+#include "network/network.hpp"
+
+namespace ccfsp {
+
+struct Theorem3Options {
+  /// Ablation switch: when false, subtrees are composed but never replaced
+  /// by their possibility normal forms, exposing how much of the polynomial
+  /// bound the normal form is responsible for.
+  bool use_normal_form = true;
+  /// Budget for possibility extraction on intermediate composites.
+  std::size_t poss_limit = 1u << 20;
+};
+
+struct Theorem3Result {
+  bool unavoidable_success = false;           // S_u
+  bool success_collab = false;                // S_c
+  /// S_a; absent when P has tau moves (the Figure 4 assumption fails).
+  std::optional<bool> success_adversity;
+
+  // Diagnostics for the benches.
+  std::size_t partition_width = 0;            // the k of the k-tree used
+  std::size_t max_intermediate_states = 0;    // largest composite seen
+  std::size_t max_normal_form_states = 0;     // largest normal form kept
+};
+
+/// Decide all three predicates for net.process(p_index). Requires every
+/// process acyclic (the Section 3 setting; trees for the stated bound —
+/// DAGs are accepted and simply cost more). A partition may be supplied;
+/// otherwise the block-cut partition of C_N is used.
+Theorem3Result theorem3_decide(const Network& net, std::size_t p_index,
+                               const Theorem3Options& opt = {},
+                               const KTreePartition* partition = nullptr);
+
+}  // namespace ccfsp

@@ -1,0 +1,251 @@
+#include "success/unary_sc.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "ilp/ilp.hpp"
+#include "util/graph.hpp"
+
+namespace ccfsp {
+
+namespace {
+
+struct EdgeRec {
+  StateId from;
+  StateId to;
+  ActionId action;
+};
+
+struct WalkResult {
+  bool feasible = false;
+  bool unbounded = false;
+  BigInt best;  // max objective over feasible walks (when bounded)
+};
+
+/// Maximize the number of `objective`-labeled edge traversals over walks of
+/// `machine` that start at its start state, end in an `allowed_end` state,
+/// and traverse each budgeted symbol at most its budget. Implemented as an
+/// exact ILP per (end state, edge-support subset): integer edge
+/// multiplicities with walk balance constraints; a support-connected
+/// balanced multiset of edges is realizable as an Eulerian walk.
+WalkResult maximize_walk(const Fsp& machine, ActionId objective,
+                         const std::vector<std::pair<ActionId, BigInt>>& finite_budgets,
+                         const std::vector<bool>& allowed_end) {
+  std::vector<EdgeRec> edges;
+  for (StateId s = 0; s < machine.num_states(); ++s) {
+    for (const auto& t : machine.out(s)) edges.push_back({s, t.target, t.action});
+  }
+  if (edges.size() > 20) {
+    throw std::logic_error("maximize_walk: machine too large (Theorem 4 expects O(1) size)");
+  }
+  std::map<ActionId, BigInt> budget;
+  for (const auto& [a, b] : finite_budgets) budget.emplace(a, b);
+
+  WalkResult result;
+  if (allowed_end[machine.start()]) {
+    result.feasible = true;  // the empty walk
+    result.best = BigInt(0);
+  }
+
+  const std::size_t ne = edges.size();
+  for (std::size_t mask = 1; mask < (1u << ne); ++mask) {
+    // Support connectivity: all endpoints of chosen edges reachable from
+    // start in the undirected sense over chosen edges.
+    std::vector<bool> in_support(machine.num_states(), false);
+    in_support[machine.start()] = true;
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      for (std::size_t e = 0; e < ne; ++e) {
+        if (!(mask & (1u << e))) continue;
+        bool f = in_support[edges[e].from], t = in_support[edges[e].to];
+        if (f != t) {
+          in_support[edges[e].from] = in_support[edges[e].to] = true;
+          grew = true;
+        }
+      }
+    }
+    bool connected = true;
+    for (std::size_t e = 0; e < ne && connected; ++e) {
+      if ((mask & (1u << e)) && !(in_support[edges[e].from] && in_support[edges[e].to])) {
+        connected = false;
+      }
+    }
+    if (!connected) continue;
+
+    for (StateId end = 0; end < machine.num_states(); ++end) {
+      if (!allowed_end[end]) continue;
+      if (!in_support[end] && end != machine.start()) continue;
+
+      LinearProgram lp;
+      // One variable per chosen edge.
+      std::vector<std::size_t> var_of(ne, SIZE_MAX);
+      for (std::size_t e = 0; e < ne; ++e) {
+        if (mask & (1u << e)) var_of[e] = lp.num_vars++;
+      }
+      lp.objective.assign(lp.num_vars, Rational());
+      for (std::size_t e = 0; e < ne; ++e) {
+        if (var_of[e] != SIZE_MAX && edges[e].action == objective) {
+          lp.objective[var_of[e]] = Rational(1);
+        }
+      }
+      // x_e >= 1 on the support.
+      for (std::size_t e = 0; e < ne; ++e) {
+        if (var_of[e] == SIZE_MAX) continue;
+        LinearConstraint c;
+        c.coeffs.assign(lp.num_vars, Rational());
+        c.coeffs[var_of[e]] = Rational(1);
+        c.relation = Relation::kGreaterEqual;
+        c.rhs = Rational(1);
+        lp.constraints.push_back(std::move(c));
+      }
+      // Walk balance: out(v) - in(v) = [v == start] - [v == end].
+      for (StateId v = 0; v < machine.num_states(); ++v) {
+        LinearConstraint c;
+        c.coeffs.assign(lp.num_vars, Rational());
+        bool touches = false;
+        for (std::size_t e = 0; e < ne; ++e) {
+          if (var_of[e] == SIZE_MAX) continue;
+          if (edges[e].from == v) {
+            c.coeffs[var_of[e]] += Rational(1);
+            touches = true;
+          }
+          if (edges[e].to == v) {
+            c.coeffs[var_of[e]] -= Rational(1);
+            touches = true;
+          }
+        }
+        int rhs = (v == machine.start() ? 1 : 0) - (v == end ? 1 : 0);
+        if (!touches && rhs == 0) continue;
+        c.relation = Relation::kEqual;
+        c.rhs = Rational(rhs);
+        lp.constraints.push_back(std::move(c));
+      }
+      // Budgets.
+      for (const auto& [sym, bound] : budget) {
+        LinearConstraint c;
+        c.coeffs.assign(lp.num_vars, Rational());
+        bool touches = false;
+        for (std::size_t e = 0; e < ne; ++e) {
+          if (var_of[e] != SIZE_MAX && edges[e].action == sym) {
+            c.coeffs[var_of[e]] = Rational(1);
+            touches = true;
+          }
+        }
+        if (!touches) continue;
+        c.relation = Relation::kLessEqual;
+        c.rhs = Rational(bound);
+        lp.constraints.push_back(std::move(c));
+      }
+
+      IlpResult r = solve_ilp(lp);
+      if (r.status == IlpStatus::kUnbounded) {
+        result.feasible = true;
+        result.unbounded = true;
+        return result;
+      }
+      if (r.status == IlpStatus::kOptimal) {
+        result.feasible = true;
+        BigInt value = r.objective.num();  // integral: vars integer, coeffs 0/1
+        if (value > result.best) result.best = value;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+UnaryBound unary_reduction_step(const Fsp& machine, ActionId parent_symbol,
+                                const std::vector<std::pair<ActionId, UnaryBound>>& budgets) {
+  std::vector<std::pair<ActionId, BigInt>> finite;
+  for (const auto& [a, b] : budgets) {
+    if (!b.infinite) finite.emplace_back(a, b.count);
+  }
+  std::vector<bool> all_ends(machine.num_states(), true);
+  WalkResult r = maximize_walk(machine, parent_symbol, finite, all_ends);
+  if (r.unbounded) return UnaryBound::inf();
+  if (!r.feasible) return UnaryBound::of(BigInt(0));  // cannot happen: empty walk
+  return UnaryBound::of(r.best);
+}
+
+UnaryScResult unary_success_collab(const Network& net, std::size_t p_index) {
+  if (!net.is_tree_network()) {
+    throw std::logic_error("unary_success_collab: C_N must be a tree");
+  }
+  for (auto [i, j] : net.comm_graph().edges()) {
+    if (net.shared_actions(i, j).count() != 1) {
+      throw std::logic_error("unary_success_collab: every edge must carry one symbol");
+    }
+  }
+
+  // Root the communication tree at P; compute each neighbor subtree's
+  // budget on its edge symbol by post-order propagation.
+  const std::size_t m = net.size();
+  std::vector<std::vector<std::size_t>> adj(m);
+  for (auto [i, j] : net.comm_graph().edges()) {
+    adj[i].push_back(j);
+    adj[j].push_back(i);
+  }
+
+  auto edge_symbol = [&](std::size_t i, std::size_t j) {
+    return static_cast<ActionId>(net.shared_actions(i, j).find_first());
+  };
+
+  // Budget that the subtree rooted at `v` (entered from `parent`) offers on
+  // the v-parent edge symbol.
+  auto subtree_budget = [&](auto&& self, std::size_t v, std::size_t parent) -> UnaryBound {
+    std::vector<std::pair<ActionId, UnaryBound>> child_budgets;
+    for (std::size_t w : adj[v]) {
+      if (w == parent) continue;
+      child_budgets.emplace_back(edge_symbol(v, w), self(self, w, v));
+    }
+    return unary_reduction_step(net.process(v), edge_symbol(v, parent), child_budgets);
+  };
+
+  UnaryScResult result;
+  std::vector<std::pair<ActionId, BigInt>> finite;
+  ActionSet unbounded_symbols(net.alphabet()->size());
+  for (std::size_t w : adj[p_index]) {
+    ActionId sym = edge_symbol(p_index, w);
+    UnaryBound b = subtree_budget(subtree_budget, w, p_index);
+    result.root_budgets.emplace_back(sym, b);
+    if (b.infinite) {
+      unbounded_symbols.set(sym);
+    } else {
+      finite.emplace_back(sym, b.count);
+    }
+  }
+
+  // Free-cycle states of P: on a cycle whose edges use only unbounded
+  // symbols (tau included, though Section 4 processes have none).
+  const Fsp& p = net.process(p_index);
+  Digraph free_graph(p.num_states());
+  for (StateId s = 0; s < p.num_states(); ++s) {
+    for (const auto& t : p.out(s)) {
+      if (t.action == kTau || unbounded_symbols.test(t.action)) {
+        free_graph.add_edge(s, t.target);
+      }
+    }
+  }
+  auto scc = free_graph.scc();
+  std::vector<std::size_t> comp_size(scc.num_components, 0);
+  for (StateId s = 0; s < p.num_states(); ++s) ++comp_size[scc.component[s]];
+  std::vector<bool> on_free_cycle(p.num_states(), false);
+  for (StateId s = 0; s < p.num_states(); ++s) {
+    if (comp_size[scc.component[s]] > 1) on_free_cycle[s] = true;
+    for (const auto& t : p.out(s)) {
+      if (t.target == s && (t.action == kTau || unbounded_symbols.test(t.action))) {
+        on_free_cycle[s] = true;
+      }
+    }
+  }
+
+  // S_c holds iff P can afford a walk from its start to a free cycle.
+  WalkResult r = maximize_walk(p, kTau /*count nothing*/, finite, on_free_cycle);
+  result.success_collab = r.feasible;
+  return result;
+}
+
+}  // namespace ccfsp

@@ -1,0 +1,39 @@
+// Theorem 4: for a tree network of O(1)-size cyclic processes whose edges
+// carry one-symbol alphabets, success-with-collaboration is decidable in
+// polynomial time. The normal form of a subtree is a single number — the
+// largest count of parent-edge handshakes its composition permits (or
+// infinity) — held in binary, since a chain of multiply-by-2 processes makes
+// it exponential in m. Each propagation step maximizes a walk through a
+// constant-size machine subject to per-child budget constraints; we solve it
+// as an exact integer program over edge multiplicities (the stand-in for
+// Lenstra's fixed-dimension IP algorithm [Le]; see DESIGN.md).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "network/network.hpp"
+#include "semantics/unary.hpp"
+
+namespace ccfsp {
+
+/// One propagation step: the unary bound of `machine` on `parent_symbol`,
+/// given budgets for each child symbol. `machine` must be small — the
+/// solver enumerates edge-support subsets (2^|E|); throws if |E| > 20.
+UnaryBound unary_reduction_step(const Fsp& machine, ActionId parent_symbol,
+                                const std::vector<std::pair<ActionId, UnaryBound>>& budgets);
+
+struct UnaryScResult {
+  bool success_collab = false;
+  /// The computed budget each neighbor subtree of P offers on its edge
+  /// symbol, in neighbor order — the Theorem 4 normal forms (E15's payload).
+  std::vector<std::pair<ActionId, UnaryBound>> root_budgets;
+};
+
+/// Decide S_c(P, Q) for a tree network with |Sigma_i ∩ Sigma_j| <= 1 on
+/// every C_N edge: propagate unary bounds leaves-to-root, then test whether
+/// P has an affordable run that reaches a cycle of unbounded symbols.
+UnaryScResult unary_success_collab(const Network& net, std::size_t p_index);
+
+}  // namespace ccfsp

@@ -1,0 +1,205 @@
+#include "success/witness.hpp"
+
+#include <queue>
+
+#include "util/graph.hpp"
+
+namespace ccfsp {
+
+namespace {
+
+/// BFS from the initial tuple to the nearest state satisfying `goal`;
+/// reconstructs the edge sequence.
+template <typename Goal>
+std::optional<Witness> shortest_to(const Network& net, const GlobalMachine& g, Goal&& goal) {
+  constexpr std::uint32_t kUnseen = UINT32_MAX;
+  std::vector<std::uint32_t> parent(g.num_states(), kUnseen);
+  std::vector<const GlobalMachine::Edge*> via(g.num_states(), nullptr);
+  std::queue<std::uint32_t> queue;
+  parent[0] = 0;
+  queue.push(0);
+  std::uint32_t found = kUnseen;
+  while (!queue.empty() && found == kUnseen) {
+    std::uint32_t cur = queue.front();
+    queue.pop();
+    if (goal(cur)) {
+      found = cur;
+      break;
+    }
+    for (const auto& e : g.edges[cur]) {
+      if (parent[e.target] == kUnseen) {
+        parent[e.target] = cur;
+        via[e.target] = &e;
+        queue.push(e.target);
+      }
+    }
+  }
+  if (found == kUnseen) return std::nullopt;
+
+  Witness w;
+  w.final_tuple = g.tuples[found];
+  std::vector<WitnessStep> rev;
+  for (std::uint32_t cur = found; cur != 0;) {
+    const GlobalMachine::Edge* e = via[cur];
+    rev.push_back({e->mover, e->partner, g.tuples[cur]});
+    cur = parent[cur];
+  }
+  w.steps.assign(rev.rbegin(), rev.rend());
+  (void)net;
+  return w;
+}
+
+}  // namespace
+
+std::optional<Witness> blocking_witness(const Network& net, std::size_t p_index,
+                                        std::size_t max_states) {
+  GlobalMachine g = build_global(net, max_states);
+  return shortest_to(net, g, [&](std::uint32_t s) {
+    return g.is_stuck(s) && !net.process(p_index).is_leaf(g.tuples[s][p_index]);
+  });
+}
+
+std::optional<Witness> collab_witness(const Network& net, std::size_t p_index,
+                                      std::size_t max_states) {
+  GlobalMachine g = build_global(net, max_states);
+  return shortest_to(net, g, [&](std::uint32_t s) {
+    return g.is_stuck(s) && net.process(p_index).is_leaf(g.tuples[s][p_index]);
+  });
+}
+
+namespace {
+
+/// BFS over a restricted edge set; returns the step sequence from `from` to
+/// the first node satisfying `goal`, or nullopt. `allow` filters edges.
+template <typename Goal, typename Allow>
+std::optional<std::vector<WitnessStep>> bfs_path(const GlobalMachine& g, std::uint32_t from,
+                                                 Goal&& goal, Allow&& allow) {
+  constexpr std::uint32_t kUnseen = UINT32_MAX;
+  std::vector<std::uint32_t> parent(g.num_states(), kUnseen);
+  std::vector<const GlobalMachine::Edge*> via(g.num_states(), nullptr);
+  std::queue<std::uint32_t> queue;
+  parent[from] = from;
+  queue.push(from);
+  std::uint32_t found = kUnseen;
+  while (!queue.empty()) {
+    std::uint32_t cur = queue.front();
+    queue.pop();
+    if (goal(cur)) {
+      found = cur;
+      break;
+    }
+    for (const auto& e : g.edges[cur]) {
+      if (!allow(e)) continue;
+      if (parent[e.target] == kUnseen) {
+        parent[e.target] = cur;
+        via[e.target] = &e;
+        queue.push(e.target);
+      }
+    }
+  }
+  if (found == kUnseen) return std::nullopt;
+  std::vector<WitnessStep> rev;
+  for (std::uint32_t cur = found; cur != from;) {
+    const GlobalMachine::Edge* e = via[cur];
+    rev.push_back({e->mover, e->partner, g.tuples[cur]});
+    cur = parent[cur];
+  }
+  return std::vector<WitnessStep>(rev.rbegin(), rev.rend());
+}
+
+}  // namespace
+
+std::optional<LassoWitness> cyclic_blocking_witness(const Network& net, std::size_t p_index,
+                                                    std::size_t max_states) {
+  GlobalMachine g = build_global(net, max_states);
+  auto any_edge = [](const GlobalMachine::Edge&) { return true; };
+
+  // Case 1: a reachable stuck state.
+  if (auto prefix = bfs_path(g, 0, [&](std::uint32_t s) { return g.is_stuck(s); }, any_edge)) {
+    LassoWitness w;
+    w.prefix = std::move(*prefix);
+    w.pump_tuple = w.prefix.empty() ? g.tuples[0] : w.prefix.back().tuple_after;
+    return w;
+  }
+
+  // Case 2: a reachable cycle of non-P moves: find a state on such a cycle,
+  // walk to it, then extract one round of the cycle.
+  auto non_p = [&](const GlobalMachine::Edge& e) { return !g.process_moves(e, p_index); };
+  Digraph d(g.num_states());
+  for (std::uint32_t s = 0; s < g.num_states(); ++s) {
+    for (const auto& e : g.edges[s]) {
+      if (non_p(e)) d.add_edge(s, e.target);
+    }
+  }
+  auto scc = d.scc();
+  for (std::uint32_t s = 0; s < g.num_states(); ++s) {
+    for (const auto& e : g.edges[s]) {
+      if (!non_p(e) || scc.component[s] != scc.component[e.target]) continue;
+      // s -> e.target closes a non-P cycle; the cycle body is the non-P
+      // path from e.target back to s, plus this edge.
+      auto prefix = bfs_path(g, 0, [&](std::uint32_t v) { return v == s; }, any_edge);
+      auto back = bfs_path(g, e.target, [&](std::uint32_t v) { return v == s; }, non_p);
+      if (!prefix || !back) continue;  // unreachable witness candidate
+      LassoWitness w;
+      w.prefix = std::move(*prefix);
+      w.cycle.push_back({e.mover, e.partner, g.tuples[e.target]});
+      w.cycle.insert(w.cycle.end(), back->begin(), back->end());
+      w.pump_tuple = g.tuples[s];
+      return w;
+    }
+  }
+  return std::nullopt;
+}
+
+std::string format_lasso(const Network& net, const LassoWitness& witness) {
+  Witness prefix{witness.prefix, witness.pump_tuple};
+  std::string out = format_witness(net, prefix);
+  if (witness.is_starvation()) {
+    out += "  cycle (repeats forever, distinguished process starved):\n";
+    for (const auto& step : witness.cycle) {
+      const Fsp& mover = net.process(step.mover);
+      if (step.mover == step.partner) {
+        out += "    " + mover.name() + ": tau\n";
+      } else {
+        out += "    " + mover.name() + " -- " + net.process(step.partner).name() + "\n";
+      }
+    }
+  }
+  return out;
+}
+
+std::string format_witness(const Network& net, const Witness& witness) {
+  std::string out;
+  std::vector<StateId> prev(net.size());
+  for (std::size_t i = 0; i < net.size(); ++i) prev[i] = net.process(i).start();
+  for (const auto& step : witness.steps) {
+    const Fsp& mover = net.process(step.mover);
+    if (step.mover == step.partner) {
+      out += "  " + mover.name() + ": " + mover.state_label(prev[step.mover]) + " --tau--> " +
+             mover.state_label(step.tuple_after[step.mover]) + "\n";
+    } else {
+      // Recover the action from the mover's transition.
+      ActionId action = kTau;
+      for (const auto& t : mover.out(prev[step.mover])) {
+        if (t.target == step.tuple_after[step.mover] && t.action != kTau) {
+          action = t.action;
+          break;
+        }
+      }
+      const std::string label =
+          action == kTau ? std::string("?") : net.alphabet()->name(action);
+      out += "  " + mover.name() + " --" + label + "-- " + net.process(step.partner).name() +
+             "\n";
+    }
+    prev = step.tuple_after;
+  }
+  out += "  final: ";
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    if (i) out += ", ";
+    out += net.process(i).name() + "=" + net.process(i).state_label(witness.final_tuple[i]);
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace ccfsp

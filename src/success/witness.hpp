@@ -1,0 +1,64 @@
+// Witness extraction: the predicates of Section 3 are existential over
+// evolutions, and a validation tool should hand back the evolution itself —
+// the schedule that deadlocks the distinguished process, or the cooperative
+// schedule that drives it home. Witnesses come from shortest-path search on
+// the explicit global machine, so they are optimal in step count.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "success/global.hpp"
+
+namespace ccfsp {
+
+struct WitnessStep {
+  /// Index of the moving process, and the partner for a handshake (equal to
+  /// `mover` for an internal tau move).
+  std::uint32_t mover;
+  std::uint32_t partner;
+  /// Local states after the step, for rendering.
+  std::vector<StateId> tuple_after;
+};
+
+struct Witness {
+  std::vector<WitnessStep> steps;
+  /// The final (stuck) global tuple.
+  std::vector<StateId> final_tuple;
+};
+
+/// A shortest evolution to a global leaf with P *off* one of its leaves —
+/// a potential-blocking witness (nullopt iff S_u holds).
+std::optional<Witness> blocking_witness(const Network& net, std::size_t p_index,
+                                        std::size_t max_states = 1u << 22);
+
+/// A shortest evolution to a global leaf with P *on* one of its leaves —
+/// a success-with-collaboration witness (nullopt iff not S_c).
+std::optional<Witness> collab_witness(const Network& net, std::size_t p_index,
+                                      std::size_t max_states = 1u << 22);
+
+/// Render a witness as one line per step: "Phil0 -- take0_0 --> Fork0" style
+/// (the action name is recovered from the local states involved).
+std::string format_witness(const Network& net, const Witness& witness);
+
+/// A counterexample for the cyclic reading of potential blocking: either a
+/// finite schedule into a globally stuck state (cycle empty), or a lasso —
+/// a prefix followed by a repeatable cycle of non-P moves that starves P
+/// forever.
+struct LassoWitness {
+  std::vector<WitnessStep> prefix;
+  std::vector<WitnessStep> cycle;  // empty = plain stuck-state witness
+  std::vector<StateId> pump_tuple;  // the tuple the cycle returns to
+
+  bool is_starvation() const { return !cycle.empty(); }
+};
+
+/// nullopt iff the cyclic S_u holds for P (no stuck state, no non-P cycle
+/// reachable).
+std::optional<LassoWitness> cyclic_blocking_witness(const Network& net, std::size_t p_index,
+                                                    std::size_t max_states = 1u << 22);
+
+std::string format_lasso(const Network& net, const LassoWitness& witness);
+
+}  // namespace ccfsp

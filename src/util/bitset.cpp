@@ -1,0 +1,116 @@
+#include "util/bitset.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace ccfsp {
+
+bool DynamicBitset::any() const {
+  for (word_t w : words_)
+    if (w != 0) return true;
+  return false;
+}
+
+std::size_t DynamicBitset::count() const {
+  std::size_t c = 0;
+  for (word_t w : words_) c += static_cast<std::size_t>(std::popcount(w));
+  return c;
+}
+
+std::size_t DynamicBitset::find_first() const {
+  for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+    if (words_[wi] != 0) {
+      return wi * kWordBits + static_cast<std::size_t>(std::countr_zero(words_[wi]));
+    }
+  }
+  return num_bits_;
+}
+
+std::size_t DynamicBitset::find_next(std::size_t i) const {
+  ++i;
+  if (i >= num_bits_) return num_bits_;
+  std::size_t wi = i / kWordBits;
+  word_t w = words_[wi] >> (i % kWordBits);
+  if (w != 0) return i + static_cast<std::size_t>(std::countr_zero(w));
+  for (++wi; wi < words_.size(); ++wi) {
+    if (words_[wi] != 0) {
+      return wi * kWordBits + static_cast<std::size_t>(std::countr_zero(words_[wi]));
+    }
+  }
+  return num_bits_;
+}
+
+DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& o) {
+  assert(num_bits_ == o.num_bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& o) {
+  assert(num_bits_ == o.num_bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator-=(const DynamicBitset& o) {
+  assert(num_bits_ == o.num_bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~o.words_[i];
+  return *this;
+}
+
+bool DynamicBitset::intersects(const DynamicBitset& o) const {
+  assert(num_bits_ == o.num_bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    if (words_[i] & o.words_[i]) return true;
+  return false;
+}
+
+bool DynamicBitset::is_subset_of(const DynamicBitset& o) const {
+  assert(num_bits_ == o.num_bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    if (words_[i] & ~o.words_[i]) return false;
+  return true;
+}
+
+bool DynamicBitset::operator<(const DynamicBitset& o) const {
+  if (num_bits_ != o.num_bits_) return num_bits_ < o.num_bits_;
+  // Compare from most-significant word so the order agrees with "as integer".
+  for (std::size_t i = words_.size(); i-- > 0;) {
+    if (words_[i] != o.words_[i]) return words_[i] < o.words_[i];
+  }
+  return false;
+}
+
+std::size_t DynamicBitset::hash() const {
+  // FNV-1a over the words plus the size.
+  std::size_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(num_bits_);
+  for (word_t w : words_) mix(w);
+  return h;
+}
+
+std::vector<std::size_t> DynamicBitset::to_indices() const {
+  std::vector<std::size_t> out;
+  out.reserve(count());
+  for (std::size_t i = find_first(); i < num_bits_; i = find_next(i)) out.push_back(i);
+  return out;
+}
+
+std::string DynamicBitset::to_string() const {
+  std::string s = "{";
+  bool first = true;
+  for (std::size_t i : to_indices()) {
+    if (!first) s += ',';
+    first = false;
+    s += std::to_string(i);
+  }
+  s += '}';
+  return s;
+}
+
+}  // namespace ccfsp

@@ -1,0 +1,79 @@
+// Dynamic bitset used throughout the library to represent sets of interned
+// action symbols (and occasionally sets of states). Sized at construction;
+// all binary operations require equal universe sizes.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace ccfsp {
+
+/// A fixed-universe dynamic bitset. Unlike std::vector<bool> it supports
+/// word-level set algebra (union, intersection, difference, subset tests)
+/// and hashing, which the composition and possibility machinery rely on.
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(std::size_t num_bits)
+      : num_bits_(num_bits), words_((num_bits + kWordBits - 1) / kWordBits, 0) {}
+
+  std::size_t size() const { return num_bits_; }
+
+  bool test(std::size_t i) const {
+    return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
+  }
+  void set(std::size_t i) { words_[i / kWordBits] |= word_t{1} << (i % kWordBits); }
+  void reset(std::size_t i) { words_[i / kWordBits] &= ~(word_t{1} << (i % kWordBits)); }
+  void assign(std::size_t i, bool v) { v ? set(i) : reset(i); }
+
+  void clear() { std::fill(words_.begin(), words_.end(), word_t{0}); }
+
+  bool any() const;
+  bool none() const { return !any(); }
+  std::size_t count() const;
+
+  /// Index of the lowest set bit, or size() if none.
+  std::size_t find_first() const;
+  /// Index of the lowest set bit strictly greater than i, or size() if none.
+  std::size_t find_next(std::size_t i) const;
+
+  DynamicBitset& operator|=(const DynamicBitset& o);
+  DynamicBitset& operator&=(const DynamicBitset& o);
+  DynamicBitset& operator-=(const DynamicBitset& o);  // set difference
+
+  friend DynamicBitset operator|(DynamicBitset a, const DynamicBitset& b) { return a |= b; }
+  friend DynamicBitset operator&(DynamicBitset a, const DynamicBitset& b) { return a &= b; }
+  friend DynamicBitset operator-(DynamicBitset a, const DynamicBitset& b) { return a -= b; }
+
+  bool intersects(const DynamicBitset& o) const;
+  bool is_subset_of(const DynamicBitset& o) const;
+
+  bool operator==(const DynamicBitset& o) const = default;
+
+  /// Strict weak order usable as a map key / canonical sort order.
+  bool operator<(const DynamicBitset& o) const;
+
+  std::size_t hash() const;
+
+  /// All set-bit indices in increasing order.
+  std::vector<std::size_t> to_indices() const;
+
+  /// "{1,4,7}"-style rendering (by raw index), mainly for debugging.
+  std::string to_string() const;
+
+ private:
+  using word_t = std::uint64_t;
+  static constexpr std::size_t kWordBits = 64;
+
+  std::size_t num_bits_ = 0;
+  std::vector<word_t> words_;
+};
+
+struct DynamicBitsetHash {
+  std::size_t operator()(const DynamicBitset& b) const { return b.hash(); }
+};
+
+}  // namespace ccfsp

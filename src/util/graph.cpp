@@ -1,0 +1,260 @@
+#include "util/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stack>
+
+namespace ccfsp {
+
+std::size_t Digraph::num_edges() const {
+  std::size_t m = 0;
+  for (const auto& a : adj_) m += a.size();
+  return m;
+}
+
+Digraph::SccResult Digraph::scc() const {
+  const std::size_t n = num_vertices();
+  SccResult res;
+  res.component.assign(n, static_cast<std::size_t>(-1));
+
+  std::vector<std::size_t> index(n, static_cast<std::size_t>(-1));
+  std::vector<std::size_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<std::size_t> stack;
+  std::size_t next_index = 0;
+
+  // Iterative Tarjan: frame = (vertex, next-successor position).
+  struct Frame {
+    std::size_t v;
+    std::size_t pos;
+  };
+  std::vector<Frame> call;
+
+  for (std::size_t root = 0; root < n; ++root) {
+    if (index[root] != static_cast<std::size_t>(-1)) continue;
+    call.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!call.empty()) {
+      Frame& f = call.back();
+      if (f.pos < adj_[f.v].size()) {
+        std::size_t w = adj_[f.v][f.pos++];
+        if (index[w] == static_cast<std::size_t>(-1)) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          call.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[f.v] = std::min(lowlink[f.v], index[w]);
+        }
+      } else {
+        std::size_t v = f.v;
+        call.pop_back();
+        if (!call.empty()) {
+          lowlink[call.back().v] = std::min(lowlink[call.back().v], lowlink[v]);
+        }
+        if (lowlink[v] == index[v]) {
+          // v roots a component; pop it.
+          while (true) {
+            std::size_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            res.component[w] = res.num_components;
+            if (w == v) break;
+          }
+          ++res.num_components;
+        }
+      }
+    }
+  }
+  return res;
+}
+
+bool Digraph::has_cycle() const {
+  // A digraph is acyclic iff every SCC is a single vertex without a self-loop.
+  SccResult s = scc();
+  std::vector<std::size_t> comp_size(s.num_components, 0);
+  for (std::size_t v = 0; v < num_vertices(); ++v) ++comp_size[s.component[v]];
+  for (std::size_t v = 0; v < num_vertices(); ++v) {
+    if (comp_size[s.component[v]] > 1) return true;
+    for (std::size_t w : adj_[v])
+      if (w == v) return true;
+  }
+  return false;
+}
+
+std::optional<std::vector<std::size_t>> Digraph::topological_order() const {
+  const std::size_t n = num_vertices();
+  std::vector<std::size_t> indeg(n, 0);
+  for (std::size_t v = 0; v < n; ++v)
+    for (std::size_t w : adj_[v]) ++indeg[w];
+  std::vector<std::size_t> queue;
+  for (std::size_t v = 0; v < n; ++v)
+    if (indeg[v] == 0) queue.push_back(v);
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+    std::size_t v = queue[qi];
+    order.push_back(v);
+    for (std::size_t w : adj_[v])
+      if (--indeg[w] == 0) queue.push_back(w);
+  }
+  if (order.size() != n) return std::nullopt;
+  return order;
+}
+
+std::vector<bool> Digraph::reachable_from(std::size_t start) const {
+  std::vector<bool> seen(num_vertices(), false);
+  std::vector<std::size_t> stack{start};
+  seen[start] = true;
+  while (!stack.empty()) {
+    std::size_t v = stack.back();
+    stack.pop_back();
+    for (std::size_t w : adj_[v]) {
+      if (!seen[w]) {
+        seen[w] = true;
+        stack.push_back(w);
+      }
+    }
+  }
+  return seen;
+}
+
+std::vector<bool> Digraph::co_reachable(const std::vector<std::size_t>& targets) const {
+  Digraph rev = reversed();
+  std::vector<bool> seen(num_vertices(), false);
+  std::vector<std::size_t> stack;
+  for (std::size_t t : targets) {
+    if (!seen[t]) {
+      seen[t] = true;
+      stack.push_back(t);
+    }
+  }
+  while (!stack.empty()) {
+    std::size_t v = stack.back();
+    stack.pop_back();
+    for (std::size_t w : rev.adj_[v]) {
+      if (!seen[w]) {
+        seen[w] = true;
+        stack.push_back(w);
+      }
+    }
+  }
+  return seen;
+}
+
+Digraph Digraph::reversed() const {
+  Digraph r(num_vertices());
+  for (std::size_t v = 0; v < num_vertices(); ++v)
+    for (std::size_t w : adj_[v]) r.add_edge(w, v);
+  return r;
+}
+
+void UndirectedGraph::add_edge(std::size_t u, std::size_t v) {
+  assert(u < adj_.size() && v < adj_.size() && u != v);
+  adj_[u].push_back(v);
+  adj_[v].push_back(u);
+  edges_.emplace_back(u, v);
+}
+
+bool UndirectedGraph::is_connected() const {
+  if (adj_.empty()) return true;
+  std::vector<bool> seen(adj_.size(), false);
+  std::vector<std::size_t> stack{0};
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    std::size_t v = stack.back();
+    stack.pop_back();
+    for (std::size_t w : adj_[v]) {
+      if (!seen[w]) {
+        seen[w] = true;
+        ++visited;
+        stack.push_back(w);
+      }
+    }
+  }
+  return visited == adj_.size();
+}
+
+bool UndirectedGraph::is_tree() const {
+  return is_connected() && num_edges() + 1 == num_vertices();
+}
+
+bool UndirectedGraph::is_ring() const {
+  if (num_vertices() < 3 || !is_connected()) return false;
+  for (const auto& nb : adj_)
+    if (nb.size() != 2) return false;
+  return num_edges() == num_vertices();
+}
+
+std::vector<std::vector<std::size_t>> UndirectedGraph::biconnected_components() const {
+  const std::size_t n = num_vertices();
+  std::vector<std::vector<std::size_t>> components;
+
+  // Edge-indexed adjacency for the DFS.
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> adj(n);  // (nbr, edge idx)
+  for (std::size_t e = 0; e < edges_.size(); ++e) {
+    auto [u, v] = edges_[e];
+    adj[u].emplace_back(v, e);
+    adj[v].emplace_back(u, e);
+  }
+
+  std::vector<std::size_t> disc(n, 0), low(n, 0);
+  std::vector<bool> visited(n, false);
+  std::size_t timer = 1;
+  std::vector<std::size_t> edge_stack;
+
+  struct Frame {
+    std::size_t v;
+    std::size_t parent_edge;  // edge used to enter v, or -1
+    std::size_t pos;
+  };
+  std::vector<Frame> call;
+
+  for (std::size_t root = 0; root < n; ++root) {
+    if (visited[root]) continue;
+    visited[root] = true;
+    disc[root] = low[root] = timer++;
+    call.push_back({root, static_cast<std::size_t>(-1), 0});
+
+    while (!call.empty()) {
+      Frame& f = call.back();
+      if (f.pos < adj[f.v].size()) {
+        auto [w, e] = adj[f.v][f.pos++];
+        if (e == f.parent_edge) continue;
+        if (!visited[w]) {
+          edge_stack.push_back(e);
+          visited[w] = true;
+          disc[w] = low[w] = timer++;
+          call.push_back({w, e, 0});
+        } else if (disc[w] < disc[f.v]) {
+          edge_stack.push_back(e);
+          low[f.v] = std::min(low[f.v], disc[w]);
+        }
+      } else {
+        Frame done = call.back();
+        call.pop_back();
+        if (call.empty()) continue;
+        Frame& parent = call.back();
+        low[parent.v] = std::min(low[parent.v], low[done.v]);
+        if (low[done.v] >= disc[parent.v]) {
+          // parent.v is an articulation point (or root): pop one component.
+          std::vector<std::size_t> comp;
+          while (!edge_stack.empty()) {
+            std::size_t e = edge_stack.back();
+            edge_stack.pop_back();
+            comp.push_back(e);
+            if (e == done.parent_edge) break;
+          }
+          components.push_back(std::move(comp));
+        }
+      }
+    }
+  }
+  return components;
+}
+
+}  // namespace ccfsp

@@ -1,0 +1,83 @@
+// Small graph library: directed graphs with SCC / topological sort /
+// reachability, and undirected graphs with connectivity, biconnected
+// components, and tree / ring shape tests. These back the FSP structural
+// classification (linear / tree / acyclic / cyclic) and the communication
+// graph analysis (tree network, ring network, k-tree partition).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace ccfsp {
+
+/// Directed graph on vertices 0..n-1 with an adjacency list.
+class Digraph {
+ public:
+  explicit Digraph(std::size_t n = 0) : adj_(n) {}
+
+  std::size_t num_vertices() const { return adj_.size(); }
+  std::size_t num_edges() const;
+
+  void add_edge(std::size_t u, std::size_t v) { adj_[u].push_back(v); }
+  const std::vector<std::size_t>& successors(std::size_t u) const { return adj_[u]; }
+
+  /// Tarjan's algorithm (iterative). Returns component id per vertex;
+  /// component ids are in reverse topological order (0 = a sink component... the
+  /// usual Tarjan numbering: a component is numbered before any component that
+  /// can reach it).
+  struct SccResult {
+    std::vector<std::size_t> component;  // vertex -> component id
+    std::size_t num_components = 0;
+  };
+  SccResult scc() const;
+
+  /// True iff the graph has a directed cycle.
+  bool has_cycle() const;
+
+  /// Topological order (empty optional if cyclic).
+  std::optional<std::vector<std::size_t>> topological_order() const;
+
+  /// Vertices reachable from `start` (including start).
+  std::vector<bool> reachable_from(std::size_t start) const;
+
+  /// Vertices from which some vertex in `targets` is reachable.
+  std::vector<bool> co_reachable(const std::vector<std::size_t>& targets) const;
+
+  Digraph reversed() const;
+
+ private:
+  std::vector<std::vector<std::size_t>> adj_;
+};
+
+/// Undirected simple graph on vertices 0..n-1.
+class UndirectedGraph {
+ public:
+  explicit UndirectedGraph(std::size_t n = 0) : adj_(n) {}
+
+  std::size_t num_vertices() const { return adj_.size(); }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  void add_edge(std::size_t u, std::size_t v);
+  const std::vector<std::size_t>& neighbors(std::size_t u) const { return adj_[u]; }
+  const std::vector<std::pair<std::size_t, std::size_t>>& edges() const { return edges_; }
+
+  bool is_connected() const;
+
+  /// Connected + acyclic (the shape of a tree network's communication graph).
+  bool is_tree() const;
+
+  /// Connected + every vertex has degree exactly 2 and n >= 3.
+  bool is_ring() const;
+
+  /// Biconnected components as lists of edge indices (into edges()).
+  /// An isolated vertex contributes nothing; a bridge is its own component.
+  std::vector<std::vector<std::size_t>> biconnected_components() const;
+
+ private:
+  std::vector<std::vector<std::size_t>> adj_;
+  std::vector<std::pair<std::size_t, std::size_t>> edges_;
+};
+
+}  // namespace ccfsp

@@ -1,0 +1,43 @@
+// String interner: maps strings to dense 32-bit ids and back. Used by the
+// Alphabet so that actions are compared and hashed as integers on hot paths.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace ccfsp {
+
+class Interner {
+ public:
+  using Id = std::uint32_t;
+
+  /// Intern `s`, returning its id (existing or fresh).
+  Id intern(std::string_view s) {
+    auto it = ids_.find(std::string(s));
+    if (it != ids_.end()) return it->second;
+    Id id = static_cast<Id>(strings_.size());
+    strings_.emplace_back(s);
+    ids_.emplace(strings_.back(), id);
+    return id;
+  }
+
+  /// Lookup without inserting.
+  std::optional<Id> find(std::string_view s) const {
+    auto it = ids_.find(std::string(s));
+    if (it == ids_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  const std::string& str(Id id) const { return strings_[id]; }
+  std::size_t size() const { return strings_.size(); }
+
+ private:
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, Id> ids_;
+};
+
+}  // namespace ccfsp

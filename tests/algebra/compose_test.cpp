@@ -1,0 +1,156 @@
+#include "algebra/compose.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fsp/builder.hpp"
+#include "fsp/generate.hpp"
+#include "network/generate.hpp"
+#include "semantics/lang.hpp"
+
+namespace ccfsp {
+namespace {
+
+class ComposeTest : public ::testing::Test {
+ protected:
+  AlphabetPtr alphabet = std::make_shared<Alphabet>();
+};
+
+TEST_F(ComposeTest, HandshakeSynchronizes) {
+  Fsp p = FspBuilder(alphabet, "P").trans("0", "a", "1").build();
+  Fsp q = FspBuilder(alphabet, "Q").trans("0", "a", "1").build();
+  Fsp prod = reachable_product(p, q);
+  // (0,0) -a-> (1,1): two states, one synchronized transition.
+  EXPECT_EQ(prod.num_states(), 2u);
+  EXPECT_EQ(prod.num_transitions(), 1u);
+  EXPECT_EQ(prod.out(prod.start())[0].action, *alphabet->find("a"));
+
+  Fsp comp = compose(p, q);
+  EXPECT_EQ(comp.num_transitions(), 1u);
+  EXPECT_EQ(comp.out(comp.start())[0].action, kTau);  // hidden
+  EXPECT_TRUE(comp.sigma().empty());
+}
+
+TEST_F(ComposeTest, PrivateMovesInterleave) {
+  Fsp p = FspBuilder(alphabet, "P").trans("0", "a", "1").build();
+  Fsp q = FspBuilder(alphabet, "Q").trans("0", "b", "1").build();
+  // No shared symbols: full interleaving diamond.
+  Fsp prod = reachable_product(p, q);
+  EXPECT_EQ(prod.num_states(), 4u);
+  EXPECT_EQ(prod.num_transitions(), 4u);
+}
+
+TEST_F(ComposeTest, MismatchedHandshakeBlocks) {
+  Fsp p = FspBuilder(alphabet, "P").trans("0", "a", "1").trans("1", "b", "2").build();
+  Fsp q = FspBuilder(alphabet, "Q").trans("0", "b", "1").trans("1", "a", "2").build();
+  // P insists a-then-b, Q insists b-then-a: deadlock at the start.
+  Fsp prod = reachable_product(p, q);
+  EXPECT_EQ(prod.num_states(), 1u);
+  EXPECT_TRUE(prod.is_leaf(prod.start()));
+}
+
+TEST_F(ComposeTest, FullProductContainsUnreachablePairs) {
+  Fsp p = FspBuilder(alphabet, "P").trans("0", "a", "1").build();
+  Fsp q = FspBuilder(alphabet, "Q").trans("0", "a", "1").build();
+  Fsp full = full_product(p, q);
+  EXPECT_EQ(full.num_states(), 4u);  // includes (0,1) and (1,0)
+  EXPECT_EQ(full.trimmed().num_states(), 2u);
+}
+
+TEST_F(ComposeTest, TauMovesAreAlwaysPrivate) {
+  Fsp p = FspBuilder(alphabet, "P").trans("0", "tau", "1").trans("1", "a", "2").build();
+  Fsp q = FspBuilder(alphabet, "Q").trans("0", "a", "1").build();
+  Fsp prod = reachable_product(p, q);
+  // (0,0) -tau-> (1,0) -a-> (2,1).
+  EXPECT_EQ(prod.num_states(), 3u);
+  EXPECT_EQ(prod.num_transitions(), 2u);
+}
+
+TEST_F(ComposeTest, CompositionSigmaIsSymmetricDifference) {
+  Fsp p = FspBuilder(alphabet, "P").trans("0", "a", "1").trans("1", "x", "2").build();
+  Fsp q = FspBuilder(alphabet, "Q").trans("0", "a", "1").trans("1", "y", "2").build();
+  Fsp comp = compose(p, q);
+  ActionSet sigma = comp.sigma_set();
+  EXPECT_FALSE(sigma.test(*alphabet->find("a")));
+  EXPECT_TRUE(sigma.test(*alphabet->find("x")));
+  EXPECT_TRUE(sigma.test(*alphabet->find("y")));
+}
+
+TEST_F(ComposeTest, DeclaredButUnusedSymbolsSurvive) {
+  // Symbols the composite can no longer exercise must stay in Sigma, or a
+  // later composition would let a partner run unsynchronized.
+  Fsp p = FspBuilder(alphabet, "P").trans("0", "a", "1").action("z").build();
+  Fsp q = FspBuilder(alphabet, "Q").trans("0", "a", "1").build();
+  Fsp comp = compose(p, q);
+  EXPECT_TRUE(comp.sigma_set().test(*alphabet->find("z")));
+}
+
+TEST_F(ComposeTest, Lemma1CommutativityByAtoms) {
+  Rng rng(31);
+  for (int iter = 0; iter < 10; ++iter) {
+    std::vector<ActionId> shared{alphabet->intern("s" + std::to_string(iter))};
+    std::vector<ActionId> pa = shared, pb = shared;
+    pa.push_back(alphabet->intern("a" + std::to_string(iter)));
+    pb.push_back(alphabet->intern("b" + std::to_string(iter)));
+    TreeFspOptions opt;
+    opt.num_states = 5;
+    Fsp p = random_tree_fsp(rng, alphabet, pa, opt, "P");
+    Fsp q = random_tree_fsp(rng, alphabet, pb, opt, "Q");
+    EXPECT_TRUE(isomorphic_by_atoms(compose(p, q), compose(q, p)));
+  }
+}
+
+TEST_F(ComposeTest, Lemma1AssociativityByAtoms) {
+  // Three processes in a chain: P - Q - R.
+  Fsp p = FspBuilder(alphabet, "Pa").trans("0", "pq", "1").build();
+  Fsp q = FspBuilder(alphabet, "Qa")
+              .trans("0", "pq", "1")
+              .trans("1", "qr", "2")
+              .build();
+  Fsp r = FspBuilder(alphabet, "Ra").trans("0", "qr", "1").build();
+  Fsp left = compose(compose(p, q), r);
+  Fsp right = compose(p, compose(q, r));
+  EXPECT_TRUE(isomorphic_by_atoms(left, right));
+}
+
+TEST_F(ComposeTest, Lemma1AssociativityRandomized) {
+  Rng rng(77);
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Rng srng(seed);
+    NetworkGenOptions opt;
+    opt.num_processes = 3;
+    opt.states_per_process = 4;
+    Network net = random_tree_network(srng, opt);
+    const Fsp &a = net.process(0), &b = net.process(1), &c = net.process(2);
+    EXPECT_TRUE(isomorphic_by_atoms(compose(compose(a, b), c), compose(a, compose(b, c))))
+        << "seed " << seed;
+  }
+}
+
+TEST_F(ComposeTest, ComposeAllFoldsEverything) {
+  Fsp p = FspBuilder(alphabet, "Pf").trans("0", "m", "1").build();
+  Fsp q = FspBuilder(alphabet, "Qf").trans("0", "m", "1").trans("1", "n", "2").build();
+  Fsp r = FspBuilder(alphabet, "Rf").trans("0", "n", "1").build();
+  Fsp all = compose_all({&p, &q, &r});
+  // Global process: everything hidden, all moves tau.
+  EXPECT_TRUE(all.sigma().empty());
+  EXPECT_EQ(all.num_states(), 3u);  // (0,0,0) -> (1,1,0) -> (1,2,1)
+}
+
+TEST_F(ComposeTest, DifferentAlphabetsRejected) {
+  auto other = std::make_shared<Alphabet>();
+  Fsp p = FspBuilder(alphabet, "P").trans("0", "a", "1").build();
+  Fsp q = FspBuilder(other, "Q").trans("0", "a", "1").build();
+  EXPECT_THROW(compose(p, q), std::logic_error);
+}
+
+TEST_F(ComposeTest, IsomorphismDetectsDifferences) {
+  Fsp p = FspBuilder(alphabet, "P").trans("0", "a", "1").build();
+  Fsp q = FspBuilder(alphabet, "Q").trans("0", "a", "1").build();
+  Fsp pq = compose(p, q);
+  EXPECT_TRUE(isomorphic_by_atoms(pq, pq));
+  Fsp r = FspBuilder(alphabet, "R").trans("0", "a", "1").build();
+  EXPECT_FALSE(isomorphic_by_atoms(pq, compose(p, r)));  // different atoms
+}
+
+}  // namespace
+}  // namespace ccfsp

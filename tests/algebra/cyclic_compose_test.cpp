@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "algebra/compose.hpp"
+#include "fsp/builder.hpp"
+#include "semantics/lang.hpp"
+
+namespace ccfsp {
+namespace {
+
+class CyclicComposeTest : public ::testing::Test {
+ protected:
+  AlphabetPtr alphabet = std::make_shared<Alphabet>();
+};
+
+TEST_F(CyclicComposeTest, NoDivergenceNoNewLeaves) {
+  Fsp p = FspBuilder(alphabet, "P").trans("0", "a", "1").trans("1", "a", "0").build();
+  Fsp q = FspBuilder(alphabet, "Q").trans("0", "a", "1").trans("1", "a", "0").build();
+  Fsp plain = compose(p, q);
+  Fsp cyc = cyclic_compose(p, q);
+  // The composition alternates tau moves around a 2-cycle of taus... wait:
+  // all moves are hidden handshakes, so the composite IS a tau cycle and
+  // every state on it must gain a divergence leaf.
+  EXPECT_GT(cyc.num_states(), plain.num_states());
+  EXPECT_TRUE(cyc.has_leaves());
+}
+
+TEST_F(CyclicComposeTest, DivergenceLeafAddedBelowTauCycle) {
+  // Q alone: a tau self-loop reachable after one visible action.
+  Fsp q = FspBuilder(alphabet, "Q")
+              .trans("0", "x", "1")
+              .trans("1", "tau", "1")
+              .build();
+  Fsp augmented = add_divergence_leaves(q);
+  // State 1 (and only state 1: state 0 cannot tau-reach the loop) gets the
+  // escape leaf.
+  EXPECT_EQ(augmented.num_states(), 3u);
+  bool leaf_found = false;
+  for (StateId s = 0; s < augmented.num_states(); ++s) {
+    if (augmented.is_leaf(s)) leaf_found = true;
+  }
+  EXPECT_TRUE(leaf_found);
+  // Lang unchanged by the augmentation.
+  EXPECT_TRUE(lang_contains(augmented, {*alphabet->find("x")}));
+  EXPECT_FALSE(lang_contains(augmented, {*alphabet->find("x"), *alphabet->find("x")}));
+}
+
+TEST_F(CyclicComposeTest, StatesReachingTauCycleViaTauAlsoGetLeaves) {
+  Fsp q = FspBuilder(alphabet, "Q")
+              .trans("0", "tau", "1")
+              .trans("1", "tau", "2")
+              .trans("2", "tau", "1")
+              .trans("0", "a", "3")
+              .trans("3", "a", "0")
+              .build();
+  Fsp augmented = add_divergence_leaves(q);
+  // 0, 1, 2 are divergent (0 tau-reaches the {1,2} cycle); 3 is not.
+  std::size_t divergent_taus = 0;
+  for (StateId s = 0; s < 4; ++s) {
+    for (const auto& t : augmented.out(s)) {
+      if (t.action == kTau && augmented.is_leaf(t.target)) ++divergent_taus;
+    }
+  }
+  EXPECT_EQ(divergent_taus, 3u);
+}
+
+TEST_F(CyclicComposeTest, IdempotentWhenNoCycles) {
+  Fsp p = FspBuilder(alphabet, "P").trans("0", "a", "1").trans("1", "tau", "2").build();
+  Fsp augmented = add_divergence_leaves(p);
+  EXPECT_EQ(augmented.num_states(), p.num_states());
+}
+
+TEST_F(CyclicComposeTest, HiddenHandshakeCyclesBecomeDivergence) {
+  // P and Q handshake on b forever while the outside only sees silence:
+  // composition must offer the divergence leaf (Section 4's rationale).
+  Fsp p = FspBuilder(alphabet, "P").trans("0", "b", "0").build();
+  Fsp q = FspBuilder(alphabet, "Q")
+              .trans("0", "b", "0")
+              .trans("0", "c", "0")
+              .build();
+  Fsp cyc = cyclic_compose(p, q);
+  bool has_divergence_leaf = false;
+  for (StateId s = 0; s < cyc.num_states(); ++s) {
+    if (cyc.is_leaf(s)) has_divergence_leaf = true;
+  }
+  EXPECT_TRUE(has_divergence_leaf);
+  // And the composite still offers the outside action c forever.
+  ActionId c = *alphabet->find("c");
+  EXPECT_TRUE(lang_contains(cyc, {c, c, c}));
+}
+
+TEST_F(CyclicComposeTest, CyclicComposeAllAssociativeUpToLanguage) {
+  Fsp a = FspBuilder(alphabet, "A").trans("0", "m", "0").build();
+  Fsp b = FspBuilder(alphabet, "B")
+              .trans("0", "m", "1")
+              .trans("1", "n", "0")
+              .build();
+  Fsp c = FspBuilder(alphabet, "C").trans("0", "n", "0").build();
+  Fsp left = cyclic_compose(cyclic_compose(a, b), c);
+  Fsp right = cyclic_compose(a, cyclic_compose(b, c));
+  // Exact state naming differs (divergence leaves are fresh), but the
+  // observable language must agree: both are fully hidden systems.
+  EXPECT_TRUE(left.sigma().empty());
+  EXPECT_TRUE(right.sigma().empty());
+  EXPECT_EQ(left.has_leaves(), right.has_leaves());
+}
+
+}  // namespace
+}  // namespace ccfsp

@@ -1,0 +1,142 @@
+#include "bignum/bigint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "util/rng.hpp"
+
+namespace ccfsp {
+namespace {
+
+TEST(BigInt, Int64RoundTrip) {
+  for (std::int64_t v : {std::int64_t{0}, std::int64_t{1}, std::int64_t{-1},
+                         std::int64_t{1} << 40, -(std::int64_t{1} << 40),
+                         std::numeric_limits<std::int64_t>::max(),
+                         std::numeric_limits<std::int64_t>::min()}) {
+    BigInt b(v);
+    std::int64_t out = 0;
+    ASSERT_TRUE(b.fits_int64(out)) << v;
+    EXPECT_EQ(out, v);
+    EXPECT_EQ(b.to_string(), std::to_string(v));
+  }
+}
+
+TEST(BigInt, FromStringAndBack) {
+  const char* cases[] = {"0", "-1", "123456789012345678901234567890",
+                         "-999999999999999999999999999999999999"};
+  for (const char* s : cases) {
+    EXPECT_EQ(BigInt::from_string(s).to_string(), s);
+  }
+  EXPECT_EQ(BigInt::from_string("+17").to_string(), "17");
+  EXPECT_EQ(BigInt::from_string("-0").to_string(), "0");
+  EXPECT_THROW(BigInt::from_string(""), std::invalid_argument);
+  EXPECT_THROW(BigInt::from_string("12a"), std::invalid_argument);
+}
+
+TEST(BigInt, ArithmeticMatchesInt64) {
+  Rng rng(11);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::int64_t a = rng.range(-1000000, 1000000);
+    std::int64_t b = rng.range(-1000000, 1000000);
+    EXPECT_EQ((BigInt(a) + BigInt(b)).to_string(), std::to_string(a + b));
+    EXPECT_EQ((BigInt(a) - BigInt(b)).to_string(), std::to_string(a - b));
+    EXPECT_EQ((BigInt(a) * BigInt(b)).to_string(), std::to_string(a * b));
+    if (b != 0) {
+      EXPECT_EQ((BigInt(a) / BigInt(b)).to_string(), std::to_string(a / b));
+      EXPECT_EQ((BigInt(a) % BigInt(b)).to_string(), std::to_string(a % b));
+    }
+  }
+}
+
+TEST(BigInt, DivmodIdentityOnLargeOperands) {
+  Rng rng(13);
+  for (int iter = 0; iter < 200; ++iter) {
+    // Build operands of 1-6 limbs from random bits.
+    auto random_big = [&] {
+      BigInt v(static_cast<std::int64_t>(rng.next() >> 1));
+      std::size_t extra = rng.below(4);
+      for (std::size_t i = 0; i < extra; ++i) {
+        v = v * BigInt(static_cast<std::int64_t>(rng.next() >> 32)) +
+            BigInt(static_cast<std::int64_t>(rng.next() >> 33));
+      }
+      if (rng.chance(1, 2)) v = -v;
+      return v;
+    };
+    BigInt a = random_big(), b = random_big();
+    if (b.is_zero()) continue;
+    BigInt q, r;
+    BigInt::divmod(a, b, q, r);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_TRUE(r.abs() < b.abs());
+    // Remainder carries the dividend's sign (or is zero).
+    if (!r.is_zero()) {
+      EXPECT_EQ(r.is_negative(), a.is_negative());
+    }
+  }
+}
+
+TEST(BigInt, DivisionByZeroThrows) {
+  EXPECT_THROW(BigInt(1) / BigInt(0), std::domain_error);
+}
+
+TEST(BigInt, FloorDivision) {
+  EXPECT_EQ(BigInt::fdiv(BigInt(7), BigInt(2)), BigInt(3));
+  EXPECT_EQ(BigInt::fdiv(BigInt(-7), BigInt(2)), BigInt(-4));
+  EXPECT_EQ(BigInt::fdiv(BigInt(7), BigInt(-2)), BigInt(-4));
+  EXPECT_EQ(BigInt::fdiv(BigInt(-7), BigInt(-2)), BigInt(3));
+  EXPECT_EQ(BigInt::fdiv(BigInt(-8), BigInt(2)), BigInt(-4));
+}
+
+TEST(BigInt, Gcd) {
+  EXPECT_EQ(BigInt::gcd(BigInt(12), BigInt(18)), BigInt(6));
+  EXPECT_EQ(BigInt::gcd(BigInt(-12), BigInt(18)), BigInt(6));
+  EXPECT_EQ(BigInt::gcd(BigInt(0), BigInt(5)), BigInt(5));
+  EXPECT_EQ(BigInt::gcd(BigInt(17), BigInt(13)), BigInt(1));
+}
+
+TEST(BigInt, Pow2AndBitLength) {
+  EXPECT_EQ(BigInt::pow2(0), BigInt(1));
+  EXPECT_EQ(BigInt::pow2(10), BigInt(1024));
+  EXPECT_EQ(BigInt::pow2(100).to_string(), "1267650600228229401496703205376");
+  EXPECT_EQ(BigInt::pow2(100).bit_length(), 101u);
+  EXPECT_EQ(BigInt(0).bit_length(), 0u);
+  EXPECT_EQ(BigInt(1).bit_length(), 1u);
+}
+
+TEST(BigInt, ShiftedLeftMatchesMultiplication) {
+  BigInt v = BigInt::from_string("123456789123456789");
+  EXPECT_EQ(v.shifted_left(37), v * BigInt::pow2(37));
+  EXPECT_EQ((-v).shifted_left(3), -(v * BigInt(8)));
+}
+
+TEST(BigInt, ComparisonTotalOrder) {
+  BigInt big = BigInt::from_string("1000000000000000000000");
+  EXPECT_LT(BigInt(-5), BigInt(0));
+  EXPECT_LT(BigInt(0), BigInt(5));
+  EXPECT_LT(BigInt(5), big);
+  EXPECT_LT(-big, BigInt(-5));
+  EXPECT_EQ(big, big);
+}
+
+TEST(BigInt, FitsInt64Boundaries) {
+  std::int64_t out;
+  BigInt max_plus_one = BigInt(std::numeric_limits<std::int64_t>::max()) + BigInt(1);
+  EXPECT_FALSE(max_plus_one.fits_int64(out));
+  BigInt min_exact = BigInt(std::numeric_limits<std::int64_t>::min());
+  EXPECT_TRUE(min_exact.fits_int64(out));
+  EXPECT_EQ(out, std::numeric_limits<std::int64_t>::min());
+  EXPECT_FALSE((min_exact - BigInt(1)).fits_int64(out));
+}
+
+TEST(BigInt, ChainOfDoublingsHasExpectedValue) {
+  // The Theorem 4 motivation: m doublings produce an (m+1)-bit number.
+  BigInt v(1);
+  for (int i = 0; i < 256; ++i) v = v + v;
+  EXPECT_EQ(v, BigInt::pow2(256));
+  EXPECT_EQ(v.bit_length(), 257u);
+}
+
+}  // namespace
+}  // namespace ccfsp

@@ -1,0 +1,84 @@
+#include "bignum/rational.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace ccfsp {
+namespace {
+
+TEST(Rational, NormalizesOnConstruction) {
+  Rational r(BigInt(6), BigInt(-4));
+  EXPECT_EQ(r.num(), BigInt(-3));
+  EXPECT_EQ(r.den(), BigInt(2));
+  EXPECT_EQ(r.to_string(), "-3/2");
+  Rational z(BigInt(0), BigInt(7));
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.den(), BigInt(1));
+}
+
+TEST(Rational, ZeroDenominatorThrows) {
+  EXPECT_THROW(Rational(BigInt(1), BigInt(0)), std::domain_error);
+  EXPECT_THROW(Rational(1) / Rational(0), std::domain_error);
+}
+
+TEST(Rational, FieldAxiomsSpotChecks) {
+  Rational half(BigInt(1), BigInt(2));
+  Rational third(BigInt(1), BigInt(3));
+  EXPECT_EQ((half + third).to_string(), "5/6");
+  EXPECT_EQ((half - third).to_string(), "1/6");
+  EXPECT_EQ((half * third).to_string(), "1/6");
+  EXPECT_EQ((half / third).to_string(), "3/2");
+  EXPECT_EQ((half + (-half)), Rational(0));
+}
+
+TEST(Rational, ArithmeticRandomizedAgainstCrossMultiplication) {
+  Rng rng(3);
+  for (int iter = 0; iter < 500; ++iter) {
+    std::int64_t a = rng.range(-50, 50), b = rng.range(1, 50);
+    std::int64_t c = rng.range(-50, 50), d = rng.range(1, 50);
+    Rational x{BigInt(a), BigInt(b)};
+    Rational y{BigInt(c), BigInt(d)};
+    // x + y == (ad + cb) / bd
+    EXPECT_EQ(x + y, Rational(BigInt(a * d + c * b), BigInt(b * d)));
+    EXPECT_EQ(x * y, Rational(BigInt(a * c), BigInt(b * d)));
+    // Ordering agrees with cross multiplication.
+    EXPECT_EQ(x < y, a * d < c * b);
+  }
+}
+
+TEST(Rational, FloorCeil) {
+  Rational seven_halves(BigInt(7), BigInt(2));
+  EXPECT_EQ(seven_halves.floor(), BigInt(3));
+  EXPECT_EQ(seven_halves.ceil(), BigInt(4));
+  Rational neg(BigInt(-7), BigInt(2));
+  EXPECT_EQ(neg.floor(), BigInt(-4));
+  EXPECT_EQ(neg.ceil(), BigInt(-3));
+  Rational exact(BigInt(6), BigInt(2));
+  EXPECT_EQ(exact.floor(), BigInt(3));
+  EXPECT_EQ(exact.ceil(), BigInt(3));
+  EXPECT_TRUE(exact.is_integer());
+}
+
+TEST(Rational, IntegerPromotion) {
+  Rational r = 5;
+  EXPECT_TRUE(r.is_integer());
+  EXPECT_EQ(r.to_string(), "5");
+  EXPECT_EQ(r.sign(), 1);
+  EXPECT_EQ(Rational(-5).sign(), -1);
+  EXPECT_EQ(Rational(0).sign(), 0);
+}
+
+TEST(Rational, NoPrecisionLossInLongSums) {
+  // sum of 1/k! style terms stays exact: check telescoping identity
+  // sum_{k=1..n} 1/(k(k+1)) == n/(n+1).
+  Rational sum(0);
+  const int n = 60;
+  for (int k = 1; k <= n; ++k) {
+    sum += Rational(BigInt(1), BigInt(k) * BigInt(k + 1));
+  }
+  EXPECT_EQ(sum, Rational(BigInt(n), BigInt(n + 1)));
+}
+
+}  // namespace
+}  // namespace ccfsp

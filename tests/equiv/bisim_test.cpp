@@ -1,0 +1,134 @@
+#include "equiv/bisim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "equiv/equivalences.hpp"
+#include "fsp/builder.hpp"
+#include "fsp/generate.hpp"
+
+namespace ccfsp {
+namespace {
+
+class BisimTest : public ::testing::Test {
+ protected:
+  AlphabetPtr alphabet = std::make_shared<Alphabet>();
+};
+
+TEST_F(BisimTest, MergesIdenticalBranches) {
+  Fsp f = FspBuilder(alphabet, "P")
+              .trans("0", "a", "1")
+              .trans("0", "a", "2")
+              .trans("1", "b", "3")
+              .trans("2", "b", "4")
+              .build();
+  // 1 ~ 2 and 3 ~ 4.
+  auto cls = bisimulation_classes(f);
+  EXPECT_EQ(cls[1], cls[2]);
+  EXPECT_EQ(cls[3], cls[4]);
+  EXPECT_NE(cls[0], cls[1]);
+  Fsp q = quotient_by_bisimulation(f);
+  EXPECT_EQ(q.num_states(), 3u);
+  EXPECT_TRUE(possibility_equivalent(f, q));
+}
+
+TEST_F(BisimTest, DistinguishesDifferentFutures) {
+  Fsp f = FspBuilder(alphabet, "P")
+              .trans("0", "a", "1")
+              .trans("0", "a", "2")
+              .trans("1", "b", "3")
+              .trans("2", "c", "4")
+              .build();
+  auto cls = bisimulation_classes(f);
+  EXPECT_NE(cls[1], cls[2]);
+}
+
+TEST_F(BisimTest, TauIsAConcreteLabelForStrongBisim) {
+  Fsp p = FspBuilder(alphabet, "P").trans("0", "a", "1").build();
+  Fsp q = FspBuilder(alphabet, "Q").trans("0", "tau", "1").trans("1", "a", "2").build();
+  // Strong bisim does NOT abstract tau: their quotients have different sizes.
+  EXPECT_EQ(quotient_by_bisimulation(p).num_states(), 2u);
+  EXPECT_EQ(quotient_by_bisimulation(q).num_states(), 3u);
+}
+
+TEST_F(BisimTest, QuotientSoundForAllThreeEquivalences) {
+  Rng rng(606);
+  std::vector<ActionId> pool{alphabet->intern("a"), alphabet->intern("b")};
+  for (int iter = 0; iter < 20; ++iter) {
+    Fsp f = random_cyclic_fsp(rng, alphabet, pool, 7, 5, "C");
+    Fsp q = quotient_by_bisimulation(f);
+    EXPECT_LE(q.num_states(), f.num_states());
+    EXPECT_TRUE(language_equivalent(f, q)) << "iter " << iter;
+    EXPECT_TRUE(possibility_equivalent(f, q)) << "iter " << iter;
+    EXPECT_TRUE(failure_equivalent(f, q)) << "iter " << iter;
+  }
+}
+
+TEST_F(BisimTest, QuotientOnCyclicProcess) {
+  // Two-state loop where both states look alike collapses to one state.
+  Fsp f = FspBuilder(alphabet, "P").trans("0", "a", "1").trans("1", "a", "0").build();
+  Fsp q = quotient_by_bisimulation(f);
+  EXPECT_EQ(q.num_states(), 1u);
+  EXPECT_TRUE(language_equivalent(f, q));
+}
+
+TEST_F(BisimTest, CompressTrivialTauMergesChains) {
+  Fsp f = FspBuilder(alphabet, "P")
+              .trans("0", "tau", "1")
+              .trans("1", "tau", "2")
+              .trans("2", "a", "3")
+              .build();
+  Fsp c = compress_trivial_tau(f);
+  EXPECT_EQ(c.num_states(), 2u);
+  EXPECT_TRUE(possibility_equivalent(f, c));
+}
+
+TEST_F(BisimTest, CompressKeepsBranchingTauStates) {
+  // A state with tau AND another option is a real choice: must survive.
+  Fsp f = FspBuilder(alphabet, "P")
+              .trans("0", "tau", "1")
+              .trans("0", "a", "2")
+              .trans("1", "b", "3")
+              .build();
+  Fsp c = compress_trivial_tau(f);
+  EXPECT_EQ(c.num_states(), f.num_states());
+  EXPECT_TRUE(possibility_equivalent(f, c));
+}
+
+TEST_F(BisimTest, CompressPreservesTauCycles) {
+  // A pure tau cycle encodes divergence; compression must not erase it.
+  Fsp f = FspBuilder(alphabet, "P")
+              .trans("0", "a", "1")
+              .trans("1", "tau", "2")
+              .trans("2", "tau", "1")
+              .build();
+  Fsp c = compress_trivial_tau(f);
+  bool has_tau_cycle = false;
+  for (StateId s = 0; s < c.num_states(); ++s) {
+    for (const auto& t : c.out(s)) {
+      if (t.action == kTau) {
+        // any tau edge inside a cycle counts; cheap check: tau-reach back
+        for (StateId r : c.tau_closure(t.target)) {
+          if (r == s) has_tau_cycle = true;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(has_tau_cycle);
+}
+
+TEST_F(BisimTest, CompressSoundOnRandomProcesses) {
+  Rng rng(707);
+  std::vector<ActionId> pool{alphabet->intern("a"), alphabet->intern("b")};
+  for (int iter = 0; iter < 20; ++iter) {
+    TreeFspOptions opt;
+    opt.num_states = 10;
+    opt.tau_probability = 0.4;
+    Fsp f = random_tree_fsp(rng, alphabet, pool, opt, "T");
+    Fsp c = compress_trivial_tau(f);
+    EXPECT_LE(c.num_states(), f.num_states());
+    EXPECT_TRUE(possibility_equivalent(f, c)) << "iter " << iter;
+  }
+}
+
+}  // namespace
+}  // namespace ccfsp

@@ -1,0 +1,118 @@
+#include "equiv/equivalences.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fsp/builder.hpp"
+#include "fsp/generate.hpp"
+
+namespace ccfsp {
+namespace {
+
+class EquivTest : public ::testing::Test {
+ protected:
+  AlphabetPtr alphabet = std::make_shared<Alphabet>();
+};
+
+TEST_F(EquivTest, IdenticalProcessesEquivalentEverywhere) {
+  Fsp p = FspBuilder(alphabet, "P").trans("0", "a", "1").trans("1", "b", "2").build();
+  Fsp q = FspBuilder(alphabet, "Q").trans("x", "a", "y").trans("y", "b", "z").build();
+  EXPECT_TRUE(language_equivalent(p, q));
+  EXPECT_TRUE(failure_equivalent(p, q));
+  EXPECT_TRUE(possibility_equivalent(p, q));
+}
+
+TEST_F(EquivTest, LanguageDifferenceDetected) {
+  Fsp p = FspBuilder(alphabet, "P").trans("0", "a", "1").build();
+  Fsp q = FspBuilder(alphabet, "Q").trans("0", "a", "1").trans("1", "a", "2").build();
+  EXPECT_FALSE(language_equivalent(p, q));
+  EXPECT_FALSE(failure_equivalent(p, q));
+  EXPECT_FALSE(possibility_equivalent(p, q));
+}
+
+TEST_F(EquivTest, HierarchyLangCoarserThanFailures) {
+  // a(b+c) vs ab+ac: language equal, failures differ (classic CSP example).
+  Fsp det = FspBuilder(alphabet, "Det")
+                .trans("0", "a", "1")
+                .trans("1", "b", "2")
+                .trans("1", "c", "3")
+                .build();
+  Fsp nondet = FspBuilder(alphabet, "Non")
+                   .trans("0", "a", "1")
+                   .trans("0", "a", "1'")
+                   .trans("1", "b", "2")
+                   .trans("1'", "c", "3")
+                   .build();
+  EXPECT_TRUE(language_equivalent(det, nondet));
+  EXPECT_FALSE(failure_equivalent(det, nondet));
+  EXPECT_FALSE(possibility_equivalent(det, nondet));
+}
+
+TEST_F(EquivTest, HierarchyFailuresCoarserThanPossibilities) {
+  // The Figure 2 pair (see possibilities_test for the construction).
+  Fsp p = FspBuilder(alphabet, "P")
+              .trans("r", "tau", "pa")
+              .trans("r", "tau", "pb")
+              .trans("pa", "a", "l1")
+              .trans("pb", "b", "l2")
+              .build();
+  Fsp q = FspBuilder(alphabet, "Q")
+              .trans("r", "tau", "qa")
+              .trans("r", "tau", "qb")
+              .trans("r", "tau", "qab")
+              .trans("qa", "a", "l1")
+              .trans("qb", "b", "l2")
+              .trans("qab", "a", "l3")
+              .trans("qab", "b", "l4")
+              .build();
+  EXPECT_TRUE(failure_equivalent(p, q));
+  EXPECT_FALSE(possibility_equivalent(p, q));
+}
+
+TEST_F(EquivTest, TauUnfoldingIsPossEquivalent) {
+  Fsp p = FspBuilder(alphabet, "P").trans("0", "a", "1").build();
+  Fsp q = FspBuilder(alphabet, "Q")
+              .trans("0", "tau", "1")
+              .trans("1", "a", "2")
+              .build();
+  // A leading tau into the same stable offer: same possibilities.
+  EXPECT_TRUE(possibility_equivalent(p, q));
+}
+
+TEST_F(EquivTest, StableVsUnstableRootDiffer) {
+  // But a tau ALTERNATIVE at the root changes possibilities: in Q the root
+  // is unstable and can also refuse a by drifting to a dead stable state.
+  Fsp p = FspBuilder(alphabet, "P").trans("0", "a", "1").build();
+  Fsp q = FspBuilder(alphabet, "Q")
+              .trans("0", "a", "1")
+              .trans("0", "tau", "2")
+              .build();
+  EXPECT_TRUE(language_equivalent(p, q));
+  EXPECT_FALSE(possibility_equivalent(p, q));
+}
+
+TEST_F(EquivTest, WorksOnCyclicProcesses) {
+  Fsp p = FspBuilder(alphabet, "P").trans("0", "a", "0").build();
+  Fsp q = FspBuilder(alphabet, "Q").trans("0", "a", "1").trans("1", "a", "0").build();
+  // Both are "a forever": language and possibilities agree.
+  EXPECT_TRUE(language_equivalent(p, q));
+  EXPECT_TRUE(possibility_equivalent(p, q));
+
+  Fsp r = FspBuilder(alphabet, "R")
+              .trans("0", "a", "1")
+              .trans("1", "a", "0")
+              .trans("1", "b", "0")
+              .build();
+  EXPECT_FALSE(language_equivalent(p, r));
+}
+
+TEST_F(EquivTest, DifferentSigmaDeclarationsDoNotAffectTheseEquivalences) {
+  // The equivalences are over behaviours; declared-but-unused symbols show
+  // up in neither language nor possibilities (composition is where Sigma
+  // declarations matter).
+  Fsp p = FspBuilder(alphabet, "P").trans("0", "a", "1").build();
+  Fsp q = FspBuilder(alphabet, "Q").trans("0", "a", "1").action("ghost2").build();
+  EXPECT_TRUE(possibility_equivalent(p, q));
+}
+
+}  // namespace
+}  // namespace ccfsp

@@ -1,0 +1,65 @@
+#include "fsp/builder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccfsp {
+namespace {
+
+TEST(FspBuilder, FirstMentionedStateIsStart) {
+  auto alphabet = std::make_shared<Alphabet>();
+  Fsp f = FspBuilder(alphabet, "P").trans("s", "a", "t").build();
+  EXPECT_EQ(f.state_label(f.start()), "s");
+}
+
+TEST(FspBuilder, ExplicitStartOverrides) {
+  auto alphabet = std::make_shared<Alphabet>();
+  Fsp f = FspBuilder(alphabet, "P")
+              .trans("s", "a", "t")
+              .trans("t", "b", "s")
+              .start("t")
+              .build();
+  EXPECT_EQ(f.state_label(f.start()), "t");
+}
+
+TEST(FspBuilder, StatesDedupedByName) {
+  auto alphabet = std::make_shared<Alphabet>();
+  Fsp f = FspBuilder(alphabet, "P")
+              .trans("a", "x", "b")
+              .trans("a", "y", "c")
+              .trans("b", "z", "c")
+              .build();
+  EXPECT_EQ(f.num_states(), 3u);
+  EXPECT_EQ(f.num_transitions(), 3u);
+}
+
+TEST(FspBuilder, TauKeywordMakesUnobservableMove) {
+  auto alphabet = std::make_shared<Alphabet>();
+  Fsp f = FspBuilder(alphabet, "P").trans("s", "tau", "t").build();
+  EXPECT_TRUE(f.has_tau_moves());
+  EXPECT_TRUE(f.sigma().empty());
+  EXPECT_FALSE(alphabet->find("tau").has_value());
+}
+
+TEST(FspBuilder, DeclaringTauThrows) {
+  auto alphabet = std::make_shared<Alphabet>();
+  FspBuilder b(alphabet, "P");
+  EXPECT_THROW(b.action("tau"), std::invalid_argument);
+}
+
+TEST(FspBuilder, BuildValidates) {
+  auto alphabet = std::make_shared<Alphabet>();
+  FspBuilder b(alphabet, "P");
+  b.trans("s", "a", "t");
+  b.state("island");  // unreachable
+  EXPECT_THROW(b.build(), std::logic_error);
+}
+
+TEST(FspBuilder, SharedAlphabetAcrossProcesses) {
+  auto alphabet = std::make_shared<Alphabet>();
+  Fsp p = FspBuilder(alphabet, "P").trans("0", "x", "1").build();
+  Fsp q = FspBuilder(alphabet, "Q").trans("0", "x", "1").build();
+  EXPECT_EQ(p.sigma(), q.sigma());
+}
+
+}  // namespace
+}  // namespace ccfsp

@@ -1,0 +1,49 @@
+#include "fsp/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fsp/generate.hpp"
+
+namespace ccfsp {
+namespace {
+
+TEST(FspAnalysisCache, AgreesWithOnDemandQueries) {
+  Rng rng(314);
+  auto alphabet = std::make_shared<Alphabet>();
+  std::vector<ActionId> pool{alphabet->intern("a"), alphabet->intern("b"),
+                             alphabet->intern("c")};
+  for (int iter = 0; iter < 20; ++iter) {
+    TreeFspOptions opt;
+    opt.num_states = 10;
+    opt.tau_probability = 0.35;
+    Fsp f = iter % 2 ? random_acyclic_fsp(rng, alphabet, pool, opt, 4, "D")
+                     : random_cyclic_fsp(rng, alphabet, pool, 8, 5, "C");
+    // Cyclic processes from the generator have no tau; splice some in so
+    // closures are non-trivial there too.
+    if (iter % 2 == 0 && f.num_states() >= 2) {
+      f.add_transition(0, kTau, 1);
+    }
+    FspAnalysisCache cache(f);
+    for (StateId s = 0; s < f.num_states(); ++s) {
+      EXPECT_EQ(cache.tau_closure(s), f.tau_closure(s)) << iter << " state " << s;
+      EXPECT_EQ(cache.ready_actions(s), f.ready_actions(s)) << iter << " state " << s;
+      for (ActionId a : pool) {
+        EXPECT_EQ(cache.arrow_successors(s, a), f.arrow_successors(s, a))
+            << iter << " state " << s << " action " << a;
+      }
+    }
+  }
+}
+
+TEST(FspAnalysisCache, MissingActionGivesEmpty) {
+  auto alphabet = std::make_shared<Alphabet>();
+  Fsp f(alphabet, "single");
+  f.add_state();
+  f.set_start(0);
+  f.declare_action(alphabet->intern("a"));
+  FspAnalysisCache cache(f);
+  EXPECT_TRUE(cache.arrow_successors(0, *alphabet->find("a")).empty());
+}
+
+}  // namespace
+}  // namespace ccfsp

@@ -1,0 +1,156 @@
+#include "fsp/fsp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fsp/builder.hpp"
+
+namespace ccfsp {
+namespace {
+
+class FspTest : public ::testing::Test {
+ protected:
+  AlphabetPtr alphabet = std::make_shared<Alphabet>();
+};
+
+TEST_F(FspTest, ClassificationLinear) {
+  Fsp f = FspBuilder(alphabet, "L").trans("0", "a", "1").trans("1", "b", "2").build();
+  EXPECT_TRUE(f.is_linear());
+  EXPECT_TRUE(f.is_tree());
+  EXPECT_TRUE(f.is_acyclic());
+}
+
+TEST_F(FspTest, ClassificationTree) {
+  Fsp f = FspBuilder(alphabet, "T")
+              .trans("r", "a", "x")
+              .trans("r", "b", "y")
+              .build();
+  EXPECT_FALSE(f.is_linear());
+  EXPECT_TRUE(f.is_tree());
+  EXPECT_TRUE(f.is_acyclic());
+}
+
+TEST_F(FspTest, ClassificationDag) {
+  // Diamond: two paths rejoin — acyclic but not a tree.
+  Fsp f = FspBuilder(alphabet, "D")
+              .trans("r", "a", "x")
+              .trans("r", "b", "y")
+              .trans("x", "c", "z")
+              .trans("y", "c", "z")
+              .build();
+  EXPECT_FALSE(f.is_tree());
+  EXPECT_TRUE(f.is_acyclic());
+}
+
+TEST_F(FspTest, ClassificationCyclic) {
+  Fsp f = FspBuilder(alphabet, "C").trans("0", "a", "1").trans("1", "b", "0").build();
+  EXPECT_FALSE(f.is_acyclic());
+  EXPECT_FALSE(f.is_tree());
+  EXPECT_FALSE(f.has_leaves());
+}
+
+TEST_F(FspTest, SigmaCollectsUsedAndDeclared) {
+  Fsp f = FspBuilder(alphabet, "S").trans("0", "a", "1").action("zz").build();
+  ActionId a = *alphabet->find("a");
+  ActionId z = *alphabet->find("zz");
+  auto sigma = f.sigma();
+  EXPECT_EQ(sigma.size(), 2u);
+  EXPECT_TRUE(f.sigma_set().test(a));
+  EXPECT_TRUE(f.sigma_set().test(z));
+}
+
+TEST_F(FspTest, TauIsNotInSigma) {
+  Fsp f = FspBuilder(alphabet, "S").trans("0", "tau", "1").trans("1", "a", "2").build();
+  EXPECT_EQ(f.sigma().size(), 1u);
+  EXPECT_TRUE(f.has_tau_moves());
+}
+
+TEST_F(FspTest, StabilityAndReadySets) {
+  Fsp f = FspBuilder(alphabet, "R")
+              .trans("0", "tau", "1")
+              .trans("0", "a", "2")
+              .trans("1", "b", "2")
+              .build();
+  EXPECT_FALSE(f.is_stable(0));
+  EXPECT_TRUE(f.is_stable(1));
+  EXPECT_TRUE(f.is_leaf(2));
+  ActionId a = *alphabet->find("a");
+  ActionId b = *alphabet->find("b");
+  // out_actions is not tau-closed; ready_actions is.
+  EXPECT_TRUE(f.out_actions(0).test(a));
+  EXPECT_FALSE(f.out_actions(0).test(b));
+  EXPECT_TRUE(f.ready_actions(0).test(a));
+  EXPECT_TRUE(f.ready_actions(0).test(b));
+}
+
+TEST_F(FspTest, TauClosureAndArrowSuccessors) {
+  Fsp f = FspBuilder(alphabet, "A")
+              .trans("0", "tau", "1")
+              .trans("1", "a", "2")
+              .trans("2", "tau", "3")
+              .build();
+  auto closure = f.tau_closure(0);
+  EXPECT_EQ(closure.size(), 2u);  // {0, 1}
+  auto succ = f.arrow_successors(0, *alphabet->find("a"));
+  EXPECT_EQ(succ.size(), 2u);  // {2, 3}: trailing tau closed
+}
+
+TEST_F(FspTest, ValidateRejectsUnreachableState) {
+  Fsp f(alphabet, "bad");
+  f.add_state();
+  f.add_state();  // never connected
+  f.set_start(0);
+  EXPECT_THROW(f.validate(), std::logic_error);
+}
+
+TEST_F(FspTest, TrimDropsUnreachable) {
+  Fsp f(alphabet, "t");
+  StateId s0 = f.add_state("s0");
+  StateId s1 = f.add_state("s1");
+  StateId s2 = f.add_state("dead");
+  ActionId a = alphabet->intern("a");
+  f.add_transition(s0, a, s1);
+  f.add_transition(s2, a, s1);
+  f.set_start(s0);
+  Fsp t = f.trimmed();
+  EXPECT_EQ(t.num_states(), 2u);
+  EXPECT_NO_THROW(t.validate());
+  EXPECT_EQ(t.state_label(t.start()), "s0");
+}
+
+TEST_F(FspTest, DepthOfDag) {
+  Fsp f = FspBuilder(alphabet, "d")
+              .trans("0", "a", "1")
+              .trans("1", "b", "2")
+              .trans("0", "c", "2")
+              .build();
+  EXPECT_EQ(f.depth(), 2u);
+}
+
+TEST_F(FspTest, DepthThrowsOnCycle) {
+  Fsp f = FspBuilder(alphabet, "c").trans("0", "a", "0").build();
+  EXPECT_THROW(f.depth(), std::logic_error);
+}
+
+TEST_F(FspTest, LeavesEnumeration) {
+  Fsp f = FspBuilder(alphabet, "l")
+              .trans("r", "a", "x")
+              .trans("r", "b", "y")
+              .build();
+  EXPECT_EQ(f.leaves().size(), 2u);
+}
+
+TEST_F(FspTest, AtomsAreUniquePerState) {
+  Fsp f = FspBuilder(alphabet, "a1").trans("0", "a", "1").build();
+  EXPECT_NE(f.atoms(0), f.atoms(1));
+  EXPECT_EQ(f.atoms(0).size(), 1u);
+}
+
+TEST_F(FspTest, DotOutputMentionsActionsAndStates) {
+  Fsp f = FspBuilder(alphabet, "viz").trans("s", "ping", "t").build();
+  std::string dot = f.to_dot();
+  EXPECT_NE(dot.find("ping"), std::string::npos);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccfsp

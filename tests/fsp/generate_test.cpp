@@ -1,0 +1,111 @@
+#include "fsp/generate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "network/generate.hpp"
+#include "success/baseline.hpp"
+#include "success/linear.hpp"
+
+namespace ccfsp {
+namespace {
+
+struct GenCase {
+  std::uint64_t seed;
+};
+
+class GenerateTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GenerateTest, TreeFspIsTreeAndValid) {
+  Rng rng(GetParam());
+  auto alphabet = std::make_shared<Alphabet>();
+  std::vector<ActionId> pool{alphabet->intern("a"), alphabet->intern("b")};
+  TreeFspOptions opt;
+  opt.num_states = 12;
+  Fsp f = random_tree_fsp(rng, alphabet, pool, opt, "T");
+  EXPECT_EQ(f.num_states(), 12u);
+  EXPECT_TRUE(f.is_tree());
+  EXPECT_NO_THROW(f.validate());
+}
+
+TEST_P(GenerateTest, LinearFspIsLinear) {
+  Rng rng(GetParam());
+  auto alphabet = std::make_shared<Alphabet>();
+  std::vector<ActionId> pool{alphabet->intern("a")};
+  Fsp f = random_linear_fsp(rng, alphabet, pool, 9, 0.3, "L");
+  EXPECT_TRUE(f.is_linear());
+  EXPECT_EQ(f.num_states(), 10u);
+}
+
+TEST_P(GenerateTest, AcyclicFspIsAcyclic) {
+  Rng rng(GetParam());
+  auto alphabet = std::make_shared<Alphabet>();
+  std::vector<ActionId> pool{alphabet->intern("a"), alphabet->intern("b")};
+  TreeFspOptions opt;
+  opt.num_states = 10;
+  Fsp f = random_acyclic_fsp(rng, alphabet, pool, opt, 6, "D");
+  EXPECT_TRUE(f.is_acyclic());
+  EXPECT_NO_THROW(f.validate());
+}
+
+TEST_P(GenerateTest, CyclicFspHasNoLeavesNoTau) {
+  Rng rng(GetParam());
+  auto alphabet = std::make_shared<Alphabet>();
+  std::vector<ActionId> pool{alphabet->intern("a"), alphabet->intern("b")};
+  Fsp f = random_cyclic_fsp(rng, alphabet, pool, 8, 4, "C");
+  EXPECT_FALSE(f.has_leaves());
+  EXPECT_FALSE(f.has_tau_moves());
+  EXPECT_NO_THROW(f.validate());
+}
+
+TEST_P(GenerateTest, SameSeedSameProcess) {
+  auto alphabet = std::make_shared<Alphabet>();
+  std::vector<ActionId> pool{alphabet->intern("a"), alphabet->intern("b")};
+  TreeFspOptions opt;
+  Rng r1(GetParam()), r2(GetParam());
+  Fsp f1 = random_tree_fsp(r1, alphabet, pool, opt, "X");
+  Fsp f2 = random_tree_fsp(r2, alphabet, pool, opt, "X");
+  ASSERT_EQ(f1.num_states(), f2.num_states());
+  for (StateId s = 0; s < f1.num_states(); ++s) {
+    EXPECT_EQ(f1.out(s), f2.out(s));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GenerateTest, ::testing::Values(1, 2, 3, 17, 99, 12345));
+
+TEST(Generate, WaveNetworksAreLiveLinearTrees) {
+  // Wave networks: every process linear and tau-free, C_N a tree, and —
+  // the property the benches rely on — no schedule can deadlock them.
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Rng rng(seed);
+    Network net = wave_tree_network(rng, 3 + rng.below(5), 1 + rng.below(3));
+    EXPECT_TRUE(net.is_tree_network());
+    EXPECT_TRUE(net.all_linear());
+    for (std::size_t p = 0; p < net.size(); ++p) {
+      EXPECT_FALSE(net.process(p).has_tau_moves());
+      EXPECT_TRUE(linear_network_success(net, p)) << "seed " << seed << " p " << p;
+      EXPECT_FALSE(potential_blocking_global(net, p)) << "seed " << seed << " p " << p;
+    }
+  }
+}
+
+TEST(Generate, WaveChainGlobalMachineGrowsWithLength) {
+  GlobalMachine small = build_global(wave_chain_network(4, 2));
+  GlobalMachine big = build_global(wave_chain_network(8, 4));
+  EXPECT_GT(big.num_states(), small.num_states());
+}
+
+TEST(Generate, WaveRejectsDegenerateParameters) {
+  Rng rng(1);
+  EXPECT_THROW(wave_tree_network(rng, 1, 3), std::invalid_argument);
+  EXPECT_THROW(wave_chain_network(4, 0), std::invalid_argument);
+}
+
+TEST(Generate, EmptyPoolThrows) {
+  Rng rng(1);
+  auto alphabet = std::make_shared<Alphabet>();
+  EXPECT_THROW(random_tree_fsp(rng, alphabet, {}, {}, "T"), std::invalid_argument);
+  EXPECT_THROW(random_cyclic_fsp(rng, alphabet, {}, 4, 0, "C"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ccfsp

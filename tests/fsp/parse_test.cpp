@@ -1,0 +1,98 @@
+#include "fsp/parse.hpp"
+
+#include <gtest/gtest.h>
+
+#include "equiv/equivalences.hpp"
+
+namespace ccfsp {
+namespace {
+
+TEST(Parse, BasicProcess) {
+  auto alphabet = std::make_shared<Alphabet>();
+  Fsp f = parse_fsp(R"(
+    process P1 {
+      start q0;
+      q0 -a-> q1;
+      q1 -tau-> q2;
+      q2 -b-> q0;
+    }
+  )",
+                    alphabet);
+  EXPECT_EQ(f.name(), "P1");
+  EXPECT_EQ(f.num_states(), 3u);
+  EXPECT_EQ(f.num_transitions(), 3u);
+  EXPECT_TRUE(f.has_tau_moves());
+  EXPECT_EQ(f.sigma().size(), 2u);
+}
+
+TEST(Parse, DefaultStartIsFirstMentioned) {
+  auto alphabet = std::make_shared<Alphabet>();
+  Fsp f = parse_fsp("process P { s -go-> t; }", alphabet);
+  EXPECT_EQ(f.state_label(f.start()), "s");
+}
+
+TEST(Parse, AlphabetStatementDeclaresUnused) {
+  auto alphabet = std::make_shared<Alphabet>();
+  Fsp f = parse_fsp("process P { s -a-> t; alphabet b c; }", alphabet);
+  EXPECT_EQ(f.sigma().size(), 3u);
+}
+
+TEST(Parse, CommentsIgnored) {
+  auto alphabet = std::make_shared<Alphabet>();
+  Fsp f = parse_fsp("process P { # header\n s -a-> t; # trailing\n }", alphabet);
+  EXPECT_EQ(f.num_transitions(), 1u);
+}
+
+TEST(Parse, MultipleProcesses) {
+  auto alphabet = std::make_shared<Alphabet>();
+  auto procs = parse_processes(R"(
+    process A { s -x-> t; }
+    process B { u -x-> v; }
+  )",
+                               alphabet);
+  ASSERT_EQ(procs.size(), 2u);
+  EXPECT_EQ(procs[0].name(), "A");
+  EXPECT_EQ(procs[1].name(), "B");
+}
+
+TEST(Parse, ErrorsCarryLineNumbers) {
+  auto alphabet = std::make_shared<Alphabet>();
+  try {
+    parse_fsp("process P {\n s -a- t;\n }", alphabet);
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Parse, RejectsTrailingGarbage) {
+  auto alphabet = std::make_shared<Alphabet>();
+  EXPECT_THROW(parse_fsp("process P { s -a-> t; } junk", alphabet), std::runtime_error);
+}
+
+TEST(Parse, RejectsMissingSemicolon) {
+  auto alphabet = std::make_shared<Alphabet>();
+  EXPECT_THROW(parse_fsp("process P { s -a-> t }", alphabet), std::runtime_error);
+}
+
+TEST(Parse, RoundTripThroughToDsl) {
+  auto alphabet = std::make_shared<Alphabet>();
+  Fsp f = parse_fsp(R"(
+    process R {
+      start s;
+      s -a-> t;
+      s -tau-> u;
+      u -b-> t;
+      alphabet unused;
+    }
+  )",
+                    alphabet);
+  Fsp g = parse_fsp(to_dsl(f), alphabet);
+  EXPECT_EQ(f.num_states(), g.num_states());
+  EXPECT_EQ(f.num_transitions(), g.num_transitions());
+  EXPECT_EQ(f.sigma(), g.sigma());
+  EXPECT_TRUE(possibility_equivalent(f, g));
+}
+
+}  // namespace
+}  // namespace ccfsp

@@ -1,0 +1,112 @@
+#include "fsp/rename.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algebra/compose.hpp"
+#include "equiv/equivalences.hpp"
+#include "fsp/builder.hpp"
+#include "network/families.hpp"
+#include "network/network.hpp"
+#include "success/baseline.hpp"
+
+namespace ccfsp {
+namespace {
+
+TEST(Rename, RelabelsTransitionsAndSigma) {
+  auto alphabet = std::make_shared<Alphabet>();
+  Fsp f = FspBuilder(alphabet, "T").trans("0", "a", "1").action("b").build();
+  Fsp g = rename_actions(f, {{"a", "x"}, {"b", "y"}}, "T2");
+  EXPECT_EQ(g.name(), "T2");
+  EXPECT_EQ(g.out(g.start())[0].action, *alphabet->find("x"));
+  EXPECT_TRUE(g.sigma_set().test(*alphabet->find("y")));
+  EXPECT_FALSE(g.sigma_set().test(*alphabet->find("a")));
+}
+
+TEST(Rename, UnmappedActionsKept) {
+  auto alphabet = std::make_shared<Alphabet>();
+  Fsp f = FspBuilder(alphabet, "T").trans("0", "a", "1").trans("1", "keep", "2").build();
+  Fsp g = rename_actions(f, {{"a", "x"}}, "T2");
+  EXPECT_TRUE(g.sigma_set().test(*alphabet->find("keep")));
+}
+
+TEST(Rename, TauPreserved) {
+  auto alphabet = std::make_shared<Alphabet>();
+  Fsp f = FspBuilder(alphabet, "T").trans("0", "tau", "1").trans("1", "a", "2").build();
+  Fsp g = rename_actions(f, {{"a", "x"}}, "T2");
+  EXPECT_TRUE(g.has_tau_moves());
+}
+
+TEST(Rename, RejectsGluing) {
+  auto alphabet = std::make_shared<Alphabet>();
+  Fsp f = FspBuilder(alphabet, "T").trans("0", "a", "1").trans("1", "b", "2").build();
+  EXPECT_THROW(rename_actions(f, {{"a", "c"}, {"b", "c"}}, "bad"), std::invalid_argument);
+  // Mapping a onto an untouched existing action is gluing too.
+  EXPECT_THROW(rename_actions(f, {{"a", "b"}}, "bad"), std::invalid_argument);
+}
+
+TEST(Rename, RejectsUnknownSource) {
+  auto alphabet = std::make_shared<Alphabet>();
+  Fsp f = FspBuilder(alphabet, "T").trans("0", "a", "1").build();
+  EXPECT_THROW(rename_actions(f, {{"ghost_src", "x"}}, "bad"), std::invalid_argument);
+}
+
+TEST(Rename, SwapIsAllowed) {
+  // A permutation of Sigma is injective and legal.
+  auto alphabet = std::make_shared<Alphabet>();
+  Fsp f = FspBuilder(alphabet, "T").trans("0", "a", "1").trans("1", "b", "2").build();
+  Fsp g = rename_actions(f, {{"a", "b"}, {"b", "a"}}, "swapped");
+  EXPECT_EQ(g.out(g.start())[0].action, *alphabet->find("b"));
+}
+
+TEST(Rename, TemplateInstantiationBuildsPhilosophers) {
+  // Stamp out dining_philosophers(2) from one generic philosopher and one
+  // generic fork; the result must agree with the hand-built family on the
+  // deadlock verdict.
+  auto alphabet = std::make_shared<Alphabet>();
+  Fsp phil = FspBuilder(alphabet, "PhilT")
+                 .trans("think", "takeL", "one")
+                 .trans("one", "takeR", "eat")
+                 .trans("eat", "putL", "halfdone")
+                 .trans("halfdone", "putR", "think")
+                 .build();
+  Fsp fork = FspBuilder(alphabet, "ForkT")
+                 .trans("free", "grabA", "heldA")
+                 .trans("heldA", "dropA", "free")
+                 .trans("free", "grabB", "heldB")
+                 .trans("heldB", "dropB", "free")
+                 .build();
+  std::vector<Fsp> procs;
+  // Philosopher i uses left fork i, right fork (i+1) % 2.
+  for (int i = 0; i < 2; ++i) {
+    int l = i, r = (i + 1) % 2;
+    auto tk = [&](int p, int f) { return "take" + std::to_string(p) + "_" + std::to_string(f); };
+    auto pt = [&](int p, int f) { return "put" + std::to_string(p) + "_" + std::to_string(f); };
+    procs.push_back(rename_actions(phil,
+                                   {{"takeL", tk(i, l)},
+                                    {"takeR", tk(i, r)},
+                                    {"putL", pt(i, l)},
+                                    {"putR", pt(i, r)}},
+                                   "Phil" + std::to_string(i)));
+  }
+  for (int f = 0; f < 2; ++f) {
+    int a = f, b = (f + 1) % 2;  // fork f: left of phil f, right of phil b
+    auto tk = [&](int p, int ff) {
+      return "take" + std::to_string(p) + "_" + std::to_string(ff);
+    };
+    auto pt = [&](int p, int ff) {
+      return "put" + std::to_string(p) + "_" + std::to_string(ff);
+    };
+    procs.push_back(rename_actions(fork,
+                                   {{"grabA", tk(a, f)},
+                                    {"dropA", pt(a, f)},
+                                    {"grabB", tk(b, f)},
+                                    {"dropB", pt(b, f)}},
+                                   "Fork" + std::to_string(f)));
+  }
+  Network net(alphabet, std::move(procs));
+  EXPECT_TRUE(potential_blocking_cyclic_global(net, 0));
+  EXPECT_TRUE(success_collab_cyclic_global(net, 0));
+}
+
+}  // namespace
+}  // namespace ccfsp

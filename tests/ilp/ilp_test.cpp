@@ -1,0 +1,125 @@
+#include "ilp/ilp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace ccfsp {
+namespace {
+
+LinearConstraint con(std::vector<std::int64_t> coeffs, Relation rel, BigInt rhs) {
+  LinearConstraint c;
+  for (auto v : coeffs) c.coeffs.emplace_back(v);
+  c.relation = rel;
+  c.rhs = Rational(std::move(rhs));
+  return c;
+}
+
+TEST(Ilp, KnapsackStyle) {
+  // max 5x + 4y s.t. 6x + 4y <= 24, x + 2y <= 6, integral.
+  // LP optimum is fractional (3, 1.5); ILP optimum is x=4,y=0 -> 20? check:
+  // 6*4=24 <= 24 ok, 4 <= 6 ok, obj 20. x=3,y=1: 22 <= 24, 5 <= 6, obj 19.
+  LinearProgram lp;
+  lp.num_vars = 2;
+  lp.objective = {Rational(5), Rational(4)};
+  lp.constraints.push_back(con({6, 4}, Relation::kLessEqual, BigInt(24)));
+  lp.constraints.push_back(con({1, 2}, Relation::kLessEqual, BigInt(6)));
+  auto r = solve_ilp(lp);
+  ASSERT_EQ(r.status, IlpStatus::kOptimal);
+  EXPECT_EQ(r.objective, Rational(20));
+  EXPECT_EQ(r.solution[0], BigInt(4));
+  EXPECT_EQ(r.solution[1], BigInt(0));
+}
+
+TEST(Ilp, InfeasibleIntegerButFeasibleLp) {
+  // 2x = 1 has the LP solution x = 1/2 but no integer solution.
+  LinearProgram lp;
+  lp.num_vars = 1;
+  lp.objective = {Rational(0)};
+  lp.constraints.push_back(con({2}, Relation::kEqual, BigInt(1)));
+  EXPECT_EQ(solve_ilp(lp).status, IlpStatus::kInfeasible);
+}
+
+TEST(Ilp, UnboundedDetected) {
+  LinearProgram lp;
+  lp.num_vars = 1;
+  lp.objective = {Rational(1)};
+  EXPECT_EQ(solve_ilp(lp).status, IlpStatus::kUnbounded);
+}
+
+TEST(Ilp, BigIntegerBounds) {
+  // max x s.t. x <= 2^100: branch-and-bound must return the exact BigInt.
+  LinearProgram lp;
+  lp.num_vars = 1;
+  lp.objective = {Rational(1)};
+  lp.constraints.push_back(con({1}, Relation::kLessEqual, BigInt::pow2(100)));
+  auto r = solve_ilp(lp);
+  ASSERT_EQ(r.status, IlpStatus::kOptimal);
+  EXPECT_EQ(r.solution[0], BigInt::pow2(100));
+}
+
+TEST(Ilp, EqualityFlowSystem) {
+  // x1 - x2 = 0, x1 <= 7, max x1 + x2 -> (7,7).
+  LinearProgram lp;
+  lp.num_vars = 2;
+  lp.objective = {Rational(1), Rational(1)};
+  lp.constraints.push_back(con({1, -1}, Relation::kEqual, BigInt(0)));
+  lp.constraints.push_back(con({1, 0}, Relation::kLessEqual, BigInt(7)));
+  auto r = solve_ilp(lp);
+  ASSERT_EQ(r.status, IlpStatus::kOptimal);
+  EXPECT_EQ(r.objective, Rational(14));
+}
+
+TEST(Ilp, RandomizedAgainstBruteForce) {
+  Rng rng(21);
+  for (int iter = 0; iter < 60; ++iter) {
+    // 2 vars in [0, 8], 3 random <= constraints, random objective.
+    LinearProgram lp;
+    lp.num_vars = 2;
+    lp.objective = {Rational(rng.range(-4, 4)), Rational(rng.range(-4, 4))};
+    lp.constraints.push_back(con({1, 0}, Relation::kLessEqual, BigInt(8)));
+    lp.constraints.push_back(con({0, 1}, Relation::kLessEqual, BigInt(8)));
+    for (int k = 0; k < 3; ++k) {
+      lp.constraints.push_back(con({rng.range(-3, 3), rng.range(-3, 3)}, Relation::kLessEqual,
+                                   BigInt(rng.range(-2, 12))));
+    }
+    // Brute force over the 9x9 grid.
+    bool any = false;
+    std::int64_t best = 0;
+    for (std::int64_t x = 0; x <= 8; ++x) {
+      for (std::int64_t y = 0; y <= 8; ++y) {
+        bool ok = true;
+        for (const auto& c : lp.constraints) {
+          std::int64_t lhs = 0, cx, cy, rhs;
+          c.coeffs[0].num().fits_int64(cx);
+          c.coeffs[1].num().fits_int64(cy);
+          c.rhs.num().fits_int64(rhs);
+          lhs = cx * x + cy * y;
+          if (lhs > rhs) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) continue;
+        std::int64_t ox, oy;
+        lp.objective[0].num().fits_int64(ox);
+        lp.objective[1].num().fits_int64(oy);
+        std::int64_t obj = ox * x + oy * y;
+        if (!any || obj > best) {
+          any = true;
+          best = obj;
+        }
+      }
+    }
+    auto r = solve_ilp(lp);
+    if (!any) {
+      EXPECT_EQ(r.status, IlpStatus::kInfeasible) << "iter " << iter;
+    } else {
+      ASSERT_EQ(r.status, IlpStatus::kOptimal) << "iter " << iter;
+      EXPECT_EQ(r.objective, Rational(best)) << "iter " << iter;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ccfsp

@@ -1,0 +1,126 @@
+#include "ilp/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccfsp {
+namespace {
+
+LinearConstraint con(std::vector<std::int64_t> coeffs, Relation rel, std::int64_t rhs) {
+  LinearConstraint c;
+  for (auto v : coeffs) c.coeffs.emplace_back(v);
+  c.relation = rel;
+  c.rhs = Rational(rhs);
+  return c;
+}
+
+TEST(Simplex, SimpleTwoVarMaximum) {
+  // max x + y s.t. x + 2y <= 4, 3x + y <= 6  ->  optimum at (8/5, 6/5), obj 14/5.
+  LinearProgram lp;
+  lp.num_vars = 2;
+  lp.objective = {Rational(1), Rational(1)};
+  lp.constraints.push_back(con({1, 2}, Relation::kLessEqual, 4));
+  lp.constraints.push_back(con({3, 1}, Relation::kLessEqual, 6));
+  auto r = solve_lp(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_EQ(r.objective, Rational(BigInt(14), BigInt(5)));
+  EXPECT_EQ(r.solution[0], Rational(BigInt(8), BigInt(5)));
+  EXPECT_EQ(r.solution[1], Rational(BigInt(6), BigInt(5)));
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  // max x s.t. x - y <= 1 (y free to grow keeps x growing).
+  LinearProgram lp;
+  lp.num_vars = 2;
+  lp.objective = {Rational(1), Rational(0)};
+  lp.constraints.push_back(con({1, -1}, Relation::kLessEqual, 1));
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  // x >= 3 and x <= 1.
+  LinearProgram lp;
+  lp.num_vars = 1;
+  lp.objective = {Rational(1)};
+  lp.constraints.push_back(con({1}, Relation::kGreaterEqual, 3));
+  lp.constraints.push_back(con({1}, Relation::kLessEqual, 1));
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, EqualityConstraints) {
+  // max x + y s.t. x + y = 5, x <= 2  ->  (2, 3), obj 5.
+  LinearProgram lp;
+  lp.num_vars = 2;
+  lp.objective = {Rational(1), Rational(1)};
+  lp.constraints.push_back(con({1, 1}, Relation::kEqual, 5));
+  lp.constraints.push_back(con({1, 0}, Relation::kLessEqual, 2));
+  auto r = solve_lp(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_EQ(r.objective, Rational(5));
+}
+
+TEST(Simplex, NegativeRhsNormalization) {
+  // -x <= -2  (i.e. x >= 2), max -x  ->  x = 2, obj -2.
+  LinearProgram lp;
+  lp.num_vars = 1;
+  lp.objective = {Rational(-1)};
+  lp.constraints.push_back(con({-1}, Relation::kLessEqual, -2));
+  auto r = solve_lp(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_EQ(r.objective, Rational(-2));
+  EXPECT_EQ(r.solution[0], Rational(2));
+}
+
+TEST(Simplex, DegenerateTiesTerminateViaBland) {
+  // A classically degenerate LP; Bland's rule must not cycle.
+  LinearProgram lp;
+  lp.num_vars = 4;
+  lp.objective = {Rational(BigInt(3), BigInt(4)), Rational(-150), Rational(BigInt(1), BigInt(50)),
+                  Rational(-6)};
+  LinearConstraint c1;
+  c1.coeffs = {Rational(BigInt(1), BigInt(4)), Rational(-60), Rational(BigInt(-1), BigInt(25)),
+               Rational(9)};
+  c1.relation = Relation::kLessEqual;
+  c1.rhs = Rational(0);
+  LinearConstraint c2;
+  c2.coeffs = {Rational(BigInt(1), BigInt(2)), Rational(-90), Rational(BigInt(-1), BigInt(50)),
+               Rational(3)};
+  c2.relation = Relation::kLessEqual;
+  c2.rhs = Rational(0);
+  LinearConstraint c3;
+  c3.coeffs = {Rational(0), Rational(0), Rational(1), Rational(0)};
+  c3.relation = Relation::kLessEqual;
+  c3.rhs = Rational(1);
+  lp.constraints = {c1, c2, c3};
+  auto r = solve_lp(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_EQ(r.objective, Rational(BigInt(1), BigInt(20)));
+}
+
+TEST(Simplex, RedundantEqualityRows) {
+  // x + y = 2 stated twice; still solvable.
+  LinearProgram lp;
+  lp.num_vars = 2;
+  lp.objective = {Rational(1), Rational(0)};
+  lp.constraints.push_back(con({1, 1}, Relation::kEqual, 2));
+  lp.constraints.push_back(con({1, 1}, Relation::kEqual, 2));
+  auto r = solve_lp(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_EQ(r.objective, Rational(2));
+}
+
+TEST(Simplex, AritytMismatchThrows) {
+  LinearProgram lp;
+  lp.num_vars = 2;
+  lp.objective = {Rational(1)};  // wrong size
+  EXPECT_THROW(solve_lp(lp), std::invalid_argument);
+}
+
+TEST(Simplex, ZeroVariableProgram) {
+  LinearProgram lp;  // max of nothing subject to nothing: optimal, obj 0
+  auto r = solve_lp(lp);
+  EXPECT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_EQ(r.objective, Rational(0));
+}
+
+}  // namespace
+}  // namespace ccfsp

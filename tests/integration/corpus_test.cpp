@@ -1,0 +1,147 @@
+// Data-driven corpus: every model in models/*.ccfsp is parsed from disk and
+// analyzed, and the verdicts must match the expectations written next to
+// the model's description. This exercises the full user path (DSL file ->
+// Network -> deciders) on realistic concurrency patterns.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "fsp/parse.hpp"
+#include "network/network.hpp"
+#include "success/cyclic.hpp"
+#include "success/linear.hpp"
+#include "success/tree_pipeline.hpp"
+
+namespace ccfsp {
+namespace {
+
+Network load_model(const std::string& name, AlphabetPtr alphabet) {
+  std::string path = std::string(CCFSP_MODELS_DIR) + "/" + name;
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open model " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return Network(alphabet, parse_processes(ss.str(), alphabet));
+}
+
+struct CyclicExpectation {
+  const char* model;
+  const char* process;
+  bool blocking;
+  bool s_c;
+  std::optional<bool> s_a;
+};
+
+class CyclicCorpus : public ::testing::TestWithParam<CyclicExpectation> {};
+
+TEST_P(CyclicCorpus, VerdictsMatch) {
+  const auto& e = GetParam();
+  auto alphabet = std::make_shared<Alphabet>();
+  Network net = load_model(e.model, alphabet);
+  std::size_t p = SIZE_MAX;
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    if (net.process(i).name() == e.process) p = i;
+  }
+  ASSERT_NE(p, SIZE_MAX) << e.process;
+  CyclicDecision d = cyclic_decide_explicit(net, p);
+  EXPECT_EQ(d.potential_blocking, e.blocking) << e.model << " " << e.process;
+  EXPECT_EQ(d.success_collab, e.s_c) << e.model << " " << e.process;
+  if (e.s_a.has_value()) {
+    ASSERT_TRUE(d.success_adversity.has_value());
+    EXPECT_EQ(*d.success_adversity, *e.s_a) << e.model << " " << e.process;
+  }
+  // The hierarchical heuristic must agree with the explicit verdicts.
+  CyclicDecision h = cyclic_decide_tree(net, p);
+  EXPECT_EQ(h.potential_blocking, d.potential_blocking);
+  EXPECT_EQ(h.success_collab, d.success_collab);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, CyclicCorpus,
+    ::testing::Values(
+        // Semaphore: no deadlock, everyone can run forever, but each client
+        // is starvable by its rival.
+        CyclicExpectation{"mutex_semaphore.ccfsp", "Client0", true, true, false},
+        CyclicExpectation{"mutex_semaphore.ccfsp", "Client1", true, true, false},
+        CyclicExpectation{"mutex_semaphore.ccfsp", "Semaphore", false, true, true},
+        // Bounded buffer: fully live, nobody starvable.
+        CyclicExpectation{"bounded_buffer.ccfsp", "Producer", false, true, true},
+        CyclicExpectation{"bounded_buffer.ccfsp", "Consumer", false, true, true},
+        CyclicExpectation{"bounded_buffer.ccfsp", "Buffer", false, true, true},
+        // Readers/writers: the writer is starvable, readers too (writer +
+        // other reader can monopolize), the lock itself always moves.
+        CyclicExpectation{"readers_writers.ccfsp", "Writer", true, true, false},
+        CyclicExpectation{"readers_writers.ccfsp", "Reader0", true, true, false},
+        CyclicExpectation{"readers_writers.ccfsp", "Lock", false, true, true},
+        // Train crossing: same shape as the semaphore.
+        CyclicExpectation{"train_crossing.ccfsp", "TrainA", true, true, false},
+        CyclicExpectation{"train_crossing.ccfsp", "Controller", false, true, true},
+        // Barrier: the round structure forces universal participation, so
+        // unlike the semaphore nobody is starvable.
+        CyclicExpectation{"barrier.ccfsp", "Worker0", false, true, true},
+        CyclicExpectation{"barrier.ccfsp", "Worker2", false, true, true},
+        CyclicExpectation{"barrier.ccfsp", "Barrier", false, true, true}));
+
+struct AcyclicExpectation {
+  const char* model;
+  const char* process;
+  bool s_u;
+  bool s_c;
+  std::optional<bool> s_a;
+};
+
+class AcyclicCorpus : public ::testing::TestWithParam<AcyclicExpectation> {};
+
+TEST_P(AcyclicCorpus, VerdictsMatch) {
+  const auto& e = GetParam();
+  auto alphabet = std::make_shared<Alphabet>();
+  Network net = load_model(e.model, alphabet);
+  std::size_t p = SIZE_MAX;
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    if (net.process(i).name() == e.process) p = i;
+  }
+  ASSERT_NE(p, SIZE_MAX) << e.process;
+  Theorem3Result r = theorem3_decide(net, p);
+  EXPECT_EQ(r.unavoidable_success, e.s_u) << e.model << " " << e.process;
+  EXPECT_EQ(r.success_collab, e.s_c) << e.model << " " << e.process;
+  if (e.s_a.has_value()) {
+    ASSERT_TRUE(r.success_adversity.has_value()) << e.model << " " << e.process;
+    EXPECT_EQ(*r.success_adversity, *e.s_a) << e.model << " " << e.process;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, AcyclicCorpus,
+    ::testing::Values(
+        // Two-phase commit cannot wedge, for anyone. The participants make
+        // tau choices so their S_a is undefined; the coordinator is tau-free
+        // and wins outright.
+        AcyclicExpectation{"two_phase_commit.ccfsp", "Coordinator", true, true, true},
+        AcyclicExpectation{"two_phase_commit.ccfsp", "Part1", true, true, std::nullopt},
+        AcyclicExpectation{"two_phase_commit.ccfsp", "Part2", true, true, std::nullopt},
+        // Order mismatch: dead on arrival for both sides.
+        AcyclicExpectation{"handshake_deadlock.ccfsp", "P", false, false, false},
+        AcyclicExpectation{"handshake_deadlock.ccfsp", "Q", false, false, false},
+        // Lossy RPC: completes sometimes, blockable, unwinnable for the
+        // caller; the server is equally at the channel's mercy.
+        AcyclicExpectation{"lossy_rpc.ccfsp", "Caller", false, true, false},
+        AcyclicExpectation{"lossy_rpc.ccfsp", "Server", false, true, false},
+        // All-linear pipeline: Proposition 1 territory, always completes.
+        AcyclicExpectation{"pipeline.ccfsp", "Source", true, true, true},
+        AcyclicExpectation{"pipeline.ccfsp", "Stage", true, true, true},
+        AcyclicExpectation{"pipeline.ccfsp", "Sink", true, true, true}));
+
+TEST(Corpus, PipelineModelAlsoSolvedByProposition1) {
+  auto alphabet = std::make_shared<Alphabet>();
+  Network net = load_model("pipeline.ccfsp", alphabet);
+  ASSERT_TRUE(net.all_linear());
+  for (std::size_t p = 0; p < net.size(); ++p) {
+    EXPECT_TRUE(linear_network_success(net, p)) << p;
+  }
+}
+
+}  // namespace
+}  // namespace ccfsp

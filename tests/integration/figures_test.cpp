@@ -1,0 +1,133 @@
+// Executable transcriptions of the paper's worked figures. Figure 1's exact
+// transition diagrams are illustrative (the construction, not the specific
+// picture, is normative), so we exercise the construction on a network of
+// the stated shape: P1 a tree FSP, P2 acyclic, P3 cyclic, C_N a path
+// P1 - P2 - P3 (a tree).
+#include <gtest/gtest.h>
+
+#include "algebra/compose.hpp"
+#include "fsp/builder.hpp"
+#include "network/families.hpp"
+#include "network/network.hpp"
+#include "semantics/possibilities.hpp"
+#include "success/baseline.hpp"
+#include "success/game.hpp"
+#include "success/tree_pipeline.hpp"
+
+namespace ccfsp {
+namespace {
+
+struct Figure1 {
+  AlphabetPtr alphabet = std::make_shared<Alphabet>();
+  Fsp p1, p2, p3;
+
+  Figure1()
+      : p1(FspBuilder(alphabet, "P1")
+               .trans("1", "a", "2")
+               .trans("1", "b", "3")
+               .trans("3", "a", "4")
+               .build()),
+        p2(FspBuilder(alphabet, "P2")
+               .trans("1", "a", "2")
+               .trans("1", "c", "3")
+               .trans("2", "c", "4")
+               .trans("3", "a", "4")
+               .trans("1", "b", "4")
+               .build()),
+        p3(FspBuilder(alphabet, "P3")
+               .trans("1", "c", "2")
+               .trans("2", "c", "1")
+               .build()) {}
+};
+
+TEST(Figure1, NetworkShapeMatchesCaption) {
+  Figure1 f;
+  std::vector<Fsp> procs;
+  procs.push_back(f.p1);
+  procs.push_back(f.p2);
+  procs.push_back(f.p3);
+  Network net(f.alphabet, std::move(procs));
+  EXPECT_TRUE(net.process(0).is_tree());
+  EXPECT_TRUE(net.process(1).is_acyclic());
+  EXPECT_FALSE(net.process(1).is_tree());
+  EXPECT_FALSE(net.process(2).is_acyclic());
+  EXPECT_TRUE(net.is_tree_network());  // P1 - P2 - P3
+}
+
+TEST(Figure1, ProductRestrictionAndHiding) {
+  Figure1 f;
+  // P1 x P2 on the full state set vs the reachable restriction P1 ⊓ P2.
+  Fsp full = full_product(f.p1, f.p2);
+  Fsp reach = reachable_product(f.p1, f.p2);
+  EXPECT_EQ(full.num_states(), f.p1.num_states() * f.p2.num_states());
+  EXPECT_LT(reach.num_states(), full.num_states());
+  EXPECT_TRUE(isomorphic_by_atoms(full.trimmed(), reach));
+
+  // P1 || P2: shared symbols {a, b} hidden, c still visible (to P3).
+  Fsp comp = compose(f.p1, f.p2);
+  ActionSet sigma = comp.sigma_set();
+  EXPECT_FALSE(sigma.test(*f.alphabet->find("a")));
+  EXPECT_FALSE(sigma.test(*f.alphabet->find("b")));
+  EXPECT_TRUE(sigma.test(*f.alphabet->find("c")));
+  // The composition collapses C_N: (P1||P2) - P3 remains a (2-node) tree.
+  std::vector<Fsp> procs;
+  procs.push_back(std::move(comp));
+  procs.push_back(f.p3);
+  Network collapsed(f.alphabet, std::move(procs));
+  EXPECT_EQ(collapsed.comm_graph().num_edges(), 1u);
+}
+
+TEST(Figure2, PossibilityIllustration) {
+  // (s, Z) with s = a b and Z = {z1, z2}: build exactly that shape.
+  auto alphabet = std::make_shared<Alphabet>();
+  Fsp p = FspBuilder(alphabet, "P")
+              .trans("p", "a", "q1")
+              .trans("q1", "tau", "q2")
+              .trans("q2", "b", "q")
+              .trans("q", "z1", "r1")
+              .trans("q", "z2", "r2")
+              .build();
+  auto poss = possibilities_tree(p);
+  Possibility expected{{*alphabet->find("a"), *alphabet->find("b")},
+                       {*alphabet->find("z1"), *alphabet->find("z2")}};
+  EXPECT_NE(std::find(poss.begin(), poss.end(), expected), poss.end());
+}
+
+TEST(Figure3, AllPredicates) {
+  Network net = figure3_network();
+  EXPECT_TRUE(success_collab_global(net, 0));            // S_c
+  EXPECT_TRUE(potential_blocking_global(net, 0));        // not S_u
+  EXPECT_FALSE(success_adversity_network(net, 0));       // and S_a fails too
+  // The same through the Theorem 3 pipeline.
+  Theorem3Result r = theorem3_decide(net, 0);
+  EXPECT_TRUE(r.success_collab);
+  EXPECT_FALSE(r.unavoidable_success);
+  EXPECT_EQ(r.success_adversity, std::optional<bool>(false));
+}
+
+TEST(Section33Example, SuTrueSaFalseSplit) {
+  // The closing Section 3.3 caption: S_u false, S_a true, S_c true.
+  Network net = success_separation_network();
+  Theorem3Result r = theorem3_decide(net, 0);
+  EXPECT_FALSE(r.unavoidable_success);
+  EXPECT_EQ(r.success_adversity, std::optional<bool>(true));
+  EXPECT_TRUE(r.success_collab);
+}
+
+TEST(Figure8a, RingToPathOfComposites) {
+  // Fold the ring in half (Figure 8a): parts {0}, {1,5}, {2,4}, {3}. Each
+  // composite has at most quadratic size and the collapsed C_N is a path.
+  Network ring = token_ring(6);
+  std::vector<Fsp> folded;
+  folded.push_back(ring.process(0));
+  folded.push_back(compose(ring.process(1), ring.process(5)));
+  folded.push_back(compose(ring.process(2), ring.process(4)));
+  folded.push_back(ring.process(3));
+  EXPECT_LE(folded[1].num_states(),
+            ring.process(1).num_states() * ring.process(5).num_states());
+  Network path(ring.alphabet(), std::move(folded));
+  EXPECT_TRUE(path.is_tree_network());  // a 4-node path
+}
+
+}  // namespace
+}  // namespace ccfsp

@@ -1,0 +1,44 @@
+// The paper's basic ordering of the three notions (Section 3.1):
+//   S_u(P,Q)  =>  S_a(P,Q)  =>  S_c(P,Q),
+// with Figure 3 showing S_c does not imply S_u. Property-checked across
+// random tree networks, both through the oracles and the pipeline.
+#include <gtest/gtest.h>
+
+#include "network/generate.hpp"
+#include "success/baseline.hpp"
+#include "success/game.hpp"
+#include "success/tree_pipeline.hpp"
+
+namespace ccfsp {
+namespace {
+
+class ImplicationChain : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ImplicationChain, SuImpliesSaImpliesSc) {
+  Rng rng(GetParam());
+  NetworkGenOptions opt;
+  opt.num_processes = 2 + rng.below(3);
+  opt.states_per_process = 4 + rng.below(3);
+  opt.tau_probability = 0.0;  // keep P tau-free so S_a is defined
+  Network net = random_tree_network(rng, opt);
+  for (std::size_t p = 0; p < net.size(); ++p) {
+    bool s_u = !potential_blocking_global(net, p);
+    bool s_a = success_adversity_network(net, p);
+    bool s_c = success_collab_global(net, p);
+    EXPECT_TRUE(!s_u || s_a) << "S_u => S_a violated, seed " << GetParam() << " p " << p;
+    EXPECT_TRUE(!s_a || s_c) << "S_a => S_c violated, seed " << GetParam() << " p " << p;
+
+    // And the pipeline's answers obey the same chain.
+    Theorem3Result r = theorem3_decide(net, p);
+    ASSERT_TRUE(r.success_adversity.has_value());
+    EXPECT_TRUE(!r.unavoidable_success || *r.success_adversity);
+    EXPECT_TRUE(!*r.success_adversity || r.success_collab);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ImplicationChain,
+                         ::testing::Values(61, 62, 63, 64, 65, 66, 67, 68, 69, 70, 71, 72, 73,
+                                           74, 75, 76, 77, 78, 79, 80));
+
+}  // namespace
+}  // namespace ccfsp

@@ -1,0 +1,162 @@
+// Metamorphic properties: transformations of a network that provably do not
+// change the success predicates, checked across seeded random inputs. These
+// catch whole classes of bugs (state bookkeeping, alphabet handling,
+// hiding) that pointwise unit tests miss.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "fsp/builder.hpp"
+#include "fsp/rename.hpp"
+#include "network/generate.hpp"
+#include "success/baseline.hpp"
+#include "success/game.hpp"
+#include "success/tree_pipeline.hpp"
+
+namespace ccfsp {
+namespace {
+
+struct Verdicts {
+  bool s_u, s_c;
+  std::optional<bool> s_a;
+
+  bool operator==(const Verdicts&) const = default;
+};
+
+Verdicts verdicts(const Network& net, std::size_t p) {
+  Verdicts v{};
+  v.s_c = success_collab_global(net, p);
+  v.s_u = !potential_blocking_global(net, p);
+  if (!net.process(p).has_tau_moves()) {
+    v.s_a = success_adversity_network(net, p);
+  }
+  return v;
+}
+
+class Metamorphic : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  Network make_net(Rng& rng) {
+    NetworkGenOptions opt;
+    opt.num_processes = 2 + rng.below(3);
+    opt.states_per_process = 4 + rng.below(3);
+    opt.tau_probability = 0.15;
+    return random_tree_network(rng, opt);
+  }
+};
+
+TEST_P(Metamorphic, InertPairDoesNotChangeVerdicts) {
+  // Append a disconnected, always-terminating pair of processes: every
+  // predicate about P must survive (their handshake can always fire, so
+  // they add no deadlocks and no leverage).
+  Rng rng(GetParam());
+  Network net = make_net(rng);
+  Verdicts before = verdicts(net, 0);
+
+  std::vector<Fsp> procs = net.processes();
+  auto alphabet = net.alphabet();
+  procs.push_back(FspBuilder(alphabet, "InertA").trans("0", "inert_sym", "1").build());
+  procs.push_back(FspBuilder(alphabet, "InertB").trans("0", "inert_sym", "1").build());
+  Network extended(alphabet, std::move(procs));
+  EXPECT_EQ(verdicts(extended, 0), before) << GetParam();
+}
+
+TEST_P(Metamorphic, ConsistentRenamingDoesNotChangeVerdicts) {
+  Rng rng(GetParam() + 100);
+  Network net = make_net(rng);
+  Verdicts before = verdicts(net, 0);
+
+  // Rename every action a -> a' across all processes simultaneously.
+  auto alphabet = net.alphabet();
+  std::map<ActionId, ActionId> mapping;
+  std::size_t original_count = alphabet->size();
+  for (ActionId a = 0; a < original_count; ++a) {
+    mapping[a] = alphabet->intern(alphabet->name(a) + "_renamed");
+  }
+  std::vector<Fsp> procs;
+  for (const Fsp& p : net.processes()) {
+    procs.push_back(rename_actions(p, mapping, p.name()));
+  }
+  Network renamed(alphabet, std::move(procs));
+  EXPECT_EQ(verdicts(renamed, 0), before) << GetParam();
+}
+
+TEST_P(Metamorphic, DuplicateTransitionsDoNotChangeVerdicts) {
+  Rng rng(GetParam() + 200);
+  Network net = make_net(rng);
+  Verdicts before = verdicts(net, 0);
+
+  std::vector<Fsp> procs;
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    Fsp copy = net.process(i);
+    // Duplicate one existing transition (multigraph edge: same semantics).
+    for (StateId s = 0; s < copy.num_states(); ++s) {
+      if (!copy.out(s).empty()) {
+        Transition t = copy.out(s)[0];
+        copy.add_transition(s, t.action, t.target);
+        break;
+      }
+    }
+    procs.push_back(std::move(copy));
+  }
+  Network doubled(net.alphabet(), std::move(procs));
+  // S_a's belief bookkeeping must also be insensitive to duplicates, but a
+  // duplicated P-transition duplicates a response option only — same game.
+  EXPECT_EQ(verdicts(doubled, 0), before) << GetParam();
+}
+
+TEST_P(Metamorphic, TauPrefixOnContextProcessDoesNotChangeVerdicts) {
+  // Give a CONTEXT process (not P) a fresh tau-prefixed start: silent
+  // preamble changes nothing observable.
+  Rng rng(GetParam() + 300);
+  Network net = make_net(rng);
+  Verdicts before = verdicts(net, 0);
+
+  std::vector<Fsp> procs;
+  procs.push_back(net.process(0));
+  for (std::size_t i = 1; i < net.size(); ++i) {
+    const Fsp& orig = net.process(i);
+    Fsp padded(net.alphabet(), orig.name());
+    StateId fresh = padded.add_state("pre");
+    std::vector<StateId> remap(orig.num_states());
+    for (StateId s = 0; s < orig.num_states(); ++s) {
+      remap[s] = padded.add_state(orig.state_label(s));
+    }
+    for (StateId s = 0; s < orig.num_states(); ++s) {
+      for (const auto& t : orig.out(s)) {
+        padded.add_transition(remap[s], t.action, remap[t.target]);
+      }
+    }
+    padded.add_transition(fresh, kTau, remap[orig.start()]);
+    padded.set_start(fresh);
+    for (ActionId a : orig.sigma()) {
+      const auto& sig = padded.sigma();
+      if (!std::binary_search(sig.begin(), sig.end(), a)) padded.declare_action(a);
+    }
+    procs.push_back(std::move(padded));
+  }
+  Network padded_net(net.alphabet(), std::move(procs));
+  EXPECT_EQ(verdicts(padded_net, 0), before) << GetParam();
+}
+
+TEST_P(Metamorphic, PipelineAgreesUnderAllTransformations) {
+  // The Theorem 3 pipeline on the tau-prefixed variant must match the
+  // original's oracle verdicts too (exercises normal forms on the padded
+  // processes).
+  Rng rng(GetParam() + 300);  // same seed stream as the tau-prefix test
+  Network net = make_net(rng);
+  Verdicts oracle = verdicts(net, 0);
+  Theorem3Result r = theorem3_decide(net, 0);
+  EXPECT_EQ(r.success_collab, oracle.s_c);
+  EXPECT_EQ(r.unavoidable_success, oracle.s_u);
+  if (oracle.s_a.has_value() && r.success_adversity.has_value()) {
+    EXPECT_EQ(*r.success_adversity, *oracle.s_a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Metamorphic,
+                         ::testing::Values(301, 302, 303, 304, 305, 306, 307, 308, 309, 310,
+                                           311, 312));
+
+}  // namespace
+}  // namespace ccfsp

@@ -1,0 +1,73 @@
+#include "network/families.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccfsp {
+namespace {
+
+TEST(Families, Figure3Shape) {
+  Network net = figure3_network();
+  EXPECT_EQ(net.size(), 2u);
+  EXPECT_TRUE(net.process(0).is_linear());
+  EXPECT_TRUE(net.process(1).is_tree());
+  EXPECT_TRUE(net.process(1).has_tau_moves());
+}
+
+TEST(Families, SeparationNetworkShape) {
+  Network net = success_separation_network();
+  EXPECT_EQ(net.size(), 3u);
+  EXPECT_TRUE(net.is_tree_network());
+  EXPECT_FALSE(net.process(0).has_tau_moves());  // P plays the game
+  EXPECT_TRUE(net.process(0).is_tree());
+  EXPECT_TRUE(net.all_acyclic());
+}
+
+class PhilosophersTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PhilosophersTest, IsSection4RingOfCyclicProcesses) {
+  std::size_t n = GetParam();
+  Network net = dining_philosophers(n);
+  EXPECT_EQ(net.size(), 2 * n);
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    EXPECT_FALSE(net.process(i).has_leaves()) << net.process(i).name();
+    EXPECT_FALSE(net.process(i).has_tau_moves());
+    EXPECT_FALSE(net.process(i).is_acyclic());
+  }
+  if (n >= 3) {
+    EXPECT_TRUE(net.is_ring_network());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PhilosophersTest, ::testing::Values(2, 3, 4, 5));
+
+TEST(Families, TokenRingShape) {
+  Network net = token_ring(4);
+  EXPECT_EQ(net.size(), 4u);
+  EXPECT_TRUE(net.is_ring_network());
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    EXPECT_FALSE(net.process(i).has_leaves());
+    EXPECT_EQ(net.process(i).num_states(), 2u);
+  }
+}
+
+TEST(Families, MultiplyByTwoChainShape) {
+  Network net = multiply_by_2_chain(5);
+  EXPECT_EQ(net.size(), 5u);
+  EXPECT_TRUE(net.is_tree_network());
+  // Every C_N edge carries exactly one symbol (the Theorem 4 hypothesis).
+  for (auto [i, j] : net.comm_graph().edges()) {
+    EXPECT_EQ(net.shared_actions(i, j).count(), 1u);
+  }
+  // Root and middles are leafless cyclic; the budget end deliberately not.
+  EXPECT_FALSE(net.process(0).has_leaves());
+  EXPECT_TRUE(net.process(net.size() - 1).has_leaves());
+}
+
+TEST(Families, SizeValidation) {
+  EXPECT_THROW(dining_philosophers(1), std::invalid_argument);
+  EXPECT_THROW(token_ring(1), std::invalid_argument);
+  EXPECT_THROW(multiply_by_2_chain(1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ccfsp

@@ -1,0 +1,100 @@
+#include "network/ktree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "network/generate.hpp"
+
+namespace ccfsp {
+namespace {
+
+TEST(KTree, TreeNetworkIsOneTree) {
+  Rng rng(5);
+  NetworkGenOptions opt;
+  opt.num_processes = 7;
+  Network net = random_tree_network(rng, opt);
+  ASSERT_TRUE(net.is_tree_network());
+  auto part = ktree_partition(net);
+  EXPECT_EQ(part.width, 1u);
+  EXPECT_EQ(part.parts.size(), 7u);
+  EXPECT_TRUE(is_valid_ktree_partition(net, part));
+}
+
+TEST(KTree, RingNetworkPartitionsIntoSmallParts) {
+  // Figure 8a: a ring is a 2-tree. Our block-cut partition puts the whole
+  // ring (one biconnected component) into a single part; the paper's 2-tree
+  // partition pairs processes up. Both must validate.
+  Rng rng(6);
+  NetworkGenOptions opt;
+  opt.num_processes = 6;
+  Network net = random_ring_network(rng, opt);
+  ASSERT_TRUE(net.is_ring_network());
+
+  auto part = ktree_partition(net);
+  EXPECT_TRUE(is_valid_ktree_partition(net, part));
+  // One biconnected component covering the ring.
+  EXPECT_EQ(part.width, 6u);
+
+  // The paper's Figure 8a folding: pair opposite sides of the ring so the
+  // quotient is a path ({0}, {1,5}, {2,4}, {3}). A contiguous chunking like
+  // {0,1},{2,3},{4,5} would leave a quotient cycle and must be rejected.
+  KTreePartition fold;
+  fold.parts = {{0}, {1, 5}, {2, 4}, {3}};
+  fold.quotient_edges = {{0, 1}, {1, 2}, {2, 3}};
+  fold.width = 2;
+  EXPECT_TRUE(is_valid_ktree_partition(net, fold));
+
+  KTreePartition chunks;
+  chunks.parts = {{0, 1}, {2, 3}, {4, 5}};
+  chunks.quotient_edges = {{0, 1}, {1, 2}};
+  chunks.width = 2;
+  EXPECT_FALSE(is_valid_ktree_partition(net, chunks));
+}
+
+TEST(KTree, InvalidPartitionsRejected) {
+  Rng rng(7);
+  NetworkGenOptions opt;
+  opt.num_processes = 4;
+  Network net = random_ring_network(rng, opt);
+
+  KTreePartition overlap;
+  overlap.parts = {{0, 1}, {1, 2}, {3}};
+  EXPECT_FALSE(is_valid_ktree_partition(net, overlap));
+
+  KTreePartition missing;
+  missing.parts = {{0, 1}, {2}};
+  EXPECT_FALSE(is_valid_ktree_partition(net, missing));
+
+  // Singletons on a ring: the quotient contains the ring cycle.
+  KTreePartition cyclic;
+  cyclic.parts = {{0}, {1}, {2}, {3}};
+  EXPECT_FALSE(is_valid_ktree_partition(net, cyclic));
+}
+
+TEST(KTree, PartOfFindsOwner) {
+  Rng rng(8);
+  NetworkGenOptions opt;
+  opt.num_processes = 5;
+  Network net = random_tree_network(rng, opt);
+  auto part = ktree_partition(net);
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    std::size_t p = part.part_of(i);
+    bool found = false;
+    for (std::size_t v : part.parts[p]) found |= v == i;
+    EXPECT_TRUE(found);
+  }
+  EXPECT_THROW(part.part_of(99), std::out_of_range);
+}
+
+TEST(KTree, RandomizedPartitionsAlwaysValid) {
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    Rng rng(seed);
+    NetworkGenOptions opt;
+    opt.num_processes = 3 + rng.below(8);
+    Network net = seed % 2 ? random_tree_network(rng, opt) : random_ring_network(rng, opt);
+    auto part = ktree_partition(net);
+    EXPECT_TRUE(is_valid_ktree_partition(net, part)) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace ccfsp

@@ -1,0 +1,93 @@
+#include "network/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fsp/builder.hpp"
+
+namespace ccfsp {
+namespace {
+
+Network two_process_net() {
+  auto alphabet = std::make_shared<Alphabet>();
+  Fsp p = FspBuilder(alphabet, "P").trans("0", "a", "1").build();
+  Fsp q = FspBuilder(alphabet, "Q").trans("0", "a", "1").build();
+  std::vector<Fsp> v;
+  v.push_back(std::move(p));
+  v.push_back(std::move(q));
+  return Network(alphabet, std::move(v));
+}
+
+TEST(Network, AcceptsPairwiseSharing) {
+  Network net = two_process_net();
+  EXPECT_EQ(net.size(), 2u);
+  EXPECT_EQ(net.total_states(), 4u);
+  EXPECT_EQ(net.comm_graph().num_edges(), 1u);
+}
+
+TEST(Network, RejectsActionInOneProcess) {
+  auto alphabet = std::make_shared<Alphabet>();
+  Fsp p = FspBuilder(alphabet, "P").trans("0", "a", "1").build();
+  Fsp q = FspBuilder(alphabet, "Q").trans("0", "b", "1").trans("1", "a", "2").build();
+  std::vector<Fsp> v;
+  v.push_back(std::move(p));
+  v.push_back(std::move(q));
+  // "b" appears only in Q.
+  EXPECT_THROW(Network(alphabet, std::move(v)), std::logic_error);
+}
+
+TEST(Network, RejectsActionInThreeProcesses) {
+  auto alphabet = std::make_shared<Alphabet>();
+  std::vector<Fsp> v;
+  for (int i = 0; i < 3; ++i) {
+    v.push_back(FspBuilder(alphabet, "P" + std::to_string(i)).trans("0", "a", "1").build());
+  }
+  EXPECT_THROW(Network(alphabet, std::move(v)), std::logic_error);
+}
+
+TEST(Network, RejectsForeignAlphabet) {
+  auto a1 = std::make_shared<Alphabet>();
+  auto a2 = std::make_shared<Alphabet>();
+  Fsp p = FspBuilder(a1, "P").trans("0", "x", "1").build();
+  Fsp q = FspBuilder(a2, "Q").trans("0", "x", "1").build();
+  std::vector<Fsp> v;
+  v.push_back(std::move(p));
+  v.push_back(std::move(q));
+  EXPECT_THROW(Network(a1, std::move(v)), std::logic_error);
+}
+
+TEST(Network, SharedActionsAndEdgeLabels) {
+  auto alphabet = std::make_shared<Alphabet>();
+  Fsp p = FspBuilder(alphabet, "P").trans("0", "a", "1").trans("1", "b", "2").build();
+  Fsp q = FspBuilder(alphabet, "Q").trans("0", "a", "1").trans("1", "b", "2").build();
+  std::vector<Fsp> v;
+  v.push_back(std::move(p));
+  v.push_back(std::move(q));
+  Network net(alphabet, std::move(v));
+  EXPECT_EQ(net.shared_actions(0, 1).count(), 2u);
+}
+
+TEST(Network, TreeAndShapePredicates) {
+  auto alphabet = std::make_shared<Alphabet>();
+  std::vector<Fsp> v;
+  // Chain P0 - P1 - P2.
+  v.push_back(FspBuilder(alphabet, "P0").trans("0", "x01", "1").build());
+  v.push_back(FspBuilder(alphabet, "P1").trans("0", "x01", "1").trans("1", "x12", "2").build());
+  v.push_back(FspBuilder(alphabet, "P2").trans("0", "x12", "1").build());
+  Network net(alphabet, std::move(v));
+  EXPECT_TRUE(net.is_tree_network());
+  EXPECT_FALSE(net.is_ring_network());
+  EXPECT_TRUE(net.all_linear());
+  EXPECT_TRUE(net.all_trees());
+  EXPECT_TRUE(net.all_acyclic());
+}
+
+TEST(Network, DotContainsProcessNames) {
+  Network net = two_process_net();
+  std::string dot = net.to_dot();
+  EXPECT_NE(dot.find("\"P\""), std::string::npos);
+  EXPECT_NE(dot.find("\"Q\""), std::string::npos);
+  EXPECT_NE(dot.find("a"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccfsp

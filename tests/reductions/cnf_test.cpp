@@ -1,0 +1,75 @@
+#include "reductions/cnf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "reductions/sat_solver.hpp"
+
+namespace ccfsp {
+namespace {
+
+TEST(Cnf, ToStringReadable) {
+  Cnf f;
+  f.num_vars = 2;
+  f.clauses = {{{0, false}, {1, true}}};
+  EXPECT_EQ(f.to_string(), "(x1 | ~x2)");
+}
+
+TEST(Cnf, EvaluatesTrue) {
+  Cnf f;
+  f.num_vars = 2;
+  f.clauses = {{{0, false}, {1, false}}, {{0, true}, {1, false}}};
+  EXPECT_TRUE(evaluates_true(f, {true, true}));
+  EXPECT_TRUE(evaluates_true(f, {false, true}));
+  EXPECT_FALSE(evaluates_true(f, {true, false}));
+}
+
+TEST(Cnf, ToThreeSatPreservesSatisfiability) {
+  Rng rng(55);
+  for (int iter = 0; iter < 40; ++iter) {
+    std::uint32_t vars = 3 + rng.below(4);
+    Cnf f = random_cnf(rng, vars, 2 + rng.below(6), 2 + rng.below(4));
+    Cnf g = to_three_sat(f);
+    for (const Clause& c : g.clauses) {
+      EXPECT_LE(c.size(), 3u);
+      EXPECT_GE(c.size(), 1u);
+    }
+    EXPECT_EQ(solve_sat(f).has_value(), solve_sat(g).has_value()) << "iter " << iter;
+  }
+}
+
+TEST(Cnf, ToThreeSatSplitsLongClauses) {
+  Cnf f;
+  f.num_vars = 6;
+  f.clauses = {{{0, false}, {1, false}, {2, false}, {3, false}, {4, false}, {5, false}}};
+  Cnf g = to_three_sat(f);
+  EXPECT_GT(g.clauses.size(), 1u);
+  EXPECT_GT(g.num_vars, f.num_vars);
+  EXPECT_TRUE(solve_sat(g).has_value());
+}
+
+TEST(Cnf, EmptyClauseEncodedUnsat) {
+  Cnf f;
+  f.num_vars = 1;
+  f.clauses = {{}};
+  Cnf g = to_three_sat(f);
+  EXPECT_FALSE(solve_sat(g).has_value());
+}
+
+TEST(Cnf, RandomCnfRespectsShape) {
+  Rng rng(66);
+  Cnf f = random_cnf(rng, 10, 20, 3);
+  EXPECT_EQ(f.num_vars, 10u);
+  EXPECT_EQ(f.clauses.size(), 20u);
+  for (const Clause& c : f.clauses) {
+    EXPECT_EQ(c.size(), 3u);
+    // No duplicate variables inside a clause.
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      for (std::size_t j = i + 1; j < c.size(); ++j) {
+        EXPECT_NE(c[i].var, c[j].var);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ccfsp

@@ -1,0 +1,141 @@
+// The hardness gadgets run both ways: the formula through the DPLL / QBF
+// oracle, the gadget network through the FSP engine. Theorems 1 and 2 are
+// "reproduced" when the two always agree.
+#include <gtest/gtest.h>
+
+#include "reductions/gadget_thm2.hpp"
+#include "reductions/gadgets_thm1.hpp"
+#include "reductions/sat_solver.hpp"
+#include "success/baseline.hpp"
+#include "success/game.hpp"
+#include "success/tree_pipeline.hpp"
+
+namespace ccfsp {
+namespace {
+
+Cnf paper_formula() {
+  // (x1 | ~x2 | x3) & (x1 | x2 | ~x3) — the Figure 5/6 illustration.
+  Cnf f;
+  f.num_vars = 3;
+  f.clauses = {{{0, false}, {1, true}, {2, false}},
+               {{0, false}, {1, false}, {2, true}}};
+  return f;
+}
+
+TEST(Thm1Case1, PaperFormulaGadget) {
+  Cnf f = paper_formula();
+  ASSERT_TRUE(solve_sat(f).has_value());
+  GadgetNetwork g = thm1_case1_collab_gadget(f);
+  EXPECT_TRUE(g.net.is_tree_network());
+  // All processes but W are O(1) linear.
+  for (std::size_t i = 1; i < g.net.size(); ++i) {
+    EXPECT_TRUE(g.net.process(i).is_linear());
+    EXPECT_LE(g.net.process(i).num_states(), 3u);
+  }
+  EXPECT_TRUE(success_collab_global(g.net, g.distinguished));
+}
+
+TEST(Thm1Case1, UnsatFormulaGadgetFails) {
+  // x & ~x in 3-CNF guise.
+  Cnf f;
+  f.num_vars = 1;
+  f.clauses = {{{0, false}, {0, false}, {0, false}},
+               {{0, true}, {0, true}, {0, true}}};
+  ASSERT_FALSE(solve_sat(f).has_value());
+  GadgetNetwork g = thm1_case1_collab_gadget(f);
+  EXPECT_FALSE(success_collab_global(g.net, g.distinguished));
+}
+
+class GadgetRandomized : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GadgetRandomized, Case1CollabMatchesSat) {
+  Rng rng(GetParam());
+  Cnf f = random_cnf(rng, 3 + rng.below(3), 3 + rng.below(6), 3);
+  GadgetNetwork g = thm1_case1_collab_gadget(f);
+  EXPECT_EQ(success_collab_global(g.net, g.distinguished), solve_sat(f).has_value())
+      << f.to_string();
+  // The Theorem 3 pipeline handles the gadget too (its C_N is a star).
+  EXPECT_EQ(theorem3_decide(g.net, g.distinguished).success_collab,
+            solve_sat(f).has_value())
+      << f.to_string();
+}
+
+TEST_P(GadgetRandomized, Case1BlockingMatchesSat) {
+  Rng rng(GetParam() + 100);
+  Cnf f = random_cnf(rng, 3 + rng.below(3), 3 + rng.below(5), 3);
+  GadgetNetwork g = thm1_case1_blocking_gadget(f);
+  EXPECT_EQ(potential_blocking_global(g.net, g.distinguished), solve_sat(f).has_value())
+      << f.to_string();
+}
+
+TEST_P(GadgetRandomized, Case2CollabMatchesSat) {
+  Rng rng(GetParam() + 200);
+  Cnf f = random_cnf(rng, 2 + rng.below(3), 2 + rng.below(4), 3);
+  GadgetNetwork g = thm1_case2_collab_gadget(f);
+  EXPECT_EQ(success_collab_global(g.net, g.distinguished), solve_sat(f).has_value())
+      << f.to_string();
+}
+
+TEST_P(GadgetRandomized, Case2BlockingMatchesSat) {
+  Rng rng(GetParam() + 300);
+  Cnf f = random_cnf(rng, 2 + rng.below(3), 2 + rng.below(4), 3);
+  GadgetNetwork g = thm1_case2_blocking_gadget(f);
+  EXPECT_EQ(potential_blocking_global(g.net, g.distinguished), solve_sat(f).has_value())
+      << f.to_string();
+}
+
+TEST_P(GadgetRandomized, Thm2AdversityMatchesQbf) {
+  Rng rng(GetParam() + 400);
+  Qbf q = random_qbf(rng, 2 + rng.below(3), 2 + rng.below(3));
+  Thm2Gadget g = thm2_adversity_gadget(q);
+  EXPECT_TRUE(g.net.is_tree_network());
+  EXPECT_FALSE(g.net.process(g.distinguished).has_tau_moves());
+  EXPECT_EQ(success_adversity_network(g.net, g.distinguished), solve_qbf(q))
+      << q.matrix.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GadgetRandomized,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12));
+
+TEST(Thm2, PaperQbfGadget) {
+  Qbf q;
+  q.prefix = {Quantifier::kExists, Quantifier::kForAll, Quantifier::kExists};
+  q.matrix = paper_formula();
+  Thm2Gadget g = thm2_adversity_gadget(q);
+  EXPECT_TRUE(success_adversity_network(g.net, g.distinguished));
+}
+
+TEST(Thm1Case2, StructuralGuarantees) {
+  Cnf f = limit_occurrences(paper_formula());
+  GadgetNetwork g = thm1_case2_collab_gadget(f);
+  for (std::size_t i = 0; i < g.net.size(); ++i) {
+    EXPECT_TRUE(g.net.process(i).is_tree()) << g.net.process(i).name();
+    EXPECT_LE(g.net.process(i).num_states(), 16u) << g.net.process(i).name();
+  }
+  // Single-symbol edges (the |Sigma_i cap Sigma_j| <= 1 hypothesis).
+  for (auto [i, j] : g.net.comm_graph().edges()) {
+    EXPECT_EQ(g.net.shared_actions(i, j).count(), 1u);
+  }
+}
+
+TEST(LimitOccurrences, BoundsRespectedAndEquisatisfiable) {
+  Rng rng(500);
+  for (int iter = 0; iter < 30; ++iter) {
+    Cnf f = random_cnf(rng, 3 + rng.below(3), 4 + rng.below(8), 3);
+    Cnf g = limit_occurrences(f);
+    std::vector<std::size_t> pos(g.num_vars, 0), neg(g.num_vars, 0);
+    for (const Clause& c : g.clauses) {
+      for (const Literal& l : c) {
+        ++(l.negated ? neg : pos)[l.var];
+      }
+    }
+    for (std::uint32_t v = 0; v < g.num_vars; ++v) {
+      EXPECT_LE(pos[v], 2u);
+      EXPECT_LE(neg[v], 2u);
+    }
+    EXPECT_EQ(solve_sat(f).has_value(), solve_sat(g).has_value()) << iter;
+  }
+}
+
+}  // namespace
+}  // namespace ccfsp

@@ -1,0 +1,91 @@
+#include "reductions/qbf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "reductions/sat_solver.hpp"
+
+namespace ccfsp {
+namespace {
+
+TEST(Qbf, PaperExampleIsValid) {
+  // The Theorem 2 illustration: ∃x1 ∀x2 ∃x3 (x1|~x2|x3) & (x1|x2|~x3).
+  // x1 = true satisfies both clauses outright.
+  Qbf q;
+  q.prefix = {Quantifier::kExists, Quantifier::kForAll, Quantifier::kExists};
+  q.matrix.num_vars = 3;
+  q.matrix.clauses = {{{0, false}, {1, true}, {2, false}},
+                      {{0, false}, {1, false}, {2, true}}};
+  EXPECT_TRUE(solve_qbf(q));
+}
+
+TEST(Qbf, ForAllCanFalsify) {
+  // ∀x1 (x1): false.
+  Qbf q;
+  q.prefix = {Quantifier::kForAll};
+  q.matrix.num_vars = 1;
+  q.matrix.clauses = {{{0, false}}};
+  EXPECT_FALSE(solve_qbf(q));
+}
+
+TEST(Qbf, ExistsThenForAllOrdering) {
+  // ∃x1 ∀x2 (x1 xor x2 is satisfied?) encode (x1|x2)&(~x1|~x2): for fixed
+  // x1 the adversary picks x2 = x1, falsifying one clause -> false.
+  Qbf q;
+  q.prefix = {Quantifier::kExists, Quantifier::kForAll};
+  q.matrix.num_vars = 2;
+  q.matrix.clauses = {{{0, false}, {1, false}}, {{0, true}, {1, true}}};
+  EXPECT_FALSE(solve_qbf(q));
+
+  // ∀x2 ∃x1 with the same matrix: now x1 responds to x2 -> true.
+  Qbf q2;
+  q2.prefix = {Quantifier::kForAll, Quantifier::kExists};
+  q2.matrix.num_vars = 2;
+  q2.matrix.clauses = {{{0, false}, {1, false}}, {{0, true}, {1, true}}};
+  EXPECT_TRUE(solve_qbf(q2));
+}
+
+TEST(Qbf, AllExistentialEqualsSat) {
+  Rng rng(31);
+  for (int iter = 0; iter < 50; ++iter) {
+    Cnf f = random_cnf(rng, 4, 6 + rng.below(8), 3);
+    Qbf q;
+    q.prefix.assign(4, Quantifier::kExists);
+    q.matrix = f;
+    EXPECT_EQ(solve_qbf(q), solve_sat(f).has_value()) << f.to_string();
+  }
+}
+
+TEST(Qbf, AllUniversalEqualsValidity) {
+  Rng rng(32);
+  for (int iter = 0; iter < 30; ++iter) {
+    Cnf f = random_cnf(rng, 3, 2 + rng.below(4), 2);
+    Qbf q;
+    q.prefix.assign(3, Quantifier::kForAll);
+    q.matrix = f;
+    bool valid = true;
+    for (std::uint32_t mask = 0; mask < 8 && valid; ++mask) {
+      std::vector<bool> assignment{bool(mask & 1), bool(mask & 2), bool(mask & 4)};
+      valid = evaluates_true(f, assignment);
+    }
+    EXPECT_EQ(solve_qbf(q), valid) << f.to_string();
+  }
+}
+
+TEST(Qbf, RejectsUnquantifiedVariables) {
+  Qbf q;
+  q.prefix = {Quantifier::kExists};
+  q.matrix.num_vars = 2;
+  q.matrix.clauses = {{{1, false}}};
+  EXPECT_THROW(solve_qbf(q), std::logic_error);
+}
+
+TEST(Qbf, RandomQbfShape) {
+  Rng rng(33);
+  Qbf q = random_qbf(rng, 5, 7);
+  EXPECT_EQ(q.prefix.size(), 5u);
+  EXPECT_EQ(q.matrix.clauses.size(), 7u);
+  solve_qbf(q);  // must not throw
+}
+
+}  // namespace
+}  // namespace ccfsp

@@ -1,0 +1,95 @@
+#include "reductions/sat_solver.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccfsp {
+namespace {
+
+TEST(SatSolver, TrivialSat) {
+  Cnf f;
+  f.num_vars = 1;
+  f.clauses = {{{0, false}}};
+  auto model = solve_sat(f);
+  ASSERT_TRUE(model.has_value());
+  EXPECT_TRUE((*model)[0]);
+}
+
+TEST(SatSolver, TrivialUnsat) {
+  Cnf f;
+  f.num_vars = 1;
+  f.clauses = {{{0, false}}, {{0, true}}};
+  EXPECT_FALSE(solve_sat(f).has_value());
+}
+
+TEST(SatSolver, EmptyFormulaSat) {
+  Cnf f;
+  f.num_vars = 0;
+  EXPECT_TRUE(solve_sat(f).has_value());
+}
+
+TEST(SatSolver, EmptyClauseUnsat) {
+  Cnf f;
+  f.num_vars = 1;
+  f.clauses = {{}};
+  EXPECT_FALSE(solve_sat(f).has_value());
+}
+
+TEST(SatSolver, UnitPropagationChain) {
+  // x1, (~x1|x2), (~x2|x3), (~x3|~x1) -> unsat.
+  Cnf f;
+  f.num_vars = 3;
+  f.clauses = {{{0, false}},
+               {{0, true}, {1, false}},
+               {{1, true}, {2, false}},
+               {{2, true}, {0, true}}};
+  EXPECT_FALSE(solve_sat(f).has_value());
+}
+
+TEST(SatSolver, PigeonholeThreeIntoTwoUnsat) {
+  // Pigeons p in {0,1,2}, holes h in {0,1}; var p*2+h.
+  Cnf f;
+  f.num_vars = 6;
+  for (std::uint32_t p = 0; p < 3; ++p) {
+    f.clauses.push_back({{p * 2, false}, {p * 2 + 1, false}});
+  }
+  for (std::uint32_t h = 0; h < 2; ++h) {
+    for (std::uint32_t p1 = 0; p1 < 3; ++p1) {
+      for (std::uint32_t p2 = p1 + 1; p2 < 3; ++p2) {
+        f.clauses.push_back({{p1 * 2 + h, true}, {p2 * 2 + h, true}});
+      }
+    }
+  }
+  EXPECT_FALSE(solve_sat(f).has_value());
+}
+
+TEST(SatSolver, ModelsActuallySatisfy) {
+  Rng rng(77);
+  int sat_count = 0;
+  for (int iter = 0; iter < 200; ++iter) {
+    Cnf f = random_cnf(rng, 6, 10 + rng.below(15), 3);
+    auto model = solve_sat(f);
+    if (model) {
+      ++sat_count;
+      EXPECT_TRUE(evaluates_true(f, *model)) << f.to_string();
+    }
+  }
+  EXPECT_GT(sat_count, 0);  // the mix must include satisfiable instances
+}
+
+TEST(SatSolver, AgreesWithBruteForceOnSmallInstances) {
+  Rng rng(88);
+  for (int iter = 0; iter < 100; ++iter) {
+    std::uint32_t n = 2 + rng.below(4);  // up to 5 vars
+    Cnf f = random_cnf(rng, n, 3 + rng.below(18), 2 + rng.below(2));
+    bool brute = false;
+    for (std::uint32_t mask = 0; mask < (1u << n) && !brute; ++mask) {
+      std::vector<bool> assignment(n);
+      for (std::uint32_t v = 0; v < n; ++v) assignment[v] = mask & (1u << v);
+      brute = evaluates_true(f, assignment);
+    }
+    EXPECT_EQ(solve_sat(f).has_value(), brute) << f.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace ccfsp

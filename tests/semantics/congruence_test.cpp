@@ -1,0 +1,99 @@
+// Property-based checks of Lemma 2 (acyclic) and Lemma 2' (cyclic): the
+// possibility and language equivalences are congruences for composition.
+// Equivalent-but-different processes are manufactured from a given P1 by
+// possibility normal forms (acyclic) and bisimulation quotients (cyclic) —
+// both provably equivalence-preserving — and then composed against a random
+// partner.
+#include <gtest/gtest.h>
+
+#include "algebra/compose.hpp"
+#include "equiv/bisim.hpp"
+#include "equiv/equivalences.hpp"
+#include "fsp/generate.hpp"
+#include "semantics/normal_form.hpp"
+
+namespace ccfsp {
+namespace {
+
+class CongruenceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CongruenceTest, Lemma2PossCongruenceOnTrees) {
+  Rng rng(GetParam());
+  auto alphabet = std::make_shared<Alphabet>();
+  std::vector<ActionId> shared{alphabet->intern("s1"), alphabet->intern("s2")};
+  std::vector<ActionId> partner_pool = shared;
+  partner_pool.push_back(alphabet->intern("p1"));
+  std::vector<ActionId> subject_pool = shared;
+  subject_pool.push_back(alphabet->intern("q1"));
+
+  TreeFspOptions opt;
+  opt.num_states = 8;
+  opt.tau_probability = 0.25;
+  Fsp p = random_tree_fsp(rng, alphabet, partner_pool, opt, "P");
+  Fsp p1 = random_tree_fsp(rng, alphabet, subject_pool, opt, "P1");
+  Fsp p2 = poss_normal_form(p1);
+  ASSERT_TRUE(possibility_equivalent(p1, p2));
+
+  EXPECT_TRUE(possibility_equivalent(compose(p, p1), compose(p, p2)));
+  EXPECT_TRUE(language_equivalent(compose(p, p1), compose(p, p2)));
+}
+
+TEST_P(CongruenceTest, Lemma2PossCongruenceOnDags) {
+  Rng rng(GetParam() + 1000);
+  auto alphabet = std::make_shared<Alphabet>();
+  std::vector<ActionId> shared{alphabet->intern("s")};
+  std::vector<ActionId> partner_pool = shared;
+  partner_pool.push_back(alphabet->intern("x"));
+  std::vector<ActionId> subject_pool = shared;
+  subject_pool.push_back(alphabet->intern("y"));
+
+  TreeFspOptions opt;
+  opt.num_states = 7;
+  opt.tau_probability = 0.2;
+  Fsp p = random_acyclic_fsp(rng, alphabet, partner_pool, opt, 3, "P");
+  Fsp p1 = random_acyclic_fsp(rng, alphabet, subject_pool, opt, 3, "P1");
+  Fsp p2 = poss_normal_form(p1);
+
+  EXPECT_TRUE(possibility_equivalent(compose(p, p1), compose(p, p2)));
+}
+
+TEST_P(CongruenceTest, Lemma2PrimeCyclicCongruenceViaBisim) {
+  Rng rng(GetParam() + 2000);
+  auto alphabet = std::make_shared<Alphabet>();
+  std::vector<ActionId> shared{alphabet->intern("cs")};
+  std::vector<ActionId> partner_pool = shared;
+  partner_pool.push_back(alphabet->intern("cx"));
+  std::vector<ActionId> subject_pool = shared;
+  subject_pool.push_back(alphabet->intern("cy"));
+
+  Fsp p = random_cyclic_fsp(rng, alphabet, partner_pool, 5, 3, "P");
+  Fsp p1 = random_cyclic_fsp(rng, alphabet, subject_pool, 5, 3, "P1");
+  Fsp p2 = quotient_by_bisimulation(p1);
+  ASSERT_TRUE(possibility_equivalent(p1, p2));
+
+  Fsp c1 = cyclic_compose(p, p1);
+  Fsp c2 = cyclic_compose(p, p2);
+  EXPECT_TRUE(possibility_equivalent(c1, c2));
+  EXPECT_TRUE(language_equivalent(c1, c2));
+}
+
+TEST_P(CongruenceTest, CompositionOrderIrrelevantForPossibilities) {
+  // Commutativity at the semantic level (Lemma 1 consequence).
+  Rng rng(GetParam() + 3000);
+  auto alphabet = std::make_shared<Alphabet>();
+  std::vector<ActionId> shared{alphabet->intern("os")};
+  std::vector<ActionId> pa = shared, pb = shared;
+  pa.push_back(alphabet->intern("oa"));
+  pb.push_back(alphabet->intern("ob"));
+  TreeFspOptions opt;
+  opt.num_states = 6;
+  Fsp p = random_tree_fsp(rng, alphabet, pa, opt, "A");
+  Fsp q = random_tree_fsp(rng, alphabet, pb, opt, "B");
+  EXPECT_TRUE(possibility_equivalent(compose(p, q), compose(q, p)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CongruenceTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 11, 23, 47, 101, 999));
+
+}  // namespace
+}  // namespace ccfsp

@@ -1,0 +1,65 @@
+#include "semantics/failures.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fsp/builder.hpp"
+
+namespace ccfsp {
+namespace {
+
+class FailTest : public ::testing::Test {
+ protected:
+  AlphabetPtr alphabet = std::make_shared<Alphabet>();
+  ActionSet set(std::initializer_list<const char*> names) {
+    ActionSet s(alphabet->size());
+    for (const char* n : names) s.set(*alphabet->find(n));
+    return s;
+  }
+};
+
+TEST_F(FailTest, RefusalAtStableState) {
+  Fsp f = FspBuilder(alphabet, "P").trans("0", "a", "1").trans("0", "b", "2").build();
+  // State 0 is stable offering {a,b}: it refuses nothing of {a}, {b}.
+  EXPECT_FALSE(fail_contains(f, {}, set({"a"})));
+  EXPECT_FALSE(fail_contains(f, {}, set({"b"})));
+  // After "a", state 1 is a leaf: refuses everything.
+  EXPECT_TRUE(fail_contains(f, {*alphabet->find("a")}, set({"a", "b"})));
+}
+
+TEST_F(FailTest, UnstableStateRefusesViaTauChoice) {
+  // 0 -tau-> 1 (offers a), 0 -tau-> 2 (offers b): at eps the process can
+  // refuse {a} (by sitting at 2) and {b} (at 1) but not {a,b}.
+  Fsp f = FspBuilder(alphabet, "P")
+              .trans("0", "tau", "1")
+              .trans("0", "tau", "2")
+              .trans("1", "a", "3")
+              .trans("2", "b", "4")
+              .build();
+  EXPECT_TRUE(fail_contains(f, {}, set({"a"})));
+  EXPECT_TRUE(fail_contains(f, {}, set({"b"})));
+  EXPECT_FALSE(fail_contains(f, {}, set({"a", "b"})));
+}
+
+TEST_F(FailTest, ReadyThroughTauIsNotRefused) {
+  // 0 -tau-> 1 -a->: the HBR arrow p ==a==> passes through taus, so state 0
+  // does NOT refuse {a}.
+  Fsp f = FspBuilder(alphabet, "P")
+              .trans("0", "tau", "1")
+              .trans("1", "a", "2")
+              .build();
+  EXPECT_FALSE(fail_contains(f, {}, set({"a"})));
+}
+
+TEST_F(FailTest, StringOutsideLanguageHasNoFailures) {
+  Fsp f = FspBuilder(alphabet, "P").trans("0", "a", "1").build();
+  EXPECT_FALSE(fail_contains(f, {*alphabet->find("a"), *alphabet->find("a")}, set({})));
+}
+
+TEST_F(FailTest, EmptyRefusalSetAlwaysFailsForReachableString) {
+  Fsp f = FspBuilder(alphabet, "P").trans("0", "a", "1").build();
+  EXPECT_TRUE(fail_contains(f, {}, set({})));
+  EXPECT_TRUE(fail_contains(f, {*alphabet->find("a")}, set({})));
+}
+
+}  // namespace
+}  // namespace ccfsp

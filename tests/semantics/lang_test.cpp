@@ -1,0 +1,143 @@
+#include "semantics/lang.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fsp/builder.hpp"
+
+namespace ccfsp {
+namespace {
+
+class LangTest : public ::testing::Test {
+ protected:
+  AlphabetPtr alphabet = std::make_shared<Alphabet>();
+  ActionId a() { return alphabet->intern("a"); }
+  ActionId b() { return alphabet->intern("b"); }
+};
+
+TEST_F(LangTest, MembershipWithTauMoves) {
+  Fsp f = FspBuilder(alphabet, "P")
+              .trans("0", "tau", "1")
+              .trans("1", "a", "2")
+              .trans("2", "b", "3")
+              .build();
+  EXPECT_TRUE(lang_contains(f, {}));
+  EXPECT_TRUE(lang_contains(f, {a()}));
+  EXPECT_TRUE(lang_contains(f, {a(), b()}));
+  EXPECT_FALSE(lang_contains(f, {b()}));
+  EXPECT_FALSE(lang_contains(f, {a(), a()}));
+}
+
+TEST_F(LangTest, MembershipOnNondeterministicBranches) {
+  Fsp f = FspBuilder(alphabet, "P")
+              .trans("0", "a", "1")
+              .trans("0", "a", "2")
+              .trans("2", "b", "3")
+              .build();
+  EXPECT_TRUE(lang_contains(f, {a(), b()}));  // must pick the 0->2 branch
+}
+
+TEST_F(LangTest, EnumerateLangIsPrefixClosedAndComplete) {
+  Fsp f = FspBuilder(alphabet, "P")
+              .trans("0", "a", "1")
+              .trans("1", "b", "2")
+              .trans("0", "b", "3")
+              .build();
+  auto strings = enumerate_lang(f, 5);
+  // {eps, a, ab, b}
+  EXPECT_EQ(strings.size(), 4u);
+  for (const auto& s : strings) {
+    EXPECT_TRUE(lang_contains(f, s));
+    if (!s.empty()) {
+      std::vector<ActionId> prefix(s.begin(), s.end() - 1);
+      EXPECT_TRUE(lang_contains(f, prefix));
+    }
+  }
+}
+
+TEST_F(LangTest, EnumerateRespectsMaxLen) {
+  Fsp f = FspBuilder(alphabet, "P").trans("0", "a", "0").build();
+  auto strings = enumerate_lang(f, 3);
+  EXPECT_EQ(strings.size(), 4u);  // eps, a, aa, aaa
+}
+
+TEST_F(LangTest, InfiniteDetection) {
+  Fsp finite = FspBuilder(alphabet, "F").trans("0", "a", "1").build();
+  EXPECT_FALSE(lang_infinite(finite));
+
+  Fsp loop = FspBuilder(alphabet, "L").trans("0", "a", "1").trans("1", "b", "0").build();
+  EXPECT_TRUE(lang_infinite(loop));
+
+  // A tau-only cycle does not make the language infinite.
+  Fsp tau_loop = FspBuilder(alphabet, "T")
+                     .trans("0", "a", "1")
+                     .trans("1", "tau", "1")
+                     .build();
+  EXPECT_FALSE(lang_infinite(tau_loop));
+}
+
+TEST_F(LangTest, LongestStringLength) {
+  Fsp f = FspBuilder(alphabet, "P")
+              .trans("0", "a", "1")
+              .trans("1", "tau", "2")
+              .trans("2", "b", "3")
+              .trans("0", "b", "4")
+              .build();
+  auto len = longest_string_length(f);
+  ASSERT_TRUE(len.has_value());
+  EXPECT_EQ(*len, 2u);  // "ab"
+
+  Fsp inf = FspBuilder(alphabet, "I").trans("0", "a", "0").build();
+  EXPECT_FALSE(longest_string_length(inf).has_value());
+}
+
+TEST_F(LangTest, LongestStringLengthWithTauCycleInside) {
+  // tau cycle mid-path must not be counted as observable length.
+  Fsp f = FspBuilder(alphabet, "P")
+              .trans("0", "a", "1")
+              .trans("1", "tau", "2")
+              .trans("2", "tau", "1")
+              .trans("2", "b", "3")
+              .build();
+  auto len = longest_string_length(f);
+  ASSERT_TRUE(len.has_value());
+  EXPECT_EQ(*len, 2u);
+}
+
+TEST_F(LangTest, IntersectionInfiniteOnMatchingLoops) {
+  Fsp p = FspBuilder(alphabet, "P").trans("0", "a", "0").build();
+  Fsp q = FspBuilder(alphabet, "Q").trans("0", "a", "1").trans("1", "a", "0").build();
+  EXPECT_TRUE(lang_intersection_infinite(p, q));
+}
+
+TEST_F(LangTest, IntersectionFiniteWhenHandshakesRunOut) {
+  Fsp p = FspBuilder(alphabet, "P").trans("0", "a", "0").build();
+  Fsp q = FspBuilder(alphabet, "Q").trans("0", "a", "1").build();  // only one a
+  EXPECT_FALSE(lang_intersection_infinite(p, q));
+}
+
+TEST_F(LangTest, IntersectionIgnoresPureTauCycles) {
+  Fsp p = FspBuilder(alphabet, "P").trans("0", "a", "0").build();
+  Fsp q = FspBuilder(alphabet, "Q")
+              .trans("0", "a", "1")
+              .trans("1", "tau", "1")
+              .build();
+  // Q can stall forever silently but only one shared action ever happens.
+  EXPECT_FALSE(lang_intersection_infinite(p, q));
+}
+
+TEST_F(LangTest, IntersectionNeedsBothSidesToLoop) {
+  Fsp p = FspBuilder(alphabet, "P")
+              .trans("0", "a", "1")
+              .trans("1", "b", "0")
+              .build();
+  Fsp q = FspBuilder(alphabet, "Q")
+              .trans("0", "a", "1")
+              .trans("1", "b", "2")
+              .trans("2", "a", "2")  // wrong continuation: a forever, no b
+              .build();
+  EXPECT_FALSE(lang_intersection_infinite(p, q));
+  (void)b();
+}
+
+}  // namespace
+}  // namespace ccfsp

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "equiv/equivalences.hpp"
+#include "fsp/builder.hpp"
+#include "fsp/generate.hpp"
+#include "semantics/normal_form.hpp"
+#include "semantics/poss_automaton.hpp"
+
+namespace ccfsp {
+namespace {
+
+AnnotatedDfa poss_dfa(const Fsp& f) {
+  return annotated_determinize(f, SemanticAnnotation::kPossibilities);
+}
+
+TEST(Minimize, MergesBehaviorallyEqualStates) {
+  auto alphabet = std::make_shared<Alphabet>();
+  // Two a-branches with identical continuations determinize into one path,
+  // but add distinct prefixes that converge behaviourally: x-a and y-a both
+  // lead to "offer b then stop".
+  Fsp f = FspBuilder(alphabet, "P")
+              .trans("0", "x", "1")
+              .trans("0", "y", "2")
+              .trans("1", "a", "3")
+              .trans("2", "a", "4")
+              .trans("3", "b", "5")
+              .trans("4", "b", "6")
+              .build();
+  AnnotatedDfa dfa = poss_dfa(f);
+  AnnotatedDfa min = minimize(dfa);
+  EXPECT_LT(min.num_states(), dfa.num_states());
+  EXPECT_TRUE(annotated_dfa_equivalent(dfa, min));
+}
+
+TEST(Minimize, CanonicalAcrossEquivalentInputs) {
+  // An FSP and its possibility normal form have equal possibilities; their
+  // minimized automata must be IDENTICAL (same numbering), not merely
+  // equivalent.
+  Rng rng(88);
+  auto alphabet = std::make_shared<Alphabet>();
+  std::vector<ActionId> pool{alphabet->intern("a"), alphabet->intern("b")};
+  for (int iter = 0; iter < 15; ++iter) {
+    TreeFspOptions opt;
+    opt.num_states = 9;
+    opt.tau_probability = 0.3;
+    Fsp f = random_tree_fsp(rng, alphabet, pool, opt, "T");
+    Fsp nf = poss_normal_form(f);
+    AnnotatedDfa a = minimize(poss_dfa(f));
+    AnnotatedDfa b = minimize(poss_dfa(nf));
+    EXPECT_EQ(a.start, b.start) << iter;
+    ASSERT_EQ(a.num_states(), b.num_states()) << iter;
+    EXPECT_EQ(a.trans, b.trans) << iter;
+    EXPECT_EQ(a.annotation, b.annotation) << iter;
+  }
+}
+
+TEST(Minimize, IdempotentAndEquivalencePreserving) {
+  Rng rng(99);
+  auto alphabet = std::make_shared<Alphabet>();
+  std::vector<ActionId> pool{alphabet->intern("a"), alphabet->intern("b")};
+  for (int iter = 0; iter < 10; ++iter) {
+    Fsp f = random_cyclic_fsp(rng, alphabet, pool, 6, 4, "C");
+    AnnotatedDfa dfa = poss_dfa(f);
+    AnnotatedDfa min1 = minimize(dfa);
+    AnnotatedDfa min2 = minimize(min1);
+    EXPECT_EQ(min1.num_states(), min2.num_states());
+    EXPECT_TRUE(annotated_dfa_equivalent(dfa, min1));
+  }
+}
+
+TEST(Minimize, DistinguishesByAnnotationEvenWithEqualTransitions) {
+  auto alphabet = std::make_shared<Alphabet>();
+  // Same language (a b), same DFA transition skeleton, but Q's state after
+  // "a" can also tau-drift to a dead stable state — an extra (a, {})
+  // possibility that only the annotation sees.
+  Fsp p = FspBuilder(alphabet, "P")
+              .trans("0", "a", "1")
+              .trans("1", "b", "2")
+              .build();
+  Fsp q = FspBuilder(alphabet, "Q")
+              .trans("0", "a", "1")
+              .trans("1", "b", "2")
+              .trans("1", "tau", "3")
+              .build();
+  AnnotatedDfa mp = minimize(poss_dfa(p));
+  AnnotatedDfa mq = minimize(poss_dfa(q));
+  EXPECT_FALSE(annotated_dfa_equivalent(mp, mq));
+}
+
+TEST(Minimize, AgreesWithDirectEquivalenceCheck) {
+  Rng rng(123);
+  auto alphabet = std::make_shared<Alphabet>();
+  std::vector<ActionId> pool{alphabet->intern("a"), alphabet->intern("b")};
+  for (int iter = 0; iter < 20; ++iter) {
+    TreeFspOptions opt;
+    opt.num_states = 7;
+    opt.tau_probability = 0.25;
+    Fsp f = random_tree_fsp(rng, alphabet, pool, opt, "F");
+    Fsp g = random_tree_fsp(rng, alphabet, pool, opt, "G");
+    bool direct = possibility_equivalent(f, g);
+    AnnotatedDfa mf = minimize(poss_dfa(f));
+    AnnotatedDfa mg = minimize(poss_dfa(g));
+    bool via_min = mf.trans == mg.trans && mf.annotation == mg.annotation &&
+                   mf.start == mg.start;
+    EXPECT_EQ(direct, via_min) << iter;
+  }
+}
+
+}  // namespace
+}  // namespace ccfsp

@@ -1,0 +1,123 @@
+#include "semantics/normal_form.hpp"
+
+#include <gtest/gtest.h>
+
+#include "equiv/equivalences.hpp"
+#include "fsp/builder.hpp"
+#include "fsp/generate.hpp"
+#include "semantics/lang.hpp"
+
+namespace ccfsp {
+namespace {
+
+class NormalFormTest : public ::testing::Test {
+ protected:
+  AlphabetPtr alphabet = std::make_shared<Alphabet>();
+};
+
+TEST_F(NormalFormTest, PreservesPossibilitiesOnTrees) {
+  Rng rng(2024);
+  std::vector<ActionId> pool{alphabet->intern("a"), alphabet->intern("b"),
+                             alphabet->intern("c")};
+  for (int iter = 0; iter < 30; ++iter) {
+    TreeFspOptions opt;
+    opt.num_states = 12;
+    opt.tau_probability = 0.3;
+    Fsp f = random_tree_fsp(rng, alphabet, pool, opt, "T");
+    Fsp nf = poss_normal_form(f);
+    EXPECT_TRUE(possibility_equivalent(f, nf)) << "iter " << iter;
+    EXPECT_TRUE(language_equivalent(f, nf)) << "iter " << iter;
+  }
+}
+
+TEST_F(NormalFormTest, PreservesPossibilitiesOnDags) {
+  Rng rng(99);
+  std::vector<ActionId> pool{alphabet->intern("a"), alphabet->intern("b")};
+  for (int iter = 0; iter < 20; ++iter) {
+    TreeFspOptions opt;
+    opt.num_states = 8;
+    opt.tau_probability = 0.25;
+    Fsp f = random_acyclic_fsp(rng, alphabet, pool, opt, 4, "D");
+    Fsp nf = poss_normal_form(f);
+    EXPECT_TRUE(possibility_equivalent(f, nf)) << "iter " << iter;
+  }
+}
+
+TEST_F(NormalFormTest, IdempotentUpToEquivalence) {
+  Rng rng(5);
+  std::vector<ActionId> pool{alphabet->intern("a"), alphabet->intern("b")};
+  TreeFspOptions opt;
+  opt.num_states = 10;
+  Fsp f = random_tree_fsp(rng, alphabet, pool, opt, "T");
+  Fsp nf1 = poss_normal_form(f);
+  Fsp nf2 = poss_normal_form(nf1);
+  EXPECT_TRUE(possibility_equivalent(nf1, nf2));
+  // Second application cannot grow the representation.
+  EXPECT_LE(nf2.num_states(), nf1.num_states() + 1);
+}
+
+TEST_F(NormalFormTest, CollapsesRedundantStructure) {
+  // Two tau branches with identical futures: one possibility, small form.
+  Fsp f = FspBuilder(alphabet, "R")
+              .trans("r", "tau", "x")
+              .trans("r", "tau", "y")
+              .trans("x", "a", "x1")
+              .trans("y", "a", "y1")
+              .build();
+  Fsp nf = poss_normal_form(f);
+  EXPECT_LT(nf.num_states(), f.num_states());
+  EXPECT_TRUE(possibility_equivalent(f, nf));
+}
+
+TEST_F(NormalFormTest, PreservesDeclaredSigma) {
+  Fsp f = FspBuilder(alphabet, "S").trans("0", "a", "1").action("ghost").build();
+  Fsp nf = poss_normal_form(f);
+  EXPECT_TRUE(nf.sigma_set().test(*alphabet->find("ghost")));
+}
+
+TEST_F(NormalFormTest, FromPossibilitiesExactRealization) {
+  ActionId a = alphabet->intern("a");
+  ActionId b = alphabet->intern("b");
+  // {(eps,{a}), (eps,{b}), (a,{}), (b,{})}: a process that commits silently
+  // to offering a or b.
+  std::vector<Possibility> poss{{{}, {a}}, {{}, {b}}, {{a}, {}}, {{b}, {}}};
+  Fsp f = fsp_from_possibilities(poss, alphabet, "built");
+  auto extracted = possibilities_acyclic(f);
+  canonicalize(poss);
+  EXPECT_EQ(extracted, poss);
+}
+
+TEST_F(NormalFormTest, FromPossibilitiesRejectsBadSets) {
+  ActionId a = alphabet->intern("a");
+  EXPECT_THROW(fsp_from_possibilities({}, alphabet, "x"), std::invalid_argument);
+  // Not prefix-closed: string "a" with no possibility for eps.
+  EXPECT_THROW(fsp_from_possibilities({{{a}, {}}}, alphabet, "x"), std::invalid_argument);
+  // Ready action leading outside the string set.
+  EXPECT_THROW(fsp_from_possibilities({{{}, {a}}}, alphabet, "x"), std::invalid_argument);
+}
+
+TEST_F(NormalFormTest, UncoveredLanguageExtensionsSurvive) {
+  // Regression for the subtle case: "a" is in the language only via an
+  // unstable root, while the only stable sibling at eps offers {b}. The
+  // normal form needs a direct router edge for "a".
+  Fsp f = FspBuilder(alphabet, "U")
+              .trans("r", "a", "x")
+              .trans("r", "tau", "y")
+              .trans("y", "b", "z")
+              .build();
+  Fsp nf = poss_normal_form(f);
+  EXPECT_TRUE(possibility_equivalent(f, nf));
+  EXPECT_TRUE(lang_contains(nf, {*alphabet->find("a")}));
+}
+
+TEST_F(NormalFormTest, SizeLinearInPossibilities) {
+  // A long linear process: the normal form stays linear in size.
+  Rng rng(8);
+  std::vector<ActionId> pool{alphabet->intern("a"), alphabet->intern("b")};
+  Fsp f = random_linear_fsp(rng, alphabet, pool, 40, 0.2, "L");
+  Fsp nf = poss_normal_form(f);
+  EXPECT_LE(nf.num_states(), 3 * f.num_states());
+}
+
+}  // namespace
+}  // namespace ccfsp

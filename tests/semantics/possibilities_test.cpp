@@ -1,0 +1,159 @@
+#include "semantics/possibilities.hpp"
+
+#include <gtest/gtest.h>
+
+#include "equiv/equivalences.hpp"
+#include "fsp/builder.hpp"
+#include "fsp/generate.hpp"
+#include "semantics/failures.hpp"
+#include "semantics/lang.hpp"
+
+namespace ccfsp {
+namespace {
+
+class PossTest : public ::testing::Test {
+ protected:
+  AlphabetPtr alphabet = std::make_shared<Alphabet>();
+  ActionId a() { return alphabet->intern("a"); }
+  ActionId b() { return alphabet->intern("b"); }
+};
+
+TEST_F(PossTest, TreePossibilitiesOnePerStableState) {
+  //      r --a--> u --b--> leaf
+  //      r --tau--> v (stable, offers {c})     v --c--> leaf2
+  Fsp f = FspBuilder(alphabet, "P")
+              .trans("r", "a", "u")
+              .trans("u", "b", "l1")
+              .trans("r", "tau", "v")
+              .trans("v", "c", "l2")
+              .build();
+  auto poss = possibilities_tree(f);
+  // Stable states: u ({b}), l1 ({}), v ({c}), l2 ({}) -> 4 possibilities.
+  // r is unstable (has a tau move) and contributes none.
+  EXPECT_EQ(poss.size(), 4u);
+  ActionId c = *alphabet->find("c");
+  Possibility expect_v{{}, {c}};
+  EXPECT_NE(std::find(poss.begin(), poss.end(), expect_v), poss.end());
+  Possibility expect_u{{a()}, {b()}};
+  EXPECT_NE(std::find(poss.begin(), poss.end(), expect_u), poss.end());
+  Possibility expect_l1{{a(), b()}, {}};
+  EXPECT_NE(std::find(poss.begin(), poss.end(), expect_l1), poss.end());
+}
+
+TEST_F(PossTest, RootUnstableMeansNoEpsilonWithRootReady) {
+  Fsp f = FspBuilder(alphabet, "P")
+              .trans("r", "tau", "v")
+              .trans("r", "a", "u")
+              .trans("v", "b", "w")
+              .build();
+  auto poss = possibilities_tree(f);
+  // (eps, {a,b}) must NOT be a possibility: r is unstable.
+  for (const auto& p : poss) {
+    if (p.s.empty()) {
+      EXPECT_EQ(p.z, std::vector<ActionId>{b()});
+    }
+  }
+}
+
+TEST_F(PossTest, AcyclicEnumerationAgreesWithTreeExtraction) {
+  Rng rng(4242);
+  auto pool = std::vector<ActionId>{a(), b(), alphabet->intern("c")};
+  for (int iter = 0; iter < 25; ++iter) {
+    TreeFspOptions opt;
+    opt.num_states = 10;
+    opt.tau_probability = 0.25;
+    Fsp f = random_tree_fsp(rng, alphabet, pool, opt, "T");
+    auto tree_poss = possibilities_tree(f);
+    auto enum_poss = possibilities_acyclic(f);
+    EXPECT_EQ(tree_poss, enum_poss) << "iter " << iter;
+  }
+}
+
+TEST_F(PossTest, PossibilityStringsAreExactlyTheLanguage) {
+  // Paper: for acyclic FSPs every s in Lang has at least one (s, Z).
+  Rng rng(7);
+  auto pool = std::vector<ActionId>{a(), b()};
+  for (int iter = 0; iter < 15; ++iter) {
+    TreeFspOptions opt;
+    opt.num_states = 9;
+    opt.tau_probability = 0.3;
+    Fsp f = random_acyclic_fsp(rng, alphabet, pool, opt, 3, "D");
+    auto poss = possibilities_acyclic(f);
+    std::set<std::vector<ActionId>> poss_strings;
+    for (const auto& p : poss) poss_strings.insert(p.s);
+    auto lang = enumerate_lang(f, 32);
+    std::set<std::vector<ActionId>> lang_strings(lang.begin(), lang.end());
+    EXPECT_EQ(poss_strings, lang_strings) << "iter " << iter;
+  }
+}
+
+TEST_F(PossTest, PossImpliesFailure) {
+  // (s, Z) in Poss implies (s, Sigma - Z) in Fail (Section 2.2 note).
+  Fsp f = FspBuilder(alphabet, "P")
+              .trans("r", "a", "u")
+              .trans("r", "tau", "v")
+              .trans("v", "b", "w")
+              .build();
+  for (const auto& p : possibilities_acyclic(f)) {
+    ActionSet refusal = f.sigma_set();
+    for (ActionId z : p.z) refusal.reset(z);
+    if (refusal.none()) continue;
+    EXPECT_TRUE(fail_contains(f, p.s, refusal)) << to_string(p, *alphabet);
+  }
+}
+
+TEST_F(PossTest, Figure2FailEqualButPossDiffer) {
+  // P: tau-branches to a state offering {a} or a state offering {b}.
+  // Q: same, plus a third tau-branch to a state offering {a,b}.
+  // Failures coincide (the {a,b} state refuses nothing new) but Q has the
+  // extra possibility (eps, {a,b}) — Figure 2's separation.
+  Fsp p = FspBuilder(alphabet, "P")
+              .trans("r", "tau", "pa")
+              .trans("r", "tau", "pb")
+              .trans("pa", "a", "l1")
+              .trans("pb", "b", "l2")
+              .build();
+  Fsp q = FspBuilder(alphabet, "Q")
+              .trans("r", "tau", "qa")
+              .trans("r", "tau", "qb")
+              .trans("r", "tau", "qab")
+              .trans("qa", "a", "l1")
+              .trans("qb", "b", "l2")
+              .trans("qab", "a", "l3")
+              .trans("qab", "b", "l4")
+              .build();
+  EXPECT_TRUE(failure_equivalent(p, q));
+  EXPECT_FALSE(possibility_equivalent(p, q));
+  // And possibility equivalence refines language equivalence too.
+  EXPECT_TRUE(language_equivalent(p, q));
+}
+
+TEST_F(PossTest, CanonicalizeSortsAndDedupes) {
+  std::vector<Possibility> poss{{{a()}, {b()}}, {{}, {}}, {{a()}, {b()}}};
+  canonicalize(poss);
+  EXPECT_EQ(poss.size(), 2u);
+  EXPECT_TRUE(poss[0].s.empty());
+}
+
+TEST_F(PossTest, ToStringRendersNames) {
+  Possibility p{{a(), b()}, {a()}};
+  EXPECT_EQ(to_string(p, *alphabet), "(a b, {a})");
+  Possibility eps{{}, {}};
+  EXPECT_EQ(to_string(eps, *alphabet), "(ε, {})");
+}
+
+TEST_F(PossTest, TreeExtractionRejectsNonTree) {
+  Fsp dag = FspBuilder(alphabet, "D")
+                .trans("r", "a", "x")
+                .trans("r", "b", "x")
+                .build();
+  EXPECT_THROW(possibilities_tree(dag), std::logic_error);
+}
+
+TEST_F(PossTest, EnumerationRejectsCycles) {
+  Fsp cyc = FspBuilder(alphabet, "C").trans("0", "a", "0").build();
+  EXPECT_THROW(possibilities_acyclic(cyc), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ccfsp

@@ -1,0 +1,80 @@
+#include "semantics/unary.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fsp/builder.hpp"
+#include "semantics/lang.hpp"
+
+namespace ccfsp {
+namespace {
+
+class UnaryTest : public ::testing::Test {
+ protected:
+  AlphabetPtr alphabet = std::make_shared<Alphabet>();
+  ActionId t() { return alphabet->intern("t"); }
+};
+
+TEST_F(UnaryTest, BudgetFspRealizesBoundedLanguage) {
+  Fsp f = unary_budget_fsp(alphabet, t(), 3, "B");
+  EXPECT_TRUE(lang_contains(f, {t(), t(), t()}));
+  EXPECT_FALSE(lang_contains(f, {t(), t(), t(), t()}));
+  EXPECT_EQ(unary_bound_explicit(f, t()), UnaryBound::of(BigInt(3)));
+}
+
+TEST_F(UnaryTest, ZeroBudget) {
+  Fsp f = unary_budget_fsp(alphabet, t(), 0, "Z");
+  EXPECT_EQ(unary_bound_explicit(f, t()), UnaryBound::of(BigInt(0)));
+  EXPECT_TRUE(f.sigma_set().test(t()));  // symbol still declared
+}
+
+TEST_F(UnaryTest, CycleWithSymbolIsInfinite) {
+  Fsp f = FspBuilder(alphabet, "C").trans("0", "t", "1").trans("1", "t", "0").build();
+  EXPECT_EQ(unary_bound_explicit(f, t()), UnaryBound::inf());
+}
+
+TEST_F(UnaryTest, TauCycleDoesNotCount) {
+  Fsp f = FspBuilder(alphabet, "T")
+              .trans("0", "t", "1")
+              .trans("1", "tau", "1")
+              .build();
+  EXPECT_EQ(unary_bound_explicit(f, t()), UnaryBound::of(BigInt(1)));
+}
+
+TEST_F(UnaryTest, OtherSymbolCycleDoesNotMakeTInfinite) {
+  Fsp f = FspBuilder(alphabet, "O")
+              .trans("0", "t", "1")
+              .trans("1", "u", "1")
+              .build();
+  EXPECT_EQ(unary_bound_explicit(f, t()), UnaryBound::of(BigInt(1)));
+  EXPECT_EQ(unary_bound_explicit(f, *alphabet->find("u")), UnaryBound::inf());
+}
+
+TEST_F(UnaryTest, LongestPathCountsOnlyTheSymbol) {
+  // t u t u t : bound 3 despite path length 5.
+  Fsp f = FspBuilder(alphabet, "L")
+              .trans("0", "t", "1")
+              .trans("1", "u", "2")
+              .trans("2", "t", "3")
+              .trans("3", "u", "4")
+              .trans("4", "t", "5")
+              .build();
+  EXPECT_EQ(unary_bound_explicit(f, t()), UnaryBound::of(BigInt(3)));
+}
+
+TEST_F(UnaryTest, BranchesTakeTheMax) {
+  Fsp f = FspBuilder(alphabet, "B")
+              .trans("0", "t", "1")
+              .trans("0", "tau", "2")
+              .trans("2", "t", "3")
+              .trans("3", "t", "4")
+              .build();
+  EXPECT_EQ(unary_bound_explicit(f, t()), UnaryBound::of(BigInt(2)));
+}
+
+TEST_F(UnaryTest, UnaryBoundToString) {
+  EXPECT_EQ(UnaryBound::inf().to_string(), "inf");
+  EXPECT_EQ(UnaryBound::of(BigInt(42)).to_string(), "42");
+}
+
+}  // namespace
+}  // namespace ccfsp

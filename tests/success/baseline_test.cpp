@@ -1,0 +1,95 @@
+#include "success/baseline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fsp/builder.hpp"
+#include "network/families.hpp"
+
+namespace ccfsp {
+namespace {
+
+TEST(Baseline, Figure3Example) {
+  // The paper's Figure 3 point: S_c holds but S_u fails (Q may tau away).
+  Network net = figure3_network();
+  EXPECT_TRUE(success_collab_global(net, 0));
+  EXPECT_TRUE(potential_blocking_global(net, 0));  // = not S_u
+}
+
+TEST(Baseline, SeparationExampleSplitsAllThree) {
+  // S_u false, S_a true, S_c true — the closing example of Section 3.3.
+  Network net = success_separation_network();
+  EXPECT_TRUE(success_collab_global(net, 0));
+  EXPECT_TRUE(potential_blocking_global(net, 0));
+}
+
+TEST(Baseline, GuaranteedSuccessNetwork) {
+  auto alphabet = std::make_shared<Alphabet>();
+  std::vector<Fsp> procs;
+  procs.push_back(FspBuilder(alphabet, "P").trans("0", "a", "1").trans("1", "b", "2").build());
+  procs.push_back(FspBuilder(alphabet, "Q").trans("0", "a", "1").trans("1", "b", "2").build());
+  Network net(alphabet, std::move(procs));
+  EXPECT_TRUE(success_collab_global(net, 0));
+  EXPECT_FALSE(potential_blocking_global(net, 0));
+}
+
+TEST(Baseline, DoomedNetwork) {
+  auto alphabet = std::make_shared<Alphabet>();
+  std::vector<Fsp> procs;
+  procs.push_back(FspBuilder(alphabet, "P").trans("0", "a", "1").trans("1", "b", "2").build());
+  procs.push_back(FspBuilder(alphabet, "Q").trans("0", "b", "1").trans("1", "a", "2").build());
+  Network net(alphabet, std::move(procs));
+  EXPECT_FALSE(success_collab_global(net, 0));
+  EXPECT_TRUE(potential_blocking_global(net, 0));
+}
+
+TEST(Baseline, BlockingIsAboutTheDistinguishedProcess) {
+  // P finishes its one action; Q is left with an unfinishable tail. P is
+  // fine (no potential blocking for P) but Q is blocked as distinguished.
+  auto alphabet = std::make_shared<Alphabet>();
+  std::vector<Fsp> procs;
+  procs.push_back(FspBuilder(alphabet, "P").trans("0", "a", "1").action("never").build());
+  procs.push_back(
+      FspBuilder(alphabet, "Q").trans("0", "a", "1").trans("1", "never", "2").build());
+  Network net(alphabet, std::move(procs));
+  EXPECT_FALSE(potential_blocking_global(net, 0));
+  EXPECT_TRUE(potential_blocking_global(net, 1));
+  EXPECT_TRUE(success_collab_global(net, 0));
+  EXPECT_FALSE(success_collab_global(net, 1));
+}
+
+TEST(BaselineCyclic, TokenRingRunsForever) {
+  Network net = token_ring(4);
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    EXPECT_TRUE(success_collab_cyclic_global(net, i));
+    EXPECT_FALSE(potential_blocking_cyclic_global(net, i));
+  }
+}
+
+TEST(BaselineCyclic, PhilosophersCanDeadlock) {
+  Network net = dining_philosophers(3);
+  EXPECT_TRUE(potential_blocking_cyclic_global(net, 0));
+  // With collaboration they also dine forever.
+  EXPECT_TRUE(success_collab_cyclic_global(net, 0));
+}
+
+TEST(BaselineCyclic, StarvationByNonPCycleDetected) {
+  // P needs Q once; Q can instead loop with R forever: potential blocking
+  // for P through a non-P cycle, not a stuck state.
+  auto alphabet = std::make_shared<Alphabet>();
+  std::vector<Fsp> procs;
+  procs.push_back(FspBuilder(alphabet, "P").trans("0", "a", "1").trans("1", "a", "0").build());
+  procs.push_back(FspBuilder(alphabet, "Q")
+                      .trans("0", "a", "1")
+                      .trans("1", "a", "0")
+                      .trans("0", "r", "0")
+                      .build());
+  procs.push_back(FspBuilder(alphabet, "R").trans("0", "r", "0").build());
+  Network net(alphabet, std::move(procs));
+  EXPECT_TRUE(potential_blocking_cyclic_global(net, 0));
+  EXPECT_TRUE(success_collab_cyclic_global(net, 0));
+  // R by contrast can also be starved (Q may prefer P forever).
+  EXPECT_TRUE(potential_blocking_cyclic_global(net, 2));
+}
+
+}  // namespace
+}  // namespace ccfsp

@@ -1,0 +1,87 @@
+#include "success/cyclic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "network/families.hpp"
+#include "network/generate.hpp"
+
+namespace ccfsp {
+namespace {
+
+TEST(Cyclic, TokenRingExplicit) {
+  Network net = token_ring(4);
+  CyclicDecision d = cyclic_decide_explicit(net, 0);
+  EXPECT_FALSE(d.potential_blocking);
+  EXPECT_TRUE(d.success_collab);
+  ASSERT_TRUE(d.success_adversity.has_value());
+  EXPECT_TRUE(*d.success_adversity);
+}
+
+TEST(Cyclic, PhilosophersExplicit) {
+  Network net = dining_philosophers(3);
+  CyclicDecision d = cyclic_decide_explicit(net, 0);
+  EXPECT_TRUE(d.potential_blocking);   // the classic deadlock
+  EXPECT_TRUE(d.success_collab);       // but benevolent scheduling dines forever
+  ASSERT_TRUE(d.success_adversity.has_value());
+  EXPECT_FALSE(*d.success_adversity);  // neighbors can force the deadlock
+}
+
+TEST(Cyclic, TreeHeuristicMatchesExplicitOnFamilies) {
+  for (std::size_t n : {2u, 3u}) {
+    Network phil = dining_philosophers(n);
+    CyclicDecision a = cyclic_decide_explicit(phil, 0);
+    CyclicDecision b = cyclic_decide_tree(phil, 0);
+    EXPECT_EQ(a.potential_blocking, b.potential_blocking) << n;
+    EXPECT_EQ(a.success_collab, b.success_collab) << n;
+    EXPECT_EQ(a.success_adversity, b.success_adversity) << n;
+  }
+  Network ring = token_ring(5);
+  CyclicDecision a = cyclic_decide_explicit(ring, 0);
+  CyclicDecision b = cyclic_decide_tree(ring, 0);
+  EXPECT_EQ(a.potential_blocking, b.potential_blocking);
+  EXPECT_EQ(a.success_collab, b.success_collab);
+  EXPECT_EQ(a.success_adversity, b.success_adversity);
+}
+
+class CyclicRandomized : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CyclicRandomized, HeuristicAgreesWithExplicit) {
+  Rng rng(GetParam());
+  NetworkGenOptions opt;
+  opt.num_processes = 2 + rng.below(3);
+  opt.states_per_process = 3 + rng.below(3);
+  opt.symbols_per_edge = 1 + rng.below(2);
+  Network net = random_cyclic_tree_network(rng, opt);
+  for (std::size_t p = 0; p < net.size(); ++p) {
+    CyclicDecision a = cyclic_decide_explicit(net, p);
+    CyclicDecision b = cyclic_decide_tree(net, p);
+    EXPECT_EQ(a.potential_blocking, b.potential_blocking)
+        << "seed " << GetParam() << " p " << p;
+    EXPECT_EQ(a.success_collab, b.success_collab) << "seed " << GetParam() << " p " << p;
+    EXPECT_EQ(a.success_adversity, b.success_adversity)
+        << "seed " << GetParam() << " p " << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CyclicRandomized,
+                         ::testing::Values(41, 42, 43, 44, 45, 46, 47, 48, 49, 50, 51, 52, 53,
+                                           54, 55));
+
+TEST(Cyclic, AblationOptionsStillSound) {
+  Network net = dining_philosophers(3);
+  CyclicDecision oracle = cyclic_decide_explicit(net, 0);
+  for (bool bisim : {false, true}) {
+    for (bool tau : {false, true}) {
+      CyclicHeuristicOptions opt;
+      opt.use_bisimulation = bisim;
+      opt.use_tau_compression = tau;
+      CyclicDecision d = cyclic_decide_tree(net, 0, opt);
+      EXPECT_EQ(d.potential_blocking, oracle.potential_blocking) << bisim << tau;
+      EXPECT_EQ(d.success_collab, oracle.success_collab) << bisim << tau;
+      EXPECT_EQ(d.success_adversity, oracle.success_adversity) << bisim << tau;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ccfsp

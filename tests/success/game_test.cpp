@@ -1,0 +1,127 @@
+#include "success/game.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fsp/builder.hpp"
+#include "network/families.hpp"
+#include "success/context.hpp"
+
+namespace ccfsp {
+namespace {
+
+class GameTest : public ::testing::Test {
+ protected:
+  AlphabetPtr alphabet = std::make_shared<Alphabet>();
+};
+
+TEST_F(GameTest, Figure3AdversaryWins) {
+  // Q can tau to its dead branch before offering a: P loses.
+  Network net = figure3_network();
+  EXPECT_FALSE(success_adversity_network(net, 0));
+}
+
+TEST_F(GameTest, SeparationExampleInformedPlayerWins) {
+  // P right-branches on a and reaches its leaf regardless of P4's defection.
+  Network net = success_separation_network();
+  EXPECT_TRUE(success_adversity_network(net, 0));
+}
+
+TEST_F(GameTest, DeterministicHandshakesAlwaysWin) {
+  Fsp p = FspBuilder(alphabet, "P").trans("0", "a", "1").trans("1", "b", "2").build();
+  Fsp q = FspBuilder(alphabet, "Q").trans("0", "a", "1").trans("1", "b", "2").build();
+  EXPECT_TRUE(success_adversity(p, q));
+}
+
+TEST_F(GameTest, PartialInformationDefeatsP) {
+  // Q secretly (tau) commits to demanding aa or ab; P hears only "a" and
+  // must choose its branch blindly: no winning strategy.
+  Fsp p = FspBuilder(alphabet, "P")
+              .trans("0", "a", "L")
+              .trans("0", "a", "R")
+              .trans("L", "a", "L2")
+              .trans("R", "b", "R2")
+              .build();
+  Fsp q = FspBuilder(alphabet, "Q")
+              .trans("0", "tau", "qa")
+              .trans("0", "tau", "qb")
+              .trans("qa", "a", "qa1")
+              .trans("qa1", "a", "qa2")
+              .trans("qb", "a", "qb1")
+              .trans("qb1", "b", "qb2")
+              .build();
+  EXPECT_FALSE(success_adversity(p, q));
+}
+
+TEST_F(GameTest, VisibleCommitmentLetsPWin) {
+  // Same shape, but Q reveals its commitment through distinct first actions.
+  Fsp p = FspBuilder(alphabet, "P")
+              .trans("0", "x", "L")
+              .trans("0", "y", "R")
+              .trans("L", "a", "L2")
+              .trans("R", "b", "R2")
+              .build();
+  Fsp q = FspBuilder(alphabet, "Q")
+              .trans("0", "tau", "qa")
+              .trans("0", "tau", "qb")
+              .trans("qa", "x", "qa1")
+              .trans("qa1", "a", "qa2")
+              .trans("qb", "y", "qb1")
+              .trans("qb1", "b", "qb2")
+              .build();
+  EXPECT_TRUE(success_adversity(p, q));
+}
+
+TEST_F(GameTest, PWithTauMovesRejected) {
+  Fsp p = FspBuilder(alphabet, "P").trans("0", "tau", "1").trans("1", "a", "2").build();
+  Fsp q = FspBuilder(alphabet, "Q").trans("0", "a", "1").build();
+  EXPECT_THROW(success_adversity(p, q), std::logic_error);
+}
+
+TEST_F(GameTest, LeafStartIsImmediateWin) {
+  Fsp p = [&] {
+    FspBuilder b(alphabet, "P");
+    b.state("only");
+    b.action("a");
+    return b.build();
+  }();
+  Fsp q = FspBuilder(alphabet, "Q").trans("0", "a", "1").build();
+  EXPECT_TRUE(success_adversity(p, q));
+  // In the cyclic game stopping means losing, even at the start.
+  EXPECT_FALSE(success_adversity(p, q, /*cyclic_goal=*/true));
+}
+
+TEST_F(GameTest, CyclicGoalTokenRing) {
+  Network net = token_ring(3);
+  // Deterministic circulation: every station moves forever.
+  EXPECT_TRUE(success_adversity_network(net, 0, /*cyclic_goal=*/true));
+}
+
+TEST_F(GameTest, CyclicGoalPhilosopherLoses) {
+  // The adversary steers the neighbors into the deadlock.
+  Network net = dining_philosophers(2);
+  EXPECT_FALSE(success_adversity_network(net, 0, /*cyclic_goal=*/true));
+}
+
+TEST_F(GameTest, CyclicAdversaryCanHideInTauDivergence) {
+  // Q may handshake forever or silently diverge; divergence strands P, and
+  // the ||' divergence leaf exposes exactly that option to the game.
+  Fsp p = FspBuilder(alphabet, "P").trans("0", "a", "0").build();
+  Fsp q_raw = FspBuilder(alphabet, "Q")
+                  .trans("0", "a", "1")
+                  .trans("1", "a", "0")
+                  .trans("1", "tau", "1")
+                  .build();
+  Fsp q = add_divergence_leaves(q_raw);
+  EXPECT_FALSE(success_adversity(p, q, /*cyclic_goal=*/true));
+}
+
+TEST_F(GameTest, StatsReported) {
+  Network net = success_separation_network();
+  GameStats stats;
+  success_adversity_network(net, 0, false, 1u << 22, &stats);
+  EXPECT_GT(stats.positions, 0u);
+  EXPECT_GT(stats.beliefs, 0u);
+}
+
+}  // namespace
+}  // namespace ccfsp

@@ -1,0 +1,77 @@
+#include "success/global.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fsp/builder.hpp"
+#include "network/families.hpp"
+
+namespace ccfsp {
+namespace {
+
+TEST(GlobalMachine, Figure3StateSpace) {
+  // P: 1 -a-> 2;  Q: 1 -a-> 2, 1 -tau-> 3.
+  // Global states: (1,1), (2,2), (1,3).
+  Network net = figure3_network();
+  GlobalMachine g = build_global(net);
+  EXPECT_EQ(g.num_states(), 3u);
+  EXPECT_EQ(g.edges[0].size(), 2u);  // handshake a, or Q's tau
+  std::size_t stuck = 0;
+  for (std::uint32_t s = 0; s < g.num_states(); ++s) {
+    if (g.is_stuck(s)) ++stuck;
+  }
+  EXPECT_EQ(stuck, 2u);  // (2,2) and (1,3)
+}
+
+TEST(GlobalMachine, HandshakeMovesBothComponents) {
+  auto alphabet = std::make_shared<Alphabet>();
+  std::vector<Fsp> procs;
+  procs.push_back(FspBuilder(alphabet, "P").trans("0", "a", "1").build());
+  procs.push_back(FspBuilder(alphabet, "Q").trans("0", "a", "1").build());
+  Network net(alphabet, std::move(procs));
+  GlobalMachine g = build_global(net);
+  ASSERT_EQ(g.edges[0].size(), 1u);
+  const auto& e = g.edges[0][0];
+  EXPECT_TRUE(g.process_moves(e, 0));
+  EXPECT_TRUE(g.process_moves(e, 1));
+  EXPECT_EQ(g.tuples[e.target], (std::vector<StateId>{1, 1}));
+}
+
+TEST(GlobalMachine, TauMovesSingleComponent) {
+  auto alphabet = std::make_shared<Alphabet>();
+  std::vector<Fsp> procs;
+  procs.push_back(FspBuilder(alphabet, "P").trans("0", "tau", "1").trans("1", "a", "2").build());
+  procs.push_back(FspBuilder(alphabet, "Q").trans("0", "a", "1").build());
+  Network net(alphabet, std::move(procs));
+  GlobalMachine g = build_global(net);
+  const auto& e = g.edges[0][0];
+  EXPECT_TRUE(g.process_moves(e, 0));
+  EXPECT_FALSE(g.process_moves(e, 1));
+}
+
+TEST(GlobalMachine, TokenRingIsALoop) {
+  Network net = token_ring(3);
+  GlobalMachine g = build_global(net);
+  // Token circulates: exactly 3 global states, one edge each, no stuck.
+  EXPECT_EQ(g.num_states(), 3u);
+  for (std::uint32_t s = 0; s < g.num_states(); ++s) {
+    EXPECT_EQ(g.edges[s].size(), 1u);
+  }
+}
+
+TEST(GlobalMachine, PhilosophersHaveDeadlockState) {
+  Network net = dining_philosophers(3);
+  GlobalMachine g = build_global(net);
+  bool deadlock = false;
+  for (std::uint32_t s = 0; s < g.num_states(); ++s) {
+    if (g.is_stuck(s)) deadlock = true;
+  }
+  EXPECT_TRUE(deadlock);
+}
+
+TEST(GlobalMachine, StateBudgetEnforced) {
+  Network net = dining_philosophers(5);
+  EXPECT_THROW(build_global(net, 10), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ccfsp

@@ -1,0 +1,71 @@
+#include "success/group.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fsp/builder.hpp"
+#include "network/families.hpp"
+#include "success/baseline.hpp"
+
+namespace ccfsp {
+namespace {
+
+TEST(Group, SingletonGroupMatchesPlainPredicates) {
+  Network net = figure3_network();
+  GroupSuccess g = group_success(net, {0});
+  EXPECT_EQ(g.success_collab, success_collab_global(net, 0));
+  EXPECT_EQ(g.unavoidable_success, !potential_blocking_global(net, 0));
+}
+
+TEST(Group, WholeNetworkGroupIsGlobalTermination) {
+  // P and Q handshake to completion: the full group always terminates.
+  auto alphabet = std::make_shared<Alphabet>();
+  std::vector<Fsp> procs;
+  procs.push_back(FspBuilder(alphabet, "P").trans("0", "a", "1").build());
+  procs.push_back(FspBuilder(alphabet, "Q").trans("0", "a", "1").build());
+  Network net(alphabet, std::move(procs));
+  GroupSuccess g = group_success(net, {0, 1});
+  EXPECT_TRUE(g.unavoidable_success);
+  EXPECT_TRUE(g.success_collab);
+}
+
+TEST(Group, GroupStricterThanEachMember) {
+  // Figure 3: P alone can succeed, but the group {P, Q} cannot always —
+  // and when Q taus away it is stranded mid-path, so even S_c of the pair
+  // depends on which leaf Q lands on. Q's tau branch ends at a leaf of Q,
+  // so the group CAN jointly succeed; unavoidably, no.
+  Network net = figure3_network();
+  GroupSuccess g = group_success(net, {0, 1});
+  EXPECT_FALSE(g.unavoidable_success);
+  EXPECT_TRUE(g.success_collab);
+}
+
+TEST(Group, MemberStuckMakesGroupFail) {
+  // P finishes; Q has an unmatched tail. {P} succeeds, {P, Q} never does.
+  auto alphabet = std::make_shared<Alphabet>();
+  std::vector<Fsp> procs;
+  procs.push_back(FspBuilder(alphabet, "P").trans("0", "a", "1").action("never").build());
+  procs.push_back(
+      FspBuilder(alphabet, "Q").trans("0", "a", "1").trans("1", "never", "2").build());
+  Network net(alphabet, std::move(procs));
+  EXPECT_TRUE(group_success(net, {0}).unavoidable_success);
+  GroupSuccess pair = group_success(net, {0, 1});
+  EXPECT_FALSE(pair.success_collab);
+  EXPECT_FALSE(pair.unavoidable_success);
+}
+
+TEST(Group, CyclicNetworksNeverParkTheGroup) {
+  Network net = token_ring(3);
+  GroupSuccess g = group_success(net, {0, 1, 2});
+  EXPECT_FALSE(g.unavoidable_success);
+  EXPECT_FALSE(g.success_collab);
+}
+
+TEST(Group, Validation) {
+  Network net = figure3_network();
+  EXPECT_THROW(group_success(net, {}), std::invalid_argument);
+  EXPECT_THROW(group_success(net, {0, 0}), std::invalid_argument);
+  EXPECT_THROW(group_success(net, {5}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ccfsp

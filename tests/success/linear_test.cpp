@@ -1,0 +1,101 @@
+#include "success/linear.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fsp/builder.hpp"
+#include "network/generate.hpp"
+#include "success/baseline.hpp"
+#include "success/game.hpp"
+
+namespace ccfsp {
+namespace {
+
+TEST(Linear, HappyChainSucceeds) {
+  auto alphabet = std::make_shared<Alphabet>();
+  std::vector<Fsp> procs;
+  procs.push_back(FspBuilder(alphabet, "P").trans("0", "a", "1").trans("1", "b", "2").build());
+  procs.push_back(FspBuilder(alphabet, "Q").trans("0", "a", "1").trans("1", "b", "2").build());
+  Network net(alphabet, std::move(procs));
+  EXPECT_TRUE(linear_network_success(net, 0));
+}
+
+TEST(Linear, OrderMismatchDeadlocks) {
+  auto alphabet = std::make_shared<Alphabet>();
+  std::vector<Fsp> procs;
+  procs.push_back(FspBuilder(alphabet, "P").trans("0", "a", "1").trans("1", "b", "2").build());
+  procs.push_back(FspBuilder(alphabet, "Q").trans("0", "b", "1").trans("1", "a", "2").build());
+  Network net(alphabet, std::move(procs));
+  EXPECT_FALSE(linear_network_success(net, 0));
+}
+
+TEST(Linear, UnmatchedOccurrenceKillsSuffix) {
+  // P says a a; Q says a only: P's second a can never fire.
+  auto alphabet = std::make_shared<Alphabet>();
+  std::vector<Fsp> procs;
+  procs.push_back(FspBuilder(alphabet, "P").trans("0", "a", "1").trans("1", "a", "2").build());
+  procs.push_back(FspBuilder(alphabet, "Q").trans("0", "a", "1").build());
+  Network net(alphabet, std::move(procs));
+  EXPECT_FALSE(linear_network_success(net, 0));
+  // Q, on the other hand, completes fine.
+  EXPECT_TRUE(linear_network_success(net, 1));
+}
+
+TEST(Linear, IrrelevantDeadlockElsewhereDoesNotHurtP) {
+  // P talks to Q and finishes; R and S deadlock with each other.
+  auto alphabet = std::make_shared<Alphabet>();
+  std::vector<Fsp> procs;
+  procs.push_back(FspBuilder(alphabet, "P").trans("0", "a", "1").build());
+  procs.push_back(FspBuilder(alphabet, "Q").trans("0", "a", "1").build());
+  procs.push_back(FspBuilder(alphabet, "R").trans("0", "x", "1").trans("1", "y", "2").build());
+  procs.push_back(FspBuilder(alphabet, "S").trans("0", "y", "1").trans("1", "x", "2").build());
+  Network net(alphabet, std::move(procs));
+  EXPECT_TRUE(linear_network_success(net, 0));
+  EXPECT_FALSE(linear_network_success(net, 2));
+}
+
+TEST(Linear, TauOnlyProcessSucceedsTrivially) {
+  auto alphabet = std::make_shared<Alphabet>();
+  std::vector<Fsp> procs;
+  procs.push_back(FspBuilder(alphabet, "P").trans("0", "tau", "1").action("a").build());
+  procs.push_back(FspBuilder(alphabet, "Q").state("0").action("a").build());
+  Network net(alphabet, std::move(procs));
+  EXPECT_TRUE(linear_network_success(net, 0));
+}
+
+TEST(Linear, RejectsNonLinearProcess) {
+  auto alphabet = std::make_shared<Alphabet>();
+  std::vector<Fsp> procs;
+  procs.push_back(FspBuilder(alphabet, "P").trans("0", "a", "1").trans("0", "b", "2").build());
+  procs.push_back(FspBuilder(alphabet, "Q").trans("0", "a", "1").trans("1", "b", "2").build());
+  Network net(alphabet, std::move(procs));
+  EXPECT_THROW(linear_network_success(net, 0), std::logic_error);
+}
+
+class LinearRandomized : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LinearRandomized, AgreesWithGlobalBaselineAndGame) {
+  // Proposition 1 says S_u = S_a = S_c for linear networks; check all three
+  // against their oracles on random chains.
+  Rng rng(GetParam());
+  std::size_t m = 2 + rng.below(4);
+  std::size_t len = 1 + rng.below(5);
+  Network net = random_linear_chain_network(rng, m, len);
+  for (std::size_t p = 0; p < net.size(); ++p) {
+    bool fast = linear_network_success(net, p);
+    bool s_c = success_collab_global(net, p);
+    bool s_u = !potential_blocking_global(net, p);
+    EXPECT_EQ(fast, s_c) << "seed " << GetParam() << " p " << p;
+    EXPECT_EQ(fast, s_u) << "seed " << GetParam() << " p " << p;
+    if (!net.process(p).has_tau_moves()) {
+      EXPECT_EQ(fast, success_adversity_network(net, p))
+          << "seed " << GetParam() << " p " << p;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LinearRandomized,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15,
+                                           16, 17, 18, 19, 20));
+
+}  // namespace
+}  // namespace ccfsp

@@ -1,0 +1,108 @@
+// The Lemma 3/4 deciders working straight off possibility automata must
+// agree with the explicit global machine on everything — this is the
+// paper's central semantic claim (success predicates are functions of
+// possibilities) run as a differential test.
+#include "success/poss_decide.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fsp/builder.hpp"
+#include "network/families.hpp"
+#include "network/generate.hpp"
+#include "success/baseline.hpp"
+#include "success/context.hpp"
+
+namespace ccfsp {
+namespace {
+
+TEST(PossDecide, Figure3) {
+  Network net = figure3_network();
+  Fsp q = compose_context(net, 0);
+  EXPECT_TRUE(collab_by_possibilities(net.process(0), q));
+  EXPECT_TRUE(blocking_by_possibilities(net.process(0), q));
+}
+
+TEST(PossDecide, HappyPairNeverBlocks) {
+  auto alphabet = std::make_shared<Alphabet>();
+  Fsp p = FspBuilder(alphabet, "P").trans("0", "a", "1").trans("1", "b", "2").build();
+  Fsp q = FspBuilder(alphabet, "Q").trans("0", "a", "1").trans("1", "b", "2").build();
+  EXPECT_TRUE(collab_by_possibilities(p, q));
+  EXPECT_FALSE(blocking_by_possibilities(p, q));
+}
+
+TEST(PossDecide, OrderMismatchBlocksAndNeverCompletes) {
+  auto alphabet = std::make_shared<Alphabet>();
+  Fsp p = FspBuilder(alphabet, "P").trans("0", "a", "1").trans("1", "b", "2").build();
+  Fsp q = FspBuilder(alphabet, "Q").trans("0", "b", "1").trans("1", "a", "2").build();
+  EXPECT_FALSE(collab_by_possibilities(p, q));
+  EXPECT_TRUE(blocking_by_possibilities(p, q));
+}
+
+class PossDecideRandomized : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PossDecideRandomized, AgreesWithGlobalOnAcyclicNetworks) {
+  Rng rng(GetParam());
+  NetworkGenOptions opt;
+  opt.num_processes = 2 + rng.below(3);
+  opt.states_per_process = 4 + rng.below(3);
+  opt.tau_probability = 0.2;
+  Network net = random_tree_network(rng, opt);
+  for (std::size_t p_idx = 0; p_idx < net.size(); ++p_idx) {
+    Fsp q = compose_context(net, p_idx);
+    const Fsp& p = net.process(p_idx);
+    EXPECT_EQ(collab_by_possibilities(p, q), success_collab_global(net, p_idx))
+        << "seed " << GetParam() << " p " << p_idx;
+    EXPECT_EQ(blocking_by_possibilities(p, q), potential_blocking_global(net, p_idx))
+        << "seed " << GetParam() << " p " << p_idx;
+  }
+}
+
+TEST_P(PossDecideRandomized, CyclicBlockingAgreesWithGlobal) {
+  Rng rng(GetParam() + 5000);
+  NetworkGenOptions opt;
+  opt.num_processes = 2 + rng.below(3);
+  opt.states_per_process = 3 + rng.below(3);
+  opt.symbols_per_edge = 1 + rng.below(2);
+  Network net = random_cyclic_tree_network(rng, opt);
+  for (std::size_t p_idx = 0; p_idx < net.size(); ++p_idx) {
+    Fsp q = compose_context(net, p_idx, /*cyclic=*/true);
+    EXPECT_EQ(cyclic_blocking_by_possibilities(net.process(p_idx), q),
+              potential_blocking_cyclic_global(net, p_idx))
+        << "seed " << GetParam() << " p " << p_idx;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PossDecideRandomized,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15,
+                                           16, 17, 18, 19, 20));
+
+TEST(PossDecide, CyclicDivergenceCountsAsRefusal) {
+  // Q can silently diverge after one handshake: under the cyclic reading
+  // that refuses everything, so blocking holds even though a live branch
+  // exists too.
+  auto alphabet = std::make_shared<Alphabet>();
+  Fsp p = FspBuilder(alphabet, "P").trans("0", "x", "0").build();
+  Fsp q_raw = FspBuilder(alphabet, "Q")
+                  .trans("0", "x", "1")
+                  .trans("1", "x", "0")
+                  .trans("1", "tau", "1")
+                  .build();
+  Fsp q = add_divergence_leaves(q_raw);
+  EXPECT_TRUE(cyclic_blocking_by_possibilities(p, q));
+  // Without the divergence treatment the tau-loop is invisible to Poss —
+  // exactly why Section 4 modifies the composition operator.
+  EXPECT_FALSE(cyclic_blocking_by_possibilities(p, q_raw));
+}
+
+TEST(PossDecide, PhilosophersBlockTokenRingDoesNot) {
+  Network phil = dining_philosophers(3);
+  Fsp qp = compose_context(phil, 0, /*cyclic=*/true);
+  EXPECT_TRUE(cyclic_blocking_by_possibilities(phil.process(0), qp));
+
+  Network ring = token_ring(4);
+  Fsp qr = compose_context(ring, 0, /*cyclic=*/true);
+  EXPECT_FALSE(cyclic_blocking_by_possibilities(ring.process(0), qr));
+}
+
+}  // namespace
+}  // namespace ccfsp

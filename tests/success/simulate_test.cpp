@@ -1,0 +1,113 @@
+#include "success/simulate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fsp/builder.hpp"
+#include "network/families.hpp"
+#include "network/generate.hpp"
+#include "success/baseline.hpp"
+
+namespace ccfsp {
+namespace {
+
+TEST(Simulate, DeterministicForSeed) {
+  Network net = dining_philosophers(3);
+  SimulationResult a = simulate_random(net, 99, 50);
+  SimulationResult b = simulate_random(net, 99, 50);
+  ASSERT_EQ(a.steps.size(), b.steps.size());
+  for (std::size_t i = 0; i < a.steps.size(); ++i) {
+    EXPECT_EQ(a.steps[i].mover, b.steps[i].mover);
+    EXPECT_EQ(a.steps[i].action, b.steps[i].action);
+  }
+  EXPECT_EQ(a.final_tuple, b.final_tuple);
+}
+
+TEST(Simulate, StepsAreLegalMoves) {
+  // Replay each step against the process definitions.
+  Network net = dining_philosophers(3);
+  SimulationResult r = simulate_random(net, 7, 100);
+  std::vector<StateId> tuple(net.size());
+  for (std::size_t i = 0; i < net.size(); ++i) tuple[i] = net.process(i).start();
+  for (const auto& step : r.steps) {
+    const Fsp& mover = net.process(step.mover);
+    bool mover_ok = false;
+    StateId mover_next = 0;
+    for (const auto& t : mover.out(tuple[step.mover])) {
+      if (t.action == step.action) {
+        mover_ok = true;
+        mover_next = t.target;
+        break;
+      }
+    }
+    ASSERT_TRUE(mover_ok);
+    tuple[step.mover] = mover_next;
+    if (step.partner != step.mover) {
+      const Fsp& partner = net.process(step.partner);
+      bool partner_ok = false;
+      for (const auto& t : partner.out(tuple[step.partner])) {
+        if (t.action == step.action) {
+          partner_ok = true;
+          tuple[step.partner] = t.target;
+          break;
+        }
+      }
+      ASSERT_TRUE(partner_ok);
+    }
+  }
+  EXPECT_EQ(tuple, r.final_tuple);
+}
+
+TEST(Simulate, TokenRingNeverSticks) {
+  Network net = token_ring(4);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    SimulationResult r = simulate_random(net, seed, 5000);
+    EXPECT_FALSE(r.stuck) << seed;
+    EXPECT_EQ(r.steps.size(), 5000u);
+  }
+}
+
+TEST(Simulate, StuckRunsImplyPotentialBlocking) {
+  // Differential check: any stuck schedule with P off-leaf certifies
+  // not-S_u, so it must agree with the analytic decider.
+  for (std::uint64_t seed = 100; seed < 130; ++seed) {
+    Rng rng(seed);
+    NetworkGenOptions opt;
+    opt.num_processes = 2 + rng.below(3);
+    opt.states_per_process = 4;
+    Network net = random_tree_network(rng, opt);
+    SimulationResult r = simulate_random(net, seed * 31, 1000);
+    if (!r.stuck) continue;  // acyclic nets always stick eventually, but be safe
+    for (std::size_t p = 0; p < net.size(); ++p) {
+      if (!net.process(p).is_leaf(r.final_tuple[p])) {
+        EXPECT_TRUE(potential_blocking_global(net, p)) << "seed " << seed << " p " << p;
+      }
+    }
+  }
+}
+
+TEST(Simulate, SuCertifiedNetworksNeverJamP) {
+  // If S_u holds for P, no schedule may ever strand it off-leaf.
+  auto alphabet = std::make_shared<Alphabet>();
+  std::vector<Fsp> procs;
+  procs.push_back(FspBuilder(alphabet, "P").trans("0", "a", "1").trans("1", "b", "2").build());
+  procs.push_back(FspBuilder(alphabet, "Q").trans("0", "a", "1").trans("1", "b", "2").build());
+  Network net(alphabet, std::move(procs));
+  ASSERT_FALSE(potential_blocking_global(net, 0));
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    SimulationResult r = simulate_random(net, seed, 100);
+    ASSERT_TRUE(r.stuck);
+    EXPECT_TRUE(net.process(0).is_leaf(r.final_tuple[0])) << seed;
+  }
+}
+
+TEST(Simulate, FormatScheduleMentionsMovers) {
+  Network net = token_ring(3);
+  SimulationResult r = simulate_random(net, 1, 3);
+  std::string text = format_schedule(net, r);
+  EXPECT_NE(text.find("St0"), std::string::npos);
+  EXPECT_NE(text.find("pass"), std::string::npos);
+  EXPECT_NE(text.find("still running"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccfsp

@@ -1,0 +1,124 @@
+#include "success/star.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fsp/builder.hpp"
+#include "network/families.hpp"
+#include "success/baseline.hpp"
+#include "success/game.hpp"
+
+namespace ccfsp {
+namespace {
+
+class StarTest : public ::testing::Test {
+ protected:
+  AlphabetPtr alphabet = std::make_shared<Alphabet>();
+};
+
+TEST_F(StarTest, Figure3ViaLemmas) {
+  // P: 1 -a-> 2; Q: 1 -a-> 2 | 1 -tau-> 3. Lemma 3 gives S_c, Lemma 4
+  // gives potential blocking (Q's (eps, {}) possibility at state 3).
+  Fsp p = FspBuilder(alphabet, "P").trans("1", "a", "2").build();
+  Fsp q = FspBuilder(alphabet, "Q").trans("1", "a", "2").trans("1", "tau", "3").build();
+  StarContext ctx;
+  ctx.factors = {&q};
+  EXPECT_TRUE(star_success_collab(p, ctx));
+  EXPECT_TRUE(star_potential_blocking(p, ctx));
+  EXPECT_FALSE(star_success_adversity(p, ctx));
+}
+
+TEST_F(StarTest, SeparationExampleViaLemmas) {
+  Network net = success_separation_network();
+  StarContext ctx;
+  ctx.factors = {&net.process(1), &net.process(2)};
+  const Fsp& p = net.process(0);
+  EXPECT_TRUE(star_success_collab(p, ctx));
+  EXPECT_TRUE(star_potential_blocking(p, ctx));   // left branch strands P
+  EXPECT_TRUE(star_success_adversity(p, ctx));    // right branch always works
+}
+
+TEST_F(StarTest, IndependentFactorsInterleave) {
+  // P needs a then b; factor A provides a, factor B provides b. Lemma 3
+  // must accept the interleaved string by per-factor projection.
+  Fsp p = FspBuilder(alphabet, "P").trans("0", "a", "1").trans("1", "b", "2").build();
+  Fsp qa = FspBuilder(alphabet, "A").trans("0", "a", "1").build();
+  Fsp qb = FspBuilder(alphabet, "B").trans("0", "b", "1").build();
+  StarContext ctx;
+  ctx.factors = {&qa, &qb};
+  EXPECT_TRUE(star_success_collab(p, ctx));
+  EXPECT_FALSE(star_potential_blocking(p, ctx));
+  EXPECT_TRUE(star_success_adversity(p, ctx));
+}
+
+TEST_F(StarTest, BlockingRequiresAllFactorsToRefuse) {
+  // P stable wanting {a, b}: factor A can exhaust a, but factor B always
+  // offers b — no blocking.
+  Fsp p = FspBuilder(alphabet, "P")
+              .trans("0", "a", "1")
+              .trans("0", "b", "2")
+              .build();
+  Fsp qa = FspBuilder(alphabet, "A")
+               .trans("0", "tau", "dead")
+               .trans("0", "a", "1")
+               .build();
+  Fsp qb = FspBuilder(alphabet, "B").trans("0", "b", "1").build();
+  StarContext ctx;
+  ctx.factors = {&qa, &qb};
+  EXPECT_FALSE(star_potential_blocking(p, ctx));
+  EXPECT_TRUE(star_success_adversity(p, ctx));
+
+  // Make B defectable too: now the context can refuse everything.
+  Fsp qb2 = FspBuilder(alphabet, "B2")
+                .trans("0", "tau", "dead")
+                .trans("0", "b", "1")
+                .build();
+  StarContext ctx2;
+  ctx2.factors = {&qa, &qb2};
+  EXPECT_TRUE(star_potential_blocking(p, ctx2));
+  EXPECT_FALSE(star_success_adversity(p, ctx2));
+}
+
+TEST_F(StarTest, UnsharedWantedSymbolBlocksForever) {
+  // P wants "ghost" which no factor owns: that branch is dead; P's only
+  // stable state wanting {ghost} is a blocking witness.
+  Fsp p = FspBuilder(alphabet, "P").trans("0", "ghost", "1").build();
+  Fsp q = [&] {
+    FspBuilder b(alphabet, "Q");
+    b.state("0");
+    b.action("other");
+    return b.build();
+  }();
+  StarContext ctx;
+  ctx.factors = {&q};
+  EXPECT_FALSE(star_success_collab(p, ctx));
+  EXPECT_TRUE(star_potential_blocking(p, ctx));
+}
+
+TEST_F(StarTest, OverlappingFactorAlphabetsRejected) {
+  Fsp p = FspBuilder(alphabet, "P").trans("0", "a", "1").build();
+  Fsp q1 = FspBuilder(alphabet, "Q1").trans("0", "a", "1").build();
+  Fsp q2 = FspBuilder(alphabet, "Q2").trans("0", "a", "1").build();
+  StarContext ctx;
+  ctx.factors = {&q1, &q2};
+  EXPECT_THROW(star_success_collab(p, ctx), std::logic_error);
+}
+
+TEST_F(StarTest, AdversityDemandsTauFreeTreeP) {
+  Fsp p_tau = FspBuilder(alphabet, "P").trans("0", "tau", "1").trans("1", "a", "2").build();
+  Fsp q = FspBuilder(alphabet, "Q").trans("0", "a", "1").build();
+  StarContext ctx;
+  ctx.factors = {&q};
+  EXPECT_THROW(star_success_adversity(p_tau, ctx), std::logic_error);
+}
+
+TEST_F(StarTest, AgreesWithGameOnSmallStars) {
+  // Cross-validate Lemma 5 evaluation against the knowledge-set game.
+  Network net = success_separation_network();
+  StarContext ctx;
+  ctx.factors = {&net.process(1), &net.process(2)};
+  EXPECT_EQ(star_success_adversity(net.process(0), ctx),
+            success_adversity_network(net, 0));
+}
+
+}  // namespace
+}  // namespace ccfsp

@@ -1,0 +1,135 @@
+// Strategy extraction is validated by *playing* it: a random adversary
+// drives the context through legal moves, the extracted strategy answers,
+// and player P must end on a leaf every single time (the definition of a
+// winning strategy — no luck involved).
+#include <gtest/gtest.h>
+
+#include "fsp/builder.hpp"
+#include "network/families.hpp"
+#include "reductions/gadget_thm2.hpp"
+#include "success/context.hpp"
+#include "success/game.hpp"
+#include "util/rng.hpp"
+
+namespace ccfsp {
+namespace {
+
+/// Play one game of Figure 4 to completion with random adversary choices.
+/// Returns true iff P ends on one of its leaves.
+bool simulate_once(const Fsp& p, const Fsp& q, Strategy& strategy, Rng& rng,
+                   std::size_t max_rounds = 10000) {
+  strategy.reset();
+  StateId q_state = q.tau_closure(q.start())[rng.below(q.tau_closure(q.start()).size())];
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    // Q must pick a with q ==a==> and p --a-->; enumerate its legal moves.
+    ActionSet p_out = p.out_actions(strategy.current());
+    std::vector<ActionId> offers;
+    for (std::size_t a : q.ready_actions(q_state).to_indices()) {
+      if (p_out.test(a)) offers.push_back(static_cast<ActionId>(a));
+    }
+    if (offers.empty()) {
+      return p.is_leaf(strategy.current());  // game over
+    }
+    ActionId a = offers[rng.below(offers.size())];
+    auto succs = q.arrow_successors(q_state, a);
+    q_state = succs[rng.below(succs.size())];
+    strategy.respond(a);
+  }
+  return false;  // only reachable for cyclic games (not used here)
+}
+
+TEST(Strategy, AbsentWhenQWins) {
+  Network net = figure3_network();
+  Fsp q = compose_context(net, 0);
+  EXPECT_FALSE(winning_strategy(net.process(0), q).has_value());
+}
+
+TEST(Strategy, SeparationExampleStrategySurvivesAllPlays) {
+  Network net = success_separation_network();
+  Fsp q = compose_context(net, 0);
+  auto strategy = winning_strategy(net.process(0), q);
+  ASSERT_TRUE(strategy.has_value());
+  Rng rng(5);
+  for (int game = 0; game < 200; ++game) {
+    EXPECT_TRUE(simulate_once(net.process(0), q, *strategy, rng)) << "game " << game;
+  }
+}
+
+TEST(Strategy, RespondsOnlyToOfferableActions) {
+  Network net = success_separation_network();
+  Fsp q = compose_context(net, 0);
+  auto strategy = winning_strategy(net.process(0), q);
+  ASSERT_TRUE(strategy.has_value());
+  ActionId bogus = net.alphabet()->intern("bogus_action");
+  EXPECT_THROW(strategy->respond(bogus), std::logic_error);
+}
+
+TEST(Strategy, QbfGadgetStrategyEncodesTheSkolemChoices) {
+  // A valid QBF yields a strategy for P that survives every universal
+  // choice the adversary throws at it.
+  Qbf q;
+  q.prefix = {Quantifier::kExists, Quantifier::kForAll, Quantifier::kExists};
+  q.matrix.num_vars = 3;
+  q.matrix.clauses = {{{0, false}, {1, true}, {2, false}},
+                      {{0, false}, {1, false}, {2, true}}};
+  ASSERT_TRUE(solve_qbf(q));
+  Thm2Gadget g = thm2_adversity_gadget(q);
+  Fsp ctx = compose_context(g.net, g.distinguished);
+  auto strategy = winning_strategy(g.net.process(g.distinguished), ctx);
+  ASSERT_TRUE(strategy.has_value());
+  Rng rng(17);
+  for (int game = 0; game < 300; ++game) {
+    EXPECT_TRUE(simulate_once(g.net.process(g.distinguished), ctx, *strategy, rng))
+        << "game " << game;
+  }
+}
+
+TEST(Strategy, CyclicGoalStrategyKeepsMovingForever) {
+  // Token ring: station 0 has a winning strategy for the cyclic game; drive
+  // it for thousands of rounds against a random adversary and it must never
+  // stall.
+  Network net = token_ring(3);
+  Fsp q = compose_context(net, 0, /*cyclic=*/true);
+  auto strategy = winning_strategy(net.process(0), q, /*cyclic_goal=*/true);
+  ASSERT_TRUE(strategy.has_value());
+  const Fsp& p = net.process(0);
+  Rng rng(23);
+  strategy->reset();
+  StateId q_state = q.tau_closure(q.start())[0];
+  for (int round = 0; round < 5000; ++round) {
+    ActionSet p_out = p.out_actions(strategy->current());
+    std::vector<ActionId> offers;
+    for (std::size_t a : q.ready_actions(q_state).to_indices()) {
+      if (p_out.test(a)) offers.push_back(static_cast<ActionId>(a));
+    }
+    ASSERT_FALSE(offers.empty()) << "game stalled at round " << round;
+    ActionId a = offers[rng.below(offers.size())];
+    auto succs = q.arrow_successors(q_state, a);
+    q_state = succs[rng.below(succs.size())];
+    strategy->respond(a);
+  }
+}
+
+TEST(Strategy, NoCyclicStrategyForPhilosopher) {
+  Network net = dining_philosophers(2);
+  Fsp q = compose_context(net, 0, /*cyclic=*/true);
+  EXPECT_FALSE(winning_strategy(net.process(0), q, /*cyclic_goal=*/true).has_value());
+}
+
+TEST(Strategy, DeterministicChainIsFollowed) {
+  auto alphabet = std::make_shared<Alphabet>();
+  Fsp p = FspBuilder(alphabet, "P").trans("0", "a", "1").trans("1", "b", "2").build();
+  Fsp q = FspBuilder(alphabet, "Q").trans("0", "a", "1").trans("1", "b", "2").build();
+  auto strategy = winning_strategy(p, q);
+  ASSERT_TRUE(strategy.has_value());
+  EXPECT_EQ(strategy->current(), p.start());
+  StateId after_a = strategy->respond(*alphabet->find("a"));
+  EXPECT_FALSE(p.is_leaf(after_a));
+  StateId after_b = strategy->respond(*alphabet->find("b"));
+  EXPECT_TRUE(p.is_leaf(after_b));
+  strategy->reset();
+  EXPECT_EQ(strategy->current(), p.start());
+}
+
+}  // namespace
+}  // namespace ccfsp

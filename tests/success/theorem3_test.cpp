@@ -1,0 +1,162 @@
+// Theorem 3 end-to-end: the polynomial tree-network pipeline must agree
+// with the exponential explicit-global-machine oracles on every predicate,
+// across many random tree and ring (2-tree) networks.
+#include "success/tree_pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "network/families.hpp"
+#include "network/generate.hpp"
+#include "success/baseline.hpp"
+#include "success/game.hpp"
+
+namespace ccfsp {
+namespace {
+
+void expect_agrees_with_oracle(const Network& net, std::size_t p_index, const char* label) {
+  Theorem3Result fast = theorem3_decide(net, p_index);
+  bool s_c = success_collab_global(net, p_index);
+  bool s_u = !potential_blocking_global(net, p_index);
+  EXPECT_EQ(fast.success_collab, s_c) << label;
+  EXPECT_EQ(fast.unavoidable_success, s_u) << label;
+  if (fast.success_adversity.has_value()) {
+    EXPECT_EQ(*fast.success_adversity, success_adversity_network(net, p_index)) << label;
+  }
+}
+
+TEST(Theorem3, Figure3) {
+  Network net = figure3_network();
+  Theorem3Result r = theorem3_decide(net, 0);
+  EXPECT_TRUE(r.success_collab);
+  EXPECT_FALSE(r.unavoidable_success);
+  ASSERT_TRUE(r.success_adversity.has_value());
+  EXPECT_FALSE(*r.success_adversity);
+}
+
+TEST(Theorem3, SeparationExample) {
+  Network net = success_separation_network();
+  Theorem3Result r = theorem3_decide(net, 0);
+  EXPECT_TRUE(r.success_collab);
+  EXPECT_FALSE(r.unavoidable_success);
+  ASSERT_TRUE(r.success_adversity.has_value());
+  EXPECT_TRUE(*r.success_adversity);
+  EXPECT_EQ(r.partition_width, 1u);
+}
+
+class Theorem3TreeRandomized : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Theorem3TreeRandomized, AgreesWithOracleOnTreeNetworks) {
+  Rng rng(GetParam());
+  NetworkGenOptions opt;
+  opt.num_processes = 2 + rng.below(4);
+  opt.states_per_process = 4 + rng.below(4);
+  opt.symbols_per_edge = 1 + rng.below(2);
+  opt.tau_probability = 0.2;
+  Network net = random_tree_network(rng, opt);
+  for (std::size_t p = 0; p < net.size(); ++p) {
+    expect_agrees_with_oracle(net, p, ("seed=" + std::to_string(GetParam()) +
+                                       " p=" + std::to_string(p)).c_str());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem3TreeRandomized,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15,
+                                           21, 22, 23, 24, 25, 26, 27, 28, 29, 30));
+
+class Theorem3RingRandomized : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Theorem3RingRandomized, AgreesWithOracleOnRingNetworks) {
+  // Figure 8a: rings are 2-trees; the pipeline pairs processes up.
+  Rng rng(GetParam());
+  NetworkGenOptions opt;
+  opt.num_processes = 3 + rng.below(3);
+  opt.states_per_process = 4;
+  opt.symbols_per_edge = 1;
+  opt.tau_probability = 0.15;
+  Network net = random_ring_network(rng, opt);
+  expect_agrees_with_oracle(net, 0, ("ring seed=" + std::to_string(GetParam())).c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem3RingRandomized,
+                         ::testing::Values(31, 32, 33, 34, 35, 36, 37, 38, 39, 40));
+
+class Theorem3RingFolded : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Theorem3RingFolded, FoldPartitionAgreesWithOracle) {
+  // Force the Figure 8a width-2 fold (the automatic block-cut partition
+  // treats the whole ring as one part, which is valid but not the point).
+  Rng rng(GetParam());
+  NetworkGenOptions opt;
+  opt.num_processes = 4 + rng.below(3);
+  opt.states_per_process = 4;
+  opt.symbols_per_edge = 1;
+  opt.tau_probability = 0.15;
+  Network net = random_ring_network(rng, opt);
+  std::size_t m = net.size();
+
+  KTreePartition fold;
+  fold.parts.push_back({0});
+  for (std::size_t d = 1; 2 * d <= m; ++d) {
+    std::size_t a = d, b = m - d;
+    if (a == b) {
+      fold.parts.push_back({a});
+      break;
+    }
+    fold.parts.push_back({a, b});
+  }
+  for (std::size_t i = 0; i + 1 < fold.parts.size(); ++i) fold.quotient_edges.push_back({i, i + 1});
+  fold.width = 2;
+  ASSERT_TRUE(is_valid_ktree_partition(net, fold));
+
+  Theorem3Result fast = theorem3_decide(net, 0, {}, &fold);
+  EXPECT_EQ(fast.partition_width, 2u);
+  EXPECT_EQ(fast.success_collab, success_collab_global(net, 0)) << GetParam();
+  EXPECT_EQ(fast.unavoidable_success, !potential_blocking_global(net, 0)) << GetParam();
+  if (fast.success_adversity.has_value()) {
+    EXPECT_EQ(*fast.success_adversity, success_adversity_network(net, 0)) << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem3RingFolded,
+                         ::testing::Values(81, 82, 83, 84, 85, 86, 87, 88, 89, 90));
+
+TEST(Theorem3, AblationWithoutNormalFormAgreesButGrows) {
+  Rng rng(1234);
+  NetworkGenOptions opt;
+  opt.num_processes = 5;
+  opt.states_per_process = 5;
+  Network net = random_tree_network(rng, opt);
+  Theorem3Options with_nf;
+  Theorem3Options without_nf;
+  without_nf.use_normal_form = false;
+  Theorem3Result a = theorem3_decide(net, 0, with_nf);
+  Theorem3Result b = theorem3_decide(net, 0, without_nf);
+  EXPECT_EQ(a.success_collab, b.success_collab);
+  EXPECT_EQ(a.unavoidable_success, b.unavoidable_success);
+  EXPECT_EQ(a.success_adversity, b.success_adversity);
+}
+
+TEST(Theorem3, SuppliedPartitionIsValidated) {
+  Network net = figure3_network();
+  KTreePartition bogus;
+  bogus.parts = {{0}};  // misses process 1
+  EXPECT_THROW(theorem3_decide(net, 0, {}, &bogus), std::logic_error);
+}
+
+TEST(Theorem3, RejectsCyclicProcesses) {
+  Network net = token_ring(3);
+  EXPECT_THROW(theorem3_decide(net, 0), std::logic_error);
+}
+
+TEST(Theorem3, ReportsDiagnostics) {
+  Rng rng(9);
+  NetworkGenOptions opt;
+  opt.num_processes = 4;
+  Network net = random_tree_network(rng, opt);
+  Theorem3Result r = theorem3_decide(net, 0);
+  EXPECT_EQ(r.partition_width, 1u);
+  EXPECT_GT(r.max_intermediate_states, 0u);
+}
+
+}  // namespace
+}  // namespace ccfsp

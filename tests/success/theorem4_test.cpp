@@ -1,0 +1,179 @@
+#include "success/unary_sc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algebra/compose.hpp"
+#include "fsp/builder.hpp"
+#include "network/families.hpp"
+#include "success/baseline.hpp"
+
+namespace ccfsp {
+namespace {
+
+TEST(Theorem4Step, BudgetOnlyMachine) {
+  // Machine s0 -c-> s1 -p-> s2 -p-> s0: with child budget L on c, the
+  // parent bound is exactly 2L (the multiply-by-2 middle process).
+  auto alphabet = std::make_shared<Alphabet>();
+  Fsp machine = FspBuilder(alphabet, "M")
+                    .trans("s0", "c", "s1")
+                    .trans("s1", "p", "s2")
+                    .trans("s2", "p", "s0")
+                    .build();
+  ActionId p = *alphabet->find("p");
+  ActionId c = *alphabet->find("c");
+  for (std::int64_t l : {0, 1, 2, 7}) {
+    UnaryBound out = unary_reduction_step(machine, p, {{c, UnaryBound::of(BigInt(l))}});
+    EXPECT_EQ(out, UnaryBound::of(BigInt(2 * l))) << l;
+  }
+  // Unlimited child -> unlimited parent.
+  EXPECT_EQ(unary_reduction_step(machine, p, {{c, UnaryBound::inf()}}), UnaryBound::inf());
+}
+
+TEST(Theorem4Step, AgreesWithExplicitComposition) {
+  // Cross-validate the ILP step against composing with an explicit budget
+  // process and computing the bound on the composite.
+  auto alphabet = std::make_shared<Alphabet>();
+  Fsp machine = FspBuilder(alphabet, "M")
+                    .trans("s0", "c", "s1")
+                    .trans("s1", "p", "s2")
+                    .trans("s2", "c", "s3")
+                    .trans("s3", "p", "s0")
+                    .trans("s1", "c", "s1")
+                    .build();
+  ActionId p = *alphabet->find("p");
+  ActionId c = *alphabet->find("c");
+  for (std::int64_t l = 0; l <= 6; ++l) {
+    Fsp budget = unary_budget_fsp(alphabet, c, static_cast<std::size_t>(l), "B");
+    Fsp composite = compose(machine, budget);
+    UnaryBound expect = unary_bound_explicit(composite, p);
+    UnaryBound got = unary_reduction_step(machine, p, {{c, UnaryBound::of(BigInt(l))}});
+    EXPECT_EQ(got, expect) << "l=" << l;
+  }
+}
+
+TEST(Theorem4Step, TwoChildBudgets) {
+  // s0 -c1-> s1 -c2-> s2 -p-> s0: each p costs one of each child.
+  auto alphabet = std::make_shared<Alphabet>();
+  Fsp machine = FspBuilder(alphabet, "M")
+                    .trans("s0", "c1", "s1")
+                    .trans("s1", "c2", "s2")
+                    .trans("s2", "p", "s0")
+                    .build();
+  ActionId p = *alphabet->find("p");
+  UnaryBound out = unary_reduction_step(
+      machine, p,
+      {{*alphabet->find("c1"), UnaryBound::of(BigInt(5))},
+       {*alphabet->find("c2"), UnaryBound::of(BigInt(3))}});
+  EXPECT_EQ(out, UnaryBound::of(BigInt(3)));
+}
+
+TEST(Theorem4Step, UnusedBudgetSymbolIgnored) {
+  auto alphabet = std::make_shared<Alphabet>();
+  Fsp machine = FspBuilder(alphabet, "M").trans("s0", "p", "s1").build();
+  ActionId p = *alphabet->find("p");
+  ActionId ghost = alphabet->intern("ghost");
+  UnaryBound out = unary_reduction_step(machine, p, {{ghost, UnaryBound::of(BigInt(0))}});
+  EXPECT_EQ(out, UnaryBound::of(BigInt(1)));
+}
+
+TEST(Theorem4, MultiplyByTwoChainGivesExponentialBudget) {
+  // The paper's flagship point: the root-edge budget is 2^(m-2), an O(m)-bit
+  // number that must be carried in binary.
+  for (std::size_t m : {2u, 3u, 4u, 6u, 10u, 34u}) {
+    Network net = multiply_by_2_chain(m);
+    UnaryScResult r = unary_success_collab(net, 0);
+    ASSERT_EQ(r.root_budgets.size(), 1u) << m;
+    ASSERT_FALSE(r.root_budgets[0].second.infinite) << m;
+    EXPECT_EQ(r.root_budgets[0].second.count, BigInt::pow2(m - 2)) << m;
+    // Root loops on a finite budget: it cannot run forever.
+    EXPECT_FALSE(r.success_collab) << m;
+  }
+}
+
+TEST(Theorem4, MultiplyByKChains) {
+  // factor^(m-2) for other factors, including the degenerate factor 1.
+  for (std::size_t k : {1u, 3u, 5u}) {
+    Network net = multiply_by_k_chain(6, k);
+    UnaryScResult r = unary_success_collab(net, 0);
+    BigInt expect(1);
+    for (int i = 0; i < 4; ++i) expect *= BigInt(static_cast<std::int64_t>(k));
+    EXPECT_EQ(r.root_budgets[0].second.count, expect) << k;
+  }
+}
+
+TEST(Theorem4, BigChainStaysPolynomial) {
+  // 80 processes -> budget 2^78; explicit analysis would need ~2^78 states.
+  Network net = multiply_by_2_chain(80);
+  UnaryScResult r = unary_success_collab(net, 0);
+  EXPECT_EQ(r.root_budgets[0].second.count, BigInt::pow2(78));
+}
+
+TEST(Theorem4, InfiniteContextMakesRootLive) {
+  // Two mutually feeding loops: Root <-t1-> Feeder where the feeder allows
+  // t1 forever: S_c holds.
+  auto alphabet = std::make_shared<Alphabet>();
+  std::vector<Fsp> procs;
+  procs.push_back(FspBuilder(alphabet, "Root").trans("r", "t1", "r").build());
+  procs.push_back(FspBuilder(alphabet, "Feeder").trans("f", "t1", "f").build());
+  Network net(alphabet, std::move(procs));
+  UnaryScResult r = unary_success_collab(net, 0);
+  EXPECT_TRUE(r.success_collab);
+  EXPECT_TRUE(r.root_budgets[0].second.infinite);
+  // Sanity against the explicit cyclic decider.
+  EXPECT_TRUE(success_collab_cyclic_global(net, 0));
+}
+
+TEST(Theorem4, MixedBudgetRoot) {
+  // Root needs one bounded handshake to reach its free cycle.
+  auto alphabet = std::make_shared<Alphabet>();
+  std::vector<Fsp> procs;
+  procs.push_back(FspBuilder(alphabet, "Root")
+                      .trans("r0", "once", "r1")
+                      .trans("r1", "free", "r1")
+                      .build());
+  procs.push_back(FspBuilder(alphabet, "OnceGiver").trans("b0", "once", "b1").build());
+  procs.push_back(FspBuilder(alphabet, "FreeGiver").trans("f", "free", "f").build());
+  Network net(alphabet, std::move(procs));
+  UnaryScResult r = unary_success_collab(net, 0);
+  EXPECT_TRUE(r.success_collab);
+
+  // Starve the bounded handshake instead: no way to reach the free cycle.
+  auto alphabet2 = std::make_shared<Alphabet>();
+  std::vector<Fsp> procs2;
+  procs2.push_back(FspBuilder(alphabet2, "Root")
+                       .trans("r0", "once", "r1")
+                       .trans("r1", "free", "r1")
+                       .build());
+  procs2.push_back([&] {
+    FspBuilder b(alphabet2, "Withholder");
+    b.state("b0");
+    b.action("once");
+    return b.build();
+  }());
+  procs2.push_back(FspBuilder(alphabet2, "FreeGiver").trans("f", "free", "f").build());
+  Network net2(alphabet2, std::move(procs2));
+  UnaryScResult r2 = unary_success_collab(net2, 0);
+  EXPECT_FALSE(r2.success_collab);
+}
+
+TEST(Theorem4, ValidatesHypotheses) {
+  // Two symbols on one edge violates the unary hypothesis.
+  auto alphabet = std::make_shared<Alphabet>();
+  std::vector<Fsp> procs;
+  procs.push_back(FspBuilder(alphabet, "A").trans("0", "x", "1").trans("1", "y", "0").build());
+  procs.push_back(FspBuilder(alphabet, "B").trans("0", "x", "1").trans("1", "y", "0").build());
+  Network net(alphabet, std::move(procs));
+  EXPECT_THROW(unary_success_collab(net, 0), std::logic_error);
+}
+
+TEST(Theorem4, AgreesWithExplicitCyclicCollabOnSmallChains) {
+  for (std::size_t m : {2u, 3u, 4u}) {
+    Network net = multiply_by_2_chain(m);
+    EXPECT_EQ(unary_success_collab(net, 0).success_collab,
+              success_collab_cyclic_global(net, 0))
+        << m;
+  }
+}
+
+}  // namespace
+}  // namespace ccfsp

@@ -1,0 +1,155 @@
+#include "success/witness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fsp/builder.hpp"
+#include "network/families.hpp"
+#include "network/generate.hpp"
+#include "success/baseline.hpp"
+
+namespace ccfsp {
+namespace {
+
+TEST(Witness, Figure3BlockingSchedule) {
+  Network net = figure3_network();
+  auto w = blocking_witness(net, 0);
+  ASSERT_TRUE(w.has_value());
+  // Shortest blocking run: Q taus to its dead branch — one step.
+  EXPECT_EQ(w->steps.size(), 1u);
+  EXPECT_EQ(w->steps[0].mover, 1u);  // Q moved
+  EXPECT_EQ(w->steps[0].partner, 1u);  // alone (tau)
+  // P is still at its start in the final tuple.
+  EXPECT_EQ(w->final_tuple[0], net.process(0).start());
+}
+
+TEST(Witness, Figure3SuccessSchedule) {
+  Network net = figure3_network();
+  auto w = collab_witness(net, 0);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->steps.size(), 1u);  // the a-handshake
+  EXPECT_EQ(w->steps[0].mover, 0u);
+  EXPECT_EQ(w->steps[0].partner, 1u);
+  EXPECT_TRUE(net.process(0).is_leaf(w->final_tuple[0]));
+}
+
+TEST(Witness, AbsentWhenPredicateFalse) {
+  auto alphabet = std::make_shared<Alphabet>();
+  std::vector<Fsp> procs;
+  procs.push_back(FspBuilder(alphabet, "P").trans("0", "a", "1").build());
+  procs.push_back(FspBuilder(alphabet, "Q").trans("0", "a", "1").build());
+  Network net(alphabet, std::move(procs));
+  EXPECT_FALSE(blocking_witness(net, 0).has_value());  // S_u holds
+  EXPECT_TRUE(collab_witness(net, 0).has_value());
+}
+
+TEST(Witness, StepsReplayToTheFinalTuple) {
+  // Each step's tuple must follow from the previous by exactly one legal
+  // move of the network; check the last tuple is genuinely stuck.
+  Rng rng(4);
+  NetworkGenOptions opt;
+  opt.num_processes = 3;
+  opt.states_per_process = 5;
+  Network net = random_tree_network(rng, opt);
+  auto w = blocking_witness(net, 0);
+  if (!w) GTEST_SKIP() << "instance has no blocking";
+  ASSERT_FALSE(w->steps.empty());
+  EXPECT_EQ(w->steps.back().tuple_after, w->final_tuple);
+  // Final tuple is stuck: rebuild the global machine and locate it.
+  GlobalMachine g = build_global(net);
+  for (std::uint32_t s = 0; s < g.num_states(); ++s) {
+    if (g.tuples[s] == w->final_tuple) {
+      EXPECT_TRUE(g.is_stuck(s));
+    }
+  }
+}
+
+TEST(Witness, WitnessExistenceMatchesPredicates) {
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    Rng rng(seed);
+    NetworkGenOptions opt;
+    opt.num_processes = 2 + rng.below(3);
+    opt.states_per_process = 4;
+    Network net = random_tree_network(rng, opt);
+    EXPECT_EQ(blocking_witness(net, 0).has_value(), potential_blocking_global(net, 0))
+        << seed;
+    EXPECT_EQ(collab_witness(net, 0).has_value(), success_collab_global(net, 0)) << seed;
+  }
+}
+
+TEST(Witness, FormatMentionsProcessesAndActions) {
+  Network net = figure3_network();
+  auto w = collab_witness(net, 0);
+  ASSERT_TRUE(w.has_value());
+  std::string text = format_witness(net, *w);
+  EXPECT_NE(text.find("P"), std::string::npos);
+  EXPECT_NE(text.find("--a--"), std::string::npos);
+  EXPECT_NE(text.find("final:"), std::string::npos);
+}
+
+TEST(LassoWitness, StuckStateGivesEmptyCycle) {
+  Network net = dining_philosophers(3);
+  auto w = cyclic_blocking_witness(net, 0);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_FALSE(w->is_starvation());
+  EXPECT_EQ(w->prefix.size(), 3u);  // the three left-fork pickups
+}
+
+TEST(LassoWitness, StarvationGivesPumpableCycle) {
+  // P needs Q; Q can instead loop with R forever (see baseline_test).
+  auto alphabet = std::make_shared<Alphabet>();
+  std::vector<Fsp> procs;
+  procs.push_back(FspBuilder(alphabet, "P").trans("0", "a", "1").trans("1", "a", "0").build());
+  procs.push_back(FspBuilder(alphabet, "Q")
+                      .trans("0", "a", "1")
+                      .trans("1", "a", "0")
+                      .trans("0", "r", "0")
+                      .build());
+  procs.push_back(FspBuilder(alphabet, "R").trans("0", "r", "0").build());
+  Network net(alphabet, std::move(procs));
+  auto w = cyclic_blocking_witness(net, 0);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_TRUE(w->is_starvation());
+  // Every cycle step avoids P.
+  for (const auto& step : w->cycle) {
+    EXPECT_NE(step.mover, 0u);
+    EXPECT_NE(step.partner, 0u);
+  }
+  std::string text = format_lasso(net, *w);
+  EXPECT_NE(text.find("cycle"), std::string::npos);
+}
+
+TEST(LassoWitness, AbsentForLiveNetworks) {
+  Network net = token_ring(4);
+  for (std::size_t p = 0; p < net.size(); ++p) {
+    EXPECT_FALSE(cyclic_blocking_witness(net, p).has_value()) << p;
+  }
+}
+
+TEST(LassoWitness, MatchesCyclicBlockingDecider) {
+  for (std::uint64_t seed = 200; seed < 212; ++seed) {
+    Rng rng(seed);
+    NetworkGenOptions opt;
+    opt.num_processes = 2 + rng.below(3);
+    opt.states_per_process = 4;
+    Network net = random_cyclic_tree_network(rng, opt);
+    for (std::size_t p = 0; p < net.size(); ++p) {
+      EXPECT_EQ(cyclic_blocking_witness(net, p).has_value(),
+                potential_blocking_cyclic_global(net, p))
+          << "seed " << seed << " p " << p;
+    }
+  }
+}
+
+TEST(Witness, PhilosopherDeadlockScheduleIsTheClassicOne) {
+  Network net = dining_philosophers(3);
+  auto w = blocking_witness(net, 0);
+  ASSERT_TRUE(w.has_value());
+  // Three pickups, each a phil-fork handshake.
+  EXPECT_EQ(w->steps.size(), 3u);
+  for (const auto& step : w->steps) {
+    EXPECT_NE(step.mover, step.partner);
+  }
+}
+
+}  // namespace
+}  // namespace ccfsp

@@ -1,0 +1,120 @@
+#include "util/bitset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace ccfsp {
+namespace {
+
+TEST(DynamicBitset, StartsEmpty) {
+  DynamicBitset b(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_TRUE(b.none());
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_EQ(b.find_first(), 100u);
+}
+
+TEST(DynamicBitset, SetResetTest) {
+  DynamicBitset b(70);
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(69);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(69));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_EQ(b.count(), 4u);
+  b.reset(63);
+  EXPECT_FALSE(b.test(63));
+  EXPECT_EQ(b.count(), 3u);
+}
+
+TEST(DynamicBitset, FindFirstNextIteratesExactlySetBits) {
+  DynamicBitset b(200);
+  std::set<std::size_t> expected{0, 1, 63, 64, 65, 127, 128, 199};
+  for (std::size_t i : expected) b.set(i);
+  std::set<std::size_t> seen;
+  for (std::size_t i = b.find_first(); i < b.size(); i = b.find_next(i)) seen.insert(i);
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(DynamicBitset, SetAlgebra) {
+  DynamicBitset a(80), b(80);
+  a.set(1);
+  a.set(40);
+  a.set(70);
+  b.set(40);
+  b.set(71);
+  DynamicBitset u = a | b;
+  EXPECT_EQ(u.count(), 4u);
+  DynamicBitset i = a & b;
+  EXPECT_EQ(i.count(), 1u);
+  EXPECT_TRUE(i.test(40));
+  DynamicBitset d = a - b;
+  EXPECT_EQ(d.count(), 2u);
+  EXPECT_TRUE(d.test(1));
+  EXPECT_TRUE(d.test(70));
+  EXPECT_FALSE(d.test(40));
+}
+
+TEST(DynamicBitset, SubsetAndIntersects) {
+  DynamicBitset a(64), b(64);
+  a.set(3);
+  b.set(3);
+  b.set(5);
+  EXPECT_TRUE(a.is_subset_of(b));
+  EXPECT_FALSE(b.is_subset_of(a));
+  EXPECT_TRUE(a.intersects(b));
+  DynamicBitset c(64);
+  c.set(9);
+  EXPECT_FALSE(a.intersects(c));
+  EXPECT_TRUE(DynamicBitset(64).is_subset_of(a));  // empty set is a subset
+}
+
+TEST(DynamicBitset, EqualityAndOrdering) {
+  DynamicBitset a(64), b(64);
+  EXPECT_EQ(a, b);
+  a.set(5);
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(b < a);
+  b.set(6);
+  EXPECT_TRUE(a < b);  // 6 > 5 in the most-significant sense
+}
+
+TEST(DynamicBitset, HashDistinguishesSizes) {
+  DynamicBitset a(64), b(65);
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(DynamicBitset, ToIndicesRoundTrip) {
+  Rng rng(42);
+  for (int iter = 0; iter < 50; ++iter) {
+    std::size_t n = 1 + rng.below(300);
+    DynamicBitset b(n);
+    std::set<std::size_t> expected;
+    for (std::size_t k = 0; k < n / 3; ++k) {
+      std::size_t i = rng.below(n);
+      b.set(i);
+      expected.insert(i);
+    }
+    auto idx = b.to_indices();
+    EXPECT_EQ(std::set<std::size_t>(idx.begin(), idx.end()), expected);
+    EXPECT_EQ(b.count(), expected.size());
+  }
+}
+
+TEST(DynamicBitset, ClearResetsEverything) {
+  DynamicBitset b(100);
+  b.set(3);
+  b.set(99);
+  b.clear();
+  EXPECT_TRUE(b.none());
+}
+
+}  // namespace
+}  // namespace ccfsp

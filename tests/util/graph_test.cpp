@@ -1,0 +1,186 @@
+#include "util/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace ccfsp {
+namespace {
+
+TEST(Digraph, SccOnTwoCycles) {
+  // 0 -> 1 -> 2 -> 0 and 3 -> 4 -> 3, with a bridge 2 -> 3.
+  Digraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  g.add_edge(4, 3);
+  auto scc = g.scc();
+  EXPECT_EQ(scc.num_components, 2u);
+  EXPECT_EQ(scc.component[0], scc.component[1]);
+  EXPECT_EQ(scc.component[1], scc.component[2]);
+  EXPECT_EQ(scc.component[3], scc.component[4]);
+  EXPECT_NE(scc.component[0], scc.component[3]);
+  // Reverse topological numbering: the sink component {3,4} is numbered
+  // before the source component {0,1,2}.
+  EXPECT_LT(scc.component[3], scc.component[0]);
+}
+
+TEST(Digraph, SccSingletons) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  auto scc = g.scc();
+  EXPECT_EQ(scc.num_components, 3u);
+}
+
+TEST(Digraph, HasCycleDetectsSelfLoop) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  EXPECT_FALSE(g.has_cycle());
+  g.add_edge(1, 1);
+  EXPECT_TRUE(g.has_cycle());
+}
+
+TEST(Digraph, TopologicalOrderOnDag) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  auto order = g.topological_order();
+  ASSERT_TRUE(order.has_value());
+  std::vector<std::size_t> pos(4);
+  for (std::size_t i = 0; i < 4; ++i) pos[(*order)[i]] = i;
+  EXPECT_LT(pos[0], pos[1]);
+  EXPECT_LT(pos[0], pos[2]);
+  EXPECT_LT(pos[1], pos[3]);
+  EXPECT_LT(pos[2], pos[3]);
+}
+
+TEST(Digraph, TopologicalOrderRejectsCycle) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  EXPECT_FALSE(g.topological_order().has_value());
+}
+
+TEST(Digraph, Reachability) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  auto r = g.reachable_from(0);
+  EXPECT_TRUE(r[0]);
+  EXPECT_TRUE(r[1]);
+  EXPECT_FALSE(r[2]);
+  EXPECT_FALSE(r[3]);
+}
+
+TEST(Digraph, CoReachable) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 3);
+  auto c = g.co_reachable({2});
+  EXPECT_TRUE(c[0]);
+  EXPECT_TRUE(c[1]);
+  EXPECT_TRUE(c[2]);
+  EXPECT_FALSE(c[3]);
+}
+
+TEST(Digraph, SccRandomizedAgreesWithReachability) {
+  // u,v in the same SCC iff u reaches v and v reaches u.
+  Rng rng(7);
+  for (int iter = 0; iter < 20; ++iter) {
+    std::size_t n = 2 + rng.below(12);
+    Digraph g(n);
+    for (std::size_t e = 0; e < 2 * n; ++e) g.add_edge(rng.below(n), rng.below(n));
+    auto scc = g.scc();
+    std::vector<std::vector<bool>> reach;
+    for (std::size_t v = 0; v < n; ++v) reach.push_back(g.reachable_from(v));
+    for (std::size_t u = 0; u < n; ++u) {
+      for (std::size_t v = 0; v < n; ++v) {
+        bool same = scc.component[u] == scc.component[v];
+        EXPECT_EQ(same, reach[u][v] && reach[v][u]) << "u=" << u << " v=" << v;
+      }
+    }
+  }
+}
+
+TEST(UndirectedGraph, TreeAndRingShapeTests) {
+  UndirectedGraph path(3);
+  path.add_edge(0, 1);
+  path.add_edge(1, 2);
+  EXPECT_TRUE(path.is_tree());
+  EXPECT_FALSE(path.is_ring());
+
+  UndirectedGraph ring(3);
+  ring.add_edge(0, 1);
+  ring.add_edge(1, 2);
+  ring.add_edge(2, 0);
+  EXPECT_FALSE(ring.is_tree());
+  EXPECT_TRUE(ring.is_ring());
+
+  UndirectedGraph disconnected(4);
+  disconnected.add_edge(0, 1);
+  disconnected.add_edge(2, 3);
+  EXPECT_FALSE(disconnected.is_tree());
+  EXPECT_FALSE(disconnected.is_connected());
+}
+
+TEST(UndirectedGraph, BiconnectedComponentsOfTwoTrianglesSharingAVertex) {
+  // Triangles {0,1,2} and {2,3,4} share the articulation vertex 2.
+  UndirectedGraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  g.add_edge(4, 2);
+  auto comps = g.biconnected_components();
+  ASSERT_EQ(comps.size(), 2u);
+  std::multiset<std::size_t> sizes{comps[0].size(), comps[1].size()};
+  EXPECT_EQ(sizes, (std::multiset<std::size_t>{3, 3}));
+}
+
+TEST(UndirectedGraph, BridgesAreSingletonComponents) {
+  UndirectedGraph g(4);  // path: every edge is a bridge
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  auto comps = g.biconnected_components();
+  EXPECT_EQ(comps.size(), 3u);
+  for (const auto& c : comps) EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(UndirectedGraph, BiconnectedComponentsPartitionEdges) {
+  Rng rng(99);
+  for (int iter = 0; iter < 20; ++iter) {
+    std::size_t n = 3 + rng.below(10);
+    UndirectedGraph g(n);
+    std::set<std::pair<std::size_t, std::size_t>> used;
+    for (std::size_t e = 0; e < 2 * n; ++e) {
+      std::size_t u = rng.below(n), v = rng.below(n);
+      if (u == v) continue;
+      auto key = std::minmax(u, v);
+      if (!used.insert({key.first, key.second}).second) continue;
+      g.add_edge(u, v);
+    }
+    auto comps = g.biconnected_components();
+    std::set<std::size_t> covered;
+    std::size_t total = 0;
+    for (const auto& c : comps) {
+      total += c.size();
+      for (std::size_t e : c) covered.insert(e);
+    }
+    EXPECT_EQ(total, g.num_edges());
+    EXPECT_EQ(covered.size(), g.num_edges());
+  }
+}
+
+}  // namespace
+}  // namespace ccfsp
