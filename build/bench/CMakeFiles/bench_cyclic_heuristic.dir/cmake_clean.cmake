@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cyclic_heuristic.dir/bench_cyclic_heuristic.cpp.o"
+  "CMakeFiles/bench_cyclic_heuristic.dir/bench_cyclic_heuristic.cpp.o.d"
+  "bench_cyclic_heuristic"
+  "bench_cyclic_heuristic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cyclic_heuristic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

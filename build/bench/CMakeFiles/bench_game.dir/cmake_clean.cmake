@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_game.dir/bench_game.cpp.o"
+  "CMakeFiles/bench_game.dir/bench_game.cpp.o.d"
+  "bench_game"
+  "bench_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

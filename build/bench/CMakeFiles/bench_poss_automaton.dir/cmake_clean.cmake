@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_poss_automaton.dir/bench_poss_automaton.cpp.o"
+  "CMakeFiles/bench_poss_automaton.dir/bench_poss_automaton.cpp.o.d"
+  "bench_poss_automaton"
+  "bench_poss_automaton.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_poss_automaton.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

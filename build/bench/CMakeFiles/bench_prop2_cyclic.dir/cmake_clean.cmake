@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prop2_cyclic.dir/bench_prop2_cyclic.cpp.o"
+  "CMakeFiles/bench_prop2_cyclic.dir/bench_prop2_cyclic.cpp.o.d"
+  "bench_prop2_cyclic"
+  "bench_prop2_cyclic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prop2_cyclic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ring_2tree.dir/bench_ring_2tree.cpp.o"
+  "CMakeFiles/bench_ring_2tree.dir/bench_ring_2tree.cpp.o.d"
+  "bench_ring_2tree"
+  "bench_ring_2tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ring_2tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

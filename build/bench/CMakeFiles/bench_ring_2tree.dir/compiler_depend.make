@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_ring_2tree.
+# This may be replaced when dependencies are built.

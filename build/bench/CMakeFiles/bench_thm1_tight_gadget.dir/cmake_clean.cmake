@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm1_tight_gadget.dir/bench_thm1_tight_gadget.cpp.o"
+  "CMakeFiles/bench_thm1_tight_gadget.dir/bench_thm1_tight_gadget.cpp.o.d"
+  "bench_thm1_tight_gadget"
+  "bench_thm1_tight_gadget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm1_tight_gadget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

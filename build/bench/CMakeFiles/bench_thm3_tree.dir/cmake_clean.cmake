@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm3_tree.dir/bench_thm3_tree.cpp.o"
+  "CMakeFiles/bench_thm3_tree.dir/bench_thm3_tree.cpp.o.d"
+  "bench_thm3_tree"
+  "bench_thm3_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm3_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm4_unary.dir/bench_thm4_unary.cpp.o"
+  "CMakeFiles/bench_thm4_unary.dir/bench_thm4_unary.cpp.o.d"
+  "bench_thm4_unary"
+  "bench_thm4_unary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm4_unary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

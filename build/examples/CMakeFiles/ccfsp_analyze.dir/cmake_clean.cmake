@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccfsp_analyze.dir/ccfsp_analyze.cpp.o"
+  "CMakeFiles/ccfsp_analyze.dir/ccfsp_analyze.cpp.o.d"
+  "ccfsp_analyze"
+  "ccfsp_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccfsp_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_validation.dir/protocol_validation.cpp.o"
+  "CMakeFiles/protocol_validation.dir/protocol_validation.cpp.o.d"
+  "protocol_validation"
+  "protocol_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

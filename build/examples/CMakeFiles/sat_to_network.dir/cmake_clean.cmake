@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sat_to_network.dir/sat_to_network.cpp.o"
+  "CMakeFiles/sat_to_network.dir/sat_to_network.cpp.o.d"
+  "sat_to_network"
+  "sat_to_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sat_to_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

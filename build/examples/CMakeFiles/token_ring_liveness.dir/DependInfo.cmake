@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/token_ring_liveness.cpp" "examples/CMakeFiles/token_ring_liveness.dir/token_ring_liveness.cpp.o" "gcc" "examples/CMakeFiles/token_ring_liveness.dir/token_ring_liveness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/success/CMakeFiles/ccfsp_success.dir/DependInfo.cmake"
+  "/root/repo/build/src/reductions/CMakeFiles/ccfsp_reductions.dir/DependInfo.cmake"
+  "/root/repo/build/src/equiv/CMakeFiles/ccfsp_equiv.dir/DependInfo.cmake"
+  "/root/repo/build/src/semantics/CMakeFiles/ccfsp_semantics.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebra/CMakeFiles/ccfsp_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/ccfsp_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsp/CMakeFiles/ccfsp_fsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/ccfsp_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/bignum/CMakeFiles/ccfsp_bignum.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccfsp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

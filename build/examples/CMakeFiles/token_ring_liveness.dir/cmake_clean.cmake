@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/token_ring_liveness.dir/token_ring_liveness.cpp.o"
+  "CMakeFiles/token_ring_liveness.dir/token_ring_liveness.cpp.o.d"
+  "token_ring_liveness"
+  "token_ring_liveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/token_ring_liveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

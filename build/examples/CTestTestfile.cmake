@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_dining_philosophers "/root/repo/build/examples/dining_philosophers" "3")
+set_tests_properties(example_dining_philosophers PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_protocol_validation "/root/repo/build/examples/protocol_validation")
+set_tests_properties(example_protocol_validation PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sat_to_network "/root/repo/build/examples/sat_to_network")
+set_tests_properties(example_sat_to_network PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_token_ring_liveness "/root/repo/build/examples/token_ring_liveness" "4")
+set_tests_properties(example_token_ring_liveness PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_client_server "/root/repo/build/examples/client_server" "3")
+set_tests_properties(example_client_server PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_analyze_acyclic "/root/repo/build/examples/ccfsp_analyze" "--witness" "/root/repo/models/lossy_rpc.ccfsp")
+set_tests_properties(example_analyze_acyclic PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_analyze_cyclic "/root/repo/build/examples/ccfsp_analyze" "--cyclic" "--witness" "--distinguished" "Writer" "/root/repo/models/readers_writers.ccfsp")
+set_tests_properties(example_analyze_cyclic PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_analyze_simulate "/root/repo/build/examples/ccfsp_analyze" "--simulate" "20" "--cyclic" "/root/repo/models/bounded_buffer.ccfsp")
+set_tests_properties(example_analyze_simulate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")

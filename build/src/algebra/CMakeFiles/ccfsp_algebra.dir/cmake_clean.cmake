@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccfsp_algebra.dir/compose.cpp.o"
+  "CMakeFiles/ccfsp_algebra.dir/compose.cpp.o.d"
+  "libccfsp_algebra.a"
+  "libccfsp_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccfsp_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccfsp_bignum.dir/bigint.cpp.o"
+  "CMakeFiles/ccfsp_bignum.dir/bigint.cpp.o.d"
+  "CMakeFiles/ccfsp_bignum.dir/rational.cpp.o"
+  "CMakeFiles/ccfsp_bignum.dir/rational.cpp.o.d"
+  "libccfsp_bignum.a"
+  "libccfsp_bignum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccfsp_bignum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/equiv/bisim.cpp" "src/equiv/CMakeFiles/ccfsp_equiv.dir/bisim.cpp.o" "gcc" "src/equiv/CMakeFiles/ccfsp_equiv.dir/bisim.cpp.o.d"
+  "/root/repo/src/equiv/equivalences.cpp" "src/equiv/CMakeFiles/ccfsp_equiv.dir/equivalences.cpp.o" "gcc" "src/equiv/CMakeFiles/ccfsp_equiv.dir/equivalences.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/semantics/CMakeFiles/ccfsp_semantics.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsp/CMakeFiles/ccfsp_fsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccfsp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/bignum/CMakeFiles/ccfsp_bignum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccfsp_equiv.dir/bisim.cpp.o"
+  "CMakeFiles/ccfsp_equiv.dir/bisim.cpp.o.d"
+  "CMakeFiles/ccfsp_equiv.dir/equivalences.cpp.o"
+  "CMakeFiles/ccfsp_equiv.dir/equivalences.cpp.o.d"
+  "libccfsp_equiv.a"
+  "libccfsp_equiv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccfsp_equiv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fsp/builder.cpp" "src/fsp/CMakeFiles/ccfsp_fsp.dir/builder.cpp.o" "gcc" "src/fsp/CMakeFiles/ccfsp_fsp.dir/builder.cpp.o.d"
+  "/root/repo/src/fsp/cache.cpp" "src/fsp/CMakeFiles/ccfsp_fsp.dir/cache.cpp.o" "gcc" "src/fsp/CMakeFiles/ccfsp_fsp.dir/cache.cpp.o.d"
+  "/root/repo/src/fsp/fsp.cpp" "src/fsp/CMakeFiles/ccfsp_fsp.dir/fsp.cpp.o" "gcc" "src/fsp/CMakeFiles/ccfsp_fsp.dir/fsp.cpp.o.d"
+  "/root/repo/src/fsp/generate.cpp" "src/fsp/CMakeFiles/ccfsp_fsp.dir/generate.cpp.o" "gcc" "src/fsp/CMakeFiles/ccfsp_fsp.dir/generate.cpp.o.d"
+  "/root/repo/src/fsp/parse.cpp" "src/fsp/CMakeFiles/ccfsp_fsp.dir/parse.cpp.o" "gcc" "src/fsp/CMakeFiles/ccfsp_fsp.dir/parse.cpp.o.d"
+  "/root/repo/src/fsp/rename.cpp" "src/fsp/CMakeFiles/ccfsp_fsp.dir/rename.cpp.o" "gcc" "src/fsp/CMakeFiles/ccfsp_fsp.dir/rename.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ccfsp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccfsp_fsp.dir/builder.cpp.o"
+  "CMakeFiles/ccfsp_fsp.dir/builder.cpp.o.d"
+  "CMakeFiles/ccfsp_fsp.dir/cache.cpp.o"
+  "CMakeFiles/ccfsp_fsp.dir/cache.cpp.o.d"
+  "CMakeFiles/ccfsp_fsp.dir/fsp.cpp.o"
+  "CMakeFiles/ccfsp_fsp.dir/fsp.cpp.o.d"
+  "CMakeFiles/ccfsp_fsp.dir/generate.cpp.o"
+  "CMakeFiles/ccfsp_fsp.dir/generate.cpp.o.d"
+  "CMakeFiles/ccfsp_fsp.dir/parse.cpp.o"
+  "CMakeFiles/ccfsp_fsp.dir/parse.cpp.o.d"
+  "CMakeFiles/ccfsp_fsp.dir/rename.cpp.o"
+  "CMakeFiles/ccfsp_fsp.dir/rename.cpp.o.d"
+  "libccfsp_fsp.a"
+  "libccfsp_fsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccfsp_fsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

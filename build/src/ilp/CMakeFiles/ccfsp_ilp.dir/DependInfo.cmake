@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ilp/ilp.cpp" "src/ilp/CMakeFiles/ccfsp_ilp.dir/ilp.cpp.o" "gcc" "src/ilp/CMakeFiles/ccfsp_ilp.dir/ilp.cpp.o.d"
+  "/root/repo/src/ilp/simplex.cpp" "src/ilp/CMakeFiles/ccfsp_ilp.dir/simplex.cpp.o" "gcc" "src/ilp/CMakeFiles/ccfsp_ilp.dir/simplex.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bignum/CMakeFiles/ccfsp_bignum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccfsp_ilp.dir/ilp.cpp.o"
+  "CMakeFiles/ccfsp_ilp.dir/ilp.cpp.o.d"
+  "CMakeFiles/ccfsp_ilp.dir/simplex.cpp.o"
+  "CMakeFiles/ccfsp_ilp.dir/simplex.cpp.o.d"
+  "libccfsp_ilp.a"
+  "libccfsp_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccfsp_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

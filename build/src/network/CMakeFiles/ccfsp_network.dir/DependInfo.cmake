@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/network/families.cpp" "src/network/CMakeFiles/ccfsp_network.dir/families.cpp.o" "gcc" "src/network/CMakeFiles/ccfsp_network.dir/families.cpp.o.d"
+  "/root/repo/src/network/generate.cpp" "src/network/CMakeFiles/ccfsp_network.dir/generate.cpp.o" "gcc" "src/network/CMakeFiles/ccfsp_network.dir/generate.cpp.o.d"
+  "/root/repo/src/network/ktree.cpp" "src/network/CMakeFiles/ccfsp_network.dir/ktree.cpp.o" "gcc" "src/network/CMakeFiles/ccfsp_network.dir/ktree.cpp.o.d"
+  "/root/repo/src/network/network.cpp" "src/network/CMakeFiles/ccfsp_network.dir/network.cpp.o" "gcc" "src/network/CMakeFiles/ccfsp_network.dir/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fsp/CMakeFiles/ccfsp_fsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccfsp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccfsp_network.dir/families.cpp.o"
+  "CMakeFiles/ccfsp_network.dir/families.cpp.o.d"
+  "CMakeFiles/ccfsp_network.dir/generate.cpp.o"
+  "CMakeFiles/ccfsp_network.dir/generate.cpp.o.d"
+  "CMakeFiles/ccfsp_network.dir/ktree.cpp.o"
+  "CMakeFiles/ccfsp_network.dir/ktree.cpp.o.d"
+  "CMakeFiles/ccfsp_network.dir/network.cpp.o"
+  "CMakeFiles/ccfsp_network.dir/network.cpp.o.d"
+  "libccfsp_network.a"
+  "libccfsp_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccfsp_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reductions/cnf.cpp" "src/reductions/CMakeFiles/ccfsp_reductions.dir/cnf.cpp.o" "gcc" "src/reductions/CMakeFiles/ccfsp_reductions.dir/cnf.cpp.o.d"
+  "/root/repo/src/reductions/gadget_thm2.cpp" "src/reductions/CMakeFiles/ccfsp_reductions.dir/gadget_thm2.cpp.o" "gcc" "src/reductions/CMakeFiles/ccfsp_reductions.dir/gadget_thm2.cpp.o.d"
+  "/root/repo/src/reductions/gadgets_thm1.cpp" "src/reductions/CMakeFiles/ccfsp_reductions.dir/gadgets_thm1.cpp.o" "gcc" "src/reductions/CMakeFiles/ccfsp_reductions.dir/gadgets_thm1.cpp.o.d"
+  "/root/repo/src/reductions/qbf.cpp" "src/reductions/CMakeFiles/ccfsp_reductions.dir/qbf.cpp.o" "gcc" "src/reductions/CMakeFiles/ccfsp_reductions.dir/qbf.cpp.o.d"
+  "/root/repo/src/reductions/sat_solver.cpp" "src/reductions/CMakeFiles/ccfsp_reductions.dir/sat_solver.cpp.o" "gcc" "src/reductions/CMakeFiles/ccfsp_reductions.dir/sat_solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/network/CMakeFiles/ccfsp_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsp/CMakeFiles/ccfsp_fsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccfsp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccfsp_reductions.dir/cnf.cpp.o"
+  "CMakeFiles/ccfsp_reductions.dir/cnf.cpp.o.d"
+  "CMakeFiles/ccfsp_reductions.dir/gadget_thm2.cpp.o"
+  "CMakeFiles/ccfsp_reductions.dir/gadget_thm2.cpp.o.d"
+  "CMakeFiles/ccfsp_reductions.dir/gadgets_thm1.cpp.o"
+  "CMakeFiles/ccfsp_reductions.dir/gadgets_thm1.cpp.o.d"
+  "CMakeFiles/ccfsp_reductions.dir/qbf.cpp.o"
+  "CMakeFiles/ccfsp_reductions.dir/qbf.cpp.o.d"
+  "CMakeFiles/ccfsp_reductions.dir/sat_solver.cpp.o"
+  "CMakeFiles/ccfsp_reductions.dir/sat_solver.cpp.o.d"
+  "libccfsp_reductions.a"
+  "libccfsp_reductions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccfsp_reductions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

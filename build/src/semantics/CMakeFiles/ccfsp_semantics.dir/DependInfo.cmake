@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/semantics/failures.cpp" "src/semantics/CMakeFiles/ccfsp_semantics.dir/failures.cpp.o" "gcc" "src/semantics/CMakeFiles/ccfsp_semantics.dir/failures.cpp.o.d"
+  "/root/repo/src/semantics/lang.cpp" "src/semantics/CMakeFiles/ccfsp_semantics.dir/lang.cpp.o" "gcc" "src/semantics/CMakeFiles/ccfsp_semantics.dir/lang.cpp.o.d"
+  "/root/repo/src/semantics/normal_form.cpp" "src/semantics/CMakeFiles/ccfsp_semantics.dir/normal_form.cpp.o" "gcc" "src/semantics/CMakeFiles/ccfsp_semantics.dir/normal_form.cpp.o.d"
+  "/root/repo/src/semantics/poss_automaton.cpp" "src/semantics/CMakeFiles/ccfsp_semantics.dir/poss_automaton.cpp.o" "gcc" "src/semantics/CMakeFiles/ccfsp_semantics.dir/poss_automaton.cpp.o.d"
+  "/root/repo/src/semantics/possibilities.cpp" "src/semantics/CMakeFiles/ccfsp_semantics.dir/possibilities.cpp.o" "gcc" "src/semantics/CMakeFiles/ccfsp_semantics.dir/possibilities.cpp.o.d"
+  "/root/repo/src/semantics/unary.cpp" "src/semantics/CMakeFiles/ccfsp_semantics.dir/unary.cpp.o" "gcc" "src/semantics/CMakeFiles/ccfsp_semantics.dir/unary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fsp/CMakeFiles/ccfsp_fsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccfsp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/bignum/CMakeFiles/ccfsp_bignum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccfsp_semantics.dir/failures.cpp.o"
+  "CMakeFiles/ccfsp_semantics.dir/failures.cpp.o.d"
+  "CMakeFiles/ccfsp_semantics.dir/lang.cpp.o"
+  "CMakeFiles/ccfsp_semantics.dir/lang.cpp.o.d"
+  "CMakeFiles/ccfsp_semantics.dir/normal_form.cpp.o"
+  "CMakeFiles/ccfsp_semantics.dir/normal_form.cpp.o.d"
+  "CMakeFiles/ccfsp_semantics.dir/poss_automaton.cpp.o"
+  "CMakeFiles/ccfsp_semantics.dir/poss_automaton.cpp.o.d"
+  "CMakeFiles/ccfsp_semantics.dir/possibilities.cpp.o"
+  "CMakeFiles/ccfsp_semantics.dir/possibilities.cpp.o.d"
+  "CMakeFiles/ccfsp_semantics.dir/unary.cpp.o"
+  "CMakeFiles/ccfsp_semantics.dir/unary.cpp.o.d"
+  "libccfsp_semantics.a"
+  "libccfsp_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccfsp_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/success/baseline.cpp" "src/success/CMakeFiles/ccfsp_success.dir/baseline.cpp.o" "gcc" "src/success/CMakeFiles/ccfsp_success.dir/baseline.cpp.o.d"
+  "/root/repo/src/success/cyclic.cpp" "src/success/CMakeFiles/ccfsp_success.dir/cyclic.cpp.o" "gcc" "src/success/CMakeFiles/ccfsp_success.dir/cyclic.cpp.o.d"
+  "/root/repo/src/success/game.cpp" "src/success/CMakeFiles/ccfsp_success.dir/game.cpp.o" "gcc" "src/success/CMakeFiles/ccfsp_success.dir/game.cpp.o.d"
+  "/root/repo/src/success/global.cpp" "src/success/CMakeFiles/ccfsp_success.dir/global.cpp.o" "gcc" "src/success/CMakeFiles/ccfsp_success.dir/global.cpp.o.d"
+  "/root/repo/src/success/group.cpp" "src/success/CMakeFiles/ccfsp_success.dir/group.cpp.o" "gcc" "src/success/CMakeFiles/ccfsp_success.dir/group.cpp.o.d"
+  "/root/repo/src/success/linear.cpp" "src/success/CMakeFiles/ccfsp_success.dir/linear.cpp.o" "gcc" "src/success/CMakeFiles/ccfsp_success.dir/linear.cpp.o.d"
+  "/root/repo/src/success/poss_decide.cpp" "src/success/CMakeFiles/ccfsp_success.dir/poss_decide.cpp.o" "gcc" "src/success/CMakeFiles/ccfsp_success.dir/poss_decide.cpp.o.d"
+  "/root/repo/src/success/simulate.cpp" "src/success/CMakeFiles/ccfsp_success.dir/simulate.cpp.o" "gcc" "src/success/CMakeFiles/ccfsp_success.dir/simulate.cpp.o.d"
+  "/root/repo/src/success/star.cpp" "src/success/CMakeFiles/ccfsp_success.dir/star.cpp.o" "gcc" "src/success/CMakeFiles/ccfsp_success.dir/star.cpp.o.d"
+  "/root/repo/src/success/tree_pipeline.cpp" "src/success/CMakeFiles/ccfsp_success.dir/tree_pipeline.cpp.o" "gcc" "src/success/CMakeFiles/ccfsp_success.dir/tree_pipeline.cpp.o.d"
+  "/root/repo/src/success/unary_sc.cpp" "src/success/CMakeFiles/ccfsp_success.dir/unary_sc.cpp.o" "gcc" "src/success/CMakeFiles/ccfsp_success.dir/unary_sc.cpp.o.d"
+  "/root/repo/src/success/witness.cpp" "src/success/CMakeFiles/ccfsp_success.dir/witness.cpp.o" "gcc" "src/success/CMakeFiles/ccfsp_success.dir/witness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/network/CMakeFiles/ccfsp_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebra/CMakeFiles/ccfsp_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/semantics/CMakeFiles/ccfsp_semantics.dir/DependInfo.cmake"
+  "/root/repo/build/src/equiv/CMakeFiles/ccfsp_equiv.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/ccfsp_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsp/CMakeFiles/ccfsp_fsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccfsp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/bignum/CMakeFiles/ccfsp_bignum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

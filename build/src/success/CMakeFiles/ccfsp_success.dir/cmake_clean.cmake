@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccfsp_success.dir/baseline.cpp.o"
+  "CMakeFiles/ccfsp_success.dir/baseline.cpp.o.d"
+  "CMakeFiles/ccfsp_success.dir/cyclic.cpp.o"
+  "CMakeFiles/ccfsp_success.dir/cyclic.cpp.o.d"
+  "CMakeFiles/ccfsp_success.dir/game.cpp.o"
+  "CMakeFiles/ccfsp_success.dir/game.cpp.o.d"
+  "CMakeFiles/ccfsp_success.dir/global.cpp.o"
+  "CMakeFiles/ccfsp_success.dir/global.cpp.o.d"
+  "CMakeFiles/ccfsp_success.dir/group.cpp.o"
+  "CMakeFiles/ccfsp_success.dir/group.cpp.o.d"
+  "CMakeFiles/ccfsp_success.dir/linear.cpp.o"
+  "CMakeFiles/ccfsp_success.dir/linear.cpp.o.d"
+  "CMakeFiles/ccfsp_success.dir/poss_decide.cpp.o"
+  "CMakeFiles/ccfsp_success.dir/poss_decide.cpp.o.d"
+  "CMakeFiles/ccfsp_success.dir/simulate.cpp.o"
+  "CMakeFiles/ccfsp_success.dir/simulate.cpp.o.d"
+  "CMakeFiles/ccfsp_success.dir/star.cpp.o"
+  "CMakeFiles/ccfsp_success.dir/star.cpp.o.d"
+  "CMakeFiles/ccfsp_success.dir/tree_pipeline.cpp.o"
+  "CMakeFiles/ccfsp_success.dir/tree_pipeline.cpp.o.d"
+  "CMakeFiles/ccfsp_success.dir/unary_sc.cpp.o"
+  "CMakeFiles/ccfsp_success.dir/unary_sc.cpp.o.d"
+  "CMakeFiles/ccfsp_success.dir/witness.cpp.o"
+  "CMakeFiles/ccfsp_success.dir/witness.cpp.o.d"
+  "libccfsp_success.a"
+  "libccfsp_success.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccfsp_success.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

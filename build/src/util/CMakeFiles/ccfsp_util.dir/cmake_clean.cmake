@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccfsp_util.dir/bitset.cpp.o"
+  "CMakeFiles/ccfsp_util.dir/bitset.cpp.o.d"
+  "CMakeFiles/ccfsp_util.dir/graph.cpp.o"
+  "CMakeFiles/ccfsp_util.dir/graph.cpp.o.d"
+  "libccfsp_util.a"
+  "libccfsp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccfsp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsp_test.dir/fsp/builder_test.cpp.o"
+  "CMakeFiles/fsp_test.dir/fsp/builder_test.cpp.o.d"
+  "CMakeFiles/fsp_test.dir/fsp/cache_test.cpp.o"
+  "CMakeFiles/fsp_test.dir/fsp/cache_test.cpp.o.d"
+  "CMakeFiles/fsp_test.dir/fsp/fsp_test.cpp.o"
+  "CMakeFiles/fsp_test.dir/fsp/fsp_test.cpp.o.d"
+  "CMakeFiles/fsp_test.dir/fsp/generate_test.cpp.o"
+  "CMakeFiles/fsp_test.dir/fsp/generate_test.cpp.o.d"
+  "CMakeFiles/fsp_test.dir/fsp/parse_test.cpp.o"
+  "CMakeFiles/fsp_test.dir/fsp/parse_test.cpp.o.d"
+  "CMakeFiles/fsp_test.dir/fsp/rename_test.cpp.o"
+  "CMakeFiles/fsp_test.dir/fsp/rename_test.cpp.o.d"
+  "fsp_test"
+  "fsp_test.pdb"
+  "fsp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

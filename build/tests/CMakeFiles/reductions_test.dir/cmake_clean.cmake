@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reductions_test.dir/reductions/cnf_test.cpp.o"
+  "CMakeFiles/reductions_test.dir/reductions/cnf_test.cpp.o.d"
+  "CMakeFiles/reductions_test.dir/reductions/gadgets_test.cpp.o"
+  "CMakeFiles/reductions_test.dir/reductions/gadgets_test.cpp.o.d"
+  "CMakeFiles/reductions_test.dir/reductions/qbf_test.cpp.o"
+  "CMakeFiles/reductions_test.dir/reductions/qbf_test.cpp.o.d"
+  "CMakeFiles/reductions_test.dir/reductions/sat_solver_test.cpp.o"
+  "CMakeFiles/reductions_test.dir/reductions/sat_solver_test.cpp.o.d"
+  "reductions_test"
+  "reductions_test.pdb"
+  "reductions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reductions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semantics_test.dir/semantics/congruence_test.cpp.o"
+  "CMakeFiles/semantics_test.dir/semantics/congruence_test.cpp.o.d"
+  "CMakeFiles/semantics_test.dir/semantics/failures_test.cpp.o"
+  "CMakeFiles/semantics_test.dir/semantics/failures_test.cpp.o.d"
+  "CMakeFiles/semantics_test.dir/semantics/lang_test.cpp.o"
+  "CMakeFiles/semantics_test.dir/semantics/lang_test.cpp.o.d"
+  "CMakeFiles/semantics_test.dir/semantics/minimize_test.cpp.o"
+  "CMakeFiles/semantics_test.dir/semantics/minimize_test.cpp.o.d"
+  "CMakeFiles/semantics_test.dir/semantics/normal_form_test.cpp.o"
+  "CMakeFiles/semantics_test.dir/semantics/normal_form_test.cpp.o.d"
+  "CMakeFiles/semantics_test.dir/semantics/possibilities_test.cpp.o"
+  "CMakeFiles/semantics_test.dir/semantics/possibilities_test.cpp.o.d"
+  "CMakeFiles/semantics_test.dir/semantics/unary_test.cpp.o"
+  "CMakeFiles/semantics_test.dir/semantics/unary_test.cpp.o.d"
+  "semantics_test"
+  "semantics_test.pdb"
+  "semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

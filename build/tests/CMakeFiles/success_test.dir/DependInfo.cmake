@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/success/baseline_test.cpp" "tests/CMakeFiles/success_test.dir/success/baseline_test.cpp.o" "gcc" "tests/CMakeFiles/success_test.dir/success/baseline_test.cpp.o.d"
+  "/root/repo/tests/success/cyclic_test.cpp" "tests/CMakeFiles/success_test.dir/success/cyclic_test.cpp.o" "gcc" "tests/CMakeFiles/success_test.dir/success/cyclic_test.cpp.o.d"
+  "/root/repo/tests/success/game_test.cpp" "tests/CMakeFiles/success_test.dir/success/game_test.cpp.o" "gcc" "tests/CMakeFiles/success_test.dir/success/game_test.cpp.o.d"
+  "/root/repo/tests/success/global_test.cpp" "tests/CMakeFiles/success_test.dir/success/global_test.cpp.o" "gcc" "tests/CMakeFiles/success_test.dir/success/global_test.cpp.o.d"
+  "/root/repo/tests/success/group_test.cpp" "tests/CMakeFiles/success_test.dir/success/group_test.cpp.o" "gcc" "tests/CMakeFiles/success_test.dir/success/group_test.cpp.o.d"
+  "/root/repo/tests/success/linear_test.cpp" "tests/CMakeFiles/success_test.dir/success/linear_test.cpp.o" "gcc" "tests/CMakeFiles/success_test.dir/success/linear_test.cpp.o.d"
+  "/root/repo/tests/success/poss_decide_test.cpp" "tests/CMakeFiles/success_test.dir/success/poss_decide_test.cpp.o" "gcc" "tests/CMakeFiles/success_test.dir/success/poss_decide_test.cpp.o.d"
+  "/root/repo/tests/success/simulate_test.cpp" "tests/CMakeFiles/success_test.dir/success/simulate_test.cpp.o" "gcc" "tests/CMakeFiles/success_test.dir/success/simulate_test.cpp.o.d"
+  "/root/repo/tests/success/star_test.cpp" "tests/CMakeFiles/success_test.dir/success/star_test.cpp.o" "gcc" "tests/CMakeFiles/success_test.dir/success/star_test.cpp.o.d"
+  "/root/repo/tests/success/strategy_test.cpp" "tests/CMakeFiles/success_test.dir/success/strategy_test.cpp.o" "gcc" "tests/CMakeFiles/success_test.dir/success/strategy_test.cpp.o.d"
+  "/root/repo/tests/success/theorem3_test.cpp" "tests/CMakeFiles/success_test.dir/success/theorem3_test.cpp.o" "gcc" "tests/CMakeFiles/success_test.dir/success/theorem3_test.cpp.o.d"
+  "/root/repo/tests/success/theorem4_test.cpp" "tests/CMakeFiles/success_test.dir/success/theorem4_test.cpp.o" "gcc" "tests/CMakeFiles/success_test.dir/success/theorem4_test.cpp.o.d"
+  "/root/repo/tests/success/witness_test.cpp" "tests/CMakeFiles/success_test.dir/success/witness_test.cpp.o" "gcc" "tests/CMakeFiles/success_test.dir/success/witness_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/success/CMakeFiles/ccfsp_success.dir/DependInfo.cmake"
+  "/root/repo/build/src/reductions/CMakeFiles/ccfsp_reductions.dir/DependInfo.cmake"
+  "/root/repo/build/src/equiv/CMakeFiles/ccfsp_equiv.dir/DependInfo.cmake"
+  "/root/repo/build/src/semantics/CMakeFiles/ccfsp_semantics.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebra/CMakeFiles/ccfsp_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/ccfsp_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsp/CMakeFiles/ccfsp_fsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/ccfsp_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/bignum/CMakeFiles/ccfsp_bignum.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccfsp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/success_test.dir/success/baseline_test.cpp.o"
+  "CMakeFiles/success_test.dir/success/baseline_test.cpp.o.d"
+  "CMakeFiles/success_test.dir/success/cyclic_test.cpp.o"
+  "CMakeFiles/success_test.dir/success/cyclic_test.cpp.o.d"
+  "CMakeFiles/success_test.dir/success/game_test.cpp.o"
+  "CMakeFiles/success_test.dir/success/game_test.cpp.o.d"
+  "CMakeFiles/success_test.dir/success/global_test.cpp.o"
+  "CMakeFiles/success_test.dir/success/global_test.cpp.o.d"
+  "CMakeFiles/success_test.dir/success/group_test.cpp.o"
+  "CMakeFiles/success_test.dir/success/group_test.cpp.o.d"
+  "CMakeFiles/success_test.dir/success/linear_test.cpp.o"
+  "CMakeFiles/success_test.dir/success/linear_test.cpp.o.d"
+  "CMakeFiles/success_test.dir/success/poss_decide_test.cpp.o"
+  "CMakeFiles/success_test.dir/success/poss_decide_test.cpp.o.d"
+  "CMakeFiles/success_test.dir/success/simulate_test.cpp.o"
+  "CMakeFiles/success_test.dir/success/simulate_test.cpp.o.d"
+  "CMakeFiles/success_test.dir/success/star_test.cpp.o"
+  "CMakeFiles/success_test.dir/success/star_test.cpp.o.d"
+  "CMakeFiles/success_test.dir/success/strategy_test.cpp.o"
+  "CMakeFiles/success_test.dir/success/strategy_test.cpp.o.d"
+  "CMakeFiles/success_test.dir/success/theorem3_test.cpp.o"
+  "CMakeFiles/success_test.dir/success/theorem3_test.cpp.o.d"
+  "CMakeFiles/success_test.dir/success/theorem4_test.cpp.o"
+  "CMakeFiles/success_test.dir/success/theorem4_test.cpp.o.d"
+  "CMakeFiles/success_test.dir/success/witness_test.cpp.o"
+  "CMakeFiles/success_test.dir/success/witness_test.cpp.o.d"
+  "success_test"
+  "success_test.pdb"
+  "success_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/success_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/bignum_test[1]_include.cmake")
+include("/root/repo/build/tests/ilp_test[1]_include.cmake")
+include("/root/repo/build/tests/fsp_test[1]_include.cmake")
+include("/root/repo/build/tests/network_test[1]_include.cmake")
+include("/root/repo/build/tests/algebra_test[1]_include.cmake")
+include("/root/repo/build/tests/semantics_test[1]_include.cmake")
+include("/root/repo/build/tests/equiv_test[1]_include.cmake")
+include("/root/repo/build/tests/success_test[1]_include.cmake")
+include("/root/repo/build/tests/reductions_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
