@@ -1,0 +1,111 @@
+// The governed front door: what does resource governance cost, and what
+// does it buy?
+//
+//   (a) ladder overhead on structured inputs — analyze() vs calling the
+//       winning decider directly (Prop 1 on wave chains, Thm 3 on random
+//       tree networks). The ladder adds structural classification and
+//       per-rung budget forks; that should be noise.
+//   (b) bounded wall-time on a blow-up — the explicit rung on wave
+//       networks whose global machine grows combinatorially, run under a
+//       deadline. The measured iteration time must track the deadline, not
+//       the (astronomical) full exploration time.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+#include "network/generate.hpp"
+#include "success/analyze.hpp"
+#include "success/linear.hpp"
+#include "success/tree_pipeline.hpp"
+
+namespace {
+
+using namespace ccfsp;
+
+void BM_LadderOnLinear(benchmark::State& state) {
+  Network net = wave_chain_network(static_cast<std::size_t>(state.range(0)), 4);
+  for (auto _ : state) {
+    AnalysisReport r = analyze(net, 0);
+    benchmark::DoNotOptimize(r.status);
+  }
+}
+BENCHMARK(BM_LadderOnLinear)->RangeMultiplier(2)->Range(4, 64)->Unit(benchmark::kMicrosecond);
+
+void BM_DirectProp1(benchmark::State& state) {
+  Network net = wave_chain_network(static_cast<std::size_t>(state.range(0)), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linear_network_success(net, 0));
+  }
+}
+BENCHMARK(BM_DirectProp1)->RangeMultiplier(2)->Range(4, 64)->Unit(benchmark::kMicrosecond);
+
+Network tree_net(std::size_t m) {
+  Rng rng(3300 + m);
+  NetworkGenOptions opt;
+  opt.num_processes = m;
+  opt.states_per_process = 5;
+  opt.symbols_per_edge = 2;
+  opt.tau_probability = 0.0;
+  return random_tree_network(rng, opt);
+}
+
+void BM_LadderOnTree(benchmark::State& state) {
+  Network net = tree_net(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    AnalysisReport r = analyze(net, 0);
+    benchmark::DoNotOptimize(r.status);
+  }
+}
+BENCHMARK(BM_LadderOnTree)->DenseRange(2, 8, 2)->Unit(benchmark::kMillisecond);
+
+void BM_DirectThm3(benchmark::State& state) {
+  Network net = tree_net(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    Theorem3Result r = theorem3_decide(net, 0);
+    benchmark::DoNotOptimize(r.success_collab);
+  }
+}
+BENCHMARK(BM_DirectThm3)->DenseRange(2, 8, 2)->Unit(benchmark::kMillisecond);
+
+/// The payoff: the explicit rung on an exploding wave network, governed by
+/// a deadline. range(0) is the deadline in milliseconds; wave:32:16's
+/// global machine exceeds 2^22 states, so ungoverned exploration would run
+/// for minutes. Iteration time tracking the deadline (within the polling
+/// stride) is the whole point of the Budget layer.
+void BM_ExplicitRungUnderDeadline(benchmark::State& state) {
+  Rng rng(0x5eed);
+  Network net = wave_tree_network(rng, 32, 16);
+  std::size_t exhausted = 0;
+  for (auto _ : state) {
+    AnalyzeOptions opt;
+    opt.budget = Budget::with_deadline(std::chrono::milliseconds(state.range(0)));
+    opt.rungs = {Rung::kExplicit};
+    AnalysisReport r = analyze(net, 0, opt);
+    exhausted += r.status == OutcomeStatus::kBudgetExhausted;
+  }
+  state.counters["exhausted"] =
+      static_cast<double>(exhausted) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_ExplicitRungUnderDeadline)->Arg(10)->Arg(50)->Arg(200)->Unit(benchmark::kMillisecond);
+
+/// Same blow-up under a state cap: cost should scale with the cap, not the
+/// input, and the outcome is deterministic (see docs/robustness.md).
+void BM_ExplicitRungUnderStateCap(benchmark::State& state) {
+  Rng rng(0x5eed);
+  Network net = wave_tree_network(rng, 16, 9);
+  for (auto _ : state) {
+    AnalyzeOptions opt;
+    opt.budget = Budget::with_states(static_cast<std::size_t>(state.range(0)));
+    opt.rungs = {Rung::kExplicit};
+    AnalysisReport r = analyze(net, 0, opt);
+    benchmark::DoNotOptimize(r.status);
+  }
+}
+BENCHMARK(BM_ExplicitRungUnderStateCap)
+    ->RangeMultiplier(4)
+    ->Range(1 << 10, 1 << 16)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

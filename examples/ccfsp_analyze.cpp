@@ -1,7 +1,7 @@
 // ccfsp_analyze — the command-line face of the library: read a network
-// specification (DSL file or stdin), pick a distinguished process, and
-// report everything the paper's theory can say about it, including concrete
-// witness schedules.
+// specification (DSL file or stdin) or generate one, pick a distinguished
+// process, and report everything the paper's theory can say about it,
+// including concrete witness schedules.
 //
 //   ccfsp_analyze [options] [file.ccfsp]
 //     --distinguished NAME   process to analyze (default: the first)
@@ -10,41 +10,172 @@
 //                            cyclic mode)
 //     --simulate N           run one random maximal schedule of N steps
 //     --dot                  dump the communication graph and exit
+//     --gen SPEC             generate the input instead of reading it:
+//                            wave:M:R (wave tree, M processes, R rounds),
+//                            chain:M:R (wave chain), phil:N (dining
+//                            philosophers), mul2:M (multiply-by-2 chain)
+//   Resource-governed mode (any of these switches selects it):
+//     --ladder               run the graceful-degradation decider ladder
+//     --timeout-ms N         wall-clock budget for the whole analysis
+//     --max-states N         state budget per ladder rung
+//     --rungs a,b,...        restrict/reorder the ladder (linear, unary,
+//                            tree, heuristic, explicit)
+//
+//   Exit codes: 0 decided, 1 internal error, 2 usage, 3 budget exhausted,
+//   4 invalid input (parse/validation errors).
 //
 // Example specification (see models/*.ccfsp for a library):
 //   process P { start p1; p1 -a-> p2; }
 //   process Q { start q1; q1 -a-> q2; q1 -tau-> q3; }
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 
 #include "fsp/parse.hpp"
+#include "network/families.hpp"
+#include "network/generate.hpp"
 #include "network/network.hpp"
+#include "success/analyze.hpp"
 #include "success/cyclic.hpp"
 #include "success/simulate.hpp"
 #include "success/tree_pipeline.hpp"
 #include "success/witness.hpp"
+#include "util/rng.hpp"
 
 using namespace ccfsp;
 
 namespace {
 
+enum ExitCode {
+  kExitDecided = 0,
+  kExitInternal = 1,
+  kExitUsage = 2,
+  kExitBudget = 3,
+  kExitInvalid = 4,
+};
+
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--distinguished NAME] [--cyclic] [--witness] [--dot] [file]\n",
+               "usage: %s [--distinguished NAME] [--cyclic] [--witness] [--dot]\n"
+               "          [--simulate N] [--gen SPEC] [--ladder] [--timeout-ms N]\n"
+               "          [--max-states N] [--rungs a,b,...] [file]\n",
                argv0);
-  return 2;
+  return kExitUsage;
+}
+
+/// Strict non-negative integer parse; atol would silently turn garbage
+/// into 0, i.e. "no limit" — the opposite of what a mistyped budget means.
+bool parse_count(const char* s, long& out) {
+  if (!s || !*s) return false;
+  char* end = nullptr;
+  errno = 0;
+  long v = std::strtol(s, &end, 10);
+  if (errno != 0 || *end != '\0' || v < 0) return false;
+  out = v;
+  return true;
+}
+
+int bad_number(const char* s) {
+  std::fprintf(stderr, "expected a non-negative integer, got '%s'\n", s);
+  return kExitUsage;
+}
+
+/// Parse "wave:M:R" style generator specs.
+std::optional<Network> generate(const std::string& spec) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (char c : spec) {
+    if (c == ':') {
+      parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  parts.push_back(cur);
+  auto num = [&](std::size_t i) -> long {
+    return i < parts.size() ? std::atol(parts[i].c_str()) : 0;
+  };
+  if (parts[0] == "wave" && num(1) > 0 && num(2) > 0) {
+    Rng rng(0x5eed);  // fixed seed: the same spec is the same network
+    return wave_tree_network(rng, static_cast<std::size_t>(num(1)),
+                             static_cast<std::size_t>(num(2)));
+  }
+  if (parts[0] == "chain" && num(1) > 0 && num(2) > 0) {
+    return wave_chain_network(static_cast<std::size_t>(num(1)),
+                              static_cast<std::size_t>(num(2)));
+  }
+  if (parts[0] == "phil" && num(1) > 0) {
+    return dining_philosophers(static_cast<std::size_t>(num(1)));
+  }
+  if (parts[0] == "mul2" && num(1) > 0) {
+    return multiply_by_2_chain(static_cast<std::size_t>(num(1)));
+  }
+  return std::nullopt;
+}
+
+int run_ladder(const Network& net, std::size_t p, const AnalyzeOptions& opt) {
+  AnalysisReport report = analyze(net, p, opt);
+
+  std::printf("ladder:\n");
+  for (const RungOutcome& r : report.rungs) {
+    std::printf("  %-9s %-16s", to_string(r.rung), to_string(r.status));
+    if (r.states_charged) std::printf(" [%zu states]", r.states_charged);
+    if (!r.detail.empty()) std::printf(" %s", r.detail.c_str());
+    std::printf("\n");
+  }
+
+  const Verdict& v = report.verdict;
+  auto show = [](const char* name, const std::optional<bool>& b, const char* na) {
+    if (b.has_value()) {
+      std::printf("  %s : %s\n", name, *b ? "yes" : "no");
+    } else {
+      std::printf("  %s : %s\n", name, na);
+    }
+  };
+  std::printf("%s predicates:\n",
+              report.cyclic_semantics ? "Section 4 (cyclic)" : "Section 3 (acyclic)");
+  show("S_u", v.unavoidable_success, "undetermined");
+  show("S_c", v.success_collab, "undetermined");
+  if (v.adversity_applicable) {
+    show("S_a", v.success_adversity, "undetermined");
+  } else {
+    std::printf("  S_a : n/a (P has tau moves or no context)\n");
+  }
+
+  switch (report.status) {
+    case OutcomeStatus::kDecided:
+      std::printf("outcome: decided (rung: %s)\n",
+                  report.decided_by ? to_string(*report.decided_by) : "?");
+      return kExitDecided;
+    case OutcomeStatus::kBudgetExhausted:
+      std::printf("outcome: budget-exhausted\n");
+      return kExitBudget;
+    case OutcomeStatus::kUnsupported:
+      std::printf("outcome: unsupported\n");
+      return kExitInternal;
+    case OutcomeStatus::kInvalidInput:
+      std::printf("outcome: invalid-input\n");
+      return kExitInvalid;
+  }
+  return kExitInternal;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string distinguished_name;
-  bool cyclic = false, witness = false, dot = false;
+  bool cyclic = false, witness = false, dot = false, ladder = false;
   long simulate_steps = 0;
+  long timeout_ms = 0;
+  long max_states = 0;
+  std::string rungs_csv, gen_spec;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--distinguished") && i + 1 < argc) {
@@ -54,9 +185,22 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--witness")) {
       witness = true;
     } else if (!std::strcmp(argv[i], "--simulate") && i + 1 < argc) {
-      simulate_steps = std::atol(argv[++i]);
+      if (!parse_count(argv[++i], simulate_steps)) return bad_number(argv[i]);
     } else if (!std::strcmp(argv[i], "--dot")) {
       dot = true;
+    } else if (!std::strcmp(argv[i], "--ladder")) {
+      ladder = true;
+    } else if (!std::strcmp(argv[i], "--timeout-ms") && i + 1 < argc) {
+      if (!parse_count(argv[++i], timeout_ms)) return bad_number(argv[i]);
+      ladder = true;
+    } else if (!std::strcmp(argv[i], "--max-states") && i + 1 < argc) {
+      if (!parse_count(argv[++i], max_states)) return bad_number(argv[i]);
+      ladder = true;
+    } else if (!std::strcmp(argv[i], "--rungs") && i + 1 < argc) {
+      rungs_csv = argv[++i];
+      ladder = true;
+    } else if (!std::strcmp(argv[i], "--gen") && i + 1 < argc) {
+      gen_spec = argv[++i];
     } else if (argv[i][0] == '-') {
       return usage(argv[0]);
     } else {
@@ -64,25 +208,34 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::string text;
-  if (path.empty()) {
-    std::ostringstream ss;
-    ss << std::cin.rdbuf();
-    text = ss.str();
-  } else {
-    std::ifstream in(path);
-    if (!in) {
-      std::fprintf(stderr, "cannot open %s\n", path.c_str());
-      return 2;
-    }
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    text = ss.str();
-  }
-
   try {
-    auto alphabet = std::make_shared<Alphabet>();
-    Network net(alphabet, parse_processes(text, alphabet));
+    std::optional<Network> generated;
+    if (!gen_spec.empty()) {
+      generated = generate(gen_spec);
+      if (!generated) {
+        std::fprintf(stderr, "bad --gen spec '%s'\n", gen_spec.c_str());
+        return kExitUsage;
+      }
+    } else {
+      std::string text;
+      if (path.empty()) {
+        std::ostringstream ss;
+        ss << std::cin.rdbuf();
+        text = ss.str();
+      } else {
+        std::ifstream in(path);
+        if (!in) {
+          std::fprintf(stderr, "cannot open %s\n", path.c_str());
+          return kExitUsage;
+        }
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        text = ss.str();
+      }
+      auto alphabet = std::make_shared<Alphabet>();
+      generated.emplace(alphabet, parse_processes(text, alphabet));
+    }
+    Network& net = *generated;
 
     std::size_t p = 0;
     if (!distinguished_name.empty()) {
@@ -95,7 +248,7 @@ int main(int argc, char** argv) {
       }
       if (!found) {
         std::fprintf(stderr, "no process named '%s'\n", distinguished_name.c_str());
-        return 2;
+        return kExitUsage;
       }
     }
 
@@ -116,6 +269,38 @@ int main(int argc, char** argv) {
           simulate_random(net, 0x5eed, static_cast<std::size_t>(simulate_steps));
       std::printf("random schedule (%zu steps):\n%s\n", run.steps.size(),
                   format_schedule(net, run).c_str());
+    }
+
+    if (ladder) {
+      AnalyzeOptions opt;
+      if (timeout_ms > 0) {
+        opt.budget.limit_duration(std::chrono::milliseconds(timeout_ms));
+      }
+      if (max_states > 0) opt.budget.limit_states(static_cast<std::size_t>(max_states));
+      if (!rungs_csv.empty()) {
+        std::string cur;
+        auto flush = [&]() -> bool {
+          if (cur.empty()) return true;
+          std::optional<Rung> r = rung_from_string(cur);
+          if (!r) {
+            std::fprintf(stderr, "unknown rung '%s'\n", cur.c_str());
+            return false;
+          }
+          opt.rungs.push_back(*r);
+          cur.clear();
+          return true;
+        };
+        for (char c : rungs_csv) {
+          if (c == ',') {
+            if (!flush()) return kExitUsage;
+          } else {
+            cur += c;
+          }
+        }
+        if (!flush()) return kExitUsage;
+        if (opt.rungs.empty()) return usage(argv[0]);
+      }
+      return run_ladder(net, p, opt);
     }
 
     if (cyclic) {
@@ -156,9 +341,18 @@ int main(int argc, char** argv) {
         }
       }
     }
+  } catch (const ParseError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return kExitInvalid;
+  } catch (const BudgetExceeded& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return kExitBudget;
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return kExitInvalid;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return kExitInternal;
   }
   return 0;
 }

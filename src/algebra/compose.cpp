@@ -92,7 +92,7 @@ Fsp full_product(const Fsp& p1, const Fsp& p2) {
   return out;
 }
 
-Fsp reachable_product(const Fsp& p1, const Fsp& p2) {
+Fsp reachable_product(const Fsp& p1, const Fsp& p2, const Budget* budget) {
   check_composable(p1, p2);
   ActionSet sigma1 = p1.sigma_set();
   ActionSet sigma2 = p2.sigma_set();
@@ -106,6 +106,8 @@ Fsp reachable_product(const Fsp& p1, const Fsp& p2) {
   auto intern = [&](StateId s1, StateId s2) {
     auto [it, fresh] = ids.try_emplace(key(s1, s2), 0);
     if (fresh) {
+      // Label string + atom vector + map node dominate the footprint.
+      if (budget) budget->charge(1, 160, "reachable_product");
       it->second = out.add_state(pair_label(p1, s1, p2, s2));
       out.set_atoms(it->second, merged_atoms(p1, s1, p2, s2));
       work.emplace_back(s1, s2);
@@ -127,10 +129,10 @@ Fsp reachable_product(const Fsp& p1, const Fsp& p2) {
   return out;
 }
 
-Fsp compose(const Fsp& p1, const Fsp& p2) {
+Fsp compose(const Fsp& p1, const Fsp& p2, const Budget* budget) {
   check_composable(p1, p2);
   ActionSet shared = p1.sigma_set() & p2.sigma_set();
-  Fsp prod = reachable_product(p1, p2);
+  Fsp prod = reachable_product(p1, p2, budget);
 
   // Rebuild with shared symbols hidden (there is no in-place mutation of
   // transition labels by design; an Fsp's transitions are append-only).
@@ -184,15 +186,16 @@ Fsp add_divergence_leaves(const Fsp& p) {
   return out;
 }
 
-Fsp cyclic_compose(const Fsp& p1, const Fsp& p2) {
-  return add_divergence_leaves(compose(p1, p2));
+Fsp cyclic_compose(const Fsp& p1, const Fsp& p2, const Budget* budget) {
+  return add_divergence_leaves(compose(p1, p2, budget));
 }
 
-Fsp compose_all(const std::vector<const Fsp*>& processes, bool cyclic) {
+Fsp compose_all(const std::vector<const Fsp*>& processes, bool cyclic, const Budget* budget) {
   if (processes.empty()) throw std::invalid_argument("compose_all: no processes");
   Fsp acc = *processes[0];
   for (std::size_t i = 1; i < processes.size(); ++i) {
-    acc = cyclic ? cyclic_compose(acc, *processes[i]) : compose(acc, *processes[i]);
+    acc = cyclic ? cyclic_compose(acc, *processes[i], budget)
+                 : compose(acc, *processes[i], budget);
   }
   return acc;
 }

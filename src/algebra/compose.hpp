@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "fsp/fsp.hpp"
+#include "util/budget.hpp"
 
 namespace ccfsp {
 
@@ -16,24 +17,28 @@ namespace ccfsp {
 Fsp full_product(const Fsp& p1, const Fsp& p2);
 
 /// P1 ⊓ P2: the product restricted to states reachable from (start1, start2),
-/// built directly by BFS. Shared symbols remain visible.
-Fsp reachable_product(const Fsp& p1, const Fsp& p2);
+/// built directly by BFS. Shared symbols remain visible. When `budget` is
+/// given, every interned product state is charged against it — the product
+/// can be |K1|*|K2| and n-ary folds of it are a primary blow-up path.
+Fsp reachable_product(const Fsp& p1, const Fsp& p2, const Budget* budget = nullptr);
 
 /// P1 || P2: reachable product with every action of Sigma1 ∩ Sigma2 replaced
 /// by tau. The result's Sigma is the symmetric difference Sigma1 ⊕ Sigma2
 /// (declared even where unused, so later compositions see the right sharing).
-Fsp compose(const Fsp& p1, const Fsp& p2);
+Fsp compose(const Fsp& p1, const Fsp& p2, const Budget* budget = nullptr);
 
 /// Section 4's ||' : like compose, but any state that can reach a cycle of
 /// tau-moves through tau-moves gets an extra tau-edge to a fresh leaf,
 /// modeling the context's option to diverge silently forever. Restores the
 /// property that Poss determines Lang (Lemma 2').
-Fsp cyclic_compose(const Fsp& p1, const Fsp& p2);
+Fsp cyclic_compose(const Fsp& p1, const Fsp& p2, const Budget* budget = nullptr);
 
 /// Left fold of compose / cyclic_compose over >= 1 processes (associative
 /// and commutative by Lemma 1, so the order does not affect the result up to
-/// state naming).
-Fsp compose_all(const std::vector<const Fsp*>& processes, bool cyclic = false);
+/// state naming). A budget bounds every intermediate composite, not just
+/// the final one.
+Fsp compose_all(const std::vector<const Fsp*>& processes, bool cyclic = false,
+                const Budget* budget = nullptr);
 
 /// Add the tau-divergence leaf treatment of ||' to an already-composed
 /// process (used when a composite was produced by plain compose).

@@ -4,7 +4,7 @@
 
 namespace ccfsp {
 
-FspAnalysisCache::FspAnalysisCache(const Fsp& f) : fsp_(&f) {
+FspAnalysisCache::FspAnalysisCache(const Fsp& f, const Budget* budget) : fsp_(&f) {
   const std::size_t n = f.num_states();
   closures_.reserve(n);
   ready_.reserve(n);
@@ -12,8 +12,12 @@ FspAnalysisCache::FspAnalysisCache(const Fsp& f) : fsp_(&f) {
   for (StateId s = 0; s < n; ++s) {
     closures_.push_back(f.tau_closure(s));
     ready_.push_back(f.ready_actions(s));
+    if (budget) {
+      budget->charge(0, closures_.back().size() * sizeof(StateId) + 32, "fsp_cache");
+    }
   }
   for (StateId s = 0; s < n; ++s) {
+    if (budget) budget->tick("fsp_cache");
     std::map<ActionId, std::set<StateId>> acc;
     for (StateId q : closures_[s]) {
       for (const auto& t : f.out(q)) {
@@ -21,9 +25,12 @@ FspAnalysisCache::FspAnalysisCache(const Fsp& f) : fsp_(&f) {
         for (StateId r : closures_[t.target]) acc[t.action].insert(r);
       }
     }
+    std::size_t bytes = 0;
     for (auto& [a, states] : acc) {
+      bytes += states.size() * sizeof(StateId) + 48;
       arrows_[s].emplace(a, std::vector<StateId>(states.begin(), states.end()));
     }
+    if (budget) budget->charge(0, bytes, "fsp_cache");
   }
 }
 

@@ -9,12 +9,16 @@
 #include <vector>
 
 #include "fsp/fsp.hpp"
+#include "util/budget.hpp"
 
 namespace ccfsp {
 
 class FspAnalysisCache {
  public:
-  explicit FspAnalysisCache(const Fsp& f);
+  /// Building the tables is O(states * closure^2 * degree) — on a large
+  /// composed context this is minutes of work, so the build itself polls
+  /// `budget` (when given) and charges its table footprint.
+  explicit FspAnalysisCache(const Fsp& f, const Budget* budget = nullptr);
 
   const Fsp& fsp() const { return *fsp_; }
   const std::vector<StateId>& tau_closure(StateId s) const { return closures_[s]; }

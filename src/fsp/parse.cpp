@@ -7,12 +7,23 @@
 
 namespace ccfsp {
 
+ParseError::ParseError(std::size_t line, std::size_t column, const std::string& message,
+                       std::string token)
+    : std::runtime_error("parse error at line " + std::to_string(line) + ", column " +
+                         std::to_string(column) + ": " + message +
+                         (token.empty() ? std::string() : " (got '" + token + "')")),
+      line_(line),
+      column_(column),
+      message_(message),
+      token_(std::move(token)) {}
+
 namespace {
 
 struct Token {
   enum Kind { kIdent, kLBrace, kRBrace, kSemi, kArrow, kEnd } kind;
   std::string text;
   std::size_t line;
+  std::size_t column;
 };
 
 class Lexer {
@@ -21,49 +32,53 @@ class Lexer {
 
   Token next() {
     skip_ws();
-    if (pos_ >= src_.size()) return {Token::kEnd, "", line_};
+    std::size_t col = column();
+    if (pos_ >= src_.size()) return {Token::kEnd, "", line_, col};
     char c = src_[pos_];
     if (c == '{') {
       ++pos_;
-      return {Token::kLBrace, "{", line_};
+      return {Token::kLBrace, "{", line_, col};
     }
     if (c == '}') {
       ++pos_;
-      return {Token::kRBrace, "}", line_};
+      return {Token::kRBrace, "}", line_, col};
     }
     if (c == ';') {
       ++pos_;
-      return {Token::kSemi, ";", line_};
+      return {Token::kSemi, ";", line_, col};
     }
     if (c == '-') {
       // -<action>->  : lex the whole arrow as one token carrying the action.
       std::size_t start = pos_ + 1;
       std::size_t p = start;
-      while (p < src_.size() && src_[p] != '-') ++p;
-      if (p + 1 >= src_.size() || src_[p + 1] != '>') {
+      while (p < src_.size() && src_[p] != '-' && src_[p] != '\n') ++p;
+      if (p + 1 >= src_.size() || src_[p] != '-' || src_[p + 1] != '>') {
         fail("malformed arrow, expected -action->");
       }
       std::string action(src_.substr(start, p - start));
       if (action.empty()) fail("arrow with empty action");
       pos_ = p + 2;
-      return {Token::kArrow, action, line_};
+      return {Token::kArrow, action, line_, col};
     }
     if (is_ident_char(c)) {
       std::size_t start = pos_;
       while (pos_ < src_.size() && is_ident_char(src_[pos_])) ++pos_;
-      return {Token::kIdent, std::string(src_.substr(start, pos_ - start)), line_};
+      return {Token::kIdent, std::string(src_.substr(start, pos_ - start)), line_, col};
     }
     fail(std::string("unexpected character '") + c + "'");
   }
 
   [[noreturn]] void fail(const std::string& msg) const {
-    throw std::runtime_error("parse error at line " + std::to_string(line_) + ": " + msg);
+    std::string token = pos_ < src_.size() ? std::string(1, src_[pos_]) : std::string();
+    throw ParseError(line_, column(), msg, std::move(token));
   }
 
  private:
   static bool is_ident_char(char c) {
     return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.' || c == '\'';
   }
+
+  std::size_t column() const { return pos_ - line_start_ + 1; }
 
   void skip_ws() {
     while (pos_ < src_.size()) {
@@ -73,6 +88,7 @@ class Lexer {
       } else if (c == '\n') {
         ++line_;
         ++pos_;
+        line_start_ = pos_;
       } else if (std::isspace(static_cast<unsigned char>(c))) {
         ++pos_;
       } else {
@@ -84,6 +100,7 @@ class Lexer {
   std::string_view src_;
   std::size_t pos_ = 0;
   std::size_t line_ = 1;
+  std::size_t line_start_ = 0;
 };
 
 class Parser {
@@ -106,13 +123,13 @@ class Parser {
       if (tok_.text == "start") {
         advance();
         if (tok_.kind != Token::kIdent) fail("expected state after 'start'");
-        b.start(tok_.text);
+        guarded([&] { b.start(tok_.text); });
         advance();
         expect(Token::kSemi, ";");
       } else if (tok_.text == "alphabet") {
         advance();
         while (tok_.kind == Token::kIdent) {
-          b.action(tok_.text);
+          guarded([&] { b.action(tok_.text); });
           advance();
         }
         expect(Token::kSemi, ";");
@@ -125,12 +142,24 @@ class Parser {
         if (tok_.kind != Token::kIdent) fail("expected target state");
         std::string to = tok_.text;
         advance();
-        b.trans(from, action, to);
+        guarded([&] { b.trans(from, action, to); });
         expect(Token::kSemi, ";");
       }
     }
+    std::size_t close_line = tok_.line;
+    std::size_t close_column = tok_.column;
     advance();  // consume '}'
-    return b.build();
+    // Builder rejections at finalization (e.g. unreachable states) become
+    // ParseErrors anchored at the closing brace.
+    try {
+      return b.build();
+    } catch (const std::exception& e) {
+      throw ParseError(close_line, close_column, e.what());
+    }
+  }
+
+  [[noreturn]] void fail(const std::string& msg) {
+    throw ParseError(tok_.line, tok_.column, msg, tok_.text);
   }
 
  private:
@@ -146,14 +175,22 @@ class Parser {
     advance();
   }
 
-  [[noreturn]] void fail(const std::string& msg) {
-    throw std::runtime_error("parse error at line " + std::to_string(tok_.line) + ": " + msg +
-                             " (got '" + tok_.text + "')");
+  /// Run a builder call; semantic rejections (invalid_argument, logic_error)
+  /// become ParseErrors at the current token.
+  template <typename F>
+  void guarded(F&& f) {
+    try {
+      f();
+    } catch (const ParseError&) {
+      throw;
+    } catch (const std::exception& e) {
+      fail(e.what());
+    }
   }
 
   Lexer lexer_;
   AlphabetPtr alphabet_;
-  Token tok_{Token::kEnd, "", 0};
+  Token tok_{Token::kEnd, "", 0, 0};
 };
 
 }  // namespace
@@ -161,7 +198,7 @@ class Parser {
 Fsp parse_fsp(std::string_view text, const AlphabetPtr& alphabet) {
   Parser p(text, alphabet);
   Fsp f = p.parse_process();
-  if (!p.at_end()) throw std::runtime_error("parse_fsp: trailing input after process block");
+  if (!p.at_end()) p.fail("trailing input after process block");
   return f;
 }
 

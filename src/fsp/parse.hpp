@@ -12,6 +12,8 @@
 // Network, which validates the pairwise-sharing condition of Definition 2).
 #pragma once
 
+#include <stdexcept>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -19,8 +21,35 @@
 
 namespace ccfsp {
 
-/// Parse exactly one process block. Throws std::runtime_error with a
-/// line-numbered message on syntax errors.
+/// The one error type the parser is allowed to raise: every failure —
+/// lexical, syntactic, or a semantic rejection surfaced by FspBuilder
+/// (unreachable state, reserved action name, ...) — is reported as a
+/// ParseError carrying the source position and the offending token, so a
+/// tool driving the parser on untrusted input can always point at the
+/// problem. Derives std::runtime_error; what() keeps the classic
+/// "parse error at line N" phrasing.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::size_t line, std::size_t column, const std::string& message,
+             std::string token = "");
+
+  /// 1-based source position of the offending token (the end of input
+  /// counts as a position too, so both are always >= 1).
+  std::size_t line() const { return line_; }
+  std::size_t column() const { return column_; }
+  /// The offending token's text; empty at end of input.
+  const std::string& token() const { return token_; }
+  /// The bare message, without the position prefix of what().
+  const std::string& message() const { return message_; }
+
+ private:
+  std::size_t line_;
+  std::size_t column_;
+  std::string message_;
+  std::string token_;
+};
+
+/// Parse exactly one process block. Throws ParseError on any failure.
 Fsp parse_fsp(std::string_view text, const AlphabetPtr& alphabet);
 
 /// Parse all process blocks in the text, sharing `alphabet`.

@@ -68,9 +68,9 @@ Fsp fsp_from_possibilities(const std::vector<Possibility>& poss, const AlphabetP
   return out;
 }
 
-Fsp poss_normal_form(const Fsp& p, std::size_t limit) {
+Fsp poss_normal_form(const Fsp& p, std::size_t limit, const Budget* budget) {
   std::vector<Possibility> poss =
-      p.is_tree() ? possibilities_tree(p) : possibilities_acyclic(p, limit);
+      p.is_tree() ? possibilities_tree(p) : possibilities_acyclic(p, limit, budget);
   Fsp nf = fsp_from_possibilities(poss, p.alphabet(), p.name() + "_nf");
   // Sigma must be preserved exactly: a declared-but-unused symbol still
   // blocks the partner's handshakes under ||, whereas dropping it from

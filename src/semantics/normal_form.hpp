@@ -28,7 +28,9 @@ Fsp fsp_from_possibilities(const std::vector<Possibility>& poss, const AlphabetP
 
 /// Possibility normal form of an acyclic FSP: extract Poss and rebuild.
 /// Uses the linear-time tree extraction when p is a tree, the subset-based
-/// extraction otherwise. `limit` bounds the general extraction.
-Fsp poss_normal_form(const Fsp& p, std::size_t limit = 1u << 20);
+/// extraction otherwise. `limit` bounds the general extraction; an optional
+/// caller `budget` is charged alongside it (and can trip first).
+Fsp poss_normal_form(const Fsp& p, std::size_t limit = 1u << 20,
+                     const Budget* budget = nullptr);
 
 }  // namespace ccfsp

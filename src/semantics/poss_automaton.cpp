@@ -45,13 +45,17 @@ std::set<std::vector<ActionId>> annotate(const Fsp& p, const std::vector<StateId
 
 }  // namespace
 
-AnnotatedDfa annotated_determinize(const Fsp& p, SemanticAnnotation kind) {
+AnnotatedDfa annotated_determinize(const Fsp& p, SemanticAnnotation kind,
+                                   const Budget* budget) {
   AnnotatedDfa dfa;
   std::map<std::vector<StateId>, std::uint32_t> ids;
 
   auto intern = [&](std::vector<StateId> subset) {
     auto [it, fresh] = ids.try_emplace(subset, static_cast<std::uint32_t>(dfa.trans.size()));
     if (fresh) {
+      if (budget) {
+        budget->charge(1, subset.size() * sizeof(StateId) + 160, "annotated_determinize");
+      }
       dfa.trans.emplace_back();
       dfa.annotation.push_back(annotate(p, subset, kind));
       dfa.subsets.push_back(std::move(subset));

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "fsp/fsp.hpp"
+#include "util/budget.hpp"
 
 namespace ccfsp {
 
@@ -34,7 +35,12 @@ struct AnnotatedDfa {
   std::size_t num_states() const { return trans.size(); }
 };
 
-AnnotatedDfa annotated_determinize(const Fsp& p, SemanticAnnotation kind);
+/// The subset construction is worst-case exponential in |p|; when `budget`
+/// is given, every interned DFA state is charged (count + subset bytes) so
+/// an adversarial input stops with BudgetExceeded instead of exhausting
+/// memory.
+AnnotatedDfa annotated_determinize(const Fsp& p, SemanticAnnotation kind,
+                                   const Budget* budget = nullptr);
 
 /// Equivalence of two annotated DFAs by synchronous traversal from the
 /// start states: annotations must match everywhere and the transition

@@ -35,7 +35,8 @@ std::vector<Possibility> possibilities_tree(const Fsp& p) {
   return poss;
 }
 
-std::vector<Possibility> possibilities_acyclic(const Fsp& p, std::size_t limit) {
+std::vector<Possibility> possibilities_acyclic(const Fsp& p, std::size_t limit,
+                                               const Budget* budget) {
   if (!p.is_acyclic()) throw std::logic_error("possibilities_acyclic: process has a cycle");
 
   std::set<Possibility> poss;
@@ -63,8 +64,11 @@ std::vector<Possibility> possibilities_acyclic(const Fsp& p, std::size_t limit) 
     std::vector<Item> next_frontier;
     for (const auto& item : frontier) {
       if (++work > limit || poss.size() > limit) {
-        throw std::runtime_error("possibilities_acyclic: limit exceeded");
+        throw BudgetExceeded(BudgetDimension::kStates, "possibilities_acyclic", work,
+                             work * sizeof(Item));
       }
+      if (budget) budget->charge(1, item.states.size() * sizeof(StateId) + 64,
+                                 "possibilities_acyclic");
       harvest(item);
       std::set<ActionId> actions;
       for (StateId s : item.states) {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "fsp/fsp.hpp"
+#include "util/budget.hpp"
 
 namespace ccfsp {
 
@@ -27,10 +28,12 @@ std::vector<Possibility> possibilities_tree(const Fsp& p);
 
 /// Explicit Poss(P) for any acyclic FSP by exhaustive path traversal.
 /// Worst-case exponential (that blow-up is Theorem 1's succinctness source);
-/// throws if more than `limit` distinct possibilities accumulate. Intended
-/// for oracles in tests and for the polynomially-bounded composites arising
-/// inside the Theorem 3 pipeline.
-std::vector<Possibility> possibilities_acyclic(const Fsp& p, std::size_t limit = 1u << 20);
+/// throws BudgetExceeded if more than `limit` traversal items or distinct
+/// possibilities accumulate, or if the optional caller `budget` runs out.
+/// Intended for oracles in tests and for the polynomially-bounded composites
+/// arising inside the Theorem 3 pipeline.
+std::vector<Possibility> possibilities_acyclic(const Fsp& p, std::size_t limit = 1u << 20,
+                                               const Budget* budget = nullptr);
 
 /// Canonicalize: sort + dedupe.
 void canonicalize(std::vector<Possibility>& poss);

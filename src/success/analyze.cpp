@@ -1,0 +1,192 @@
+#include "success/analyze.hpp"
+
+#include "success/baseline.hpp"
+#include "success/context.hpp"
+#include "success/cyclic.hpp"
+#include "success/game.hpp"
+#include "success/global.hpp"
+#include "success/linear.hpp"
+#include "success/tree_pipeline.hpp"
+#include "success/unary_sc.hpp"
+
+namespace ccfsp {
+
+const char* to_string(Rung r) {
+  switch (r) {
+    case Rung::kLinear: return "linear";
+    case Rung::kUnary: return "unary";
+    case Rung::kTree: return "tree";
+    case Rung::kHeuristic: return "heuristic";
+    case Rung::kExplicit: return "explicit";
+  }
+  return "?";
+}
+
+std::optional<Rung> rung_from_string(const std::string& name) {
+  if (name == "linear") return Rung::kLinear;
+  if (name == "unary") return Rung::kUnary;
+  if (name == "tree") return Rung::kTree;
+  if (name == "heuristic") return Rung::kHeuristic;
+  if (name == "explicit") return Rung::kExplicit;
+  return std::nullopt;
+}
+
+namespace {
+
+void merge(std::optional<bool>& slot, std::optional<bool> value) {
+  if (!slot.has_value() && value.has_value()) slot = value;
+}
+
+std::string render(const Verdict& v) {
+  auto bit = [](const std::optional<bool>& b) {
+    return !b.has_value() ? std::string("?") : std::string(*b ? "yes" : "no");
+  };
+  std::string s = "S_u=" + bit(v.unavoidable_success) + " S_c=" + bit(v.success_collab);
+  if (v.adversity_applicable) s += " S_a=" + bit(v.success_adversity);
+  return s;
+}
+
+/// Run one rung against its forked budget, merging whatever it establishes
+/// into `verdict` as it goes (so a mid-rung wall keeps partial answers).
+RungOutcome attempt(Rung rung, const Network& net, std::size_t p_index, bool cyclic,
+                    const Budget& rung_budget, Verdict& verdict) {
+  RungOutcome out;
+  out.rung = rung;
+  const Fsp& p = net.process(p_index);
+  try {
+    switch (rung) {
+      case Rung::kLinear: {
+        if (!net.all_linear()) {
+          out.detail = "network is not all-linear (Proposition 1 inapplicable)";
+          return out;
+        }
+        bool v = linear_network_success(net, p_index);
+        // Prop 1: all three notions coincide on linear networks.
+        merge(verdict.unavoidable_success, v);
+        merge(verdict.success_collab, v);
+        if (verdict.adversity_applicable) merge(verdict.success_adversity, v);
+        break;
+      }
+      case Rung::kUnary: {
+        if (!cyclic) {
+          out.detail = "Theorem 4 targets cyclic unary-tree networks; input is acyclic";
+          return out;
+        }
+        // Throws logic_error when the network is not a unary tree.
+        merge(verdict.success_collab, unary_success_collab(net, p_index).success_collab);
+        break;
+      }
+      case Rung::kTree: {
+        // theorem3_decide itself rejects cyclic inputs with a logic_error.
+        Theorem3Options t3;
+        t3.budget = &rung_budget;
+        Theorem3Result r = theorem3_decide(net, p_index, t3);
+        merge(verdict.unavoidable_success, r.unavoidable_success);
+        merge(verdict.success_collab, r.success_collab);
+        merge(verdict.success_adversity, r.success_adversity);
+        break;
+      }
+      case Rung::kHeuristic: {
+        if (!cyclic) {
+          out.detail = "the ||' heuristic implements the Section 4 readings; "
+                       "input is acyclic";
+          return out;
+        }
+        CyclicDecision d = cyclic_decide_tree(net, p_index, {}, rung_budget);
+        merge(verdict.unavoidable_success, !d.potential_blocking);
+        merge(verdict.success_collab, d.success_collab);
+        merge(verdict.success_adversity, d.success_adversity);
+        break;
+      }
+      case Rung::kExplicit: {
+        GlobalMachine g = build_global(net, rung_budget);
+        if (cyclic) {
+          merge(verdict.unavoidable_success, !potential_blocking_cyclic_on(net, g, p_index));
+          merge(verdict.success_collab, success_collab_cyclic_on(net, g, p_index));
+        } else {
+          merge(verdict.unavoidable_success, !potential_blocking_on(net, g, p_index));
+          merge(verdict.success_collab, success_collab_on(net, g, p_index));
+        }
+        if (verdict.adversity_applicable && !verdict.success_adversity.has_value()) {
+          Fsp q = compose_context(net, p_index, cyclic, &rung_budget);
+          verdict.success_adversity = success_adversity(p, q, rung_budget, cyclic);
+        }
+        break;
+      }
+    }
+    out.status = OutcomeStatus::kDecided;
+    out.detail = render(verdict);
+  } catch (const BudgetExceeded& e) {
+    out.status = OutcomeStatus::kBudgetExhausted;
+    out.detail = e.what();
+  } catch (const std::logic_error& e) {
+    out.status = OutcomeStatus::kUnsupported;
+    out.detail = e.what();
+  }
+  out.states_charged = rung_budget.states_used();
+  return out;
+}
+
+}  // namespace
+
+std::string AnalysisReport::summary() const {
+  std::string s = to_string(status);
+  s += ": ";
+  s += render(verdict);
+  if (decided_by) s += std::string(" (decided by ") + ccfsp::to_string(*decided_by) + ")";
+  s += cyclic_semantics ? " [Section 4 readings]" : " [Section 3 readings]";
+  return s;
+}
+
+AnalysisReport analyze(const Network& net, std::size_t p_index, const AnalyzeOptions& opt) {
+  AnalysisReport report;
+  if (p_index >= net.size()) {
+    report.status = OutcomeStatus::kInvalidInput;
+    return report;
+  }
+  report.cyclic_semantics = !net.all_acyclic();
+  const Fsp& p = net.process(p_index);
+  report.verdict.adversity_applicable = !p.has_tau_moves() && net.size() >= 2;
+
+  std::vector<Rung> ladder = opt.rungs;
+  if (ladder.empty()) {
+    ladder = report.cyclic_semantics
+                 ? std::vector<Rung>{Rung::kUnary, Rung::kHeuristic, Rung::kExplicit}
+                 : std::vector<Rung>{Rung::kLinear, Rung::kTree, Rung::kExplicit};
+  }
+
+  bool exhausted = false;
+  for (Rung rung : ladder) {
+    if (report.verdict.complete()) break;
+    // A spent deadline / a cancelled token dooms every further rung; record
+    // one skip marker and stop rather than burning a fork per rung.
+    if (opt.budget.probe() != BudgetDimension::kNone) {
+      RungOutcome skip;
+      skip.rung = rung;
+      skip.status = OutcomeStatus::kBudgetExhausted;
+      skip.detail = std::string("budget already exhausted (") +
+                    to_string(opt.budget.probe()) + ") before this rung started";
+      report.rungs.push_back(std::move(skip));
+      exhausted = true;
+      break;
+    }
+    Budget rung_budget = opt.budget.fork();
+    RungOutcome outcome = attempt(rung, net, p_index, report.cyclic_semantics, rung_budget,
+                                  report.verdict);
+    exhausted |= outcome.status == OutcomeStatus::kBudgetExhausted;
+    bool now_complete = report.verdict.complete();
+    report.rungs.push_back(std::move(outcome));
+    if (now_complete && !report.decided_by) report.decided_by = rung;
+  }
+
+  if (report.verdict.complete()) {
+    report.status = OutcomeStatus::kDecided;
+  } else if (exhausted) {
+    report.status = OutcomeStatus::kBudgetExhausted;
+  } else {
+    report.status = OutcomeStatus::kUnsupported;
+  }
+  return report;
+}
+
+}  // namespace ccfsp

@@ -1,0 +1,100 @@
+// The graceful-degradation decider ladder: one front door for "analyze this
+// network" that classifies the input structurally and tries the deciders
+// cheapest-first, under a caller-supplied resource budget —
+//
+//   Section 3 (all processes acyclic):
+//     linear    Prop 1    occurrence matching, linear time
+//     tree      Thm 3     k-tree pipeline with possibility normal forms
+//     explicit  Sec 3.1   the global machine G, exponential
+//   Section 4 (some process cyclic):
+//     unary     Thm 4     unary-tree ILP propagation (S_c only)
+//     heuristic Sec 4     ||' tree composition with bisimulation shrinking
+//     explicit  Prop 2    the global machine, cyclic readings
+//
+// Every rung attempt is recorded: what ran, what it answered, why it was
+// inapplicable, or how far it got before the budget tripped. The verdict is
+// merged incrementally, so a run that exhausts its budget still reports
+// whatever the cheaper rungs (or the completed part of the current rung)
+// established. See docs/robustness.md.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "network/network.hpp"
+#include "util/budget.hpp"
+#include "util/outcome.hpp"
+
+namespace ccfsp {
+
+enum class Rung { kLinear, kUnary, kTree, kHeuristic, kExplicit };
+
+const char* to_string(Rung r);
+
+/// Parse a rung name ("linear", "unary", "tree", "heuristic", "explicit");
+/// nullopt for anything else.
+std::optional<Rung> rung_from_string(const std::string& name);
+
+/// The record of one rung attempt.
+struct RungOutcome {
+  Rung rung;
+  OutcomeStatus status = OutcomeStatus::kUnsupported;
+  /// Why it was inapplicable, or the budget message, or what it decided.
+  std::string detail;
+  /// States charged against this rung's (forked) budget before it returned
+  /// or tripped — the "how far did it get" payload.
+  std::size_t states_charged = 0;
+};
+
+/// The (possibly partial) answer. Fields are set as rungs decide them and
+/// never overwritten, so the cheapest rung that answered wins.
+struct Verdict {
+  std::optional<bool> unavoidable_success;  // S_u
+  std::optional<bool> success_collab;       // S_c
+  std::optional<bool> success_adversity;    // S_a
+  /// S_a is only defined under the Figure 4 assumption (P tau-free) and
+  /// with a nonempty context; when false, an absent success_adversity does
+  /// not count against completeness.
+  bool adversity_applicable = false;
+
+  bool complete() const {
+    return unavoidable_success.has_value() && success_collab.has_value() &&
+           (!adversity_applicable || success_adversity.has_value());
+  }
+};
+
+struct AnalysisReport {
+  /// kDecided iff the verdict is complete; kBudgetExhausted if some rung hit
+  /// the wall first; kUnsupported if every rung was inapplicable;
+  /// kInvalidInput for malformed requests (bad index, empty rung list).
+  OutcomeStatus status = OutcomeStatus::kUnsupported;
+  Verdict verdict;
+  /// One entry per rung attempted, in order.
+  std::vector<RungOutcome> rungs;
+  /// The rung whose answer completed the verdict, when decided.
+  std::optional<Rung> decided_by;
+  /// True when the Section 4 readings of the predicates were used.
+  bool cyclic_semantics = false;
+
+  std::string summary() const;
+};
+
+struct AnalyzeOptions {
+  /// Governs the whole run. Each rung gets a fork(): fresh state/byte
+  /// counters, the same absolute deadline and cancel token.
+  Budget budget;
+  /// Which rungs to try, in the given order. Empty = the default ladder for
+  /// the input's classification (see file comment). Explicitly requested
+  /// rungs run even when the default classification would skip them — an
+  /// inapplicable rung reports kUnsupported and the ladder moves on.
+  std::vector<Rung> rungs;
+};
+
+/// Analyze net.process(p_index) under the options. Never throws on budget
+/// exhaustion or structural mismatch — those become the report's status;
+/// only programmer errors (std::bad_alloc, ...) propagate.
+AnalysisReport analyze(const Network& net, std::size_t p_index,
+                       const AnalyzeOptions& opt = {});
+
+}  // namespace ccfsp

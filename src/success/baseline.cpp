@@ -13,25 +13,23 @@ bool p_at_leaf(const Network& net, const GlobalMachine& g, std::uint32_t state,
 
 }  // namespace
 
-bool success_collab_global(const Network& net, std::size_t p_index, std::size_t max_states) {
-  GlobalMachine g = build_global(net, max_states);
+bool success_collab_on(const Network& net, const GlobalMachine& g, std::size_t p_index) {
   for (std::uint32_t s = 0; s < g.num_states(); ++s) {
     if (g.is_stuck(s) && p_at_leaf(net, g, s, p_index)) return true;
   }
   return false;
 }
 
-bool potential_blocking_global(const Network& net, std::size_t p_index, std::size_t max_states) {
-  GlobalMachine g = build_global(net, max_states);
+bool potential_blocking_on(const Network& net, const GlobalMachine& g, std::size_t p_index) {
   for (std::uint32_t s = 0; s < g.num_states(); ++s) {
     if (g.is_stuck(s) && !p_at_leaf(net, g, s, p_index)) return true;
   }
   return false;
 }
 
-bool success_collab_cyclic_global(const Network& net, std::size_t p_index,
-                                  std::size_t max_states) {
-  GlobalMachine g = build_global(net, max_states);
+bool success_collab_cyclic_on(const Network& net, const GlobalMachine& g,
+                              std::size_t p_index) {
+  (void)net;
   Digraph d(g.num_states());
   for (std::uint32_t s = 0; s < g.num_states(); ++s) {
     for (const auto& e : g.edges[s]) d.add_edge(s, e.target);
@@ -47,9 +45,9 @@ bool success_collab_cyclic_global(const Network& net, std::size_t p_index,
   return false;
 }
 
-bool potential_blocking_cyclic_global(const Network& net, std::size_t p_index,
-                                      std::size_t max_states) {
-  GlobalMachine g = build_global(net, max_states);
+bool potential_blocking_cyclic_on(const Network& net, const GlobalMachine& g,
+                                  std::size_t p_index) {
+  (void)net;
   // Case 1: a reachable stuck state (with no leaves anywhere in a Section 4
   // network, any stall strands P; if P does sit at a leaf there, it has
   // still "stopped moving", which is failure in the cyclic reading).
@@ -73,6 +71,47 @@ bool potential_blocking_cyclic_global(const Network& net, std::size_t p_index,
     }
   }
   return false;
+}
+
+bool success_collab_global(const Network& net, std::size_t p_index, const Budget& budget) {
+  GlobalMachine g = build_global(net, budget);
+  return success_collab_on(net, g, p_index);
+}
+
+bool potential_blocking_global(const Network& net, std::size_t p_index, const Budget& budget) {
+  GlobalMachine g = build_global(net, budget);
+  return potential_blocking_on(net, g, p_index);
+}
+
+bool success_collab_cyclic_global(const Network& net, std::size_t p_index,
+                                  const Budget& budget) {
+  GlobalMachine g = build_global(net, budget);
+  return success_collab_cyclic_on(net, g, p_index);
+}
+
+bool potential_blocking_cyclic_global(const Network& net, std::size_t p_index,
+                                      const Budget& budget) {
+  GlobalMachine g = build_global(net, budget);
+  return potential_blocking_cyclic_on(net, g, p_index);
+}
+
+bool success_collab_global(const Network& net, std::size_t p_index, std::size_t max_states) {
+  return success_collab_global(net, p_index, Budget::with_states(max_states));
+}
+
+bool potential_blocking_global(const Network& net, std::size_t p_index,
+                               std::size_t max_states) {
+  return potential_blocking_global(net, p_index, Budget::with_states(max_states));
+}
+
+bool success_collab_cyclic_global(const Network& net, std::size_t p_index,
+                                  std::size_t max_states) {
+  return success_collab_cyclic_global(net, p_index, Budget::with_states(max_states));
+}
+
+bool potential_blocking_cyclic_global(const Network& net, std::size_t p_index,
+                                      std::size_t max_states) {
+  return potential_blocking_cyclic_global(net, p_index, Budget::with_states(max_states));
 }
 
 }  // namespace ccfsp

@@ -1,7 +1,9 @@
 // Baseline deciders for the three success predicates on the explicit global
 // machine (Section 3.1 definitions applied literally, plus their Section 4
 // cyclic generalizations). Exponential in the network size — these are the
-// oracles and the benchmark foil for the structured algorithms.
+// oracles and the benchmark foil for the structured algorithms. Every
+// entry point is budget-governed: either it finishes on the complete G or
+// it throws BudgetExceeded (never a verdict from a truncated machine).
 #pragma once
 
 #include "success/global.hpp"
@@ -9,22 +11,36 @@
 namespace ccfsp {
 
 /// S_c(P, Q): some reachable global leaf has P at one of its leaves.
+bool success_collab_global(const Network& net, std::size_t p_index, const Budget& budget);
 bool success_collab_global(const Network& net, std::size_t p_index,
-                           std::size_t max_states = 1u << 22);
+                           std::size_t max_states = kDefaultMaxStates);
 
 /// not S_u(P, Q): some reachable global leaf has P stranded off-leaf.
+bool potential_blocking_global(const Network& net, std::size_t p_index, const Budget& budget);
 bool potential_blocking_global(const Network& net, std::size_t p_index,
-                               std::size_t max_states = 1u << 22);
+                               std::size_t max_states = kDefaultMaxStates);
 
 /// Section 4 S_c for cyclic networks: P can move infinitely often with the
 /// context's collaboration — a reachable global cycle containing a P-move.
 bool success_collab_cyclic_global(const Network& net, std::size_t p_index,
-                                  std::size_t max_states = 1u << 22);
+                                  const Budget& budget);
+bool success_collab_cyclic_global(const Network& net, std::size_t p_index,
+                                  std::size_t max_states = kDefaultMaxStates);
 
 /// Section 4 not S_u for cyclic networks: some evolution strands P forever —
 /// a reachable globally stuck state, or a reachable cycle of non-P moves
 /// (the context diverging or churning among itself while P waits).
 bool potential_blocking_cyclic_global(const Network& net, std::size_t p_index,
-                                      std::size_t max_states = 1u << 22);
+                                      const Budget& budget);
+bool potential_blocking_cyclic_global(const Network& net, std::size_t p_index,
+                                      std::size_t max_states = kDefaultMaxStates);
+
+// Same predicates on a machine the caller already built (and paid for).
+// The degradation ladder builds G once and answers everything from it.
+bool success_collab_on(const Network& net, const GlobalMachine& g, std::size_t p_index);
+bool potential_blocking_on(const Network& net, const GlobalMachine& g, std::size_t p_index);
+bool success_collab_cyclic_on(const Network& net, const GlobalMachine& g, std::size_t p_index);
+bool potential_blocking_cyclic_on(const Network& net, const GlobalMachine& g,
+                                  std::size_t p_index);
 
 }  // namespace ccfsp

@@ -10,13 +10,15 @@ namespace ccfsp {
 /// Q = P_2 || P_3 || ... || P_m, folding every process except p_index.
 /// Symbols internal to the context are hidden by ||; symbols shared with P
 /// stay visible. With `cyclic` set, uses the Section 4 operator ||' so that
-/// tau-divergence inside the context is materialized as leaves.
-inline Fsp compose_context(const Network& net, std::size_t p_index, bool cyclic = false) {
+/// tau-divergence inside the context is materialized as leaves. A budget
+/// bounds every intermediate composite of the fold.
+inline Fsp compose_context(const Network& net, std::size_t p_index, bool cyclic = false,
+                           const Budget* budget = nullptr) {
   std::vector<const Fsp*> rest;
   for (std::size_t i = 0; i < net.size(); ++i) {
     if (i != p_index) rest.push_back(&net.process(i));
   }
-  Fsp q = compose_all(rest, cyclic);
+  Fsp q = compose_all(rest, cyclic, budget);
   if (cyclic && rest.size() == 1) q = add_divergence_leaves(q);
   return q;
 }

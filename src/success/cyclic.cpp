@@ -14,14 +14,20 @@ namespace ccfsp {
 
 CyclicDecision cyclic_decide_explicit(const Network& net, std::size_t p_index,
                                       std::size_t max_states) {
+  return cyclic_decide_explicit(net, p_index, Budget::with_states(max_states));
+}
+
+CyclicDecision cyclic_decide_explicit(const Network& net, std::size_t p_index,
+                                      const Budget& budget) {
   CyclicDecision d;
-  d.potential_blocking = potential_blocking_cyclic_global(net, p_index, max_states);
-  d.success_collab = success_collab_cyclic_global(net, p_index, max_states);
+  GlobalMachine g = build_global(net, budget);
+  d.potential_blocking = potential_blocking_cyclic_on(net, g, p_index);
+  d.success_collab = success_collab_cyclic_on(net, g, p_index);
   const Fsp& p = net.process(p_index);
   if (!p.has_tau_moves()) {
-    Fsp q = compose_context(net, p_index, /*cyclic=*/true);
+    Fsp q = compose_context(net, p_index, /*cyclic=*/true, &budget);
     d.max_intermediate_states = q.num_states();
-    d.success_adversity = success_adversity(p, q, /*cyclic_goal=*/true, max_states);
+    d.success_adversity = success_adversity(p, q, budget, /*cyclic_goal=*/true);
   }
   return d;
 }
@@ -38,6 +44,7 @@ Fsp reduce_cyclic(const Fsp& f, const CyclicHeuristicOptions& opt) {
 struct CyclicPipeline {
   const Network* net;
   const CyclicHeuristicOptions* opt;
+  const Budget* budget = nullptr;
   std::vector<std::vector<std::size_t>> quotient_adj;
   std::vector<std::vector<std::size_t>> part_members;
   std::size_t max_states = 0;
@@ -45,13 +52,14 @@ struct CyclicPipeline {
   Fsp reduce_subtree(std::size_t part, std::size_t parent) {
     std::vector<const Fsp*> members;
     for (std::size_t i : part_members[part]) members.push_back(&net->process(i));
-    Fsp acc = compose_all(members, /*cyclic=*/true);
+    Fsp acc = compose_all(members, /*cyclic=*/true, budget);
     for (std::size_t child : quotient_adj[part]) {
       if (child == parent) continue;
       Fsp child_red = reduce_subtree(child, part);
-      acc = cyclic_compose(acc, child_red);
+      acc = cyclic_compose(acc, child_red, budget);
     }
     max_states = std::max(max_states, acc.num_states());
+    if (budget) budget->tick("cyclic_decide_tree");
     return reduce_cyclic(acc, *opt);
   }
 };
@@ -60,11 +68,17 @@ struct CyclicPipeline {
 
 CyclicDecision cyclic_decide_tree(const Network& net, std::size_t p_index,
                                   const CyclicHeuristicOptions& opt, std::size_t max_states) {
+  return cyclic_decide_tree(net, p_index, opt, Budget::with_states(max_states));
+}
+
+CyclicDecision cyclic_decide_tree(const Network& net, std::size_t p_index,
+                                  const CyclicHeuristicOptions& opt, const Budget& budget) {
   KTreePartition partition = ktree_partition(net);
 
   CyclicPipeline pipe;
   pipe.net = &net;
   pipe.opt = &opt;
+  pipe.budget = &budget;
   pipe.part_members = partition.parts;
   pipe.quotient_adj.assign(partition.parts.size(), {});
   for (auto [a, b] : partition.quotient_edges) {
@@ -123,7 +137,7 @@ CyclicDecision cyclic_decide_tree(const Network& net, std::size_t p_index,
     }
     std::vector<const Fsp*> ptrs;
     for (const auto& f : pieces) ptrs.push_back(&f);
-    Fsp composed = compose_all(ptrs, /*cyclic=*/true);
+    Fsp composed = compose_all(ptrs, /*cyclic=*/true, &budget);
     if (ptrs.size() == 1) composed = add_divergence_leaves(composed);
     return reduce_cyclic(composed, opt);
   }();
@@ -136,7 +150,7 @@ CyclicDecision cyclic_decide_tree(const Network& net, std::size_t p_index,
   // Potential blocking: a reachable product state where P and Q are both
   // stable with disjoint offers (Q's divergence options are leaves by ||').
   {
-    Fsp prod = reachable_product(p, q);
+    Fsp prod = reachable_product(p, q, &budget);
     // In the product, P's moves synchronize on all of P's symbols; blocking
     // states are those with no outgoing transitions at all, or where only Q
     // could move silently forever — the latter shows up as a tau-cycle,
@@ -160,7 +174,7 @@ CyclicDecision cyclic_decide_tree(const Network& net, std::size_t p_index,
   }
   d.success_collab = lang_intersection_infinite(p, q);
   if (!p.has_tau_moves()) {
-    d.success_adversity = success_adversity(p, q, /*cyclic_goal=*/true, max_states);
+    d.success_adversity = success_adversity(p, q, budget, /*cyclic_goal=*/true);
   }
   return d;
 }

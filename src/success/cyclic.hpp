@@ -13,6 +13,7 @@
 
 #include "network/ktree.hpp"
 #include "network/network.hpp"
+#include "util/budget.hpp"
 
 namespace ccfsp {
 
@@ -24,7 +25,12 @@ struct CyclicDecision {
   std::size_t max_intermediate_states = 0;  // diagnostics
 };
 
-/// Explicit analysis on the global machine / composed context.
+/// Explicit analysis on the global machine / composed context. The budgeted
+/// overload builds G once and charges the context composition and the
+/// knowledge-set game against the same budget; it throws BudgetExceeded
+/// rather than ever answering from a truncated machine.
+CyclicDecision cyclic_decide_explicit(const Network& net, std::size_t p_index,
+                                      const Budget& budget);
 CyclicDecision cyclic_decide_explicit(const Network& net, std::size_t p_index,
                                       std::size_t max_states = 1u << 22);
 
@@ -36,6 +42,9 @@ struct CyclicHeuristicOptions {
 /// Tree-structured heuristic: hierarchical ||' composition over the k-tree
 /// partition of C_N with sound reduction after every step, then the
 /// explicit deciders on the (small) final two-process system.
+CyclicDecision cyclic_decide_tree(const Network& net, std::size_t p_index,
+                                  const CyclicHeuristicOptions& opt,
+                                  const Budget& budget);
 CyclicDecision cyclic_decide_tree(const Network& net, std::size_t p_index,
                                   const CyclicHeuristicOptions& opt = {},
                                   std::size_t max_states = 1u << 22);

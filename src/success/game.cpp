@@ -37,17 +37,20 @@ struct SolvedGame {
   bool p_wins() const { return !bad[initial]; }
 };
 
-SolvedGame solve(const Fsp& p, const Fsp& q, bool cyclic_goal, std::size_t max_positions) {
+SolvedGame solve(const Fsp& p, const Fsp& q, bool cyclic_goal, const Budget& budget) {
   if (p.has_tau_moves()) {
     throw std::logic_error("success_adversity: P must have no tau moves (Fig 4 assumption)");
   }
   SolvedGame g;
-  FspAnalysisCache qc(q);
+  FspAnalysisCache qc(q, &budget);
 
   std::map<Belief, std::uint32_t> belief_ids;
   auto intern_belief = [&](Belief b) {
     auto [it, fresh] = belief_ids.try_emplace(b, static_cast<std::uint32_t>(g.beliefs.size()));
-    if (fresh) g.beliefs.push_back(std::move(b));
+    if (fresh) {
+      budget.charge(0, b.size() * sizeof(StateId) + 64, "success_adversity");
+      g.beliefs.push_back(std::move(b));
+    }
     return it->second;
   };
 
@@ -56,9 +59,7 @@ SolvedGame solve(const Fsp& p, const Fsp& q, bool cyclic_goal, std::size_t max_p
     auto [it, fresh] =
         pos_ids.try_emplace(pos, static_cast<std::uint32_t>(g.positions.size()));
     if (fresh) {
-      if (g.positions.size() >= max_positions) {
-        throw std::runtime_error("success_adversity: position budget exceeded");
-      }
+      budget.charge(1, sizeof(Position) + 64, "success_adversity");
       g.positions.push_back(pos);
     }
     return it->second;
@@ -67,6 +68,10 @@ SolvedGame solve(const Fsp& p, const Fsp& q, bool cyclic_goal, std::size_t max_p
   g.initial = intern_pos({p.start(), intern_belief(q.tau_closure(q.start()))});
 
   for (std::uint32_t i = 0; i < g.positions.size(); ++i) {
+    // Expanding one position does belief-sized set work per action and may
+    // intern nothing fresh, so charge()'s stride can starve the clock here;
+    // tick() polls it immediately.
+    budget.tick("success_adversity");
     Position pos = g.positions[i];
     // Copy: intern_belief below may reallocate the beliefs vector.
     Belief belief = g.beliefs[pos.belief];
@@ -110,6 +115,7 @@ SolvedGame solve(const Fsp& p, const Fsp& q, bool cyclic_goal, std::size_t max_p
   g.bad.assign(g.positions.size(), false);
   bool changed = true;
   while (changed) {
+    budget.tick("success_adversity");
     changed = false;
     for (std::uint32_t i = 0; i < g.positions.size(); ++i) {
       if (g.bad[i]) continue;
@@ -141,14 +147,19 @@ SolvedGame solve(const Fsp& p, const Fsp& q, bool cyclic_goal, std::size_t max_p
 
 }  // namespace
 
-bool success_adversity(const Fsp& p, const Fsp& q, bool cyclic_goal,
-                       std::size_t max_positions, GameStats* stats) {
-  SolvedGame g = solve(p, q, cyclic_goal, max_positions);
+bool success_adversity(const Fsp& p, const Fsp& q, const Budget& budget, bool cyclic_goal,
+                       GameStats* stats) {
+  SolvedGame g = solve(p, q, cyclic_goal, budget);
   if (stats) {
     stats->positions = g.positions.size();
     stats->beliefs = g.beliefs.size();
   }
   return g.p_wins();
+}
+
+bool success_adversity(const Fsp& p, const Fsp& q, bool cyclic_goal,
+                       std::size_t max_positions, GameStats* stats) {
+  return success_adversity(p, q, Budget::with_states(max_positions), cyclic_goal, stats);
 }
 
 bool success_adversity_network(const Network& net, std::size_t p_index, bool cyclic_goal,
@@ -170,7 +181,7 @@ StateId Strategy::respond(ActionId a) {
 
 std::optional<Strategy> winning_strategy(const Fsp& p, const Fsp& q, bool cyclic_goal,
                                          std::size_t max_positions) {
-  SolvedGame g = solve(p, q, cyclic_goal, max_positions);
+  SolvedGame g = solve(p, q, cyclic_goal, Budget::with_states(max_positions));
   if (!g.p_wins()) return std::nullopt;
 
   Strategy s;

@@ -14,6 +14,7 @@
 
 #include "fsp/fsp.hpp"
 #include "network/network.hpp"
+#include "util/budget.hpp"
 
 namespace ccfsp {
 
@@ -28,6 +29,11 @@ struct GameStats {
 /// Precondition: P has no tau moves (the Figure 4 assumption); throws
 /// std::logic_error otherwise. Q may be any FSP (compose the context first;
 /// use the cyclic composition so Q's tau-divergence becomes leaves).
+/// Knowledge-set positions are charged against `budget` (the construction
+/// is exponential in |Q| — Theorem 2's upper bound — so this is a main
+/// blow-up path); the attractor fixpoint polls it every sweep.
+bool success_adversity(const Fsp& p, const Fsp& q, const Budget& budget,
+                       bool cyclic_goal = false, GameStats* stats = nullptr);
 bool success_adversity(const Fsp& p, const Fsp& q, bool cyclic_goal = false,
                        std::size_t max_positions = 1u << 22, GameStats* stats = nullptr);
 

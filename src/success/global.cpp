@@ -5,8 +5,11 @@
 
 namespace ccfsp {
 
-GlobalMachine build_global(const Network& net, std::size_t max_states) {
+GlobalMachine build_global(const Network& net, const Budget& budget) {
   const std::size_t m = net.size();
+  // Per interned tuple: the tuple vector itself, the interning map node,
+  // and the (amortized) edge list headers.
+  const std::size_t bytes_per_state = m * sizeof(StateId) + 96;
 
   // Per-action owner pair (each action belongs to exactly two processes).
   std::vector<std::pair<std::uint32_t, std::uint32_t>> owners(
@@ -26,9 +29,7 @@ GlobalMachine build_global(const Network& net, std::size_t max_states) {
   auto intern = [&](std::vector<StateId> tuple) {
     auto [it, fresh] = ids.try_emplace(tuple, static_cast<std::uint32_t>(g.tuples.size()));
     if (fresh) {
-      if (g.tuples.size() >= max_states) {
-        throw std::runtime_error("build_global: state budget exceeded");
-      }
+      budget.charge(1, bytes_per_state, "build_global");
       g.tuples.push_back(std::move(tuple));
       g.edges.emplace_back();
     }
@@ -71,6 +72,14 @@ GlobalMachine build_global(const Network& net, std::size_t max_states) {
     }
   }
   return g;
+}
+
+GlobalMachine build_global(const Network& net, std::size_t max_states) {
+  return build_global(net, Budget::with_states(max_states));
+}
+
+AnalysisOutcome<GlobalMachine> try_build_global(const Network& net, const Budget& budget) {
+  return run_guarded([&] { return build_global(net, budget); });
 }
 
 }  // namespace ccfsp

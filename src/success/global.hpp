@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "network/network.hpp"
+#include "util/budget.hpp"
+#include "util/outcome.hpp"
 
 namespace ccfsp {
 
@@ -36,8 +38,22 @@ struct GlobalMachine {
   }
 };
 
-/// Build G by BFS from the initial tuple. `max_states` guards against the
-/// exponential blow-up this baseline exists to demonstrate.
-GlobalMachine build_global(const Network& net, std::size_t max_states = 1u << 22);
+/// Default state cap for the explicit constructions (the historical
+/// 1u << 22 guard, now expressed as a Budget).
+inline constexpr std::size_t kDefaultMaxStates = 1u << 22;
+
+/// Build G by BFS from the initial tuple under `budget`: every interned
+/// tuple is charged (states + estimated bytes), so an exponential network
+/// stops at the wall with a BudgetExceeded instead of hanging or OOMing.
+/// The machine is never returned truncated — it is complete or the call
+/// throws.
+GlobalMachine build_global(const Network& net, const Budget& budget);
+
+/// Legacy shape: a bare state cap. Equivalent to a states-only Budget.
+GlobalMachine build_global(const Network& net, std::size_t max_states = kDefaultMaxStates);
+
+/// Throw-free entry point: the machine, or a structured account of why not
+/// (kBudgetExhausted carries the number of states explored before the wall).
+AnalysisOutcome<GlobalMachine> try_build_global(const Network& net, const Budget& budget);
 
 }  // namespace ccfsp

@@ -9,6 +9,11 @@ namespace ccfsp {
 
 GroupSuccess group_success(const Network& net, const std::vector<std::size_t>& group,
                            std::size_t max_states) {
+  return group_success(net, group, Budget::with_states(max_states));
+}
+
+GroupSuccess group_success(const Network& net, const std::vector<std::size_t>& group,
+                           const Budget& budget) {
   if (group.empty()) throw std::invalid_argument("group_success: empty group");
   std::vector<std::size_t> sorted = group;
   std::sort(sorted.begin(), sorted.end());
@@ -19,7 +24,7 @@ GroupSuccess group_success(const Network& net, const std::vector<std::size_t>& g
     throw std::invalid_argument("group_success: process index out of range");
   }
 
-  GlobalMachine g = build_global(net, max_states);
+  GlobalMachine g = build_global(net, budget);
   auto group_done = [&](std::uint32_t s) {
     for (std::size_t i : sorted) {
       if (!net.process(i).is_leaf(g.tuples[s][i])) return false;

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "network/network.hpp"
+#include "util/budget.hpp"
 
 namespace ccfsp {
 
@@ -22,7 +23,10 @@ struct GroupSuccess {
 };
 
 /// Explicit decision on the global machine. `group` must be a non-empty set
-/// of distinct process indices.
+/// of distinct process indices. Throws BudgetExceeded (never a silently
+/// truncated answer) when G outgrows the budget / max_states cap.
+GroupSuccess group_success(const Network& net, const std::vector<std::size_t>& group,
+                           const Budget& budget);
 GroupSuccess group_success(const Network& net, const std::vector<std::size_t>& group,
                            std::size_t max_states = 1u << 22);
 

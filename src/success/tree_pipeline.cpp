@@ -28,7 +28,7 @@ void note_size(Theorem3Result& r, const Fsp& composite, const Fsp& reduced) {
 Fsp compose_part(const PipelineState& st, std::size_t part) {
   std::vector<const Fsp*> members;
   for (std::size_t i : st.part_members[part]) members.push_back(&st.net->process(i));
-  return compose_all(members);
+  return compose_all(members, /*cyclic=*/false, st.opt->budget);
 }
 
 /// Post-order reduction of the subtree rooted at `part` (entered from
@@ -40,14 +40,14 @@ Fsp reduce_subtree(const PipelineState& st, std::size_t part, std::size_t parent
   for (std::size_t child : st.quotient_adj[part]) {
     if (child == parent) continue;
     Fsp child_nf = reduce_subtree(st, child, part);
-    acc = compose(acc, child_nf);
+    acc = compose(acc, child_nf, st.opt->budget);
   }
   if (!st.opt->use_normal_form) {
     st.result->max_intermediate_states =
         std::max(st.result->max_intermediate_states, acc.num_states());
     return acc;
   }
-  Fsp nf = poss_normal_form(acc, st.opt->poss_limit);
+  Fsp nf = poss_normal_form(acc, st.opt->poss_limit, st.opt->budget);
   note_size(*st.result, acc, nf);
   return nf;
 }
@@ -150,9 +150,9 @@ Theorem3Result theorem3_decide(const Network& net, std::size_t p_index,
     }
   }
   if (!residue.empty()) {
-    Fsp r = compose_all(residue);
+    Fsp r = compose_all(residue, /*cyclic=*/false, opt.budget);
     if (opt.use_normal_form) {
-      Fsp rn = poss_normal_form(r, opt.poss_limit);
+      Fsp rn = poss_normal_form(r, opt.poss_limit, opt.budget);
       note_size(result, r, rn);
       factors.push_back(std::move(rn));
     } else {

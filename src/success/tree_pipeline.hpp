@@ -11,6 +11,7 @@
 
 #include "network/ktree.hpp"
 #include "network/network.hpp"
+#include "util/budget.hpp"
 
 namespace ccfsp {
 
@@ -19,8 +20,12 @@ struct Theorem3Options {
   /// by their possibility normal forms, exposing how much of the polynomial
   /// bound the normal form is responsible for.
   bool use_normal_form = true;
-  /// Budget for possibility extraction on intermediate composites.
+  /// Cap for possibility extraction on intermediate composites.
   std::size_t poss_limit = 1u << 20;
+  /// Optional resource budget (not owned): charged for every intermediate
+  /// composite state and possibility extracted, and polled for deadline /
+  /// cancellation. Trips as BudgetExceeded.
+  const Budget* budget = nullptr;
 };
 
 struct Theorem3Result {

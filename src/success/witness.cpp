@@ -52,19 +52,29 @@ std::optional<Witness> shortest_to(const Network& net, const GlobalMachine& g, G
 }  // namespace
 
 std::optional<Witness> blocking_witness(const Network& net, std::size_t p_index,
-                                        std::size_t max_states) {
-  GlobalMachine g = build_global(net, max_states);
+                                        const Budget& budget) {
+  GlobalMachine g = build_global(net, budget);
   return shortest_to(net, g, [&](std::uint32_t s) {
     return g.is_stuck(s) && !net.process(p_index).is_leaf(g.tuples[s][p_index]);
   });
 }
 
+std::optional<Witness> blocking_witness(const Network& net, std::size_t p_index,
+                                        std::size_t max_states) {
+  return blocking_witness(net, p_index, Budget::with_states(max_states));
+}
+
 std::optional<Witness> collab_witness(const Network& net, std::size_t p_index,
-                                      std::size_t max_states) {
-  GlobalMachine g = build_global(net, max_states);
+                                      const Budget& budget) {
+  GlobalMachine g = build_global(net, budget);
   return shortest_to(net, g, [&](std::uint32_t s) {
     return g.is_stuck(s) && net.process(p_index).is_leaf(g.tuples[s][p_index]);
   });
+}
+
+std::optional<Witness> collab_witness(const Network& net, std::size_t p_index,
+                                      std::size_t max_states) {
+  return collab_witness(net, p_index, Budget::with_states(max_states));
 }
 
 namespace {
@@ -111,7 +121,12 @@ std::optional<std::vector<WitnessStep>> bfs_path(const GlobalMachine& g, std::ui
 
 std::optional<LassoWitness> cyclic_blocking_witness(const Network& net, std::size_t p_index,
                                                     std::size_t max_states) {
-  GlobalMachine g = build_global(net, max_states);
+  return cyclic_blocking_witness(net, p_index, Budget::with_states(max_states));
+}
+
+std::optional<LassoWitness> cyclic_blocking_witness(const Network& net, std::size_t p_index,
+                                                    const Budget& budget) {
+  GlobalMachine g = build_global(net, budget);
   auto any_edge = [](const GlobalMachine::Edge&) { return true; };
 
   // Case 1: a reachable stuck state.

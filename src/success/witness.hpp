@@ -29,12 +29,19 @@ struct Witness {
 };
 
 /// A shortest evolution to a global leaf with P *off* one of its leaves —
-/// a potential-blocking witness (nullopt iff S_u holds).
+/// a potential-blocking witness (nullopt iff S_u holds). All witness
+/// extractors build the explicit global machine and therefore throw
+/// BudgetExceeded — never silently truncate — when the budget (or the
+/// legacy max_states cap) runs out before G is complete.
+std::optional<Witness> blocking_witness(const Network& net, std::size_t p_index,
+                                       const Budget& budget);
 std::optional<Witness> blocking_witness(const Network& net, std::size_t p_index,
                                         std::size_t max_states = 1u << 22);
 
 /// A shortest evolution to a global leaf with P *on* one of its leaves —
 /// a success-with-collaboration witness (nullopt iff not S_c).
+std::optional<Witness> collab_witness(const Network& net, std::size_t p_index,
+                                     const Budget& budget);
 std::optional<Witness> collab_witness(const Network& net, std::size_t p_index,
                                       std::size_t max_states = 1u << 22);
 
@@ -56,6 +63,8 @@ struct LassoWitness {
 
 /// nullopt iff the cyclic S_u holds for P (no stuck state, no non-P cycle
 /// reachable).
+std::optional<LassoWitness> cyclic_blocking_witness(const Network& net, std::size_t p_index,
+                                                    const Budget& budget);
 std::optional<LassoWitness> cyclic_blocking_witness(const Network& net, std::size_t p_index,
                                                     std::size_t max_states = 1u << 22);
 

@@ -1,0 +1,46 @@
+#include "util/budget.hpp"
+
+namespace ccfsp {
+
+const char* to_string(BudgetDimension d) {
+  switch (d) {
+    case BudgetDimension::kNone:
+      return "none";
+    case BudgetDimension::kDeadline:
+      return "deadline";
+    case BudgetDimension::kStates:
+      return "states";
+    case BudgetDimension::kBytes:
+      return "bytes";
+    case BudgetDimension::kCancelled:
+      return "cancelled";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string exceeded_message(BudgetDimension reason, const char* where, std::size_t states_used,
+                             std::size_t bytes_used) {
+  std::string msg(where);
+  msg += ": budget exceeded (";
+  msg += to_string(reason);
+  msg += ") after ";
+  msg += std::to_string(states_used);
+  msg += " states / ~";
+  msg += std::to_string(bytes_used);
+  msg += " bytes";
+  return msg;
+}
+
+}  // namespace
+
+BudgetExceeded::BudgetExceeded(BudgetDimension reason, const char* where,
+                               std::size_t states_used, std::size_t bytes_used)
+    : std::runtime_error(exceeded_message(reason, where, states_used, bytes_used)),
+      reason_(reason),
+      where_(where),
+      states_used_(states_used),
+      bytes_used_(bytes_used) {}
+
+}  // namespace ccfsp

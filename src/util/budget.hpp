@@ -1,0 +1,203 @@
+// Resource governance for the analysis engine. Every expensive routine in
+// the library — the explicit global machine G (exponential by design), the
+// possibility subset construction (PSPACE-hard territory), the composition
+// folds, the knowledge-set games — is handed a Budget and cooperatively
+// polls it while it works. The paper guarantees polynomial behaviour only
+// for structured networks (Prop 1, Thm 3, Thm 4); for everything else the
+// Budget is what turns "exponential" into "bounded", so that no input can
+// hang or OOM the engine (see docs/robustness.md).
+//
+// A Budget combines four independent limits, all optional:
+//   - a wall-clock deadline (absolute, measured on the steady clock),
+//   - a state/node count (the classic max_states cap, now accounted),
+//   - an estimated byte footprint,
+//   - an external cancellation token (thread-safe, shareable).
+// Work loops call charge() as they allocate; when any limit trips, a
+// BudgetExceeded is thrown carrying the dimension that tripped and how far
+// the work got. BudgetExceeded derives from std::runtime_error, so legacy
+// callers that caught the old ad-hoc throws keep working; new callers catch
+// it specifically (or use run_guarded in util/outcome.hpp) to turn it into
+// a structured BudgetExhausted outcome.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace ccfsp {
+
+/// Which limit a charge tripped. kNone means "within budget".
+enum class BudgetDimension { kNone, kDeadline, kStates, kBytes, kCancelled };
+
+const char* to_string(BudgetDimension d);
+
+/// Thrown by Budget::charge when a limit trips. The `states_used` /
+/// `bytes_used` fields record the progress made before the wall — the
+/// "how far did it get" payload surfaced by AnalysisOutcome.
+class BudgetExceeded : public std::runtime_error {
+ public:
+  BudgetExceeded(BudgetDimension reason, const char* where, std::size_t states_used,
+                 std::size_t bytes_used);
+
+  BudgetDimension reason() const { return reason_; }
+  /// The routine that hit the wall (static-duration string literal).
+  const char* where() const { return where_; }
+  std::size_t states_used() const { return states_used_; }
+  std::size_t bytes_used() const { return bytes_used_; }
+
+ private:
+  BudgetDimension reason_;
+  const char* where_;
+  std::size_t states_used_;
+  std::size_t bytes_used_;
+};
+
+/// Shareable cancellation flag: hand copies to worker code and to whoever
+/// may want to abort it (a signal handler, a supervising thread). Copies
+/// alias one atomic flag.
+class CancelToken {
+ public:
+  CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+  void cancel() const { flag_->store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return flag_->load(std::memory_order_relaxed); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+class Budget {
+ public:
+  static constexpr std::size_t kNoLimit = std::numeric_limits<std::size_t>::max();
+
+  /// Default: unlimited. charge() is then a cheap counter bump.
+  Budget() = default;
+
+  static Budget unlimited() { return Budget(); }
+  static Budget with_states(std::size_t n) { return Budget().limit_states(n); }
+  static Budget with_deadline(std::chrono::milliseconds d) {
+    return Budget().limit_duration(d);
+  }
+
+  Budget& limit_states(std::size_t n) {
+    max_states_ = n;
+    return *this;
+  }
+  Budget& limit_bytes(std::size_t n) {
+    max_bytes_ = n;
+    return *this;
+  }
+  /// Deadline `d` from now on the steady clock.
+  Budget& limit_duration(std::chrono::milliseconds d) {
+    deadline_ = std::chrono::steady_clock::now() + d;
+    has_deadline_ = true;
+    return *this;
+  }
+  Budget& watch(CancelToken token) {
+    token_ = std::move(token);
+    has_token_ = true;
+    return *this;
+  }
+
+  bool is_unlimited() const {
+    return max_states_ == kNoLimit && max_bytes_ == kNoLimit && !has_deadline_ && !has_token_;
+  }
+
+  /// A fresh view of the same budget for an independent phase: identical
+  /// limits, deadline and cancel token, but zeroed counters. Count limits
+  /// are therefore per-phase while the deadline stays globally absolute —
+  /// exactly what the degradation ladder wants per rung.
+  Budget fork() const {
+    Budget b = *this;
+    b.states_used_ = 0;
+    b.bytes_used_ = 0;
+    b.charges_since_poll_ = 0;
+    return b;
+  }
+
+  /// Account for `states` more nodes and `bytes` more estimated memory;
+  /// throw BudgetExceeded if any limit trips. The clock and the cancel
+  /// token are polled every kPollStride calls so charge() stays cheap
+  /// enough for the hottest loops. `where` names the caller in the error.
+  void charge(std::size_t states, std::size_t bytes = 0, const char* where = "analysis") const {
+    states_used_ += states;
+    bytes_used_ += bytes;
+    if (states_used_ > max_states_) {
+      throw BudgetExceeded(BudgetDimension::kStates, where, states_used_, bytes_used_);
+    }
+    if (bytes_used_ > max_bytes_) {
+      throw BudgetExceeded(BudgetDimension::kBytes, where, states_used_, bytes_used_);
+    }
+    if ((has_deadline_ || has_token_) && ++charges_since_poll_ >= kPollStride) {
+      charges_since_poll_ = 0;
+      poll(where);
+    }
+  }
+
+  /// A zero-cost-accounting checkpoint for loops that iterate without
+  /// allocating (fixpoint sweeps, cache builds, per-position expansion).
+  /// Unlike charge(), tick() polls the deadline and cancel token
+  /// immediately: its call sites do an unbounded amount of work per call
+  /// (a whole fixpoint sweep, a tau-closure fold), so stride-based polling
+  /// here could starve the clock for minutes. One steady_clock read per
+  /// tick is cheap next to the work each tick demarcates.
+  void tick(const char* where = "analysis") const {
+    if (has_deadline_ || has_token_) {
+      charges_since_poll_ = 0;
+      poll(where);
+    }
+  }
+
+  /// Non-throwing probe; forces an immediate clock/token poll.
+  BudgetDimension probe() const {
+    if (states_used_ > max_states_) return BudgetDimension::kStates;
+    if (bytes_used_ > max_bytes_) return BudgetDimension::kBytes;
+    if (has_token_ && token_.cancelled()) return BudgetDimension::kCancelled;
+    if (has_deadline_ && std::chrono::steady_clock::now() > deadline_) {
+      return BudgetDimension::kDeadline;
+    }
+    return BudgetDimension::kNone;
+  }
+
+  std::size_t states_used() const { return states_used_; }
+  std::size_t bytes_used() const { return bytes_used_; }
+  std::size_t max_states() const { return max_states_; }
+  std::size_t max_bytes() const { return max_bytes_; }
+  bool has_deadline() const { return has_deadline_; }
+
+ private:
+  // Poll the clock every this many charges. Charges are issued per
+  // interned state / subset / position, each of which costs a map insert
+  // (microseconds), so a stride of 64 bounds deadline overshoot well under
+  // any practical tolerance while keeping clock reads off the hot path.
+  static constexpr std::size_t kPollStride = 64;
+
+  void poll(const char* where) const {
+    if (has_token_ && token_.cancelled()) {
+      throw BudgetExceeded(BudgetDimension::kCancelled, where, states_used_, bytes_used_);
+    }
+    if (has_deadline_ && std::chrono::steady_clock::now() > deadline_) {
+      throw BudgetExceeded(BudgetDimension::kDeadline, where, states_used_, bytes_used_);
+    }
+  }
+
+  std::size_t max_states_ = kNoLimit;
+  std::size_t max_bytes_ = kNoLimit;
+  std::chrono::steady_clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  bool has_token_ = false;
+  CancelToken token_;
+
+  // Charging is logically const: a Budget threaded by const& through a
+  // call tree accumulates usage without every signature needing Budget&.
+  // Single analysis = single thread; cross-thread aborts go through the
+  // (atomic) CancelToken, never through these counters.
+  mutable std::size_t states_used_ = 0;
+  mutable std::size_t bytes_used_ = 0;
+  mutable std::size_t charges_since_poll_ = 0;
+};
+
+}  // namespace ccfsp

@@ -1,0 +1,135 @@
+// The structured result type of a governed analysis. A routine under a
+// Budget has exactly four ways to come back:
+//   kDecided         — it finished; the answer is in value().
+//   kBudgetExhausted — a Budget limit tripped; states_explored() says how
+//                      far it got and budget_reason() which wall it hit.
+//   kUnsupported     — the input violates the routine's structural
+//                      precondition (not linear, not a tree, taus in P...).
+//   kInvalidInput    — the input itself is malformed (parse error, not a
+//                      Definition 2 network, bad index).
+// run_guarded() is the single bridge from the library's exception-based
+// internals to this taxonomy: the hot loops stay exception-driven (cheap
+// when nothing goes wrong), the public analysis surface is total.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+#include "util/budget.hpp"
+
+namespace ccfsp {
+
+enum class OutcomeStatus { kDecided, kBudgetExhausted, kUnsupported, kInvalidInput };
+
+inline const char* to_string(OutcomeStatus s) {
+  switch (s) {
+    case OutcomeStatus::kDecided:
+      return "decided";
+    case OutcomeStatus::kBudgetExhausted:
+      return "budget-exhausted";
+    case OutcomeStatus::kUnsupported:
+      return "unsupported";
+    case OutcomeStatus::kInvalidInput:
+      return "invalid-input";
+  }
+  return "?";
+}
+
+template <typename T>
+class AnalysisOutcome {
+ public:
+  static AnalysisOutcome decided(T value) {
+    AnalysisOutcome o(OutcomeStatus::kDecided);
+    o.value_.emplace(std::move(value));
+    return o;
+  }
+
+  static AnalysisOutcome budget_exhausted(const BudgetExceeded& e) {
+    AnalysisOutcome o(OutcomeStatus::kBudgetExhausted);
+    o.message_ = e.what();
+    o.budget_reason_ = e.reason();
+    o.states_explored_ = e.states_used();
+    return o;
+  }
+
+  static AnalysisOutcome unsupported(std::string why) {
+    AnalysisOutcome o(OutcomeStatus::kUnsupported);
+    o.message_ = std::move(why);
+    return o;
+  }
+
+  static AnalysisOutcome invalid_input(std::string why) {
+    AnalysisOutcome o(OutcomeStatus::kInvalidInput);
+    o.message_ = std::move(why);
+    return o;
+  }
+
+  OutcomeStatus status() const { return status_; }
+  bool is_decided() const { return status_ == OutcomeStatus::kDecided; }
+  explicit operator bool() const { return is_decided(); }
+
+  const T& value() const& {
+    require_decided();
+    return *value_;
+  }
+  T& value() & {
+    require_decided();
+    return *value_;
+  }
+  /// Move the answer out (the outcome is spent afterwards).
+  T take() {
+    require_decided();
+    return std::move(*value_);
+  }
+
+  /// Diagnostic for the non-decided cases; empty when decided.
+  const std::string& message() const { return message_; }
+  /// Which Budget wall tripped (kNone unless kBudgetExhausted).
+  BudgetDimension budget_reason() const { return budget_reason_; }
+  /// States charged before exhaustion — "how far the analysis got".
+  std::size_t states_explored() const { return states_explored_; }
+
+ private:
+  explicit AnalysisOutcome(OutcomeStatus s) : status_(s) {}
+
+  void require_decided() const {
+    if (!is_decided()) {
+      throw std::logic_error(std::string("AnalysisOutcome::value: outcome is ") +
+                             to_string(status_) + (message_.empty() ? "" : ": " + message_));
+    }
+  }
+
+  OutcomeStatus status_;
+  std::optional<T> value_;
+  std::string message_;
+  BudgetDimension budget_reason_ = BudgetDimension::kNone;
+  std::size_t states_explored_ = 0;
+};
+
+/// Run `fn` and fold every escape hatch of the legacy API into an outcome:
+///   BudgetExceeded        -> kBudgetExhausted (progress preserved)
+///   std::invalid_argument -> kInvalidInput  (caller handed garbage)
+///   std::logic_error      -> kUnsupported   (structural precondition unmet)
+///   std::runtime_error    -> kInvalidInput  (parse errors and kin)
+/// Anything else (bad_alloc, logic bugs) propagates — those are crashes to
+/// fix, not outcomes to report.
+template <typename F>
+auto run_guarded(F&& fn) -> AnalysisOutcome<std::invoke_result_t<F>> {
+  using Out = AnalysisOutcome<std::invoke_result_t<F>>;
+  try {
+    return Out::decided(std::forward<F>(fn)());
+  } catch (const BudgetExceeded& e) {
+    return Out::budget_exhausted(e);
+  } catch (const std::invalid_argument& e) {
+    return Out::invalid_input(e.what());
+  } catch (const std::logic_error& e) {
+    return Out::unsupported(e.what());
+  } catch (const std::runtime_error& e) {
+    return Out::invalid_input(e.what());
+  }
+}
+
+}  // namespace ccfsp

@@ -1,0 +1,167 @@
+// Parser hardening: on arbitrary byte soup, mutated specifications, and
+// truncations, the only thing the parser may do besides succeed is throw
+// ParseError — never another exception type, never a crash, and every
+// ParseError must carry a sane source position. Deterministic (seeded Rng),
+// so a failure reproduces by seed.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <typeinfo>
+#include <vector>
+
+#include "fsp/parse.hpp"
+#include "util/rng.hpp"
+
+namespace ccfsp {
+namespace {
+
+const char* const kSeedSpecs[] = {
+    "process P {\n"
+    "  start a;\n"
+    "  a -go-> b;\n"
+    "  b -tau-> c;\n"
+    "  alphabet extra;\n"
+    "}\n",
+    "process Fork {\n"
+    "  start f;\n"
+    "  f -take0-> l;\n"
+    "  f -take1-> r;\n"
+    "  l -put0-> f;\n"
+    "  r -put1-> f;\n"
+    "}\n",
+    "process A { start s; s -x-> t; }\n"
+    "process B { start u; u -x-> v; v -y-> u; }\n",
+};
+
+/// The contract under test: parsing `text` either succeeds or raises a
+/// ParseError with a 1-based position. Anything else fails the test.
+void expect_contained(const std::string& text) {
+  AlphabetPtr alphabet = std::make_shared<Alphabet>();
+  try {
+    parse_processes(text, alphabet);
+  } catch (const ParseError& e) {
+    EXPECT_GE(e.line(), 1u) << "input: " << text;
+    EXPECT_GE(e.column(), 1u) << "input: " << text;
+    EXPECT_FALSE(std::string(e.what()).empty());
+  } catch (const std::exception& e) {
+    FAIL() << "non-ParseError " << typeid(e).name() << " escaped: " << e.what()
+           << "\ninput: " << text;
+  }
+  // parse_fsp adds the single-block/trailing-input rule; same containment.
+  AlphabetPtr fresh = std::make_shared<Alphabet>();
+  try {
+    parse_fsp(text, fresh);
+  } catch (const ParseError&) {
+  } catch (const std::exception& e) {
+    FAIL() << "non-ParseError " << typeid(e).name() << " escaped from parse_fsp: " << e.what()
+           << "\ninput: " << text;
+  }
+}
+
+TEST(ParseFuzz, RandomPrintableSoup) {
+  Rng rng(0xf00d);
+  for (int round = 0; round < 400; ++round) {
+    std::string text;
+    std::size_t len = rng.below(200);
+    for (std::size_t i = 0; i < len; ++i) {
+      text += static_cast<char>(' ' + rng.below(95));
+    }
+    expect_contained(text);
+  }
+}
+
+TEST(ParseFuzz, RandomFullByteRange) {
+  Rng rng(0xbeef);
+  for (int round = 0; round < 400; ++round) {
+    std::string text;
+    std::size_t len = rng.below(120);
+    for (std::size_t i = 0; i < len; ++i) {
+      text += static_cast<char>(rng.below(256));
+    }
+    expect_contained(text);
+  }
+}
+
+TEST(ParseFuzz, GrammarShapedSoup) {
+  // Random walks over the token vocabulary: hits deep parser paths that
+  // byte soup rejects at the first token.
+  const char* vocab[] = {"process", "start", "alphabet", "{", "}", ";",
+                         "-go->",   "-tau->", "P",        "a", "b", "-->",
+                         "--",      "#x\n",   "\n"};
+  Rng rng(0xcafe);
+  for (int round = 0; round < 600; ++round) {
+    std::string text;
+    std::size_t len = rng.below(40);
+    for (std::size_t i = 0; i < len; ++i) {
+      text += vocab[rng.below(std::size(vocab))];
+      text += ' ';
+    }
+    expect_contained(text);
+  }
+}
+
+TEST(ParseFuzz, MutatedValidSpecs) {
+  Rng rng(0x5eed);
+  for (const char* seed : kSeedSpecs) {
+    const std::string base = seed;
+    for (int round = 0; round < 300; ++round) {
+      std::string text = base;
+      std::size_t edits = 1 + rng.below(4);
+      for (std::size_t e = 0; e < edits && !text.empty(); ++e) {
+        std::size_t at = rng.below(text.size());
+        switch (rng.below(4)) {
+          case 0:  // flip a byte
+            text[at] = static_cast<char>(rng.below(256));
+            break;
+          case 1:  // delete a byte
+            text.erase(at, 1);
+            break;
+          case 2:  // insert a byte
+            text.insert(at, 1, static_cast<char>(' ' + rng.below(95)));
+            break;
+          case 3:  // truncate
+            text.resize(at);
+            break;
+        }
+      }
+      expect_contained(text);
+    }
+  }
+}
+
+TEST(ParseFuzz, ValidSeedsStillParse) {
+  for (const char* seed : kSeedSpecs) {
+    AlphabetPtr alphabet = std::make_shared<Alphabet>();
+    EXPECT_NO_THROW(parse_processes(seed, alphabet)) << seed;
+  }
+}
+
+TEST(ParseFuzz, PositionsPointAtTheProblem) {
+  AlphabetPtr alphabet = std::make_shared<Alphabet>();
+  try {
+    parse_fsp("process P {\n  start a;\n  a !-> b;\n}\n", alphabet);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+    EXPECT_EQ(e.column(), 5u);  // the '!' after "  a "
+    EXPECT_EQ(e.token(), "!");
+  }
+}
+
+TEST(ParseFuzz, BuilderRejectionsBecomeParseErrors) {
+  AlphabetPtr alphabet = std::make_shared<Alphabet>();
+  // "tau" is reserved as an action name in the alphabet statement.
+  EXPECT_THROW(parse_fsp("process P { start a; a -x-> b; alphabet tau; }", alphabet),
+               ParseError);
+  // Unreachable state rejected at build(), surfaced at the closing brace.
+  AlphabetPtr fresh = std::make_shared<Alphabet>();
+  try {
+    parse_fsp("process P {\n start a;\n a -x-> b;\n c -y-> c;\n}\n", fresh);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 5u);
+  }
+}
+
+}  // namespace
+}  // namespace ccfsp

@@ -1,0 +1,77 @@
+// Robustness corpus: every shipped model, analyzed through the governed
+// front door under budgets from starvation to generous, must come back with
+// a classified outcome — decided or budget-exhausted — and never crash,
+// never hang, never report a verdict from a truncated state space.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "fsp/parse.hpp"
+#include "network/network.hpp"
+#include "success/analyze.hpp"
+
+namespace ccfsp {
+namespace {
+
+const char* const kModels[] = {
+    "barrier.ccfsp",         "bounded_buffer.ccfsp", "handshake_deadlock.ccfsp",
+    "lossy_rpc.ccfsp",       "mutex_semaphore.ccfsp", "pipeline.ccfsp",
+    "readers_writers.ccfsp", "train_crossing.ccfsp",  "two_phase_commit.ccfsp",
+};
+
+Network load_model(const std::string& name, AlphabetPtr alphabet) {
+  std::string path = std::string(CCFSP_MODELS_DIR) + "/" + name;
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open model " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return Network(alphabet, parse_processes(ss.str(), alphabet));
+}
+
+class BudgetCorpus : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BudgetCorpus, EveryBudgetYieldsAClassifiedOutcome) {
+  auto alphabet = std::make_shared<Alphabet>();
+  Network net = load_model(GetParam(), alphabet);
+  for (std::size_t cap : {std::size_t{1}, std::size_t{16}, std::size_t{256},
+                          std::size_t{1} << 14}) {
+    for (std::size_t p = 0; p < net.size(); ++p) {
+      AnalysisReport r;
+      ASSERT_NO_THROW(r = analyze(net, p, {Budget::with_states(cap), {}}))
+          << GetParam() << " p=" << p << " cap=" << cap;
+      EXPECT_TRUE(r.status == OutcomeStatus::kDecided ||
+                  r.status == OutcomeStatus::kBudgetExhausted)
+          << GetParam() << " p=" << p << " cap=" << cap
+          << " status=" << to_string(r.status);
+    }
+  }
+}
+
+TEST_P(BudgetCorpus, GenerousBudgetDecidesAndReportsTheRung) {
+  auto alphabet = std::make_shared<Alphabet>();
+  Network net = load_model(GetParam(), alphabet);
+  AnalyzeOptions opt;
+  opt.budget = Budget::with_states(1u << 22);
+  AnalysisReport r = analyze(net, 0, opt);
+  ASSERT_EQ(r.status, OutcomeStatus::kDecided) << GetParam() << ": " << r.summary();
+  EXPECT_TRUE(r.decided_by.has_value()) << GetParam();
+}
+
+TEST_P(BudgetCorpus, CancellationAbortsCleanly) {
+  auto alphabet = std::make_shared<Alphabet>();
+  Network net = load_model(GetParam(), alphabet);
+  CancelToken token;
+  token.cancel();  // cancelled before we even start
+  AnalyzeOptions opt;
+  opt.budget = Budget().watch(token);
+  AnalysisReport r;
+  ASSERT_NO_THROW(r = analyze(net, 0, opt)) << GetParam();
+  EXPECT_EQ(r.status, OutcomeStatus::kBudgetExhausted) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, BudgetCorpus, ::testing::ValuesIn(kModels));
+
+}  // namespace
+}  // namespace ccfsp

@@ -1,0 +1,175 @@
+// The degradation ladder: correct rung selection, agreement with the direct
+// deciders, graceful budget exhaustion, and — crucially for a resource
+// governor — determinism: the same network under the same budget must
+// produce the identical outcome and rung trace, run after run.
+#include "success/analyze.hpp"
+
+#include <gtest/gtest.h>
+
+#include "network/families.hpp"
+#include "network/generate.hpp"
+#include "success/cyclic.hpp"
+#include "success/linear.hpp"
+#include "success/tree_pipeline.hpp"
+#include "util/rng.hpp"
+
+namespace ccfsp {
+namespace {
+
+TEST(Analyze, LinearNetworkDecidedByLinearRung) {
+  Network net = wave_chain_network(5, 3);
+  AnalysisReport r = analyze(net, 0);
+  ASSERT_EQ(r.status, OutcomeStatus::kDecided);
+  ASSERT_TRUE(r.decided_by.has_value());
+  EXPECT_EQ(*r.decided_by, Rung::kLinear);
+  EXPECT_FALSE(r.cyclic_semantics);
+
+  bool expect = linear_network_success(net, 0);
+  EXPECT_EQ(r.verdict.unavoidable_success, expect);
+  EXPECT_EQ(r.verdict.success_collab, expect);
+  if (r.verdict.adversity_applicable) {
+    EXPECT_EQ(r.verdict.success_adversity, expect);
+  }
+}
+
+TEST(Analyze, AcyclicNonLinearFallsThroughToTree) {
+  Network net = figure3_network();
+  ASSERT_TRUE(net.all_acyclic());
+  AnalysisReport r = analyze(net, 0);
+  ASSERT_EQ(r.status, OutcomeStatus::kDecided);
+  // The linear rung must have been tried and reported inapplicable.
+  ASSERT_GE(r.rungs.size(), 2u);
+  EXPECT_EQ(r.rungs[0].rung, Rung::kLinear);
+  EXPECT_EQ(r.rungs[0].status, OutcomeStatus::kUnsupported);
+  EXPECT_FALSE(r.rungs[0].detail.empty());
+
+  Theorem3Result direct = theorem3_decide(net, 0);
+  EXPECT_EQ(r.verdict.unavoidable_success, direct.unavoidable_success);
+  EXPECT_EQ(r.verdict.success_collab, direct.success_collab);
+}
+
+TEST(Analyze, CyclicNetworkUsesSectionFourLadder) {
+  Network net = dining_philosophers(3);
+  AnalysisReport r = analyze(net, 0);
+  EXPECT_TRUE(r.cyclic_semantics);
+  ASSERT_EQ(r.status, OutcomeStatus::kDecided);
+  for (const RungOutcome& ro : r.rungs) {
+    EXPECT_TRUE(ro.rung == Rung::kUnary || ro.rung == Rung::kHeuristic ||
+                ro.rung == Rung::kExplicit);
+  }
+  CyclicDecision direct = cyclic_decide_explicit(net, 0);
+  EXPECT_EQ(r.verdict.unavoidable_success, !direct.potential_blocking);
+  EXPECT_EQ(r.verdict.success_collab, direct.success_collab);
+  if (direct.success_adversity.has_value() && r.verdict.success_adversity.has_value()) {
+    EXPECT_EQ(*r.verdict.success_adversity, *direct.success_adversity);
+  }
+}
+
+TEST(Analyze, ExplicitRungMatchesCyclicExplicitDecider) {
+  Network net = token_ring(3);
+  AnalyzeOptions opt;
+  opt.rungs = {Rung::kExplicit};
+  AnalysisReport r = analyze(net, 0, opt);
+  ASSERT_EQ(r.status, OutcomeStatus::kDecided);
+  ASSERT_TRUE(r.decided_by.has_value());
+  EXPECT_EQ(*r.decided_by, Rung::kExplicit);
+
+  CyclicDecision direct = cyclic_decide_explicit(net, 0);
+  EXPECT_EQ(r.verdict.unavoidable_success, !direct.potential_blocking);
+  EXPECT_EQ(r.verdict.success_collab, direct.success_collab);
+}
+
+TEST(Analyze, TinyBudgetExhaustsGracefullyWithPartialTrace) {
+  Network net = dining_philosophers(4);
+  AnalyzeOptions opt;
+  opt.budget = Budget::with_states(8);
+  AnalysisReport r = analyze(net, 0, opt);
+  EXPECT_EQ(r.status, OutcomeStatus::kBudgetExhausted);
+  // Every attempted rung is in the trace with a classified outcome.
+  ASSERT_FALSE(r.rungs.empty());
+  bool some_exhausted = false;
+  for (const RungOutcome& ro : r.rungs) {
+    some_exhausted |= ro.status == OutcomeStatus::kBudgetExhausted;
+  }
+  EXPECT_TRUE(some_exhausted);
+}
+
+TEST(Analyze, PartialVerdictSurvivesLaterExhaustion) {
+  // unary answers S_c on the multiply-by-2 chain; with a state budget too
+  // small for the heuristic/explicit rungs, S_c must still be reported.
+  Network net = multiply_by_2_chain(4);
+  AnalyzeOptions opt;
+  opt.budget = Budget::with_states(4);
+  AnalysisReport r = analyze(net, 0, opt);
+  if (r.status == OutcomeStatus::kBudgetExhausted) {
+    EXPECT_TRUE(r.verdict.success_collab.has_value())
+        << "the unary rung's S_c answer should survive later rungs' exhaustion";
+  }
+}
+
+TEST(Analyze, InvalidIndexIsInvalidInput) {
+  Network net = wave_chain_network(3, 2);
+  AnalysisReport r = analyze(net, 99);
+  EXPECT_EQ(r.status, OutcomeStatus::kInvalidInput);
+}
+
+TEST(Analyze, RequestedInapplicableRungsAreRecordedNotSkipped) {
+  Network net = dining_philosophers(3);  // cyclic
+  AnalyzeOptions opt;
+  opt.rungs = {Rung::kLinear, Rung::kTree, Rung::kExplicit};
+  AnalysisReport r = analyze(net, 0, opt);
+  ASSERT_EQ(r.rungs.size(), 3u);
+  EXPECT_EQ(r.rungs[0].status, OutcomeStatus::kUnsupported);  // not all-linear
+  EXPECT_EQ(r.rungs[1].status, OutcomeStatus::kUnsupported);  // cyclic input
+  EXPECT_EQ(r.rungs[2].status, OutcomeStatus::kDecided);
+}
+
+/// The determinism contract: identical inputs + identical state budgets =>
+/// identical report, bit for bit. (Deadlines are inherently racy, so the
+/// guarantee is stated for state/byte budgets; see docs/robustness.md.)
+void expect_identical_reports(const Network& net, std::size_t p, const AnalyzeOptions& opt) {
+  AnalysisReport a = analyze(net, p, opt);
+  AnalysisReport b = analyze(net, p, opt);
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.cyclic_semantics, b.cyclic_semantics);
+  EXPECT_EQ(a.decided_by.has_value(), b.decided_by.has_value());
+  if (a.decided_by && b.decided_by) EXPECT_EQ(*a.decided_by, *b.decided_by);
+  EXPECT_EQ(a.verdict.unavoidable_success, b.verdict.unavoidable_success);
+  EXPECT_EQ(a.verdict.success_collab, b.verdict.success_collab);
+  EXPECT_EQ(a.verdict.success_adversity, b.verdict.success_adversity);
+  ASSERT_EQ(a.rungs.size(), b.rungs.size());
+  for (std::size_t i = 0; i < a.rungs.size(); ++i) {
+    EXPECT_EQ(a.rungs[i].rung, b.rungs[i].rung) << "rung " << i;
+    EXPECT_EQ(a.rungs[i].status, b.rungs[i].status) << "rung " << i;
+    EXPECT_EQ(a.rungs[i].states_charged, b.rungs[i].states_charged) << "rung " << i;
+    EXPECT_EQ(a.rungs[i].detail, b.rungs[i].detail) << "rung " << i;
+  }
+}
+
+TEST(AnalyzeDeterminism, SameBudgetSameTrace) {
+  {
+    Network net = dining_philosophers(4);
+    for (std::size_t cap : {std::size_t{4}, std::size_t{64}, std::size_t{1} << 16}) {
+      AnalyzeOptions opt;
+      opt.budget = Budget::with_states(cap);
+      expect_identical_reports(net, 0, opt);
+    }
+  }
+  {
+    Rng rng(0x5eed);
+    Network net = wave_tree_network(rng, 6, 3);
+    AnalyzeOptions opt;
+    opt.budget = Budget::with_states(1u << 14);
+    opt.rungs = {Rung::kExplicit};  // force the nondeterminism-prone rung
+    expect_identical_reports(net, 0, opt);
+  }
+  {
+    Network net = figure3_network();
+    AnalyzeOptions opt;
+    opt.budget = Budget::with_states(1u << 12);
+    expect_identical_reports(net, 0, opt);
+  }
+}
+
+}  // namespace
+}  // namespace ccfsp

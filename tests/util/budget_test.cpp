@@ -1,0 +1,101 @@
+#include "util/budget.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "util/outcome.hpp"
+
+namespace ccfsp {
+namespace {
+
+TEST(Budget, UnlimitedByDefault) {
+  Budget b;
+  EXPECT_TRUE(b.is_unlimited());
+  for (int i = 0; i < 10000; ++i) b.charge(1, 100);
+  EXPECT_EQ(b.states_used(), 10000u);
+  EXPECT_EQ(b.bytes_used(), 1000000u);
+  EXPECT_EQ(b.probe(), BudgetDimension::kNone);
+}
+
+TEST(Budget, StateLimitTripsExactlyPastTheCap) {
+  Budget b = Budget::with_states(5);
+  for (int i = 0; i < 5; ++i) b.charge(1);
+  try {
+    b.charge(1, 0, "unit_test");
+    FAIL() << "expected BudgetExceeded";
+  } catch (const BudgetExceeded& e) {
+    EXPECT_EQ(e.reason(), BudgetDimension::kStates);
+    EXPECT_STREQ(e.where(), "unit_test");
+    EXPECT_EQ(e.states_used(), 6u);
+    EXPECT_NE(std::string(e.what()).find("unit_test"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("states"), std::string::npos);
+  }
+}
+
+TEST(Budget, ByteLimitTrips) {
+  Budget b = Budget().limit_bytes(1000);
+  b.charge(1, 999);
+  EXPECT_THROW(b.charge(1, 2), BudgetExceeded);
+}
+
+TEST(Budget, DeadlineTrips) {
+  Budget b = Budget::with_deadline(std::chrono::milliseconds(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(b.probe(), BudgetDimension::kDeadline);
+  // tick() polls the clock immediately (unlike charge()'s stride): the very
+  // first tick past the deadline must throw.
+  EXPECT_THROW(b.tick(), BudgetExceeded);
+}
+
+TEST(Budget, CancellationIsSharedAcrossCopies) {
+  CancelToken token;
+  Budget b = Budget().watch(token);
+  Budget copy = b.fork();
+  EXPECT_EQ(copy.probe(), BudgetDimension::kNone);
+  token.cancel();
+  EXPECT_EQ(copy.probe(), BudgetDimension::kCancelled);
+  EXPECT_THROW(for (int i = 0; i < 1000; ++i) copy.tick(), BudgetExceeded);
+}
+
+TEST(Budget, ForkResetsCountersButKeepsLimits) {
+  Budget b = Budget::with_states(10);
+  for (int i = 0; i < 8; ++i) b.charge(1);
+  Budget f = b.fork();
+  EXPECT_EQ(f.states_used(), 0u);
+  EXPECT_EQ(f.max_states(), 10u);
+  for (int i = 0; i < 10; ++i) f.charge(1);  // full fresh allowance
+  EXPECT_THROW(f.charge(1), BudgetExceeded);
+  EXPECT_EQ(b.states_used(), 8u);  // original untouched
+}
+
+TEST(Budget, BudgetExceededIsARuntimeError) {
+  // Legacy code catches std::runtime_error for the old ad-hoc cap throws;
+  // the typed error must keep satisfying those handlers.
+  Budget b = Budget::with_states(0);
+  EXPECT_THROW(b.charge(1), std::runtime_error);
+}
+
+TEST(Outcome, RunGuardedClassifiesExceptions) {
+  auto decided = run_guarded([] { return 42; });
+  ASSERT_TRUE(decided.is_decided());
+  EXPECT_EQ(decided.value(), 42);
+
+  auto exhausted = run_guarded([]() -> int {
+    throw BudgetExceeded(BudgetDimension::kStates, "here", 7, 800);
+  });
+  EXPECT_EQ(exhausted.status(), OutcomeStatus::kBudgetExhausted);
+  EXPECT_EQ(exhausted.states_explored(), 7u);
+
+  auto unsupported = run_guarded([]() -> int { throw std::logic_error("not a tree"); });
+  EXPECT_EQ(unsupported.status(), OutcomeStatus::kUnsupported);
+  EXPECT_NE(unsupported.message().find("not a tree"), std::string::npos);
+
+  // invalid_argument derives logic_error but must classify as invalid input.
+  auto invalid = run_guarded([]() -> int { throw std::invalid_argument("bad index"); });
+  EXPECT_EQ(invalid.status(), OutcomeStatus::kInvalidInput);
+}
+
+}  // namespace
+}  // namespace ccfsp
