@@ -1,0 +1,169 @@
+// Core state-space engine benchmark: the flat packed/CSR build (sequential
+// and 4-thread) against the retained map-based reference, across the model
+// families that stress different shapes of the global machine. Emits a
+// machine-readable BENCH_global.json consumed by the CI perf-smoke job; see
+// docs/perf.md for how to run and read it.
+//
+//   bench_global_core [--quick] [--out PATH] [--threads N]
+//
+// Per family/size it reports wall milliseconds, interned states per second,
+// and retained bytes per state. The headline number is `speedup`:
+// flat_states_per_sec / reference_states_per_sec at the largest size.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "network/families.hpp"
+#include "network/generate.hpp"
+#include "success/global.hpp"
+#include "util/rng.hpp"
+
+using namespace ccfsp;
+
+namespace {
+
+struct Row {
+  std::string family;
+  std::size_t size = 0;
+  std::size_t states = 0;
+  std::size_t edges = 0;
+  double reference_ms = 0;
+  double flat_ms = 0;
+  double parallel_ms = 0;
+  double bytes_per_state = 0;
+};
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+Network make_family(const std::string& family, std::size_t size) {
+  if (family == "wave_chain") return wave_chain_network(size, 4);
+  if (family == "wave_tree") {
+    Rng rng(1500 + size);
+    return wave_tree_network(rng, size, 6);
+  }
+  if (family == "ring") {
+    Rng rng(2000 + size);
+    NetworkGenOptions opt;
+    opt.num_processes = size;
+    opt.states_per_process = 8;
+    opt.tau_probability = 0.0;
+    return random_ring_network(rng, opt);
+  }
+  if (family == "phil") return dining_philosophers(size);
+  throw std::invalid_argument("unknown family " + family);
+}
+
+Row run_one(const std::string& family, std::size_t size, unsigned threads) {
+  Network net = make_family(family, size);
+  Row row;
+  row.family = family;
+  row.size = size;
+
+  auto t0 = std::chrono::steady_clock::now();
+  GlobalMachine ref = build_global_reference(net, Budget::with_states(1u << 24));
+  row.reference_ms = ms_since(t0);
+
+  t0 = std::chrono::steady_clock::now();
+  GlobalMachine flat = build_global(net, Budget::with_states(1u << 24), 1);
+  row.flat_ms = ms_since(t0);
+
+  t0 = std::chrono::steady_clock::now();
+  GlobalMachine par = build_global(net, Budget::with_states(1u << 24), threads);
+  row.parallel_ms = ms_since(t0);
+
+  if (flat.tuple_data != ref.tuple_data || flat.edge_data != ref.edge_data ||
+      flat.edge_offsets != ref.edge_offsets || par.tuple_data != flat.tuple_data ||
+      par.edge_data != flat.edge_data) {
+    std::fprintf(stderr, "FATAL: builds disagree on %s:%zu\n", family.c_str(), size);
+    std::exit(1);
+  }
+
+  row.states = flat.num_states();
+  row.edges = flat.num_edges();
+  row.bytes_per_state =
+      row.states == 0 ? 0 : static_cast<double>(flat.memory_bytes()) / row.states;
+  return row;
+}
+
+double per_sec(std::size_t states, double ms) { return ms <= 0 ? 0 : states / (ms / 1e3); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  unsigned threads = 4;
+  std::string out_path = "BENCH_global.json";
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--quick")) {
+      quick = true;
+    } else if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
+      threads = static_cast<unsigned>(std::atoi(argv[++i]));
+      if (threads == 0) threads = 1;
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out PATH] [--threads N]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  // Sizes chosen so the largest full-mode instance keeps the reference busy
+  // for >= 1 second — the regime the 5x acceptance bar is measured in.
+  struct Plan {
+    const char* family;
+    std::vector<std::size_t> sizes;
+    std::vector<std::size_t> quick_sizes;
+  };
+  const std::vector<Plan> plans = {
+      {"wave_chain", {10, 12, 14}, {6}},
+      {"wave_tree", {12, 16, 20}, {6}},
+      {"ring", {5, 6}, {4}},
+      {"phil", {10, 11, 12}, {6}},
+  };
+
+  std::vector<Row> rows;
+  for (const Plan& plan : plans) {
+    for (std::size_t size : (quick ? plan.quick_sizes : plan.sizes)) {
+      Row row = run_one(plan.family, size, threads);
+      std::printf(
+          "%-10s m=%-3zu states=%-9zu ref=%9.1fms flat=%8.1fms x%zuthr=%8.1fms "
+          "speedup=%5.2fx b/state=%.1f\n",
+          row.family.c_str(), row.size, row.states, row.reference_ms, row.flat_ms,
+          static_cast<std::size_t>(threads), row.parallel_ms,
+          row.flat_ms > 0 ? row.reference_ms / row.flat_ms : 0, row.bytes_per_state);
+      std::fflush(stdout);
+      rows.push_back(std::move(row));
+    }
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"global_core\",\n  \"threads\": %u,\n", threads);
+  std::fprintf(f, "  \"quick\": %s,\n  \"results\": [\n", quick ? "true" : "false");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"family\": \"%s\", \"size\": %zu, \"states\": %zu, \"edges\": %zu,\n"
+                 "     \"reference_ms\": %.2f, \"flat_ms\": %.2f, \"parallel_ms\": %.2f,\n"
+                 "     \"reference_states_per_sec\": %.0f, \"flat_states_per_sec\": %.0f,\n"
+                 "     \"parallel_states_per_sec\": %.0f, \"speedup\": %.2f,\n"
+                 "     \"bytes_per_state\": %.1f}%s\n",
+                 r.family.c_str(), r.size, r.states, r.edges, r.reference_ms, r.flat_ms,
+                 r.parallel_ms, per_sec(r.states, r.reference_ms), per_sec(r.states, r.flat_ms),
+                 per_sec(r.states, r.parallel_ms),
+                 r.flat_ms > 0 ? r.reference_ms / r.flat_ms : 0, r.bytes_per_state,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -53,7 +53,7 @@ void BM_GlobalBaseline(benchmark::State& state) {
     GlobalMachine g = build_global(net);
     bool collab = false;
     for (std::uint32_t s = 0; s < g.num_states(); ++s) {
-      if (g.is_stuck(s) && net.process(0).is_leaf(g.tuples[s][0])) collab = true;
+      if (g.is_stuck(s) && net.process(0).is_leaf(g.local_state(s, 0))) collab = true;
     }
     benchmark::DoNotOptimize(collab);
     global_states = g.num_states();

@@ -20,6 +20,8 @@
 //     --max-states N         state budget per ladder rung
 //     --rungs a,b,...        restrict/reorder the ladder (linear, unary,
 //                            tree, heuristic, explicit)
+//     --threads N            worker threads for the explicit global-machine
+//                            rung (default 1; result is bit-identical)
 //
 //   Exit codes: 0 decided, 1 internal error, 2 usage, 3 budget exhausted,
 //   4 invalid input (parse/validation errors).
@@ -64,7 +66,7 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--distinguished NAME] [--cyclic] [--witness] [--dot]\n"
                "          [--simulate N] [--gen SPEC] [--ladder] [--timeout-ms N]\n"
-               "          [--max-states N] [--rungs a,b,...] [file]\n",
+               "          [--max-states N] [--rungs a,b,...] [--threads N] [file]\n",
                argv0);
   return kExitUsage;
 }
@@ -175,6 +177,7 @@ int main(int argc, char** argv) {
   long simulate_steps = 0;
   long timeout_ms = 0;
   long max_states = 0;
+  long threads = 1;
   std::string rungs_csv, gen_spec;
   std::string path;
   for (int i = 1; i < argc; ++i) {
@@ -198,6 +201,9 @@ int main(int argc, char** argv) {
       ladder = true;
     } else if (!std::strcmp(argv[i], "--rungs") && i + 1 < argc) {
       rungs_csv = argv[++i];
+      ladder = true;
+    } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
+      if (!parse_count(argv[++i], threads) || threads == 0) return bad_number(argv[i]);
       ladder = true;
     } else if (!std::strcmp(argv[i], "--gen") && i + 1 < argc) {
       gen_spec = argv[++i];
@@ -273,6 +279,7 @@ int main(int argc, char** argv) {
 
     if (ladder) {
       AnalyzeOptions opt;
+      opt.threads = static_cast<unsigned>(threads);
       if (timeout_ms > 0) {
         opt.budget.limit_duration(std::chrono::milliseconds(timeout_ms));
       }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <stdexcept>
 #include <unordered_map>
 
@@ -63,6 +64,63 @@ void declare_sigma(Fsp& f, const Fsp& p1, const Fsp& p2, bool hide_shared) {
   }
 }
 
+/// Shared BFS core of reachable_product and compose. `hide_shared` maps
+/// every Sigma1 ∩ Sigma2 action to tau *while the product is built* —
+/// hiding only relabels transitions, so the reachable state set and its
+/// BFS numbering are identical either way and compose no longer needs a
+/// second rebuild pass over the finished product. Labels are lazy: the
+/// product keeps an (s1, s2) pair per state plus label *snapshots* of the
+/// components, so n-ary folds stop materializing O(states) strings per
+/// level and stop retaining whole fold intermediates for label access.
+Fsp product_impl(const Fsp& p1, const Fsp& p2, bool hide_shared, const char* sep,
+                 const Budget* budget) {
+  ActionSet sigma1 = p1.sigma_set();
+  ActionSet sigma2 = p2.sigma_set();
+  ActionSet shared = sigma1 & sigma2;
+
+  Fsp out(p1.alphabet(), "(" + p1.name() + sep + p2.name() + ")");
+  auto pairs = std::make_shared<std::vector<std::pair<StateId, StateId>>>();
+  out.set_label_provider(
+      [snap1 = p1.label_snapshot(), snap2 = p2.label_snapshot(), pairs](StateId s) {
+        if (s >= pairs->size()) return std::string();
+        auto [s1, s2] = (*pairs)[s];
+        return "(" + snap1(s1) + "," + snap2(s2) + ")";
+      });
+
+  std::unordered_map<std::uint64_t, StateId> ids;
+  auto key = [&](StateId s1, StateId s2) {
+    return (static_cast<std::uint64_t>(s1) << 32) | s2;
+  };
+  std::vector<std::pair<StateId, StateId>> work;
+  auto intern = [&](StateId s1, StateId s2) {
+    auto [it, fresh] = ids.try_emplace(key(s1, s2), 0);
+    if (fresh) {
+      // Atom vector + pair record + map node dominate the footprint.
+      if (budget) budget->charge(1, 160, "reachable_product");
+      it->second = out.add_state();
+      out.set_atoms(it->second, merged_atoms(p1, s1, p2, s2));
+      pairs->emplace_back(s1, s2);
+      work.emplace_back(s1, s2);
+    }
+    return it->second;
+  };
+
+  StateId start = intern(p1.start(), p2.start());
+  out.set_start(start);
+  while (!work.empty()) {
+    auto [s1, s2] = work.back();
+    work.pop_back();
+    StateId from = ids.at(key(s1, s2));
+    product_moves(p1, s1, p2, s2, sigma1, sigma2, [&](ActionId a, StateId t1, StateId t2) {
+      if (hide_shared && a != kTau && shared.test(a)) a = kTau;
+      out.add_transition(from, a, intern(t1, t2));
+    });
+  }
+  declare_sigma(out, p1, p2, hide_shared);
+  return out;
+}
+
+
 }  // namespace
 
 Fsp full_product(const Fsp& p1, const Fsp& p2) {
@@ -94,62 +152,12 @@ Fsp full_product(const Fsp& p1, const Fsp& p2) {
 
 Fsp reachable_product(const Fsp& p1, const Fsp& p2, const Budget* budget) {
   check_composable(p1, p2);
-  ActionSet sigma1 = p1.sigma_set();
-  ActionSet sigma2 = p2.sigma_set();
-
-  Fsp out(p1.alphabet(), "(" + p1.name() + "&" + p2.name() + ")");
-  std::unordered_map<std::uint64_t, StateId> ids;
-  auto key = [&](StateId s1, StateId s2) {
-    return (static_cast<std::uint64_t>(s1) << 32) | s2;
-  };
-  std::vector<std::pair<StateId, StateId>> work;
-  auto intern = [&](StateId s1, StateId s2) {
-    auto [it, fresh] = ids.try_emplace(key(s1, s2), 0);
-    if (fresh) {
-      // Label string + atom vector + map node dominate the footprint.
-      if (budget) budget->charge(1, 160, "reachable_product");
-      it->second = out.add_state(pair_label(p1, s1, p2, s2));
-      out.set_atoms(it->second, merged_atoms(p1, s1, p2, s2));
-      work.emplace_back(s1, s2);
-    }
-    return it->second;
-  };
-
-  StateId start = intern(p1.start(), p2.start());
-  out.set_start(start);
-  while (!work.empty()) {
-    auto [s1, s2] = work.back();
-    work.pop_back();
-    StateId from = ids.at(key(s1, s2));
-    product_moves(p1, s1, p2, s2, sigma1, sigma2, [&](ActionId a, StateId t1, StateId t2) {
-      out.add_transition(from, a, intern(t1, t2));
-    });
-  }
-  declare_sigma(out, p1, p2, /*hide_shared=*/false);
-  return out;
+  return product_impl(p1, p2, /*hide_shared=*/false, "&", budget);
 }
 
 Fsp compose(const Fsp& p1, const Fsp& p2, const Budget* budget) {
   check_composable(p1, p2);
-  ActionSet shared = p1.sigma_set() & p2.sigma_set();
-  Fsp prod = reachable_product(p1, p2, budget);
-
-  // Rebuild with shared symbols hidden (there is no in-place mutation of
-  // transition labels by design; an Fsp's transitions are append-only).
-  Fsp out(p1.alphabet(), "(" + p1.name() + "||" + p2.name() + ")");
-  for (StateId s = 0; s < prod.num_states(); ++s) {
-    StateId ns = out.add_state(prod.state_label(s));
-    out.set_atoms(ns, prod.atoms(s));
-  }
-  for (StateId s = 0; s < prod.num_states(); ++s) {
-    for (const auto& t : prod.out(s)) {
-      ActionId a = (t.action != kTau && shared.test(t.action)) ? kTau : t.action;
-      out.add_transition(s, a, t.target);
-    }
-  }
-  out.set_start(prod.start());
-  declare_sigma(out, p1, p2, /*hide_shared=*/true);
-  return out;
+  return product_impl(p1, p2, /*hide_shared=*/true, "||", budget);
 }
 
 Fsp add_divergence_leaves(const Fsp& p) {
@@ -213,16 +221,22 @@ bool isomorphic_by_atoms(const Fsp& a, const Fsp& b) {
     map_ab[s] = it->second;
   }
   if (map_ab[a.start()] != b.start()) return false;
+  auto lt = [](const Transition& x, const Transition& y) {
+    return std::tie(x.action, x.target) < std::tie(y.action, y.target);
+  };
+  // Sort every b transition list once; b's targets need no remapping, so
+  // the sorted lists are loop-invariant across all of a's states.
+  std::vector<std::vector<Transition>> b_sorted(b.num_states());
+  for (StateId s = 0; s < b.num_states(); ++s) {
+    b_sorted[s] = b.out(s);
+    std::sort(b_sorted[s].begin(), b_sorted[s].end(), lt);
+  }
+  std::vector<Transition> ta;
   for (StateId s = 0; s < a.num_states(); ++s) {
-    std::vector<Transition> ta;
+    ta.clear();
     for (const auto& t : a.out(s)) ta.push_back({t.action, map_ab[t.target]});
-    std::vector<Transition> tb = b.out(map_ab[s]);
-    auto lt = [](const Transition& x, const Transition& y) {
-      return std::tie(x.action, x.target) < std::tie(y.action, y.target);
-    };
     std::sort(ta.begin(), ta.end(), lt);
-    std::sort(tb.begin(), tb.end(), lt);
-    if (ta != tb) return false;
+    if (ta != b_sorted[map_ab[s]]) return false;
   }
   return true;
 }

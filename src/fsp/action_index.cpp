@@ -1,0 +1,67 @@
+#include "fsp/action_index.hpp"
+
+#include <algorithm>
+
+namespace ccfsp {
+
+ActionIndex::ActionIndex(const Fsp& f) {
+  const std::size_t n = f.num_states();
+  group_off_.reserve(n + 1);
+  group_off_.push_back(0);
+  targets_.reserve(f.num_transitions());
+
+  std::vector<std::uint32_t> order;
+  for (StateId s = 0; s < n; ++s) {
+    const auto& out = f.out(s);
+    order.resize(out.size());
+    for (std::uint32_t i = 0; i < out.size(); ++i) order[i] = i;
+    // Stable: same-action transitions keep their declaration order, which is
+    // the order the unindexed linear scan yields them in.
+    std::stable_sort(order.begin(), order.end(), [&](std::uint32_t x, std::uint32_t y) {
+      return out[x].action < out[y].action;
+    });
+    for (std::uint32_t i = 0; i < order.size();) {
+      const ActionId a = out[order[i]].action;
+      const std::uint32_t begin = static_cast<std::uint32_t>(targets_.size());
+      for (; i < order.size() && out[order[i]].action == a; ++i) {
+        targets_.push_back(out[order[i]].target);
+      }
+      groups_.push_back({a, begin, static_cast<std::uint32_t>(targets_.size())});
+    }
+    group_off_.push_back(static_cast<std::uint32_t>(groups_.size()));
+  }
+
+  // Dense cell table for targets_fast: one slot per observable action that
+  // actually labels a transition, first-seen order.
+  slot_of_.assign(f.alphabet()->size(), UINT32_MAX);
+  for (const Group& g : groups_) {
+    if (g.action != kTau && slot_of_[g.action] == UINT32_MAX) {
+      slot_of_[g.action] = static_cast<std::uint32_t>(num_slots_++);
+    }
+  }
+  cells_.assign(n * num_slots_, {0, 0});
+  for (StateId s = 0; s < n; ++s) {
+    for (std::uint32_t gi = group_off_[s]; gi < group_off_[s + 1]; ++gi) {
+      const Group& g = groups_[gi];
+      if (g.action == kTau) continue;
+      cells_[static_cast<std::size_t>(s) * num_slots_ + slot_of_[g.action]] = {g.begin, g.end};
+    }
+  }
+}
+
+std::span<const StateId> ActionIndex::targets(StateId s, ActionId a) const {
+  const Group* first = groups_.data() + group_off_[s];
+  const Group* last = groups_.data() + group_off_[s + 1];
+  const Group* it = std::lower_bound(first, last, a, [](const Group& g, ActionId key) {
+    return g.action < key;
+  });
+  if (it == last || it->action != a) return {};
+  return {targets_.data() + it->begin, static_cast<std::size_t>(it->end - it->begin)};
+}
+
+std::span<const ActionIndex::Group> ActionIndex::groups(StateId s) const {
+  return {groups_.data() + group_off_[s],
+          static_cast<std::size_t>(group_off_[s + 1] - group_off_[s])};
+}
+
+}  // namespace ccfsp

@@ -1,0 +1,69 @@
+// Per-process action-indexed successor lookup. The handshake inner loop of
+// the global-machine build asks, for every transition of the moving process,
+// "which targets can the partner reach on this symbol from its current
+// state?". Scanning the partner's out-list per query makes that loop
+// O(out-degree^2) per tuple; this index groups each state's transitions by
+// action once (a stable grouping, so relative order within an action is the
+// declaration order the reference build observes) and answers the query with
+// a binary search plus a flat span.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fsp/fsp.hpp"
+
+namespace ccfsp {
+
+class ActionIndex {
+ public:
+  /// One contiguous run of same-action targets out of one state; `begin` /
+  /// `end` index into the flat target array.
+  struct Group {
+    ActionId action;
+    std::uint32_t begin;
+    std::uint32_t end;
+  };
+
+  explicit ActionIndex(const Fsp& f);
+
+  /// Targets of s -a-> t transitions, in declaration order. Empty span when
+  /// the state has no transition on `a`. Works for kTau as well.
+  std::span<const StateId> targets(StateId s, ActionId a) const;
+
+  /// O(1) variant for observable actions (a != kTau): a dense
+  /// (state x used-action) cell table replaces the binary search. This is
+  /// the handshake inner loop's lookup.
+  std::span<const StateId> targets_fast(StateId s, ActionId a) const {
+    const std::uint32_t slot = a < slot_of_.size() ? slot_of_[a] : UINT32_MAX;
+    if (slot == UINT32_MAX) return {};
+    const auto& cell = cells_[static_cast<std::size_t>(s) * num_slots_ + slot];
+    return {targets_.data() + cell.first, static_cast<std::size_t>(cell.second - cell.first)};
+  }
+
+  /// The (action, target-run) groups of state s, actions ascending with kTau
+  /// (the all-ones id) last.
+  std::span<const Group> groups(StateId s) const;
+
+  /// Raw access to the dense cell table, for callers that resolve the action
+  /// slot once (the flat global-machine build precomputes it per transition):
+  /// cell [s * num_slots() + slot] is the (begin, end) run into
+  /// targets_data(). slot_of() is UINT32_MAX for actions this process never
+  /// fires.
+  std::uint32_t slot_of(ActionId a) const {
+    return a < slot_of_.size() ? slot_of_[a] : UINT32_MAX;
+  }
+  std::size_t num_slots() const { return num_slots_; }
+  const std::pair<std::uint32_t, std::uint32_t>* cells_data() const { return cells_.data(); }
+  const StateId* targets_data() const { return targets_.data(); }
+
+ private:
+  std::vector<Group> groups_;
+  std::vector<std::uint32_t> group_off_;  // per state, into groups_
+  std::vector<StateId> targets_;
+  std::vector<std::uint32_t> slot_of_;    // action -> dense slot, UINT32_MAX if unused
+  std::size_t num_slots_ = 0;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> cells_;  // state x slot -> run
+};
+
+}  // namespace ccfsp

@@ -20,10 +20,30 @@ Fsp::Fsp(AlphabetPtr alphabet, std::string name)
 StateId Fsp::add_state(std::string label) {
   StateId s = static_cast<StateId>(out_.size());
   out_.emplace_back();
-  if (label.empty()) label = std::to_string(s);
+  if (label.empty() && !label_fn_) label = std::to_string(s);
   labels_.push_back(std::move(label));
   atoms_.push_back({make_atom(uid_, s)});
   return s;
+}
+
+const std::string& Fsp::state_label(StateId s) const {
+  std::string& slot = labels_[s];
+  if (slot.empty()) {
+    if (label_fn_) slot = label_fn_(s);
+    if (slot.empty()) slot = std::to_string(s);
+  }
+  return slot;
+}
+
+LabelFn Fsp::label_snapshot() const {
+  return [labels = labels_, fn = label_fn_](StateId s) -> std::string {
+    if (s < labels.size() && !labels[s].empty()) return labels[s];
+    if (fn) {
+      std::string v = fn(s);
+      if (!v.empty()) return v;
+    }
+    return std::to_string(s);
+  };
 }
 
 void Fsp::add_transition(StateId from, ActionId action, StateId to) {
@@ -179,7 +199,7 @@ void Fsp::validate() const {
   auto reach = digraph().reachable_from(start_);
   for (StateId s = 0; s < num_states(); ++s) {
     if (!reach[s]) {
-      throw std::logic_error("Fsp '" + name_ + "': state " + labels_[s] +
+      throw std::logic_error("Fsp '" + name_ + "': state " + state_label(s) +
                              " unreachable from start");
     }
   }
@@ -196,6 +216,31 @@ Fsp Fsp::trimmed() const {
   auto reach = digraph().reachable_from(start_);
   std::vector<StateId> remap(num_states(), 0);
   Fsp out(alphabet_, name_);
+  if (label_fn_) {
+    // Keep labels lazy across the trim: route the copy's labels back to the
+    // original state ids through the inverse map (filled below as states are
+    // added, so it must live behind a shared_ptr the provider can hold).
+    auto inverse = std::make_shared<std::vector<StateId>>();
+    out.set_label_provider([snap = label_snapshot(), inverse](StateId s) {
+      return s < inverse->size() ? snap((*inverse)[s]) : std::string();
+    });
+    for (StateId s = 0; s < num_states(); ++s) {
+      if (reach[s]) {
+        remap[s] = out.add_state(labels_[s]);
+        inverse->push_back(s);
+        out.set_atoms(remap[s], atoms_[s]);
+      }
+    }
+    for (StateId s = 0; s < num_states(); ++s) {
+      if (!reach[s]) continue;
+      for (const auto& t : out_[s]) {
+        if (reach[t.target]) out.add_transition(remap[s], t.action, remap[t.target]);
+      }
+    }
+    out.set_start(remap[start_]);
+    for (ActionId a : declared_) out.declare_action(a);
+    return out;
+  }
   for (StateId s = 0; s < num_states(); ++s) {
     if (reach[s]) {
       remap[s] = out.add_state(labels_[s]);
@@ -231,7 +276,7 @@ std::string Fsp::to_dot() const {
   std::string dot = "digraph \"" + name_ + "\" {\n  rankdir=LR;\n";
   dot += "  start [shape=point];\n  start -> s" + std::to_string(start_) + ";\n";
   for (StateId s = 0; s < num_states(); ++s) {
-    dot += "  s" + std::to_string(s) + " [label=\"" + labels_[s] + "\"";
+    dot += "  s" + std::to_string(s) + " [label=\"" + state_label(s) + "\"";
     if (is_leaf(s)) dot += ", shape=doublecircle";
     dot += "];\n";
   }

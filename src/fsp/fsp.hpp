@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,13 @@ inline StateAtom make_atom(std::uint32_t process_uid, StateId s) {
   return (static_cast<StateAtom>(process_uid) << 32) | s;
 }
 
+/// Lazily computes a state's display label on first request. Products of
+/// large networks have millions of states whose labels ("(a & b)" strings
+/// that grow with fold depth) are only ever read for witnesses and dot
+/// dumps, so composites defer label construction instead of materializing
+/// O(states) strings per fold level.
+using LabelFn = std::function<std::string(StateId)>;
+
 class Fsp {
  public:
   Fsp(AlphabetPtr alphabet, std::string name);
@@ -51,8 +59,20 @@ class Fsp {
   std::size_t num_states() const { return out_.size(); }
   std::size_t num_transitions() const;
   const std::vector<Transition>& out(StateId s) const { return out_[s]; }
-  const std::string& state_label(StateId s) const { return labels_[s]; }
+  /// The state's label, materializing it from the provider on first access.
+  const std::string& state_label(StateId s) const;
   std::uint32_t uid() const { return uid_; }
+
+  // ---- lazy labels ----
+  /// Install a provider consulted for states whose label is still empty.
+  /// add_state() then stops pre-filling numeric default labels.
+  void set_label_provider(LabelFn fn) { label_fn_ = std::move(fn); }
+  bool has_label_provider() const { return static_cast<bool>(label_fn_); }
+  /// A self-contained closure answering state_label() for this process's
+  /// current states. It captures a *copy* of the materialized labels plus
+  /// the provider — not the Fsp — so composites built from it do not keep
+  /// their fold intermediates (transitions, atoms) alive.
+  LabelFn label_snapshot() const;
 
   /// Sorted atoms forming this state (a single atom for original processes,
   /// a flattened tuple for composites).
@@ -114,7 +134,8 @@ class Fsp {
   std::uint32_t uid_;
   StateId start_ = 0;
   std::vector<std::vector<Transition>> out_;
-  std::vector<std::string> labels_;
+  mutable std::vector<std::string> labels_;
+  LabelFn label_fn_;
   std::vector<std::vector<StateAtom>> atoms_;
   std::vector<ActionId> declared_;
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "fsp/cache.hpp"
+#include "util/flat_interner.hpp"
+
 namespace ccfsp {
 
 namespace {
@@ -12,7 +15,8 @@ std::vector<ActionId> set_to_sorted(const ActionSet& s) {
   return out;
 }
 
-std::set<std::vector<ActionId>> annotate(const Fsp& p, const std::vector<StateId>& subset,
+std::set<std::vector<ActionId>> annotate(const Fsp& p, const FspAnalysisCache& cache,
+                                         const std::vector<StateId>& subset,
                                          SemanticAnnotation kind) {
   std::set<std::vector<ActionId>> ann;
   switch (kind) {
@@ -27,7 +31,7 @@ std::set<std::vector<ActionId>> annotate(const Fsp& p, const std::vector<StateId
       // Minimal ready sets form an antichain equivalent to the maximal
       // refusal sets of the failures model.
       std::vector<ActionSet> readies;
-      for (StateId q : subset) readies.push_back(p.ready_actions(q));
+      for (StateId q : subset) readies.push_back(cache.ready_actions(q));
       for (std::size_t i = 0; i < readies.size(); ++i) {
         bool minimal = true;
         for (std::size_t j = 0; j < readies.size() && minimal; ++j) {
@@ -48,43 +52,56 @@ std::set<std::vector<ActionId>> annotate(const Fsp& p, const std::vector<StateId
 AnnotatedDfa annotated_determinize(const Fsp& p, SemanticAnnotation kind,
                                    const Budget* budget) {
   AnnotatedDfa dfa;
-  std::map<std::vector<StateId>, std::uint32_t> ids;
+  // Closures and ready sets come from the analysis cache (each is computed
+  // once per state instead of once per subset membership), and subsets are
+  // deduplicated by hash instead of through a std::map of vectors. Subsets
+  // are interned in the same order as before — sorted-unique keys, actions
+  // ascending — so the DFA numbering is unchanged.
+  FspAnalysisCache cache(p, budget);
+  SpanInterner ids;
 
-  auto intern = [&](std::vector<StateId> subset) {
-    auto [it, fresh] = ids.try_emplace(subset, static_cast<std::uint32_t>(dfa.trans.size()));
+  auto intern = [&](const std::vector<StateId>& subset) {
+    auto [id, fresh] = ids.intern({subset.data(), subset.size()});
     if (fresh) {
       if (budget) {
         budget->charge(1, subset.size() * sizeof(StateId) + 160, "annotated_determinize");
       }
       dfa.trans.emplace_back();
-      dfa.annotation.push_back(annotate(p, subset, kind));
-      dfa.subsets.push_back(std::move(subset));
+      dfa.annotation.push_back(annotate(p, cache, subset, kind));
+      dfa.subsets.push_back(subset);
     }
-    return it->second;
+    return id;
   };
 
-  dfa.start = intern(p.tau_closure(p.start()));
+  dfa.start = intern(cache.tau_closure(p.start()));
+  std::vector<ActionId> actions;
+  std::vector<StateId> next;
   for (std::uint32_t i = 0; i < dfa.trans.size(); ++i) {
     // Collect candidate actions from the subset (copy: vectors may reallocate
     // as intern() appends).
     std::vector<StateId> subset = dfa.subsets[i];
-    std::set<ActionId> actions;
+    actions.clear();
     for (StateId s : subset) {
       for (const auto& t : p.out(s)) {
-        if (t.action != kTau) actions.insert(t.action);
+        if (t.action != kTau) actions.push_back(t.action);
       }
     }
+    std::sort(actions.begin(), actions.end());
+    actions.erase(std::unique(actions.begin(), actions.end()), actions.end());
     for (ActionId a : actions) {
-      std::set<StateId> next;
+      next.clear();
       for (StateId s : subset) {
         for (const auto& t : p.out(s)) {
           if (t.action == a) {
-            for (StateId r : p.tau_closure(t.target)) next.insert(r);
+            const auto& cl = cache.tau_closure(t.target);
+            next.insert(next.end(), cl.begin(), cl.end());
           }
         }
       }
       if (next.empty()) continue;
-      std::uint32_t target = intern(std::vector<StateId>(next.begin(), next.end()));
+      std::sort(next.begin(), next.end());
+      next.erase(std::unique(next.begin(), next.end()), next.end());
+      std::uint32_t target = intern(next);
       dfa.trans[i].emplace(a, target);
     }
   }

@@ -49,7 +49,7 @@ std::string render(const Verdict& v) {
 /// Run one rung against its forked budget, merging whatever it establishes
 /// into `verdict` as it goes (so a mid-rung wall keeps partial answers).
 RungOutcome attempt(Rung rung, const Network& net, std::size_t p_index, bool cyclic,
-                    const Budget& rung_budget, Verdict& verdict) {
+                    const Budget& rung_budget, unsigned threads, Verdict& verdict) {
   RungOutcome out;
   out.rung = rung;
   const Fsp& p = net.process(p_index);
@@ -99,7 +99,7 @@ RungOutcome attempt(Rung rung, const Network& net, std::size_t p_index, bool cyc
         break;
       }
       case Rung::kExplicit: {
-        GlobalMachine g = build_global(net, rung_budget);
+        GlobalMachine g = build_global(net, rung_budget, threads);
         if (cyclic) {
           merge(verdict.unavoidable_success, !potential_blocking_cyclic_on(net, g, p_index));
           merge(verdict.success_collab, success_collab_cyclic_on(net, g, p_index));
@@ -172,7 +172,7 @@ AnalysisReport analyze(const Network& net, std::size_t p_index, const AnalyzeOpt
     }
     Budget rung_budget = opt.budget.fork();
     RungOutcome outcome = attempt(rung, net, p_index, report.cyclic_semantics, rung_budget,
-                                  report.verdict);
+                                  opt.threads == 0 ? 1 : opt.threads, report.verdict);
     exhausted |= outcome.status == OutcomeStatus::kBudgetExhausted;
     bool now_complete = report.verdict.complete();
     report.rungs.push_back(std::move(outcome));

@@ -89,6 +89,10 @@ struct AnalyzeOptions {
   /// rungs run even when the default classification would skip them — an
   /// inapplicable rung reports kUnsupported and the ladder moves on.
   std::vector<Rung> rungs;
+  /// Worker threads for the explicit rung's global-machine construction
+  /// (1 = sequential). The result is bit-identical either way; see
+  /// build_global.
+  unsigned threads = 1;
 };
 
 /// Analyze net.process(p_index) under the options. Never throws on budget

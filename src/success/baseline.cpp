@@ -8,7 +8,7 @@ namespace {
 
 bool p_at_leaf(const Network& net, const GlobalMachine& g, std::uint32_t state,
                std::size_t p_index) {
-  return net.process(p_index).is_leaf(g.tuples[state][p_index]);
+  return net.process(p_index).is_leaf(g.local_state(state, p_index));
 }
 
 }  // namespace
@@ -32,11 +32,11 @@ bool success_collab_cyclic_on(const Network& net, const GlobalMachine& g,
   (void)net;
   Digraph d(g.num_states());
   for (std::uint32_t s = 0; s < g.num_states(); ++s) {
-    for (const auto& e : g.edges[s]) d.add_edge(s, e.target);
+    for (const auto& e : g.out(s)) d.add_edge(s, e.target);
   }
   auto scc = d.scc();
   for (std::uint32_t s = 0; s < g.num_states(); ++s) {
-    for (const auto& e : g.edges[s]) {
+    for (const auto& e : g.out(s)) {
       if (g.process_moves(e, p_index) && scc.component[s] == scc.component[e.target]) {
         return true;
       }
@@ -58,13 +58,13 @@ bool potential_blocking_cyclic_on(const Network& net, const GlobalMachine& g,
   // the network can churn forever while P is starved.
   Digraph d(g.num_states());
   for (std::uint32_t s = 0; s < g.num_states(); ++s) {
-    for (const auto& e : g.edges[s]) {
+    for (const auto& e : g.out(s)) {
       if (!g.process_moves(e, p_index)) d.add_edge(s, e.target);
     }
   }
   auto scc = d.scc();
   for (std::uint32_t s = 0; s < g.num_states(); ++s) {
-    for (const auto& e : g.edges[s]) {
+    for (const auto& e : g.out(s)) {
       if (!g.process_moves(e, p_index) && scc.component[s] == scc.component[e.target]) {
         return true;
       }

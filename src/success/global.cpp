@@ -1,37 +1,576 @@
 #include "success/global.hpp"
 
+#include <atomic>
+#include <deque>
+#include <cstring>
 #include <map>
+#include <mutex>
 #include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "fsp/action_index.hpp"
+#include "util/flat_interner.hpp"
 
 namespace ccfsp {
 
+namespace {
+
+// Estimated retained bytes per interned tuple in the flat build: the packed
+// tuple itself, its hash slot (with load-factor slack), its CSR offset, and
+// an amortized share of the edge array.
+std::size_t flat_bytes_per_state(std::size_t m) { return m * sizeof(StateId) + 48; }
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// One local transition with everything the expansion inner loop needs
+/// precomputed at flatten time: the handshake partner, the partner's dense
+/// action slot in its ActionIndex cell table, the Zobrist hash delta of the
+/// mover's coordinate change, and the mover's packed-patch bits. Transitions
+/// that can never emit an edge from this side — handshakes whose partner has
+/// a lower process id (the pair is emitted from the lower side) or whose
+/// partner never fires the action — are dropped entirely.
+struct FlatTr {
+  std::uint64_t zdelta;   // zob(i, source) ^ zob(i, target)
+  std::uint32_t set_i;    // (target & mask_i) << shift_i, ORed after clear
+  std::uint32_t partner;  // == owning process for tau moves
+  std::uint32_t slot;     // partner's dense action slot (handshakes only)
+  ActionId action;
+};
+
+/// One process's surviving transitions as CSR (declaration order kept).
+/// Fsp stores a heap-allocated vector per state; the expansion loop touches
+/// a random state of every process for every global state, so the copy buys
+/// locality for the price of one pass over each process.
+struct FlatProc {
+  std::vector<std::uint32_t> off;  // num_states + 1
+  std::vector<FlatTr> tr;
+};
+
+struct Packer;  // fwd
+struct Zobrist;
+
+std::vector<FlatProc> flatten_processes(
+    const Network& net, const std::vector<ActionIndex>& index,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& owners, const Packer& packer,
+    const Zobrist& zob);
+
+/// Raw per-process view of an ActionIndex cell table, hoisted out of the
+/// expansion loop so a handshake lookup is one multiply-add and one load.
+struct IdxRef {
+  const std::pair<std::uint32_t, std::uint32_t>* cells;
+  const StateId* targets;
+  std::size_t slots;
+};
+
+/// Bit-packs an m-tuple of local states: coordinate i takes
+/// bit_width(|Q_i| - 1) bits (min 1) and never straddles a 32-bit word
+/// boundary, so a patch is one masked OR. Interning packed keys shrinks the
+/// probe working set by ~4-8x (phil:12 drops from 24 words to 3), which is
+/// what keeps the hash table's payload compares inside the cache; the public
+/// GlobalMachine::tuple_data stays unpacked — builders decode on the way out.
+struct Packer {
+  struct Coord {
+    std::uint32_t word, shift, mask;
+    std::uint32_t clear;  // ~(mask << shift): the word with this coord blanked
+  };
+  std::vector<Coord> coord;
+  std::uint32_t words = 1;
+
+  explicit Packer(const Network& net) {
+    std::uint32_t w = 0, used = 0;
+    coord.reserve(net.size());
+    for (std::size_t i = 0; i < net.size(); ++i) {
+      const auto ns = static_cast<std::uint64_t>(net.process(i).num_states());
+      std::uint32_t bits = 1;
+      while ((1ull << bits) < ns) ++bits;
+      if (used + bits > 32) {
+        ++w;
+        used = 0;
+      }
+      const std::uint32_t mask = bits >= 32 ? 0xffffffffu : (1u << bits) - 1;
+      coord.push_back({w, used, mask, ~(mask << used)});
+      used += bits;
+    }
+    words = w + 1;
+  }
+
+  void pack(const StateId* tuple, std::uint32_t* out) const {
+    for (std::uint32_t k = 0; k < words; ++k) out[k] = 0;
+    for (std::size_t i = 0; i < coord.size(); ++i) {
+      out[coord[i].word] |= (tuple[i] & coord[i].mask) << coord[i].shift;
+    }
+  }
+  void unpack(const std::uint32_t* packed, StateId* out) const {
+    for (std::size_t i = 0; i < coord.size(); ++i) {
+      out[i] = (packed[coord[i].word] >> coord[i].shift) & coord[i].mask;
+    }
+  }
+  void patch(std::uint32_t* packed, std::uint32_t i, StateId q) const {
+    const Coord& c = coord[i];
+    packed[c.word] = (packed[c.word] & ~(c.mask << c.shift)) | ((q & c.mask) << c.shift);
+  }
+};
+
+/// Zobrist table: an independent random 64-bit key per (process, local
+/// state). A tuple hashes to the XOR of its coordinates' keys, so a
+/// successor differing in one or two coordinates is re-hashed in O(1)
+/// instead of O(m) — the intern loop is the hottest path in the engine and
+/// hashing was the largest term in it.
+struct Zobrist {
+  std::vector<std::uint64_t> keys;  // one flat block, process i at off[i]
+  std::vector<std::uint32_t> off;
+
+  explicit Zobrist(const Network& net) {
+    off.reserve(net.size());
+    for (std::size_t i = 0; i < net.size(); ++i) {
+      off.push_back(static_cast<std::uint32_t>(keys.size()));
+      for (std::size_t q = 0; q < net.process(i).num_states(); ++q) {
+        keys.push_back(splitmix64((static_cast<std::uint64_t>(i) << 32) | q));
+      }
+    }
+  }
+
+  std::uint64_t key(std::uint32_t i, StateId q) const { return keys[off[i] + q]; }
+
+  std::uint64_t of_tuple(const StateId* tuple, std::size_t m) const {
+    std::uint64_t h = 0;
+    for (std::size_t i = 0; i < m; ++i) h ^= key(static_cast<std::uint32_t>(i), tuple[i]);
+    return h;
+  }
+};
+
+std::vector<FlatProc> flatten_processes(
+    const Network& net, const std::vector<ActionIndex>& index,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& owners, const Packer& packer,
+    const Zobrist& zob) {
+  std::vector<FlatProc> procs(net.size());
+  for (std::uint32_t i = 0; i < net.size(); ++i) {
+    const Fsp& p = net.process(i);
+    const Packer::Coord ci = packer.coord[i];
+    FlatProc& fp = procs[i];
+    fp.off.reserve(p.num_states() + 1);
+    fp.off.push_back(0);
+    fp.tr.reserve(p.num_transitions());
+    for (StateId q = 0; q < p.num_states(); ++q) {
+      for (const Transition& t : p.out(q)) {
+        FlatTr ft;
+        ft.zdelta = zob.key(i, q) ^ zob.key(i, t.target);
+        ft.set_i = (t.target & ci.mask) << ci.shift;
+        ft.action = t.action;
+        if (t.action == kTau) {
+          ft.partner = i;
+          ft.slot = 0;
+        } else {
+          auto [o1, o2] = owners[t.action];
+          ft.partner = (o1 == i) ? o2 : o1;
+          if (ft.partner < i) continue;  // the lower side emits this pair
+          ft.slot = index[ft.partner].slot_of(t.action);
+          if (ft.slot == UINT32_MAX) continue;  // partner never fires it
+        }
+        fp.tr.push_back(ft);
+      }
+      fp.off.push_back(static_cast<std::uint32_t>(fp.tr.size()));
+    }
+  }
+  return procs;
+}
+
+/// Enumerate the Definition 3 successors of `tuple` in the canonical order
+/// every build mode shares: processes ascending, each process's transitions
+/// in declaration order, handshake partner targets in declaration order.
+/// `tuple` is the unpacked parent, `pscratch` its packed form; each emitted
+/// successor patches the one or two moved coordinates of `pscratch` (and the
+/// Zobrist hash) in O(1), emits, and restores — the emit callback sees the
+/// successor's packed key and hash.
+template <typename Emit>
+void expand_tuple(const std::vector<FlatProc>& procs, const std::vector<IdxRef>& idx,
+                  const Packer& packer, const Zobrist& zob, const StateId* tuple,
+                  std::uint64_t h, std::uint32_t m, std::uint32_t* pscratch, Emit&& emit) {
+  for (std::uint32_t i = 0; i < m; ++i) {
+    const FlatProc& pi = procs[i];
+    const StateId qi = tuple[i];
+    std::uint32_t k = pi.off[qi];
+    const std::uint32_t kend = pi.off[qi + 1];
+    if (k == kend) continue;
+    const Packer::Coord ci = packer.coord[i];
+    const std::uint32_t save_i = pscratch[ci.word];
+    const std::uint32_t base_i = save_i & ci.clear;
+    for (; k < kend; ++k) {
+      const FlatTr& t = pi.tr[k];
+      const std::uint32_t j = t.partner;
+      if (j == i) {  // tau move
+        pscratch[ci.word] = base_i | t.set_i;
+        emit(i, i, kTau, h ^ t.zdelta);
+        pscratch[ci.word] = save_i;
+      } else {  // handshake; j > i and the slot are precomputed
+        const StateId qj = tuple[j];
+        const IdxRef& rj = idx[j];
+        const auto cell = rj.cells[static_cast<std::size_t>(qj) * rj.slots + t.slot];
+        if (cell.first == cell.second) continue;
+        pscratch[ci.word] = base_i | t.set_i;
+        const Packer::Coord cj = packer.coord[j];
+        const std::uint32_t base_j = pscratch[cj.word] & cj.clear;  // sees i's patch
+        const std::uint64_t hi = h ^ t.zdelta ^ zob.key(j, qj);
+        for (std::uint32_t e = cell.first; e < cell.second; ++e) {
+          const StateId u = rj.targets[e];
+          pscratch[cj.word] = base_j | ((u & cj.mask) << cj.shift);
+          emit(i, j, t.action, hi ^ zob.key(j, u));
+        }
+        // Restore j's coordinate first, then i's whole word — the order makes
+        // the shared-word case (base_j already carries i's patch) come out
+        // right.
+        pscratch[cj.word] = base_j | ((qj & cj.mask) << cj.shift);
+        pscratch[ci.word] = save_i;
+      }
+    }
+  }
+}
+
+GlobalMachine build_sequential(const Network& net, const Budget& budget,
+                               const std::vector<FlatProc>& procs,
+                               const std::vector<IdxRef>& idx, const Packer& packer,
+                               const Zobrist& zob) {
+  const std::uint32_t m = static_cast<std::uint32_t>(net.size());
+  const std::size_t bytes_per_state = flat_bytes_per_state(m);
+
+  const std::uint32_t W = packer.words;
+  TupleArena arena(W);
+  GlobalMachine g;
+  g.width = m;
+  g.edge_offsets.push_back(0);
+
+  std::vector<StateId> cur_tuple(m);
+  std::vector<std::uint32_t> pscratch(W);
+  for (std::size_t i = 0; i < m; ++i) cur_tuple[i] = net.process(i).start();
+  packer.pack(cur_tuple.data(), pscratch.data());
+  arena.intern(pscratch.data(), zob.of_tuple(cur_tuple.data(), m));
+  budget.charge(1, bytes_per_state, "build_global");
+
+  // Successors pass through a small FIFO ring: each emit snapshots the
+  // packed key, prefetches its hash slot, and the intern happens K entries
+  // later (still in emission order, so the numbering is untouched) — by then
+  // the slot's cache line is usually in flight or resident. Networks too
+  // wide for the ring's inline key storage intern directly.
+  constexpr unsigned kRing = 16;     // power of two
+  constexpr unsigned kRingMaxW = 8;  // packed words storable inline
+  struct Pending {
+    std::uint32_t w[kRingMaxW];
+    std::uint64_t h;
+    ActionId a;
+    std::uint16_t i, j;
+  };
+  Pending ring[kRing];
+  unsigned rhead = 0, rcount = 0;
+  auto drain_one = [&] {
+    Pending& p = ring[rhead++ & (kRing - 1)];
+    --rcount;
+    auto [target, fresh] = arena.intern(p.w, p.h);
+    if (fresh) budget.charge(1, bytes_per_state, "build_global");
+    g.edge_data.push_back({target, p.a, p.i, p.j});
+  };
+
+  for (std::uint32_t cur = 0; cur < arena.size(); ++cur) {
+    // Copy: the arena's packed block may reallocate as we intern successors.
+    std::memcpy(pscratch.data(), arena[cur], W * sizeof(std::uint32_t));
+    packer.unpack(pscratch.data(), cur_tuple.data());
+    const std::uint64_t cur_hash = arena.hash_of(cur);
+    if (W <= kRingMaxW) {
+      expand_tuple(procs, idx, packer, zob, cur_tuple.data(), cur_hash, m, pscratch.data(),
+                   [&](std::uint32_t i, std::uint32_t j, ActionId a, std::uint64_t h) {
+                     if (rcount == kRing) drain_one();
+                     Pending& p = ring[(rhead + rcount++) & (kRing - 1)];
+                     std::memcpy(p.w, pscratch.data(), W * sizeof(std::uint32_t));
+                     p.h = h;
+                     p.a = a;
+                     p.i = static_cast<std::uint16_t>(i);
+                     p.j = static_cast<std::uint16_t>(j);
+                     arena.prefetch(h);
+                   });
+      while (rcount > 0) drain_one();
+    } else {
+      expand_tuple(procs, idx, packer, zob, cur_tuple.data(), cur_hash, m, pscratch.data(),
+                   [&](std::uint32_t i, std::uint32_t j, ActionId a, std::uint64_t h) {
+                     auto [target, fresh] = arena.intern(pscratch.data(), h);
+                     if (fresh) budget.charge(1, bytes_per_state, "build_global");
+                     g.edge_data.push_back({target, a, static_cast<std::uint16_t>(i),
+                                            static_cast<std::uint16_t>(j)});
+                   });
+    }
+    g.edge_offsets.push_back(static_cast<std::uint32_t>(g.edge_data.size()));
+  }
+  // Decode the packed arena into the public unpacked tuple block.
+  const std::vector<std::uint32_t> packed = arena.release_data();
+  g.tuple_data.resize(static_cast<std::size_t>(g.edge_offsets.size() - 1) * m);
+  for (std::size_t id = 0; id + 1 < g.edge_offsets.size(); ++id) {
+    packer.unpack(packed.data() + id * W, g.tuple_data.data() + id * m);
+  }
+  return g;
+}
+
+/// Parallel level-synchronous BFS. Tuples are interned into `threads` shards
+/// selected by hash; workers expand disjoint slices of the current frontier
+/// and record each source's edges as one contiguous run in a worker-local
+/// buffer, so the final sequential renumber pass — a BFS over the runs in
+/// canonical edge order — reproduces the sequential numbering exactly.
+GlobalMachine build_parallel(const Network& net, const Budget& budget, unsigned threads,
+                             const std::vector<FlatProc>& procs, const std::vector<IdxRef>& idx,
+                             const Packer& packer, const Zobrist& zob) {
+  const std::uint32_t m = static_cast<std::uint32_t>(net.size());
+  const std::size_t bytes_per_state = flat_bytes_per_state(m);
+  const unsigned T = threads;
+
+  struct PEdge {
+    std::uint64_t ptarget;  // (shard << 32) | shard-local id
+    std::uint32_t mover;
+    std::uint32_t partner;
+    ActionId action;
+  };
+  struct Run {
+    std::uint32_t worker = 0;
+    std::uint32_t begin = 0;
+    std::uint32_t count = 0;
+  };
+  struct Shard {
+    explicit Shard(std::size_t width) : arena(width) {}
+    TupleArena arena;
+    std::mutex mu;
+    std::vector<std::uint32_t> fresh;  // locals interned this level
+    std::vector<Run> runs;             // per local id, filled when expanded
+  };
+
+  const std::uint32_t W = packer.words;
+  std::deque<Shard> shards;  // deque: Shard holds a mutex and cannot move
+  for (unsigned s = 0; s < T; ++s) shards.emplace_back(W);
+  std::vector<std::vector<PEdge>> worker_edges(T);
+
+  auto provisional = [](std::uint32_t shard, std::uint32_t local) {
+    return (static_cast<std::uint64_t>(shard) << 32) | local;
+  };
+
+  // Intern the initial tuple.
+  std::vector<StateId> init(m);
+  std::vector<std::uint32_t> init_packed(W);
+  for (std::size_t i = 0; i < m; ++i) init[i] = net.process(i).start();
+  packer.pack(init.data(), init_packed.data());
+  const std::uint64_t init_hash = zob.of_tuple(init.data(), m);
+  const std::uint32_t init_shard = static_cast<std::uint32_t>(init_hash % T);
+  shards[init_shard].arena.intern(init_packed.data(), init_hash);
+  shards[init_shard].runs.emplace_back();
+  budget.charge(1, bytes_per_state, "build_global");
+
+  std::vector<std::uint64_t> frontier{provisional(init_shard, 0)};
+  std::vector<StateId> frontier_tuples = init;        // |frontier| * m snapshot
+  std::vector<std::uint64_t> frontier_hashes{init_hash};
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> level_fresh{0};
+  const std::size_t max_states = budget.max_states();
+  std::size_t states_total = 1;
+
+  while (!frontier.empty()) {
+    budget.tick("build_global");
+    const std::size_t n = frontier.size();
+
+    auto work = [&](unsigned w) {
+      const std::size_t begin = n * w / T, end = n * (w + 1) / T;
+      std::vector<std::uint32_t> pscratch(W);
+      std::vector<PEdge>& edges = worker_edges[w];
+      std::size_t emitted = 0;
+      for (std::size_t f = begin; f < end; ++f) {
+        const std::uint64_t src = frontier[f];
+        Run run;
+        run.worker = w;
+        run.begin = static_cast<std::uint32_t>(edges.size());
+        const StateId* tuple = frontier_tuples.data() + f * m;
+        packer.pack(tuple, pscratch.data());
+        expand_tuple(procs, idx, packer, zob, tuple, frontier_hashes[f], m, pscratch.data(),
+                     [&](std::uint32_t i, std::uint32_t j, ActionId a, std::uint64_t h) {
+                       const std::uint32_t sh = static_cast<std::uint32_t>(h % T);
+                       Shard& shard = shards[sh];
+                       std::uint32_t local;
+                       bool fresh;
+                       {
+                         std::lock_guard<std::mutex> lock(shard.mu);
+                         std::tie(local, fresh) = shard.arena.intern(pscratch.data(), h);
+                         if (fresh) shard.fresh.push_back(local);
+                       }
+                       if (fresh) level_fresh.fetch_add(1, std::memory_order_relaxed);
+                       edges.push_back({provisional(sh, local), i, j, a});
+                       if ((++emitted & 1023u) == 0 && !stop.load(std::memory_order_relaxed)) {
+                         // Cooperative early-out: the level result is discarded
+                         // on abort, so a partial expansion is harmless.
+                         if (states_total + level_fresh.load(std::memory_order_relaxed) >
+                                 max_states ||
+                             budget.probe() != BudgetDimension::kNone) {
+                           stop.store(true, std::memory_order_relaxed);
+                         }
+                       }
+                     });
+        run.count = static_cast<std::uint32_t>(edges.size()) - run.begin;
+        shards[src >> 32].runs[static_cast<std::uint32_t>(src)] = run;
+        if (stop.load(std::memory_order_relaxed)) return;
+      }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(T);
+    for (unsigned w = 0; w < T; ++w) pool.emplace_back(work, w);
+    for (auto& t : pool) t.join();
+
+    // Account for the whole level at once: same totals as the sequential
+    // build, coarser trip points. Throws BudgetExceeded past the wall.
+    const std::size_t fresh_total = level_fresh.exchange(0);
+    if (fresh_total > 0) {
+      budget.charge(fresh_total, fresh_total * bytes_per_state, "build_global");
+    }
+    budget.tick("build_global");
+    if (stop.load()) {
+      // probe() fired mid-level but the post-level charge/tick passed (e.g.
+      // a token cancelled and re-armed); treat it as exhausted anyway.
+      throw BudgetExceeded(BudgetDimension::kCancelled, "build_global", budget.states_used(),
+                           budget.bytes_used());
+    }
+    states_total += fresh_total;
+
+    // Collect the next frontier and snapshot its tuples (workers must never
+    // read a shard arena another worker may be growing).
+    frontier.clear();
+    frontier_tuples.clear();
+    frontier_hashes.clear();
+    for (std::uint32_t s = 0; s < T; ++s) {
+      Shard& shard = shards[s];
+      for (std::uint32_t local : shard.fresh) {
+        frontier.push_back(provisional(s, local));
+        frontier_tuples.resize(frontier_tuples.size() + m);
+        packer.unpack(shard.arena[local], frontier_tuples.data() + frontier_tuples.size() - m);
+        frontier_hashes.push_back(shard.arena.hash_of(local));
+      }
+      shard.fresh.clear();
+      shard.runs.resize(shard.arena.size());
+    }
+  }
+
+  // Canonical renumber: FIFO BFS over the recorded runs assigns final ids in
+  // first-discovery order scanning each state's edges in emission order —
+  // exactly the id assignment of the sequential build.
+  GlobalMachine g;
+  g.width = m;
+  g.tuple_data.reserve(states_total * m);
+  g.edge_offsets.reserve(states_total + 1);
+  g.edge_offsets.push_back(0);
+
+  constexpr std::uint32_t kUnassigned = UINT32_MAX;
+  std::vector<std::vector<std::uint32_t>> canon(T);
+  for (std::uint32_t s = 0; s < T; ++s) canon[s].assign(shards[s].arena.size(), kUnassigned);
+  std::vector<std::uint64_t> order;
+  order.reserve(states_total);
+  canon[init_shard][0] = 0;
+  order.push_back(provisional(init_shard, 0));
+
+  for (std::size_t f = 0; f < order.size(); ++f) {
+    const std::uint32_t sh = static_cast<std::uint32_t>(order[f] >> 32);
+    const std::uint32_t local = static_cast<std::uint32_t>(order[f]);
+    g.tuple_data.resize(g.tuple_data.size() + m);
+    packer.unpack(shards[sh].arena[local], g.tuple_data.data() + g.tuple_data.size() - m);
+    const Run& run = shards[sh].runs[local];
+    const PEdge* e = worker_edges[run.worker].data() + run.begin;
+    for (std::uint32_t k = 0; k < run.count; ++k) {
+      const std::uint32_t tsh = static_cast<std::uint32_t>(e[k].ptarget >> 32);
+      const std::uint32_t tlocal = static_cast<std::uint32_t>(e[k].ptarget);
+      std::uint32_t& c = canon[tsh][tlocal];
+      if (c == kUnassigned) {
+        c = static_cast<std::uint32_t>(order.size());
+        order.push_back(e[k].ptarget);
+      }
+      g.edge_data.push_back({c, e[k].action, static_cast<std::uint16_t>(e[k].mover),
+                             static_cast<std::uint16_t>(e[k].partner)});
+    }
+    g.edge_offsets.push_back(static_cast<std::uint32_t>(g.edge_data.size()));
+  }
+  return g;
+}
+
+}  // namespace
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>> action_owner_table(
+    const std::vector<Fsp>& processes, std::size_t alphabet_size) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> owners(
+      alphabet_size, {UINT32_MAX, UINT32_MAX});
+  std::vector<std::uint32_t> count(alphabet_size, 0);
+  for (std::uint32_t i = 0; i < processes.size(); ++i) {
+    for (ActionId a : processes[i].sigma()) {
+      if (count[a] == 0) {
+        owners[a].first = i;
+      } else if (count[a] == 1) {
+        owners[a].second = i;
+      }
+      ++count[a];
+    }
+  }
+  for (ActionId a = 0; a < alphabet_size; ++a) {
+    if (count[a] != 0 && count[a] != 2) {
+      const std::string name =
+          processes.empty() ? std::to_string(a) : processes[0].alphabet()->name(a);
+      throw std::invalid_argument("build_global: action '" + name + "' belongs to " +
+                                  std::to_string(count[a]) +
+                                  " process alphabets (Definition 2 requires exactly 2)");
+    }
+  }
+  return owners;
+}
+
+GlobalMachine build_global(const Network& net, const Budget& budget, unsigned threads) {
+  if (net.size() > UINT16_MAX) {
+    throw std::logic_error("build_global: networks past 65535 processes are unsupported");
+  }
+  auto owners = action_owner_table(net.processes(), net.alphabet()->size());
+  std::vector<ActionIndex> index;
+  index.reserve(net.size());
+  for (std::size_t i = 0; i < net.size(); ++i) index.emplace_back(net.process(i));
+  const Packer packer(net);
+  const Zobrist zob(net);
+  auto procs = flatten_processes(net, index, owners, packer, zob);
+  std::vector<IdxRef> idx;
+  idx.reserve(index.size());
+  for (const ActionIndex& ai : index) {
+    idx.push_back({ai.cells_data(), ai.targets_data(), ai.num_slots()});
+  }
+  if (threads > 64) threads = 64;
+  if (threads > 1) return build_parallel(net, budget, threads, procs, idx, packer, zob);
+  return build_sequential(net, budget, procs, idx, packer, zob);
+}
+
 GlobalMachine build_global(const Network& net, const Budget& budget) {
+  return build_global(net, budget, 1);
+}
+
+GlobalMachine build_global(const Network& net, std::size_t max_states) {
+  return build_global(net, Budget::with_states(max_states), 1);
+}
+
+GlobalMachine build_global_reference(const Network& net, const Budget& budget) {
   const std::size_t m = net.size();
   // Per interned tuple: the tuple vector itself, the interning map node,
   // and the (amortized) edge list headers.
   const std::size_t bytes_per_state = m * sizeof(StateId) + 96;
 
-  // Per-action owner pair (each action belongs to exactly two processes).
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> owners(
-      net.alphabet()->size(), {UINT32_MAX, UINT32_MAX});
-  for (std::uint32_t i = 0; i < m; ++i) {
-    for (ActionId a : net.process(i).sigma()) {
-      if (owners[a].first == UINT32_MAX) {
-        owners[a].first = i;
-      } else {
-        owners[a].second = i;
-      }
-    }
-  }
+  auto owners = action_owner_table(net.processes(), net.alphabet()->size());
 
-  GlobalMachine g;
+  std::vector<std::vector<StateId>> tuples;
+  std::vector<std::vector<GlobalMachine::Edge>> edges;
   std::map<std::vector<StateId>, std::uint32_t> ids;
   auto intern = [&](std::vector<StateId> tuple) {
-    auto [it, fresh] = ids.try_emplace(tuple, static_cast<std::uint32_t>(g.tuples.size()));
+    auto [it, fresh] = ids.try_emplace(tuple, static_cast<std::uint32_t>(tuples.size()));
     if (fresh) {
       budget.charge(1, bytes_per_state, "build_global");
-      g.tuples.push_back(std::move(tuple));
-      g.edges.emplace_back();
+      tuples.push_back(std::move(tuple));
+      edges.emplace_back();
     }
     return it->second;
   };
@@ -40,23 +579,21 @@ GlobalMachine build_global(const Network& net, const Budget& budget) {
   for (std::size_t i = 0; i < m; ++i) init[i] = net.process(i).start();
   intern(std::move(init));
 
-  for (std::uint32_t cur = 0; cur < g.tuples.size(); ++cur) {
-    std::vector<StateId> tuple = g.tuples[cur];  // copy: tuples vector grows
+  for (std::uint32_t cur = 0; cur < tuples.size(); ++cur) {
+    std::vector<StateId> tuple = tuples[cur];  // copy: tuples vector grows
     for (std::uint32_t i = 0; i < m; ++i) {
       const Fsp& pi = net.process(i);
       for (const auto& t : pi.out(tuple[i])) {
         if (t.action == kTau) {
           std::vector<StateId> next = tuple;
           next[i] = t.target;
-          // intern() may reallocate g.edges; resolve the target first.
           std::uint32_t target = intern(std::move(next));
-          g.edges[cur].push_back({target, i, i, kTau});
+          edges[cur].push_back({target, kTau, static_cast<std::uint16_t>(i),
+                                static_cast<std::uint16_t>(i)});
         } else {
-          // Handshake with the unique partner process.
           auto [o1, o2] = owners[t.action];
           std::uint32_t j = (o1 == i) ? o2 : o1;
-          if (j == UINT32_MAX || j == i) continue;  // symbol declared only here
-          if (j < i) continue;                      // emit each handshake once (from the lower id)
+          if (j < i) continue;  // emit each handshake once (from the lower id)
           const Fsp& pj = net.process(j);
           for (const auto& u : pj.out(tuple[j])) {
             if (u.action == t.action) {
@@ -64,22 +601,31 @@ GlobalMachine build_global(const Network& net, const Budget& budget) {
               next[i] = t.target;
               next[j] = u.target;
               std::uint32_t target = intern(std::move(next));
-              g.edges[cur].push_back({target, i, j, t.action});
+              edges[cur].push_back({target, t.action, static_cast<std::uint16_t>(i),
+                                    static_cast<std::uint16_t>(j)});
             }
           }
         }
       }
     }
   }
+
+  GlobalMachine g;
+  g.width = static_cast<std::uint32_t>(m);
+  g.tuple_data.reserve(tuples.size() * m);
+  g.edge_offsets.reserve(tuples.size() + 1);
+  g.edge_offsets.push_back(0);
+  for (std::uint32_t s = 0; s < tuples.size(); ++s) {
+    g.tuple_data.insert(g.tuple_data.end(), tuples[s].begin(), tuples[s].end());
+    g.edge_data.insert(g.edge_data.end(), edges[s].begin(), edges[s].end());
+    g.edge_offsets.push_back(static_cast<std::uint32_t>(g.edge_data.size()));
+  }
   return g;
 }
 
-GlobalMachine build_global(const Network& net, std::size_t max_states) {
-  return build_global(net, Budget::with_states(max_states));
-}
-
-AnalysisOutcome<GlobalMachine> try_build_global(const Network& net, const Budget& budget) {
-  return run_guarded([&] { return build_global(net, budget); });
+AnalysisOutcome<GlobalMachine> try_build_global(const Network& net, const Budget& budget,
+                                                unsigned threads) {
+  return run_guarded([&] { return build_global(net, budget, threads); });
 }
 
 }  // namespace ccfsp

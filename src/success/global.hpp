@@ -2,10 +2,15 @@
 // reachable tuple graph. The paper calls analyzing G "standard, albeit
 // inefficient"; here it serves exactly that role — the oracle baseline that
 // the structured algorithms (Prop 1, Thm 3, Thm 4) are validated against
-// and benchmarked around.
+// and benchmarked around — so its construction is the hottest loop in the
+// library and is stored flat: tuples packed into one block, edges in CSR
+// form (see docs/perf.md for the memory layout and the determinism
+// guarantees of the parallel build).
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "network/network.hpp"
@@ -15,26 +20,63 @@
 namespace ccfsp {
 
 struct GlobalMachine {
-  /// tuples[g][i] = local state of process i in global state g; state 0 is
-  /// the initial tuple.
-  std::vector<std::vector<StateId>> tuples;
+  /// Number of processes m; tuple g occupies tuple_data[g*width .. +width).
+  std::uint32_t width = 0;
+
+  /// Packed local-state tuples: tuple_data[g * width + i] = local state of
+  /// process i in global state g. State 0 is the initial tuple.
+  std::vector<StateId> tuple_data;
 
   struct Edge {
     std::uint32_t target;
-    /// Index of a moving process, and of the second one for a handshake
-    /// (== mover otherwise). Lets callers ask "did process i move here?".
-    std::uint32_t mover;
-    std::uint32_t partner;
     /// The handshake symbol, or kTau for an internal move. (The global
     /// process itself has only tau moves — this remembers what was hidden.)
     ActionId action;
-  };
-  std::vector<std::vector<Edge>> edges;
+    /// Index of a moving process, and of the second one for a handshake
+    /// (== mover otherwise). Lets callers ask "did process i move here?".
+    /// 16 bits: the edge array dominates the machine's footprint, and
+    /// build_global rejects networks past 65535 processes anyway.
+    std::uint16_t mover;
+    std::uint16_t partner;
 
-  std::size_t num_states() const { return tuples.size(); }
-  bool is_stuck(std::uint32_t g) const { return edges[g].empty(); }
+    bool operator==(const Edge&) const = default;
+  };
+
+  /// CSR edge storage: state g's out-edges are
+  /// edge_data[edge_offsets[g] .. edge_offsets[g+1]).
+  std::vector<Edge> edge_data;
+  std::vector<std::uint32_t> edge_offsets;  // num_states() + 1 entries
+
+  std::size_t num_states() const { return width == 0 ? 0 : tuple_data.size() / width; }
+  std::size_t num_edges() const { return edge_data.size(); }
+
+  std::span<const StateId> tuple(std::uint32_t g) const {
+    return {tuple_data.data() + static_cast<std::size_t>(g) * width, width};
+  }
+  StateId local_state(std::uint32_t g, std::size_t i) const {
+    return tuple_data[static_cast<std::size_t>(g) * width + i];
+  }
+  /// Owned copy of a tuple, for witness payloads and comparisons.
+  std::vector<StateId> tuple_vec(std::uint32_t g) const {
+    auto t = tuple(g);
+    return {t.begin(), t.end()};
+  }
+
+  std::span<const Edge> out(std::uint32_t g) const {
+    return {edge_data.data() + edge_offsets[g],
+            static_cast<std::size_t>(edge_offsets[g + 1] - edge_offsets[g])};
+  }
+
+  bool is_stuck(std::uint32_t g) const { return edge_offsets[g] == edge_offsets[g + 1]; }
   bool process_moves(const Edge& e, std::size_t i) const {
     return e.mover == i || e.partner == i;
+  }
+
+  /// Retained footprint of the machine itself (excludes transient build
+  /// structures), for the benches' bytes-per-state counter.
+  std::size_t memory_bytes() const {
+    return tuple_data.capacity() * sizeof(StateId) + edge_data.capacity() * sizeof(Edge) +
+           edge_offsets.capacity() * sizeof(std::uint32_t);
   }
 };
 
@@ -42,18 +84,43 @@ struct GlobalMachine {
 /// 1u << 22 guard, now expressed as a Budget).
 inline constexpr std::size_t kDefaultMaxStates = 1u << 22;
 
+/// The Definition 2 owner table: for every action of the alphabet, the pair
+/// of process indices whose alphabets contain it ({UINT32_MAX, UINT32_MAX}
+/// for actions no process uses). Throws std::invalid_argument — which
+/// run_guarded classifies as kInvalidInput — when an action belongs to one
+/// process only or to more than two, since the handshake partner would then
+/// be ill-defined.
+std::vector<std::pair<std::uint32_t, std::uint32_t>> action_owner_table(
+    const std::vector<Fsp>& processes, std::size_t alphabet_size);
+
 /// Build G by BFS from the initial tuple under `budget`: every interned
 /// tuple is charged (states + estimated bytes), so an exponential network
 /// stops at the wall with a BudgetExceeded instead of hanging or OOMing.
 /// The machine is never returned truncated — it is complete or the call
 /// throws.
+///
+/// `threads > 1` expands BFS levels in parallel with sharded interning and
+/// canonically renumbers the result, so the returned machine — state
+/// numbering, edge order, everything — is bit-identical to the threads == 1
+/// build. Budget accounting is then applied at level granularity (same
+/// totals, coarser trip points).
+GlobalMachine build_global(const Network& net, const Budget& budget, unsigned threads);
 GlobalMachine build_global(const Network& net, const Budget& budget);
 
 /// Legacy shape: a bare state cap. Equivalent to a states-only Budget.
 GlobalMachine build_global(const Network& net, std::size_t max_states = kDefaultMaxStates);
 
+/// The retained pre-flat reference implementation: std::map tuple interning
+/// and per-state edge vectors, flattened into the CSR struct at the end. It
+/// produces exactly the same machine as build_global — the property tests
+/// assert that — and exists as the correctness oracle and the benchmark
+/// baseline. Do not call it on anything large.
+GlobalMachine build_global_reference(const Network& net, const Budget& budget);
+
 /// Throw-free entry point: the machine, or a structured account of why not
-/// (kBudgetExhausted carries the number of states explored before the wall).
-AnalysisOutcome<GlobalMachine> try_build_global(const Network& net, const Budget& budget);
+/// (kBudgetExhausted carries the number of states explored before the wall,
+/// kInvalidInput covers owner-table violations).
+AnalysisOutcome<GlobalMachine> try_build_global(const Network& net, const Budget& budget,
+                                                unsigned threads = 1);
 
 }  // namespace ccfsp

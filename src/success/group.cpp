@@ -27,7 +27,7 @@ GroupSuccess group_success(const Network& net, const std::vector<std::size_t>& g
   GlobalMachine g = build_global(net, budget);
   auto group_done = [&](std::uint32_t s) {
     for (std::size_t i : sorted) {
-      if (!net.process(i).is_leaf(g.tuples[s][i])) return false;
+      if (!net.process(i).is_leaf(g.local_state(s, i))) return false;
     }
     return true;
   };

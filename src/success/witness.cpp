@@ -26,7 +26,7 @@ std::optional<Witness> shortest_to(const Network& net, const GlobalMachine& g, G
       found = cur;
       break;
     }
-    for (const auto& e : g.edges[cur]) {
+    for (const auto& e : g.out(cur)) {
       if (parent[e.target] == kUnseen) {
         parent[e.target] = cur;
         via[e.target] = &e;
@@ -37,11 +37,11 @@ std::optional<Witness> shortest_to(const Network& net, const GlobalMachine& g, G
   if (found == kUnseen) return std::nullopt;
 
   Witness w;
-  w.final_tuple = g.tuples[found];
+  w.final_tuple = g.tuple_vec(found);
   std::vector<WitnessStep> rev;
   for (std::uint32_t cur = found; cur != 0;) {
     const GlobalMachine::Edge* e = via[cur];
-    rev.push_back({e->mover, e->partner, g.tuples[cur]});
+    rev.push_back({e->mover, e->partner, g.tuple_vec(cur)});
     cur = parent[cur];
   }
   w.steps.assign(rev.rbegin(), rev.rend());
@@ -55,7 +55,7 @@ std::optional<Witness> blocking_witness(const Network& net, std::size_t p_index,
                                         const Budget& budget) {
   GlobalMachine g = build_global(net, budget);
   return shortest_to(net, g, [&](std::uint32_t s) {
-    return g.is_stuck(s) && !net.process(p_index).is_leaf(g.tuples[s][p_index]);
+    return g.is_stuck(s) && !net.process(p_index).is_leaf(g.local_state(s, p_index));
   });
 }
 
@@ -68,7 +68,7 @@ std::optional<Witness> collab_witness(const Network& net, std::size_t p_index,
                                       const Budget& budget) {
   GlobalMachine g = build_global(net, budget);
   return shortest_to(net, g, [&](std::uint32_t s) {
-    return g.is_stuck(s) && net.process(p_index).is_leaf(g.tuples[s][p_index]);
+    return g.is_stuck(s) && net.process(p_index).is_leaf(g.local_state(s, p_index));
   });
 }
 
@@ -98,7 +98,7 @@ std::optional<std::vector<WitnessStep>> bfs_path(const GlobalMachine& g, std::ui
       found = cur;
       break;
     }
-    for (const auto& e : g.edges[cur]) {
+    for (const auto& e : g.out(cur)) {
       if (!allow(e)) continue;
       if (parent[e.target] == kUnseen) {
         parent[e.target] = cur;
@@ -111,7 +111,7 @@ std::optional<std::vector<WitnessStep>> bfs_path(const GlobalMachine& g, std::ui
   std::vector<WitnessStep> rev;
   for (std::uint32_t cur = found; cur != from;) {
     const GlobalMachine::Edge* e = via[cur];
-    rev.push_back({e->mover, e->partner, g.tuples[cur]});
+    rev.push_back({e->mover, e->partner, g.tuple_vec(cur)});
     cur = parent[cur];
   }
   return std::vector<WitnessStep>(rev.rbegin(), rev.rend());
@@ -133,7 +133,7 @@ std::optional<LassoWitness> cyclic_blocking_witness(const Network& net, std::siz
   if (auto prefix = bfs_path(g, 0, [&](std::uint32_t s) { return g.is_stuck(s); }, any_edge)) {
     LassoWitness w;
     w.prefix = std::move(*prefix);
-    w.pump_tuple = w.prefix.empty() ? g.tuples[0] : w.prefix.back().tuple_after;
+    w.pump_tuple = w.prefix.empty() ? g.tuple_vec(0) : w.prefix.back().tuple_after;
     return w;
   }
 
@@ -142,13 +142,13 @@ std::optional<LassoWitness> cyclic_blocking_witness(const Network& net, std::siz
   auto non_p = [&](const GlobalMachine::Edge& e) { return !g.process_moves(e, p_index); };
   Digraph d(g.num_states());
   for (std::uint32_t s = 0; s < g.num_states(); ++s) {
-    for (const auto& e : g.edges[s]) {
+    for (const auto& e : g.out(s)) {
       if (non_p(e)) d.add_edge(s, e.target);
     }
   }
   auto scc = d.scc();
   for (std::uint32_t s = 0; s < g.num_states(); ++s) {
-    for (const auto& e : g.edges[s]) {
+    for (const auto& e : g.out(s)) {
       if (!non_p(e) || scc.component[s] != scc.component[e.target]) continue;
       // s -> e.target closes a non-P cycle; the cycle body is the non-P
       // path from e.target back to s, plus this edge.
@@ -157,9 +157,9 @@ std::optional<LassoWitness> cyclic_blocking_witness(const Network& net, std::siz
       if (!prefix || !back) continue;  // unreachable witness candidate
       LassoWitness w;
       w.prefix = std::move(*prefix);
-      w.cycle.push_back({e.mover, e.partner, g.tuples[e.target]});
+      w.cycle.push_back({e.mover, e.partner, g.tuple_vec(e.target)});
       w.cycle.insert(w.cycle.end(), back->begin(), back->end());
-      w.pump_tuple = g.tuples[s];
+      w.pump_tuple = g.tuple_vec(s);
       return w;
     }
   }

@@ -1,0 +1,227 @@
+// Flat-memory interning for the state-space engine. The explicit global
+// machine and the subset constructions spend most of their time asking "have
+// I seen this tuple of 32-bit ids before?"; answering that through a
+// std::map<std::vector<...>, id> costs O(len * log n) word comparisons and
+// two heap allocations per query. The structures here answer it with one
+// 64-bit hash, an open-addressing probe, and a memcmp against storage that
+// is packed contiguously into a single growable block:
+//   - TupleArena    fixed-width tuples (the m-tuples of the global machine);
+//                   element i of tuple t lives at data()[t * width + i].
+//   - SpanInterner  variable-length sorted id sets (determinization subsets),
+//                   addressed through an offsets table.
+// Both assign dense ids in first-insertion order, which is what makes the
+// BFS numbering of their callers deterministic.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace ccfsp {
+
+/// 64-bit hash of a word span (multiply-xor per word, murmur-style finalizer).
+/// The length participates so that [1,2]+[3] and [1]+[2,3] collide no more
+/// often than random spans do.
+inline std::uint64_t hash_words(const std::uint32_t* words, std::size_t n) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ull ^ (n * 0xff51afd7ed558ccdull);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= words[i];
+    h *= 0xff51afd7ed558ccdull;
+    h = (h << 27) | (h >> 37);
+  }
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ull;
+  h ^= h >> 33;
+  return h;
+}
+
+/// Interns fixed-width tuples of 32-bit words. Ids are dense and assigned in
+/// first-insertion order; tuple payloads are packed back to back in one
+/// vector, so iterating all interned tuples is a linear scan.
+///
+/// Callers that can compute a tuple's hash incrementally (the global-machine
+/// build maintains a Zobrist hash across one-or-two-coordinate updates) pass
+/// it to intern(tuple, h); each slot carries a 32-bit fingerprint of the
+/// hash so mismatched probes are rejected without touching the (cold) packed
+/// payload. The hash choice is the caller's, but must be consistent for the
+/// lifetime of the arena.
+class TupleArena {
+ public:
+  explicit TupleArena(std::size_t width, std::size_t expected = 64) : width_(width) {
+    std::size_t cap = 16;
+    while (cap < expected * 2) cap <<= 1;  // keep load under 1/2
+    slots_.assign(cap, 0);
+    data_.reserve(expected * width_);
+  }
+
+  /// Intern `tuple` (exactly width() words); returns {dense id, fresh?}.
+  std::pair<std::uint32_t, bool> intern(const std::uint32_t* tuple) {
+    return intern(tuple, hash_words(tuple, width_));
+  }
+
+  /// Same, with a caller-supplied hash (all interns into one arena must use
+  /// the same hash function).
+  std::pair<std::uint32_t, bool> intern(const std::uint32_t* tuple, std::uint64_t h) {
+    std::size_t mask = slots_.size() - 1;
+    const std::uint64_t fp = h >> 32;
+    for (std::size_t probe = h & mask;; probe = (probe + 1) & mask) {
+      std::uint64_t slot = slots_[probe];
+      if ((slot & 0xffffffffull) == 0) {
+        const std::uint32_t id = static_cast<std::uint32_t>(count_);
+        data_.insert(data_.end(), tuple, tuple + width_);
+        hashes_.push_back(h);
+        ++count_;
+        slots_[probe] = (fp << 32) | (id + 1);
+        if (count_ * 2 >= slots_.size()) grow();
+        return {id, true};
+      }
+      if ((slot >> 32) != fp) continue;  // fingerprint miss: skip the payload
+      const std::uint32_t id = static_cast<std::uint32_t>(slot & 0xffffffffull) - 1;
+      if (std::memcmp(data_.data() + static_cast<std::size_t>(id) * width_, tuple,
+                      width_ * sizeof(std::uint32_t)) == 0) {
+        return {id, false};
+      }
+    }
+  }
+
+  /// Hint that intern(tuple, h) is imminent: pull the home slot's cache line
+  /// in early. The BFS buffers one state's successors, prefetching each, then
+  /// interns them in order — overlapping the table's cache misses.
+  void prefetch(std::uint64_t h) const {
+    __builtin_prefetch(&slots_[h & (slots_.size() - 1)]);
+  }
+
+  /// Second-stage hint: if the home slot already holds a fingerprint match,
+  /// pull the candidate's packed payload in ahead of the memcmp. Issued a few
+  /// entries ahead of intern() in the staged BFS loop.
+  void prefetch_payload(std::uint64_t h) const {
+    const std::uint64_t slot = slots_[h & (slots_.size() - 1)];
+    if ((slot & 0xffffffffull) == 0 || (slot >> 32) != (h >> 32)) return;
+    const std::uint32_t id = static_cast<std::uint32_t>(slot & 0xffffffffull) - 1;
+    const std::uint32_t* p = data_.data() + static_cast<std::size_t>(id) * width_;
+    __builtin_prefetch(p);
+    if (width_ > 16) __builtin_prefetch(p + 16);
+  }
+
+  const std::uint32_t* operator[](std::uint32_t id) const {
+    return data_.data() + static_cast<std::size_t>(id) * width_;
+  }
+  std::span<const std::uint32_t> get(std::uint32_t id) const { return {(*this)[id], width_}; }
+  /// The hash `id` was interned under (for incremental successor hashing).
+  std::uint64_t hash_of(std::uint32_t id) const { return hashes_[id]; }
+
+  std::size_t size() const { return count_; }
+  std::size_t width() const { return width_; }
+
+  /// Current footprint (payload + hash slots), for budget estimates.
+  std::size_t bytes() const {
+    return data_.capacity() * sizeof(std::uint32_t) + slots_.size() * sizeof(std::uint64_t) +
+           hashes_.capacity() * sizeof(std::uint64_t);
+  }
+
+  /// Surrender the packed payload (id * width addressing preserved). The
+  /// arena is empty afterwards.
+  std::vector<std::uint32_t> release_data() {
+    std::vector<std::uint32_t> out = std::move(data_);
+    data_.clear();
+    hashes_.clear();
+    slots_.assign(16, 0);
+    count_ = 0;
+    return out;
+  }
+
+ private:
+  void grow() {
+    std::vector<std::uint64_t> old = std::move(slots_);
+    slots_.assign(old.size() * 2, 0);
+    const std::size_t mask = slots_.size() - 1;
+    for (std::uint64_t slot : old) {
+      if ((slot & 0xffffffffull) == 0) continue;
+      const std::uint64_t h = hashes_[static_cast<std::uint32_t>(slot & 0xffffffffull) - 1];
+      std::size_t probe = h & mask;
+      while ((slots_[probe] & 0xffffffffull) != 0) probe = (probe + 1) & mask;
+      slots_[probe] = slot;
+    }
+  }
+
+  std::size_t width_;
+  std::size_t count_ = 0;
+  std::vector<std::uint32_t> data_;    // count_ * width_ packed payloads
+  std::vector<std::uint64_t> hashes_;  // per id, as supplied at intern time
+  std::vector<std::uint64_t> slots_;   // fingerprint<<32 | id+1; low half 0 = empty
+};
+
+/// Interns variable-length spans of 32-bit words (canonical form is the
+/// caller's business — determinization interns sorted, deduplicated sets).
+/// Dense ids in first-insertion order; payloads packed, addressed by an
+/// offsets table.
+class SpanInterner {
+ public:
+  explicit SpanInterner(std::size_t expected = 64) {
+    std::size_t cap = 16;
+    while (cap * 10 < expected * 16) cap <<= 1;
+    slots_.assign(cap, 0);
+    offsets_.push_back(0);
+  }
+
+  std::pair<std::uint32_t, bool> intern(std::span<const std::uint32_t> span) {
+    const std::uint64_t h = hash_words(span.data(), span.size());
+    std::size_t mask = slots_.size() - 1;
+    for (std::size_t probe = h & mask;; probe = (probe + 1) & mask) {
+      std::uint32_t slot = slots_[probe];
+      if (slot == 0) {
+        const std::uint32_t id = static_cast<std::uint32_t>(count_);
+        data_.insert(data_.end(), span.begin(), span.end());
+        offsets_.push_back(static_cast<std::uint64_t>(data_.size()));
+        ++count_;
+        slots_[probe] = id + 1;
+        if (count_ * 16 >= slots_.size() * 10) grow();
+        return {id, true};
+      }
+      const std::uint32_t id = slot - 1;
+      if (length(id) == span.size() &&
+          std::memcmp(data_.data() + offsets_[id], span.data(),
+                      span.size() * sizeof(std::uint32_t)) == 0) {
+        return {id, false};
+      }
+    }
+  }
+
+  std::span<const std::uint32_t> get(std::uint32_t id) const {
+    return {data_.data() + offsets_[id], length(id)};
+  }
+
+  std::size_t size() const { return count_; }
+  std::size_t bytes() const {
+    return data_.capacity() * sizeof(std::uint32_t) + slots_.size() * sizeof(std::uint32_t) +
+           offsets_.capacity() * sizeof(std::uint64_t);
+  }
+
+ private:
+  std::size_t length(std::uint32_t id) const {
+    return static_cast<std::size_t>(offsets_[id + 1] - offsets_[id]);
+  }
+
+  void grow() {
+    std::vector<std::uint32_t> old = std::move(slots_);
+    slots_.assign(old.size() * 2, 0);
+    const std::size_t mask = slots_.size() - 1;
+    for (std::uint32_t slot : old) {
+      if (slot == 0) continue;
+      const std::uint32_t id = slot - 1;
+      const std::uint64_t h = hash_words(data_.data() + offsets_[id], length(id));
+      std::size_t probe = h & mask;
+      while (slots_[probe] != 0) probe = (probe + 1) & mask;
+      slots_[probe] = slot;
+    }
+  }
+
+  std::size_t count_ = 0;
+  std::vector<std::uint32_t> data_;
+  std::vector<std::uint64_t> offsets_;  // count_ + 1 entries
+  std::vector<std::uint32_t> slots_;
+};
+
+}  // namespace ccfsp

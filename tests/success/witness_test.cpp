@@ -57,7 +57,7 @@ TEST(Witness, StepsReplayToTheFinalTuple) {
   // Final tuple is stuck: rebuild the global machine and locate it.
   GlobalMachine g = build_global(net);
   for (std::uint32_t s = 0; s < g.num_states(); ++s) {
-    if (g.tuples[s] == w->final_tuple) {
+    if (g.tuple_vec(s) == w->final_tuple) {
       EXPECT_TRUE(g.is_stuck(s));
     }
   }

@@ -1,0 +1,124 @@
+// TupleArena / SpanInterner: dense first-insertion ids, exact dedup, payload
+// round-trips, and behavior across hash-table growth — the invariants the
+// flat global-machine build and the subset construction lean on.
+#include "util/flat_interner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace ccfsp {
+namespace {
+
+TEST(HashWords, LengthParticipates) {
+  // Same words split differently must not be forced to collide: the length
+  // term distinguishes prefixes.
+  std::uint32_t a[] = {1, 2, 3};
+  EXPECT_NE(hash_words(a, 2), hash_words(a, 3));
+  EXPECT_NE(hash_words(a, 0), hash_words(a, 1));
+}
+
+TEST(TupleArena, DenseIdsInInsertionOrder) {
+  TupleArena arena(3);
+  std::uint32_t t0[] = {1, 2, 3};
+  std::uint32_t t1[] = {3, 2, 1};
+  std::uint32_t t2[] = {0, 0, 0};
+  EXPECT_EQ(arena.intern(t0), (std::pair<std::uint32_t, bool>{0, true}));
+  EXPECT_EQ(arena.intern(t1), (std::pair<std::uint32_t, bool>{1, true}));
+  EXPECT_EQ(arena.intern(t2), (std::pair<std::uint32_t, bool>{2, true}));
+  // Re-interning returns the original id with fresh == false.
+  EXPECT_EQ(arena.intern(t1), (std::pair<std::uint32_t, bool>{1, false}));
+  EXPECT_EQ(arena.size(), 3u);
+}
+
+TEST(TupleArena, PayloadRoundTrip) {
+  TupleArena arena(2);
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    std::uint32_t t[] = {i, i * 7 + 1};
+    EXPECT_EQ(arena.intern(t).first, i);
+  }
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(arena[i][0], i);
+    EXPECT_EQ(arena[i][1], i * 7 + 1);
+    auto span = arena.get(i);
+    ASSERT_EQ(span.size(), 2u);
+    EXPECT_EQ(span[1], i * 7 + 1);
+  }
+}
+
+TEST(TupleArena, DedupSurvivesGrowth) {
+  // Push far past the initial 16 slots so grow() rehashes several times,
+  // then check every original tuple still maps to its original id.
+  TupleArena arena(4);
+  std::vector<std::vector<std::uint32_t>> tuples;
+  for (std::uint32_t i = 0; i < 5000; ++i) {
+    tuples.push_back({i, i ^ 0x9e37u, i * 31, 7});
+    EXPECT_EQ(arena.intern(tuples.back().data()).first, i);
+  }
+  for (std::uint32_t i = 0; i < 5000; ++i) {
+    EXPECT_EQ(arena.intern(tuples[i].data()), (std::pair<std::uint32_t, bool>{i, false}));
+  }
+  EXPECT_EQ(arena.size(), 5000u);
+  EXPECT_GT(arena.bytes(), 5000u * 4 * sizeof(std::uint32_t));
+}
+
+TEST(TupleArena, ReleaseDataPreservesAddressing) {
+  TupleArena arena(2);
+  std::uint32_t a[] = {10, 20};
+  std::uint32_t b[] = {30, 40};
+  arena.intern(a);
+  arena.intern(b);
+  std::vector<std::uint32_t> data = arena.release_data();
+  ASSERT_EQ(data.size(), 4u);
+  EXPECT_EQ(data[0], 10u);
+  EXPECT_EQ(data[3], 40u);
+  EXPECT_EQ(arena.size(), 0u);  // arena is reusable but empty
+  EXPECT_EQ(arena.intern(b), (std::pair<std::uint32_t, bool>{0, true}));
+}
+
+TEST(SpanInterner, VariableLengthDedup) {
+  SpanInterner si;
+  std::vector<std::uint32_t> s0{1, 2, 3};
+  std::vector<std::uint32_t> s1{1, 2};
+  std::vector<std::uint32_t> s2{3};
+  EXPECT_EQ(si.intern(s0), (std::pair<std::uint32_t, bool>{0, true}));
+  EXPECT_EQ(si.intern(s1), (std::pair<std::uint32_t, bool>{1, true}));
+  EXPECT_EQ(si.intern(s2), (std::pair<std::uint32_t, bool>{2, true}));
+  EXPECT_EQ(si.intern(s0), (std::pair<std::uint32_t, bool>{0, false}));
+  // A prefix of an interned span is a distinct key, and concatenations that
+  // flatten to the same words stay distinct by length.
+  EXPECT_EQ(si.size(), 3u);
+  auto got = si.get(1);
+  EXPECT_TRUE(std::equal(got.begin(), got.end(), s1.begin(), s1.end()));
+}
+
+TEST(SpanInterner, EmptySpanIsAKey) {
+  SpanInterner si;
+  std::vector<std::uint32_t> empty;
+  auto [id, fresh] = si.intern({empty.data(), 0});
+  EXPECT_TRUE(fresh);
+  EXPECT_EQ(si.get(id).size(), 0u);
+  EXPECT_FALSE(si.intern({empty.data(), 0}).second);
+}
+
+TEST(SpanInterner, GrowthKeepsIdsStable) {
+  SpanInterner si;
+  std::vector<std::vector<std::uint32_t>> keys;
+  for (std::uint32_t i = 0; i < 3000; ++i) {
+    std::vector<std::uint32_t> k;
+    for (std::uint32_t j = 0; j <= i % 5; ++j) k.push_back(i * 5 + j);
+    keys.push_back(std::move(k));
+    EXPECT_EQ(si.intern({keys.back().data(), keys.back().size()}).first, i);
+  }
+  for (std::uint32_t i = 0; i < 3000; ++i) {
+    EXPECT_EQ(si.intern({keys[i].data(), keys[i].size()}),
+              (std::pair<std::uint32_t, bool>{i, false}));
+    auto got = si.get(i);
+    ASSERT_EQ(got.size(), keys[i].size());
+    EXPECT_TRUE(std::equal(got.begin(), got.end(), keys[i].begin()));
+  }
+}
+
+}  // namespace
+}  // namespace ccfsp
