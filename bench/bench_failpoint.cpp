@@ -1,0 +1,116 @@
+// Failpoint overhead benchmark: the tentpole's performance contract is that
+// *disarmed* injection sites are invisible — the acceptance bar is <= 1%
+// on the phil:12 flat global build against the committed BENCH_global.json
+// flat_ms. Emits machine-readable JSON (BENCH_failpoint.json by default).
+//
+//   bench_failpoint [--quick] [--out PATH] [--repeat N]
+//
+// Reported numbers:
+//   disarmed_ms      phil flat build, no failpoints armed (the shipped
+//                    configuration; compare against BENCH_global.json)
+//   armed_other_ms   same build while an *unrelated* site is armed — the
+//                    engine's sites now take the slow path (registry lookup
+//                    under a mutex) without ever firing; documents the cost
+//                    of leaving stray failpoints armed in production
+//   hit_disarmed_ns  ns per disarmed failpoint::hit() in a tight loop
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "network/families.hpp"
+#include "success/global.hpp"
+#include "util/failpoint.hpp"
+
+using namespace ccfsp;
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Best-of-N flat build time (min absorbs scheduling noise, matching how
+/// BENCH_global.json's flat_ms is read).
+double build_ms(const Network& net, int repeat, std::size_t* states) {
+  double best = 1e18;
+  for (int r = 0; r < repeat; ++r) {
+    auto t0 = std::chrono::steady_clock::now();
+    GlobalMachine g = build_global(net, Budget::with_states(1u << 24), 1);
+    const double ms = ms_since(t0);
+    if (ms < best) best = ms;
+    *states = g.num_states();
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  int repeat = 3;
+  std::string out_path = "BENCH_failpoint.json";
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--quick")) {
+      quick = true;
+    } else if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--repeat") && i + 1 < argc) {
+      repeat = std::atoi(argv[++i]);
+      if (repeat < 1) repeat = 1;
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out PATH] [--repeat N]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const std::size_t phil = quick ? 10 : 12;
+  Network net = dining_philosophers(phil);
+  std::size_t states = 0;
+
+  failpoint::disarm_all();
+  const double disarmed_ms = build_ms(net, repeat, &states);
+
+  // Arm a site the build never crosses: every compiled-in site now pays the
+  // registry lookup, but nothing fires and the machine is unchanged.
+  failpoint::Spec never;
+  never.action = failpoint::Action::kCallback;
+  never.callback = [](const char*, std::uint64_t) {};
+  failpoint::arm("bench.unrelated_site", never);
+  const double armed_other_ms = build_ms(net, repeat, &states);
+  failpoint::disarm_all();
+
+  // Disarmed hit() in isolation.
+  constexpr std::uint64_t kHits = 200'000'000;
+  auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < kHits; ++i) failpoint::hit("bench.micro");
+  const double hit_disarmed_ns = ms_since(t0) * 1e6 / kHits;
+
+  const double armed_overhead_pct =
+      disarmed_ms <= 0 ? 0 : (armed_other_ms - disarmed_ms) / disarmed_ms * 100.0;
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  const char* fmt =
+      "{\n"
+      "  \"bench\": \"failpoint\",\n"
+      "  \"family\": \"phil\",\n"
+      "  \"size\": %zu,\n"
+      "  \"states\": %zu,\n"
+      "  \"repeat\": %d,\n"
+      "  \"disarmed_ms\": %.2f,\n"
+      "  \"armed_other_ms\": %.2f,\n"
+      "  \"armed_overhead_pct\": %.2f,\n"
+      "  \"hit_disarmed_ns\": %.3f\n"
+      "}\n";
+  std::fprintf(out, fmt, phil, states, repeat, disarmed_ms, armed_other_ms, armed_overhead_pct,
+               hit_disarmed_ns);
+  std::fclose(out);
+  std::fprintf(stderr, fmt, phil, states, repeat, disarmed_ms, armed_other_ms,
+               armed_overhead_pct, hit_disarmed_ns);
+  return 0;
+}

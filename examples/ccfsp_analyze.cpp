@@ -22,9 +22,16 @@
 //                            tree, heuristic, explicit)
 //     --threads N            worker threads for the explicit global-machine
 //                            rung (default 1; result is bit-identical)
+//     --retries N            re-run a rung that exhausts a count budget up
+//                            to N times with geometrically doubled limits
+//   Fault injection (testing / chaos):
+//     --failpoints SPEC      arm failpoints, e.g.
+//                            'interner.tuple_grow=bad_alloc@hit:2'; the
+//                            CCFSP_FAILPOINTS env var is read additionally
+//                            (see docs/robustness.md §6 for the grammar)
 //
-//   Exit codes: 0 decided, 1 internal error, 2 usage, 3 budget exhausted,
-//   4 invalid input (parse/validation errors).
+//   Exit codes: 0 decided, 1 internal error, 2 usage, 3 budget exhausted
+//   (including out-of-memory), 4 invalid input (parse/validation errors).
 //
 // Example specification (see models/*.ccfsp for a library):
 //   process P { start p1; p1 -a-> p2; }
@@ -48,6 +55,7 @@
 #include "success/simulate.hpp"
 #include "success/tree_pipeline.hpp"
 #include "success/witness.hpp"
+#include "util/failpoint.hpp"
 #include "util/rng.hpp"
 
 using namespace ccfsp;
@@ -66,7 +74,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--distinguished NAME] [--cyclic] [--witness] [--dot]\n"
                "          [--simulate N] [--gen SPEC] [--ladder] [--timeout-ms N]\n"
-               "          [--max-states N] [--rungs a,b,...] [--threads N] [file]\n",
+               "          [--max-states N] [--rungs a,b,...] [--threads N]\n"
+               "          [--retries N] [--failpoints SPEC] [file]\n",
                argv0);
   return kExitUsage;
 }
@@ -128,6 +137,7 @@ int run_ladder(const Network& net, std::size_t p, const AnalyzeOptions& opt) {
   std::printf("ladder:\n");
   for (const RungOutcome& r : report.rungs) {
     std::printf("  %-9s %-16s", to_string(r.rung), to_string(r.status));
+    if (r.attempt > 0) std::printf(" (retry %u)", r.attempt);
     if (r.states_charged) std::printf(" [%zu states]", r.states_charged);
     if (!r.detail.empty()) std::printf(" %s", r.detail.c_str());
     std::printf("\n");
@@ -178,7 +188,8 @@ int main(int argc, char** argv) {
   long timeout_ms = 0;
   long max_states = 0;
   long threads = 1;
-  std::string rungs_csv, gen_spec;
+  long retries = 0;
+  std::string rungs_csv, gen_spec, failpoints_spec;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--distinguished") && i + 1 < argc) {
@@ -205,12 +216,29 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
       if (!parse_count(argv[++i], threads) || threads == 0) return bad_number(argv[i]);
       ladder = true;
+    } else if (!std::strcmp(argv[i], "--retries") && i + 1 < argc) {
+      if (!parse_count(argv[++i], retries)) return bad_number(argv[i]);
+      ladder = true;
+    } else if (!std::strcmp(argv[i], "--failpoints") && i + 1 < argc) {
+      failpoints_spec = argv[++i];
     } else if (!std::strcmp(argv[i], "--gen") && i + 1 < argc) {
       gen_spec = argv[++i];
     } else if (argv[i][0] == '-') {
       return usage(argv[0]);
     } else {
       path = argv[i];
+    }
+  }
+
+  {
+    std::string fp_error;
+    if (!failpoints_spec.empty() && !failpoint::parse_and_arm(failpoints_spec, &fp_error)) {
+      std::fprintf(stderr, "bad --failpoints spec: %s\n", fp_error.c_str());
+      return kExitUsage;
+    }
+    if (!failpoint::arm_from_env(&fp_error)) {
+      std::fprintf(stderr, "bad CCFSP_FAILPOINTS: %s\n", fp_error.c_str());
+      return kExitUsage;
     }
   }
 
@@ -280,6 +308,7 @@ int main(int argc, char** argv) {
     if (ladder) {
       AnalyzeOptions opt;
       opt.threads = static_cast<unsigned>(threads);
+      opt.retries = static_cast<unsigned>(retries);
       if (timeout_ms > 0) {
         opt.budget.limit_duration(std::chrono::milliseconds(timeout_ms));
       }
@@ -353,6 +382,10 @@ int main(int argc, char** argv) {
     return kExitInvalid;
   } catch (const BudgetExceeded& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
+    return kExitBudget;
+  } catch (const std::bad_alloc&) {
+    // Out-of-memory is a budget wall (the machine's), not an internal error.
+    std::fprintf(stderr, "error: allocation failed (out of memory)\n");
     return kExitBudget;
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

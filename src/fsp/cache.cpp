@@ -2,14 +2,20 @@
 
 #include <set>
 
+#include "util/failpoint.hpp"
+
 namespace ccfsp {
 
+// A failure mid-fill (budget trip, injected or real bad_alloc) unwinds the
+// constructor, so no partially-populated cache object can ever exist —
+// callers either hold a complete cache or none at all.
 FspAnalysisCache::FspAnalysisCache(const Fsp& f, const Budget* budget) : fsp_(&f) {
   const std::size_t n = f.num_states();
   closures_.reserve(n);
   ready_.reserve(n);
   arrows_.resize(n);
   for (StateId s = 0; s < n; ++s) {
+    failpoint::hit("cache.fill");
     closures_.push_back(f.tau_closure(s));
     ready_.push_back(f.ready_actions(s));
     if (budget) {

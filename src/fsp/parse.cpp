@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "fsp/builder.hpp"
+#include "util/failpoint.hpp"
 
 namespace ccfsp {
 
@@ -115,6 +116,7 @@ class Parser {
   Fsp parse_process() {
     expect_ident("process");
     if (tok_.kind != Token::kIdent) fail("expected process name");
+    failpoint::hit("parse.process");
     FspBuilder b(alphabet_, tok_.text);
     advance();
     expect(Token::kLBrace, "{");

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "fsp/cache.hpp"
+#include "util/failpoint.hpp"
 #include "util/flat_interner.hpp"
 
 namespace ccfsp {
@@ -63,6 +64,7 @@ AnnotatedDfa annotated_determinize(const Fsp& p, SemanticAnnotation kind,
   auto intern = [&](const std::vector<StateId>& subset) {
     auto [id, fresh] = ids.intern({subset.data(), subset.size()});
     if (fresh) {
+      failpoint::hit("determinize.subset");
       if (budget) {
         budget->charge(1, subset.size() * sizeof(StateId) + 160, "annotated_determinize");
       }

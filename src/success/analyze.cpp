@@ -8,6 +8,7 @@
 #include "success/linear.hpp"
 #include "success/tree_pipeline.hpp"
 #include "success/unary_sc.hpp"
+#include "util/failpoint.hpp"
 
 namespace ccfsp {
 
@@ -54,6 +55,7 @@ RungOutcome attempt(Rung rung, const Network& net, std::size_t p_index, bool cyc
   out.rung = rung;
   const Fsp& p = net.process(p_index);
   try {
+    failpoint::hit("analyze.rung");
     switch (rung) {
       case Rung::kLinear: {
         if (!net.all_linear()) {
@@ -119,12 +121,31 @@ RungOutcome attempt(Rung rung, const Network& net, std::size_t p_index, bool cyc
   } catch (const BudgetExceeded& e) {
     out.status = OutcomeStatus::kBudgetExhausted;
     out.detail = e.what();
+    out.budget_reason = e.reason();
+  } catch (const std::bad_alloc&) {
+    // A real (or injected) allocation failure inside a rung is this rung's
+    // bytes budget tripping, not a crash: the rung's partial state has
+    // unwound, the next rung (or a retry) starts clean.
+    out.status = OutcomeStatus::kBudgetExhausted;
+    out.detail = "allocation failed (std::bad_alloc) inside this rung";
+    out.budget_reason = BudgetDimension::kBytes;
   } catch (const std::logic_error& e) {
     out.status = OutcomeStatus::kUnsupported;
     out.detail = e.what();
   }
   out.states_charged = rung_budget.states_used();
   return out;
+}
+
+/// Saturating `limit * 2^attempt` for the escalation schedule; kNoLimit
+/// stays kNoLimit.
+std::size_t escalate(std::size_t limit, unsigned attempt) {
+  if (limit == Budget::kNoLimit) return limit;
+  for (unsigned i = 0; i < attempt; ++i) {
+    if (limit > Budget::kNoLimit / 2) return Budget::kNoLimit;
+    limit *= 2;
+  }
+  return limit;
 }
 
 }  // namespace
@@ -170,12 +191,30 @@ AnalysisReport analyze(const Network& net, std::size_t p_index, const AnalyzeOpt
       exhausted = true;
       break;
     }
-    Budget rung_budget = opt.budget.fork();
-    RungOutcome outcome = attempt(rung, net, p_index, report.cyclic_semantics, rung_budget,
-                                  opt.threads == 0 ? 1 : opt.threads, report.verdict);
-    exhausted |= outcome.status == OutcomeStatus::kBudgetExhausted;
-    bool now_complete = report.verdict.complete();
-    report.rungs.push_back(std::move(outcome));
+    // One rung, up to 1 + opt.retries attempts: a count-budget trip
+    // (states/bytes, including bad_alloc) re-runs the rung under a fork
+    // whose count limits double per attempt. Deadline/cancellation trips
+    // are final — they would re-trip instantly — and a spent global budget
+    // stops the escalation mid-way.
+    bool now_complete = false;
+    for (unsigned att = 0;; ++att) {
+      Budget rung_budget = opt.budget.fork();
+      rung_budget.limit_states(escalate(opt.budget.max_states(), att));
+      rung_budget.limit_bytes(escalate(opt.budget.max_bytes(), att));
+      RungOutcome outcome = attempt(rung, net, p_index, report.cyclic_semantics, rung_budget,
+                                    opt.threads == 0 ? 1 : opt.threads, report.verdict);
+      outcome.attempt = att;
+      exhausted |= outcome.status == OutcomeStatus::kBudgetExhausted;
+      now_complete = report.verdict.complete();
+      const bool retryable = outcome.status == OutcomeStatus::kBudgetExhausted &&
+                             (outcome.budget_reason == BudgetDimension::kStates ||
+                              outcome.budget_reason == BudgetDimension::kBytes);
+      report.rungs.push_back(std::move(outcome));
+      if (now_complete || !retryable || att >= opt.retries ||
+          opt.budget.probe() != BudgetDimension::kNone) {
+        break;
+      }
+    }
     if (now_complete && !report.decided_by) report.decided_by = rung;
   }
 

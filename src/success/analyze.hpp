@@ -36,7 +36,8 @@ const char* to_string(Rung r);
 /// nullopt for anything else.
 std::optional<Rung> rung_from_string(const std::string& name);
 
-/// The record of one rung attempt.
+/// The record of one rung attempt. A rung retried under escalation (see
+/// AnalyzeOptions::retries) contributes one entry per attempt.
 struct RungOutcome {
   Rung rung;
   OutcomeStatus status = OutcomeStatus::kUnsupported;
@@ -45,6 +46,11 @@ struct RungOutcome {
   /// States charged against this rung's (forked) budget before it returned
   /// or tripped — the "how far did it get" payload.
   std::size_t states_charged = 0;
+  /// 0 for the first try, 1.. for escalated retries of the same rung.
+  unsigned attempt = 0;
+  /// Which budget wall tripped (kNone unless kBudgetExhausted). Drives the
+  /// retry decision: only count-based walls (states/bytes) are retryable.
+  BudgetDimension budget_reason = BudgetDimension::kNone;
 };
 
 /// The (possibly partial) answer. Fields are set as rungs decide them and
@@ -93,11 +99,18 @@ struct AnalyzeOptions {
   /// (1 = sequential). The result is bit-identical either way; see
   /// build_global.
   unsigned threads = 1;
+  /// Bounded retry-with-escalation: when a rung exhausts a *count* budget
+  /// (states/bytes — never a deadline or a cancellation, which re-trip
+  /// immediately), re-run it up to this many more times under a fork()
+  /// whose count limits are geometrically grown (doubled per attempt).
+  /// Each attempt is recorded in the rung trace with its attempt index.
+  /// The absolute deadline and the cancel token still bound every retry.
+  unsigned retries = 0;
 };
 
 /// Analyze net.process(p_index) under the options. Never throws on budget
-/// exhaustion or structural mismatch — those become the report's status;
-/// only programmer errors (std::bad_alloc, ...) propagate.
+/// exhaustion, allocation failure, or structural mismatch — those become
+/// the report's status; only programmer errors propagate.
 AnalysisReport analyze(const Network& net, std::size_t p_index,
                        const AnalyzeOptions& opt = {});
 

@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "fsp/action_index.hpp"
+#include "util/failpoint.hpp"
 #include "util/flat_interner.hpp"
 
 namespace ccfsp {
@@ -276,6 +277,9 @@ GlobalMachine build_sequential(const Network& net, const Budget& budget,
   };
 
   for (std::uint32_t cur = 0; cur < arena.size(); ++cur) {
+    // Injection seam: per expanded state, NOT per edge — the disarmed check
+    // must stay invisible on the phil:12 profile (bench_failpoint.cpp).
+    failpoint::hit("global.intern_ring");
     // Copy: the arena's packed block may reallocate as we intern successors.
     std::memcpy(pscratch.data(), arena[cur], W * sizeof(std::uint32_t));
     packer.unpack(pscratch.data(), cur_tuple.data());
@@ -373,55 +377,82 @@ GlobalMachine build_parallel(const Network& net, const Budget& budget, unsigned 
   const std::size_t max_states = budget.max_states();
   std::size_t states_total = 1;
 
+  // A worker that throws (an injected failure in a shard arena, a real
+  // bad_alloc, a failpoint at "global.worker") must never unwind out of the
+  // std::thread body — that is std::terminate. The first exception is
+  // parked here, every other worker is stopped, all threads are joined,
+  // and only then is it rethrown on the build thread.
+  std::exception_ptr worker_error;
+  std::mutex worker_error_mu;
+
   while (!frontier.empty()) {
     budget.tick("build_global");
     const std::size_t n = frontier.size();
 
-    auto work = [&](unsigned w) {
-      const std::size_t begin = n * w / T, end = n * (w + 1) / T;
-      std::vector<std::uint32_t> pscratch(W);
-      std::vector<PEdge>& edges = worker_edges[w];
-      std::size_t emitted = 0;
-      for (std::size_t f = begin; f < end; ++f) {
-        const std::uint64_t src = frontier[f];
-        Run run;
-        run.worker = w;
-        run.begin = static_cast<std::uint32_t>(edges.size());
-        const StateId* tuple = frontier_tuples.data() + f * m;
-        packer.pack(tuple, pscratch.data());
-        expand_tuple(procs, idx, packer, zob, tuple, frontier_hashes[f], m, pscratch.data(),
-                     [&](std::uint32_t i, std::uint32_t j, ActionId a, std::uint64_t h) {
-                       const std::uint32_t sh = static_cast<std::uint32_t>(h % T);
-                       Shard& shard = shards[sh];
-                       std::uint32_t local;
-                       bool fresh;
-                       {
-                         std::lock_guard<std::mutex> lock(shard.mu);
-                         std::tie(local, fresh) = shard.arena.intern(pscratch.data(), h);
-                         if (fresh) shard.fresh.push_back(local);
-                       }
-                       if (fresh) level_fresh.fetch_add(1, std::memory_order_relaxed);
-                       edges.push_back({provisional(sh, local), i, j, a});
-                       if ((++emitted & 1023u) == 0 && !stop.load(std::memory_order_relaxed)) {
-                         // Cooperative early-out: the level result is discarded
-                         // on abort, so a partial expansion is harmless.
-                         if (states_total + level_fresh.load(std::memory_order_relaxed) >
-                                 max_states ||
-                             budget.probe() != BudgetDimension::kNone) {
-                           stop.store(true, std::memory_order_relaxed);
+    auto work = [&](unsigned w) noexcept {
+      try {
+        const std::size_t begin = n * w / T, end = n * (w + 1) / T;
+        std::vector<std::uint32_t> pscratch(W);
+        std::vector<PEdge>& edges = worker_edges[w];
+        std::size_t emitted = 0;
+        for (std::size_t f = begin; f < end; ++f) {
+          failpoint::hit("global.worker");
+          const std::uint64_t src = frontier[f];
+          Run run;
+          run.worker = w;
+          run.begin = static_cast<std::uint32_t>(edges.size());
+          const StateId* tuple = frontier_tuples.data() + f * m;
+          packer.pack(tuple, pscratch.data());
+          expand_tuple(procs, idx, packer, zob, tuple, frontier_hashes[f], m, pscratch.data(),
+                       [&](std::uint32_t i, std::uint32_t j, ActionId a, std::uint64_t h) {
+                         const std::uint32_t sh = static_cast<std::uint32_t>(h % T);
+                         Shard& shard = shards[sh];
+                         std::uint32_t local;
+                         bool fresh;
+                         {
+                           std::lock_guard<std::mutex> lock(shard.mu);
+                           std::tie(local, fresh) = shard.arena.intern(pscratch.data(), h);
+                           if (fresh) shard.fresh.push_back(local);
                          }
-                       }
-                     });
-        run.count = static_cast<std::uint32_t>(edges.size()) - run.begin;
-        shards[src >> 32].runs[static_cast<std::uint32_t>(src)] = run;
-        if (stop.load(std::memory_order_relaxed)) return;
+                         if (fresh) level_fresh.fetch_add(1, std::memory_order_relaxed);
+                         edges.push_back({provisional(sh, local), i, j, a});
+                         if ((++emitted & 1023u) == 0 && !stop.load(std::memory_order_relaxed)) {
+                           // Cooperative early-out: the level result is discarded
+                           // on abort, so a partial expansion is harmless.
+                           if (states_total + level_fresh.load(std::memory_order_relaxed) >
+                                   max_states ||
+                               budget.probe() != BudgetDimension::kNone) {
+                             stop.store(true, std::memory_order_relaxed);
+                           }
+                         }
+                       });
+          run.count = static_cast<std::uint32_t>(edges.size()) - run.begin;
+          shards[src >> 32].runs[static_cast<std::uint32_t>(src)] = run;
+          if (stop.load(std::memory_order_relaxed)) return;
+        }
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(worker_error_mu);
+          if (!worker_error) worker_error = std::current_exception();
+        }
+        stop.store(true, std::memory_order_relaxed);
       }
     };
 
     std::vector<std::thread> pool;
     pool.reserve(T);
-    for (unsigned w = 0; w < T; ++w) pool.emplace_back(work, w);
+    try {
+      for (unsigned w = 0; w < T; ++w) pool.emplace_back(work, w);
+    } catch (...) {
+      // Thread spawn failed: stop and join whatever did start, then let the
+      // failure surface as an outcome instead of terminating on ~thread().
+      stop.store(true, std::memory_order_relaxed);
+      for (auto& t : pool) t.join();
+      throw;
+    }
     for (auto& t : pool) t.join();
+    if (worker_error) std::rethrow_exception(worker_error);
+    failpoint::hit("global.level");
 
     // Account for the whole level at once: same totals as the sequential
     // build, coarser trip points. Throws BudgetExceeded past the wall.

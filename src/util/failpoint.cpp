@@ -1,0 +1,299 @@
+#include "util/failpoint.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <new>
+#include <thread>
+
+#include "util/budget.hpp"
+#include "util/rng.hpp"
+
+namespace ccfsp::failpoint {
+
+namespace detail {
+std::atomic<int> g_armed{0};
+}  // namespace detail
+
+namespace {
+
+struct Site {
+  Spec spec;
+  std::uint64_t count = 0;  // hits since armed
+  Rng rng{0x5eed};          // reseeded from spec.seed at arm time
+};
+
+struct Registry {
+  std::mutex mu;
+  std::condition_variable stall_cv;
+  std::uint64_t stall_epoch = 0;  // bumped by release_stalls()/disarm
+  std::map<std::string, Site> sites;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: hits may race static dtors
+  return *r;
+}
+
+BudgetDimension to_dimension(BudgetKind k) {
+  switch (k) {
+    case BudgetKind::kStates: return BudgetDimension::kStates;
+    case BudgetKind::kBytes: return BudgetDimension::kBytes;
+    case BudgetKind::kDeadline: return BudgetDimension::kDeadline;
+    case BudgetKind::kCancelled: return BudgetDimension::kCancelled;
+  }
+  return BudgetDimension::kStates;
+}
+
+}  // namespace
+
+namespace detail {
+
+void hit_slow(const char* site_name) {
+  Registry& reg = registry();
+  Spec spec;
+  std::uint64_t index = 0;
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(reg.mu);
+    auto it = reg.sites.find(site_name);
+    if (it == reg.sites.end()) return;
+    Site& site = it->second;
+    index = ++site.count;
+    switch (site.spec.trigger) {
+      case Trigger::kOnHit:
+        fire = index == site.spec.n;
+        break;
+      case Trigger::kEveryK:
+        fire = site.spec.n > 0 && index % site.spec.n == 0;
+        break;
+      case Trigger::kProbability:
+        fire = site.spec.den > 0 && site.rng.chance(site.spec.num, site.spec.den);
+        break;
+    }
+    if (fire) spec = it->second.spec;  // copy out: act outside the lock
+  }
+  if (!fire) return;
+
+  switch (spec.action) {
+    case Action::kThrowBudget:
+      throw BudgetExceeded(to_dimension(spec.dimension), site_name, 0, 0);
+    case Action::kThrowBadAlloc:
+      throw std::bad_alloc();
+    case Action::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(spec.delay_ms));
+      return;
+    case Action::kStall: {
+      // Park until released/disarmed, but never past the hard cap — an
+      // armed stall must not be able to wedge a run permanently.
+      std::unique_lock<std::mutex> lock(reg.mu);
+      const std::uint64_t epoch = reg.stall_epoch;
+      reg.stall_cv.wait_for(lock, std::chrono::milliseconds(spec.delay_ms), [&] {
+        return reg.stall_epoch != epoch || reg.sites.find(site_name) == reg.sites.end();
+      });
+      return;
+    }
+    case Action::kCallback:
+      if (spec.callback) spec.callback(site_name, index);
+      return;
+  }
+}
+
+}  // namespace detail
+
+void arm(const std::string& site, Spec spec) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto [it, fresh] = reg.sites.try_emplace(site);
+  it->second.spec = std::move(spec);
+  it->second.count = 0;
+  it->second.rng = Rng(it->second.spec.seed);
+  if (fresh) detail::g_armed.fetch_add(1, std::memory_order_relaxed);
+}
+
+void disarm(const std::string& site) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  if (reg.sites.erase(site) > 0) {
+    detail::g_armed.fetch_sub(1, std::memory_order_relaxed);
+    ++reg.stall_epoch;
+    reg.stall_cv.notify_all();
+  }
+}
+
+void disarm_all() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  if (!reg.sites.empty()) {
+    detail::g_armed.fetch_sub(static_cast<int>(reg.sites.size()), std::memory_order_relaxed);
+    reg.sites.clear();
+  }
+  ++reg.stall_epoch;
+  reg.stall_cv.notify_all();
+}
+
+void release_stalls() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  ++reg.stall_epoch;
+  reg.stall_cv.notify_all();
+}
+
+std::uint64_t hits(const std::string& site) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.sites.find(site);
+  return it == reg.sites.end() ? 0 : it->second.count;
+}
+
+std::vector<std::string> armed_sites() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<std::string> out;
+  out.reserve(reg.sites.size());
+  for (const auto& [name, _] : reg.sites) out.push_back(name);
+  return out;
+}
+
+namespace {
+
+/// Split `s` on the first occurrence of `c`; returns {s, ""} when absent.
+std::pair<std::string, std::string> split1(const std::string& s, char c) {
+  auto pos = s.find(c);
+  if (pos == std::string::npos) return {s, std::string()};
+  return {s.substr(0, pos), s.substr(pos + 1)};
+}
+
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  std::uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    if (v > (UINT64_MAX - (c - '0')) / 10) return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  out = v;
+  return true;
+}
+
+bool parse_action(const std::string& text, Spec& spec, std::string* error) {
+  auto [head, rest] = split1(text, ':');
+  if (head == "budget") {
+    spec.action = Action::kThrowBudget;
+    if (rest.empty() || rest == "states") {
+      spec.dimension = BudgetKind::kStates;
+    } else if (rest == "bytes") {
+      spec.dimension = BudgetKind::kBytes;
+    } else if (rest == "deadline") {
+      spec.dimension = BudgetKind::kDeadline;
+    } else if (rest == "cancel" || rest == "cancelled") {
+      spec.dimension = BudgetKind::kCancelled;
+    } else {
+      if (error) *error = "unknown budget dimension '" + rest + "'";
+      return false;
+    }
+    return true;
+  }
+  if (head == "bad_alloc") {
+    if (!rest.empty()) {
+      if (error) *error = "bad_alloc takes no argument";
+      return false;
+    }
+    spec.action = Action::kThrowBadAlloc;
+    return true;
+  }
+  if (head == "delay" || head == "stall") {
+    spec.action = head == "delay" ? Action::kDelay : Action::kStall;
+    if (!parse_u64(rest, spec.delay_ms)) {
+      if (error) *error = head + " needs a millisecond count, got '" + rest + "'";
+      return false;
+    }
+    return true;
+  }
+  if (error) *error = "unknown action '" + head + "'";
+  return false;
+}
+
+bool parse_trigger(const std::string& text, Spec& spec, std::string* error) {
+  auto [head, rest] = split1(text, ':');
+  if (head == "hit" || head == "every") {
+    spec.trigger = head == "hit" ? Trigger::kOnHit : Trigger::kEveryK;
+    if (!parse_u64(rest, spec.n) || spec.n == 0) {
+      if (error) *error = head + " needs a positive count, got '" + rest + "'";
+      return false;
+    }
+    return true;
+  }
+  if (head == "prob") {
+    spec.trigger = Trigger::kProbability;
+    auto [frac, seed] = split1(rest, ':');
+    auto [num, den] = split1(frac, '/');
+    if (!parse_u64(num, spec.num) || !parse_u64(den, spec.den) || spec.den == 0) {
+      if (error) *error = "prob needs num/den, got '" + frac + "'";
+      return false;
+    }
+    if (!seed.empty() && !parse_u64(seed, spec.seed)) {
+      if (error) *error = "bad prob seed '" + seed + "'";
+      return false;
+    }
+    return true;
+  }
+  if (error) *error = "unknown trigger '" + head + "'";
+  return false;
+}
+
+}  // namespace
+
+bool parse_and_arm(const std::string& config, std::string* error) {
+  std::size_t begin = 0;
+  while (begin <= config.size()) {
+    std::size_t end = config.find_first_of(";,", begin);
+    if (end == std::string::npos) end = config.size();
+    std::string entry = config.substr(begin, end - begin);
+    begin = end + 1;
+    // Trim surrounding whitespace.
+    while (!entry.empty() && (entry.front() == ' ' || entry.front() == '\t')) entry.erase(0, 1);
+    while (!entry.empty() && (entry.back() == ' ' || entry.back() == '\t')) entry.pop_back();
+    if (entry.empty()) {
+      if (end == config.size()) break;
+      continue;
+    }
+    auto [site, spec_text] = split1(entry, '=');
+    if (site.empty() || spec_text.empty()) {
+      if (error) *error = "expected site=action[@trigger], got '" + entry + "'";
+      return false;
+    }
+    auto [action_text, trigger_text] = split1(spec_text, '@');
+    Spec spec;
+    if (!parse_action(action_text, spec, error)) return false;
+    if (!trigger_text.empty() && !parse_trigger(trigger_text, spec, error)) return false;
+    arm(site, std::move(spec));
+    if (end == config.size()) break;
+  }
+  return true;
+}
+
+bool arm_from_env(std::string* error) {
+  const char* env = std::getenv("CCFSP_FAILPOINTS");
+  if (!env || !*env) return true;
+  return parse_and_arm(env, error);
+}
+
+const std::vector<std::string>& catalog() {
+  static const std::vector<std::string> kSites = {
+      "analyze.rung",          // success/analyze.cpp: entering a ladder rung
+      "cache.fill",            // fsp/cache.cpp: per-state row of FspAnalysisCache
+      "determinize.subset",    // semantics/poss_automaton.cpp: fresh DFA subset
+      "global.intern_ring",    // success/global.cpp: per expanded state (sequential)
+      "global.level",          // success/global.cpp: per BFS level (parallel)
+      "global.worker",         // success/global.cpp: per expanded state (worker)
+      "interner.span_grow",    // util/flat_interner.hpp: SpanInterner rehash
+      "interner.tuple_grow",   // util/flat_interner.hpp: TupleArena rehash
+      "parse.process",         // fsp/parse.cpp: per parsed process block
+  };
+  return kSites;
+}
+
+}  // namespace ccfsp::failpoint

@@ -1,0 +1,146 @@
+// Deterministic fault injection for the analysis engine. The dangerous
+// seams of the library — interner growth, the global-machine intern ring,
+// the parallel shard workers, subset constructions, cache fills, the
+// parser, the ladder's rung boundaries — are instrumented with *named
+// failpoints*: compiled-in sites that normally cost one relaxed atomic
+// load, and that a test, the chaos driver, or an operator can arm to
+// throw, delay, or stall at a precisely reproducible moment.
+//
+//   failpoint::hit("global.intern_ring");       // in engine code
+//
+//   failpoint::Spec s;                          // in a test
+//   s.action = failpoint::Action::kThrowBadAlloc;
+//   s.trigger = failpoint::Trigger::kOnHit;     // trip on the Nth hit
+//   s.n = 3;
+//   failpoint::arm("global.intern_ring", s);
+//
+// or, from the environment / CLI (see docs/robustness.md §6 for the
+// grammar):
+//
+//   CCFSP_FAILPOINTS='interner.tuple_grow=bad_alloc@hit:2' ccfsp_analyze ...
+//   ccfsp_analyze --failpoints 'analyze.rung=budget@every:2;cache.fill=delay:5' ...
+//
+// Triggers are deterministic: per-site hit counters (atomic, so parallel
+// workers count correctly) select the Nth or every-Kth hit, and the
+// probabilistic trigger draws from a seeded util/rng.hpp generator — the
+// same seed always trips at the same hits. Actions map onto the failure
+// modes the engine must survive: BudgetExceeded (a budget wall mid-work),
+// std::bad_alloc (allocation failure), a fixed delay (scheduling jitter),
+// and a stall (a thread parked until release_stalls()/disarm, bounded by a
+// hard cap — for wedged-worker scenarios).
+//
+// Everything here is engineered so the *disarmed* path stays off the
+// profile: hit() reads one relaxed atomic counter of armed sites and
+// returns. Sites sit at per-state / per-level granularity, never per-edge
+// (bench/bench_failpoint.cpp pins the cost on the phil:12 flat build).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace ccfsp::failpoint {
+
+namespace detail {
+/// Number of currently armed sites; 0 is the fast path.
+extern std::atomic<int> g_armed;
+void hit_slow(const char* site);
+}  // namespace detail
+
+/// Mark an injection site. Disarmed cost: one relaxed load and a branch.
+inline void hit(const char* site) {
+  if (detail::g_armed.load(std::memory_order_relaxed) == 0) return;
+  detail::hit_slow(site);
+}
+
+enum class Action {
+  kThrowBudget,    // throw BudgetExceeded (dimension from Spec::dimension)
+  kThrowBadAlloc,  // throw std::bad_alloc
+  kDelay,          // sleep for delay_ms, then continue
+  kStall,          // park until release_stalls()/disarm, capped at delay_ms
+  kCallback,       // invoke Spec::callback (programmatic arming only)
+};
+
+enum class Trigger {
+  kOnHit,        // fire on exactly the n-th hit (1-based)
+  kEveryK,       // fire on every hit whose index is a multiple of n
+  kProbability,  // fire with probability num/den, drawn from a seeded Rng
+};
+
+/// Which budget dimension a kThrowBudget action reports. Mirrors
+/// BudgetDimension without pulling budget.hpp into this header.
+enum class BudgetKind { kStates, kBytes, kDeadline, kCancelled };
+
+struct Spec {
+  Action action = Action::kThrowBudget;
+  Trigger trigger = Trigger::kOnHit;
+  BudgetKind dimension = BudgetKind::kStates;
+  /// kOnHit: the hit index to fire on; kEveryK: the stride. 1-based.
+  std::uint64_t n = 1;
+  /// kProbability: fire with probability num/den from Rng(seed).
+  std::uint64_t num = 1;
+  std::uint64_t den = 2;
+  std::uint64_t seed = 0x5eed;
+  /// kDelay: sleep this long. kStall: hard cap on the park (so an armed
+  /// stall can never deadlock a run that forgot to release it).
+  std::uint64_t delay_ms = 10;
+  /// kCallback: invoked with the site name and the (1-based) hit index.
+  /// May throw; whatever it throws propagates from hit().
+  std::function<void(const char* site, std::uint64_t hit_index)> callback;
+};
+
+/// Arm `site` with `spec` (replacing any previous arming and resetting the
+/// site's hit counter). Site names are free-form, but only names in
+/// catalog() correspond to compiled-in sites.
+void arm(const std::string& site, Spec spec);
+
+/// Disarm one site (no-op if not armed). Wakes any thread stalled on it.
+void disarm(const std::string& site);
+
+/// Disarm everything and wake all stalled threads. Tests and the chaos
+/// driver call this between schedules; it also resets all hit counters.
+void disarm_all();
+
+/// Wake stalled threads without disarming (the stall will not re-park the
+/// same hit, but future hits can stall again).
+void release_stalls();
+
+/// Hits observed at `site` since it was armed (0 if never armed).
+std::uint64_t hits(const std::string& site);
+
+/// Currently armed site names, sorted.
+std::vector<std::string> armed_sites();
+
+/// Parse and arm a failpoint configuration string:
+///   config  := entry (( ';' | ',' ) entry)*
+///   entry   := site '=' action [ '@' trigger ]
+///   action  := 'budget' [ ':' ('states'|'bytes'|'deadline'|'cancel') ]
+///            | 'bad_alloc' | 'delay' ':' ms | 'stall' ':' max_ms
+///   trigger := 'hit' ':' n | 'every' ':' k | 'prob' ':' num '/' den [':' seed]
+/// Defaults: trigger hit:1, budget dimension states.
+/// Returns false (arming nothing from the bad entry onward) and fills
+/// *error on a malformed config.
+bool parse_and_arm(const std::string& config, std::string* error = nullptr);
+
+/// Read CCFSP_FAILPOINTS from the environment and parse_and_arm it.
+/// Returns true when the variable is unset or parsed cleanly. Called by
+/// the CLI and the chaos driver — the library never reads the environment
+/// on its own.
+bool arm_from_env(std::string* error = nullptr);
+
+/// The compiled-in site catalog (stable names, sorted): what the chaos
+/// driver sweeps and docs/robustness.md documents.
+const std::vector<std::string>& catalog();
+
+/// RAII guard: disarm_all() on destruction, so a test that throws mid-sweep
+/// cannot leak armed failpoints into the next test.
+struct ScopedDisarm {
+  ScopedDisarm() = default;
+  ScopedDisarm(const ScopedDisarm&) = delete;
+  ScopedDisarm& operator=(const ScopedDisarm&) = delete;
+  ~ScopedDisarm() { disarm_all(); }
+};
+
+}  // namespace ccfsp::failpoint

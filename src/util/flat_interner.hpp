@@ -11,6 +11,14 @@
 //                   addressed through an offsets table.
 // Both assign dense ids in first-insertion order, which is what makes the
 // BFS numbering of their callers deterministic.
+//
+// Exception safety: both interners provide the *strong* guarantee on
+// intern() — if an allocation fails (for real, or injected through the
+// "interner.tuple_grow" / "interner.span_grow" failpoints), the arena is
+// left exactly as it was before the call: the hash table is rehashed into
+// a fresh block and swapped in only on success, and the packed payload is
+// rolled back if a later append throws. A caller that catches the failure
+// may keep using the arena (same ids, same contents) or discard it.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +26,8 @@
 #include <span>
 #include <utility>
 #include <vector>
+
+#include "util/failpoint.hpp"
 
 namespace ccfsp {
 
@@ -64,17 +74,25 @@ class TupleArena {
   /// Same, with a caller-supplied hash (all interns into one arena must use
   /// the same hash function).
   std::pair<std::uint32_t, bool> intern(const std::uint32_t* tuple, std::uint64_t h) {
+    // Grow *before* touching anything: a throwing rehash (real bad_alloc or
+    // an injected one) then leaves the arena byte-identical to before the
+    // call, and the insert below always has a slot free.
+    if ((count_ + 1) * 2 >= slots_.size()) grow();
     std::size_t mask = slots_.size() - 1;
     const std::uint64_t fp = h >> 32;
     for (std::size_t probe = h & mask;; probe = (probe + 1) & mask) {
       std::uint64_t slot = slots_[probe];
       if ((slot & 0xffffffffull) == 0) {
         const std::uint32_t id = static_cast<std::uint32_t>(count_);
-        data_.insert(data_.end(), tuple, tuple + width_);
-        hashes_.push_back(h);
+        data_.insert(data_.end(), tuple, tuple + width_);  // append: strong
+        try {
+          hashes_.push_back(h);
+        } catch (...) {
+          data_.resize(data_.size() - width_);  // roll the payload back
+          throw;
+        }
         ++count_;
         slots_[probe] = (fp << 32) | (id + 1);
-        if (count_ * 2 >= slots_.size()) grow();
         return {id, true};
       }
       if ((slot >> 32) != fp) continue;  // fingerprint miss: skip the payload
@@ -134,16 +152,19 @@ class TupleArena {
 
  private:
   void grow() {
-    std::vector<std::uint64_t> old = std::move(slots_);
-    slots_.assign(old.size() * 2, 0);
-    const std::size_t mask = slots_.size() - 1;
-    for (std::uint64_t slot : old) {
+    failpoint::hit("interner.tuple_grow");
+    // Rehash into a fresh block and swap only on success; a throw anywhere
+    // in here leaves slots_ (and the rest of the arena) untouched.
+    std::vector<std::uint64_t> next(slots_.size() * 2, 0);
+    const std::size_t mask = next.size() - 1;
+    for (std::uint64_t slot : slots_) {
       if ((slot & 0xffffffffull) == 0) continue;
       const std::uint64_t h = hashes_[static_cast<std::uint32_t>(slot & 0xffffffffull) - 1];
       std::size_t probe = h & mask;
-      while ((slots_[probe] & 0xffffffffull) != 0) probe = (probe + 1) & mask;
-      slots_[probe] = slot;
+      while ((next[probe] & 0xffffffffull) != 0) probe = (probe + 1) & mask;
+      next[probe] = slot;
     }
+    slots_.swap(next);
   }
 
   std::size_t width_;
@@ -167,23 +188,32 @@ class SpanInterner {
   }
 
   std::pair<std::uint32_t, bool> intern(std::span<const std::uint32_t> span) {
+    // Pre-grow for the same strong guarantee as TupleArena::intern.
+    if ((count_ + 1) * 16 >= slots_.size() * 10) grow();
     const std::uint64_t h = hash_words(span.data(), span.size());
     std::size_t mask = slots_.size() - 1;
     for (std::size_t probe = h & mask;; probe = (probe + 1) & mask) {
       std::uint32_t slot = slots_[probe];
       if (slot == 0) {
         const std::uint32_t id = static_cast<std::uint32_t>(count_);
-        data_.insert(data_.end(), span.begin(), span.end());
-        offsets_.push_back(static_cast<std::uint64_t>(data_.size()));
+        const std::size_t old_size = data_.size();
+        data_.insert(data_.end(), span.begin(), span.end());  // append: strong
+        try {
+          offsets_.push_back(static_cast<std::uint64_t>(data_.size()));
+        } catch (...) {
+          data_.resize(old_size);
+          throw;
+        }
         ++count_;
         slots_[probe] = id + 1;
-        if (count_ * 16 >= slots_.size() * 10) grow();
         return {id, true};
       }
       const std::uint32_t id = slot - 1;
+      // The empty span is a legal key; memcmp's pointers are nonnull-
+      // attributed, so size 0 must short-circuit before the call.
       if (length(id) == span.size() &&
-          std::memcmp(data_.data() + offsets_[id], span.data(),
-                      span.size() * sizeof(std::uint32_t)) == 0) {
+          (span.empty() || std::memcmp(data_.data() + offsets_[id], span.data(),
+                                       span.size() * sizeof(std::uint32_t)) == 0)) {
         return {id, false};
       }
     }
@@ -205,17 +235,18 @@ class SpanInterner {
   }
 
   void grow() {
-    std::vector<std::uint32_t> old = std::move(slots_);
-    slots_.assign(old.size() * 2, 0);
-    const std::size_t mask = slots_.size() - 1;
-    for (std::uint32_t slot : old) {
+    failpoint::hit("interner.span_grow");
+    std::vector<std::uint32_t> next(slots_.size() * 2, 0);
+    const std::size_t mask = next.size() - 1;
+    for (std::uint32_t slot : slots_) {
       if (slot == 0) continue;
       const std::uint32_t id = slot - 1;
       const std::uint64_t h = hash_words(data_.data() + offsets_[id], length(id));
       std::size_t probe = h & mask;
-      while (slots_[probe] != 0) probe = (probe + 1) & mask;
-      slots_[probe] = slot;
+      while (next[probe] != 0) probe = (probe + 1) & mask;
+      next[probe] = slot;
     }
+    slots_.swap(next);
   }
 
   std::size_t count_ = 0;

@@ -55,6 +55,17 @@ class AnalysisOutcome {
     return o;
   }
 
+  /// A real allocation failure (std::bad_alloc). Classified as budget
+  /// exhaustion on the bytes dimension: the machine's memory is the budget
+  /// that tripped, and the caller's recovery is the same (retry smaller,
+  /// escalate, or report) — not a crash.
+  static AnalysisOutcome out_of_memory() {
+    AnalysisOutcome o(OutcomeStatus::kBudgetExhausted);
+    o.message_ = "allocation failed (std::bad_alloc): bytes budget of the machine exhausted";
+    o.budget_reason_ = BudgetDimension::kBytes;
+    return o;
+  }
+
   static AnalysisOutcome unsupported(std::string why) {
     AnalysisOutcome o(OutcomeStatus::kUnsupported);
     o.message_ = std::move(why);
@@ -111,11 +122,13 @@ class AnalysisOutcome {
 
 /// Run `fn` and fold every escape hatch of the legacy API into an outcome:
 ///   BudgetExceeded        -> kBudgetExhausted (progress preserved)
+///   std::bad_alloc        -> kBudgetExhausted (bytes reason; a real OOM is
+///                            the machine's budget tripping, not a crash)
 ///   std::invalid_argument -> kInvalidInput  (caller handed garbage)
 ///   std::logic_error      -> kUnsupported   (structural precondition unmet)
 ///   std::runtime_error    -> kInvalidInput  (parse errors and kin)
-/// Anything else (bad_alloc, logic bugs) propagates — those are crashes to
-/// fix, not outcomes to report.
+/// Anything else (logic bugs) propagates — those are crashes to fix, not
+/// outcomes to report.
 template <typename F>
 auto run_guarded(F&& fn) -> AnalysisOutcome<std::invoke_result_t<F>> {
   using Out = AnalysisOutcome<std::invoke_result_t<F>>;
@@ -123,6 +136,8 @@ auto run_guarded(F&& fn) -> AnalysisOutcome<std::invoke_result_t<F>> {
     return Out::decided(std::forward<F>(fn)());
   } catch (const BudgetExceeded& e) {
     return Out::budget_exhausted(e);
+  } catch (const std::bad_alloc&) {
+    return Out::out_of_memory();
   } catch (const std::invalid_argument& e) {
     return Out::invalid_input(e.what());
   } catch (const std::logic_error& e) {

@@ -1,0 +1,210 @@
+// Shared chaos-sweep logic for the bounded gtest (integration/chaos_test)
+// and the standalone driver (chaos_driver). One "schedule" is one seeded
+// draw of (input network, analyze options, failpoint configuration); the
+// harness then checks the engine's two chaos invariants:
+//
+//   1. Taxonomy validity: whatever the schedule injects — budget walls,
+//      allocation failures, delays, stalled workers, cancellations — the
+//      governed front door returns a classified AnalysisReport. No crash,
+//      no terminate, no hang, no exception past analyze().
+//   2. Determinism after recovery: with every failpoint disarmed, re-running
+//      the same analysis produces a report bit-identical to the never-
+//      faulted baseline taken before the faulted run. Fault handling must
+//      not leak state from one run into the next.
+//
+// Budgets drawn here are state-count caps only — never wall-clock deadlines
+// — so the baseline and the post-fault re-run are exactly reproducible.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "fsp/parse.hpp"
+#include "network/generate.hpp"
+#include "network/network.hpp"
+#include "success/analyze.hpp"
+#include "util/failpoint.hpp"
+#include "util/rng.hpp"
+
+namespace ccfsp::chaos {
+
+struct Stats {
+  std::uint64_t schedules = 0;
+  std::uint64_t decided = 0;
+  std::uint64_t exhausted = 0;
+  std::uint64_t unsupported = 0;
+  std::uint64_t retries_used = 0;  // rung attempts beyond the first
+  std::uint64_t sites_fired = 0;   // failpoint hits that took an action path
+};
+
+namespace detail {
+
+inline const char* const kModels[] = {
+    "barrier.ccfsp",         "bounded_buffer.ccfsp",  "handshake_deadlock.ccfsp",
+    "lossy_rpc.ccfsp",       "mutex_semaphore.ccfsp", "pipeline.ccfsp",
+    "readers_writers.ccfsp", "train_crossing.ccfsp",  "two_phase_commit.ccfsp",
+};
+
+/// Shipped models, parsed once and cached (the sweep revisits each many
+/// times). Keyed by name; the Network is rebuilt per schedule from the
+/// cached source so each run gets an independent alphabet.
+inline Network load_model(const std::string& name) {
+  static std::map<std::string, std::string>* sources = new std::map<std::string, std::string>();
+  auto it = sources->find(name);
+  if (it == sources->end()) {
+    std::string path = std::string(CCFSP_MODELS_DIR) + "/" + name;
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("cannot open model " + path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    it = sources->emplace(name, ss.str()).first;
+  }
+  auto alphabet = std::make_shared<Alphabet>();
+  return Network(alphabet, parse_processes(it->second, alphabet));
+}
+
+inline Network draw_network(Rng& rng) {
+  switch (rng.below(4)) {
+    case 0:
+      return load_model(kModels[rng.below(std::size(kModels))]);
+    case 1: {
+      NetworkGenOptions opt;
+      opt.num_processes = static_cast<std::size_t>(rng.range(2, 5));
+      opt.states_per_process = static_cast<std::size_t>(rng.range(3, 6));
+      Rng net_rng(rng.next());
+      return random_tree_network(net_rng, opt);
+    }
+    case 2: {
+      NetworkGenOptions opt;
+      opt.num_processes = static_cast<std::size_t>(rng.range(2, 4));
+      opt.states_per_process = static_cast<std::size_t>(rng.range(3, 5));
+      Rng net_rng(rng.next());
+      return random_cyclic_tree_network(net_rng, opt);
+    }
+    default:
+      return wave_chain_network(static_cast<std::size_t>(rng.range(3, 6)),
+                                static_cast<std::size_t>(rng.range(1, 3)));
+  }
+}
+
+/// A random failpoint configuration over the full compiled-in catalog,
+/// rendered through the same grammar the CLI accepts. Stalls are kept on a
+/// short cap so an unreleased stall costs milliseconds, not a hang.
+inline std::string draw_schedule(Rng& rng) {
+  static const char* const kActions[] = {"budget:states", "budget:bytes",  "budget:deadline",
+                                         "budget:cancel", "bad_alloc",     "bad_alloc",
+                                         "delay:1",       "stall:10"};
+  const auto& sites = failpoint::catalog();
+  std::string config;
+  const std::size_t entries = 1 + rng.below(3);  // 1..3 armed sites
+  for (std::size_t e = 0; e < entries; ++e) {
+    if (!config.empty()) config += ';';
+    config += sites[rng.below(sites.size())];
+    config += '=';
+    config += kActions[rng.below(std::size(kActions))];
+    switch (rng.below(3)) {
+      case 0: config += "@hit:" + std::to_string(rng.range(1, 60)); break;
+      case 1: config += "@every:" + std::to_string(rng.range(2, 30)); break;
+      case 2:
+        config += "@prob:1/" + std::to_string(rng.range(4, 16)) + ":" +
+                  std::to_string(rng.next() & 0xffffff);
+        break;
+    }
+  }
+  return config;
+}
+
+/// Byte-exact serialization of everything an AnalysisReport carries; two
+/// runs are "bit-identical" iff these strings match.
+inline std::string render_report(const AnalysisReport& r) {
+  std::ostringstream out;
+  out << to_string(r.status) << '|' << r.summary() << '|' << r.cyclic_semantics << '\n';
+  for (const RungOutcome& o : r.rungs) {
+    out << to_string(o.rung) << '|' << to_string(o.status) << '|' << o.detail << '|'
+        << o.states_charged << '|' << o.attempt << '|' << to_string(o.budget_reason) << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace detail
+
+/// Run one chaos schedule. Returns an empty string on success, or a
+/// human-readable description of the violated invariant.
+inline std::string run_schedule(std::uint64_t seed, Stats& stats) {
+  Rng rng(seed);
+  ++stats.schedules;
+
+  Network net = detail::draw_network(rng);
+  AnalyzeOptions opt;
+  static const std::size_t kCaps[] = {64, 512, 4096, 32768};
+  opt.budget = Budget::with_states(kCaps[rng.below(std::size(kCaps))]);
+  static const unsigned kThreads[] = {1, 2, 4, 8};
+  opt.threads = kThreads[rng.below(std::size(kThreads))];
+  opt.retries = static_cast<unsigned>(rng.below(3));
+  const std::size_t p_index = static_cast<std::size_t>(rng.below(net.size()));
+  const std::string schedule = detail::draw_schedule(rng);
+
+  auto describe = [&](const char* what) {
+    return std::string(what) + " [seed=" + std::to_string(seed) + " schedule='" + schedule +
+           "' threads=" + std::to_string(opt.threads) +
+           " cap=" + std::to_string(opt.budget.max_states()) +
+           " retries=" + std::to_string(opt.retries) + " p=" + std::to_string(p_index) + "]";
+  };
+
+  // Never-faulted baseline.
+  failpoint::disarm_all();
+  AnalysisReport baseline;
+  try {
+    baseline = analyze(net, p_index, opt);
+  } catch (...) {
+    return describe("baseline analyze() threw");
+  }
+  const std::string baseline_render = detail::render_report(baseline);
+
+  // The faulted run.
+  std::string err;
+  if (!failpoint::parse_and_arm(schedule, &err)) {
+    return describe(("generated schedule failed to parse: " + err).c_str());
+  }
+  AnalysisReport faulted;
+  try {
+    faulted = analyze(net, p_index, opt);
+  } catch (const std::exception& e) {
+    failpoint::disarm_all();
+    return describe((std::string("faulted analyze() threw: ") + e.what()).c_str());
+  } catch (...) {
+    failpoint::disarm_all();
+    return describe("faulted analyze() threw a non-exception");
+  }
+  for (const auto& site : failpoint::armed_sites()) stats.sites_fired += failpoint::hits(site) > 0;
+  failpoint::disarm_all();
+
+  switch (faulted.status) {
+    case OutcomeStatus::kDecided: ++stats.decided; break;
+    case OutcomeStatus::kBudgetExhausted: ++stats.exhausted; break;
+    case OutcomeStatus::kUnsupported: ++stats.unsupported; break;
+    case OutcomeStatus::kInvalidInput:
+      return describe("faulted run classified a valid input as kInvalidInput");
+  }
+  for (const RungOutcome& o : faulted.rungs) stats.retries_used += o.attempt > 0;
+
+  // Post-fault clean re-run: must reproduce the baseline bit for bit.
+  AnalysisReport rerun;
+  try {
+    rerun = analyze(net, p_index, opt);
+  } catch (...) {
+    return describe("post-fault clean analyze() threw");
+  }
+  const std::string rerun_render = detail::render_report(rerun);
+  if (rerun_render != baseline_render) {
+    return describe(("post-fault re-run diverged from the never-faulted baseline:\n--- baseline\n" +
+                     baseline_render + "--- re-run\n" + rerun_render)
+                        .c_str());
+  }
+  return std::string();
+}
+
+}  // namespace ccfsp::chaos

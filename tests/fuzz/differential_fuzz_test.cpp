@@ -1,0 +1,159 @@
+// Differential fuzzing of the flat global-machine builder against the
+// std::map reference oracle, under randomly armed failpoint schedules.
+// The contract being fuzzed:
+//   - when both builders decide, the machines are bit-identical (state
+//     numbering, edge order, everything);
+//   - whatever a schedule injects, each builder's outcome is a member of
+//     the taxonomy (decided / budget-exhausted / invalid-input) — never a
+//     crash, a terminate, or a half-built machine;
+//   - after disarming, a clean re-run of either builder reproduces the
+//     never-faulted machine exactly (no state leaks across runs).
+// Inputs are seeded random networks plus the committed seed corpus under
+// tests/fuzz/corpus/ (hand-written Definition 2 networks that previously
+// exercised interesting paths).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fsp/parse.hpp"
+#include "network/generate.hpp"
+#include "network/network.hpp"
+#include "success/global.hpp"
+#include "util/failpoint.hpp"
+#include "util/rng.hpp"
+
+namespace ccfsp {
+namespace {
+
+bool same_machine(const GlobalMachine& a, const GlobalMachine& b) {
+  return a.width == b.width && a.tuple_data == b.tuple_data && a.edge_data == b.edge_data &&
+         a.edge_offsets == b.edge_offsets;
+}
+
+bool taxonomy_valid(OutcomeStatus s) {
+  return s == OutcomeStatus::kDecided || s == OutcomeStatus::kBudgetExhausted ||
+         s == OutcomeStatus::kUnsupported || s == OutcomeStatus::kInvalidInput;
+}
+
+/// A random failpoint schedule over the sites the builders cross. Returned
+/// as a config string so the fuzzer exercises the parse_and_arm grammar on
+/// every iteration, exactly as the CLI and CCFSP_FAILPOINTS would.
+std::string random_schedule(Rng& rng) {
+  static const char* const kSites[] = {"global.intern_ring", "global.worker", "global.level",
+                                       "interner.tuple_grow"};
+  static const char* const kActions[] = {"budget:states", "budget:bytes", "budget:deadline",
+                                         "bad_alloc", "delay:1"};
+  std::string config;
+  const std::size_t entries = rng.below(3);  // 0..2 armed sites
+  for (std::size_t e = 0; e < entries; ++e) {
+    if (!config.empty()) config += ';';
+    config += kSites[rng.below(std::size(kSites))];
+    config += '=';
+    config += kActions[rng.below(std::size(kActions))];
+    switch (rng.below(3)) {
+      case 0: config += "@hit:" + std::to_string(rng.range(1, 40)); break;
+      case 1: config += "@every:" + std::to_string(rng.range(2, 20)); break;
+      case 2: config += "@prob:1/8:" + std::to_string(rng.next() & 0xffff); break;
+    }
+  }
+  return config;
+}
+
+Network random_network(Rng& rng) {
+  NetworkGenOptions opt;
+  opt.num_processes = static_cast<std::size_t>(rng.range(2, 5));
+  opt.states_per_process = static_cast<std::size_t>(rng.range(3, 6));
+  opt.symbols_per_edge = static_cast<std::size_t>(rng.range(1, 2));
+  switch (rng.below(4)) {
+    case 0: return random_tree_network(rng, opt);
+    case 1: {
+      opt.num_processes = static_cast<std::size_t>(rng.range(3, 5));
+      return random_ring_network(rng, opt);
+    }
+    case 2: return random_cyclic_tree_network(rng, opt);
+    default:
+      return random_linear_chain_network(rng, static_cast<std::size_t>(rng.range(2, 4)),
+                                         static_cast<std::size_t>(rng.range(2, 5)));
+  }
+}
+
+/// One differential round: flat (sequential and 4-thread) vs the reference
+/// builder, same budget, same schedule re-armed before each run so every
+/// builder sees identical trigger state.
+void differential_round(const Network& net, const std::string& schedule, std::size_t cap) {
+  const Budget budget = cap == 0 ? Budget::unlimited() : Budget::with_states(cap);
+  std::string err;
+
+  ASSERT_TRUE(failpoint::parse_and_arm(schedule, &err)) << schedule << ": " << err;
+  auto flat = run_guarded([&] { return build_global(net, budget.fork(), 1); });
+  failpoint::disarm_all();
+
+  ASSERT_TRUE(failpoint::parse_and_arm(schedule, &err)) << schedule << ": " << err;
+  auto par = run_guarded([&] { return build_global(net, budget.fork(), 4); });
+  failpoint::disarm_all();
+
+  ASSERT_TRUE(failpoint::parse_and_arm(schedule, &err)) << schedule << ": " << err;
+  auto ref = run_guarded([&] { return build_global_reference(net, budget.fork()); });
+  failpoint::disarm_all();
+
+  ASSERT_TRUE(taxonomy_valid(flat.status())) << schedule;
+  ASSERT_TRUE(taxonomy_valid(par.status())) << schedule;
+  ASSERT_TRUE(taxonomy_valid(ref.status())) << schedule;
+
+  if (flat.status() == OutcomeStatus::kDecided && ref.status() == OutcomeStatus::kDecided) {
+    EXPECT_TRUE(same_machine(flat.value(), ref.value())) << schedule;
+  }
+  if (flat.status() == OutcomeStatus::kDecided && par.status() == OutcomeStatus::kDecided) {
+    EXPECT_TRUE(same_machine(flat.value(), par.value())) << schedule;
+  }
+
+  // Clean re-runs (nothing armed) must agree with each other bit for bit —
+  // no residue from the faulted runs.
+  auto clean_flat = run_guarded([&] { return build_global(net, budget.fork(), 1); });
+  auto clean_ref = run_guarded([&] { return build_global_reference(net, budget.fork()); });
+  ASSERT_EQ(clean_flat.status(), clean_ref.status()) << schedule;
+  if (clean_flat.status() == OutcomeStatus::kDecided) {
+    EXPECT_TRUE(same_machine(clean_flat.value(), clean_ref.value())) << schedule;
+  }
+}
+
+TEST(DifferentialFuzz, RandomNetworksUnderRandomFailpointSchedules) {
+  failpoint::ScopedDisarm guard;
+  Rng rng(0xd1ffe7);
+  for (int iter = 0; iter < 60; ++iter) {
+    Network net = random_network(rng);
+    const std::string schedule = random_schedule(rng);
+    const std::size_t cap = rng.chance(1, 3) ? static_cast<std::size_t>(rng.range(1, 200)) : 0;
+    SCOPED_TRACE("iter=" + std::to_string(iter) + " schedule='" + schedule + "'");
+    differential_round(net, schedule, cap);
+  }
+}
+
+TEST(DifferentialFuzz, SeedCorpusUnderRandomFailpointSchedules) {
+  failpoint::ScopedDisarm guard;
+  const std::filesystem::path corpus = std::filesystem::path(CCFSP_FUZZ_CORPUS_DIR);
+  ASSERT_TRUE(std::filesystem::is_directory(corpus)) << corpus;
+  Rng rng(0xc0ff5);
+  std::size_t files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(corpus)) {
+    if (entry.path().extension() != ".ccfsp") continue;
+    ++files;
+    std::ifstream in(entry.path());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    auto alphabet = std::make_shared<Alphabet>();
+    Network net(alphabet, parse_processes(ss.str(), alphabet));
+    for (int round = 0; round < 8; ++round) {
+      SCOPED_TRACE(entry.path().filename().string() + " round=" + std::to_string(round));
+      differential_round(net, random_schedule(rng), round % 2 == 0 ? 0 : 64);
+    }
+  }
+  EXPECT_GE(files, 4u) << "seed corpus went missing";
+}
+
+}  // namespace
+}  // namespace ccfsp

@@ -1,0 +1,163 @@
+// Satellite: cancellation arriving *mid-level* during the parallel global
+// build must join every worker, surface as a structured BudgetExhausted
+// (never std::terminate, never a truncated machine), and leave no poisoned
+// state behind — a clean rebuild right after the abort produces the same
+// machine as the sequential oracle. Exercised on the shipped model corpus
+// and on random networks, with 2 and 8 workers (the TSan CI shard runs
+// this file under -fsanitize=thread).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "fsp/parse.hpp"
+#include "network/generate.hpp"
+#include "network/network.hpp"
+#include "success/analyze.hpp"
+#include "success/global.hpp"
+#include "util/failpoint.hpp"
+
+namespace ccfsp {
+namespace {
+
+const char* const kModels[] = {
+    "barrier.ccfsp",         "bounded_buffer.ccfsp",  "handshake_deadlock.ccfsp",
+    "lossy_rpc.ccfsp",       "mutex_semaphore.ccfsp", "pipeline.ccfsp",
+    "readers_writers.ccfsp", "train_crossing.ccfsp",  "two_phase_commit.ccfsp",
+};
+
+Network load_model(const std::string& name, AlphabetPtr alphabet) {
+  std::string path = std::string(CCFSP_MODELS_DIR) + "/" + name;
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open model " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return Network(alphabet, parse_processes(ss.str(), alphabet));
+}
+
+/// Arm "global.worker" so that the Nth state expanded by any worker cancels
+/// `token` — a deterministic mid-level cancellation, raised from inside the
+/// pool itself while sibling workers are still expanding.
+void arm_cancel_on_worker_hit(const CancelToken& token, std::uint64_t nth) {
+  failpoint::Spec s;
+  s.action = failpoint::Action::kCallback;
+  s.trigger = failpoint::Trigger::kOnHit;
+  s.n = nth;
+  s.callback = [token](const char*, std::uint64_t) { token.cancel(); };
+  failpoint::arm("global.worker", s);
+}
+
+bool same_machine(const GlobalMachine& a, const GlobalMachine& b) {
+  return a.width == b.width && a.tuple_data == b.tuple_data && a.edge_data == b.edge_data &&
+         a.edge_offsets == b.edge_offsets;
+}
+
+TEST(GlobalCancel, MidLevelCancelOnModelCorpusJoinsWorkersAndClassifies) {
+  failpoint::ScopedDisarm guard;
+  for (const char* model : kModels) {
+    auto alphabet = std::make_shared<Alphabet>();
+    Network net = load_model(model, alphabet);
+    GlobalMachine oracle = build_global(net, Budget::unlimited(), 1);
+    for (unsigned threads : {2u, 8u}) {
+      CancelToken token;
+      arm_cancel_on_worker_hit(token, 1);
+      auto out = try_build_global(net, Budget().watch(token), threads);
+      ASSERT_EQ(out.status(), OutcomeStatus::kBudgetExhausted)
+          << model << " threads=" << threads << ": " << out.message();
+      EXPECT_EQ(out.budget_reason(), BudgetDimension::kCancelled)
+          << model << " threads=" << threads;
+      // Nothing is poisoned: the very next build (failpoint disarmed, fresh
+      // token) reproduces the sequential oracle bit for bit.
+      failpoint::disarm_all();
+      GlobalMachine rebuilt = build_global(net, Budget::unlimited(), threads);
+      EXPECT_TRUE(same_machine(oracle, rebuilt)) << model << " threads=" << threads;
+    }
+  }
+}
+
+TEST(GlobalCancel, MidLevelCancelOnRandomNetworks) {
+  failpoint::ScopedDisarm guard;
+  NetworkGenOptions opt;
+  opt.num_processes = 5;
+  opt.states_per_process = 5;
+  for (std::uint64_t seed : {11u, 23u, 47u}) {
+    Rng tree_rng(seed), cyc_rng(seed ^ 0xabcd);
+    const Network nets[] = {random_tree_network(tree_rng, opt),
+                            random_cyclic_tree_network(cyc_rng, opt)};
+    for (const Network& net : nets) {
+      for (unsigned threads : {2u, 8u}) {
+        CancelToken token;
+        // every:3 instead of hit:1 — the cancel lands on the 3rd, 6th, ...
+        // expanded state, i.e. genuinely mid-level once the frontier widens.
+        failpoint::Spec s;
+        s.action = failpoint::Action::kCallback;
+        s.trigger = failpoint::Trigger::kEveryK;
+        s.n = 3;
+        s.callback = [token](const char*, std::uint64_t) { token.cancel(); };
+        failpoint::arm("global.worker", s);
+        auto out = try_build_global(net, Budget().watch(token), threads);
+        // Tiny state spaces can finish before the 3rd expansion; anything
+        // else must classify as a cancellation. Never a crash or a hang.
+        if (out.status() != OutcomeStatus::kDecided) {
+          ASSERT_EQ(out.status(), OutcomeStatus::kBudgetExhausted)
+              << "seed=" << seed << " threads=" << threads;
+          EXPECT_EQ(out.budget_reason(), BudgetDimension::kCancelled);
+        }
+        failpoint::disarm_all();
+      }
+    }
+  }
+}
+
+TEST(GlobalCancel, AnalyzeClassifiesWorkerCancelAndDoesNotRetryIt) {
+  failpoint::ScopedDisarm guard;
+  auto alphabet = std::make_shared<Alphabet>();
+  Network net = load_model("pipeline.ccfsp", alphabet);
+  for (unsigned threads : {2u, 8u}) {
+    CancelToken token;
+    arm_cancel_on_worker_hit(token, 1);
+    AnalyzeOptions opt;
+    opt.budget = Budget().watch(token);
+    opt.rungs = {Rung::kExplicit};
+    opt.threads = threads;
+    opt.retries = 3;  // must NOT be consumed: cancellation is final
+    AnalysisReport r;
+    ASSERT_NO_THROW(r = analyze(net, 0, opt)) << "threads=" << threads;
+    EXPECT_EQ(r.status, OutcomeStatus::kBudgetExhausted) << "threads=" << threads;
+    ASSERT_EQ(r.rungs.size(), 1u) << "threads=" << threads;
+    EXPECT_EQ(r.rungs[0].attempt, 0u);
+    EXPECT_EQ(r.rungs[0].budget_reason, BudgetDimension::kCancelled);
+    failpoint::disarm_all();
+  }
+}
+
+TEST(GlobalCancel, RacyExternalCancelDuringParallelBuildIsAlwaysClassified) {
+  // The nondeterministic variant: a supervising thread cancels at an
+  // arbitrary moment relative to the level structure. Whatever the timing,
+  // the outcome is classified and the workers are joined (TSan watches the
+  // synchronization; the ASSERT watches the taxonomy).
+  Network net = wave_chain_network(8, 4);
+  for (unsigned threads : {2u, 8u}) {
+    for (int delay_us : {0, 200, 1000, 5000}) {
+      CancelToken token;
+      std::thread killer([token, delay_us] {
+        std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+        token.cancel();
+      });
+      auto out = try_build_global(net, Budget().watch(token), threads);
+      killer.join();
+      ASSERT_TRUE(out.status() == OutcomeStatus::kDecided ||
+                  out.status() == OutcomeStatus::kBudgetExhausted)
+          << "threads=" << threads << " delay=" << delay_us;
+      if (out.status() == OutcomeStatus::kBudgetExhausted) {
+        EXPECT_EQ(out.budget_reason(), BudgetDimension::kCancelled);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ccfsp

@@ -1,0 +1,296 @@
+// The failpoint subsystem's own contract: deterministic triggers, the
+// config grammar, thread-safe arming, stall release, and the strong
+// exception-safety guarantee of the flat interners under injected growth
+// failures.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <new>
+#include <thread>
+#include <vector>
+
+#include "util/budget.hpp"
+#include "util/failpoint.hpp"
+#include "util/flat_interner.hpp"
+#include "util/outcome.hpp"
+
+namespace ccfsp {
+namespace {
+
+using failpoint::Action;
+using failpoint::ScopedDisarm;
+using failpoint::Spec;
+using failpoint::Trigger;
+
+TEST(Failpoint, DisarmedHitIsANoop) {
+  failpoint::disarm_all();
+  for (int i = 0; i < 1000; ++i) failpoint::hit("nonexistent.site");
+  EXPECT_TRUE(failpoint::armed_sites().empty());
+}
+
+TEST(Failpoint, OnHitFiresExactlyOnTheNthHit) {
+  ScopedDisarm guard;
+  Spec s;
+  s.action = Action::kThrowBadAlloc;
+  s.trigger = Trigger::kOnHit;
+  s.n = 3;
+  failpoint::arm("t.site", s);
+  failpoint::hit("t.site");
+  failpoint::hit("t.site");
+  EXPECT_THROW(failpoint::hit("t.site"), std::bad_alloc);
+  // Only the 3rd hit fires; the 4th and later pass through.
+  failpoint::hit("t.site");
+  failpoint::hit("t.site");
+  EXPECT_EQ(failpoint::hits("t.site"), 5u);
+}
+
+TEST(Failpoint, EveryKFiresOnMultiples) {
+  ScopedDisarm guard;
+  Spec s;
+  s.action = Action::kThrowBudget;
+  s.dimension = failpoint::BudgetKind::kBytes;
+  s.trigger = Trigger::kEveryK;
+  s.n = 2;
+  failpoint::arm("t.every", s);
+  std::vector<std::uint64_t> fired;
+  for (std::uint64_t i = 1; i <= 6; ++i) {
+    try {
+      failpoint::hit("t.every");
+    } catch (const BudgetExceeded& e) {
+      EXPECT_EQ(e.reason(), BudgetDimension::kBytes);
+      fired.push_back(i);
+    }
+  }
+  EXPECT_EQ(fired, (std::vector<std::uint64_t>{2, 4, 6}));
+}
+
+TEST(Failpoint, ProbabilityIsSeededAndReproducible) {
+  ScopedDisarm guard;
+  auto firing_pattern = [](std::uint64_t seed) {
+    Spec s;
+    s.action = Action::kThrowBadAlloc;
+    s.trigger = Trigger::kProbability;
+    s.num = 1;
+    s.den = 3;
+    s.seed = seed;
+    failpoint::arm("t.prob", s);
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i) {
+      try {
+        failpoint::hit("t.prob");
+        fired.push_back(false);
+      } catch (const std::bad_alloc&) {
+        fired.push_back(true);
+      }
+    }
+    return fired;
+  };
+  auto a = firing_pattern(42);
+  auto b = firing_pattern(42);
+  auto c = firing_pattern(7);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // overwhelmingly likely for 200 draws at p=1/3
+  // The rate should be in the right ballpark.
+  std::size_t fires = 0;
+  for (bool f : a) fires += f;
+  EXPECT_GT(fires, 30u);
+  EXPECT_LT(fires, 110u);
+}
+
+TEST(Failpoint, ArmResetsTheHitCounter) {
+  ScopedDisarm guard;
+  Spec s;
+  s.action = Action::kThrowBadAlloc;
+  s.n = 100;  // never fires in this test
+  failpoint::arm("t.reset", s);
+  failpoint::hit("t.reset");
+  failpoint::hit("t.reset");
+  EXPECT_EQ(failpoint::hits("t.reset"), 2u);
+  failpoint::arm("t.reset", s);
+  EXPECT_EQ(failpoint::hits("t.reset"), 0u);
+}
+
+TEST(Failpoint, CallbackSeesSiteAndHitIndex) {
+  ScopedDisarm guard;
+  std::vector<std::uint64_t> seen;
+  Spec s;
+  s.action = Action::kCallback;
+  s.trigger = Trigger::kEveryK;
+  s.n = 1;
+  s.callback = [&](const char* site, std::uint64_t index) {
+    EXPECT_STREQ(site, "t.cb");
+    seen.push_back(index);
+  };
+  failpoint::arm("t.cb", s);
+  failpoint::hit("t.cb");
+  failpoint::hit("t.cb");
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{1, 2}));
+}
+
+TEST(Failpoint, StallParksUntilReleased) {
+  ScopedDisarm guard;
+  Spec s;
+  s.action = Action::kStall;
+  s.delay_ms = 10000;  // hard cap we must never reach
+  failpoint::arm("t.stall", s);
+  std::atomic<bool> done{false};
+  auto t0 = std::chrono::steady_clock::now();
+  std::thread worker([&] {
+    failpoint::hit("t.stall");
+    done.store(true);
+  });
+  // Give the worker a moment to park, then release it.
+  while (failpoint::hits("t.stall") == 0) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(done.load());
+  // Release repeatedly: the worker may not have parked yet when the first
+  // release lands, and a release only wakes threads already waiting.
+  while (!done.load()) {
+    failpoint::release_stalls();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  worker.join();
+  EXPECT_TRUE(done.load());
+  auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+  EXPECT_LT(ms, 5000) << "stall should end on release, not on the cap";
+}
+
+TEST(Failpoint, ParseGrammarRoundTrips) {
+  ScopedDisarm guard;
+  std::string err;
+  ASSERT_TRUE(failpoint::parse_and_arm(
+      "a.site=bad_alloc@hit:2; b.site=budget:deadline@every:3,"
+      "c.site=delay:5@prob:1/4:99 ; d.site=stall:50",
+      &err))
+      << err;
+  auto armed = failpoint::armed_sites();
+  EXPECT_EQ(armed, (std::vector<std::string>{"a.site", "b.site", "c.site", "d.site"}));
+  // a.site: bad_alloc on exactly the 2nd hit.
+  failpoint::hit("a.site");
+  EXPECT_THROW(failpoint::hit("a.site"), std::bad_alloc);
+  // b.site: deadline-flavoured BudgetExceeded on every 3rd hit.
+  failpoint::hit("b.site");
+  failpoint::hit("b.site");
+  try {
+    failpoint::hit("b.site");
+    FAIL() << "expected BudgetExceeded";
+  } catch (const BudgetExceeded& e) {
+    EXPECT_EQ(e.reason(), BudgetDimension::kDeadline);
+  }
+}
+
+TEST(Failpoint, ParseRejectsMalformedConfigs) {
+  ScopedDisarm guard;
+  std::string err;
+  EXPECT_FALSE(failpoint::parse_and_arm("noequals", &err));
+  EXPECT_FALSE(failpoint::parse_and_arm("x=unknown_action", &err));
+  EXPECT_FALSE(failpoint::parse_and_arm("x=budget@hit:0", &err));
+  EXPECT_FALSE(failpoint::parse_and_arm("x=budget@prob:1/0", &err));
+  EXPECT_FALSE(failpoint::parse_and_arm("x=delay:abc", &err));
+  EXPECT_FALSE(failpoint::parse_and_arm("x=budget:parsecs", &err));
+  EXPECT_FALSE(err.empty());
+  // Empty config is fine and arms nothing.
+  EXPECT_TRUE(failpoint::parse_and_arm("", &err));
+  EXPECT_TRUE(failpoint::parse_and_arm(" ; , ", &err));
+}
+
+TEST(Failpoint, CatalogIsSortedAndNonEmpty) {
+  const auto& sites = failpoint::catalog();
+  ASSERT_FALSE(sites.empty());
+  for (std::size_t i = 1; i < sites.size(); ++i) EXPECT_LT(sites[i - 1], sites[i]);
+}
+
+// ---- run_guarded: the total-surface promise includes real OOM ----
+
+TEST(Failpoint, RunGuardedMapsBadAllocToBudgetExhaustedWithBytesReason) {
+  auto out = run_guarded([]() -> int { throw std::bad_alloc(); });
+  ASSERT_EQ(out.status(), OutcomeStatus::kBudgetExhausted);
+  EXPECT_EQ(out.budget_reason(), BudgetDimension::kBytes);
+  EXPECT_NE(out.message().find("bad_alloc"), std::string::npos);
+}
+
+// ---- flat interners: strong guarantee under injected growth failure ----
+
+TEST(Failpoint, TupleArenaSurvivesGrowFailureIntact) {
+  ScopedDisarm guard;
+  TupleArena arena(2, /*expected=*/4);  // grows early
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> tuples;
+  // Fill up to just below the growth threshold.
+  for (std::uint32_t i = 0; i < 7; ++i) {
+    std::uint32_t t[2] = {i, i + 100};
+    auto [id, fresh] = arena.intern(t);
+    ASSERT_TRUE(fresh);
+    ASSERT_EQ(id, i);
+    tuples.emplace_back(t[0], t[1]);
+  }
+  Spec s;
+  s.action = Action::kThrowBadAlloc;
+  s.n = 1;
+  failpoint::arm("interner.tuple_grow", s);
+  std::uint32_t t8[2] = {77, 177};
+  EXPECT_THROW(arena.intern(t8), std::bad_alloc);
+  // Strong guarantee: nothing changed.
+  ASSERT_EQ(arena.size(), 7u);
+  for (std::uint32_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(arena[i][0], tuples[i].first);
+    EXPECT_EQ(arena[i][1], tuples[i].second);
+  }
+  // The arena stays usable: the same insert now succeeds (failpoint fired
+  // once), existing tuples keep their ids.
+  auto [id8, fresh8] = arena.intern(t8);
+  EXPECT_TRUE(fresh8);
+  EXPECT_EQ(id8, 7u);
+  std::uint32_t t0[2] = {0, 100};
+  EXPECT_EQ(arena.intern(t0), (std::pair<std::uint32_t, bool>{0, false}));
+}
+
+TEST(Failpoint, SpanInternerSurvivesGrowFailureIntact) {
+  ScopedDisarm guard;
+  SpanInterner ids(/*expected=*/4);  // cap 16: grows when interning the 10th
+  std::vector<std::vector<std::uint32_t>> spans;
+  for (std::uint32_t i = 0; i < 9; ++i) {
+    std::vector<std::uint32_t> span{i, i + 1, i + 2};
+    auto [id, fresh] = ids.intern({span.data(), span.size()});
+    ASSERT_TRUE(fresh);
+    ASSERT_EQ(id, i);
+    spans.push_back(std::move(span));
+  }
+  Spec s;
+  s.action = Action::kThrowBadAlloc;
+  s.n = 1;
+  failpoint::arm("interner.span_grow", s);
+  std::vector<std::uint32_t> fresh_span{500, 501};
+  EXPECT_THROW(ids.intern({fresh_span.data(), fresh_span.size()}), std::bad_alloc);
+  ASSERT_EQ(ids.size(), 9u);
+  for (std::uint32_t i = 0; i < 9; ++i) {
+    auto got = ids.get(i);
+    ASSERT_EQ(got.size(), spans[i].size());
+    for (std::size_t k = 0; k < got.size(); ++k) EXPECT_EQ(got[k], spans[i][k]);
+  }
+  auto [id9, fresh9] = ids.intern({fresh_span.data(), fresh_span.size()});
+  EXPECT_TRUE(fresh9);
+  EXPECT_EQ(id9, 9u);
+}
+
+TEST(Failpoint, ParallelHitsCountAtomically) {
+  ScopedDisarm guard;
+  Spec s;
+  s.action = Action::kThrowBadAlloc;
+  s.n = 0xffffffff;  // never fires
+  failpoint::arm("t.mt", s);
+  constexpr int kThreads = 8, kHits = 2000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([] {
+      for (int i = 0; i < kHits; ++i) failpoint::hit("t.mt");
+    });
+  }
+  for (auto& t : pool) t.join();
+  EXPECT_EQ(failpoint::hits("t.mt"), static_cast<std::uint64_t>(kThreads) * kHits);
+}
+
+}  // namespace
+}  // namespace ccfsp
