@@ -1,0 +1,251 @@
+// Theorem 3 reduction-pipeline benchmark: the flat kernels (interned
+// determinize/normal-form with incremental child folding) and the subtree
+// normal-form memo against the retained pre-flat pipeline
+// (use_flat_kernels = false — batch composition, reference normal forms,
+// reference star DFAs), across the tree families whose subtree structure
+// the memo is built for. Emits BENCH_pipeline.json for the CI perf-smoke
+// job; see docs/perf.md for how to run and read it.
+//
+//   bench_pipeline [--quick] [--out PATH] [--check BASELINE.json]
+//
+// Every instance is decided three times — baseline, flat without the memo,
+// flat with the memo — and the three results must agree exactly (the run
+// aborts otherwise). The headline number is `speedup`: baseline_ms /
+// memoized_ms per row. --check compares this run against a committed
+// BENCH_pipeline.json in machine-independent units: it fails (exit 1) if
+// on any common (family, size) row the kernel's time *relative to the
+// baseline pipeline measured in the same run* regressed by more than 1.5x
+// against the committed ratio.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "network/generate.hpp"
+#include "success/tree_pipeline.hpp"
+#include "util/rng.hpp"
+
+using namespace ccfsp;
+
+namespace {
+
+struct Row {
+  std::string family;
+  std::size_t size = 0;
+  double baseline_ms = 0;   // pre-flat pipeline (the oracle)
+  double flat_ms = 0;       // flat kernels, memo off
+  double memoized_ms = 0;   // flat kernels + subtree memo (the default)
+  std::size_t memo_hits = 0;
+  std::size_t memo_misses = 0;
+};
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+Network make_family(const std::string& family, std::size_t size) {
+  if (family == "wave_tree") {
+    Rng rng(1500 + size);
+    return wave_tree_network(rng, size, 6);
+  }
+  // Branching 6: high node degree is what separates the incremental fold
+  // from batch composition (a node's children multiply their router fans
+  // together in the batch pipeline), while every equal-height subtree still
+  // folds to one memo entry.
+  if (family == "wave_ktree") return wave_ktree_network(6, size, 6);
+  if (family == "random_tree") {
+    Rng rng(1000 + size);
+    NetworkGenOptions opt;
+    opt.num_processes = size;
+    opt.states_per_process = 6;
+    opt.symbols_per_edge = 2;
+    opt.tau_probability = 0.15;
+    return random_tree_network(rng, opt);
+  }
+  throw std::invalid_argument("unknown family " + family);
+}
+
+bool same_decisions(const Theorem3Result& a, const Theorem3Result& b) {
+  return a.unavoidable_success == b.unavoidable_success &&
+         a.success_collab == b.success_collab && a.success_adversity == b.success_adversity;
+}
+
+/// Best-of-3 for instances under 300 ms: the small rows are sub-millisecond
+/// and a single sample makes the --check ratio gate noisy; the large rows
+/// are stable enough (and expensive enough) to measure once.
+template <typename F>
+Theorem3Result time_mode(F&& decide_once, double& best_ms) {
+  auto t0 = std::chrono::steady_clock::now();
+  Theorem3Result result = decide_once();
+  best_ms = ms_since(t0);
+  for (int rep = 1; rep < 3 && best_ms < 300; ++rep) {
+    t0 = std::chrono::steady_clock::now();
+    decide_once();
+    best_ms = std::min(best_ms, ms_since(t0));
+  }
+  return result;
+}
+
+Row run_one(const std::string& family, std::size_t size) {
+  Network net = make_family(family, size);
+  Row row;
+  row.family = family;
+  row.size = size;
+
+  Theorem3Options baseline_opt;
+  baseline_opt.use_flat_kernels = false;
+  Theorem3Result baseline =
+      time_mode([&] { return theorem3_decide(net, 0, baseline_opt); }, row.baseline_ms);
+
+  Theorem3Options flat_opt;
+  flat_opt.memoize = false;
+  Theorem3Result flat =
+      time_mode([&] { return theorem3_decide(net, 0, flat_opt); }, row.flat_ms);
+
+  Theorem3Result memoized = time_mode([&] { return theorem3_decide(net, 0); }, row.memoized_ms);
+  row.memo_hits = memoized.memo_hits;
+  row.memo_misses = memoized.memo_misses;
+
+  if (!same_decisions(baseline, flat) || !same_decisions(baseline, memoized)) {
+    std::fprintf(stderr, "FATAL: pipeline modes disagree on %s:%zu\n", family.c_str(), size);
+    std::exit(1);
+  }
+  return row;
+}
+
+struct BaselineRow {
+  std::string family;
+  std::size_t size = 0;
+  double baseline_ms = 0, flat_ms = 0, memoized_ms = 0;
+};
+
+/// Minimal scanner for the JSON this tool itself writes (one row per line).
+std::vector<BaselineRow> load_baseline(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (!f) {
+    std::fprintf(stderr, "cannot read baseline %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::vector<BaselineRow> rows;
+  char line[512];
+  while (std::fgets(line, sizeof line, f)) {
+    char family[64];
+    BaselineRow r;
+    if (std::sscanf(line,
+                    " {\"family\": \"%63[^\"]\", \"size\": %zu, \"baseline_ms\": %lf, "
+                    "\"flat_ms\": %lf, \"memoized_ms\": %lf",
+                    family, &r.size, &r.baseline_ms, &r.flat_ms, &r.memoized_ms) == 5) {
+      r.family = family;
+      rows.push_back(std::move(r));
+    }
+  }
+  std::fclose(f);
+  return rows;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_pipeline.json";
+  std::string check_path;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--quick")) {
+      quick = true;
+    } else if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--check") && i + 1 < argc) {
+      check_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out PATH] [--check BASELINE.json]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  // Full sizes keep the baseline pipeline busy for hundreds of ms at the
+  // top end; the quick sizes are also members of the full plan so a --check
+  // against the committed full-run JSON always finds matching rows.
+  struct Plan {
+    const char* family;
+    std::vector<std::size_t> sizes;
+    std::vector<std::size_t> quick_sizes;
+  };
+  const std::vector<Plan> plans = {
+      {"wave_tree", {40, 100, 200, 400}, {40}},
+      {"wave_ktree", {43, 259, 1555}, {43}},
+      {"random_tree", {40, 100, 200, 400}, {40}},
+  };
+
+  std::vector<Row> rows;
+  for (const Plan& plan : plans) {
+    for (std::size_t size : (quick ? plan.quick_sizes : plan.sizes)) {
+      Row row = run_one(plan.family, size);
+      std::printf(
+          "%-11s m=%-3zu baseline=%9.1fms flat=%8.1fms memo=%8.1fms speedup=%6.2fx "
+          "hits=%zu/%zu\n",
+          row.family.c_str(), row.size, row.baseline_ms, row.flat_ms, row.memoized_ms,
+          row.memoized_ms > 0 ? row.baseline_ms / row.memoized_ms : 0, row.memo_hits,
+          row.memo_hits + row.memo_misses);
+      std::fflush(stdout);
+      rows.push_back(std::move(row));
+    }
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"pipeline\",\n  \"quick\": %s,\n  \"results\": [\n",
+               quick ? "true" : "false");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"family\": \"%s\", \"size\": %zu, \"baseline_ms\": %.2f, "
+                 "\"flat_ms\": %.2f, \"memoized_ms\": %.2f, \"speedup\": %.2f, "
+                 "\"memo_hits\": %zu, \"memo_misses\": %zu}%s\n",
+                 r.family.c_str(), r.size, r.baseline_ms, r.flat_ms, r.memoized_ms,
+                 r.memoized_ms > 0 ? r.baseline_ms / r.memoized_ms : 0, r.memo_hits,
+                 r.memo_misses, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!check_path.empty()) {
+    const std::vector<BaselineRow> committed = load_baseline(check_path);
+    bool ok = true;
+    std::size_t compared = 0;
+    for (const Row& r : rows) {
+      for (const BaselineRow& c : committed) {
+        if (c.family != r.family || c.size != r.size) continue;
+        ++compared;
+        // Machine-independent units: the kernel's cost relative to the
+        // baseline pipeline measured in the *same* run.
+        const double now = r.memoized_ms / r.baseline_ms;
+        const double then = c.memoized_ms / c.baseline_ms;
+        const double regression = then > 0 ? now / then : 0;
+        std::printf("check %-11s m=%-3zu rel=%0.4f committed=%0.4f ratio=%0.2f%s\n",
+                    r.family.c_str(), r.size, now, then, regression,
+                    regression > 1.5 ? "  REGRESSION" : "");
+        if (regression > 1.5) ok = false;
+      }
+    }
+    if (compared == 0) {
+      std::fprintf(stderr, "check: no common (family, size) rows with %s\n",
+                   check_path.c_str());
+      return 1;
+    }
+    if (!ok) {
+      std::fprintf(stderr, "check: pipeline kernel regressed >1.5x vs %s\n",
+                   check_path.c_str());
+      return 1;
+    }
+    std::printf("check: %zu rows within 1.5x of %s\n", compared, check_path.c_str());
+  }
+  return 0;
+}

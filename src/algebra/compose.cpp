@@ -64,6 +64,21 @@ void declare_sigma(Fsp& f, const Fsp& p1, const Fsp& p2, bool hide_shared) {
   }
 }
 
+/// declare_sigma with the product's used-action set tracked incrementally
+/// by the emit path, skipping the O(states x alphabet) rescan of the
+/// finished product (it allocates one ActionSet per state). full_product
+/// keeps the rescanning version: it emits from unreachable states too, so
+/// its emit-path set would not equal its out_actions union.
+void declare_sigma_with_used(Fsp& f, const Fsp& p1, const Fsp& p2, bool hide_shared,
+                             const ActionSet& used) {
+  ActionSet sigma1 = p1.sigma_set();
+  ActionSet sigma2 = p2.sigma_set();
+  ActionSet target = hide_shared ? (sigma1 | sigma2) - (sigma1 & sigma2) : (sigma1 | sigma2);
+  for (std::size_t a : (target - used).to_indices()) {
+    f.declare_action(static_cast<ActionId>(a));
+  }
+}
+
 /// Shared BFS core of reachable_product and compose. `hide_shared` maps
 /// every Sigma1 ∩ Sigma2 action to tau *while the product is built* —
 /// hiding only relabels transitions, so the reachable state set and its
@@ -107,16 +122,18 @@ Fsp product_impl(const Fsp& p1, const Fsp& p2, bool hide_shared, const char* sep
 
   StateId start = intern(p1.start(), p2.start());
   out.set_start(start);
+  ActionSet used(out.alphabet()->size());
   while (!work.empty()) {
     auto [s1, s2] = work.back();
     work.pop_back();
     StateId from = ids.at(key(s1, s2));
     product_moves(p1, s1, p2, s2, sigma1, sigma2, [&](ActionId a, StateId t1, StateId t2) {
       if (hide_shared && a != kTau && shared.test(a)) a = kTau;
+      if (a != kTau) used.set(a);
       out.add_transition(from, a, intern(t1, t2));
     });
   }
-  declare_sigma(out, p1, p2, hide_shared);
+  declare_sigma_with_used(out, p1, p2, hide_shared, used);
   return out;
 }
 

@@ -11,8 +11,14 @@
 
 namespace ccfsp {
 
-/// Coarsest strong bisimulation: block index per state.
+/// Coarsest strong bisimulation: block index per state (classes numbered by
+/// first occurrence in state order). Computed by the Paige–Tarjan splitter-
+/// queue kernel in util/refine.hpp.
 std::vector<std::size_t> bisimulation_classes(const Fsp& p);
+
+/// The retained Moore-refinement implementation (full signature maps rebuilt
+/// every round): the oracle bisimulation_classes() is tested against.
+std::vector<std::size_t> bisimulation_classes_reference(const Fsp& p);
 
 /// Quotient of p by strong bisimilarity (transitions deduplicated). The
 /// result is possibility-equivalent (hence language- and failure-

@@ -3,6 +3,7 @@
 #include <set>
 
 #include "util/failpoint.hpp"
+#include "util/flat_interner.hpp"
 
 namespace ccfsp {
 
@@ -43,6 +44,170 @@ FspAnalysisCache::FspAnalysisCache(const Fsp& f, const Budget* budget) : fsp_(&f
 const std::vector<StateId>& FspAnalysisCache::arrow_successors(StateId s, ActionId a) const {
   auto it = arrows_[s].find(a);
   return it == arrows_[s].end() ? empty_ : it->second;
+}
+
+namespace {
+
+std::string router_label(const NfLabelShape& sh, std::uint32_t r) {
+  std::vector<ActionId> path;
+  for (std::uint32_t cur = r; sh.parent[cur] != UINT32_MAX; cur = sh.parent[cur]) {
+    path.push_back(sh.via[cur]);
+  }
+  std::string out = "n";
+  for (auto it = path.rbegin(); it != path.rend(); ++it) {
+    out += "_" + sh.alphabet->name(*it);
+  }
+  return out;
+}
+
+/// Canonical structure fingerprint: [n, start, deg_0, (canon act, tgt)...,
+/// deg_1, ...] with actions renumbered densely in first-use order over that
+/// very traversal (tau = 0, real actions from 1). Equal encodings imply the
+/// two processes differ only by the action bijection the two first-use
+/// orders induce — the prefix up to any word determines how the next word
+/// is read, so the encoding is unambiguous.
+struct CanonFingerprint {
+  std::vector<std::uint32_t> enc;
+  std::vector<ActionId> real_of_canon;   // [0] = kTau
+  std::vector<std::uint32_t> canon_of_real;  // by real action; UINT32_MAX unseen
+};
+
+CanonFingerprint fingerprint_of(const Fsp& p) {
+  CanonFingerprint fp;
+  fp.canon_of_real.assign(p.alphabet()->size(), UINT32_MAX);
+  fp.real_of_canon.push_back(kTau);
+  auto canon = [&fp](ActionId a) -> std::uint32_t {
+    if (a == kTau) return 0;
+    if (fp.canon_of_real[a] == UINT32_MAX) {
+      fp.canon_of_real[a] = static_cast<std::uint32_t>(fp.real_of_canon.size());
+      fp.real_of_canon.push_back(a);
+    }
+    return fp.canon_of_real[a];
+  };
+  fp.enc.reserve(2 + p.num_states() + 2 * p.num_transitions());
+  fp.enc.push_back(static_cast<std::uint32_t>(p.num_states()));
+  fp.enc.push_back(p.start());
+  for (StateId s = 0; s < p.num_states(); ++s) {
+    const auto& out = p.out(s);
+    fp.enc.push_back(static_cast<std::uint32_t>(out.size()));
+    for (const auto& t : out) {
+      fp.enc.push_back(canon(t.action));
+      fp.enc.push_back(t.target);
+    }
+  }
+  return fp;
+}
+
+}  // namespace
+
+std::string NfLabelShape::label(StateId s) const {
+  if (s < num_routers) return router_label(*this, s);
+  return router_label(*this, owner[s - num_routers]) + "!";
+}
+
+std::optional<Fsp> NormalFormMemo::find(const Fsp& p, std::size_t limit) {
+  CanonFingerprint fp = fingerprint_of(p);
+  const Entry* entry = nullptr;
+  auto bucket = buckets_.find(hash_words(fp.enc.data(), fp.enc.size()));
+  if (bucket != buckets_.end()) {
+    for (std::uint32_t id : bucket->second) {
+      if (entries_[id].key == fp.enc) {
+        entry = &entries_[id];
+        break;
+      }
+    }
+  }
+  if (!entry) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  failpoint::hit("cache.nf_memo");
+  const Blueprint& bp = entry->bp;
+
+  // Behave exactly like the poss_normal_form call this replaces: same
+  // state-count limit (with the same BudgetExceeded taxonomy) and the same
+  // aggregate budget charge for the states built.
+  if (bp.num_states > limit) {
+    throw BudgetExceeded(BudgetDimension::kStates, "poss_normal_form", limit + 1,
+                         (limit + 1) * 24);
+  }
+  if (budget_) budget_->charge(bp.num_states, bp.num_states * 24, "poss_normal_form");
+
+  auto shape = std::make_shared<NfLabelShape>();
+  shape->alphabet = p.alphabet();
+  shape->num_routers = bp.num_routers;
+  shape->parent = bp.parent;
+  shape->via.reserve(bp.via_canon.size());
+  for (std::uint32_t v : bp.via_canon) {
+    shape->via.push_back(v == 0 ? kTau : fp.real_of_canon[v]);
+  }
+  shape->owner = bp.owner;
+
+  Fsp out(p.alphabet(), p.name() + "_nf");
+  out.set_label_provider([shape](StateId s) { return shape->label(s); });
+  for (std::uint32_t s = 0; s < bp.num_states; ++s) out.add_state();
+  out.set_start(bp.start);
+  ActionSet used(p.alphabet()->size());
+  for (std::uint32_t s = 0; s < bp.num_states; ++s) {
+    for (std::uint32_t k = bp.off[s]; k < bp.off[s + 1]; ++k) {
+      const std::uint32_t c = bp.act_canon[k];
+      const ActionId a = c == 0 ? kTau : fp.real_of_canon[c];
+      out.add_transition(s, a, bp.tgt[k]);
+      if (a != kTau) used.set(a);
+    }
+  }
+  // Sigma is re-derived from the querying process, exactly as the rebuilt
+  // normal form would declare it (see poss_normal_form).
+  for (ActionId a : p.sigma()) {
+    if (!used.test(a)) out.declare_action(a);
+  }
+  return out;
+}
+
+void NormalFormMemo::store(const Fsp& p, const Fsp& nf,
+                           std::shared_ptr<const NfLabelShape> shape) {
+  CanonFingerprint fp = fingerprint_of(p);
+  const std::uint64_t h = hash_words(fp.enc.data(), fp.enc.size());
+  for (std::uint32_t id : buckets_[h]) {
+    if (entries_[id].key == fp.enc) return;  // already stored
+  }
+
+  Blueprint bp;
+  bp.num_states = static_cast<std::uint32_t>(nf.num_states());
+  bp.start = nf.start();
+  bp.num_routers = shape->num_routers;
+  bp.off.reserve(nf.num_states() + 1);
+  bp.off.push_back(0);
+  for (StateId s = 0; s < nf.num_states(); ++s) {
+    for (const auto& t : nf.out(s)) {
+      // Every normal-form action is a transition action of p, so it has a
+      // canon id in p's fingerprint.
+      bp.act_canon.push_back(t.action == kTau ? 0 : fp.canon_of_real[t.action]);
+      bp.tgt.push_back(t.target);
+    }
+    bp.off.push_back(static_cast<std::uint32_t>(bp.tgt.size()));
+  }
+  bp.parent = shape->parent;
+  bp.via_canon.reserve(shape->via.size());
+  for (ActionId a : shape->via) {
+    bp.via_canon.push_back(a == kTau ? 0 : fp.canon_of_real[a]);
+  }
+  bp.owner = shape->owner;
+
+  const std::size_t entry_bytes =
+      (fp.enc.size() + bp.off.size() + bp.act_canon.size() + bp.tgt.size() +
+       bp.parent.size() + bp.via_canon.size() + bp.owner.size()) *
+          sizeof(std::uint32_t) +
+      160;
+  if (bytes_ + entry_bytes > max_bytes_) return;
+  failpoint::hit("cache.nf_memo");
+  if (budget_) budget_->charge(0, entry_bytes, "nf_memo");
+
+  const std::uint32_t id = static_cast<std::uint32_t>(entries_.size());
+  entries_.push_back(Entry{std::move(fp.enc), std::move(bp)});
+  buckets_[h].push_back(id);
+  bytes_ += entry_bytes;
 }
 
 }  // namespace ccfsp

@@ -3,9 +3,19 @@
 // allocations, which is fine for one-shot queries but dominates the game
 // solver's inner loop (every belief member of every position); the cache
 // turns each into a table lookup.
+//
+// Also home to NormalFormMemo, the subtree-normal-form memo of the Theorem 3
+// pipeline: repeated subtree composites (wave/ktree families produce the
+// same composite at many tree nodes, up to a renaming of actions) are
+// fingerprinted by their action-canonical structure and their normal form
+// is rebuilt from a stored blueprint instead of recomputed.
 #pragma once
 
+#include <cstdint>
 #include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "fsp/fsp.hpp"
@@ -32,6 +42,89 @@ class FspAnalysisCache {
   std::vector<ActionSet> ready_;
   std::vector<std::map<ActionId, std::vector<StateId>>> arrows_;
   std::vector<StateId> empty_;
+};
+
+/// The unfold-tree shape a possibility normal form's lazy labels read from:
+/// router r's label is its parent's label plus "_" plus the arriving
+/// action's name ("n" at the root), a stable state's label is its owning
+/// router's plus "!". Defined at the fsp layer so NormalFormMemo can store
+/// one shape in action-canonical form; semantics/normal_form.cpp fills it.
+struct NfLabelShape {
+  AlphabetPtr alphabet;
+  std::uint32_t num_routers = 0;
+  std::vector<std::uint32_t> parent;  // per router; UINT32_MAX at the root
+  std::vector<ActionId> via;          // per router; action from the parent
+  std::vector<std::uint32_t> owner;   // per stable state (id - num_routers)
+
+  std::string label(StateId s) const;
+};
+
+/// Memo of Fsp -> possibility-normal-form results, keyed by a canonical
+/// fingerprint of the *structure* of the input: states in id order, out
+/// edges in stored order, actions densely renumbered in first-use order
+/// (tau = 0). Two composites with equal fingerprints are identical up to an
+/// action bijection, and the normal form is equivariant under action
+/// bijections, so a stored blueprint (transitions and label shape in canon
+/// action space) rebuilds a correct possibility normal form of the query:
+/// the stored process's normal form transported through the bijection, with
+/// labels and Sigma declarations re-derived from the querying process
+/// (labels, atoms, and Sigma do not enter the key). When the query's
+/// transition sequence matches the stored process's exactly — the common
+/// case, the same subtree composite re-encountered — the rebuild is the
+/// byte-for-byte Fsp poss_normal_form would produce. When it matches only
+/// up to a renaming, the rebuild is isomorphic to poss_normal_form(query)
+/// (same size, semantics, and label scheme) but may number states
+/// differently, because poss_normal_form orders DFA children by ascending
+/// *real* action id, which a renaming permutes. Downstream use is sound
+/// either way: the pipeline replaces subtrees by *any* possibility-
+/// equivalent process (Lemmas 2-5), and decisions depend only on that
+/// equivalence class.
+///
+/// find() charges `budget` and enforces `limit` exactly like the
+/// poss_normal_form call it replaces (same BudgetExceeded taxonomy);
+/// store() charges its blueprint footprint under "nf_memo" and stops
+/// accepting entries once `max_bytes` is reached. Both hit the
+/// "cache.nf_memo" failpoint.
+class NormalFormMemo {
+ public:
+  explicit NormalFormMemo(std::size_t max_bytes = 64u << 20, const Budget* budget = nullptr)
+      : max_bytes_(max_bytes), budget_(budget) {}
+
+  /// Rebuild the memoized normal form of a process isomorphic to p (up to
+  /// action renaming), or nullopt if none is stored. Counts a hit or miss.
+  std::optional<Fsp> find(const Fsp& p, std::size_t limit = 1u << 20);
+
+  /// Record nf = poss_normal_form(p) with the label shape its provider
+  /// reads from. No-op when the byte cap is reached or the key is present.
+  void store(const Fsp& p, const Fsp& nf, std::shared_ptr<const NfLabelShape> shape);
+
+  std::size_t hits() const { return hits_; }
+  std::size_t misses() const { return misses_; }
+  std::size_t entries() const { return entries_.size(); }
+  std::size_t bytes() const { return bytes_; }
+
+ private:
+  struct Blueprint {
+    std::uint32_t num_states = 0;
+    std::uint32_t start = 0;
+    std::uint32_t num_routers = 0;
+    std::vector<std::uint32_t> off;        // CSR over states
+    std::vector<std::uint32_t> act_canon;  // edge actions, canon ids (0 = tau)
+    std::vector<StateId> tgt;
+    std::vector<std::uint32_t> parent;     // label shape, per router
+    std::vector<std::uint32_t> via_canon;  // label shape, per router (0 at root)
+    std::vector<std::uint32_t> owner;      // label shape, per stable state
+  };
+  struct Entry {
+    std::vector<std::uint32_t> key;
+    Blueprint bp;
+  };
+
+  std::size_t max_bytes_;
+  const Budget* budget_;
+  std::size_t hits_ = 0, misses_ = 0, bytes_ = 0;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> buckets_;  // hash -> entry ids
+  std::vector<Entry> entries_;
 };
 
 }  // namespace ccfsp

@@ -168,4 +168,13 @@ Network wave_chain_network(std::size_t num_processes, std::size_t rounds) {
   return wave_network_from_parents(parent, rounds);
 }
 
+Network wave_ktree_network(std::size_t branching, std::size_t num_processes,
+                           std::size_t rounds) {
+  if (branching < 2) throw std::invalid_argument("wave_ktree_network: need branching >= 2");
+  if (num_processes < 2) throw std::invalid_argument("wave_ktree_network: need >= 2");
+  std::vector<std::size_t> parent(num_processes, 0);
+  for (std::size_t v = 1; v < num_processes; ++v) parent[v] = (v - 1) / branching;
+  return wave_network_from_parents(parent, rounds);
+}
+
 }  // namespace ccfsp

@@ -46,4 +46,11 @@ Network wave_tree_network(Rng& rng, std::size_t num_processes, std::size_t round
 /// The chain-shaped special case (C_N a path), deterministic by m.
 Network wave_chain_network(std::size_t num_processes, std::size_t rounds);
 
+/// The complete-k-ary special case (parent of v is (v-1)/k), deterministic
+/// by (k, m): all subtrees of equal height are identical up to the action
+/// renaming of their edge symbols, the best case for the Theorem 3
+/// subtree-normal-form memo.
+Network wave_ktree_network(std::size_t branching, std::size_t num_processes,
+                           std::size_t rounds);
+
 }  // namespace ccfsp

@@ -1,8 +1,12 @@
 #include "semantics/normal_form.hpp"
 
+#include <algorithm>
 #include <map>
+#include <memory>
 #include <set>
 #include <stdexcept>
+
+#include "semantics/poss_automaton.hpp"
 
 namespace ccfsp {
 
@@ -68,13 +72,134 @@ Fsp fsp_from_possibilities(const std::vector<Possibility>& poss, const AlphabetP
   return out;
 }
 
-Fsp poss_normal_form(const Fsp& p, std::size_t limit, const Budget* budget) {
-  std::vector<Possibility> poss =
-      p.is_tree() ? possibilities_tree(p) : possibilities_acyclic(p, limit, budget);
-  Fsp nf = fsp_from_possibilities(poss, p.alphabet(), p.name() + "_nf");
+Fsp poss_normal_form(const Fsp& p, std::size_t limit, const Budget* budget,
+                     std::shared_ptr<const NfLabelShape>* out_shape) {
+  // Same contract as the reference path (which inherits it from
+  // possibilities_acyclic): cyclic processes have no finite unfolding.
+  if (!p.is_acyclic()) throw std::logic_error("poss_normal_form: process has a cycle");
+
+  // The DFA's state reached by string s carries, as its kPossibilities
+  // annotation, exactly the Z-sets of the possibilities (s, Z) — so the
+  // router trie is the DFA's tree unfolding and Poss(P) never needs to be
+  // enumerated string by string.
+  FlatAnnotatedDfa dfa =
+      annotated_determinize_flat(p, SemanticAnnotation::kPossibilities, budget, limit);
+
+  auto shape = std::make_shared<NfLabelShape>();
+  shape->alphabet = p.alphabet();
+
+  // Pass 1: pre-order unfolding, children in ascending action order —
+  // router ids land in lexicographic string order, matching the reference's
+  // by_string map. The unfold tree can be much larger than the DFA (a DFA
+  // state appears once per string reaching it), so every created state is
+  // counted against `limit`, the same output-size proxy the reference
+  // bounds through its traversal items.
+  std::size_t work = 0;
+  auto count_state = [&] {
+    if (++work > limit) {
+      throw BudgetExceeded(BudgetDimension::kStates, "poss_normal_form", work, work * 24);
+    }
+    if (budget) budget->charge(1, 24, "poss_normal_form");
+  };
+
+  struct Pending {
+    std::uint32_t dfa_state, parent;
+    ActionId via;
+  };
+  std::vector<std::uint32_t> router_dfa;
+  std::vector<Pending> stack{{dfa.start, UINT32_MAX, kTau}};
+  while (!stack.empty()) {
+    const Pending pd = stack.back();
+    stack.pop_back();
+    count_state();
+    const std::uint32_t r = static_cast<std::uint32_t>(router_dfa.size());
+    router_dfa.push_back(pd.dfa_state);
+    shape->parent.push_back(pd.parent);
+    shape->via.push_back(pd.via);
+    for (std::uint32_t k = dfa.trans_off[pd.dfa_state + 1]; k > dfa.trans_off[pd.dfa_state];
+         --k) {
+      stack.push_back({dfa.trans_target[k - 1], r, dfa.trans_action[k - 1]});
+    }
+  }
+  const std::uint32_t num_routers = static_cast<std::uint32_t>(router_dfa.size());
+  shape->num_routers = num_routers;
+
+  // Children of router r in id order == ascending action order, aligned 1:1
+  // with the DFA transitions of its state.
+  std::vector<std::uint32_t> child_off(num_routers + 1, 0);
+  for (std::uint32_t r = 0; r < num_routers; ++r) {
+    const std::uint32_t d = router_dfa[r];
+    child_off[r + 1] = child_off[r] + (dfa.trans_off[d + 1] - dfa.trans_off[d]);
+  }
+  std::vector<std::uint32_t> child_ids(child_off[num_routers]);
+  {
+    std::vector<std::uint32_t> cursor(child_off.begin(), child_off.end() - 1);
+    for (std::uint32_t r = 1; r < num_routers; ++r) {
+      child_ids[cursor[shape->parent[r]]++] = r;
+    }
+  }
+
+  // Pass 2: routers first (ids 0..R-1), then per router its stable children
+  // in Z-set lex order — the annotation list's order — with edges added in
+  // the reference's order: tau + Z edges per stable child, then direct
+  // router edges for uncovered extensions, actions ascending.
+  Fsp out(p.alphabet(), p.name() + "_nf");
+  out.set_label_provider([shape](StateId s) { return shape->label(s); });
+  for (std::uint32_t r = 0; r < num_routers; ++r) out.add_state();
+  out.set_start(0);
+
+  ActionSet used(p.alphabet()->size());
+  std::vector<std::uint8_t> covered(p.alphabet()->size(), 0);
+  std::vector<ActionId> touched;
+  for (std::uint32_t r = 0; r < num_routers; ++r) {
+    const std::uint32_t d = router_dfa[r];
+    const ActionId* tb = dfa.trans_action.data() + dfa.trans_off[d];
+    const ActionId* te = dfa.trans_action.data() + dfa.trans_off[d + 1];
+    touched.clear();
+    for (std::uint32_t z : dfa.annotation(d)) {
+      count_state();
+      const StateId st = out.add_state();
+      shape->owner.push_back(r);
+      out.add_transition(r, kTau, st);
+      for (ActionId a : dfa.ann_sets.get(z)) {
+        // Every ready action of a possibility extends the language, so the
+        // DFA transition — and with it the aligned child router — exists.
+        const std::uint32_t idx = static_cast<std::uint32_t>(std::lower_bound(tb, te, a) - tb);
+        out.add_transition(st, a, child_ids[child_off[r] + idx]);
+        used.set(a);
+        if (!covered[a]) {
+          covered[a] = 1;
+          touched.push_back(a);
+        }
+      }
+    }
+    for (std::uint32_t k = dfa.trans_off[d], c = child_off[r]; k < dfa.trans_off[d + 1];
+         ++k, ++c) {
+      const ActionId a = dfa.trans_action[k];
+      if (!covered[a]) {
+        out.add_transition(r, a, child_ids[c]);
+        used.set(a);
+      }
+    }
+    for (ActionId a : touched) covered[a] = 0;
+  }
+
+  out.validate();
   // Sigma must be preserved exactly: a declared-but-unused symbol still
   // blocks the partner's handshakes under ||, whereas dropping it from
   // Sigma would let the partner move autonomously — a different semantics.
+  for (ActionId a : p.sigma()) {
+    if (!used.test(a)) out.declare_action(a);
+  }
+  if (out_shape) *out_shape = shape;
+  return out;
+}
+
+Fsp poss_normal_form_reference(const Fsp& p, std::size_t limit, const Budget* budget) {
+  std::vector<Possibility> poss =
+      p.is_tree() ? possibilities_tree(p) : possibilities_acyclic(p, limit, budget);
+  Fsp nf = fsp_from_possibilities(poss, p.alphabet(), p.name() + "_nf");
+  // Sigma must be preserved exactly (see poss_normal_form above).
   ActionSet used(p.alphabet()->size());
   for (StateId s = 0; s < nf.num_states(); ++s) used |= nf.out_actions(s);
   for (ActionId a : p.sigma()) {

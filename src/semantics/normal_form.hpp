@@ -11,10 +11,20 @@
 // for extensions not offered by any stable sibling, keeping Lang intact.
 // The result is a DAG of size O(sum |s| + sum |Z|); the paper flattens it
 // to a tree, which is equivalent up to possibility equivalence (tested).
+//
+// poss_normal_form() builds the trie by unfolding the flat annotated
+// subset-construction DFA (semantics/poss_automaton.hpp): the DFA's states
+// under kPossibilities carry exactly the Z-sets per string class, so the
+// trie is the DFA's tree unfolding — no explicit Poss(P) enumeration, no
+// per-string std::map keys. poss_normal_form_reference() retains the
+// original extract-then-rebuild path as the test oracle; both produce
+// bit-identical automata (tested).
 #pragma once
 
+#include <memory>
 #include <string>
 
+#include "fsp/cache.hpp"
 #include "semantics/possibilities.hpp"
 
 namespace ccfsp {
@@ -26,11 +36,22 @@ namespace ccfsp {
 Fsp fsp_from_possibilities(const std::vector<Possibility>& poss, const AlphabetPtr& alphabet,
                            const std::string& name);
 
-/// Possibility normal form of an acyclic FSP: extract Poss and rebuild.
-/// Uses the linear-time tree extraction when p is a tree, the subset-based
-/// extraction otherwise. `limit` bounds the general extraction; an optional
-/// caller `budget` is charged alongside it (and can trip first).
+/// Possibility normal form of an acyclic FSP, via the flat annotated-DFA
+/// unfolding. `limit` bounds the number of normal-form states built (the
+/// same output-size proxy the reference path bounds through its traversal
+/// items); an optional caller `budget` is charged alongside it (and can
+/// trip first). State labels are materialized lazily on first request.
+/// When `out_shape` is non-null it receives the label shape the result's
+/// provider reads from (shared with the returned Fsp).
 Fsp poss_normal_form(const Fsp& p, std::size_t limit = 1u << 20,
-                     const Budget* budget = nullptr);
+                     const Budget* budget = nullptr,
+                     std::shared_ptr<const NfLabelShape>* out_shape = nullptr);
+
+/// The retained original implementation: extract Poss explicitly
+/// (linear-time tree walk when p is a tree, subset traversal otherwise)
+/// and rebuild with fsp_from_possibilities. The correctness oracle for
+/// poss_normal_form.
+Fsp poss_normal_form_reference(const Fsp& p, std::size_t limit = 1u << 20,
+                               const Budget* budget = nullptr);
 
 }  // namespace ccfsp

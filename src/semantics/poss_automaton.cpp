@@ -4,7 +4,7 @@
 
 #include "fsp/cache.hpp"
 #include "util/failpoint.hpp"
-#include "util/flat_interner.hpp"
+#include "util/refine.hpp"
 
 namespace ccfsp {
 
@@ -14,6 +14,17 @@ std::vector<ActionId> set_to_sorted(const ActionSet& s) {
   std::vector<ActionId> out;
   for (std::size_t a : s.to_indices()) out.push_back(static_cast<ActionId>(a));
   return out;
+}
+
+/// a ⊆ b for sorted, duplicate-free spans (two-pointer merge walk).
+bool span_subset(std::span<const std::uint32_t> a, std::span<const std::uint32_t> b) {
+  std::size_t j = 0;
+  for (std::uint32_t x : a) {
+    while (j < b.size() && b[j] < x) ++j;
+    if (j == b.size() || b[j] != x) return false;
+    ++j;
+  }
+  return true;
 }
 
 std::set<std::vector<ActionId>> annotate(const Fsp& p, const FspAnalysisCache& cache,
@@ -30,17 +41,32 @@ std::set<std::vector<ActionId>> annotate(const Fsp& p, const FspAnalysisCache& c
       break;
     case SemanticAnnotation::kFailures: {
       // Minimal ready sets form an antichain equivalent to the maximal
-      // refusal sets of the failures model.
+      // refusal sets of the failures model. Deduplicate, order by popcount,
+      // and compare each candidate against the kept antichain only: any
+      // strict subset of a candidate is strictly smaller, so it (or a subset
+      // of it) was already kept — O(k * |antichain|) subset checks instead
+      // of the all-pairs O(k^2) loop.
       std::vector<ActionSet> readies;
       for (StateId q : subset) readies.push_back(cache.ready_actions(q));
-      for (std::size_t i = 0; i < readies.size(); ++i) {
+      std::sort(readies.begin(), readies.end(),
+                [](const ActionSet& x, const ActionSet& y) {
+                  const std::size_t cx = x.count(), cy = y.count();
+                  return cx != cy ? cx < cy : x < y;
+                });
+      readies.erase(std::unique(readies.begin(), readies.end()), readies.end());
+      std::vector<const ActionSet*> kept;
+      for (const ActionSet& r : readies) {
         bool minimal = true;
-        for (std::size_t j = 0; j < readies.size() && minimal; ++j) {
-          if (i != j && readies[j].is_subset_of(readies[i]) && readies[j] != readies[i]) {
+        for (const ActionSet* k : kept) {
+          if (k->is_subset_of(r)) {  // strict: equal sets were deduplicated
             minimal = false;
+            break;
           }
         }
-        if (minimal) ann.insert(set_to_sorted(readies[i]));
+        if (minimal) {
+          kept.push_back(&r);
+          ann.insert(set_to_sorted(r));
+        }
       }
       break;
     }
@@ -50,14 +76,252 @@ std::set<std::vector<ActionId>> annotate(const Fsp& p, const FspAnalysisCache& c
 
 }  // namespace
 
+std::uint32_t FlatAnnotatedDfa::step(std::uint32_t s, ActionId a) const {
+  const ActionId* b = trans_action.data() + trans_off[s];
+  const ActionId* e = trans_action.data() + trans_off[s + 1];
+  const ActionId* it = std::lower_bound(b, e, a);
+  if (it == e || *it != a) return UINT32_MAX;
+  return trans_target[trans_off[s] + static_cast<std::uint32_t>(it - b)];
+}
+
+FlatAnnotatedDfa annotated_determinize_flat(const Fsp& p, SemanticAnnotation kind,
+                                            const Budget* budget, std::size_t max_states) {
+  FlatAnnotatedDfa dfa;
+  const std::size_t n = p.num_states();
+
+  // Per-state edge tables in one pass: non-tau out edges sorted by action
+  // (CSR), tau out edges (CSR), stability. Deliberately *not* an
+  // FspAnalysisCache: its arrow table costs O(closure^2 * degree) to fill
+  // and nothing below needs it.
+  std::vector<std::uint32_t> out_off(n + 1, 0), tau_off(n + 1, 0);
+  std::vector<ActionId> out_act;
+  std::vector<StateId> out_tgt, tau_tgt;
+  std::vector<std::uint8_t> stable(n, 0);
+  {
+    std::size_t m = 0, mt = 0;
+    for (StateId s = 0; s < n; ++s) {
+      for (const auto& t : p.out(s)) {
+        t.action == kTau ? ++mt : ++m;
+      }
+    }
+    out_act.resize(m);
+    out_tgt.resize(m);
+    tau_tgt.resize(mt);
+    std::size_t at = 0, tat = 0;
+    std::vector<std::pair<ActionId, StateId>> row;
+    for (StateId s = 0; s < n; ++s) {
+      row.clear();
+      for (const auto& t : p.out(s)) {
+        if (t.action == kTau) {
+          tau_tgt[tat++] = t.target;
+        } else {
+          row.emplace_back(t.action, t.target);
+        }
+      }
+      std::sort(row.begin(), row.end());
+      for (auto [a, t] : row) {
+        out_act[at] = a;
+        out_tgt[at] = t;
+        ++at;
+      }
+      out_off[s + 1] = static_cast<std::uint32_t>(at);
+      tau_off[s + 1] = static_cast<std::uint32_t>(tat);
+      stable[s] = tau_off[s + 1] == tau_off[s] ? 1 : 0;
+    }
+  }
+
+  // Tau closures, computed lazily — only the start and the targets of
+  // followed non-tau edges ever need one — with an epoch-stamped seen array
+  // instead of Fsp::tau_closure's fresh O(n) bitmap per call (that
+  // allocation is quadratic over a chain-heavy composite and was the
+  // dominant cost of the extraction this kernel replaces).
+  std::vector<std::vector<StateId>> closure(n);
+  std::vector<std::uint8_t> closure_done(n, 0);
+  std::vector<std::uint32_t> seen_mark(n, 0);
+  std::uint32_t epoch = 0;
+  std::vector<StateId> dfs;
+  auto closure_of = [&](StateId s) -> const std::vector<StateId>& {
+    if (!closure_done[s]) {
+      ++epoch;
+      dfs.assign(1, s);
+      seen_mark[s] = epoch;
+      std::vector<StateId>& cl = closure[s];
+      while (!dfs.empty()) {
+        const StateId q = dfs.back();
+        dfs.pop_back();
+        cl.push_back(q);
+        for (std::uint32_t k = tau_off[q]; k < tau_off[q + 1]; ++k) {
+          const StateId t = tau_tgt[k];
+          if (seen_mark[t] != epoch) {
+            seen_mark[t] = epoch;
+            dfs.push_back(t);
+          }
+        }
+      }
+      std::sort(cl.begin(), cl.end());
+      closure_done[s] = 1;
+      if (budget) {
+        budget->charge(0, cl.size() * sizeof(StateId) + 32, "annotated_determinize");
+      }
+    }
+    return closure[s];
+  };
+
+  // Interned per-state annotation source, also lazy: the stable ready set Z
+  // under kPossibilities, the (closure-wide) ready-action set under
+  // kFailures.
+  std::vector<std::uint32_t> state_ann(n, UINT32_MAX);
+  std::vector<ActionId> scratch;
+  auto ann_of = [&](StateId q) {
+    if (state_ann[q] == UINT32_MAX) {
+      if (kind == SemanticAnnotation::kPossibilities) {
+        scratch.assign(out_act.begin() + out_off[q], out_act.begin() + out_off[q + 1]);
+        scratch.erase(std::unique(scratch.begin(), scratch.end()), scratch.end());
+      } else {
+        scratch.clear();
+        for (StateId c : closure_of(q)) {
+          scratch.insert(scratch.end(), out_act.begin() + out_off[c],
+                         out_act.begin() + out_off[c + 1]);
+        }
+        std::sort(scratch.begin(), scratch.end());
+        scratch.erase(std::unique(scratch.begin(), scratch.end()), scratch.end());
+      }
+      state_ann[q] = dfa.ann_sets.intern({scratch.data(), scratch.size()}).first;
+    }
+    return state_ann[q];
+  };
+  auto span_less = [&](std::uint32_t x, std::uint32_t y) {
+    const auto sx = dfa.ann_sets.get(x), sy = dfa.ann_sets.get(y);
+    return std::lexicographical_compare(sx.begin(), sx.end(), sy.begin(), sy.end());
+  };
+
+  auto intern_subset = [&](std::span<const StateId> subset) {
+    auto [id, fresh] = dfa.subsets.intern(subset);
+    if (fresh) {
+      failpoint::hit("determinize.subset");
+      if (dfa.subsets.size() > max_states) {
+        throw BudgetExceeded(BudgetDimension::kStates, "annotated_determinize",
+                             dfa.subsets.size(), dfa.subsets.bytes());
+      }
+      if (budget) {
+        budget->charge(1, subset.size() * sizeof(StateId) + 160, "annotated_determinize");
+      }
+    }
+    return id;
+  };
+
+  dfa.trans_off.push_back(0);
+  dfa.ann_off.push_back(0);
+  {
+    const auto& cl = closure_of(p.start());
+    dfa.start = intern_subset({cl.data(), cl.size()});
+  }
+
+  std::vector<StateId> subset;
+  std::vector<std::uint32_t> ann;
+  std::vector<std::pair<ActionId, StateId>> moves;
+  std::vector<StateId> next;
+  for (std::uint32_t i = 0; i < dfa.subsets.size(); ++i) {
+    // Copy: the interner's packed storage may move as successors are interned.
+    const auto sp = dfa.subsets.get(i);
+    subset.assign(sp.begin(), sp.end());
+
+    ann.clear();
+    switch (kind) {
+      case SemanticAnnotation::kLanguage:
+        break;
+      case SemanticAnnotation::kPossibilities:
+        for (StateId q : subset) {
+          if (stable[q]) ann.push_back(ann_of(q));
+        }
+        // Lex order over the spans; interning dedups, so equal spans are
+        // equal ids and land adjacent.
+        std::sort(ann.begin(), ann.end(), span_less);
+        ann.erase(std::unique(ann.begin(), ann.end()), ann.end());
+        break;
+      case SemanticAnnotation::kFailures: {
+        // Minimal-ready-set antichain, as in annotate() above but on interned
+        // spans: candidates ascending by length, each checked against the
+        // kept antichain with a two-pointer subset walk.
+        for (StateId q : subset) ann.push_back(ann_of(q));
+        std::sort(ann.begin(), ann.end());
+        ann.erase(std::unique(ann.begin(), ann.end()), ann.end());
+        std::sort(ann.begin(), ann.end(), [&](std::uint32_t x, std::uint32_t y) {
+          const std::size_t lx = dfa.ann_sets.get(x).size(), ly = dfa.ann_sets.get(y).size();
+          return lx != ly ? lx < ly : span_less(x, y);
+        });
+        std::size_t kept = 0;
+        for (std::uint32_t cand : ann) {
+          bool minimal = true;
+          for (std::size_t k = 0; k < kept && minimal; ++k) {
+            minimal = !span_subset(dfa.ann_sets.get(ann[k]), dfa.ann_sets.get(cand));
+          }
+          if (minimal) ann[kept++] = cand;
+        }
+        ann.resize(kept);
+        std::sort(ann.begin(), ann.end(), span_less);
+        break;
+      }
+    }
+    dfa.ann_ids.insert(dfa.ann_ids.end(), ann.begin(), ann.end());
+    dfa.ann_off.push_back(static_cast<std::uint32_t>(dfa.ann_ids.size()));
+
+    moves.clear();
+    for (StateId q : subset) {
+      for (std::uint32_t k = out_off[q]; k < out_off[q + 1]; ++k) {
+        moves.emplace_back(out_act[k], out_tgt[k]);
+      }
+    }
+    std::sort(moves.begin(), moves.end());
+    for (std::size_t k = 0; k < moves.size();) {
+      const ActionId a = moves[k].first;
+      next.clear();
+      for (; k < moves.size() && moves[k].first == a; ++k) {
+        const auto& cl = closure_of(moves[k].second);
+        next.insert(next.end(), cl.begin(), cl.end());
+      }
+      std::sort(next.begin(), next.end());
+      next.erase(std::unique(next.begin(), next.end()), next.end());
+      const std::uint32_t target = intern_subset({next.data(), next.size()});
+      dfa.trans_action.push_back(a);
+      dfa.trans_target.push_back(target);
+    }
+    dfa.trans_off.push_back(static_cast<std::uint32_t>(dfa.trans_action.size()));
+  }
+  return dfa;
+}
+
 AnnotatedDfa annotated_determinize(const Fsp& p, SemanticAnnotation kind,
                                    const Budget* budget) {
+  FlatAnnotatedDfa flat = annotated_determinize_flat(p, kind, budget);
+  AnnotatedDfa dfa;
+  dfa.start = flat.start;
+  const std::size_t n = flat.num_states();
+  dfa.trans.resize(n);
+  dfa.annotation.resize(n);
+  dfa.subsets.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t k = flat.trans_off[i]; k < flat.trans_off[i + 1]; ++k) {
+      dfa.trans[i].emplace(flat.trans_action[k], flat.trans_target[k]);
+    }
+    for (std::uint32_t id : flat.annotation(i)) {
+      const auto sp = flat.ann_sets.get(id);
+      dfa.annotation[i].insert(std::vector<ActionId>(sp.begin(), sp.end()));
+    }
+    const auto sub = flat.subsets.get(i);
+    dfa.subsets[i].assign(sub.begin(), sub.end());
+  }
+  return dfa;
+}
+
+AnnotatedDfa annotated_determinize_reference(const Fsp& p, SemanticAnnotation kind,
+                                             const Budget* budget) {
   AnnotatedDfa dfa;
   // Closures and ready sets come from the analysis cache (each is computed
   // once per state instead of once per subset membership), and subsets are
   // deduplicated by hash instead of through a std::map of vectors. Subsets
-  // are interned in the same order as before — sorted-unique keys, actions
-  // ascending — so the DFA numbering is unchanged.
+  // are interned in the same order as the flat kernel — sorted-unique keys,
+  // actions ascending — so the DFA numbering is unchanged.
   FspAnalysisCache cache(p, budget);
   SpanInterner ids;
 
@@ -110,7 +374,70 @@ AnnotatedDfa annotated_determinize(const Fsp& p, SemanticAnnotation kind,
   return dfa;
 }
 
+namespace {
+
+/// Shared quotient construction: given final classes, renumber in BFS order
+/// from the start so equivalent inputs produce identical automata.
+AnnotatedDfa build_quotient(const AnnotatedDfa& dfa, const std::vector<std::size_t>& cls,
+                            std::size_t num_classes) {
+  AnnotatedDfa out;
+  std::vector<std::uint32_t> renumber(num_classes, UINT32_MAX);
+  std::vector<std::size_t> representative;
+  auto visit = [&](std::size_t s) {
+    if (renumber[cls[s]] == UINT32_MAX) {
+      renumber[cls[s]] = static_cast<std::uint32_t>(representative.size());
+      representative.push_back(s);
+    }
+    return renumber[cls[s]];
+  };
+  out.start = visit(dfa.start);
+  for (std::uint32_t c = 0; c < representative.size(); ++c) {
+    std::size_t rep = representative[c];
+    out.trans.emplace_back();
+    out.annotation.push_back(dfa.annotation[rep]);
+    for (const auto& [a, t] : dfa.trans[rep]) {
+      out.trans[c].emplace(a, visit(t));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 AnnotatedDfa minimize(const AnnotatedDfa& dfa) {
+  const std::size_t n = dfa.num_states();
+  // Initial partition by annotation.
+  std::map<std::set<std::vector<ActionId>>, std::uint32_t> ann_ids;
+  std::vector<std::uint32_t> initial(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    auto [it, _] = ann_ids.try_emplace(dfa.annotation[s],
+                                       static_cast<std::uint32_t>(ann_ids.size()));
+    initial[s] = it->second;
+  }
+
+  // Coarsest stable refinement via the splitter-queue kernel. The DFA is
+  // label-deterministic, so the kernel runs its O(m log n) smaller-half path.
+  std::vector<std::uint32_t> src, act, dst;
+  for (std::size_t s = 0; s < n; ++s) {
+    for (const auto& [a, t] : dfa.trans[s]) {
+      src.push_back(static_cast<std::uint32_t>(s));
+      act.push_back(a);
+      dst.push_back(t);
+    }
+  }
+  std::vector<std::uint32_t> refined =
+      refine_partition(static_cast<std::uint32_t>(n), src, act, dst, std::move(initial));
+
+  std::size_t num_classes = 0;
+  std::vector<std::size_t> cls(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    cls[s] = refined[s];
+    num_classes = std::max(num_classes, cls[s] + 1);
+  }
+  return build_quotient(dfa, cls, num_classes);
+}
+
+AnnotatedDfa minimize_reference(const AnnotatedDfa& dfa) {
   const std::size_t n = dfa.num_states();
   // Initial partition by annotation.
   std::map<std::set<std::vector<ActionId>>, std::size_t> ann_ids;
@@ -136,28 +463,7 @@ AnnotatedDfa minimize(const AnnotatedDfa& dfa) {
     cls = std::move(next);
   }
 
-  // Build the quotient, numbering classes in BFS order from the start so
-  // equivalent inputs produce identical (not merely isomorphic) automata.
-  AnnotatedDfa out;
-  std::vector<std::uint32_t> renumber(num_classes, UINT32_MAX);
-  std::vector<std::size_t> representative;
-  auto visit = [&](std::size_t s) {
-    if (renumber[cls[s]] == UINT32_MAX) {
-      renumber[cls[s]] = static_cast<std::uint32_t>(representative.size());
-      representative.push_back(s);
-    }
-    return renumber[cls[s]];
-  };
-  out.start = visit(dfa.start);
-  for (std::uint32_t c = 0; c < representative.size(); ++c) {
-    std::size_t rep = representative[c];
-    out.trans.emplace_back();
-    out.annotation.push_back(dfa.annotation[rep]);
-    for (const auto& [a, t] : dfa.trans[rep]) {
-      out.trans[c].emplace(a, visit(t));
-    }
-  }
-  return out;
+  return build_quotient(dfa, cls, num_classes);
 }
 
 bool annotated_dfa_equivalent(const AnnotatedDfa& a, const AnnotatedDfa& b) {

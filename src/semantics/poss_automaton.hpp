@@ -9,6 +9,14 @@
 // Worst-case exponential — testing possibility equivalence of cyclic
 // processes is PSPACE-complete [KS] — but small on the tree-structured
 // inputs of Theorem 3.
+//
+// Two representations exist. The flat kernel (FlatAnnotatedDfa) stores
+// transitions in CSR form and annotations as SpanInterner ids — it is what
+// the hot paths (possibility normal form, the star deciders' factor DFAs)
+// consume. The map/set representation (AnnotatedDfa) is the stable public
+// shape; annotated_determinize() now materializes it from the flat kernel,
+// while annotated_determinize_reference() retains the original
+// implementation as the test oracle.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +26,7 @@
 
 #include "fsp/fsp.hpp"
 #include "util/budget.hpp"
+#include "util/flat_interner.hpp"
 
 namespace ccfsp {
 
@@ -35,12 +44,51 @@ struct AnnotatedDfa {
   std::size_t num_states() const { return trans.size(); }
 };
 
+/// Flat annotated DFA: CSR transitions (actions ascending within a state)
+/// and per-state annotation lists of interned sorted action spans, ordered
+/// lexicographically — the same canonical order the std::set-based
+/// representation iterates in.
+struct FlatAnnotatedDfa {
+  std::uint32_t start = 0;
+  std::vector<std::uint32_t> trans_off;     // num_states + 1
+  std::vector<ActionId> trans_action;       // ascending within each state
+  std::vector<std::uint32_t> trans_target;
+  std::vector<std::uint32_t> ann_off;       // num_states + 1
+  std::vector<std::uint32_t> ann_ids;       // ids into ann_sets, lex order
+  SpanInterner ann_sets;                    // sorted ActionId spans
+  SpanInterner subsets;                     // NFA subset of DFA state i = get(i)
+
+  std::size_t num_states() const { return trans_off.size() - 1; }
+  std::span<const std::uint32_t> annotation(std::uint32_t s) const {
+    return {ann_ids.data() + ann_off[s],
+            static_cast<std::size_t>(ann_off[s + 1] - ann_off[s])};
+  }
+  /// Target of the a-transition out of s, or UINT32_MAX if undefined.
+  std::uint32_t step(std::uint32_t s, ActionId a) const;
+};
+
 /// The subset construction is worst-case exponential in |p|; when `budget`
 /// is given, every interned DFA state is charged (count + subset bytes) so
 /// an adversarial input stops with BudgetExceeded instead of exhausting
-/// memory.
+/// memory. `max_states` is an intrinsic cap on DFA states that works even
+/// without a budget (poss_normal_form passes its state limit through: every
+/// DFA state becomes at least one normal-form router, so a DFA beyond the
+/// limit can only produce a normal form beyond the limit). Subsets are
+/// interned in BFS discovery order (sorted-unique member keys, actions
+/// ascending), matching the reference numbering.
+FlatAnnotatedDfa annotated_determinize_flat(const Fsp& p, SemanticAnnotation kind,
+                                            const Budget* budget = nullptr,
+                                            std::size_t max_states = SIZE_MAX);
+
+/// The map/set representation, materialized from the flat kernel. Content
+/// is identical to annotated_determinize_reference (tested).
 AnnotatedDfa annotated_determinize(const Fsp& p, SemanticAnnotation kind,
                                    const Budget* budget = nullptr);
+
+/// The retained original implementation (per-subset std::set dedup over an
+/// FspAnalysisCache): the correctness oracle for the flat kernel.
+AnnotatedDfa annotated_determinize_reference(const Fsp& p, SemanticAnnotation kind,
+                                             const Budget* budget = nullptr);
 
 /// Equivalence of two annotated DFAs by synchronous traversal from the
 /// start states: annotations must match everywhere and the transition
@@ -48,11 +96,17 @@ AnnotatedDfa annotated_determinize(const Fsp& p, SemanticAnnotation kind,
 bool annotated_dfa_equivalent(const AnnotatedDfa& a, const AnnotatedDfa& b);
 
 /// Canonical minimization: merge states with equal annotation and equal
-/// (action -> class) behaviour, to a fixed point (Moore-style refinement
-/// seeded by the annotations). Two FSPs are semantically equivalent under
-/// the chosen annotation iff their minimized automata are isomorphic, and
-/// the minimized size is a canonical complexity measure (used by benches).
-/// The `subsets` diagnostic is dropped in the result.
+/// (action -> class) behaviour, to a fixed point. Two FSPs are semantically
+/// equivalent under the chosen annotation iff their minimized automata are
+/// isomorphic, and the minimized size is a canonical complexity measure
+/// (used by benches). The `subsets` diagnostic is dropped in the result.
+/// The fixed point is computed by the Paige–Tarjan splitter-queue kernel
+/// (util/refine.hpp) seeded with the annotation partition; the result —
+/// numbering included — is identical to minimize_reference (tested).
 AnnotatedDfa minimize(const AnnotatedDfa& dfa);
+
+/// The retained Moore-refinement implementation (signature maps rebuilt
+/// every round): the oracle minimize() is tested against.
+AnnotatedDfa minimize_reference(const AnnotatedDfa& dfa);
 
 }  // namespace ccfsp

@@ -376,6 +376,7 @@ GlobalMachine build_parallel(const Network& net, const Budget& budget, unsigned 
   std::atomic<std::size_t> level_fresh{0};
   const std::size_t max_states = budget.max_states();
   std::size_t states_total = 1;
+  std::size_t levels_spawned = 0;
 
   // A worker that throws (an injected failure in a shard arena, a real
   // bad_alloc, a failpoint at "global.worker") must never unwind out of the
@@ -439,18 +440,27 @@ GlobalMachine build_parallel(const Network& net, const Budget& budget, unsigned 
       }
     };
 
-    std::vector<std::thread> pool;
-    pool.reserve(T);
-    try {
-      for (unsigned w = 0; w < T; ++w) pool.emplace_back(work, w);
-    } catch (...) {
-      // Thread spawn failed: stop and join whatever did start, then let the
-      // failure surface as an outcome instead of terminating on ~thread().
-      stop.store(true, std::memory_order_relaxed);
+    if (n < kParallelFrontierThreshold) {
+      // Thread gate: a small frontier is all spawn/join overhead. Running
+      // the same worker bodies inline (in worker order) produces the same
+      // edges, runs, and shard contents, so the renumber pass below — and
+      // with it the machine — is unchanged.
+      for (unsigned w = 0; w < T; ++w) work(w);
+    } else {
+      ++levels_spawned;
+      std::vector<std::thread> pool;
+      pool.reserve(T);
+      try {
+        for (unsigned w = 0; w < T; ++w) pool.emplace_back(work, w);
+      } catch (...) {
+        // Thread spawn failed: stop and join whatever did start, then let the
+        // failure surface as an outcome instead of terminating on ~thread().
+        stop.store(true, std::memory_order_relaxed);
+        for (auto& t : pool) t.join();
+        throw;
+      }
       for (auto& t : pool) t.join();
-      throw;
     }
-    for (auto& t : pool) t.join();
     if (worker_error) std::rethrow_exception(worker_error);
     failpoint::hit("global.level");
 
@@ -492,6 +502,7 @@ GlobalMachine build_parallel(const Network& net, const Budget& budget, unsigned 
   // exactly the id assignment of the sequential build.
   GlobalMachine g;
   g.width = m;
+  g.levels_spawned = levels_spawned;
   g.tuple_data.reserve(states_total * m);
   g.edge_offsets.reserve(states_total + 1);
   g.edge_offsets.push_back(0);

@@ -78,6 +78,12 @@ struct GlobalMachine {
     return tuple_data.capacity() * sizeof(StateId) + edge_data.capacity() * sizeof(Edge) +
            edge_offsets.capacity() * sizeof(std::uint32_t);
   }
+
+  /// Diagnostic only (not part of the machine's identity, excluded from the
+  /// bit-identity comparisons): number of BFS levels the parallel build
+  /// actually spawned worker threads for. Small frontiers are expanded
+  /// inline on the build thread — see build_global.
+  std::size_t levels_spawned = 0;
 };
 
 /// Default state cap for the explicit constructions (the historical
@@ -104,7 +110,18 @@ std::vector<std::pair<std::uint32_t, std::uint32_t>> action_owner_table(
 /// numbering, edge order, everything — is bit-identical to the threads == 1
 /// build. Budget accounting is then applied at level granularity (same
 /// totals, coarser trip points).
+///
+/// `threads` means *up to* that many: levels whose frontier is below
+/// kParallelFrontierThreshold (~5k states per level) are expanded inline on
+/// the build thread — spawn/join overhead dwarfs the work there, and small
+/// corpus models never leave the sequential path at all. The result is
+/// unaffected (the gate picks who runs the same expansion loop);
+/// GlobalMachine::levels_spawned reports what actually ran in parallel.
 GlobalMachine build_global(const Network& net, const Budget& budget, unsigned threads);
+
+/// Frontier size below which a level is expanded inline even when
+/// threads > 1.
+inline constexpr std::size_t kParallelFrontierThreshold = 4096;
 GlobalMachine build_global(const Network& net, const Budget& budget);
 
 /// Legacy shape: a bare state cap. Equivalent to a states-only Budget.

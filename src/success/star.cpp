@@ -33,7 +33,11 @@ StarView make_view(const Fsp& p, const StarContext& ctx) {
       }
       v.factor_of[a] = i;
     }
-    v.dfas.push_back(annotated_determinize(*ctx.factors[i], SemanticAnnotation::kPossibilities));
+    v.dfas.push_back(ctx.use_reference_kernels
+                         ? annotated_determinize_reference(*ctx.factors[i],
+                                                           SemanticAnnotation::kPossibilities)
+                         : annotated_determinize(*ctx.factors[i],
+                                                 SemanticAnnotation::kPossibilities));
   }
   return v;
 }

@@ -21,6 +21,10 @@ namespace ccfsp {
 /// disjoint; every factor symbol must be shared with P.
 struct StarContext {
   std::vector<const Fsp*> factors;
+  /// Build factor possibility DFAs with annotated_determinize_reference
+  /// instead of the flat kernel — lets the Theorem 3 oracle mode run the
+  /// full pre-flat pipeline end to end (both produce equal DFAs, tested).
+  bool use_reference_kernels = false;
 };
 
 bool star_success_collab(const Fsp& p, const StarContext& ctx);

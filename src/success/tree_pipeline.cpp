@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "algebra/compose.hpp"
+#include "fsp/cache.hpp"
 #include "semantics/normal_form.hpp"
 #include "success/star.hpp"
 
@@ -15,6 +16,7 @@ struct PipelineState {
   const Network* net;
   const Theorem3Options* opt;
   Theorem3Result* result;
+  NormalFormMemo* memo = nullptr;  // non-null only on the memoized flat path
   std::vector<std::vector<std::size_t>> quotient_adj;  // part -> neighbor parts
   std::vector<std::vector<std::size_t>> part_members;
 };
@@ -31,25 +33,57 @@ Fsp compose_part(const PipelineState& st, std::size_t part) {
   return compose_all(members, /*cyclic=*/false, st.opt->budget);
 }
 
+/// Possibility normal form of one composite through the configured path:
+/// memo lookup (flat path), flat kernel with memo store, or the reference
+/// extract-then-rebuild oracle.
+Fsp normal_form_of(const PipelineState& st, const Fsp& acc) {
+  if (!st.opt->use_flat_kernels) {
+    Fsp nf = poss_normal_form_reference(acc, st.opt->poss_limit, st.opt->budget);
+    note_size(*st.result, acc, nf);
+    return nf;
+  }
+  if (st.memo) {
+    if (std::optional<Fsp> hit = st.memo->find(acc, st.opt->poss_limit)) {
+      note_size(*st.result, acc, *hit);
+      return std::move(*hit);
+    }
+  }
+  std::shared_ptr<const NfLabelShape> shape;
+  Fsp nf = poss_normal_form(acc, st.opt->poss_limit, st.opt->budget, &shape);
+  if (st.memo) st.memo->store(acc, nf, shape);
+  note_size(*st.result, acc, nf);
+  return nf;
+}
+
 /// Post-order reduction of the subtree rooted at `part` (entered from
 /// `parent`, or -1 for a root): returns the possibility normal form of the
 /// whole subtree's composition, whose Sigma is the subtree's external
 /// symbols (those shared with the parent part).
 Fsp reduce_subtree(const PipelineState& st, std::size_t part, std::size_t parent) {
   Fsp acc = compose_part(st, part);
+  bool normalized = false;
   for (std::size_t child : st.quotient_adj[part]) {
     if (child == parent) continue;
     Fsp child_nf = reduce_subtree(st, child, part);
     acc = compose(acc, child_nf, st.opt->budget);
+    if (st.opt->use_flat_kernels && st.opt->use_normal_form) {
+      // Incremental fold (see Theorem3Options::use_flat_kernels): normalize
+      // after every child so the children's tau router fans never multiply
+      // into one giant composite, and so the per-step composites repeat
+      // across tree nodes, which is what makes the memo hit.
+      acc = normal_form_of(st, acc);
+      normalized = true;
+    }
   }
   if (!st.opt->use_normal_form) {
     st.result->max_intermediate_states =
         std::max(st.result->max_intermediate_states, acc.num_states());
     return acc;
   }
-  Fsp nf = poss_normal_form(acc, st.opt->poss_limit, st.opt->budget);
-  note_size(*st.result, acc, nf);
-  return nf;
+  // After an incremental fold the accumulator already *is* the normal form
+  // of the whole subtree composite (the last fold step normalized it).
+  if (normalized) return acc;
+  return normal_form_of(st, acc);
 }
 
 }  // namespace
@@ -74,6 +108,8 @@ Theorem3Result theorem3_decide(const Network& net, std::size_t p_index,
   st.net = &net;
   st.opt = &opt;
   st.result = &result;
+  NormalFormMemo memo(opt.memo_max_bytes, opt.budget);
+  if (opt.use_flat_kernels && opt.memoize && opt.use_normal_form) st.memo = &memo;
   st.part_members = partition->parts;
   st.quotient_adj.assign(partition->parts.size(), {});
   for (auto [a, b] : partition->quotient_edges) {
@@ -152,9 +188,7 @@ Theorem3Result theorem3_decide(const Network& net, std::size_t p_index,
   if (!residue.empty()) {
     Fsp r = compose_all(residue, /*cyclic=*/false, opt.budget);
     if (opt.use_normal_form) {
-      Fsp rn = poss_normal_form(r, opt.poss_limit, opt.budget);
-      note_size(result, r, rn);
-      factors.push_back(std::move(rn));
+      factors.push_back(normal_form_of(st, r));
     } else {
       result.max_intermediate_states =
           std::max(result.max_intermediate_states, r.num_states());
@@ -163,6 +197,7 @@ Theorem3Result theorem3_decide(const Network& net, std::size_t p_index,
   }
 
   StarContext ctx;
+  ctx.use_reference_kernels = !opt.use_flat_kernels;
   for (const auto& f : factors) ctx.factors.push_back(&f);
 
   result.success_collab = star_success_collab(p, ctx);
@@ -170,6 +205,8 @@ Theorem3Result theorem3_decide(const Network& net, std::size_t p_index,
   if (!p.has_tau_moves() && p.is_tree()) {
     result.success_adversity = star_success_adversity(p, ctx);
   }
+  result.memo_hits = memo.hits();
+  result.memo_misses = memo.misses();
   return result;
 }
 

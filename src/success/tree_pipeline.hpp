@@ -20,6 +20,22 @@ struct Theorem3Options {
   /// by their possibility normal forms, exposing how much of the polynomial
   /// bound the normal form is responsible for.
   bool use_normal_form = true;
+  /// When true (default), reductions run on the flat kernels: normal forms
+  /// via the annotated-DFA unfolding, children folded *incrementally* (the
+  /// accumulator is re-normalized after every child composition, which is
+  /// sound because the normal form preserves possibility equivalence and
+  /// possibility equivalence is a congruence for ||, and keeps composites
+  /// small instead of letting the children's router fans multiply), and the
+  /// star step on the flat determinizer. When false the full pre-flat
+  /// pipeline runs — batch composition, reference normal forms, reference
+  /// star DFAs — which is the bench baseline and the correctness oracle.
+  bool use_flat_kernels = true;
+  /// Memoize subtree normal forms by canonical structure fingerprint
+  /// (fsp/cache.hpp): families whose subtrees repeat up to action renaming
+  /// (wave, ktree) fold each distinct shape once. Flat path only.
+  bool memoize = true;
+  /// Byte cap for the normal-form memo's stored blueprints.
+  std::size_t memo_max_bytes = 64u << 20;
   /// Cap for possibility extraction on intermediate composites.
   std::size_t poss_limit = 1u << 20;
   /// Optional resource budget (not owned): charged for every intermediate
@@ -38,6 +54,8 @@ struct Theorem3Result {
   std::size_t partition_width = 0;            // the k of the k-tree used
   std::size_t max_intermediate_states = 0;    // largest composite seen
   std::size_t max_normal_form_states = 0;     // largest normal form kept
+  std::size_t memo_hits = 0;                  // subtree-NF memo hits
+  std::size_t memo_misses = 0;                // subtree-NF memo misses
 };
 
 /// Decide all three predicates for net.process(p_index). Requires every

@@ -285,12 +285,14 @@ const std::vector<std::string>& catalog() {
   static const std::vector<std::string> kSites = {
       "analyze.rung",          // success/analyze.cpp: entering a ladder rung
       "cache.fill",            // fsp/cache.cpp: per-state row of FspAnalysisCache
+      "cache.nf_memo",         // fsp/cache.cpp: NormalFormMemo hit / store
       "determinize.subset",    // semantics/poss_automaton.cpp: fresh DFA subset
       "global.intern_ring",    // success/global.cpp: per expanded state (sequential)
       "global.level",          // success/global.cpp: per BFS level (parallel)
       "global.worker",         // success/global.cpp: per expanded state (worker)
       "interner.span_grow",    // util/flat_interner.hpp: SpanInterner rehash
       "interner.tuple_grow",   // util/flat_interner.hpp: TupleArena rehash
+      "normal_form.refine",    // util/refine.cpp: per popped splitter block
       "parse.process",         // fsp/parse.cpp: per parsed process block
   };
   return kSites;

@@ -1,0 +1,188 @@
+#include "util/refine.hpp"
+
+#include <algorithm>
+
+#include "util/failpoint.hpp"
+
+namespace ccfsp {
+
+std::vector<std::uint32_t> refine_partition(std::uint32_t num_states,
+                                            std::span<const std::uint32_t> edge_src,
+                                            std::span<const std::uint32_t> edge_label,
+                                            std::span<const std::uint32_t> edge_dst,
+                                            std::vector<std::uint32_t> initial) {
+  const std::uint32_t n = num_states;
+  const std::size_t m = edge_src.size();
+  std::vector<std::uint32_t> cls(n);
+  if (n == 0) return cls;
+
+  // Normalize the initial classes to dense first-occurrence ids.
+  std::uint32_t num_initial = 0;
+  {
+    std::vector<std::uint32_t> dense;
+    for (std::uint32_t s = 0; s < n; ++s) {
+      const std::uint32_t c = initial[s];
+      if (c >= dense.size()) dense.resize(c + 1, UINT32_MAX);
+      if (dense[c] == UINT32_MAX) dense[c] = num_initial++;
+      cls[s] = dense[c];
+    }
+  }
+
+  // Incoming edges in CSR form, grouped by target (counting sort).
+  std::vector<std::uint32_t> in_off(n + 1, 0);
+  for (std::size_t k = 0; k < m; ++k) ++in_off[edge_dst[k] + 1];
+  for (std::uint32_t s = 0; s < n; ++s) in_off[s + 1] += in_off[s];
+  std::vector<std::uint32_t> in_act(m);
+  std::vector<std::uint32_t> in_src(m);
+  {
+    std::vector<std::uint32_t> cursor(in_off.begin(), in_off.end() - 1);
+    for (std::size_t k = 0; k < m; ++k) {
+      const std::uint32_t at = cursor[edge_dst[k]]++;
+      in_act[at] = edge_label[k];
+      in_src[at] = edge_src[k];
+    }
+  }
+
+  // Hopcroft's smaller-half rule (enqueue only the smaller part of a split
+  // block that is not itself queued) is sound only when no state carries two
+  // edges with the same label: x in pre_a(C1) then implies x has no a-edge
+  // into the sibling C2, which is what lets stability w.r.t. C2 ride on
+  // stability w.r.t. the parent. The subset-construction DFAs satisfy this;
+  // raw FSPs in general do not, and there both halves must be enqueued
+  // (the Kanellakis–Smolka discipline, O(nm) worst case).
+  bool deterministic = true;
+  {
+    std::vector<std::uint64_t> keys(m);
+    for (std::size_t k = 0; k < m; ++k) {
+      keys[k] = (static_cast<std::uint64_t>(edge_src[k]) << 32) | edge_label[k];
+    }
+    std::sort(keys.begin(), keys.end());
+    deterministic = std::adjacent_find(keys.begin(), keys.end()) == keys.end();
+  }
+
+  // Refinable partition: states contiguous per block, with positions.
+  struct Block {
+    std::uint32_t begin, end;
+    std::uint32_t size() const { return end - begin; }
+  };
+  std::vector<std::uint32_t> elems(n), pos(n), block_of(cls);
+  std::vector<Block> blocks(num_initial);
+  {
+    std::vector<std::uint32_t> count(num_initial + 1, 0);
+    for (std::uint32_t s = 0; s < n; ++s) ++count[cls[s] + 1];
+    for (std::uint32_t c = 0; c < num_initial; ++c) {
+      blocks[c] = {count[c], count[c] + count[c + 1]};
+      count[c + 1] = blocks[c].end;
+    }
+    std::vector<std::uint32_t> cursor(num_initial);
+    for (std::uint32_t c = 0; c < num_initial; ++c) cursor[c] = blocks[c].begin;
+    for (std::uint32_t s = 0; s < n; ++s) {
+      const std::uint32_t at = cursor[cls[s]]++;
+      elems[at] = s;
+      pos[s] = at;
+    }
+  }
+
+  // Splitter queue, seeded with every initial block (stability with respect
+  // to the seed partition is part of the contract).
+  std::vector<std::uint32_t> queue;
+  std::vector<std::uint8_t> in_queue;
+  queue.reserve(num_initial * 2);
+  in_queue.assign(num_initial, 1);
+  for (std::uint32_t c = 0; c < num_initial; ++c) queue.push_back(c);
+
+  std::vector<std::uint32_t> members;              // splitter snapshot
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> preds;  // (label, source)
+  std::vector<std::uint8_t> marked(n, 0);
+  std::vector<std::uint32_t> marked_list;
+  std::vector<std::uint32_t> moved;  // per block id, cursor into its front
+  std::vector<std::uint32_t> touched;
+  moved.assign(num_initial, 0);
+
+  while (!queue.empty()) {
+    const std::uint32_t b = queue.back();
+    queue.pop_back();
+    in_queue[b] = 0;
+    failpoint::hit("normal_form.refine");
+
+    // Snapshot: the block may itself split while it acts as the splitter.
+    members.assign(elems.begin() + blocks[b].begin, elems.begin() + blocks[b].end);
+    preds.clear();
+    for (std::uint32_t s : members) {
+      for (std::uint32_t k = in_off[s]; k < in_off[s + 1]; ++k) {
+        preds.emplace_back(in_act[k], in_src[k]);
+      }
+    }
+    std::sort(preds.begin(), preds.end(),
+              [](const auto& x, const auto& y) { return x.first < y.first; });
+
+    for (std::size_t i = 0; i < preds.size();) {
+      const std::uint32_t a = preds[i].first;
+      std::size_t j = i;
+      // Mark the distinct a-predecessors of the splitter.
+      marked_list.clear();
+      for (; j < preds.size() && preds[j].first == a; ++j) {
+        const std::uint32_t s = preds[j].second;
+        if (!marked[s]) {
+          marked[s] = 1;
+          marked_list.push_back(s);
+        }
+      }
+      // Move each block's marked members to its front.
+      touched.clear();
+      for (std::uint32_t s : marked_list) {
+        const std::uint32_t c = block_of[s];
+        if (moved[c] == 0) touched.push_back(c);
+        const std::uint32_t at = blocks[c].begin + moved[c]++;
+        const std::uint32_t other = elems[at];
+        elems[pos[s]] = other;
+        pos[other] = pos[s];
+        elems[at] = s;
+        pos[s] = at;
+      }
+      // Split every partially-marked block; enqueue per Hopcroft's rule.
+      for (std::uint32_t c : touched) {
+        const std::uint32_t cnt = moved[c];
+        moved[c] = 0;
+        if (cnt == blocks[c].size()) continue;  // fully marked: stable
+        const std::uint32_t d = static_cast<std::uint32_t>(blocks.size());
+        blocks.push_back({blocks[c].begin, blocks[c].begin + cnt});
+        blocks[c].begin += cnt;
+        moved.push_back(0);
+        in_queue.push_back(0);
+        for (std::uint32_t at = blocks[d].begin; at < blocks[d].end; ++at) {
+          block_of[elems[at]] = d;
+        }
+        if (in_queue[c]) {
+          in_queue[d] = 1;
+          queue.push_back(d);
+        } else if (deterministic) {
+          const std::uint32_t smaller = blocks[d].size() <= blocks[c].size() ? d : c;
+          in_queue[smaller] = 1;
+          queue.push_back(smaller);
+        } else {
+          in_queue[c] = 1;
+          queue.push_back(c);
+          in_queue[d] = 1;
+          queue.push_back(d);
+        }
+      }
+      for (std::uint32_t s : marked_list) marked[s] = 0;
+      i = j;
+    }
+  }
+
+  // Classes by first occurrence in state order — the numbering the retained
+  // Moore oracles produce on their final round.
+  std::vector<std::uint32_t> renumber(blocks.size(), UINT32_MAX);
+  std::uint32_t next_id = 0;
+  std::vector<std::uint32_t> out(n);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    std::uint32_t& r = renumber[block_of[s]];
+    if (r == UINT32_MAX) r = next_id++;
+    out[s] = r;
+  }
+  return out;
+}
+
+}  // namespace ccfsp

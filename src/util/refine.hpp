@@ -1,0 +1,39 @@
+// Paige–Tarjan style partition refinement over CSR-stored labeled edges —
+// the shared kernel behind minimize() (possibility/failure/language DFA
+// minimization) and bisimulation_classes(). The retained Moore loops
+// recompute every state's full signature each round through nested
+// std::map/std::set keys, which is O(rounds * m log m) with an allocation
+// per signature; this kernel instead keeps a splitter queue of blocks and
+// splits only the predecessor sets of each popped splitter, processing the
+// smaller half first — O(m log n) edge touches overall and no per-round
+// allocations.
+//
+// The computed partition is the *coarsest* refinement of the initial one
+// that is stable under every (block, label) splitter — exactly the fixed
+// point the Moore loops converge to — and the returned numbering (classes
+// by first occurrence in state order) is exactly the numbering the Moore
+// loops' insertion-ordered signature maps produce, so the two
+// implementations are interchangeable, which the property tests assert.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ccfsp {
+
+/// Coarsest stable refinement of `initial` under the labeled edge relation
+/// (edge_src[k] --edge_label[k]--> edge_dst[k]; labels are opaque 32-bit
+/// words — callers pass ActionId values, kTau included).
+/// Stability: for every final block C, splitter block B and label a, either
+/// every member of C has an a-edge into B or none does. Returns one class
+/// id per state, classes numbered by first occurrence in state order.
+///
+/// The "normal_form.refine" failpoint fires once per popped splitter.
+std::vector<std::uint32_t> refine_partition(std::uint32_t num_states,
+                                            std::span<const std::uint32_t> edge_src,
+                                            std::span<const std::uint32_t> edge_label,
+                                            std::span<const std::uint32_t> edge_dst,
+                                            std::vector<std::uint32_t> initial);
+
+}  // namespace ccfsp

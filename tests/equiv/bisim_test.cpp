@@ -116,6 +116,33 @@ TEST_F(BisimTest, CompressPreservesTauCycles) {
   EXPECT_TRUE(has_tau_cycle);
 }
 
+TEST_F(BisimTest, SplitterQueueMatchesMooreReferenceExactly) {
+  // The Paige–Tarjan kernel must reproduce the retained Moore loop's
+  // partition *including the class numbering* on every kind of process the
+  // library generates — cyclic, tree-shaped with tau, and degenerate.
+  Rng rng(515);
+  std::vector<ActionId> pool{alphabet->intern("a"), alphabet->intern("b"),
+                             alphabet->intern("c")};
+  for (int iter = 0; iter < 40; ++iter) {
+    Fsp f = (iter % 2 == 0)
+                ? random_cyclic_fsp(rng, alphabet, pool, 4 + rng.below(8), 6, "C")
+                : [&] {
+                    TreeFspOptions opt;
+                    opt.num_states = 4 + rng.below(10);
+                    opt.tau_probability = 0.3;
+                    return random_tree_fsp(rng, alphabet, pool, opt, "T");
+                  }();
+    EXPECT_EQ(bisimulation_classes(f), bisimulation_classes_reference(f)) << "iter " << iter;
+  }
+}
+
+TEST_F(BisimTest, SplitterQueueMatchesMooreOnSingleState) {
+  Fsp f(alphabet, "One");
+  f.add_state();
+  EXPECT_EQ(bisimulation_classes(f), bisimulation_classes_reference(f));
+  EXPECT_EQ(bisimulation_classes(f), std::vector<std::size_t>{0});
+}
+
 TEST_F(BisimTest, CompressSoundOnRandomProcesses) {
   Rng rng(707);
   std::vector<ActionId> pool{alphabet->intern("a"), alphabet->intern("b")};

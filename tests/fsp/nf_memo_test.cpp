@@ -1,0 +1,206 @@
+// NormalFormMemo: when the query's transitions match the stored process
+// exactly, the rebuild must be the *exact* Fsp poss_normal_form would
+// produce — states, edge order, labels, declared Sigma. When the match is
+// only up to an action renaming, the rebuild must be a correct normal form
+// of the query (same size, Sigma, labels from the query's symbols,
+// possibility-equivalent), though state numbering may differ. Its
+// budget/limit behaviour must be indistinguishable from the
+// poss_normal_form call it replaces.
+#include "fsp/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "equiv/equivalences.hpp"
+#include "fsp/builder.hpp"
+#include "fsp/generate.hpp"
+#include "semantics/normal_form.hpp"
+#include "util/failpoint.hpp"
+
+namespace ccfsp {
+namespace {
+
+void expect_fsp_identical(const Fsp& a, const Fsp& b, const char* what) {
+  ASSERT_EQ(a.num_states(), b.num_states()) << what;
+  EXPECT_EQ(a.start(), b.start()) << what;
+  EXPECT_EQ(a.sigma(), b.sigma()) << what;
+  for (StateId s = 0; s < a.num_states(); ++s) {
+    EXPECT_EQ(a.out(s), b.out(s)) << what << " state " << s;
+    EXPECT_EQ(a.state_label(s), b.state_label(s)) << what << " state " << s;
+  }
+}
+
+/// poss_normal_form with the label shape captured, as the pipeline calls it.
+std::pair<Fsp, std::shared_ptr<const NfLabelShape>> nf_with_shape(const Fsp& p) {
+  std::shared_ptr<const NfLabelShape> shape;
+  Fsp nf = poss_normal_form(p, 1u << 20, nullptr, &shape);
+  return {std::move(nf), std::move(shape)};
+}
+
+class NfMemoTest : public ::testing::Test {
+ protected:
+  AlphabetPtr alphabet = std::make_shared<Alphabet>();
+  std::vector<ActionId> pool{alphabet->intern("a"), alphabet->intern("b"),
+                             alphabet->intern("c")};
+};
+
+TEST_F(NfMemoTest, MissOnEmptyThenHitAfterStore) {
+  Fsp f = FspBuilder(alphabet, "P").trans("0", "a", "1").trans("1", "b", "2").build();
+  NormalFormMemo memo;
+  EXPECT_FALSE(memo.find(f).has_value());
+  EXPECT_EQ(memo.misses(), 1u);
+
+  auto [nf, shape] = nf_with_shape(f);
+  memo.store(f, nf, shape);
+  EXPECT_EQ(memo.entries(), 1u);
+  EXPECT_GT(memo.bytes(), 0u);
+
+  auto rebuilt = memo.find(f);
+  ASSERT_TRUE(rebuilt.has_value());
+  EXPECT_EQ(memo.hits(), 1u);
+  expect_fsp_identical(*rebuilt, nf, "same process");
+}
+
+TEST_F(NfMemoTest, HitAcrossActionRenaming) {
+  // Same structure over different symbols: one entry serves both. The
+  // rebuild is the stored normal form transported through the action
+  // bijection — a correct normal form of the *query* (its symbols, its
+  // labels, its Sigma), isomorphic to poss_normal_form(g) though the
+  // renaming may permute state numbering (see NormalFormMemo's contract).
+  Fsp f = FspBuilder(alphabet, "P")
+              .trans("0", "a", "1")
+              .trans("0", "tau", "2")
+              .trans("2", "b", "3")
+              .build();
+  Fsp g = FspBuilder(alphabet, "Q")
+              .trans("0", "c", "1")
+              .trans("0", "tau", "2")
+              .trans("2", "a", "3")
+              .action("ghost")
+              .build();
+  NormalFormMemo memo;
+  auto [nf, shape] = nf_with_shape(f);
+  memo.store(f, nf, shape);
+
+  auto rebuilt = memo.find(g);
+  ASSERT_TRUE(rebuilt.has_value());
+  Fsp direct = poss_normal_form(g);
+  EXPECT_EQ(rebuilt->num_states(), direct.num_states());
+  EXPECT_EQ(rebuilt->start(), direct.start());
+  EXPECT_EQ(rebuilt->sigma(), direct.sigma());
+  EXPECT_TRUE(possibility_equivalent(*rebuilt, g));
+  // The root label is renaming-independent; child labels use g's symbols.
+  EXPECT_EQ(rebuilt->state_label(rebuilt->start()), "n");
+  // The ghost symbol is in g's Sigma but not f's: the rebuild re-derives
+  // declares from the query, so it must survive.
+  EXPECT_TRUE(rebuilt->sigma_set().test(*alphabet->find("ghost")));
+}
+
+TEST_F(NfMemoTest, DifferentStructureMisses) {
+  Fsp f = FspBuilder(alphabet, "P").trans("0", "a", "1").build();
+  Fsp g = FspBuilder(alphabet, "Q").trans("0", "a", "1").trans("1", "b", "2").build();
+  NormalFormMemo memo;
+  auto [nf, shape] = nf_with_shape(f);
+  memo.store(f, nf, shape);
+  EXPECT_FALSE(memo.find(g).has_value());
+  // Same action, different branching shape.
+  Fsp h = FspBuilder(alphabet, "R").trans("0", "a", "1").trans("0", "a", "2").build();
+  EXPECT_FALSE(memo.find(h).has_value());
+  EXPECT_EQ(memo.misses(), 2u);
+}
+
+TEST_F(NfMemoTest, RebuildMatchesOnRandomProcesses) {
+  Rng rng(321);
+  NormalFormMemo memo;
+  std::size_t hits = 0;
+  for (int iter = 0; iter < 40; ++iter) {
+    TreeFspOptions opt;
+    opt.num_states = 3 + rng.below(8);
+    opt.tau_probability = 0.3;
+    Fsp f = random_tree_fsp(rng, alphabet, pool, opt, "T");
+    Fsp direct = poss_normal_form(f);
+    if (auto rebuilt = memo.find(f)) {
+      // The hit may come from an earlier process that matches f only up to
+      // an action renaming: the rebuild is then isomorphic to `direct`,
+      // not necessarily state-for-state equal.
+      ++hits;
+      EXPECT_EQ(rebuilt->num_states(), direct.num_states()) << iter;
+      EXPECT_EQ(rebuilt->sigma(), direct.sigma()) << iter;
+      EXPECT_TRUE(possibility_equivalent(*rebuilt, f)) << iter;
+    } else {
+      auto [nf, shape] = nf_with_shape(f);
+      expect_fsp_identical(nf, direct, "shape capture changes nothing");
+      memo.store(f, nf, shape);
+    }
+  }
+  EXPECT_EQ(memo.hits(), hits);
+  EXPECT_EQ(memo.hits() + memo.misses(), 40u);
+}
+
+TEST_F(NfMemoTest, LimitParityWithPossNormalForm) {
+  // A hit on a stored normal form larger than the caller's limit must trip
+  // exactly like poss_normal_form(p, limit) would — not silently succeed.
+  Fsp f = FspBuilder(alphabet, "P")
+              .trans("0", "a", "1")
+              .trans("1", "b", "2")
+              .trans("2", "c", "3")
+              .build();
+  NormalFormMemo memo;
+  auto [nf, shape] = nf_with_shape(f);
+  memo.store(f, nf, shape);
+  try {
+    memo.find(f, /*limit=*/1);
+    FAIL() << "expected BudgetExceeded";
+  } catch (const BudgetExceeded& e) {
+    EXPECT_EQ(e.reason(), BudgetDimension::kStates);
+    EXPECT_STREQ(e.where(), "poss_normal_form");
+  }
+}
+
+TEST_F(NfMemoTest, HitChargesBudgetLikeARecomputation) {
+  Fsp f = FspBuilder(alphabet, "P").trans("0", "a", "1").trans("1", "b", "2").build();
+  Budget tiny = Budget::with_states(1);
+  NormalFormMemo memo(/*max_bytes=*/64u << 20, &tiny);
+  auto [nf, shape] = nf_with_shape(f);
+  memo.store(f, nf, shape);
+  EXPECT_THROW(memo.find(f), BudgetExceeded);
+}
+
+TEST_F(NfMemoTest, ByteCapStopsAdmission) {
+  Fsp f = FspBuilder(alphabet, "P").trans("0", "a", "1").build();
+  NormalFormMemo memo(/*max_bytes=*/1);
+  auto [nf, shape] = nf_with_shape(f);
+  memo.store(f, nf, shape);
+  EXPECT_EQ(memo.entries(), 0u);
+  EXPECT_FALSE(memo.find(f).has_value());
+}
+
+TEST_F(NfMemoTest, DuplicateStoreIsANoop) {
+  Fsp f = FspBuilder(alphabet, "P").trans("0", "a", "1").build();
+  NormalFormMemo memo;
+  auto [nf, shape] = nf_with_shape(f);
+  memo.store(f, nf, shape);
+  const std::size_t bytes = memo.bytes();
+  memo.store(f, nf, shape);
+  EXPECT_EQ(memo.entries(), 1u);
+  EXPECT_EQ(memo.bytes(), bytes);
+}
+
+TEST_F(NfMemoTest, FailpointFiresOnHitAndStore) {
+  failpoint::ScopedDisarm guard;
+  failpoint::Spec s;
+  s.action = failpoint::Action::kThrowBadAlloc;
+  s.trigger = failpoint::Trigger::kEveryK;
+  s.n = 1;
+  failpoint::arm("cache.nf_memo", s);
+  Fsp f = FspBuilder(alphabet, "P").trans("0", "a", "1").build();
+  NormalFormMemo memo;
+  auto [nf, shape] = nf_with_shape(f);
+  EXPECT_THROW(memo.store(f, nf, shape), std::bad_alloc);
+  failpoint::disarm_all();
+  memo.store(f, nf, shape);
+  failpoint::arm("cache.nf_memo", s);
+  EXPECT_THROW(memo.find(f), std::bad_alloc);
+}
+
+}  // namespace
+}  // namespace ccfsp

@@ -1,0 +1,179 @@
+// Property tests for the flat reduction kernels against their retained
+// oracles: annotated_determinize (CSR/interned subset construction) vs the
+// original map/set implementation, minimize (Paige–Tarjan) vs the Moore
+// loop, and poss_normal_form (DFA unfolding) vs the possibility-extraction
+// reference — all of which must agree *exactly*, numbering and labels
+// included, not merely up to equivalence. Budget and failpoint behaviour of
+// the new paths is pinned here too.
+#include <gtest/gtest.h>
+
+#include "fsp/builder.hpp"
+#include "fsp/generate.hpp"
+#include "semantics/normal_form.hpp"
+#include "semantics/poss_automaton.hpp"
+#include "util/budget.hpp"
+#include "util/failpoint.hpp"
+
+namespace ccfsp {
+namespace {
+
+void expect_dfa_identical(const AnnotatedDfa& a, const AnnotatedDfa& b, const char* what) {
+  EXPECT_EQ(a.start, b.start) << what;
+  EXPECT_EQ(a.trans, b.trans) << what;
+  EXPECT_EQ(a.annotation, b.annotation) << what;
+  EXPECT_EQ(a.subsets, b.subsets) << what;
+}
+
+void expect_fsp_identical(const Fsp& a, const Fsp& b, const char* what) {
+  ASSERT_EQ(a.num_states(), b.num_states()) << what;
+  EXPECT_EQ(a.start(), b.start()) << what;
+  EXPECT_EQ(a.sigma(), b.sigma()) << what;
+  for (StateId s = 0; s < a.num_states(); ++s) {
+    EXPECT_EQ(a.out(s), b.out(s)) << what << " state " << s;
+    EXPECT_EQ(a.state_label(s), b.state_label(s)) << what << " state " << s;
+  }
+}
+
+class FlatKernels : public ::testing::Test {
+ protected:
+  AlphabetPtr alphabet = std::make_shared<Alphabet>();
+  std::vector<ActionId> pool{alphabet->intern("a"), alphabet->intern("b"),
+                             alphabet->intern("c")};
+};
+
+constexpr SemanticAnnotation kKinds[] = {SemanticAnnotation::kLanguage,
+                                         SemanticAnnotation::kPossibilities,
+                                         SemanticAnnotation::kFailures};
+
+TEST_F(FlatKernels, DeterminizeMatchesReferenceOnRandomProcesses) {
+  Rng rng(77);
+  auto make = [&](int which) -> Fsp {
+    TreeFspOptions opt;
+    opt.num_states = 4 + rng.below(9);
+    opt.tau_probability = 0.3;
+    switch (which) {
+      case 0:
+        return random_tree_fsp(rng, alphabet, pool, opt, "T");
+      case 1:
+        return random_acyclic_fsp(rng, alphabet, pool, opt, 3, "D");
+      default:
+        return random_cyclic_fsp(rng, alphabet, pool, 4 + rng.below(5), 4, "C");
+    }
+  };
+  for (int iter = 0; iter < 30; ++iter) {
+    Fsp f = make(iter % 3);
+    for (SemanticAnnotation kind : kKinds) {
+      AnnotatedDfa flat = annotated_determinize(f, kind);
+      AnnotatedDfa ref = annotated_determinize_reference(f, kind);
+      expect_dfa_identical(flat, ref, ("iter " + std::to_string(iter)).c_str());
+    }
+  }
+}
+
+TEST_F(FlatKernels, MinimizeMatchesReferenceOnRandomProcesses) {
+  Rng rng(78);
+  for (int iter = 0; iter < 30; ++iter) {
+    Fsp f = (iter % 2 == 0) ? [&] {
+      TreeFspOptions opt;
+      opt.num_states = 4 + rng.below(9);
+      opt.tau_probability = 0.3;
+      return random_tree_fsp(rng, alphabet, pool, opt, "T");
+    }()
+                            : random_cyclic_fsp(rng, alphabet, pool, 4 + rng.below(5), 4, "C");
+    for (SemanticAnnotation kind : kKinds) {
+      AnnotatedDfa dfa = annotated_determinize(f, kind);
+      AnnotatedDfa fast = minimize(dfa);
+      AnnotatedDfa ref = minimize_reference(dfa);
+      EXPECT_EQ(fast.start, ref.start) << iter;
+      EXPECT_EQ(fast.trans, ref.trans) << iter;
+      EXPECT_EQ(fast.annotation, ref.annotation) << iter;
+    }
+  }
+}
+
+TEST_F(FlatKernels, NormalFormMatchesReferenceExactly) {
+  // States, start, edge order, labels, and declared Sigma — the reference
+  // path and the DFA-unfolding path must produce the same Fsp.
+  Rng rng(79);
+  for (int iter = 0; iter < 30; ++iter) {
+    TreeFspOptions opt;
+    opt.num_states = 4 + rng.below(10);
+    opt.tau_probability = 0.3;
+    Fsp f = (iter % 3 == 2) ? random_acyclic_fsp(rng, alphabet, pool, opt, 3, "D")
+                            : random_tree_fsp(rng, alphabet, pool, opt, "T");
+    Fsp flat = poss_normal_form(f);
+    Fsp ref = poss_normal_form_reference(f);
+    expect_fsp_identical(flat, ref, ("iter " + std::to_string(iter)).c_str());
+  }
+}
+
+TEST_F(FlatKernels, NormalFormPreservesGhostSigmaLikeReference) {
+  Fsp f = FspBuilder(alphabet, "S").trans("0", "a", "1").action("ghost").build();
+  expect_fsp_identical(poss_normal_form(f), poss_normal_form_reference(f), "ghost");
+}
+
+TEST_F(FlatKernels, DeterminizeIntrinsicStateCap) {
+  // Three independent symbols through tau branches: more than 2 DFA states.
+  Fsp f = FspBuilder(alphabet, "B")
+              .trans("0", "a", "1")
+              .trans("1", "b", "2")
+              .trans("2", "c", "3")
+              .build();
+  EXPECT_NO_THROW(annotated_determinize_flat(f, SemanticAnnotation::kPossibilities,
+                                             nullptr, /*max_states=*/8));
+  try {
+    annotated_determinize_flat(f, SemanticAnnotation::kPossibilities, nullptr,
+                               /*max_states=*/2);
+    FAIL() << "expected BudgetExceeded";
+  } catch (const BudgetExceeded& e) {
+    EXPECT_EQ(e.reason(), BudgetDimension::kStates);
+    EXPECT_STREQ(e.where(), "annotated_determinize");
+  }
+}
+
+TEST_F(FlatKernels, NormalFormLimitTripsAsBudgetExceeded) {
+  Rng rng(80);
+  TreeFspOptions opt;
+  opt.num_states = 14;
+  opt.tau_probability = 0.3;
+  Fsp f = random_tree_fsp(rng, alphabet, pool, opt, "T");
+  try {
+    poss_normal_form(f, /*limit=*/2);
+    FAIL() << "expected BudgetExceeded";
+  } catch (const BudgetExceeded& e) {
+    EXPECT_EQ(e.reason(), BudgetDimension::kStates);
+  }
+}
+
+TEST_F(FlatKernels, DeterminizeChargesBudget) {
+  Fsp f = FspBuilder(alphabet, "B")
+              .trans("0", "a", "1")
+              .trans("1", "b", "2")
+              .trans("2", "c", "3")
+              .build();
+  Budget tiny = Budget::with_states(2);
+  EXPECT_THROW(annotated_determinize_flat(f, SemanticAnnotation::kPossibilities, &tiny),
+               BudgetExceeded);
+}
+
+TEST_F(FlatKernels, SubsetFailpointSurfacesThroughBothEntryPoints) {
+  Fsp f = FspBuilder(alphabet, "B").trans("0", "a", "1").trans("1", "b", "2").build();
+  failpoint::Spec s;
+  s.action = failpoint::Action::kThrowBudget;
+  s.trigger = failpoint::Trigger::kOnHit;
+  s.n = 1;
+  {
+    failpoint::ScopedDisarm guard;
+    failpoint::arm("determinize.subset", s);
+    EXPECT_THROW(annotated_determinize(f, SemanticAnnotation::kPossibilities),
+                 BudgetExceeded);
+  }
+  {
+    failpoint::ScopedDisarm guard;
+    failpoint::arm("determinize.subset", s);
+    EXPECT_THROW(poss_normal_form(f), BudgetExceeded);
+  }
+}
+
+}  // namespace
+}  // namespace ccfsp

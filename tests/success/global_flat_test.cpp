@@ -91,6 +91,38 @@ TEST(GlobalFlat, ParallelBitIdenticalOnModelCorpus) {
   }
 }
 
+TEST(GlobalFlat, SmallFrontiersNeverLeaveTheSequentialPath) {
+  // --threads means "up to": every corpus model's BFS levels sit far below
+  // kParallelFrontierThreshold, so a threads=4 build must not spawn a
+  // single worker pool — and still produce the bit-identical machine.
+  for (const char* name : kModels) {
+    auto alphabet = std::make_shared<Alphabet>();
+    Network net = load_model(name, alphabet);
+    GlobalMachine seq = build_global(net, Budget::with_states(1u << 20), 1);
+    GlobalMachine par = build_global(net, Budget::with_states(1u << 20), 4);
+    EXPECT_EQ(par.levels_spawned, 0u) << name;
+    ASSERT_NO_FATAL_FAILURE(expect_identical(seq, par, name)) << name;
+  }
+  // Mid-sized generated networks (hundreds to a few thousand states, but
+  // no level near the threshold) stay gated too.
+  for (const Network& net : sample_networks()) {
+    GlobalMachine par = build_global(net, Budget::with_states(1u << 20), 4);
+    EXPECT_EQ(par.levels_spawned, 0u);
+  }
+}
+
+TEST(GlobalFlat, LargeFrontiersSpawnAndStayBitIdentical) {
+  // phil:10 has BFS levels past the threshold: the gate must open there,
+  // and the spawned build must still match the sequential one exactly.
+  Network net = dining_philosophers(10);
+  GlobalMachine seq = build_global(net, Budget::with_states(1u << 20), 1);
+  GlobalMachine par = build_global(net, Budget::with_states(1u << 20), 4);
+  EXPECT_EQ(seq.levels_spawned, 0u);
+  EXPECT_GT(par.levels_spawned, 0u);
+  EXPECT_LT(par.levels_spawned, seq.num_states());
+  expect_identical(seq, par, "phil10");
+}
+
 TEST(GlobalFlat, BudgetExhaustionClassifiedInBothModes) {
   Network net = wave_chain_network(6, 4);  // comfortably more than 8 states
   for (unsigned threads : {1u, 4u}) {

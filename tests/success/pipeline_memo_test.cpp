@@ -1,0 +1,159 @@
+// The three Theorem 3 pipeline configurations — flat kernels with the
+// subtree memo (the default), flat kernels without it, and the retained
+// pre-flat reference pipeline — must return identical decisions on every
+// network; the memo is a pure cache. The wave/ktree families additionally
+// pin that the memo actually fires there, and the budget/failpoint taxonomy
+// must surface unchanged through the flat paths.
+#include "success/tree_pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "network/families.hpp"
+#include "network/generate.hpp"
+#include "util/failpoint.hpp"
+
+namespace ccfsp {
+namespace {
+
+Theorem3Result decide(const Network& net, bool flat, bool memoize) {
+  Theorem3Options opt;
+  opt.use_flat_kernels = flat;
+  opt.memoize = memoize;
+  return theorem3_decide(net, 0, opt);
+}
+
+void expect_all_modes_agree(const Network& net, const char* label) {
+  Theorem3Result memoized = decide(net, /*flat=*/true, /*memoize=*/true);
+  Theorem3Result plain = decide(net, /*flat=*/true, /*memoize=*/false);
+  Theorem3Result reference = decide(net, /*flat=*/false, /*memoize=*/false);
+  for (const Theorem3Result* r : {&plain, &reference}) {
+    EXPECT_EQ(memoized.unavoidable_success, r->unavoidable_success) << label;
+    EXPECT_EQ(memoized.success_collab, r->success_collab) << label;
+    EXPECT_EQ(memoized.success_adversity, r->success_adversity) << label;
+  }
+  // The memo is inert when disabled.
+  EXPECT_EQ(plain.memo_hits, 0u) << label;
+  EXPECT_EQ(plain.memo_misses, 0u) << label;
+  EXPECT_EQ(reference.memo_hits, 0u) << label;
+}
+
+class PipelineModesRandomized : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelineModesRandomized, AgreeOnRandomTreeNetworks) {
+  Rng rng(GetParam());
+  NetworkGenOptions opt;
+  opt.num_processes = 2 + rng.below(4);
+  opt.states_per_process = 4 + rng.below(4);
+  opt.symbols_per_edge = 1 + rng.below(2);
+  opt.tau_probability = 0.2;
+  Network net = random_tree_network(rng, opt);
+  expect_all_modes_agree(net, ("seed=" + std::to_string(GetParam())).c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineModesRandomized,
+                         ::testing::Values(101, 102, 103, 104, 105, 106, 107, 108, 109, 110,
+                                           111, 112, 113, 114, 115));
+
+TEST(PipelineModes, AgreeOnRingNetworks) {
+  for (std::uint64_t seed : {201u, 202u, 203u, 204u}) {
+    Rng rng(seed);
+    NetworkGenOptions opt;
+    opt.num_processes = 3 + rng.below(3);
+    opt.states_per_process = 4;
+    opt.symbols_per_edge = 1;
+    opt.tau_probability = 0.15;
+    Network net = random_ring_network(rng, opt);
+    expect_all_modes_agree(net, ("ring seed=" + std::to_string(seed)).c_str());
+  }
+}
+
+TEST(PipelineModes, AgreeOnFigureNetworks) {
+  expect_all_modes_agree(figure3_network(), "figure3");
+  expect_all_modes_agree(success_separation_network(), "separation");
+}
+
+TEST(PipelineModes, MemoFiresOnWaveTree) {
+  Rng rng(0x77a7e5);
+  Network net = wave_tree_network(rng, 20, 3);
+  Theorem3Result memoized = decide(net, true, true);
+  Theorem3Result plain = decide(net, true, false);
+  EXPECT_EQ(memoized.unavoidable_success, plain.unavoidable_success);
+  EXPECT_EQ(memoized.success_collab, plain.success_collab);
+  EXPECT_EQ(memoized.success_adversity, plain.success_adversity);
+  // Wave processes are deadlock-free by construction.
+  EXPECT_TRUE(memoized.success_collab);
+  // Sibling subtrees of the wave tree repeat up to action renaming: the
+  // memo must fold some of them.
+  EXPECT_GT(memoized.memo_hits, 0u);
+  EXPECT_GT(memoized.memo_misses, 0u);
+}
+
+TEST(PipelineModes, MemoFiresHeavilyOnCompleteKTree) {
+  // Every equal-height subtree of the complete binary wave tree is the same
+  // process up to renaming: of the 14 non-root subtree folds, only the
+  // handful of distinct heights should miss.
+  Network net = wave_ktree_network(2, 15, 3);
+  Theorem3Result memoized = decide(net, true, true);
+  Theorem3Result plain = decide(net, true, false);
+  EXPECT_EQ(memoized.unavoidable_success, plain.unavoidable_success);
+  EXPECT_EQ(memoized.success_collab, plain.success_collab);
+  EXPECT_EQ(memoized.success_adversity, plain.success_adversity);
+  EXPECT_GT(memoized.memo_hits, memoized.memo_misses);
+}
+
+TEST(PipelineModes, BudgetTripsThroughFlatPath) {
+  Rng rng(0xbad9e7);
+  Network net = wave_tree_network(rng, 12, 3);
+  for (bool memoize : {true, false}) {
+    Theorem3Options opt;
+    opt.memoize = memoize;
+    Budget tiny = Budget::with_states(4);
+    opt.budget = &tiny;
+    try {
+      theorem3_decide(net, 0, opt);
+      FAIL() << "expected BudgetExceeded, memoize=" << memoize;
+    } catch (const BudgetExceeded& e) {
+      EXPECT_EQ(e.reason(), BudgetDimension::kStates) << memoize;
+    }
+  }
+}
+
+TEST(PipelineModes, PossLimitTripsThroughFlatPath) {
+  Rng rng(0x11217);
+  Network net = wave_tree_network(rng, 12, 3);
+  Theorem3Options opt;
+  opt.poss_limit = 2;
+  EXPECT_THROW(theorem3_decide(net, 0, opt), BudgetExceeded);
+}
+
+TEST(PipelineModes, MemoFailpointSurfacesFromTheDecider) {
+  failpoint::ScopedDisarm guard;
+  failpoint::Spec s;
+  s.action = failpoint::Action::kThrowBudget;
+  s.trigger = failpoint::Trigger::kOnHit;
+  s.n = 1;
+  failpoint::arm("cache.nf_memo", s);
+  Rng rng(0xfa11);
+  NetworkGenOptions opt;
+  opt.num_processes = 4;
+  Network net = random_tree_network(rng, opt);
+  EXPECT_THROW(theorem3_decide(net, 0), BudgetExceeded);
+}
+
+TEST(PipelineModes, RefineFailpointReachesReferencePipelineOnly) {
+  // The Moore oracles never pop splitters; the Paige–Tarjan kernel sits
+  // behind minimize()/bisimulation_classes, which the Theorem 3 pipeline
+  // itself does not call — so arming the refine site must not perturb the
+  // decider in either mode. (Coverage of the site itself: refine_test.)
+  failpoint::ScopedDisarm guard;
+  failpoint::Spec s;
+  s.action = failpoint::Action::kThrowBudget;
+  s.trigger = failpoint::Trigger::kOnHit;
+  s.n = 1;
+  failpoint::arm("normal_form.refine", s);
+  Network net = figure3_network();
+  EXPECT_NO_THROW(theorem3_decide(net, 0));
+}
+
+}  // namespace
+}  // namespace ccfsp

@@ -1,0 +1,171 @@
+// The Paige–Tarjan splitter-queue kernel's own contract: the result
+// refines the initial partition, is stable under every (block, label)
+// splitter, is as coarse as a naive Moore fixed point, numbers classes by
+// first occurrence, and fires the "normal_form.refine" failpoint per
+// popped splitter. (The end-to-end oracle comparisons — against the Moore
+// implementations behind bisimulation_classes and minimize — live in
+// tests/equiv and tests/semantics.)
+#include "util/refine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "util/budget.hpp"
+#include "util/failpoint.hpp"
+#include "util/rng.hpp"
+
+namespace ccfsp {
+namespace {
+
+struct Graph {
+  std::uint32_t n = 0;
+  std::vector<std::uint32_t> src, label, dst;
+  void edge(std::uint32_t s, std::uint32_t a, std::uint32_t d) {
+    src.push_back(s);
+    label.push_back(a);
+    dst.push_back(d);
+  }
+};
+
+std::vector<std::uint32_t> refine(const Graph& g, std::vector<std::uint32_t> initial) {
+  return refine_partition(g.n, g.src, g.label, g.dst, std::move(initial));
+}
+
+/// One Moore round: signature = (class, sorted set of (label, target class)).
+/// Iterated to a fixed point this is the textbook coarsest-stable-partition
+/// computation the kernel must reproduce exactly, numbering included.
+std::vector<std::uint32_t> moore(const Graph& g, std::vector<std::uint32_t> cls) {
+  // Dense first-occurrence renumber of the seed, matching the kernel.
+  {
+    std::map<std::uint32_t, std::uint32_t> dense;
+    for (auto& c : cls) {
+      auto [it, fresh] = dense.emplace(c, static_cast<std::uint32_t>(dense.size()));
+      c = it->second;
+    }
+  }
+  for (;;) {
+    using Sig = std::pair<std::uint32_t, std::vector<std::pair<std::uint32_t, std::uint32_t>>>;
+    std::vector<Sig> sig(g.n);
+    for (std::uint32_t s = 0; s < g.n; ++s) sig[s].first = cls[s];
+    for (std::size_t k = 0; k < g.src.size(); ++k) {
+      sig[g.src[k]].second.emplace_back(g.label[k], cls[g.dst[k]]);
+    }
+    std::map<Sig, std::uint32_t> ids;
+    std::vector<std::uint32_t> next(g.n);
+    for (std::uint32_t s = 0; s < g.n; ++s) {
+      auto& v = sig[s].second;
+      std::sort(v.begin(), v.end());
+      v.erase(std::unique(v.begin(), v.end()), v.end());
+      auto [it, fresh] = ids.emplace(sig[s], static_cast<std::uint32_t>(ids.size()));
+      next[s] = it->second;
+    }
+    if (next == cls) return cls;
+    cls = std::move(next);
+  }
+}
+
+TEST(Refine, EmptyAndEdgelessInputs) {
+  Graph g;
+  EXPECT_TRUE(refine(g, {}).empty());
+  g.n = 3;
+  EXPECT_EQ(refine(g, {0, 0, 0}), (std::vector<std::uint32_t>{0, 0, 0}));
+  // No edges: the initial partition is already stable, only renumbered.
+  EXPECT_EQ(refine(g, {7, 2, 7}), (std::vector<std::uint32_t>{0, 1, 0}));
+}
+
+TEST(Refine, SplitsOnWhoReachesTheSplitter) {
+  Graph g;
+  g.n = 3;
+  g.edge(0, /*a=*/5, 2);  // only state 0 has an a-edge into {2}
+  auto cls = refine(g, {0, 0, 1});
+  // {0,1} splits on the a-edge into {2}; first-occurrence numbering.
+  EXPECT_EQ(cls, (std::vector<std::uint32_t>{0, 1, 2}));
+}
+
+TEST(Refine, ClassesNumberedByFirstOccurrence) {
+  Graph g;
+  g.n = 3;
+  g.edge(2, 1, 0);  // state 2 alone reaches the (single) initial block
+  auto cls = refine(g, {0, 0, 0});
+  EXPECT_EQ(cls, (std::vector<std::uint32_t>{0, 0, 1}));
+
+  Graph h;
+  h.n = 3;
+  h.edge(0, 1, 1);  // now the distinguished state comes first
+  EXPECT_EQ(refine(h, {0, 0, 0}), (std::vector<std::uint32_t>{0, 1, 1}));
+}
+
+TEST(Refine, LabelsSplitIndependently) {
+  // 0 and 1 both reach block {3} but with different labels — after the
+  // target block is split by who reaches {3}, labels a vs b must separate
+  // them too (two rounds of refinement).
+  Graph g;
+  g.n = 4;
+  g.edge(0, /*a=*/1, 2);
+  g.edge(1, /*b=*/2, 2);
+  g.edge(2, /*c=*/3, 3);
+  auto cls = refine(g, {0, 0, 0, 1});
+  EXPECT_NE(cls[0], cls[1]);
+}
+
+TEST(Refine, RespectsInitialPartitionEvenWhenBehaviorIsEqual) {
+  // Identical (empty) behaviour, but seeded apart: must stay apart.
+  Graph g;
+  g.n = 2;
+  auto cls = refine(g, {0, 1});
+  EXPECT_NE(cls[0], cls[1]);
+}
+
+TEST(Refine, NondeterministicEdgesHandled) {
+  // Two a-edges out of one state (Hopcroft's smaller-half shortcut is
+  // unsound here; the kernel must detect this and enqueue both halves).
+  // 0 reaches both final blocks via a; 1 reaches only one.
+  Graph g;
+  g.n = 4;
+  g.edge(0, 1, 2);
+  g.edge(0, 1, 3);
+  g.edge(1, 1, 2);
+  g.edge(3, 2, 3);  // makes 2 and 3 non-equivalent
+  auto pt = refine(g, {0, 0, 0, 0});
+  auto mo = moore(g, {0, 0, 0, 0});
+  EXPECT_EQ(pt, mo);
+  EXPECT_NE(pt[0], pt[1]);
+}
+
+TEST(Refine, MatchesMooreFixedPointOnRandomGraphs) {
+  Rng rng(41);
+  for (int iter = 0; iter < 80; ++iter) {
+    Graph g;
+    g.n = 2 + static_cast<std::uint32_t>(rng.below(12));
+    const std::size_t m = rng.below(3 * g.n);
+    const std::uint32_t labels = 1 + static_cast<std::uint32_t>(rng.below(3));
+    for (std::size_t k = 0; k < m; ++k) {
+      g.edge(static_cast<std::uint32_t>(rng.below(g.n)),
+             static_cast<std::uint32_t>(rng.below(labels)),
+             static_cast<std::uint32_t>(rng.below(g.n)));
+    }
+    std::vector<std::uint32_t> initial(g.n);
+    const std::uint32_t seed_blocks = 1 + static_cast<std::uint32_t>(rng.below(3));
+    for (auto& c : initial) c = static_cast<std::uint32_t>(rng.below(seed_blocks));
+    EXPECT_EQ(refine(g, initial), moore(g, initial)) << "iter " << iter;
+  }
+}
+
+TEST(Refine, FailpointFiresPerPoppedSplitter) {
+  failpoint::ScopedDisarm guard;
+  failpoint::Spec s;
+  s.action = failpoint::Action::kThrowBudget;
+  s.trigger = failpoint::Trigger::kOnHit;
+  s.n = 1;
+  failpoint::arm("normal_form.refine", s);
+  Graph g;
+  g.n = 2;
+  g.edge(0, 1, 1);
+  EXPECT_THROW(refine(g, {0, 0}), BudgetExceeded);
+}
+
+}  // namespace
+}  // namespace ccfsp
