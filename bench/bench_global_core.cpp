@@ -8,7 +8,10 @@
 //
 // Per family/size it reports wall milliseconds, interned states per second,
 // and retained bytes per state. The headline number is `speedup`:
-// flat_states_per_sec / reference_states_per_sec at the largest size.
+// flat_states_per_sec / reference_states_per_sec at the largest size. Each
+// row also carries the engine's metrics counters from an *untimed*
+// instrumented flat build (timed runs stay disarmed so the numbers reflect
+// the shipped configuration); see docs/observability.md for the catalogue.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -18,7 +21,9 @@
 #include "network/families.hpp"
 #include "network/generate.hpp"
 #include "success/global.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
+#include "util/trace.hpp"
 
 using namespace ccfsp;
 
@@ -33,6 +38,7 @@ struct Row {
   double flat_ms = 0;
   double parallel_ms = 0;
   double bytes_per_state = 0;
+  std::string counters;  // compact JSON object, counters of one flat build
 };
 
 double ms_since(std::chrono::steady_clock::time_point t0) {
@@ -87,6 +93,12 @@ Row run_one(const std::string& family, std::size_t size, unsigned threads) {
   row.edges = flat.num_edges();
   row.bytes_per_state =
       row.states == 0 ? 0 : static_cast<double>(flat.memory_bytes()) / row.states;
+
+  {
+    metrics::ScopedEnable on;
+    build_global(net, Budget::with_states(1u << 24), 1);
+    row.counters = metrics::counters_json(metrics::snapshot());
+  }
   return row;
 }
 
@@ -155,12 +167,13 @@ int main(int argc, char** argv) {
                  "     \"reference_ms\": %.2f, \"flat_ms\": %.2f, \"parallel_ms\": %.2f,\n"
                  "     \"reference_states_per_sec\": %.0f, \"flat_states_per_sec\": %.0f,\n"
                  "     \"parallel_states_per_sec\": %.0f, \"speedup\": %.2f,\n"
-                 "     \"bytes_per_state\": %.1f}%s\n",
+                 "     \"bytes_per_state\": %.1f,\n"
+                 "     \"counters\": %s}%s\n",
                  r.family.c_str(), r.size, r.states, r.edges, r.reference_ms, r.flat_ms,
                  r.parallel_ms, per_sec(r.states, r.reference_ms), per_sec(r.states, r.flat_ms),
                  per_sec(r.states, r.parallel_ms),
                  r.flat_ms > 0 ? r.reference_ms / r.flat_ms : 0, r.bytes_per_state,
-                 i + 1 < rows.size() ? "," : "");
+                 r.counters.c_str(), i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

@@ -1,0 +1,182 @@
+// Metrics overhead benchmark: the observability layer's performance
+// contract is that *disarmed* counters and spans are invisible — the
+// shipped configuration (metrics off) must build phil:12 at the same speed
+// as before the instrumentation landed, and an *enabled* run may only pay
+// the documented per-state shard bumps. Emits machine-readable JSON
+// (BENCH_metrics.json by default) consumed by the CI perf-smoke job.
+//
+//   bench_metrics [--quick] [--out PATH] [--repeat N] [--check BASELINE.json]
+//
+// Reported numbers:
+//   disarmed_ms       phil flat build with metrics off (the shipped
+//                     configuration; compare against BENCH_global.json)
+//   enabled_ms        same build under ScopedEnable — every instrumentation
+//                     site takes the shard-bump slow path
+//   enabled_overhead_pct  (enabled - disarmed) / disarmed
+//   add_disarmed_ns   ns per disarmed metrics::add() in a tight loop
+//   span_disarmed_ns  ns per disarmed ScopedSpan construct+destruct
+//
+// --check is machine-independent, bench_failpoint-style: it compares the
+// *within-run* ratio enabled_ms / disarmed_ms against the committed
+// baseline's ratio and fails (exit 1) on a >1.5x regression — a new
+// counter on a per-edge path shows up here no matter how fast the runner
+// is. It also enforces the absolute disarmed contract: add_disarmed_ns
+// must stay under 5 ns (a relaxed load + branch, with generous slack for
+// slow CI machines).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "network/families.hpp"
+#include "success/global.hpp"
+#include "util/metrics.hpp"
+
+using namespace ccfsp;
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Best-of-N flat build time (min absorbs scheduling noise, matching how
+/// bench_failpoint and BENCH_global.json read).
+double build_ms(const Network& net, int repeat, std::size_t* states) {
+  double best = 1e18;
+  for (int r = 0; r < repeat; ++r) {
+    auto t0 = std::chrono::steady_clock::now();
+    GlobalMachine g = build_global(net, Budget::with_states(1u << 24), 1);
+    const double ms = ms_since(t0);
+    if (ms < best) best = ms;
+    *states = g.num_states();
+  }
+  return best;
+}
+
+struct Baseline {
+  double disarmed_ms = 0;
+  double enabled_ms = 0;
+};
+
+/// Minimal scanner for the JSON this tool itself writes.
+bool load_baseline(const std::string& path, Baseline* out) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (!f) return false;
+  char line[256];
+  bool have_disarmed = false, have_enabled = false;
+  while (std::fgets(line, sizeof line, f)) {
+    have_disarmed |= std::sscanf(line, " \"disarmed_ms\": %lf", &out->disarmed_ms) == 1;
+    have_enabled |= std::sscanf(line, " \"enabled_ms\": %lf", &out->enabled_ms) == 1;
+  }
+  std::fclose(f);
+  return have_disarmed && have_enabled;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  int repeat = 3;
+  std::string out_path = "BENCH_metrics.json";
+  std::string check_path;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--quick")) {
+      quick = true;
+    } else if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--repeat") && i + 1 < argc) {
+      repeat = std::atoi(argv[++i]);
+      if (repeat < 1) repeat = 1;
+    } else if (!std::strcmp(argv[i], "--check") && i + 1 < argc) {
+      check_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out PATH] [--repeat N] [--check BASELINE.json]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const std::size_t phil = quick ? 10 : 12;
+  Network net = dining_philosophers(phil);
+  std::size_t states = 0;
+
+  const double disarmed_ms = build_ms(net, repeat, &states);
+
+  double enabled_ms = 0;
+  {
+    metrics::ScopedEnable on;
+    enabled_ms = build_ms(net, repeat, &states);
+  }
+
+  // Disarmed fast paths in isolation. The loop bodies are opaque calls into
+  // ccfsp_util, so the compiler cannot hoist the enabled check out.
+  constexpr std::uint64_t kOps = 200'000'000;
+  auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < kOps; ++i) {
+    metrics::add(metrics::Counter::kGlobalStates);
+  }
+  const double add_disarmed_ns = ms_since(t0) * 1e6 / kOps;
+
+  constexpr std::uint64_t kSpans = 50'000'000;
+  t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < kSpans; ++i) {
+    metrics::ScopedSpan span("bench.micro");
+  }
+  const double span_disarmed_ns = ms_since(t0) * 1e6 / kSpans;
+
+  const double enabled_overhead_pct =
+      disarmed_ms <= 0 ? 0 : (enabled_ms - disarmed_ms) / disarmed_ms * 100.0;
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  const char* fmt =
+      "{\n"
+      "  \"bench\": \"metrics\",\n"
+      "  \"family\": \"phil\",\n"
+      "  \"size\": %zu,\n"
+      "  \"states\": %zu,\n"
+      "  \"repeat\": %d,\n"
+      "  \"disarmed_ms\": %.2f,\n"
+      "  \"enabled_ms\": %.2f,\n"
+      "  \"enabled_overhead_pct\": %.2f,\n"
+      "  \"add_disarmed_ns\": %.3f,\n"
+      "  \"span_disarmed_ns\": %.3f\n"
+      "}\n";
+  std::fprintf(out, fmt, phil, states, repeat, disarmed_ms, enabled_ms, enabled_overhead_pct,
+               add_disarmed_ns, span_disarmed_ns);
+  std::fclose(out);
+  std::fprintf(stderr, fmt, phil, states, repeat, disarmed_ms, enabled_ms,
+               enabled_overhead_pct, add_disarmed_ns, span_disarmed_ns);
+
+  if (!check_path.empty()) {
+    Baseline committed;
+    if (!load_baseline(check_path, &committed)) {
+      std::fprintf(stderr, "cannot read baseline %s\n", check_path.c_str());
+      return 2;
+    }
+    bool ok = true;
+    const double now = disarmed_ms > 0 ? enabled_ms / disarmed_ms : 0;
+    const double then =
+        committed.disarmed_ms > 0 ? committed.enabled_ms / committed.disarmed_ms : 0;
+    const double regression = then > 0 ? now / then : 0;
+    std::fprintf(stderr, "check: enabled/disarmed=%.3f committed=%.3f ratio=%.2f%s\n", now,
+                 then, regression, regression > 1.5 ? "  REGRESSION" : "");
+    if (regression > 1.5) ok = false;
+    if (add_disarmed_ns > 5.0) {
+      std::fprintf(stderr, "check: disarmed add() costs %.3f ns (> 5 ns contract)\n",
+                   add_disarmed_ns);
+      ok = false;
+    }
+    if (!ok) {
+      std::fprintf(stderr, "check: metrics overhead regressed vs %s\n", check_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "check: within 1.5x of %s\n", check_path.c_str());
+  }
+  return 0;
+}

@@ -25,7 +25,9 @@
 
 #include "network/generate.hpp"
 #include "success/tree_pipeline.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
+#include "util/trace.hpp"
 
 using namespace ccfsp;
 
@@ -39,6 +41,7 @@ struct Row {
   double memoized_ms = 0;   // flat kernels + subtree memo (the default)
   std::size_t memo_hits = 0;
   std::size_t memo_misses = 0;
+  std::string counters;  // compact JSON object: counters of one untimed memoized run
 };
 
 double ms_since(std::chrono::steady_clock::time_point t0) {
@@ -112,6 +115,14 @@ Row run_one(const std::string& family, std::size_t size) {
   if (!same_decisions(baseline, flat) || !same_decisions(baseline, memoized)) {
     std::fprintf(stderr, "FATAL: pipeline modes disagree on %s:%zu\n", family.c_str(), size);
     std::exit(1);
+  }
+
+  // Counters come from a separate instrumented run so the timed runs above
+  // measure the shipped (disarmed) configuration.
+  {
+    metrics::ScopedEnable on;
+    theorem3_decide(net, 0);
+    row.counters = metrics::counters_json(metrics::snapshot());
   }
   return row;
 }
@@ -207,10 +218,11 @@ int main(int argc, char** argv) {
     std::fprintf(f,
                  "    {\"family\": \"%s\", \"size\": %zu, \"baseline_ms\": %.2f, "
                  "\"flat_ms\": %.2f, \"memoized_ms\": %.2f, \"speedup\": %.2f, "
-                 "\"memo_hits\": %zu, \"memo_misses\": %zu}%s\n",
+                 "\"memo_hits\": %zu, \"memo_misses\": %zu,\n"
+                 "     \"counters\": %s}%s\n",
                  r.family.c_str(), r.size, r.baseline_ms, r.flat_ms, r.memoized_ms,
                  r.memoized_ms > 0 ? r.baseline_ms / r.memoized_ms : 0, r.memo_hits,
-                 r.memo_misses, i + 1 < rows.size() ? "," : "");
+                 r.memo_misses, r.counters.c_str(), i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

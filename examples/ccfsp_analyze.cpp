@@ -24,6 +24,13 @@
 //                            rung (default 1; result is bit-identical)
 //     --retries N            re-run a rung that exhausts a count budget up
 //                            to N times with geometrically doubled limits
+//   Observability (both switches imply --ladder):
+//     --metrics-json PATH    collect engine counters/spans during the run
+//                            and write the versioned observability document
+//                            (schema: docs/observability.md) to PATH, or to
+//                            stdout when PATH is '-'
+//     --trace                print the phase-span tree (human-readable)
+//                            after the ladder report
 //   Fault injection (testing / chaos):
 //     --failpoints SPEC      arm failpoints, e.g.
 //                            'interner.tuple_grow=bad_alloc@hit:2'; the
@@ -57,6 +64,7 @@
 #include "success/witness.hpp"
 #include "util/failpoint.hpp"
 #include "util/rng.hpp"
+#include "util/trace.hpp"
 
 using namespace ccfsp;
 
@@ -75,7 +83,8 @@ int usage(const char* argv0) {
                "usage: %s [--distinguished NAME] [--cyclic] [--witness] [--dot]\n"
                "          [--simulate N] [--gen SPEC] [--ladder] [--timeout-ms N]\n"
                "          [--max-states N] [--rungs a,b,...] [--threads N]\n"
-               "          [--retries N] [--failpoints SPEC] [file]\n",
+               "          [--retries N] [--metrics-json PATH] [--trace]\n"
+               "          [--failpoints SPEC] [file]\n",
                argv0);
   return kExitUsage;
 }
@@ -131,8 +140,30 @@ std::optional<Network> generate(const std::string& spec) {
   return std::nullopt;
 }
 
-int run_ladder(const Network& net, std::size_t p, const AnalyzeOptions& opt) {
+int run_ladder(const Network& net, std::size_t p, AnalyzeOptions& opt,
+               const std::string& metrics_json, bool trace) {
+  metrics::MetricsSink sink;
+  if (!metrics_json.empty() || trace) opt.metrics = &sink;
+
   AnalysisReport report = analyze(net, p, opt);
+
+  if (!metrics_json.empty()) {
+    const std::string doc = observability_document_json(sink.result, &report);
+    if (metrics_json == "-") {
+      std::fputs(doc.c_str(), stdout);
+    } else {
+      std::ofstream out(metrics_json);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", metrics_json.c_str());
+        return kExitUsage;
+      }
+      out << doc;
+    }
+  }
+  if (trace) {
+    const std::string tree = metrics::render_span_tree(sink.result);
+    std::printf("trace:\n%s\n", tree.empty() ? "  (no spans recorded)" : tree.c_str());
+  }
 
   std::printf("ladder:\n");
   for (const RungOutcome& r : report.rungs) {
@@ -189,7 +220,8 @@ int main(int argc, char** argv) {
   long max_states = 0;
   long threads = 1;
   long retries = 0;
-  std::string rungs_csv, gen_spec, failpoints_spec;
+  bool trace = false;
+  std::string rungs_csv, gen_spec, failpoints_spec, metrics_json;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--distinguished") && i + 1 < argc) {
@@ -218,6 +250,12 @@ int main(int argc, char** argv) {
       ladder = true;
     } else if (!std::strcmp(argv[i], "--retries") && i + 1 < argc) {
       if (!parse_count(argv[++i], retries)) return bad_number(argv[i]);
+      ladder = true;
+    } else if (!std::strcmp(argv[i], "--metrics-json") && i + 1 < argc) {
+      metrics_json = argv[++i];
+      ladder = true;
+    } else if (!std::strcmp(argv[i], "--trace")) {
+      trace = true;
       ladder = true;
     } else if (!std::strcmp(argv[i], "--failpoints") && i + 1 < argc) {
       failpoints_spec = argv[++i];
@@ -336,7 +374,7 @@ int main(int argc, char** argv) {
         if (!flush()) return kExitUsage;
         if (opt.rungs.empty()) return usage(argv[0]);
       }
-      return run_ladder(net, p, opt);
+      return run_ladder(net, p, opt, metrics_json, trace);
     }
 
     if (cyclic) {

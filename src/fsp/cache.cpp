@@ -4,6 +4,7 @@
 
 #include "util/failpoint.hpp"
 #include "util/flat_interner.hpp"
+#include "util/metrics.hpp"
 
 namespace ccfsp {
 
@@ -11,7 +12,10 @@ namespace ccfsp {
 // constructor, so no partially-populated cache object can ever exist —
 // callers either hold a complete cache or none at all.
 FspAnalysisCache::FspAnalysisCache(const Fsp& f, const Budget* budget) : fsp_(&f) {
+  metrics::ScopedSpan span("fsp_cache.build");
   const std::size_t n = f.num_states();
+  metrics::add(metrics::Counter::kFspCacheBuilds);
+  metrics::add(metrics::Counter::kFspCacheStates, n);
   closures_.reserve(n);
   ready_.reserve(n);
   arrows_.resize(n);
@@ -106,6 +110,7 @@ std::string NfLabelShape::label(StateId s) const {
 }
 
 std::optional<Fsp> NormalFormMemo::find(const Fsp& p, std::size_t limit) {
+  metrics::add(metrics::Counter::kNfMemoLookups);
   CanonFingerprint fp = fingerprint_of(p);
   const Entry* entry = nullptr;
   auto bucket = buckets_.find(hash_words(fp.enc.data(), fp.enc.size()));
@@ -119,9 +124,11 @@ std::optional<Fsp> NormalFormMemo::find(const Fsp& p, std::size_t limit) {
   }
   if (!entry) {
     ++misses_;
+    metrics::add(metrics::Counter::kNfMemoMisses);
     return std::nullopt;
   }
   ++hits_;
+  metrics::add(metrics::Counter::kNfMemoHits);
   failpoint::hit("cache.nf_memo");
   const Blueprint& bp = entry->bp;
 
@@ -203,6 +210,9 @@ void NormalFormMemo::store(const Fsp& p, const Fsp& nf,
   if (bytes_ + entry_bytes > max_bytes_) return;
   failpoint::hit("cache.nf_memo");
   if (budget_) budget_->charge(0, entry_bytes, "nf_memo");
+  // Counted only past the cap/duplicate early-outs: stores that retain bytes.
+  metrics::add(metrics::Counter::kNfMemoStores);
+  metrics::add(metrics::Counter::kNfMemoStoredBytes, entry_bytes);
 
   const std::uint32_t id = static_cast<std::uint32_t>(entries_.size());
   entries_.push_back(Entry{std::move(fp.enc), std::move(bp)});

@@ -4,6 +4,7 @@
 
 #include "fsp/cache.hpp"
 #include "util/failpoint.hpp"
+#include "util/metrics.hpp"
 #include "util/refine.hpp"
 
 namespace ccfsp {
@@ -86,6 +87,7 @@ std::uint32_t FlatAnnotatedDfa::step(std::uint32_t s, ActionId a) const {
 
 FlatAnnotatedDfa annotated_determinize_flat(const Fsp& p, SemanticAnnotation kind,
                                             const Budget* budget, std::size_t max_states) {
+  metrics::ScopedSpan span("determinize.flat");
   FlatAnnotatedDfa dfa;
   const std::size_t n = p.num_states();
 
@@ -163,6 +165,10 @@ FlatAnnotatedDfa annotated_determinize_flat(const Fsp& p, SemanticAnnotation kin
       if (budget) {
         budget->charge(0, cl.size() * sizeof(StateId) + 32, "annotated_determinize");
       }
+      if (metrics::enabled()) {
+        metrics::add(metrics::Counter::kDeterminizeClosures);
+        metrics::add(metrics::Counter::kDeterminizeClosureStates, cl.size());
+      }
     }
     return closure[s];
   };
@@ -199,6 +205,7 @@ FlatAnnotatedDfa annotated_determinize_flat(const Fsp& p, SemanticAnnotation kin
     auto [id, fresh] = dfa.subsets.intern(subset);
     if (fresh) {
       failpoint::hit("determinize.subset");
+      metrics::add(metrics::Counter::kDeterminizeSubsets);
       if (dfa.subsets.size() > max_states) {
         throw BudgetExceeded(BudgetDimension::kStates, "annotated_determinize",
                              dfa.subsets.size(), dfa.subsets.bytes());
@@ -316,6 +323,7 @@ AnnotatedDfa annotated_determinize(const Fsp& p, SemanticAnnotation kind,
 
 AnnotatedDfa annotated_determinize_reference(const Fsp& p, SemanticAnnotation kind,
                                              const Budget* budget) {
+  metrics::ScopedSpan span("determinize.reference");
   AnnotatedDfa dfa;
   // Closures and ready sets come from the analysis cache (each is computed
   // once per state instead of once per subset membership), and subsets are
@@ -329,6 +337,7 @@ AnnotatedDfa annotated_determinize_reference(const Fsp& p, SemanticAnnotation ki
     auto [id, fresh] = ids.intern({subset.data(), subset.size()});
     if (fresh) {
       failpoint::hit("determinize.subset");
+      metrics::add(metrics::Counter::kDeterminizeSubsets);
       if (budget) {
         budget->charge(1, subset.size() * sizeof(StateId) + 160, "annotated_determinize");
       }

@@ -9,6 +9,7 @@
 #include "success/tree_pipeline.hpp"
 #include "success/unary_sc.hpp"
 #include "util/failpoint.hpp"
+#include "util/trace.hpp"
 
 namespace ccfsp {
 
@@ -54,6 +55,7 @@ RungOutcome attempt(Rung rung, const Network& net, std::size_t p_index, bool cyc
   RungOutcome out;
   out.rung = rung;
   const Fsp& p = net.process(p_index);
+  metrics::ScopedSpan span(to_string(rung));
   try {
     failpoint::hit("analyze.rung");
     switch (rung) {
@@ -160,6 +162,9 @@ std::string AnalysisReport::summary() const {
 }
 
 AnalysisReport analyze(const Network& net, std::size_t p_index, const AnalyzeOptions& opt) {
+  const AnalysisContext ctx{&opt.budget, opt.metrics};
+  metrics::ScopedCollect collect(ctx.metrics);
+  metrics::ScopedSpan span("analyze");
   AnalysisReport report;
   if (p_index >= net.size()) {
     report.status = OutcomeStatus::kInvalidInput;
@@ -180,14 +185,19 @@ AnalysisReport analyze(const Network& net, std::size_t p_index, const AnalyzeOpt
   for (Rung rung : ladder) {
     if (report.verdict.complete()) break;
     // A spent deadline / a cancelled token dooms every further rung; record
-    // one skip marker and stop rather than burning a fork per rung.
-    if (opt.budget.probe() != BudgetDimension::kNone) {
+    // one skip marker and stop rather than burning a fork per rung. The
+    // marker carries the spent dimension like every other attempt record —
+    // a trace consumer must never have to parse detail strings to learn
+    // which wall ended the run.
+    if (const BudgetDimension spent = opt.budget.probe(); spent != BudgetDimension::kNone) {
       RungOutcome skip;
       skip.rung = rung;
       skip.status = OutcomeStatus::kBudgetExhausted;
-      skip.detail = std::string("budget already exhausted (") +
-                    to_string(opt.budget.probe()) + ") before this rung started";
+      skip.budget_reason = spent;
+      skip.detail = std::string("budget already exhausted (") + to_string(spent) +
+                    ") before this rung started";
       report.rungs.push_back(std::move(skip));
+      metrics::add(metrics::Counter::kLadderSkips);
       exhausted = true;
       break;
     }
@@ -204,6 +214,21 @@ AnalysisReport analyze(const Network& net, std::size_t p_index, const AnalyzeOpt
       RungOutcome outcome = attempt(rung, net, p_index, report.cyclic_semantics, rung_budget,
                                     opt.threads == 0 ? 1 : opt.threads, report.verdict);
       outcome.attempt = att;
+      if (metrics::enabled()) {
+        metrics::add(metrics::Counter::kLadderAttempts);
+        if (att >= 1) metrics::add(metrics::Counter::kLadderRetries);
+        switch (outcome.status) {
+          case OutcomeStatus::kDecided:
+            metrics::add(metrics::Counter::kLadderDecided);
+            break;
+          case OutcomeStatus::kBudgetExhausted:
+            metrics::add(metrics::Counter::kLadderBudgetTrips);
+            break;
+          default:
+            metrics::add(metrics::Counter::kLadderUnsupported);
+            break;
+        }
+      }
       exhausted |= outcome.status == OutcomeStatus::kBudgetExhausted;
       now_complete = report.verdict.complete();
       const bool retryable = outcome.status == OutcomeStatus::kBudgetExhausted &&
@@ -226,6 +251,58 @@ AnalysisReport analyze(const Network& net, std::size_t p_index, const AnalyzeOpt
     report.status = OutcomeStatus::kUnsupported;
   }
   return report;
+}
+
+namespace {
+
+std::string tristate_json(const std::optional<bool>& b) {
+  return !b.has_value() ? "null" : (*b ? "true" : "false");
+}
+
+}  // namespace
+
+std::string observability_document_json(const metrics::Snapshot& snap,
+                                        const AnalysisReport* report) {
+  // Keep every key in lockstep with docs/observability.md and the
+  // golden-schema test — the document is a contract, not a debug dump.
+  std::string out = "{\n";
+  out += "  \"schema_version\": 1,\n";
+  out += "  \"counters\": " + metrics::counters_json(snap);
+  out += ",\n  \"spans\": " + metrics::span_tree_json(snap);
+  if (report) {
+    out += ",\n  \"report\": {\"status\": \"";
+    out += to_string(report->status);
+    out += "\", \"cyclic_semantics\": ";
+    out += report->cyclic_semantics ? "true" : "false";
+    if (report->decided_by) {
+      out += ", \"decided_by\": \"";
+      out += to_string(*report->decided_by);
+      out += '"';
+    }
+    out += ", \"verdict\": {\"unavoidable_success\": " +
+           tristate_json(report->verdict.unavoidable_success);
+    out += ", \"success_collab\": " + tristate_json(report->verdict.success_collab);
+    out += ", \"success_adversity\": " + tristate_json(report->verdict.success_adversity);
+    out += ", \"adversity_applicable\": ";
+    out += report->verdict.adversity_applicable ? "true" : "false";
+    out += "}, \"rungs\": [";
+    for (std::size_t i = 0; i < report->rungs.size(); ++i) {
+      const RungOutcome& r = report->rungs[i];
+      if (i) out += ", ";
+      out += "{\"rung\": \"";
+      out += to_string(r.rung);
+      out += "\", \"status\": \"";
+      out += to_string(r.status);
+      out += "\", \"attempt\": " + std::to_string(r.attempt);
+      out += ", \"states_charged\": " + std::to_string(r.states_charged);
+      out += ", \"budget_reason\": \"";
+      out += to_string(r.budget_reason);
+      out += "\", \"detail\": \"" + metrics::json_escape(r.detail) + "\"}";
+    }
+    out += "]}";
+  }
+  out += "\n}\n";
+  return out;
 }
 
 }  // namespace ccfsp

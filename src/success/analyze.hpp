@@ -24,6 +24,7 @@
 
 #include "network/network.hpp"
 #include "util/budget.hpp"
+#include "util/metrics.hpp"
 #include "util/outcome.hpp"
 
 namespace ccfsp {
@@ -106,6 +107,10 @@ struct AnalyzeOptions {
   /// Each attempt is recorded in the rung trace with its attempt index.
   /// The absolute deadline and the cancel token still bound every retry.
   unsigned retries = 0;
+  /// When non-null, the run executes under a metrics::ScopedCollect and the
+  /// merged counter/span snapshot lands here when analyze() returns. Null
+  /// (the default) keeps the whole metrics layer on its disarmed fast path.
+  metrics::MetricsSink* metrics = nullptr;
 };
 
 /// Analyze net.process(p_index) under the options. Never throws on budget
@@ -113,5 +118,13 @@ struct AnalyzeOptions {
 /// the report's status; only programmer errors propagate.
 AnalysisReport analyze(const Network& net, std::size_t p_index,
                        const AnalyzeOptions& opt = {});
+
+/// The versioned observability document emitted by `ccfsp_analyze
+/// --metrics-json` (schema_version, the full counter catalogue, the span
+/// tree, and — when `report` is non-null — the rung trace and verdict).
+/// The schema is a contract: docs/observability.md documents it and
+/// tests/integration/metrics_schema_test.cpp fails on drift.
+std::string observability_document_json(const metrics::Snapshot& snap,
+                                        const AnalysisReport* report);
 
 }  // namespace ccfsp

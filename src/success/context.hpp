@@ -4,8 +4,21 @@
 
 #include "algebra/compose.hpp"
 #include "network/network.hpp"
+#include "util/budget.hpp"
+#include "util/metrics.hpp"
 
 namespace ccfsp {
+
+/// The per-run ambient state the success-layer entry points thread through
+/// their helpers: the governing budget and the optional metrics sink.
+/// Counters and spans are recorded through the process-wide registry (hot
+/// code must not chase a pointer per event), so the sink here is the
+/// *destination* — the ScopedCollect wrapping the run snapshots into it —
+/// and carrying it in the context keeps ownership explicit end to end.
+struct AnalysisContext {
+  const Budget* budget = nullptr;
+  metrics::MetricsSink* metrics = nullptr;
+};
 
 /// Q = P_2 || P_3 || ... || P_m, folding every process except p_index.
 /// Symbols internal to the context are hidden by ||; symbols shared with P

@@ -12,6 +12,7 @@
 #include "fsp/action_index.hpp"
 #include "util/failpoint.hpp"
 #include "util/flat_interner.hpp"
+#include "util/metrics.hpp"
 
 namespace ccfsp {
 
@@ -252,6 +253,7 @@ GlobalMachine build_sequential(const Network& net, const Budget& budget,
   packer.pack(cur_tuple.data(), pscratch.data());
   arena.intern(pscratch.data(), zob.of_tuple(cur_tuple.data(), m));
   budget.charge(1, bytes_per_state, "build_global");
+  metrics::add(metrics::Counter::kGlobalStates);
 
   // Successors pass through a small FIFO ring: each emit snapshots the
   // packed key, prefetches its hash slot, and the intern happens K entries
@@ -279,7 +281,10 @@ GlobalMachine build_sequential(const Network& net, const Budget& budget,
   for (std::uint32_t cur = 0; cur < arena.size(); ++cur) {
     // Injection seam: per expanded state, NOT per edge — the disarmed check
     // must stay invisible on the phil:12 profile (bench_failpoint.cpp).
+    // Metrics follow the same rule: per-state deltas, never per-edge adds.
     failpoint::hit("global.intern_ring");
+    const std::size_t states_before = arena.size();
+    const std::size_t edges_before = g.edge_data.size();
     // Copy: the arena's packed block may reallocate as we intern successors.
     std::memcpy(pscratch.data(), arena[cur], W * sizeof(std::uint32_t));
     packer.unpack(pscratch.data(), cur_tuple.data());
@@ -307,6 +312,14 @@ GlobalMachine build_sequential(const Network& net, const Budget& budget,
                    });
     }
     g.edge_offsets.push_back(static_cast<std::uint32_t>(g.edge_data.size()));
+    if (metrics::enabled()) {
+      const std::uint64_t edge_delta = g.edge_data.size() - edges_before;
+      metrics::add(metrics::Counter::kGlobalStates, arena.size() - states_before);
+      metrics::add(metrics::Counter::kGlobalEdges, edge_delta);
+      // Every successor of this state went through the prefetch ring iff the
+      // network fit the ring's inline key storage.
+      if (W <= kRingMaxW) metrics::add(metrics::Counter::kGlobalRingInterns, edge_delta);
+    }
   }
   // Decode the packed arena into the public unpacked tuple block.
   const std::vector<std::uint32_t> packed = arena.release_data();
@@ -367,6 +380,7 @@ GlobalMachine build_parallel(const Network& net, const Budget& budget, unsigned 
   shards[init_shard].arena.intern(init_packed.data(), init_hash);
   shards[init_shard].runs.emplace_back();
   budget.charge(1, bytes_per_state, "build_global");
+  metrics::add(metrics::Counter::kGlobalStates);
 
   std::vector<std::uint64_t> frontier{provisional(init_shard, 0)};
   std::vector<StateId> frontier_tuples = init;        // |frontier| * m snapshot
@@ -428,6 +442,9 @@ GlobalMachine build_parallel(const Network& net, const Budget& budget, unsigned 
                          }
                        });
           run.count = static_cast<std::uint32_t>(edges.size()) - run.begin;
+          // Per expanded source, not per edge — same granularity rule as the
+          // sequential loop. Shard-local, so workers never contend.
+          metrics::add(metrics::Counter::kGlobalEdges, run.count);
           shards[src >> 32].runs[static_cast<std::uint32_t>(src)] = run;
           if (stop.load(std::memory_order_relaxed)) return;
         }
@@ -478,6 +495,11 @@ GlobalMachine build_parallel(const Network& net, const Budget& budget, unsigned 
                            budget.bytes_used());
     }
     states_total += fresh_total;
+    if (metrics::enabled()) {
+      metrics::add(metrics::Counter::kGlobalStates, fresh_total);
+      metrics::add(metrics::Counter::kGlobalLevels);
+      metrics::record_max(metrics::Counter::kGlobalFrontierPeak, n);
+    }
 
     // Collect the next frontier and snapshot its tuples (workers must never
     // read a shard arena another worker may be growing).
@@ -503,6 +525,7 @@ GlobalMachine build_parallel(const Network& net, const Budget& budget, unsigned 
   GlobalMachine g;
   g.width = m;
   g.levels_spawned = levels_spawned;
+  metrics::add(metrics::Counter::kGlobalLevelsSpawned, levels_spawned);
   g.tuple_data.reserve(states_total * m);
   g.edge_offsets.reserve(states_total + 1);
   g.edge_offsets.push_back(0);
@@ -568,6 +591,7 @@ std::vector<std::pair<std::uint32_t, std::uint32_t>> action_owner_table(
 }
 
 GlobalMachine build_global(const Network& net, const Budget& budget, unsigned threads) {
+  metrics::ScopedSpan span("build_global");
   if (net.size() > UINT16_MAX) {
     throw std::logic_error("build_global: networks past 65535 processes are unsupported");
   }
@@ -597,6 +621,7 @@ GlobalMachine build_global(const Network& net, std::size_t max_states) {
 }
 
 GlobalMachine build_global_reference(const Network& net, const Budget& budget) {
+  metrics::ScopedSpan span("build_global.reference");
   const std::size_t m = net.size();
   // Per interned tuple: the tuple vector itself, the interning map node,
   // and the (amortized) edge list headers.
@@ -662,6 +687,10 @@ GlobalMachine build_global_reference(const Network& net, const Budget& budget) {
     g.edge_data.insert(g.edge_data.end(), edges[s].begin(), edges[s].end());
     g.edge_offsets.push_back(static_cast<std::uint32_t>(g.edge_data.size()));
   }
+  // End-of-build totals: the oracle is not a hot path, and whole-build
+  // counts are what the flat-vs-reference identity tests compare.
+  metrics::add(metrics::Counter::kGlobalStates, tuples.size());
+  metrics::add(metrics::Counter::kGlobalEdges, g.edge_data.size());
   return g;
 }
 

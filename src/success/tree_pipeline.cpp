@@ -7,6 +7,7 @@
 #include "fsp/cache.hpp"
 #include "semantics/normal_form.hpp"
 #include "success/star.hpp"
+#include "util/metrics.hpp"
 
 namespace ccfsp {
 
@@ -90,6 +91,7 @@ Fsp reduce_subtree(const PipelineState& st, std::size_t part, std::size_t parent
 
 Theorem3Result theorem3_decide(const Network& net, std::size_t p_index,
                                const Theorem3Options& opt, const KTreePartition* partition) {
+  metrics::ScopedSpan span("theorem3");
   if (!net.all_acyclic()) {
     throw std::logic_error("theorem3_decide: Section 3 requires acyclic processes");
   }

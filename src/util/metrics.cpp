@@ -1,0 +1,283 @@
+#include "util/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <mutex>
+
+namespace ccfsp::metrics {
+
+namespace {
+
+struct CounterInfo {
+  const char* name;
+  Kind kind;
+};
+
+// Keep in catalogue order; the static_assert below catches a missing row.
+constexpr CounterInfo kCounterInfo[] = {
+    {"global.states", Kind::kSum},
+    {"global.edges", Kind::kSum},
+    {"global.levels", Kind::kSum},
+    {"global.levels_spawned", Kind::kSum},
+    {"global.frontier_peak", Kind::kMax},
+    {"global.ring_interns", Kind::kSum},
+    {"determinize.subsets", Kind::kSum},
+    {"determinize.closures", Kind::kSum},
+    {"determinize.closure_states", Kind::kSum},
+    {"refine.pops", Kind::kSum},
+    {"refine.splits", Kind::kSum},
+    {"refine.smaller_half", Kind::kSum},
+    {"refine.both_halves", Kind::kSum},
+    {"fsp_cache.builds", Kind::kSum},
+    {"fsp_cache.states", Kind::kSum},
+    {"nf_memo.lookups", Kind::kSum},
+    {"nf_memo.hits", Kind::kSum},
+    {"nf_memo.misses", Kind::kSum},
+    {"nf_memo.stores", Kind::kSum},
+    {"nf_memo.stored_bytes", Kind::kSum},
+    {"ladder.attempts", Kind::kSum},
+    {"ladder.decided", Kind::kSum},
+    {"ladder.unsupported", Kind::kSum},
+    {"ladder.budget_trips", Kind::kSum},
+    {"ladder.retries", Kind::kSum},
+    {"ladder.skips", Kind::kSum},
+};
+static_assert(sizeof(kCounterInfo) / sizeof(kCounterInfo[0]) == kNumCounters,
+              "counter catalogue table out of sync with the Counter enum");
+
+// One node of the live span tree. Nodes are allocated once, never move, and
+// are only ever freed at process exit (active trees, then graveyard), so a
+// ScopedSpan may safely write into its node even after a (contract-
+// violating) reset() raced with it. count/ns take real fetch_adds: distinct
+// threads walking the same span path share the node. Spans are coarse
+// (phases, not per-edge work), so this is off the hot path by construction.
+struct Node {
+  std::string name;
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> ns{0};
+  std::vector<std::unique_ptr<Node>> children;
+
+  explicit Node(std::string n) : name(std::move(n)) {}
+};
+
+// Per-thread counter shard. Only the owning thread writes (plain
+// load+store, relaxed — no lock prefix on the hot path); snapshot() and
+// reset() read/write it from other threads only under the registry mutex
+// while the owner is quiesced, and the atomics keep even contract
+// violations defined behaviour.
+struct Shard {
+  std::array<std::atomic<std::uint64_t>, kNumCounters> values{};
+};
+
+struct Registry {
+  std::mutex mu;
+  int enable_depth = 0;          // mirrors g_enabled, kept for invariants
+  int collect_depth = 0;         // nesting of ScopedCollect
+  std::uint64_t epoch = 0;       // bumped by reset(); invalidates cursors
+  std::vector<Shard*> live;      // shards of running threads (not owned)
+  std::array<std::uint64_t, kNumCounters> retired{};  // merged dead shards
+  std::unique_ptr<Node> root = std::make_unique<Node>("");
+  std::vector<std::unique_ptr<Node>> graveyard;  // trees displaced by reset()
+};
+
+// Leaked singleton: thread-exit hooks and late ScopedSpans may run during
+// static destruction, after a function-local static would have died.
+Registry& registry() {
+  static Registry* g = new Registry;
+  return *g;
+}
+
+void merge_into(std::array<std::uint64_t, kNumCounters>& out, const Shard& s) {
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    const std::uint64_t v = s.values[i].load(std::memory_order_relaxed);
+    if (kCounterInfo[i].kind == Kind::kMax) {
+      out[i] = std::max(out[i], v);
+    } else {
+      out[i] += v;
+    }
+  }
+}
+
+// Registers with the registry on first use, merges into the retired totals
+// on thread exit so counts from joined build_global workers survive them.
+struct ShardHandle {
+  Shard* shard;
+
+  ShardHandle() : shard(new Shard) {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.live.push_back(shard);
+  }
+  ~ShardHandle() {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    merge_into(r.retired, *shard);
+    r.live.erase(std::remove(r.live.begin(), r.live.end(), shard), r.live.end());
+    delete shard;
+  }
+};
+
+Shard& local_shard() {
+  thread_local ShardHandle handle;
+  return *handle.shard;
+}
+
+// Per-thread position in the span tree. The epoch check re-roots a thread
+// whose cached path was displaced into the graveyard by reset().
+struct SpanCursor {
+  std::uint64_t epoch = ~std::uint64_t{0};
+  std::vector<Node*> stack;
+};
+
+SpanCursor& local_cursor() {
+  thread_local SpanCursor cursor;
+  return cursor;
+}
+
+void copy_tree(const Node& from, SpanNode& to) {
+  to.name = from.name;
+  to.count = from.count.load(std::memory_order_relaxed);
+  to.total_ns = from.ns.load(std::memory_order_relaxed);
+  to.children.reserve(from.children.size());
+  for (const auto& child : from.children) {
+    copy_tree(*child, to.children.emplace_back());
+  }
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<int> g_enabled{0};
+
+void add_slow(Counter c, std::uint64_t delta) {
+  auto& v = local_shard().values[static_cast<std::size_t>(c)];
+  v.store(v.load(std::memory_order_relaxed) + delta, std::memory_order_relaxed);
+}
+
+void max_slow(Counter c, std::uint64_t value) {
+  auto& v = local_shard().values[static_cast<std::size_t>(c)];
+  if (v.load(std::memory_order_relaxed) < value) {
+    v.store(value, std::memory_order_relaxed);
+  }
+}
+
+void* span_begin_slow(const char* name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  SpanCursor& cursor = local_cursor();
+  if (cursor.epoch != r.epoch) {
+    cursor.stack.clear();
+    cursor.epoch = r.epoch;
+  }
+  Node* parent = cursor.stack.empty() ? r.root.get() : cursor.stack.back();
+  Node* node = nullptr;
+  for (const auto& child : parent->children) {
+    if (child->name == name) {
+      node = child.get();
+      break;
+    }
+  }
+  if (!node) {
+    node = parent->children.emplace_back(std::make_unique<Node>(name)).get();
+  }
+  cursor.stack.push_back(node);
+  return node;
+}
+
+void span_end_slow(void* opaque, std::uint64_t ns) {
+  Node* node = static_cast<Node*>(opaque);
+  node->count.fetch_add(1, std::memory_order_relaxed);
+  node->ns.fetch_add(ns, std::memory_order_relaxed);
+  SpanCursor& cursor = local_cursor();
+  // A reset() between begin and end cleared the cursor (epoch bump); the
+  // sample above still lands in the graveyarded node, we just don't pop.
+  if (!cursor.stack.empty() && cursor.stack.back() == node) {
+    cursor.stack.pop_back();
+  }
+}
+
+}  // namespace detail
+
+const char* name(Counter c) {
+  return kCounterInfo[static_cast<std::size_t>(c)].name;
+}
+
+Kind kind(Counter c) {
+  return kCounterInfo[static_cast<std::size_t>(c)].kind;
+}
+
+const std::vector<Counter>& execution_shape_counters() {
+  static const std::vector<Counter> kShape = {
+      Counter::kGlobalLevels,
+      Counter::kGlobalLevelsSpawned,
+      Counter::kGlobalFrontierPeak,
+      Counter::kGlobalRingInterns,
+  };
+  return kShape;
+}
+
+void enable() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  ++r.enable_depth;
+  detail::g_enabled.store(r.enable_depth, std::memory_order_relaxed);
+}
+
+void disable() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  assert(r.enable_depth > 0 && "disable() without matching enable()");
+  if (r.enable_depth > 0) --r.enable_depth;
+  detail::g_enabled.store(r.enable_depth, std::memory_order_relaxed);
+}
+
+void reset() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.retired.fill(0);
+  for (Shard* s : r.live) {
+    for (auto& v : s->values) v.store(0, std::memory_order_relaxed);
+  }
+  // Displace rather than destroy the old tree: a ScopedSpan opened before
+  // this reset still holds a pointer into it.
+  r.graveyard.push_back(std::move(r.root));
+  r.root = std::make_unique<Node>("");
+  ++r.epoch;
+}
+
+Snapshot snapshot() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  Snapshot snap;
+  snap.counters = r.retired;
+  for (const Shard* s : r.live) merge_into(snap.counters, *s);
+  copy_tree(*r.root, snap.spans);
+  return snap;
+}
+
+ScopedCollect::ScopedCollect(MetricsSink* sink) : sink_(sink) {
+  if (!sink_) return;
+  enable();
+  Registry& r = registry();
+  bool outermost = false;
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    outermost = r.collect_depth++ == 0;
+  }
+  if (outermost) reset();
+}
+
+ScopedCollect::~ScopedCollect() {
+  if (!sink_) return;
+  sink_->result = snapshot();
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    --r.collect_depth;
+  }
+  disable();
+}
+
+}  // namespace ccfsp::metrics

@@ -1,0 +1,218 @@
+// Always-on observability for the analysis engine: a fixed catalogue of
+// named monotonic counters and duration-accumulating phase spans, so every
+// decider run can explain *why* it was fast or slow — states interned,
+// subset closures built, refinement splits, cache hits, ladder rungs
+// attempted — instead of proving its complexity shape only through
+// end-to-end bench timings.
+//
+//   metrics::add(metrics::Counter::kGlobalStates, fresh);   // in engine code
+//   metrics::ScopedSpan span("build_global");               // phase timing
+//
+//   metrics::ScopedEnable on;                               // in a test
+//   run_something();
+//   metrics::Snapshot snap = metrics::snapshot();
+//   EXPECT_EQ(snap.value(metrics::Counter::kGlobalStates), 88);
+//
+// Like the failpoint sites next to which most of these live, the *disarmed*
+// path is engineered to stay off the profile: add() and ScopedSpan read one
+// relaxed atomic and return (bench/bench_metrics.cpp pins the cost on the
+// phil:12 flat build). When enabled, each thread writes its own shard —
+// single-writer relaxed atomics, no contention — and shards are merged on
+// read, so parallel build_global workers count correctly and a
+// --threads 1 / --threads 4 run reports identical semantic counters.
+//
+// Counters are *identities*, not vibes: tests assert flat and reference
+// build_global agree on states/edges, that nf_memo hits + misses equals
+// lookups, and so on (tests/integration/metrics_invariants_test.cpp). The
+// catalogue, span naming convention, and the JSON export schema are
+// documented in docs/observability.md.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ccfsp::metrics {
+
+/// The compiled-in counter catalogue. Names (see name()) are dotted
+/// lowercase, "<layer>.<what>"; add new counters here and to the tables in
+/// metrics.cpp and docs/observability.md — the golden-schema test fails on
+/// any drift between the three.
+enum class Counter : std::uint16_t {
+  // build_global (all build modes agree on states/edges; the rest describe
+  // execution shape and legitimately differ between modes — see
+  // kExecutionShapeCounters).
+  kGlobalStates,        // fresh global states interned
+  kGlobalEdges,         // global edges emitted
+  kGlobalLevels,        // parallel BFS levels processed
+  kGlobalLevelsSpawned, // levels that ran on a spawned thread pool
+  kGlobalFrontierPeak,  // largest BFS frontier (max, parallel path)
+  kGlobalRingInterns,   // successors interned through the prefetch ring
+  // annotated_determinize[_flat]
+  kDeterminizeSubsets,       // fresh DFA subsets interned
+  kDeterminizeClosures,      // tau closures computed (flat kernel, lazy)
+  kDeterminizeClosureStates, // total states pushed across those closures
+  // util/refine.cpp splitter-queue kernel
+  kRefinePops,        // splitter blocks popped off the queue
+  kRefineSplits,      // blocks split
+  kRefineSmallerHalf, // splits enqueued under Hopcroft's smaller-half rule
+  kRefineBothHalves,  // splits enqueued under Kanellakis-Smolka (both halves)
+  // fsp/cache.cpp
+  kFspCacheBuilds, // FspAnalysisCache constructions
+  kFspCacheStates, // states tabled across those builds
+  kNfMemoLookups,  // NormalFormMemo::find calls (== hits + misses)
+  kNfMemoHits,
+  kNfMemoMisses,
+  kNfMemoStores,      // blueprints actually stored (cap/duplicate stores excluded)
+  kNfMemoStoredBytes, // bytes those blueprints retain
+  // success/analyze.cpp decider ladder
+  kLadderAttempts,    // rung attempts (retries included)
+  kLadderDecided,     // attempts that returned an answer
+  kLadderUnsupported, // attempts rejected by a structural precondition
+  kLadderBudgetTrips, // attempts that hit a budget wall
+  kLadderRetries,     // escalated re-runs (attempt index >= 1)
+  kLadderSkips,       // rungs skipped because the budget was already spent
+  kNumCounters_,      // sentinel, not a counter
+};
+
+inline constexpr std::size_t kNumCounters = static_cast<std::size_t>(Counter::kNumCounters_);
+
+/// How a counter merges across shards and into the retired totals.
+enum class Kind { kSum, kMax };
+
+/// Stable dotted name ("global.states") / merge rule of a counter.
+const char* name(Counter c);
+Kind kind(Counter c);
+
+/// Counters that describe *how* a build executed rather than *what* it
+/// built — levels, spawn decisions, frontier shape, the prefetch ring.
+/// These legitimately differ between --threads 1 and --threads N (and
+/// between flat and reference builds); everything else must not. The
+/// invariant tests and docs/observability.md share this list.
+const std::vector<Counter>& execution_shape_counters();
+
+namespace detail {
+/// Nonzero while at least one enable() is outstanding; 0 is the fast path.
+extern std::atomic<int> g_enabled;
+void add_slow(Counter c, std::uint64_t delta);
+void max_slow(Counter c, std::uint64_t value);
+void* span_begin_slow(const char* name);
+void span_end_slow(void* node, std::uint64_t ns);
+}  // namespace detail
+
+/// True while collection is enabled. Hot code may hoist this check around a
+/// batch of add() calls; each add() also checks it, so hoisting is optional.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed) != 0;
+}
+
+/// Bump a monotonic counter. Disarmed cost: one relaxed load and a branch.
+inline void add(Counter c, std::uint64_t delta = 1) {
+  if (!enabled()) return;
+  detail::add_slow(c, delta);
+}
+
+/// Raise a kMax counter to at least `value` (no-op if already larger).
+inline void record_max(Counter c, std::uint64_t value) {
+  if (!enabled()) return;
+  detail::max_slow(c, value);
+}
+
+/// Turn collection on/off. Calls nest (enable twice, disable twice); the
+/// counters and span trees persist across disable so a caller can stop the
+/// world and then read. Not meant to race with instrumented work: callers
+/// enable before starting an analysis and read after it returns (or after
+/// joining its workers).
+void enable();
+void disable();
+
+/// Zero every counter and drop every span. Must not be called while a
+/// ScopedSpan is open or instrumented work is in flight on another thread;
+/// trees referenced by an open span survive in a graveyard (never freed
+/// mid-process) so misuse degrades to lost samples, not to dangling reads.
+void reset();
+
+/// One node of the merged phase-span tree: how many times the span ran and
+/// the wall time it accumulated, with children nested in call order.
+struct SpanNode {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::vector<SpanNode> children;
+};
+
+/// A merged point-in-time read of everything collected since reset():
+/// counter values in catalogue order plus the span tree (a synthetic
+/// unnamed root whose children are the top-level spans of every thread).
+struct Snapshot {
+  std::array<std::uint64_t, kNumCounters> counters{};
+  SpanNode spans;
+
+  std::uint64_t value(Counter c) const {
+    return counters[static_cast<std::size_t>(c)];
+  }
+};
+
+Snapshot snapshot();
+
+/// RAII phase span. Disarmed: one relaxed load per end. The name is copied
+/// on first use of each (parent, name) path, so temporaries are fine.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) {
+    if (!enabled()) return;
+    node_ = detail::span_begin_slow(name);
+    start_ = std::chrono::steady_clock::now();
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() {
+    if (!node_) return;
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+    detail::span_end_slow(node_, static_cast<std::uint64_t>(ns));
+  }
+
+ private:
+  void* node_ = nullptr;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+/// Where a run's metrics land when a caller asks for them: threaded through
+/// AnalysisContext / AnalyzeOptions, filled by the ScopedCollect that
+/// wrapped the run.
+struct MetricsSink {
+  Snapshot result;
+};
+
+/// RAII collection for one run: enables the registry (resetting it when
+/// this is the outermost collector) and stores the merged snapshot into the
+/// sink on destruction. A null sink makes the whole object a no-op, so
+/// callers can write `ScopedCollect c(opt.metrics);` unconditionally.
+class ScopedCollect {
+ public:
+  explicit ScopedCollect(MetricsSink* sink);
+  ScopedCollect(const ScopedCollect&) = delete;
+  ScopedCollect& operator=(const ScopedCollect&) = delete;
+  ~ScopedCollect();
+
+ private:
+  MetricsSink* sink_;
+};
+
+/// Test helper: enable + reset on construction, disable on destruction.
+struct ScopedEnable {
+  ScopedEnable() {
+    enable();
+    reset();
+  }
+  ScopedEnable(const ScopedEnable&) = delete;
+  ScopedEnable& operator=(const ScopedEnable&) = delete;
+  ~ScopedEnable() { disable(); }
+};
+
+}  // namespace ccfsp::metrics

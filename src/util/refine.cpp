@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/failpoint.hpp"
+#include "util/metrics.hpp"
 
 namespace ccfsp {
 
@@ -11,6 +12,7 @@ std::vector<std::uint32_t> refine_partition(std::uint32_t num_states,
                                             std::span<const std::uint32_t> edge_label,
                                             std::span<const std::uint32_t> edge_dst,
                                             std::vector<std::uint32_t> initial) {
+  metrics::ScopedSpan span("refine");
   const std::uint32_t n = num_states;
   const std::size_t m = edge_src.size();
   std::vector<std::uint32_t> cls(n);
@@ -104,6 +106,7 @@ std::vector<std::uint32_t> refine_partition(std::uint32_t num_states,
     queue.pop_back();
     in_queue[b] = 0;
     failpoint::hit("normal_form.refine");
+    metrics::add(metrics::Counter::kRefinePops);
 
     // Snapshot: the block may itself split while it acts as the splitter.
     members.assign(elems.begin() + blocks[b].begin, elems.begin() + blocks[b].end);
@@ -153,14 +156,18 @@ std::vector<std::uint32_t> refine_partition(std::uint32_t num_states,
         for (std::uint32_t at = blocks[d].begin; at < blocks[d].end; ++at) {
           block_of[elems[at]] = d;
         }
+        metrics::add(metrics::Counter::kRefineSplits);
         if (in_queue[c]) {
+          // Parent already queued: neither enqueue rule applies.
           in_queue[d] = 1;
           queue.push_back(d);
         } else if (deterministic) {
+          metrics::add(metrics::Counter::kRefineSmallerHalf);
           const std::uint32_t smaller = blocks[d].size() <= blocks[c].size() ? d : c;
           in_queue[smaller] = 1;
           queue.push_back(smaller);
         } else {
+          metrics::add(metrics::Counter::kRefineBothHalves);
           in_queue[c] = 1;
           queue.push_back(c);
           in_queue[d] = 1;

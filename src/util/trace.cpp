@@ -1,0 +1,112 @@
+#include "util/trace.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace ccfsp::metrics {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned char>(ch));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+}
+
+void append_span_json(std::string& out, const SpanNode& node) {
+  out += "{\"name\": \"";
+  append_escaped(out, node.name);
+  out += "\", \"count\": " + std::to_string(node.count);
+  out += ", \"total_ns\": " + std::to_string(node.total_ns);
+  out += ", \"children\": [";
+  for (std::size_t i = 0; i < node.children.size(); ++i) {
+    if (i) out += ", ";
+    append_span_json(out, node.children[i]);
+  }
+  out += "]}";
+}
+
+std::string format_duration(std::uint64_t ns) {
+  char buf[32];
+  if (ns < 10'000) {
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 "ns", ns);
+  } else if (ns < 10'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", static_cast<double>(ns) / 1e3);
+  } else if (ns < 10'000'000'000ull) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", static_cast<double>(ns) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", static_cast<double>(ns) / 1e9);
+  }
+  return buf;
+}
+
+void append_span_lines(std::string& out, const SpanNode& node, int depth) {
+  constexpr int kNameColumn = 40;
+  std::string line(static_cast<std::size_t>(depth) * 2, ' ');
+  line += node.name;
+  if (line.size() < kNameColumn) line.resize(kNameColumn, ' ');
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " %6" PRIu64 "x  %8s", node.count,
+                format_duration(node.total_ns).c_str());
+  line += buf;
+  out += line;
+  out += '\n';
+  for (const SpanNode& child : node.children) {
+    append_span_lines(out, child, depth + 1);
+  }
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  append_escaped(out, s);
+  return out;
+}
+
+std::string counters_json(const Snapshot& snap) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    if (i) out += ", ";
+    out += '"';
+    out += name(static_cast<Counter>(i));
+    out += "\": " + std::to_string(snap.counters[i]);
+  }
+  out += "}";
+  return out;
+}
+
+std::string span_tree_json(const Snapshot& snap) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < snap.spans.children.size(); ++i) {
+    if (i) out += ", ";
+    append_span_json(out, snap.spans.children[i]);
+  }
+  out += "]";
+  return out;
+}
+
+std::string render_span_tree(const Snapshot& snap) {
+  std::string out;
+  for (const SpanNode& top : snap.spans.children) {
+    append_span_lines(out, top, 0);
+  }
+  return out;
+}
+
+}  // namespace ccfsp::metrics

@@ -1,0 +1,35 @@
+// Rendering for metrics snapshots: JSON fragments for machine consumers
+// (the --metrics-json document, bench rows) and a human-readable span tree
+// for --trace. Lives in util so benches and tests can render counters
+// without linking the success layer; the full versioned document — schema
+// in docs/observability.md — is assembled by observability_document_json()
+// in src/success/analyze.hpp, which layers the analysis report on top of
+// these fragments.
+#pragma once
+
+#include <string>
+
+#include "util/metrics.hpp"
+
+namespace ccfsp::metrics {
+
+/// Escape a string for embedding in a JSON string literal (quotes,
+/// backslashes, control characters; no surrounding quotes added).
+std::string json_escape(const std::string& s);
+
+/// `{"global.states": 12, ...}` — every catalogued counter, zeros
+/// included, in catalogue order so the document is diffable.
+std::string counters_json(const Snapshot& snap);
+
+/// `[{"name": ..., "count": N, "total_ns": N, "children": [...]}, ...]` —
+/// the children of the synthetic root, i.e. the top-level spans.
+std::string span_tree_json(const Snapshot& snap);
+
+/// Human span tree for --trace, one node per line:
+///   build_global                 1x   12.3ms
+///     determinize.flat           4x    1.1ms
+/// Durations pick a unit per node (ns/us/ms/s). Returns "" when no spans
+/// were recorded.
+std::string render_span_tree(const Snapshot& snap);
+
+}  // namespace ccfsp::metrics

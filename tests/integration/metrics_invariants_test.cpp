@@ -1,0 +1,222 @@
+// The invariant layer over the metrics counters: they are machine-checkable
+// identities about what the engine did, not best-effort diagnostics.
+//   - flat and reference build_global report the same states/edges;
+//   - --threads 1 and --threads 4 report identical merged counters outside
+//     the documented execution-shape set (levels, spawn decisions, frontier
+//     shape, ring usage — those legitimately depend on how the build ran);
+//   - nf_memo satisfies hits + misses == lookups, and a memoized Theorem 3
+//     run on a self-similar family actually hits with unchanged decisions;
+//   - the ladder's rung trace is monotone: rungs in requested order,
+//     attempt indices contiguous from zero within each rung.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "network/families.hpp"
+#include "network/generate.hpp"
+#include "network/network.hpp"
+#include "success/analyze.hpp"
+#include "success/global.hpp"
+#include "success/tree_pipeline.hpp"
+#include "util/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace ccfsp {
+namespace {
+
+using metrics::Counter;
+using metrics::ScopedEnable;
+using metrics::Snapshot;
+
+Snapshot counters_of(const std::function<void()>& run) {
+  ScopedEnable on;
+  run();
+  return metrics::snapshot();
+}
+
+std::vector<Network> corpus() {
+  std::vector<Network> nets;
+  nets.push_back(dining_philosophers(5));
+  {
+    Rng rng(0x5eed);
+    nets.push_back(wave_tree_network(rng, 6, 3));
+  }
+  for (std::uint64_t seed : {11u, 23u}) {
+    Rng rng(seed);
+    NetworkGenOptions opt;
+    opt.num_processes = 3 + rng.below(3);
+    opt.states_per_process = 3 + rng.below(4);
+    opt.symbols_per_edge = 1 + rng.below(2);
+    opt.tau_probability = 0.15;
+    nets.push_back(random_tree_network(rng, opt));
+  }
+  return nets;
+}
+
+TEST(MetricsInvariants, FlatAndReferenceBuildsCountIdenticalStatesAndEdges) {
+  for (const Network& net : corpus()) {
+    Budget budget;
+    const Snapshot flat = counters_of([&] { build_global(net, budget, 1); });
+    const Snapshot ref = counters_of([&] { build_global_reference(net, budget); });
+    EXPECT_GT(flat.value(Counter::kGlobalStates), 0u);
+    EXPECT_EQ(flat.value(Counter::kGlobalStates), ref.value(Counter::kGlobalStates));
+    EXPECT_EQ(flat.value(Counter::kGlobalEdges), ref.value(Counter::kGlobalEdges));
+  }
+}
+
+TEST(MetricsInvariants, Threads1And4ReportIdenticalSemanticCounters) {
+  std::vector<bool> shape(metrics::kNumCounters, false);
+  for (Counter c : metrics::execution_shape_counters()) {
+    shape[static_cast<std::size_t>(c)] = true;
+  }
+  for (const Network& net : corpus()) {
+    Budget budget;
+    const Snapshot t1 = counters_of([&] { build_global(net, budget, 1); });
+    const Snapshot t4 = counters_of([&] { build_global(net, budget, 4); });
+    for (std::size_t i = 0; i < metrics::kNumCounters; ++i) {
+      if (shape[i]) continue;
+      EXPECT_EQ(t1.counters[i], t4.counters[i])
+          << metrics::name(static_cast<Counter>(i));
+    }
+  }
+}
+
+TEST(MetricsInvariants, LadderRunThreads1And4AgreeEndToEnd) {
+  // The same identity through the public entry point: a full analyze() run
+  // only differs between thread counts on the execution-shape counters.
+  const Network net = dining_philosophers(5);
+  std::vector<bool> shape(metrics::kNumCounters, false);
+  for (Counter c : metrics::execution_shape_counters()) {
+    shape[static_cast<std::size_t>(c)] = true;
+  }
+  metrics::MetricsSink s1, s4;
+  AnalyzeOptions o1, o4;
+  o1.threads = 1;
+  o1.metrics = &s1;
+  o4.threads = 4;
+  o4.metrics = &s4;
+  const AnalysisReport r1 = analyze(net, 0, o1);
+  const AnalysisReport r4 = analyze(net, 0, o4);
+  EXPECT_EQ(r1.status, r4.status);
+  for (std::size_t i = 0; i < metrics::kNumCounters; ++i) {
+    if (shape[i]) continue;
+    EXPECT_EQ(s1.result.counters[i], s4.result.counters[i])
+        << metrics::name(static_cast<Counter>(i));
+  }
+}
+
+TEST(MetricsInvariants, NfMemoHitsPlusMissesEqualsLookups) {
+  Rng rng(0x5eed);
+  const Network net = wave_tree_network(rng, 8, 3);
+  Theorem3Options opt;
+  opt.memoize = true;
+  Theorem3Result result;
+  const Snapshot snap = counters_of([&] { result = theorem3_decide(net, 0, opt); });
+  EXPECT_EQ(snap.value(Counter::kNfMemoLookups),
+            snap.value(Counter::kNfMemoHits) + snap.value(Counter::kNfMemoMisses));
+  // The counters agree with the pipeline's own bookkeeping.
+  EXPECT_EQ(snap.value(Counter::kNfMemoHits), result.memo_hits);
+  EXPECT_EQ(snap.value(Counter::kNfMemoMisses), result.memo_misses);
+}
+
+TEST(MetricsInvariants, MemoizedTheorem3HitsWithUnchangedDecisions) {
+  // The wave family is self-similar: the subtree memo must actually fire,
+  // and memoization must not change any decision.
+  Rng rng(0x5eed);
+  const Network net = wave_tree_network(rng, 8, 3);
+  Theorem3Options memoized, plain;
+  memoized.memoize = true;
+  plain.memoize = false;
+  Theorem3Result with_memo, without_memo;
+  const Snapshot snap =
+      counters_of([&] { with_memo = theorem3_decide(net, 0, memoized); });
+  const Snapshot snap_plain =
+      counters_of([&] { without_memo = theorem3_decide(net, 0, plain); });
+  EXPECT_GT(snap.value(Counter::kNfMemoHits), 0u);
+  EXPECT_EQ(snap_plain.value(Counter::kNfMemoLookups), 0u);
+  EXPECT_EQ(with_memo.unavoidable_success, without_memo.unavoidable_success);
+  EXPECT_EQ(with_memo.success_collab, without_memo.success_collab);
+  EXPECT_EQ(with_memo.success_adversity, without_memo.success_adversity);
+}
+
+TEST(MetricsInvariants, FspCacheAndRefineCountersFireOnTheHeuristicRung) {
+  const Network net = dining_philosophers(4);
+  metrics::MetricsSink sink;
+  AnalyzeOptions opt;
+  opt.metrics = &sink;
+  analyze(net, 0, opt);
+  EXPECT_GT(sink.result.value(Counter::kFspCacheBuilds), 0u);
+  EXPECT_GE(sink.result.value(Counter::kFspCacheStates),
+            sink.result.value(Counter::kFspCacheBuilds));
+  EXPECT_GT(sink.result.value(Counter::kRefinePops), 0u);
+  EXPECT_GE(sink.result.value(Counter::kRefinePops), sink.result.value(Counter::kRefineSplits));
+}
+
+TEST(MetricsInvariants, LadderTraceIsMonotoneInRungOrderWithContiguousAttempts) {
+  const std::vector<std::vector<Rung>> ladders = {
+      {},  // default ladder for the input's classification
+      {Rung::kLinear, Rung::kTree, Rung::kExplicit},
+      {Rung::kExplicit, Rung::kLinear},
+  };
+  Rng rng(7);
+  NetworkGenOptions gen;
+  gen.num_processes = 3;
+  gen.states_per_process = 4;
+  const Network net = random_tree_network(rng, gen);
+  for (const auto& requested : ladders) {
+    AnalyzeOptions opt;
+    opt.rungs = requested;
+    opt.retries = 2;
+    opt.budget.limit_states(40);  // small enough to force retries somewhere
+    const AnalysisReport report = analyze(net, 0, opt);
+
+    // Reconstruct the order rungs were tried in; it must be a subsequence
+    // of the requested (or default) ladder, each rung's attempts contiguous
+    // and increasing from zero.
+    std::vector<Rung> ladder = requested;
+    if (ladder.empty()) {
+      ladder = {Rung::kLinear, Rung::kTree, Rung::kExplicit};
+    }
+    std::size_t ladder_pos = 0;
+    std::size_t i = 0;
+    while (i < report.rungs.size()) {
+      const Rung rung = report.rungs[i].rung;
+      while (ladder_pos < ladder.size() && ladder[ladder_pos] != rung) ++ladder_pos;
+      ASSERT_LT(ladder_pos, ladder.size())
+          << "rung " << to_string(rung) << " out of ladder order";
+      unsigned expected_attempt = 0;
+      while (i < report.rungs.size() && report.rungs[i].rung == rung) {
+        EXPECT_EQ(report.rungs[i].attempt, expected_attempt) << to_string(rung);
+        ++expected_attempt;
+        ++i;
+      }
+      ++ladder_pos;
+    }
+  }
+}
+
+TEST(MetricsInvariants, LadderCountersMatchTheRungTrace) {
+  const Network net = dining_philosophers(4);
+  metrics::MetricsSink sink;
+  AnalyzeOptions opt;
+  opt.metrics = &sink;
+  const AnalysisReport report = analyze(net, 0, opt);
+  std::uint64_t decided = 0, unsupported = 0, trips = 0, retries = 0;
+  for (const RungOutcome& r : report.rungs) {
+    decided += r.status == OutcomeStatus::kDecided;
+    unsupported += r.status == OutcomeStatus::kUnsupported;
+    trips += r.status == OutcomeStatus::kBudgetExhausted;
+    retries += r.attempt >= 1;
+  }
+  EXPECT_EQ(sink.result.value(Counter::kLadderAttempts), report.rungs.size());
+  EXPECT_EQ(sink.result.value(Counter::kLadderDecided), decided);
+  EXPECT_EQ(sink.result.value(Counter::kLadderUnsupported), unsupported);
+  EXPECT_EQ(sink.result.value(Counter::kLadderBudgetTrips), trips);
+  EXPECT_EQ(sink.result.value(Counter::kLadderRetries), retries);
+}
+
+}  // namespace
+}  // namespace ccfsp

@@ -1,0 +1,173 @@
+// Golden-schema test for the observability document: the JSON emitted by
+// observability_document_json / `ccfsp_analyze --metrics-json` is a
+// versioned contract (docs/observability.md). This test parses a real
+// document, asserts every required key with its type, pins schema_version,
+// and *fails on unknown keys* so the format cannot drift silently —
+// whoever adds a field must bump/extend the schema here and in the docs.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "network/families.hpp"
+#include "success/analyze.hpp"
+#include "../support/mini_json.hpp"
+#include "util/metrics.hpp"
+
+namespace ccfsp {
+namespace {
+
+using testsupport::JsonValue;
+using testsupport::parse_json;
+
+void expect_only_keys(const JsonValue& obj, const std::set<std::string>& allowed,
+                      const char* where) {
+  ASSERT_TRUE(obj.is_object()) << where;
+  for (const auto& [key, value] : obj.object) {
+    EXPECT_TRUE(allowed.count(key)) << "unknown key '" << key << "' in " << where
+                                    << " — extend the schema (docs/observability.md) "
+                                       "and this test together";
+  }
+}
+
+void check_span_node(const JsonValue& node, int depth) {
+  ASSERT_LT(depth, 32) << "span tree too deep to be plausible";
+  expect_only_keys(node, {"name", "count", "total_ns", "children"}, "span node");
+  EXPECT_TRUE(node.at("name").is_string());
+  EXPECT_TRUE(node.at("count").is_number());
+  EXPECT_TRUE(node.at("total_ns").is_number());
+  ASSERT_TRUE(node.at("children").is_array());
+  for (const auto& child : node.at("children").array) check_span_node(*child, depth + 1);
+}
+
+void check_document(const std::string& text, bool expect_report) {
+  auto docp = parse_json(text);
+  const JsonValue& doc = *docp;
+  expect_only_keys(doc, {"schema_version", "counters", "spans", "report"}, "document");
+  ASSERT_TRUE(doc.has("schema_version"));
+  EXPECT_EQ(doc.at("schema_version").as_u64(), 1u);
+
+  // Counters: exactly the compiled-in catalogue — no more, no less — each a
+  // non-negative number. Zeros are emitted, so the key set never depends on
+  // the run.
+  ASSERT_TRUE(doc.has("counters"));
+  const JsonValue& counters = doc.at("counters");
+  ASSERT_TRUE(counters.is_object());
+  std::set<std::string> catalogue;
+  for (std::size_t i = 0; i < metrics::kNumCounters; ++i) {
+    catalogue.insert(metrics::name(static_cast<metrics::Counter>(i)));
+  }
+  expect_only_keys(counters, catalogue, "counters");
+  for (const std::string& name : catalogue) {
+    ASSERT_TRUE(counters.has(name)) << name;
+    EXPECT_TRUE(counters.at(name).is_number()) << name;
+  }
+
+  ASSERT_TRUE(doc.has("spans"));
+  ASSERT_TRUE(doc.at("spans").is_array());
+  for (const auto& top : doc.at("spans").array) check_span_node(*top, 0);
+
+  ASSERT_EQ(doc.has("report"), expect_report);
+  if (!expect_report) return;
+  const JsonValue& report = doc.at("report");
+  expect_only_keys(report, {"status", "cyclic_semantics", "decided_by", "verdict", "rungs"},
+                   "report");
+  EXPECT_TRUE(report.at("status").is_string());
+  EXPECT_TRUE(report.at("cyclic_semantics").is_bool());
+  if (report.has("decided_by")) {
+    EXPECT_TRUE(report.at("decided_by").is_string());
+  }
+
+  const JsonValue& verdict = report.at("verdict");
+  expect_only_keys(verdict,
+                   {"unavoidable_success", "success_collab", "success_adversity",
+                    "adversity_applicable"},
+                   "verdict");
+  for (const char* key : {"unavoidable_success", "success_collab", "success_adversity"}) {
+    ASSERT_TRUE(verdict.has(key)) << key;
+    EXPECT_TRUE(verdict.at(key).is_bool() || verdict.at(key).is_null()) << key;
+  }
+  EXPECT_TRUE(verdict.at("adversity_applicable").is_bool());
+
+  ASSERT_TRUE(report.at("rungs").is_array());
+  const std::set<std::string> rung_names = {"linear", "unary", "tree", "heuristic", "explicit"};
+  const std::set<std::string> statuses = {"decided", "budget-exhausted", "unsupported",
+                                          "invalid-input"};
+  const std::set<std::string> reasons = {"none", "deadline", "states", "bytes", "cancelled"};
+  for (const auto& rp : report.at("rungs").array) {
+    const JsonValue& rung = *rp;
+    expect_only_keys(rung, {"rung", "status", "attempt", "states_charged", "budget_reason",
+                            "detail"},
+                     "rung record");
+    EXPECT_TRUE(rung_names.count(rung.at("rung").string)) << rung.at("rung").string;
+    EXPECT_TRUE(statuses.count(rung.at("status").string)) << rung.at("status").string;
+    EXPECT_TRUE(rung.at("attempt").is_number());
+    EXPECT_TRUE(rung.at("states_charged").is_number());
+    EXPECT_TRUE(reasons.count(rung.at("budget_reason").string))
+        << rung.at("budget_reason").string;
+    EXPECT_TRUE(rung.at("detail").is_string());
+  }
+}
+
+AnalysisReport run_collected(const Network& net, metrics::MetricsSink& sink) {
+  AnalyzeOptions opt;
+  opt.metrics = &sink;
+  return analyze(net, 0, opt);
+}
+
+TEST(MetricsSchema, DocumentWithReportValidates) {
+  const Network net = dining_philosophers(4);
+  metrics::MetricsSink sink;
+  const AnalysisReport report = run_collected(net, sink);
+  check_document(observability_document_json(sink.result, &report), /*expect_report=*/true);
+}
+
+TEST(MetricsSchema, DocumentWithoutReportValidates) {
+  const Network net = dining_philosophers(3);
+  metrics::MetricsSink sink;
+  run_collected(net, sink);
+  check_document(observability_document_json(sink.result, nullptr), /*expect_report=*/false);
+}
+
+TEST(MetricsSchema, DetailStringsSurviveEscaping) {
+  // A rung detail with quotes/newlines must round-trip through the emitter
+  // and the parser — the emitter's escaping is part of the schema.
+  AnalysisReport report;
+  report.status = OutcomeStatus::kUnsupported;
+  RungOutcome r;
+  r.rung = Rung::kTree;
+  r.detail = "a \"quoted\" detail\nwith a newline\tand tab \\ backslash";
+  report.rungs.push_back(r);
+  metrics::MetricsSink sink;
+  const std::string doc = observability_document_json(sink.result, &report);
+  auto parsed = parse_json(doc);
+  EXPECT_EQ(parsed->at("report").at("rungs").array.at(0)->at("detail").string, r.detail);
+}
+
+#ifdef CCFSP_ANALYZE_BIN
+TEST(MetricsSchema, CliEmittedDocumentValidates) {
+  // End to end: drive the real binary exactly as a user would and validate
+  // the file it writes. This is the test the acceptance criterion names.
+  const std::string out_path =
+      ::testing::TempDir() + "/ccfsp_metrics_schema_test.json";
+  std::remove(out_path.c_str());
+  const std::string cmd = std::string(CCFSP_ANALYZE_BIN) +
+                          " --gen phil:4 --ladder --metrics-json " + out_path +
+                          " > /dev/null 2>&1";
+  const int rc = std::system(cmd.c_str());
+  ASSERT_EQ(rc, 0) << cmd;
+  std::ifstream in(out_path);
+  ASSERT_TRUE(in.good()) << out_path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  check_document(ss.str(), /*expect_report=*/true);
+  std::remove(out_path.c_str());
+}
+#endif
+
+}  // namespace
+}  // namespace ccfsp

@@ -6,11 +6,15 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdint>
+
 #include "network/families.hpp"
 #include "network/generate.hpp"
 #include "success/cyclic.hpp"
 #include "success/linear.hpp"
 #include "success/tree_pipeline.hpp"
+#include "util/failpoint.hpp"
 #include "util/rng.hpp"
 
 namespace ccfsp {
@@ -169,6 +173,84 @@ TEST(AnalyzeDeterminism, SameBudgetSameTrace) {
     opt.budget = Budget::with_states(1u << 12);
     expect_identical_reports(net, 0, opt);
   }
+}
+
+// The rung trace must never lose the budget dimension: every record whose
+// status is kBudgetExhausted — first attempts, escalated retries, and the
+// skip markers for rungs never started — carries the wall that tripped.
+TEST(AnalyzeBudgetReason, EveryEscalatedAttemptCarriesTheDimension) {
+  failpoint::ScopedDisarm guard;
+  failpoint::Spec s;
+  s.action = failpoint::Action::kThrowBudget;
+  s.dimension = failpoint::BudgetKind::kBytes;
+  s.trigger = failpoint::Trigger::kEveryK;
+  s.n = 1;  // every attempt trips
+  failpoint::arm("analyze.rung", s);
+
+  Network net = figure3_network();
+  AnalyzeOptions opt;
+  opt.rungs = {Rung::kTree};
+  opt.retries = 2;
+  AnalysisReport r = analyze(net, 0, opt);
+
+  ASSERT_EQ(r.rungs.size(), 3u);  // first try + two escalated retries
+  for (unsigned i = 0; i < 3; ++i) {
+    EXPECT_EQ(r.rungs[i].rung, Rung::kTree);
+    EXPECT_EQ(r.rungs[i].attempt, i);
+    EXPECT_EQ(r.rungs[i].status, OutcomeStatus::kBudgetExhausted);
+    EXPECT_EQ(r.rungs[i].budget_reason, BudgetDimension::kBytes) << "attempt " << i;
+  }
+  EXPECT_EQ(r.status, OutcomeStatus::kBudgetExhausted);
+}
+
+TEST(AnalyzeBudgetReason, SkipMarkerCarriesTheSpentDimension) {
+  // A cancellation mid-rung dooms every later rung; the pre-rung skip
+  // marker must say *which* wall was spent, like any other attempt record.
+  failpoint::ScopedDisarm guard;
+  CancelToken token;
+  failpoint::Spec s;
+  s.action = failpoint::Action::kCallback;
+  s.trigger = failpoint::Trigger::kOnHit;
+  s.n = 1;
+  s.callback = [token](const char*, std::uint64_t) {
+    token.cancel();
+    throw BudgetExceeded(BudgetDimension::kCancelled, "analyze.rung", 0, 0);
+  };
+  failpoint::arm("analyze.rung", s);
+
+  Network net = figure3_network();
+  AnalyzeOptions opt;
+  opt.budget.watch(token);
+  opt.rungs = {Rung::kTree, Rung::kExplicit};
+  AnalysisReport r = analyze(net, 0, opt);
+
+  ASSERT_EQ(r.rungs.size(), 2u);
+  EXPECT_EQ(r.rungs[0].rung, Rung::kTree);
+  EXPECT_EQ(r.rungs[0].budget_reason, BudgetDimension::kCancelled);
+  // The skip marker for the never-started explicit rung: this is the record
+  // that used to come out with budget_reason == kNone.
+  EXPECT_EQ(r.rungs[1].rung, Rung::kExplicit);
+  EXPECT_EQ(r.rungs[1].status, OutcomeStatus::kBudgetExhausted);
+  EXPECT_EQ(r.rungs[1].budget_reason, BudgetDimension::kCancelled);
+  EXPECT_EQ(r.rungs[1].states_charged, 0u);
+  for (const RungOutcome& ro : r.rungs) {
+    if (ro.status == OutcomeStatus::kBudgetExhausted) {
+      EXPECT_NE(ro.budget_reason, BudgetDimension::kNone);
+    }
+  }
+}
+
+TEST(AnalyzeBudgetReason, RealDeadlineSkipMarkerCarriesDeadline) {
+  // Same property without failpoints: an already-spent deadline makes the
+  // very first rung a skip marker carrying kDeadline.
+  Network net = figure3_network();
+  AnalyzeOptions opt;
+  opt.budget.limit_duration(std::chrono::milliseconds(0));
+  AnalysisReport r = analyze(net, 0, opt);
+  ASSERT_EQ(r.rungs.size(), 1u);
+  EXPECT_EQ(r.rungs[0].status, OutcomeStatus::kBudgetExhausted);
+  EXPECT_EQ(r.rungs[0].budget_reason, BudgetDimension::kDeadline);
+  EXPECT_EQ(r.status, OutcomeStatus::kBudgetExhausted);
 }
 
 }  // namespace

@@ -1,0 +1,219 @@
+// A tiny recursive-descent JSON reader for tests that must parse emitted
+// documents (the observability schema test, bench-row checks) without an
+// external dependency. Supports the subset the engine emits: objects,
+// arrays, strings with the escapes json_escape produces, integers, doubles,
+// true/false/null. Throws std::runtime_error with an offset on malformed
+// input — a test failure, never UB.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ccfsp::testsupport {
+
+struct JsonValue;
+using JsonPtr = std::shared_ptr<JsonValue>;
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonPtr> array;
+  // std::map: deterministic iteration for error messages and key listings.
+  std::map<std::string, JsonPtr> object;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_bool() const { return type == Type::kBool; }
+  bool is_null() const { return type == Type::kNull; }
+
+  bool has(const std::string& key) const { return object.count(key) != 0; }
+  const JsonValue& at(const std::string& key) const {
+    auto it = object.find(key);
+    if (it == object.end()) throw std::runtime_error("missing key: " + key);
+    return *it->second;
+  }
+  std::uint64_t as_u64() const {
+    if (!is_number() || number < 0) throw std::runtime_error("not a non-negative number");
+    return static_cast<std::uint64_t>(number);
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonPtr parse() {
+    JsonPtr v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+
+  [[noreturn]] void fail(const std::string& why) {
+    throw std::runtime_error("json parse error at offset " + std::to_string(pos_) + ": " + why);
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  JsonPtr value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') {
+      auto v = std::make_shared<JsonValue>();
+      v->type = JsonValue::Type::kString;
+      v->string = string();
+      return v;
+    }
+    if (c == 't' || c == 'f') return keyword(c == 't' ? "true" : "false", c == 't');
+    if (c == 'n') {
+      match("null");
+      return std::make_shared<JsonValue>();
+    }
+    return number();
+  }
+
+  void match(const char* word) {
+    for (const char* p = word; *p; ++p) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) fail(std::string("expected ") + word);
+      ++pos_;
+    }
+  }
+  JsonPtr keyword(const char* word, bool val) {
+    match(word);
+    auto v = std::make_shared<JsonValue>();
+    v->type = JsonValue::Type::kBool;
+    v->boolean = val;
+    return v;
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("dangling escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("short \\u escape");
+          unsigned code = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // The emitters only escape control characters; keep it simple.
+          if (code > 0x7f) fail("non-ascii \\u escape unsupported by mini_json");
+          out += static_cast<char>(code);
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  JsonPtr number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    while (pos_ < text_.size() &&
+           ((text_[pos_] >= '0' && text_[pos_] <= '9') || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    auto v = std::make_shared<JsonValue>();
+    v->type = JsonValue::Type::kNumber;
+    try {
+      v->number = std::stod(text_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      fail("bad number");
+    }
+    return v;
+  }
+
+  JsonPtr array() {
+    expect('[');
+    auto v = std::make_shared<JsonValue>();
+    v->type = JsonValue::Type::kArray;
+    skip_ws();
+    if (consume(']')) return v;
+    while (true) {
+      v->array.push_back(value());
+      skip_ws();
+      if (consume(']')) return v;
+      expect(',');
+    }
+  }
+
+  JsonPtr object() {
+    expect('{');
+    auto v = std::make_shared<JsonValue>();
+    v->type = JsonValue::Type::kObject;
+    skip_ws();
+    if (consume('}')) return v;
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      v->object[key] = value();
+      skip_ws();
+      if (consume('}')) return v;
+      expect(',');
+    }
+  }
+};
+
+inline JsonPtr parse_json(const std::string& text) { return JsonParser(text).parse(); }
+
+}  // namespace ccfsp::testsupport

@@ -1,0 +1,236 @@
+// The metrics subsystem's own contract: the disarmed fast path records
+// nothing, enable/disable nest, counters merge across threads with
+// per-kind rules (sum vs max), thread exit retires a shard without losing
+// its counts, spans nest into a tree keyed by (parent, name), and reset
+// survives an open span (lost sample, no crash).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
+namespace ccfsp {
+namespace {
+
+using metrics::Counter;
+using metrics::ScopedEnable;
+using metrics::Snapshot;
+
+TEST(Metrics, DisarmedAddRecordsNothing) {
+  ASSERT_FALSE(metrics::enabled());
+  metrics::add(Counter::kGlobalStates, 100);
+  metrics::record_max(Counter::kGlobalFrontierPeak, 100);
+  {
+    metrics::ScopedSpan span("never");
+  }
+  ScopedEnable on;  // resets, so anything recorded above would have been lost anyway
+  const Snapshot snap = metrics::snapshot();
+  EXPECT_EQ(snap.value(Counter::kGlobalStates), 0u);
+  EXPECT_TRUE(snap.spans.children.empty());
+}
+
+TEST(Metrics, AddAccumulatesAndSnapshotReads) {
+  ScopedEnable on;
+  metrics::add(Counter::kGlobalStates);
+  metrics::add(Counter::kGlobalStates, 9);
+  metrics::add(Counter::kGlobalEdges, 3);
+  const Snapshot snap = metrics::snapshot();
+  EXPECT_EQ(snap.value(Counter::kGlobalStates), 10u);
+  EXPECT_EQ(snap.value(Counter::kGlobalEdges), 3u);
+  EXPECT_EQ(snap.value(Counter::kRefinePops), 0u);
+}
+
+TEST(Metrics, RecordMaxKeepsTheLargest) {
+  ScopedEnable on;
+  metrics::record_max(Counter::kGlobalFrontierPeak, 5);
+  metrics::record_max(Counter::kGlobalFrontierPeak, 17);
+  metrics::record_max(Counter::kGlobalFrontierPeak, 9);
+  EXPECT_EQ(metrics::snapshot().value(Counter::kGlobalFrontierPeak), 17u);
+}
+
+TEST(Metrics, EnableNests) {
+  metrics::enable();
+  metrics::enable();
+  metrics::disable();
+  EXPECT_TRUE(metrics::enabled());
+  metrics::disable();
+  EXPECT_FALSE(metrics::enabled());
+}
+
+TEST(Metrics, ResetZeroesEverything) {
+  ScopedEnable on;
+  metrics::add(Counter::kRefinePops, 7);
+  metrics::record_max(Counter::kGlobalFrontierPeak, 7);
+  {
+    metrics::ScopedSpan span("phase");
+  }
+  metrics::reset();
+  const Snapshot snap = metrics::snapshot();
+  EXPECT_EQ(snap.value(Counter::kRefinePops), 0u);
+  EXPECT_EQ(snap.value(Counter::kGlobalFrontierPeak), 0u);
+  EXPECT_TRUE(snap.spans.children.empty());
+}
+
+TEST(Metrics, ThreadsMergeByKind) {
+  ScopedEnable on;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < 4; ++t) {
+    pool.emplace_back([t] {
+      metrics::add(Counter::kGlobalEdges, 10);
+      metrics::record_max(Counter::kGlobalFrontierPeak, static_cast<std::uint64_t>(t + 1));
+    });
+  }
+  for (auto& t : pool) t.join();
+  // The workers have exited: their shards retired into the registry totals.
+  const Snapshot snap = metrics::snapshot();
+  EXPECT_EQ(snap.value(Counter::kGlobalEdges), 40u);  // sum-kind: added
+  EXPECT_EQ(snap.value(Counter::kGlobalFrontierPeak), 4u);  // max-kind: max
+}
+
+TEST(Metrics, LiveThreadCountsAreVisibleBeforeExit) {
+  ScopedEnable on;
+  std::atomic<bool> counted{false}, release{false};
+  std::thread worker([&] {
+    metrics::add(Counter::kGlobalStates, 21);
+    counted.store(true);
+    while (!release.load()) std::this_thread::yield();
+  });
+  while (!counted.load()) std::this_thread::yield();
+  EXPECT_EQ(metrics::snapshot().value(Counter::kGlobalStates), 21u);
+  release.store(true);
+  worker.join();
+}
+
+TEST(Metrics, SpansNestByPath) {
+  ScopedEnable on;
+  {
+    metrics::ScopedSpan outer("outer");
+    {
+      metrics::ScopedSpan inner("inner");
+    }
+    {
+      metrics::ScopedSpan inner("inner");
+    }
+  }
+  {
+    metrics::ScopedSpan outer("outer");
+  }
+  const Snapshot snap = metrics::snapshot();
+  ASSERT_EQ(snap.spans.children.size(), 1u);
+  const metrics::SpanNode& outer = snap.spans.children[0];
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(outer.count, 2u);
+  ASSERT_EQ(outer.children.size(), 1u);
+  EXPECT_EQ(outer.children[0].name, "inner");
+  EXPECT_EQ(outer.children[0].count, 2u);
+}
+
+TEST(Metrics, ResetUnderAnOpenSpanLosesOnlyTheSample) {
+  ScopedEnable on;
+  {
+    metrics::ScopedSpan outer("outer");
+    metrics::reset();  // contract violation by design: must not crash
+    {
+      metrics::ScopedSpan fresh("fresh");
+    }
+  }
+  // The pre-reset "outer" tree went to the graveyard; "fresh" opened after
+  // the reset re-rooted the thread, so it is a top-level span now.
+  const Snapshot snap = metrics::snapshot();
+  ASSERT_EQ(snap.spans.children.size(), 1u);
+  EXPECT_EQ(snap.spans.children[0].name, "fresh");
+}
+
+TEST(Metrics, ScopedCollectFillsTheSinkAndDisables) {
+  metrics::MetricsSink sink;
+  {
+    metrics::ScopedCollect collect(&sink);
+    EXPECT_TRUE(metrics::enabled());
+    metrics::add(Counter::kLadderAttempts, 2);
+  }
+  EXPECT_FALSE(metrics::enabled());
+  EXPECT_EQ(sink.result.value(Counter::kLadderAttempts), 2u);
+}
+
+TEST(Metrics, NullSinkScopedCollectIsANoop) {
+  metrics::ScopedCollect collect(nullptr);
+  EXPECT_FALSE(metrics::enabled());
+}
+
+TEST(Metrics, OutermostCollectResetsNestedDoesNot) {
+  metrics::MetricsSink outer_sink, inner_sink;
+  {
+    metrics::ScopedCollect outer(&outer_sink);
+    metrics::add(Counter::kLadderAttempts);
+    {
+      metrics::ScopedCollect inner(&inner_sink);
+      metrics::add(Counter::kLadderAttempts);
+    }
+  }
+  // The nested collector must not have wiped the outer run's counts.
+  EXPECT_EQ(inner_sink.result.value(Counter::kLadderAttempts), 2u);
+  EXPECT_EQ(outer_sink.result.value(Counter::kLadderAttempts), 2u);
+}
+
+TEST(Metrics, CatalogueNamesAreDottedAndUnique) {
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < metrics::kNumCounters; ++i) {
+    names.emplace_back(metrics::name(static_cast<Counter>(i)));
+  }
+  for (const std::string& n : names) {
+    EXPECT_NE(n.find('.'), std::string::npos) << n;
+    for (char c : n) {
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || c == '.' || c == '_') << n;
+    }
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::adjacent_find(names.begin(), names.end()), names.end());
+}
+
+TEST(Metrics, ExecutionShapeCountersAreCatalogued) {
+  for (Counter c : metrics::execution_shape_counters()) {
+    EXPECT_LT(static_cast<std::size_t>(c), metrics::kNumCounters);
+  }
+  EXPECT_FALSE(metrics::execution_shape_counters().empty());
+}
+
+TEST(Trace, CountersJsonListsEveryCounterInOrder) {
+  ScopedEnable on;
+  metrics::add(Counter::kGlobalStates, 5);
+  const std::string json = metrics::counters_json(metrics::snapshot());
+  EXPECT_NE(json.find("\"global.states\": 5"), std::string::npos);
+  // Zeros are included: the document shape never depends on the run.
+  EXPECT_NE(json.find("\"ladder.skips\": 0"), std::string::npos);
+  for (std::size_t i = 0; i < metrics::kNumCounters; ++i) {
+    EXPECT_NE(json.find(std::string("\"") + metrics::name(static_cast<Counter>(i)) + "\""),
+              std::string::npos);
+  }
+}
+
+TEST(Trace, SpanTreeJsonAndRenderAgreeOnStructure) {
+  ScopedEnable on;
+  {
+    metrics::ScopedSpan outer("build");
+    metrics::ScopedSpan inner("refine");
+  }
+  const Snapshot snap = metrics::snapshot();
+  const std::string json = metrics::span_tree_json(snap);
+  EXPECT_NE(json.find("\"name\": \"build\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"refine\""), std::string::npos);
+  const std::string tree = metrics::render_span_tree(snap);
+  EXPECT_NE(tree.find("build"), std::string::npos);
+  EXPECT_NE(tree.find("  refine"), std::string::npos);  // indented child
+}
+
+TEST(Trace, JsonEscapeHandlesQuotesAndControls) {
+  EXPECT_EQ(metrics::json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(metrics::json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+}  // namespace
+}  // namespace ccfsp
