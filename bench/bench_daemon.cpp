@@ -1,0 +1,241 @@
+// ccfspd load benchmark: an in-process daemon on an ephemeral loopback
+// port, hammered by blocking clients at three offered-load tiers —
+//
+//   light      fewer clients than workers: nothing queues, nothing sheds
+//   saturated  clients ≈ workers + queue: the queue runs full and bursty
+//              arrival already sheds a fraction of requests
+//   overload   clients >> admission capacity: backpressure must engage
+//
+// Every request is a distinct payload (a --max-states serial number keys it
+// past the result cache), so the numbers measure the service path — admis-
+// sion, worker dispatch, analysis, framing — not a cache loop. Emits
+// machine-readable JSON (BENCH_daemon.json by default) with throughput,
+// p50/p99 latency of *completed* requests, and the shed rate per tier.
+//
+//   bench_daemon [--quick] [--out PATH] [--check BASELINE.json]
+//
+// --check enforces the overload contract, machine-independently:
+//   - the light tier must not shed (admission control mis-sheds otherwise);
+//   - the overload tier must shed (backpressure engages; a daemon that
+//     queues unboundedly instead would pass a latency gate and fail here);
+//   - the within-run ratio overload_p99_ms / light_p50_ms — how much an
+//     accepted request's tail degrades under overload — must stay within
+//     3x of the committed baseline's ratio. Bounded degradation is the
+//     graceful part of graceful degradation.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/client.hpp"
+#include "server/daemon.hpp"
+#include "server/service.hpp"
+
+using namespace ccfsp::server;
+
+namespace {
+
+constexpr const char* kModel =
+    "process P { start p1; p1 -a-> p2; p2 -b-> p3; }\n"
+    "process Q { start q1; q1 -a-> q2; q2 -c-> q3; }\n"
+    "process R { start r1; r1 -b-> r2; r2 -c-> r3; }\n";
+
+struct TierResult {
+  const char* name;
+  unsigned clients = 0;
+  std::uint64_t requests = 0;   // offered
+  std::uint64_t completed = 0;  // replied with an analysis outcome
+  std::uint64_t shed = 0;       // replied kOverloaded
+  double elapsed_ms = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+
+  double throughput_rps() const {
+    return elapsed_ms > 0 ? completed * 1000.0 / elapsed_ms : 0;
+  }
+  double shed_rate() const {
+    return requests > 0 ? static_cast<double>(shed) / requests : 0;
+  }
+};
+
+TierResult run_tier(const char* name, std::uint16_t port, unsigned clients,
+                    std::uint64_t per_client, std::uint64_t serial_base) {
+  TierResult result;
+  result.name = name;
+  result.clients = clients;
+  result.requests = clients * per_client;
+
+  std::vector<std::vector<double>> latencies(clients);
+  std::atomic<std::uint64_t> completed{0}, shed{0};
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (unsigned c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      BlockingClient client;
+      if (!client.connect("127.0.0.1", port)) return;
+      latencies[c].reserve(per_client);
+      for (std::uint64_t i = 0; i < per_client; ++i) {
+        const std::uint64_t serial = serial_base + c * per_client + i;
+        const std::string payload =
+            "ANALYZE --max-states " + std::to_string(1000000 + serial) + "\n" + kModel;
+        const auto r0 = std::chrono::steady_clock::now();
+        if (!client.send_frame(payload)) return;
+        std::string reply;
+        if (!client.recv_frame(reply, 30000)) return;
+        const double ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - r0)
+                              .count();
+        if (reply.find("\"code\": \"overloaded\"") != std::string::npos) {
+          shed.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          completed.fetch_add(1, std::memory_order_relaxed);
+          latencies[c].push_back(ms);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  result.elapsed_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+          .count();
+  result.completed = completed.load();
+  result.shed = shed.load();
+
+  std::vector<double> all;
+  for (auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  if (!all.empty()) {
+    result.p50_ms = all[all.size() / 2];
+    result.p99_ms = all[std::min(all.size() - 1, all.size() * 99 / 100)];
+  }
+  return result;
+}
+
+struct Baseline {
+  double light_p50_ms = 0;
+  double overload_p99_ms = 0;
+};
+
+/// Minimal scanner for the JSON this tool itself writes.
+bool load_baseline(const std::string& path, Baseline* out) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (!f) return false;
+  char line[256];
+  bool have_p50 = false, have_p99 = false;
+  while (std::fgets(line, sizeof line, f)) {
+    have_p50 |= std::sscanf(line, " \"light_p50_ms\": %lf", &out->light_p50_ms) == 1;
+    have_p99 |= std::sscanf(line, " \"overload_p99_ms\": %lf", &out->overload_p99_ms) == 1;
+  }
+  std::fclose(f);
+  return have_p50 && have_p99;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_daemon.json";
+  std::string check_path;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--quick")) {
+      quick = true;
+    } else if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--check") && i + 1 < argc) {
+      check_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out PATH] [--check BASELINE.json]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  // Fixed service shape so the tiers mean the same thing on every machine:
+  // 4 workers + a 16-deep queue admit at most 20 concurrent requests.
+  ServiceConfig scfg;
+  scfg.workers = 4;
+  scfg.queue_capacity = 16;
+  AnalysisService service(scfg);
+  service.start();
+  Daemon daemon(DaemonConfig{}, service);
+  std::string error;
+  if (!daemon.start(&error)) {
+    std::fprintf(stderr, "daemon start failed: %s\n", error.c_str());
+    return 1;
+  }
+  const std::uint16_t port = daemon.port();
+
+  const std::uint64_t per_client = quick ? 40 : 150;
+  // One blocking request in flight per client: 2 clients cannot queue
+  // behind 4 workers; 20 exactly fill admission; 48 must shed.
+  TierResult tiers[3] = {
+      run_tier("light", port, 2, per_client, 0),
+      run_tier("saturated", port, 20, per_client, 1u << 20),
+      run_tier("overload", port, 48, per_client, 1u << 21),
+  };
+  daemon.drain();
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::string doc = "{\n  \"bench\": \"daemon\",\n  \"workers\": 4,\n  \"queue\": 16,\n";
+  char buf[512];
+  for (const TierResult& t : tiers) {
+    std::snprintf(buf, sizeof buf,
+                  "  \"%s_clients\": %u,\n"
+                  "  \"%s_requests\": %llu,\n"
+                  "  \"%s_throughput_rps\": %.1f,\n"
+                  "  \"%s_p50_ms\": %.3f,\n"
+                  "  \"%s_p99_ms\": %.3f,\n"
+                  "  \"%s_shed_rate\": %.4f,\n",
+                  t.name, t.clients, t.name, static_cast<unsigned long long>(t.requests),
+                  t.name, t.throughput_rps(), t.name, t.p50_ms, t.name, t.p99_ms, t.name,
+                  t.shed_rate());
+    doc += buf;
+  }
+  std::snprintf(buf, sizeof buf, "  \"quick\": %s\n}\n", quick ? "true" : "false");
+  doc += buf;
+  std::fputs(doc.c_str(), out);
+  std::fclose(out);
+  std::fputs(doc.c_str(), stderr);
+
+  if (!check_path.empty()) {
+    bool ok = true;
+    if (tiers[0].shed > 0) {
+      std::fprintf(stderr, "check: light tier shed %llu requests (must be 0)\n",
+                   static_cast<unsigned long long>(tiers[0].shed));
+      ok = false;
+    }
+    if (tiers[2].shed == 0) {
+      std::fprintf(stderr, "check: overload tier shed nothing — backpressure disengaged\n");
+      ok = false;
+    }
+    Baseline committed;
+    if (!load_baseline(check_path, &committed)) {
+      std::fprintf(stderr, "cannot read baseline %s\n", check_path.c_str());
+      return 2;
+    }
+    const double now =
+        tiers[0].p50_ms > 0 ? tiers[2].p99_ms / tiers[0].p50_ms : 0;
+    const double then = committed.light_p50_ms > 0
+                            ? committed.overload_p99_ms / committed.light_p50_ms
+                            : 0;
+    const double regression = then > 0 ? now / then : 0;
+    std::fprintf(stderr, "check: overload_p99/light_p50=%.2f committed=%.2f ratio=%.2f%s\n",
+                 now, then, regression, regression > 3.0 ? "  REGRESSION" : "");
+    if (regression > 3.0) ok = false;
+    if (!ok) {
+      std::fprintf(stderr, "check: daemon degradation contract violated vs %s\n",
+                   check_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "check: within bounds of %s\n", check_path.c_str());
+  }
+  return 0;
+}

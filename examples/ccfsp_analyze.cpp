@@ -38,11 +38,21 @@
 //                            (see docs/robustness.md §6 for the grammar)
 //
 //   Exit codes: 0 decided, 1 internal error, 2 usage, 3 budget exhausted
-//   (including out-of-memory), 4 invalid input (parse/validation errors).
+//   (including out-of-memory and interruption), 4 invalid input
+//   (parse/validation errors).
+//
+//   SIGINT/SIGTERM set a cooperative cancel flag watched by the governed
+//   ladder's budget: the in-flight analysis unwinds at its next poll, the
+//   run reports budget-exhausted (cancelled) for the interrupted rung, and
+//   the process exits 3 with a complete, well-formed report instead of
+//   dying mid-write. A second signal restores default disposition (so a
+//   third kills the process outright if the unwind itself is stuck).
 //
 // Example specification (see models/*.ccfsp for a library):
 //   process P { start p1; p1 -a-> p2; }
 //   process Q { start q1; q1 -a-> q2; q1 -tau-> q3; }
+#include <signal.h>
+
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -77,6 +87,26 @@ enum ExitCode {
   kExitBudget = 3,
   kExitInvalid = 4,
 };
+
+// The interruption token: watched by the ladder budget, cancelled by the
+// signal handler. CancelToken's flag is a lock-free atomic store, which is
+// all a handler may touch.
+CancelToken g_interrupt;
+
+void on_interrupt(int) {
+  g_interrupt.cancel();
+  // One cooperative chance: the next SIGINT/SIGTERM takes the default path.
+  ::signal(SIGINT, SIG_DFL);
+  ::signal(SIGTERM, SIG_DFL);
+}
+
+void install_interrupt_handlers() {
+  struct sigaction sa{};
+  sa.sa_handler = on_interrupt;
+  sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
@@ -345,6 +375,8 @@ int main(int argc, char** argv) {
 
     if (ladder) {
       AnalyzeOptions opt;
+      install_interrupt_handlers();
+      opt.budget.watch(g_interrupt);
       opt.threads = static_cast<unsigned>(threads);
       opt.retries = static_cast<unsigned>(retries);
       if (timeout_ms > 0) {

@@ -1,0 +1,177 @@
+// ccfspd — the long-lived analysis daemon: a fault-contained service
+// wrapping the decider ladder behind a length-prefixed socket protocol
+// (see src/server/protocol.hpp), with admission control, load shedding,
+// per-request budget isolation, watchdogged connections, shared
+// charge-equivalent engine caches, and graceful drain on SIGTERM/SIGINT.
+//
+//   ccfspd [options]
+//     --host ADDR            bind address (default 127.0.0.1)
+//     --port N               port (default 0 = pick one; printed on stdout)
+//     --workers N            analysis worker threads (default 4)
+//     --queue N              admission queue capacity (default 64)
+//     --timeout-ms N         default per-request wall-clock budget (2000)
+//     --max-timeout-ms N     ceiling a request's own --timeout-ms clamps to
+//     --max-states N         per-rung state cap (default 2^22)
+//     --max-frame-bytes N    request frame size limit (default 1 MiB)
+//     --read-timeout-ms N    idle-connection watchdog (default 5000)
+//     --write-timeout-ms N   slow-client cumulative write budget (2000)
+//     --wedge-grace-ms N     supervisor escalation grace (default 500)
+//     --failpoints SPEC      arm failpoints (grammar: docs/robustness.md);
+//                            CCFSP_FAILPOINTS is read additionally
+//
+// On successful startup prints exactly one line to stdout:
+//   ccfspd listening on HOST:PORT
+// and serves until SIGTERM or SIGINT, then drains (stop accepting, cancel
+// in-flight work cooperatively, flush every reply) and exits 0. A second
+// signal during drain restores default disposition, so a third kills the
+// process the classic way. Exit codes: 0 clean drain, 1 internal error,
+// 2 usage.
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "server/daemon.hpp"
+#include "server/service.hpp"
+#include "util/failpoint.hpp"
+
+using namespace ccfsp;
+
+namespace {
+
+// Self-pipe: the handler only writes one byte; all real shutdown work runs
+// on the main thread, which is parked on the read end.
+int g_signal_pipe[2] = {-1, -1};
+
+void on_signal(int) {
+  const char byte = 1;
+  // Best-effort: a full pipe means a signal is already pending.
+  [[maybe_unused]] ssize_t rc = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+bool parse_count(const char* s, long& out) {
+  if (!s || !*s) return false;
+  char* end = nullptr;
+  errno = 0;
+  long v = std::strtol(s, &end, 10);
+  if (errno != 0 || *end != '\0' || v < 0) return false;
+  out = v;
+  return true;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--host ADDR] [--port N] [--workers N] [--queue N]\n"
+               "          [--timeout-ms N] [--max-timeout-ms N] [--max-states N]\n"
+               "          [--max-frame-bytes N] [--read-timeout-ms N]\n"
+               "          [--write-timeout-ms N] [--wedge-grace-ms N]\n"
+               "          [--failpoints SPEC]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  server::ServiceConfig service_cfg;
+  server::DaemonConfig daemon_cfg;
+  std::string failpoints_spec;
+
+  for (int i = 1; i < argc; ++i) {
+    long v = 0;
+    auto num = [&](const char* flag) -> bool {
+      if (std::strcmp(argv[i], flag) != 0 || i + 1 >= argc) return false;
+      if (!parse_count(argv[++i], v)) {
+        std::fprintf(stderr, "%s expects a non-negative integer, got '%s'\n", flag, argv[i]);
+        std::exit(2);
+      }
+      return true;
+    };
+    if (!std::strcmp(argv[i], "--host") && i + 1 < argc) {
+      daemon_cfg.host = argv[++i];
+    } else if (num("--port")) {
+      daemon_cfg.port = static_cast<std::uint16_t>(v);
+    } else if (num("--workers")) {
+      service_cfg.workers = static_cast<unsigned>(v);
+    } else if (num("--queue")) {
+      service_cfg.queue_capacity = static_cast<std::size_t>(v);
+    } else if (num("--timeout-ms")) {
+      service_cfg.default_timeout_ms = static_cast<std::uint64_t>(v);
+    } else if (num("--max-timeout-ms")) {
+      service_cfg.max_timeout_ms = static_cast<std::uint64_t>(v);
+    } else if (num("--max-states")) {
+      service_cfg.max_states = static_cast<std::size_t>(v);
+    } else if (num("--max-frame-bytes")) {
+      daemon_cfg.max_frame_bytes = static_cast<std::size_t>(v);
+    } else if (num("--read-timeout-ms")) {
+      daemon_cfg.read_timeout_ms = static_cast<std::uint64_t>(v);
+    } else if (num("--write-timeout-ms")) {
+      daemon_cfg.write_timeout_ms = static_cast<std::uint64_t>(v);
+    } else if (num("--wedge-grace-ms")) {
+      service_cfg.wedge_grace_ms = static_cast<std::uint64_t>(v);
+    } else if (!std::strcmp(argv[i], "--failpoints") && i + 1 < argc) {
+      failpoints_spec = argv[++i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  {
+    std::string fp_error;
+    if (!failpoints_spec.empty() && !failpoint::parse_and_arm(failpoints_spec, &fp_error)) {
+      std::fprintf(stderr, "bad --failpoints spec: %s\n", fp_error.c_str());
+      return 2;
+    }
+    if (!failpoint::arm_from_env(&fp_error)) {
+      std::fprintf(stderr, "bad CCFSP_FAILPOINTS: %s\n", fp_error.c_str());
+      return 2;
+    }
+  }
+
+  if (::pipe(g_signal_pipe) != 0) {
+    std::fprintf(stderr, "pipe: %s\n", std::strerror(errno));
+    return 1;
+  }
+  struct sigaction sa{};
+  sa.sa_handler = on_signal;
+  sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  server::AnalysisService service(service_cfg);
+  service.start();
+  server::Daemon daemon(daemon_cfg, service);
+  std::string error;
+  if (!daemon.start(&error)) {
+    std::fprintf(stderr, "ccfspd: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("ccfspd listening on %s:%u\n", daemon_cfg.host.c_str(),
+              static_cast<unsigned>(daemon.port()));
+  std::fflush(stdout);
+
+  // Park until a signal arrives.
+  char byte;
+  for (;;) {
+    const ssize_t n = ::read(g_signal_pipe[0], &byte, 1);
+    if (n > 0) break;
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // pipe broken — treat as shutdown
+  }
+
+  // A second signal during drain falls back to default disposition: a
+  // stuck drain can still be killed.
+  ::signal(SIGTERM, SIG_DFL);
+  ::signal(SIGINT, SIG_DFL);
+
+  std::fprintf(stderr, "ccfspd: draining\n");
+  daemon.drain();
+  std::fprintf(stderr, "ccfspd: drained cleanly\n");
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "fsp/cache.hpp"
 
+#include <atomic>
 #include <set>
 
 #include "util/failpoint.hpp"
@@ -23,9 +24,9 @@ FspAnalysisCache::FspAnalysisCache(const Fsp& f, const Budget* budget) : fsp_(&f
     failpoint::hit("cache.fill");
     closures_.push_back(f.tau_closure(s));
     ready_.push_back(f.ready_actions(s));
-    if (budget) {
-      budget->charge(0, closures_.back().size() * sizeof(StateId) + 32, "fsp_cache");
-    }
+    const std::size_t bytes = closures_.back().size() * sizeof(StateId) + 32;
+    bytes_ += bytes;
+    if (budget) budget->charge(0, bytes, "fsp_cache");
   }
   for (StateId s = 0; s < n; ++s) {
     if (budget) budget->tick("fsp_cache");
@@ -41,6 +42,7 @@ FspAnalysisCache::FspAnalysisCache(const Fsp& f, const Budget* budget) : fsp_(&f
       bytes += states.size() * sizeof(StateId) + 48;
       arrows_[s].emplace(a, std::vector<StateId>(states.begin(), states.end()));
     }
+    bytes_ += bytes;
     if (budget) budget->charge(0, bytes, "fsp_cache");
   }
 }
@@ -109,15 +111,25 @@ std::string NfLabelShape::label(StateId s) const {
   return router_label(*this, owner[s - num_routers]) + "!";
 }
 
-std::optional<Fsp> NormalFormMemo::find(const Fsp& p, std::size_t limit) {
+std::optional<Fsp> NormalFormMemo::find(const Fsp& p, std::size_t limit,
+                                        const Budget* budget) {
   metrics::add(metrics::Counter::kNfMemoLookups);
+  if (!budget) budget = budget_;
   CanonFingerprint fp = fingerprint_of(p);
+  const std::uint64_t h = hash_words(fp.enc.data(), fp.enc.size());
+
+  // The rebuild runs under the lock: the blueprint lives in the LRU entry,
+  // and a concurrent store could evict it from under an unlocked reader.
+  // Rebuilds are proportional to the (reduced) normal form, so the critical
+  // section stays far smaller than the work a hit saves.
+  std::lock_guard<std::mutex> lock(mu_);
   const Entry* entry = nullptr;
-  auto bucket = buckets_.find(hash_words(fp.enc.data(), fp.enc.size()));
+  auto bucket = buckets_.find(h);
   if (bucket != buckets_.end()) {
-    for (std::uint32_t id : bucket->second) {
-      if (entries_[id].key == fp.enc) {
-        entry = &entries_[id];
+    for (Lru::iterator it : bucket->second) {
+      if (it->key == fp.enc) {
+        entries_.splice(entries_.begin(), entries_, it);  // refresh LRU order
+        entry = &*it;
         break;
       }
     }
@@ -139,7 +151,7 @@ std::optional<Fsp> NormalFormMemo::find(const Fsp& p, std::size_t limit) {
     throw BudgetExceeded(BudgetDimension::kStates, "poss_normal_form", limit + 1,
                          (limit + 1) * 24);
   }
-  if (budget_) budget_->charge(bp.num_states, bp.num_states * 24, "poss_normal_form");
+  if (budget) budget->charge(bp.num_states, bp.num_states * 24, "poss_normal_form");
 
   auto shape = std::make_shared<NfLabelShape>();
   shape->alphabet = p.alphabet();
@@ -172,12 +184,42 @@ std::optional<Fsp> NormalFormMemo::find(const Fsp& p, std::size_t limit) {
   return out;
 }
 
+void NormalFormMemo::evict_lru_locked() {
+  // The failpoint fires *before* the entry is unlinked, so an injected
+  // bad_alloc leaves the cache consistent (merely still over its cap; the
+  // next store resumes evicting).
+  failpoint::hit("cache.evict");
+  Entry& victim = entries_.back();
+  auto bucket = buckets_.find(victim.hash);
+  if (bucket != buckets_.end()) {
+    auto& ids = bucket->second;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (&*ids[i] == &victim) {
+        ids[i] = ids.back();
+        ids.pop_back();
+        break;
+      }
+    }
+    if (ids.empty()) buckets_.erase(bucket);
+  }
+  bytes_ -= victim.entry_bytes;
+  ++evictions_;
+  metrics::add(metrics::Counter::kCacheEvictions);
+  entries_.pop_back();
+}
+
 void NormalFormMemo::store(const Fsp& p, const Fsp& nf,
-                           std::shared_ptr<const NfLabelShape> shape) {
+                           std::shared_ptr<const NfLabelShape> shape,
+                           const Budget* budget) {
+  if (!budget) budget = budget_;
   CanonFingerprint fp = fingerprint_of(p);
   const std::uint64_t h = hash_words(fp.enc.data(), fp.enc.size());
-  for (std::uint32_t id : buckets_[h]) {
-    if (entries_[id].key == fp.enc) return;  // already stored
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto bucket = buckets_.find(h); bucket != buckets_.end()) {
+    for (Lru::iterator it : bucket->second) {
+      if (it->key == fp.enc) return;  // already stored
+    }
   }
 
   Blueprint bp;
@@ -207,17 +249,171 @@ void NormalFormMemo::store(const Fsp& p, const Fsp& nf,
        bp.parent.size() + bp.via_canon.size() + bp.owner.size()) *
           sizeof(std::uint32_t) +
       160;
-  if (bytes_ + entry_bytes > max_bytes_) return;
+  if (entry_bytes > max_bytes_) return;  // could never fit, even alone
   failpoint::hit("cache.nf_memo");
-  if (budget_) budget_->charge(0, entry_bytes, "nf_memo");
+  if (budget) budget->charge(0, entry_bytes, "nf_memo");
   // Counted only past the cap/duplicate early-outs: stores that retain bytes.
   metrics::add(metrics::Counter::kNfMemoStores);
   metrics::add(metrics::Counter::kNfMemoStoredBytes, entry_bytes);
 
-  const std::uint32_t id = static_cast<std::uint32_t>(entries_.size());
-  entries_.push_back(Entry{std::move(fp.enc), std::move(bp)});
-  buckets_[h].push_back(id);
+  entries_.push_front(Entry{std::move(fp.enc), h, entry_bytes, std::move(bp)});
+  buckets_[h].push_back(entries_.begin());
   bytes_ += entry_bytes;
+  while (bytes_ > max_bytes_) evict_lru_locked();
+  metrics::record_max(metrics::Counter::kCacheBytes, bytes_);
+}
+
+std::size_t NormalFormMemo::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::size_t NormalFormMemo::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+std::size_t NormalFormMemo::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::size_t NormalFormMemo::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+std::size_t NormalFormMemo::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+namespace {
+
+/// The shared-pool key speaks *real* action ids (the tables it guards do),
+/// so it prepends the alphabet size — ready-set bitsets are sized to it —
+/// and encodes actions without canonicalization.
+std::vector<std::uint32_t> exact_key_of(const Fsp& f) {
+  std::vector<std::uint32_t> key;
+  key.reserve(3 + f.num_states() + 2 * f.num_transitions());
+  key.push_back(static_cast<std::uint32_t>(f.alphabet()->size()));
+  key.push_back(static_cast<std::uint32_t>(f.num_states()));
+  key.push_back(f.start());
+  for (StateId s = 0; s < f.num_states(); ++s) {
+    const auto& out = f.out(s);
+    key.push_back(static_cast<std::uint32_t>(out.size()));
+    for (const auto& t : out) {
+      key.push_back(t.action == kTau ? 0 : static_cast<std::uint32_t>(t.action) + 1);
+      key.push_back(t.target);
+    }
+  }
+  return key;
+}
+
+std::atomic<SharedCacheRegistry*> g_registry{nullptr};
+
+}  // namespace
+
+SharedCacheRegistry::SharedCacheRegistry(Config cfg)
+    : memo_(cfg.memo_max_bytes), fsp_max_bytes_(cfg.fsp_cache_max_bytes) {}
+
+std::shared_ptr<const FspAnalysisCache> SharedCacheRegistry::fsp_cache(const Fsp& f,
+                                                                       const Budget* budget) {
+  std::vector<std::uint32_t> key = exact_key_of(f);
+  const std::uint64_t h = hash_words(key.data(), key.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto bucket = buckets_.find(h); bucket != buckets_.end()) {
+      for (Lru::iterator it : bucket->second) {
+        if (it->key == key) {
+          pool_.splice(pool_.begin(), pool_, it);
+          ++pool_hits_;
+          std::shared_ptr<const FspAnalysisCache> cache = it->cache;
+          // Charge-equivalence, outside the lock-free fast path's reach but
+          // inside the entry's lifetime: levy exactly what the build would
+          // have cost this budget. May throw BudgetExceeded — the entry
+          // stays cached for the next, better-funded request.
+          if (budget) budget->charge(0, cache->bytes(), "fsp_cache");
+          return cache;
+        }
+      }
+    }
+    ++pool_misses_;
+  }
+
+  // Build outside the lock: the build is the expensive part, and two
+  // concurrent misses on the same key merely build twice — the second
+  // store finds the key present and adopts the first's entry.
+  auto owned = std::make_shared<const Fsp>(f);
+  auto cache = std::make_shared<const FspAnalysisCache>(*owned, budget);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto bucket = buckets_.find(h); bucket != buckets_.end()) {
+    for (Lru::iterator it : bucket->second) {
+      if (it->key == key) return it->cache;  // raced: keep the first build
+    }
+  }
+  const std::size_t entry_bytes = cache->bytes() + key.size() * sizeof(std::uint32_t) + 256;
+  if (entry_bytes <= fsp_max_bytes_) {
+    pool_.push_front(PoolEntry{std::move(key), h, entry_bytes, owned, cache});
+    buckets_[h].push_back(pool_.begin());
+    pool_bytes_ += entry_bytes;
+    while (pool_bytes_ > fsp_max_bytes_) {
+      failpoint::hit("cache.evict");
+      PoolEntry& victim = pool_.back();
+      auto bucket = buckets_.find(victim.hash);
+      if (bucket != buckets_.end()) {
+        auto& ids = bucket->second;
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+          if (&*ids[i] == &victim) {
+            ids[i] = ids.back();
+            ids.pop_back();
+            break;
+          }
+        }
+        if (ids.empty()) buckets_.erase(bucket);
+      }
+      pool_bytes_ -= victim.entry_bytes;
+      ++pool_evictions_;
+      metrics::add(metrics::Counter::kCacheEvictions);
+      pool_.pop_back();  // outstanding shared_ptrs keep evicted tables alive
+    }
+    metrics::record_max(metrics::Counter::kCacheBytes, pool_bytes_);
+  }
+  return cache;
+}
+
+std::size_t SharedCacheRegistry::fsp_cache_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pool_.size();
+}
+
+std::size_t SharedCacheRegistry::fsp_cache_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pool_bytes_;
+}
+
+std::size_t SharedCacheRegistry::fsp_cache_hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pool_hits_;
+}
+
+std::size_t SharedCacheRegistry::fsp_cache_misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pool_misses_;
+}
+
+std::size_t SharedCacheRegistry::fsp_cache_evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pool_evictions_;
+}
+
+SharedCacheRegistry* SharedCacheRegistry::current() {
+  return g_registry.load(std::memory_order_acquire);
+}
+
+void SharedCacheRegistry::install(SharedCacheRegistry* r) {
+  g_registry.store(r, std::memory_order_release);
 }
 
 }  // namespace ccfsp

@@ -9,11 +9,22 @@
 // same composite at many tree nodes, up to a renaming of actions) are
 // fingerprinted by their action-canonical structure and their normal form
 // is rebuilt from a stored blueprint instead of recomputed.
+//
+// Both caches are promotable to *cross-request* shared caches through
+// SharedCacheRegistry (used by the ccfspd analysis service): byte-accounted,
+// size-bounded with LRU eviction, and safe to hit from concurrent worker
+// threads. The cardinal rule of sharing is charge-equivalence: a warm hit
+// charges the caller's Budget exactly what the cold build would have, so a
+// governed run's accounting — and therefore its report — cannot depend on
+// cache temperature. That is what lets a long-lived daemon answer
+// bit-identically to a fresh process.
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -36,12 +47,19 @@ class FspAnalysisCache {
   /// s ==a==> targets, tau-closed and sorted (empty vector if none).
   const std::vector<StateId>& arrow_successors(StateId s, ActionId a) const;
 
+  /// Estimated bytes the tables retain — the exact total the build charged
+  /// (or would have charged) against its budget. SharedCacheRegistry levies
+  /// this same amount on every warm hit (charge-equivalence) and uses it
+  /// for LRU byte accounting.
+  std::size_t bytes() const { return bytes_; }
+
  private:
   const Fsp* fsp_;
   std::vector<std::vector<StateId>> closures_;
   std::vector<ActionSet> ready_;
   std::vector<std::map<ActionId, std::vector<StateId>>> arrows_;
   std::vector<StateId> empty_;
+  std::size_t bytes_ = 0;
 };
 
 /// The unfold-tree shape a possibility normal form's lazy labels read from:
@@ -80,11 +98,16 @@ struct NfLabelShape {
 /// equivalent process (Lemmas 2-5), and decisions depend only on that
 /// equivalence class.
 ///
-/// find() charges `budget` and enforces `limit` exactly like the
+/// find() charges a budget and enforces `limit` exactly like the
 /// poss_normal_form call it replaces (same BudgetExceeded taxonomy);
-/// store() charges its blueprint footprint under "nf_memo" and stops
-/// accepting entries once `max_bytes` is reached. Both hit the
-/// "cache.nf_memo" failpoint.
+/// store() charges its blueprint footprint under "nf_memo". The per-call
+/// `budget` parameter overrides the constructor's — a memo shared across
+/// requests is constructed budget-free and each request passes its own.
+/// Entries are LRU-ordered (a hit refreshes); once retained bytes exceed
+/// `max_bytes`, the coldest entries are evicted ("cache.evict" failpoint,
+/// cache.evictions / cache.bytes counters). An entry larger than the whole
+/// cap is simply not stored. All public methods are internally locked, so
+/// one memo may serve concurrent analysis workers.
 class NormalFormMemo {
  public:
   explicit NormalFormMemo(std::size_t max_bytes = 64u << 20, const Budget* budget = nullptr)
@@ -92,16 +115,21 @@ class NormalFormMemo {
 
   /// Rebuild the memoized normal form of a process isomorphic to p (up to
   /// action renaming), or nullopt if none is stored. Counts a hit or miss.
-  std::optional<Fsp> find(const Fsp& p, std::size_t limit = 1u << 20);
+  /// A hit moves the entry to the front of the LRU order.
+  std::optional<Fsp> find(const Fsp& p, std::size_t limit = 1u << 20,
+                          const Budget* budget = nullptr);
 
   /// Record nf = poss_normal_form(p) with the label shape its provider
-  /// reads from. No-op when the byte cap is reached or the key is present.
-  void store(const Fsp& p, const Fsp& nf, std::shared_ptr<const NfLabelShape> shape);
+  /// reads from. No-op when the key is present or the entry alone exceeds
+  /// the byte cap; otherwise stores and evicts LRU entries back under it.
+  void store(const Fsp& p, const Fsp& nf, std::shared_ptr<const NfLabelShape> shape,
+             const Budget* budget = nullptr);
 
-  std::size_t hits() const { return hits_; }
-  std::size_t misses() const { return misses_; }
-  std::size_t entries() const { return entries_.size(); }
-  std::size_t bytes() const { return bytes_; }
+  std::size_t hits() const;
+  std::size_t misses() const;
+  std::size_t entries() const;
+  std::size_t bytes() const;
+  std::size_t evictions() const;
 
  private:
   struct Blueprint {
@@ -117,14 +145,86 @@ class NormalFormMemo {
   };
   struct Entry {
     std::vector<std::uint32_t> key;
+    std::uint64_t hash = 0;
+    std::size_t entry_bytes = 0;
     Blueprint bp;
   };
+  using Lru = std::list<Entry>;
+
+  void evict_lru_locked();
 
   std::size_t max_bytes_;
   const Budget* budget_;
-  std::size_t hits_ = 0, misses_ = 0, bytes_ = 0;
-  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> buckets_;  // hash -> entry ids
-  std::vector<Entry> entries_;
+  mutable std::mutex mu_;
+  std::size_t hits_ = 0, misses_ = 0, bytes_ = 0, evictions_ = 0;
+  Lru entries_;  // front = most recently used
+  std::unordered_map<std::uint64_t, std::vector<Lru::iterator>> buckets_;
+};
+
+/// Cross-request shared caches for a long-lived analysis service: one
+/// NormalFormMemo and one pool of FspAnalysisCache tables, both LRU-bounded
+/// and byte-accounted. The engine consults the *installed* registry (a
+/// process-wide opt-in seam): the server installs one at startup, the CLI
+/// and the test suite run with none and keep their per-run caches. Install /
+/// uninstall must not race with in-flight analyses — the server does both
+/// outside its worker pool's lifetime.
+///
+/// The FspAnalysisCache pool is keyed by the *exact* structure of the
+/// process — state count, start, transitions with real action ids, and the
+/// alphabet size the ready-set bitsets are sized to — because the tables
+/// speak real action ids (unlike the memo's renaming-invariant key).
+/// Repeated requests for the same model text intern their actions in the
+/// same order, so the common case hits.
+class SharedCacheRegistry {
+ public:
+  struct Config {
+    std::size_t fsp_cache_max_bytes = 32u << 20;
+    std::size_t memo_max_bytes = 64u << 20;
+  };
+
+  SharedCacheRegistry() : SharedCacheRegistry(Config()) {}
+  explicit SharedCacheRegistry(Config cfg);
+
+  /// The shared normal-form memo (thread-safe; pass per-request budgets to
+  /// find/store).
+  NormalFormMemo& memo() { return memo_; }
+  const NormalFormMemo& memo() const { return memo_; }
+
+  /// A cache for a process structurally identical to f, building and
+  /// retaining one on miss. The returned pointer keeps the entry alive even
+  /// if it is evicted mid-request. Charges `budget` the build's byte
+  /// footprint on hit and miss alike (charge-equivalence).
+  std::shared_ptr<const FspAnalysisCache> fsp_cache(const Fsp& f, const Budget* budget);
+
+  std::size_t fsp_cache_entries() const;
+  std::size_t fsp_cache_bytes() const;
+  std::size_t fsp_cache_hits() const;
+  std::size_t fsp_cache_misses() const;
+  std::size_t fsp_cache_evictions() const;
+
+  /// The registry consulted by game.cpp / tree_pipeline.cpp (null when none
+  /// is installed — the default).
+  static SharedCacheRegistry* current();
+  /// Install r (nullptr to uninstall). Not safe to call with analyses in
+  /// flight.
+  static void install(SharedCacheRegistry* r);
+
+ private:
+  struct PoolEntry {
+    std::vector<std::uint32_t> key;
+    std::uint64_t hash = 0;
+    std::size_t entry_bytes = 0;
+    std::shared_ptr<const Fsp> owned;  // the cache's fsp_ points into this
+    std::shared_ptr<const FspAnalysisCache> cache;
+  };
+  using Lru = std::list<PoolEntry>;
+
+  NormalFormMemo memo_;
+  std::size_t fsp_max_bytes_;
+  mutable std::mutex mu_;
+  std::size_t pool_bytes_ = 0, pool_hits_ = 0, pool_misses_ = 0, pool_evictions_ = 0;
+  Lru pool_;  // front = most recently used
+  std::unordered_map<std::uint64_t, std::vector<Lru::iterator>> buckets_;
 };
 
 }  // namespace ccfsp

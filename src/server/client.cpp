@@ -1,0 +1,101 @@
+#include "server/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "server/frame.hpp"
+
+namespace ccfsp::server {
+
+bool BlockingClient::connect(const std::string& host, std::uint16_t port, std::string* error) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    if (error) *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (error) *error = "bad host '" + host + "'";
+    close();
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error) *error = std::string("connect: ") + std::strerror(errno);
+    close();
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  parser_.reset();  // a fresh stream: drop any residue from a prior peer
+  return true;
+}
+
+bool BlockingClient::send_frame(std::string_view payload) {
+  return send_raw(encode_frame(payload));
+}
+
+bool BlockingClient::send_raw(std::string_view bytes) {
+  if (fd_ < 0) return false;
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool BlockingClient::recv_frame(std::string& payload, std::uint64_t timeout_ms) {
+  if (fd_ < 0) return false;
+  char buf[16384];
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    switch (parser_.next(payload)) {
+      case FrameParser::Status::kFrame: return true;
+      case FrameParser::Status::kOversize: return false;
+      case FrameParser::Status::kNeedMore: break;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return false;
+    const auto left =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now).count();
+    pollfd pfd{fd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, static_cast<int>(left));
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc <= 0) return false;
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    parser_.feed(buf, static_cast<std::size_t>(n));
+  }
+}
+
+void BlockingClient::shutdown_write() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void BlockingClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace ccfsp::server

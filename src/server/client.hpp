@@ -1,0 +1,50 @@
+// A minimal blocking client for ccfspd, used by the test suite, the chaos
+// harness, and the daemon benchmark. Deliberately low-level: send_raw()
+// exists precisely so tests can write poisoned bytes (bad length prefixes,
+// truncated frames) that the well-behaved framing API would never produce.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "server/frame.hpp"
+
+namespace ccfsp::server {
+
+class BlockingClient {
+ public:
+  BlockingClient() = default;
+  ~BlockingClient() { close(); }
+  BlockingClient(const BlockingClient&) = delete;
+  BlockingClient& operator=(const BlockingClient&) = delete;
+  BlockingClient(BlockingClient&& other) noexcept
+      : fd_(other.fd_), parser_(std::move(other.parser_)) {
+    other.fd_ = -1;
+  }
+
+  bool connect(const std::string& host, std::uint16_t port, std::string* error = nullptr);
+  bool connected() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Length-prefix and send one request payload.
+  bool send_frame(std::string_view payload);
+  /// Send bytes verbatim — the poisoned-frame backdoor.
+  bool send_raw(std::string_view bytes);
+  /// Receive one complete reply frame; false on timeout, EOF, oversize
+  /// declaration, or socket error.
+  bool recv_frame(std::string& payload, std::uint64_t timeout_ms = 5000);
+  /// Half-close the write side (tells the server we are done sending).
+  void shutdown_write();
+  void close();
+
+ private:
+  int fd_ = -1;
+  // Persists across recv_frame() calls: pipelined replies often arrive in
+  // one TCP segment, and bytes past the first frame must not be dropped.
+  // A reply frame is at most a few hundred KB; 16 MB declared is a protocol
+  // violation from the peer, not something to buffer.
+  FrameParser parser_{16u << 20};
+};
+
+}  // namespace ccfsp::server

@@ -1,0 +1,297 @@
+#include "server/daemon.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+
+#include "server/frame.hpp"
+#include "util/failpoint.hpp"
+
+namespace ccfsp::server {
+
+struct Daemon::Connection {
+  int fd = -1;
+  std::thread thread;
+  std::atomic<bool> stop{false};
+
+  // Write side: replies arrive from worker threads; one at a time on the
+  // wire, and none after the connection is condemned.
+  std::mutex write_mu;
+  bool open = true;
+
+  // The read loop may only close the fd once every admitted request has
+  // replied (or been condemned); outstanding tracks that.
+  std::mutex state_mu;
+  std::condition_variable state_cv;
+  std::size_t outstanding = 0;
+  std::uint64_t next_seq = 0;
+};
+
+Daemon::Daemon(DaemonConfig cfg, AnalysisService& service)
+    : cfg_(std::move(cfg)), service_(service) {}
+
+Daemon::~Daemon() { drain(); }
+
+bool Daemon::start(std::string* error) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    if (error) *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(cfg_.port);
+  if (::inet_pton(AF_INET, cfg_.host.c_str(), &addr.sin_addr) != 1) {
+    if (error) *error = "bad host '" + cfg_.host + "'";
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error) *error = std::string("bind: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    if (error) *error = std::string("listen: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void Daemon::accept_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, 100);
+    if (rc <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    try {
+      failpoint::hit("server.accept");
+    } catch (...) {
+      // An injected accept fault drops this one connection; the listener
+      // survives and the client sees a clean close.
+      ::close(fd);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    // Non-blocking: reads are gated by poll anyway, and the write path
+    // *needs* EAGAIN to meter its slow-client budget.
+    ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      if (stopping_.load(std::memory_order_relaxed)) {
+        ::close(fd);
+        continue;
+      }
+      conns_.push_back(conn);
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    conn->thread = std::thread([this, conn] { connection_loop(conn); });
+  }
+}
+
+void Daemon::send_reply(const std::shared_ptr<Connection>& conn, const std::string& payload) {
+  const std::string frame = encode_frame(payload);
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  if (!conn->open) return;
+  std::size_t sent = 0;
+  std::uint64_t blocked_ms = 0;
+  while (sent < frame.size()) {
+    const ssize_t n =
+        ::send(conn->fd, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+      // The slow-client write budget: wait for writability in slices and
+      // cap the *cumulative* blocked time, so a reader that stalls forever
+      // costs a bounded amount of a worker's (or supervisor's) time.
+      if (blocked_ms >= cfg_.write_timeout_ms) {
+        conn->open = false;
+        connections_condemned_.fetch_add(1, std::memory_order_relaxed);
+        ::shutdown(conn->fd, SHUT_RDWR);
+        return;
+      }
+      pollfd pfd{conn->fd, POLLOUT, 0};
+      const std::uint64_t slice = std::min<std::uint64_t>(50, cfg_.write_timeout_ms - blocked_ms);
+      ::poll(&pfd, 1, static_cast<int>(slice));
+      blocked_ms += slice;
+      continue;
+    }
+    // Peer reset / dead socket: condemn quietly.
+    conn->open = false;
+    connections_condemned_.fetch_add(1, std::memory_order_relaxed);
+    ::shutdown(conn->fd, SHUT_RDWR);
+    return;
+  }
+}
+
+void Daemon::connection_loop(std::shared_ptr<Connection> conn) {
+  FrameParser parser(cfg_.max_frame_bytes);
+  char buf[16384];
+  bool eof = false;
+  bool condemned = false;
+  auto last_activity = std::chrono::steady_clock::now();
+
+  while (!eof && !condemned && !conn->stop.load(std::memory_order_relaxed)) {
+    pollfd pfd{conn->fd, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, 100);
+    const auto now = std::chrono::steady_clock::now();
+    if (rc <= 0 || !(pfd.revents & (POLLIN | POLLHUP | POLLERR))) {
+      // Read watchdog: an idle or mid-frame-stuck connection with nothing
+      // outstanding is closed; one with outstanding requests is left to the
+      // reply path (its requests will flush or condemn it).
+      std::size_t outstanding;
+      {
+        std::lock_guard<std::mutex> lock(conn->state_mu);
+        outstanding = conn->outstanding;
+      }
+      if (outstanding == 0 &&
+          now - last_activity > std::chrono::milliseconds(cfg_.read_timeout_ms)) {
+        break;
+      }
+      continue;
+    }
+    const ssize_t n = ::read(conn->fd, buf, sizeof(buf));
+    if (n == 0) {
+      eof = true;
+      break;
+    }
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      condemned = true;
+      break;
+    }
+    last_activity = now;
+    parser.feed(buf, static_cast<std::size_t>(n));
+
+    std::string payload;
+    for (;;) {
+      const FrameParser::Status st = parser.next(payload);
+      if (st == FrameParser::Status::kNeedMore) break;
+      std::uint64_t seq;
+      {
+        std::lock_guard<std::mutex> lock(conn->state_mu);
+        seq = conn->next_seq++;
+      }
+      if (st == FrameParser::Status::kOversize) {
+        send_reply(conn, wrap_reply(seq, error_body(ReplyCode::kOversize,
+                                                    "declared frame length " +
+                                                        std::to_string(parser.declared()) +
+                                                        " exceeds the limit")));
+        condemned = true;
+        break;
+      }
+      bool frame_fault = false;
+      try {
+        failpoint::hit("server.frame_read");
+      } catch (...) {
+        frame_fault = true;
+      }
+      if (frame_fault) {
+        send_reply(conn, wrap_reply(seq, error_body(ReplyCode::kInternal,
+                                                    "injected frame-read fault contained")));
+        continue;
+      }
+      // PING / STATS answer inline — liveness probes and stats must work
+      // even when the admission queue is rejecting everything.
+      ParsedRequest peeked = parse_request(payload);
+      if (peeked.command == Command::kPing) {
+        send_reply(conn, wrap_reply(seq, pong_body()));
+        continue;
+      }
+      if (peeked.command == Command::kStats) {
+        send_reply(conn, wrap_reply(seq, stats_body(service_.stats_json())));
+        continue;
+      }
+      if (peeked.command == Command::kInvalid) {
+        send_reply(conn, wrap_reply(seq, error_body(ReplyCode::kInvalidRequest, peeked.error)));
+        continue;
+      }
+      {
+        std::lock_guard<std::mutex> lock(conn->state_mu);
+        ++conn->outstanding;
+      }
+      Daemon* self = this;
+      service_.submit(std::move(payload), [self, conn, seq](std::string body) {
+        self->send_reply(conn, wrap_reply(seq, body));
+        {
+          std::lock_guard<std::mutex> lock(conn->state_mu);
+          --conn->outstanding;
+        }
+        conn->state_cv.notify_all();
+      });
+    }
+  }
+
+  // Flush: wait until every admitted request on this connection has
+  // replied. The service's own drain/cancel machinery bounds this.
+  {
+    std::unique_lock<std::mutex> lock(conn->state_mu);
+    conn->state_cv.wait(lock, [&] { return conn->outstanding == 0; });
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn->write_mu);
+    conn->open = false;
+    ::close(conn->fd);
+    conn->fd = -1;
+  }
+}
+
+void Daemon::drain() {
+  if (drained_) return;
+  stopping_.store(true, std::memory_order_relaxed);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Wake every connection's read loop; EOF-draining connections stop
+  // admitting and wait for their outstanding replies.
+  std::list<std::shared_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns = conns_;
+  }
+  for (auto& c : conns) {
+    c->stop.store(true, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(c->write_mu);
+    if (c->open) ::shutdown(c->fd, SHUT_RD);
+  }
+  // Cancel in-flight analyses and flush their replies.
+  service_.drain();
+  for (auto& c : conns) {
+    if (c->thread.joinable()) c->thread.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.clear();
+  }
+  drained_ = true;
+}
+
+}  // namespace ccfsp::server

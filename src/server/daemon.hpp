@@ -1,0 +1,90 @@
+// The socket face of ccfspd: a listener on 127.0.0.1 (port 0 = ephemeral,
+// reported by port()), one accept thread, and one thread per connection
+// speaking the length-prefixed framing of server/frame.hpp. Connection
+// hygiene is the daemon's job, not the service's:
+//
+//   - a read watchdog closes connections idle (or stuck mid-frame) longer
+//     than read_timeout_ms with no outstanding requests;
+//   - a slow-client write budget: the cumulative time a reply write spends
+//     blocked on POLLOUT may not exceed write_timeout_ms, after which the
+//     connection is condemned — a client that stops reading cannot pin a
+//     worker's reply path;
+//   - an oversize frame declaration gets a kOversize error frame and the
+//     connection is closed (the stream position past a refused payload is
+//     unknowable);
+//   - pipelined requests are all admitted; replies carry the request's seq
+//     and may complete out of order.
+//
+// drain() stops accepting, lets the service flush its in-flight replies,
+// then wakes and joins every connection thread. PING and STATS are answered
+// inline on the connection thread (no admission queue) so liveness probes
+// work even under full overload.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "server/service.hpp"
+
+namespace ccfsp::server {
+
+struct DaemonConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = pick an ephemeral port
+  std::size_t max_frame_bytes = 1u << 20;
+  std::uint64_t read_timeout_ms = 5000;
+  std::uint64_t write_timeout_ms = 2000;
+};
+
+class Daemon {
+ public:
+  Daemon(DaemonConfig cfg, AnalysisService& service);
+  ~Daemon();
+
+  /// Bind, listen, and spawn the accept thread. False (with *error set) on
+  /// any socket failure.
+  bool start(std::string* error);
+
+  /// The bound port (after start()).
+  std::uint16_t port() const { return port_; }
+
+  /// Stop accepting, flush in-flight replies (drains the service), wake
+  /// and join every connection. Idempotent.
+  void drain();
+
+  std::uint64_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t connections_condemned() const {
+    return connections_condemned_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection;
+
+  void accept_loop();
+  void connection_loop(std::shared_ptr<Connection> conn);
+  /// Frame-and-send one reply on conn under its write budget; condemns the
+  /// connection on a blown budget or a dead peer.
+  void send_reply(const std::shared_ptr<Connection>& conn, const std::string& payload);
+
+  DaemonConfig cfg_;
+  AnalysisService& service_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  bool drained_ = false;
+  std::thread accept_thread_;
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> connections_condemned_{0};
+
+  std::mutex conns_mu_;
+  std::list<std::shared_ptr<Connection>> conns_;
+};
+
+}  // namespace ccfsp::server

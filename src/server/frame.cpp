@@ -1,0 +1,29 @@
+#include "server/frame.hpp"
+
+namespace ccfsp::server {
+
+std::string encode_frame(std::string_view payload) {
+  const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+  std::string out;
+  out.reserve(4 + payload.size());
+  out.push_back(static_cast<char>((n >> 24) & 0xff));
+  out.push_back(static_cast<char>((n >> 16) & 0xff));
+  out.push_back(static_cast<char>((n >> 8) & 0xff));
+  out.push_back(static_cast<char>(n & 0xff));
+  out.append(payload);
+  return out;
+}
+
+FrameParser::Status FrameParser::next(std::string& payload) {
+  if (buffer_.size() < 4) return Status::kNeedMore;
+  const unsigned char* b = reinterpret_cast<const unsigned char*>(buffer_.data());
+  declared_ = (static_cast<std::size_t>(b[0]) << 24) | (static_cast<std::size_t>(b[1]) << 16) |
+              (static_cast<std::size_t>(b[2]) << 8) | static_cast<std::size_t>(b[3]);
+  if (declared_ > max_frame_bytes_) return Status::kOversize;
+  if (buffer_.size() < 4 + declared_) return Status::kNeedMore;
+  payload.assign(buffer_, 4, declared_);
+  buffer_.erase(0, 4 + declared_);
+  return Status::kFrame;
+}
+
+}  // namespace ccfsp::server

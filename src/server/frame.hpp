@@ -1,0 +1,54 @@
+// Wire framing for the ccfspd analysis service: every message (request or
+// reply) is a 4-byte big-endian payload length followed by that many bytes.
+// The parser is incremental — feed() whatever the socket produced, then
+// drain complete frames with next() — and enforces a declared-length cap
+// *before* buffering a payload, so a hostile 4-byte header cannot make the
+// server allocate gigabytes. Anything 4 bytes long is a syntactically valid
+// header; the only framing-level error is therefore kOversize. A frame that
+// never completes (truncated stream) simply stays kNeedMore — the
+// connection's read watchdog, not the parser, decides when to give up.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ccfsp::server {
+
+/// Prepend the 4-byte big-endian length header to `payload`.
+std::string encode_frame(std::string_view payload);
+
+class FrameParser {
+ public:
+  enum class Status { kNeedMore, kFrame, kOversize };
+
+  explicit FrameParser(std::size_t max_frame_bytes) : max_frame_bytes_(max_frame_bytes) {}
+
+  void feed(const char* data, std::size_t n) { buffer_.append(data, n); }
+
+  /// Extract the next complete frame into `payload`. kOversize is sticky
+  /// for the offending frame: the caller is expected to reply with an
+  /// error frame and close, because the stream position past a refused
+  /// payload is unknowable without buffering it.
+  Status next(std::string& payload);
+
+  /// The length the current (incomplete or oversize) header declared.
+  std::size_t declared() const { return declared_; }
+  std::size_t buffered() const { return buffer_.size(); }
+  /// True while partial frame bytes are buffered awaiting the rest.
+  bool mid_frame() const { return !buffer_.empty(); }
+
+  /// Drop all buffered bytes and any sticky oversize state (new stream).
+  void reset() {
+    buffer_.clear();
+    declared_ = 0;
+  }
+
+ private:
+  std::size_t max_frame_bytes_;
+  std::size_t declared_ = 0;
+  std::string buffer_;
+};
+
+}  // namespace ccfsp::server

@@ -1,0 +1,196 @@
+#include "server/protocol.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "util/trace.hpp"
+
+namespace ccfsp::server {
+
+const char* to_string(ReplyCode code) {
+  switch (code) {
+    case ReplyCode::kOk: return "ok";
+    case ReplyCode::kDecided: return "decided";
+    case ReplyCode::kBudgetExhausted: return "budget-exhausted";
+    case ReplyCode::kUnsupported: return "unsupported";
+    case ReplyCode::kInvalidInput: return "invalid-input";
+    case ReplyCode::kInvalidRequest: return "invalid-request";
+    case ReplyCode::kOverloaded: return "overloaded";
+    case ReplyCode::kShuttingDown: return "shutting-down";
+    case ReplyCode::kWedged: return "wedged";
+    case ReplyCode::kOversize: return "oversize";
+    case ReplyCode::kInternal: return "internal";
+  }
+  return "?";
+}
+
+std::optional<ReplyCode> reply_code_from_string(const std::string& name) {
+  for (int i = 0; i <= static_cast<int>(ReplyCode::kInternal); ++i) {
+    ReplyCode c = static_cast<ReplyCode>(i);
+    if (name == to_string(c)) return c;
+  }
+  return std::nullopt;
+}
+
+ReplyCode code_of(OutcomeStatus status) {
+  switch (status) {
+    case OutcomeStatus::kDecided: return ReplyCode::kDecided;
+    case OutcomeStatus::kBudgetExhausted: return ReplyCode::kBudgetExhausted;
+    case OutcomeStatus::kUnsupported: return ReplyCode::kUnsupported;
+    case OutcomeStatus::kInvalidInput: return ReplyCode::kInvalidInput;
+  }
+  return ReplyCode::kInternal;
+}
+
+namespace {
+
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  std::uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    if (v > (UINT64_MAX - static_cast<std::uint64_t>(c - '0')) / 10) return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  out = v;
+  return true;
+}
+
+std::vector<std::string> split_tokens(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : line) {
+    if (c == ' ' || c == '\t' || c == '\r') {
+      if (!cur.empty()) out.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+ParsedRequest invalid(std::string why) {
+  ParsedRequest p;
+  p.command = Command::kInvalid;
+  p.error = std::move(why);
+  return p;
+}
+
+}  // namespace
+
+ParsedRequest parse_request(const std::string& payload) {
+  if (payload.empty()) return invalid("empty request payload");
+  const std::size_t nl = payload.find('\n');
+  const std::string first = payload.substr(0, nl == std::string::npos ? payload.size() : nl);
+  std::vector<std::string> tokens = split_tokens(first);
+  if (tokens.empty()) return invalid("blank command line");
+
+  ParsedRequest p;
+  if (tokens[0] == "PING") {
+    p.command = Command::kPing;  // any padding tokens are ignored
+    return p;
+  }
+  if (tokens[0] == "STATS") {
+    if (tokens.size() > 1) return invalid("STATS takes no arguments");
+    p.command = Command::kStats;
+    return p;
+  }
+  if (tokens[0] != "ANALYZE") {
+    return invalid("unknown command '" + tokens[0] + "'");
+  }
+
+  p.command = Command::kAnalyze;
+  AnalyzeRequest& a = p.analyze;
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    const std::string& t = tokens[i];
+    auto next_value = [&](std::uint64_t& out) -> bool {
+      return i + 1 < tokens.size() && parse_u64(tokens[++i], out);
+    };
+    if (t == "--timeout-ms") {
+      if (!next_value(a.timeout_ms)) return invalid("--timeout-ms needs a number");
+    } else if (t == "--max-states") {
+      std::uint64_t v = 0;
+      if (!next_value(v)) return invalid("--max-states needs a number");
+      a.max_states = static_cast<std::size_t>(v);
+    } else if (t == "--retries") {
+      std::uint64_t v = 0;
+      if (!next_value(v) || v > 16) return invalid("--retries needs a number <= 16");
+      a.retries = static_cast<unsigned>(v);
+      a.retries_set = true;
+    } else if (t == "--rungs") {
+      if (i + 1 >= tokens.size()) return invalid("--rungs needs a list");
+      std::string csv = tokens[++i], cur;
+      csv += ',';
+      for (char c : csv) {
+        if (c != ',') {
+          cur += c;
+          continue;
+        }
+        if (cur.empty()) continue;
+        std::optional<Rung> r = rung_from_string(cur);
+        if (!r) return invalid("unknown rung '" + cur + "'");
+        a.rungs.push_back(*r);
+        cur.clear();
+      }
+      if (a.rungs.empty()) return invalid("--rungs needs a non-empty list");
+    } else if (t == "--distinguished") {
+      if (i + 1 >= tokens.size()) return invalid("--distinguished needs a name");
+      a.distinguished = tokens[++i];
+    } else {
+      return invalid("unknown ANALYZE flag '" + t + "'");
+    }
+  }
+  if (nl == std::string::npos || nl + 1 >= payload.size()) {
+    return invalid("ANALYZE needs model text after the command line");
+  }
+  a.model_text = payload.substr(nl + 1);
+  return p;
+}
+
+std::string error_body(ReplyCode code, const std::string& message) {
+  std::string out = "{\"code\": \"";
+  out += to_string(code);
+  out += "\", \"error\": \"" + metrics::json_escape(message) + "\"}";
+  return out;
+}
+
+std::string overloaded_body(std::uint64_t retry_after_ms, const std::string& message) {
+  std::string out = "{\"code\": \"";
+  out += to_string(ReplyCode::kOverloaded);
+  out += "\", \"retry_after_ms\": " + std::to_string(retry_after_ms);
+  out += ", \"error\": \"" + metrics::json_escape(message) + "\"}";
+  return out;
+}
+
+std::string report_body(const AnalysisReport& report) {
+  std::string out = "{\"code\": \"";
+  out += to_string(code_of(report.status));
+  out += "\", \"report\": " + analysis_report_json(report) + "}";
+  return out;
+}
+
+std::string pong_body() {
+  std::string out = "{\"code\": \"";
+  out += to_string(ReplyCode::kOk);
+  out += "\", \"pong\": true}";
+  return out;
+}
+
+std::string stats_body(const std::string& stats_json_object) {
+  std::string out = "{\"code\": \"";
+  out += to_string(ReplyCode::kOk);
+  out += "\", \"stats\": " + stats_json_object + "}";
+  return out;
+}
+
+std::string wrap_reply(std::uint64_t seq, const std::string& body) {
+  // Bodies are complete objects beginning '{'; splice the envelope fields
+  // ahead of the body's first key.
+  std::string out = "{\"schema_version\": 1, \"seq\": " + std::to_string(seq) + ", ";
+  out += body.substr(1);
+  return out;
+}
+
+}  // namespace ccfsp::server

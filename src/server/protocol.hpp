@@ -1,0 +1,86 @@
+// The ccfspd request/reply protocol, one layer above the length-prefixed
+// framing (server/frame.hpp). A request payload is UTF-8 text whose first
+// line is the command —
+//
+//   ANALYZE [--timeout-ms N] [--max-states N] [--retries N]
+//           [--rungs a,b,...] [--distinguished NAME]
+//   PING [padding]
+//   STATS
+//
+// — and, for ANALYZE, everything after the first newline is the model text
+// in the ccfsp DSL. A reply payload is one JSON object:
+//
+//   {"schema_version": 1, "seq": N, "code": "<code>", ...}
+//
+// where seq is the request's 0-based index on its connection (replies to
+// pipelined requests may arrive out of order; seq is the correlator) and
+// code is the reply taxonomy below. ANALYZE successes carry "report" (the
+// exact analysis_report_json schema of the observability document); errors
+// carry "error"; overloaded sheds carry "retry_after_ms"; PING carries
+// "pong"; STATS carries "stats". Every request gets exactly one reply with
+// exactly one code — the chaos harness holds the server to that.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "success/analyze.hpp"
+
+namespace ccfsp::server {
+
+/// Everything a reply can mean. The first five mirror the analysis outcome
+/// taxonomy; the rest are service-level conditions.
+enum class ReplyCode {
+  kOk,              // PING / STATS succeeded
+  kDecided,         // analysis completed with a full verdict
+  kBudgetExhausted, // a budget wall (or injected fault read as one) tripped
+  kUnsupported,     // every applicable rung was structurally inapplicable
+  kInvalidInput,    // the model text failed to parse / validate
+  kInvalidRequest,  // unknown command, bad flag, missing model text
+  kOverloaded,      // admission queue full — shed, retry after the hint
+  kShuttingDown,    // the service is draining; no new work accepted
+  kWedged,          // the worker was declared wedged and replaced
+  kOversize,        // declared frame length exceeds the server's cap
+  kInternal,        // contained unexpected exception; worker survived
+};
+
+const char* to_string(ReplyCode code);
+std::optional<ReplyCode> reply_code_from_string(const std::string& name);
+
+/// ReplyCode view of an analysis outcome.
+ReplyCode code_of(OutcomeStatus status);
+
+enum class Command { kAnalyze, kPing, kStats, kInvalid };
+
+struct AnalyzeRequest {
+  std::uint64_t timeout_ms = 0;  // 0 = service default
+  std::size_t max_states = 0;    // 0 = service default
+  unsigned retries = 0;
+  bool retries_set = false;      // absent flag falls back to the service default
+  std::vector<Rung> rungs;
+  std::string distinguished;     // empty = first process
+  std::string model_text;
+};
+
+struct ParsedRequest {
+  Command command = Command::kInvalid;
+  AnalyzeRequest analyze;
+  std::string error;  // set when command == kInvalid
+};
+
+ParsedRequest parse_request(const std::string& payload);
+
+/// Reply bodies: complete JSON objects starting {"code": ...}. The daemon
+/// splices the envelope in with wrap_reply.
+std::string error_body(ReplyCode code, const std::string& message);
+std::string overloaded_body(std::uint64_t retry_after_ms, const std::string& message);
+std::string report_body(const AnalysisReport& report);
+std::string pong_body();
+std::string stats_body(const std::string& stats_json_object);
+
+/// {"schema_version": 1, "seq": N, <body without its opening brace>.
+std::string wrap_reply(std::uint64_t seq, const std::string& body);
+
+}  // namespace ccfsp::server

@@ -1,0 +1,408 @@
+#include "server/service.hpp"
+
+#include <algorithm>
+#include <new>
+#include <stdexcept>
+
+#include "fsp/parse.hpp"
+#include "network/network.hpp"
+#include "util/failpoint.hpp"
+
+namespace ccfsp::server {
+
+namespace {
+
+/// One reply body every rejection path shares; computed once.
+std::string shutting_down_body() {
+  return error_body(ReplyCode::kShuttingDown, "service is draining; retry against a fresh instance");
+}
+
+}  // namespace
+
+AnalysisService::AnalysisService(ServiceConfig cfg)
+    : cfg_(std::move(cfg)), registry_(cfg_.engine_caches) {
+  if (cfg_.workers == 0) cfg_.workers = 1;
+  if (cfg_.queue_capacity == 0) cfg_.queue_capacity = 1;
+}
+
+AnalysisService::~AnalysisService() { drain(); }
+
+void AnalysisService::start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return;
+  started_ = true;
+  SharedCacheRegistry::install(&registry_);
+  slots_.reserve(cfg_.workers);
+  for (unsigned i = 0; i < cfg_.workers; ++i) {
+    auto slot = std::make_unique<WorkerSlot>();
+    slot->thread = std::thread([this, i] { worker_loop(i, 0); });
+    slots_.push_back(std::move(slot));
+  }
+  supervisor_ = std::thread([this] { supervisor_loop(); });
+}
+
+bool AnalysisService::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
+}
+
+void AnalysisService::submit(std::string payload, ReplyFn reply) {
+  auto pending = std::make_shared<Pending>();
+  pending->payload = std::move(payload);
+  pending->reply = std::move(reply);
+
+  std::string rejection;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_ || !started_) {
+      ++stats_.rejected_draining;
+      rejection = shutting_down_body();
+    } else {
+      try {
+        failpoint::hit("server.enqueue");
+        if (queue_.size() >= cfg_.queue_capacity) {
+          ++stats_.shed;
+          // Load shedding: the hint scales with how much admitted work each
+          // worker already owes, so synchronized retry storms spread out.
+          const std::uint64_t hint = std::clamp<std::uint64_t>(
+              cfg_.default_timeout_ms * (1 + queue_.size() / cfg_.workers) / 4, 10, 2000);
+          rejection = overloaded_body(hint, "admission queue full");
+        } else {
+          ++stats_.accepted;
+          queue_.push_back(pending);
+          queue_cv_.notify_one();
+        }
+      } catch (const std::exception& e) {
+        // An injected (or real) admission fault sheds this one request; the
+        // acceptor and the queue survive.
+        rejection = error_body(ReplyCode::kInternal,
+                               std::string("admission failed: ") + e.what());
+      }
+    }
+  }
+  if (!rejection.empty()) pending->deliver(rejection);
+}
+
+bool AnalysisService::deterministic_body(const AnalysisReport& report) {
+  for (const RungOutcome& r : report.rungs) {
+    if (r.budget_reason == BudgetDimension::kDeadline ||
+        r.budget_reason == BudgetDimension::kCancelled) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string AnalysisService::result_cache_find(const std::string& payload) {
+  // Caller holds mu_.
+  auto it = cache_index_.find(payload);
+  if (it == cache_index_.end()) return {};
+  cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+  ++stats_.result_cache_hits;
+  return it->second->body;
+}
+
+void AnalysisService::result_cache_store(const std::string& payload, const std::string& body) {
+  // Caller holds mu_.
+  if (cache_index_.count(payload)) return;
+  const std::size_t entry_bytes = payload.size() + body.size() + 128;
+  if (entry_bytes > cfg_.result_cache_max_bytes) return;
+  cache_lru_.push_front(CacheEntry{payload, body});
+  cache_index_.emplace(payload, cache_lru_.begin());
+  cache_bytes_ += entry_bytes;
+  while (cache_bytes_ > cfg_.result_cache_max_bytes) {
+    CacheEntry& cold = cache_lru_.back();
+    cache_bytes_ -= cold.payload.size() + cold.body.size() + 128;
+    cache_index_.erase(cold.payload);
+    cache_lru_.pop_back();
+    ++stats_.result_cache_evictions;
+  }
+}
+
+AnalysisService::ExecResult AnalysisService::execute(const std::string& payload,
+                                                     const CancelToken& token) {
+  try {
+    failpoint::hit("server.worker");
+    ParsedRequest parsed = parse_request(payload);
+    switch (parsed.command) {
+      case Command::kInvalid:
+        return {error_body(ReplyCode::kInvalidRequest, parsed.error), true};
+      case Command::kPing:
+        return {pong_body(), false};
+      case Command::kStats:
+        return {stats_body(stats_json()), false};
+      case Command::kAnalyze:
+        break;
+    }
+    const AnalyzeRequest& a = parsed.analyze;
+    const std::uint64_t timeout_ms =
+        a.timeout_ms ? std::min(a.timeout_ms, cfg_.max_timeout_ms) : cfg_.default_timeout_ms;
+    const std::size_t max_states =
+        a.max_states ? std::min(a.max_states, cfg_.max_states) : cfg_.max_states;
+
+    auto alphabet = std::make_shared<Alphabet>();
+    Network net(alphabet, parse_processes(a.model_text, alphabet));
+    std::size_t p = 0;
+    if (!a.distinguished.empty()) {
+      bool found = false;
+      for (std::size_t i = 0; i < net.size(); ++i) {
+        if (net.process(i).name() == a.distinguished) {
+          p = i;
+          found = true;
+        }
+      }
+      if (!found) {
+        return {error_body(ReplyCode::kInvalidInput,
+                           "no process named '" + a.distinguished + "'"),
+                true};
+      }
+    }
+
+    AnalyzeOptions opt;
+    opt.budget.limit_duration(std::chrono::milliseconds(timeout_ms));
+    opt.budget.limit_states(max_states);
+    opt.budget.watch(token);
+    opt.retries = a.retries_set ? a.retries : cfg_.default_retries;
+    opt.rungs = a.rungs;
+    AnalysisReport report = analyze(net, p, opt);
+    return {report_body(report), deterministic_body(report)};
+  } catch (const ParseError& e) {
+    return {error_body(ReplyCode::kInvalidInput, e.what()), true};
+  } catch (const BudgetExceeded& e) {
+    // A wall tripping *outside* analyze() (an injected server.worker fault,
+    // say) is not a reproducible engine outcome: never cache it.
+    return {error_body(ReplyCode::kBudgetExhausted, e.what()), false};
+  } catch (const std::bad_alloc&) {
+    return {error_body(ReplyCode::kBudgetExhausted, "allocation failed inside the worker"),
+            false};
+  } catch (const std::logic_error& e) {
+    // Network validation (Definition 2) and kin: the input, not the worker.
+    return {error_body(ReplyCode::kInvalidInput, e.what()), true};
+  } catch (const std::exception& e) {
+    return {error_body(ReplyCode::kInternal, e.what()), false};
+  } catch (...) {
+    return {error_body(ReplyCode::kInternal, "unknown exception contained in worker"), false};
+  }
+}
+
+void AnalysisService::worker_loop(std::size_t slot_index, std::uint64_t generation) {
+  for (;;) {
+    PendingPtr pending;
+    CancelToken token;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      WorkerSlot* slot = slots_[slot_index].get();
+      queue_cv_.wait(lock, [&] {
+        return draining_ || !queue_.empty() || slot->generation != generation;
+      });
+      if (slot->generation != generation) return;  // replaced while idle (not expected)
+      if (queue_.empty()) {
+        if (draining_) return;
+        continue;
+      }
+      pending = queue_.front();
+      queue_.pop_front();
+      if (draining_) {
+        lock.unlock();
+        pending->deliver(shutting_down_body());
+        continue;
+      }
+      // Result cache first, then single-flight: followers of an in-flight
+      // identical payload park as waiters and this worker moves on.
+      if (std::string body = result_cache_find(pending->payload); !body.empty()) {
+        lock.unlock();
+        pending->deliver(body);
+        continue;
+      }
+      auto [it, leader] = in_flight_.try_emplace(pending->payload);
+      if (!leader) {
+        it->second.waiters.push_back(pending);
+        ++stats_.single_flight_joins;
+        continue;
+      }
+      // Publish the in-flight request for the supervisor's wedge scan. The
+      // deadline mirrors execute()'s clamping of the request's own flag.
+      ParsedRequest peek = parse_request(pending->payload);
+      std::uint64_t timeout_ms = cfg_.default_timeout_ms;
+      if (peek.command == Command::kAnalyze && peek.analyze.timeout_ms) {
+        timeout_ms = std::min(peek.analyze.timeout_ms, cfg_.max_timeout_ms);
+      }
+      token = CancelToken();
+      slot->busy = true;
+      slot->started = std::chrono::steady_clock::now();
+      slot->deadline = std::chrono::milliseconds(timeout_ms);
+      slot->cancel_fired = false;
+      slot->token = token;
+      slot->current = pending;
+    }
+
+    ExecResult result = execute(pending->payload, token);
+    const std::string& body = result.body;
+    const bool cacheable = result.cacheable;
+
+    std::vector<PendingPtr> waiters;
+    bool replaced = false;
+    bool drain_waiters = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      WorkerSlot* slot = slots_[slot_index].get();
+      auto it = in_flight_.find(pending->payload);
+      if (it != in_flight_.end()) {
+        waiters = std::move(it->second.waiters);
+        in_flight_.erase(it);
+      }
+      ++stats_.completed;
+      if (cacheable) result_cache_store(pending->payload, body);
+      drain_waiters = draining_;
+      replaced = slot->generation != generation;
+      if (!replaced) {
+        slot->busy = false;
+        slot->current.reset();
+      }
+      if (!cacheable && !drain_waiters && !waiters.empty()) {
+        // A timing-dependent body must not be shared: followers re-run.
+        // They re-enter at the front — they have been waiting longest.
+        for (auto& w : waiters) queue_.push_front(w);
+        queue_cv_.notify_all();
+        waiters.clear();
+      }
+    }
+
+    pending->deliver(body);
+    for (auto& w : waiters) {
+      w->deliver(drain_waiters && !cacheable ? shutting_down_body() : body);
+    }
+    if (replaced) return;  // a replacement worker owns the slot now
+  }
+}
+
+void AnalysisService::supervisor_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    idle_cv_.wait_for(lock, std::chrono::milliseconds(cfg_.supervisor_poll_ms));
+    if (supervisor_stop_) return;
+    const auto now = std::chrono::steady_clock::now();
+    const auto grace = std::chrono::milliseconds(cfg_.wedge_grace_ms);
+    std::vector<PendingPtr> wedged;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      WorkerSlot* slot = slots_[i].get();
+      if (!slot->busy) continue;
+      const auto elapsed = now - slot->started;
+      if (elapsed > slot->deadline + grace && !slot->cancel_fired) {
+        // Stage 1: the budget should have tripped by now; fire the
+        // cooperative cancel in case the worker is stuck somewhere that
+        // only polls the token.
+        slot->token.cancel();
+        slot->cancel_fired = true;
+        ++stats_.cancelled_by_supervisor;
+      }
+      if (elapsed > slot->deadline + grace + grace && !draining_) {
+        // Stage 2: declare the worker wedged. Reply on its behalf (the
+        // exactly-once slot makes the stuck thread's eventual reply a
+        // no-op), retire the thread, and restore pool capacity.
+        ++stats_.wedged;
+        ++stats_.workers_replaced;
+        wedged.push_back(slot->current);
+        slot->generation += 1;
+        zombies_.push_back(std::move(slot->thread));
+        const std::uint64_t gen = slot->generation;
+        slot->busy = false;
+        slot->current.reset();
+        slot->thread = std::thread([this, i, gen] { worker_loop(i, gen); });
+      }
+    }
+    if (!wedged.empty()) {
+      lock.unlock();
+      const std::string body = error_body(
+          ReplyCode::kWedged, "worker exceeded its deadline escalation and was replaced");
+      for (auto& p : wedged) {
+        if (p) p->deliver(body);
+      }
+      lock.lock();
+    }
+  }
+}
+
+void AnalysisService::drain(std::chrono::milliseconds /*deadline*/) {
+  std::vector<PendingPtr> queued;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_ || drained_) {
+      drained_ = true;
+      return;
+    }
+    draining_ = true;
+    // Unstarted work is rejected, not run: drain time stays bounded by the
+    // in-flight requests, which the cancellations below cut short.
+    queued.assign(queue_.begin(), queue_.end());
+    queue_.clear();
+    for (auto& slot : slots_) {
+      if (slot->busy) slot->token.cancel();
+    }
+    queue_cv_.notify_all();
+    idle_cv_.notify_all();
+  }
+  const std::string body = shutting_down_body();
+  for (auto& p : queued) p->deliver(body);
+  // A fault-injected stall must not outlive the service: wake all parked
+  // sites now (their wait predicate re-checks the armed registry).
+  failpoint::release_stalls();
+
+  for (auto& slot : slots_) {
+    if (slot->thread.joinable()) slot->thread.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    supervisor_stop_ = true;
+    idle_cv_.notify_all();
+  }
+  if (supervisor_.joinable()) supervisor_.join();
+  for (auto& z : zombies_) {
+    if (z.joinable()) z.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SharedCacheRegistry::install(nullptr);
+    drained_ = true;
+  }
+}
+
+ServiceStats AnalysisService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServiceStats s = stats_;
+  s.queue_depth = queue_.size();
+  s.result_cache_bytes = cache_bytes_;
+  s.engine_memo_bytes = registry_.memo().bytes();
+  s.engine_fsp_cache_bytes = registry_.fsp_cache_bytes();
+  s.engine_cache_evictions =
+      registry_.memo().evictions() + registry_.fsp_cache_evictions();
+  return s;
+}
+
+std::string AnalysisService::stats_json() const {
+  const ServiceStats s = stats();
+  std::string out = "{";
+  auto field = [&](const char* name, std::uint64_t v, bool first = false) {
+    if (!first) out += ", ";
+    out += std::string("\"") + name + "\": " + std::to_string(v);
+  };
+  field("accepted", s.accepted, true);
+  field("shed", s.shed);
+  field("rejected_draining", s.rejected_draining);
+  field("completed", s.completed);
+  field("wedged", s.wedged);
+  field("cancelled_by_supervisor", s.cancelled_by_supervisor);
+  field("workers_replaced", s.workers_replaced);
+  field("result_cache_hits", s.result_cache_hits);
+  field("single_flight_joins", s.single_flight_joins);
+  field("queue_depth", s.queue_depth);
+  field("result_cache_bytes", s.result_cache_bytes);
+  field("result_cache_evictions", s.result_cache_evictions);
+  field("engine_memo_bytes", s.engine_memo_bytes);
+  field("engine_fsp_cache_bytes", s.engine_fsp_cache_bytes);
+  field("engine_cache_evictions", s.engine_cache_evictions);
+  out += "}";
+  return out;
+}
+
+}  // namespace ccfsp::server

@@ -1,0 +1,184 @@
+// The fault-contained analysis engine behind ccfspd: a fixed worker pool
+// fed by a bounded admission queue, every request executed under its own
+// Budget with full exception containment. Overload policy is shed, not
+// queue-forever: a full queue turns the request into an immediate
+// kOverloaded reply with a retry_after_ms hint, so clients see latency
+// bounded by the queue they were admitted to. A supervisor thread watches
+// for wedged workers (a request still running past its deadline plus
+// grace): first it fires the request's cancel token (cooperative), and if
+// the worker still does not come back it delivers a kWedged reply on the
+// request's behalf, bumps the worker's generation, and spawns a
+// replacement — the stuck thread's eventual reply loses the exactly-once
+// race and is discarded. Graceful drain stops admission, cancels every
+// in-flight budget, flushes replies, and joins everything (including
+// replaced workers, whose stalls are released first).
+//
+// Identical concurrent requests are single-flighted: one leader computes,
+// followers wait, and — when the leader's reply is deterministic (no
+// deadline- or cancellation-tripped rung) — share its bytes. A bounded
+// result LRU keeps those deterministic reply bodies across requests;
+// charge-equivalence of the engine caches (fsp/cache.hpp) is what makes a
+// cached body byte-identical to a fresh run's.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "fsp/cache.hpp"
+#include "server/protocol.hpp"
+#include "util/budget.hpp"
+
+namespace ccfsp::server {
+
+struct ServiceConfig {
+  unsigned workers = 4;
+  std::size_t queue_capacity = 64;
+  /// Per-request wall-clock ceiling: a request may ask for less via
+  /// --timeout-ms but never more.
+  std::uint64_t default_timeout_ms = 2000;
+  std::uint64_t max_timeout_ms = 30000;
+  /// Per-rung state cap; a request's --max-states is clamped to this.
+  std::size_t max_states = std::size_t{1} << 22;
+  unsigned default_retries = 1;
+  /// Supervisor escalation: cancel at deadline + grace, declare the worker
+  /// wedged and replace it at deadline + 2 * grace.
+  std::uint64_t wedge_grace_ms = 500;
+  std::uint64_t supervisor_poll_ms = 20;
+  std::size_t result_cache_max_bytes = 8u << 20;
+  SharedCacheRegistry::Config engine_caches;
+};
+
+struct ServiceStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t rejected_draining = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t wedged = 0;
+  std::uint64_t cancelled_by_supervisor = 0;
+  std::uint64_t workers_replaced = 0;
+  std::uint64_t result_cache_hits = 0;
+  std::uint64_t single_flight_joins = 0;
+  std::size_t queue_depth = 0;
+  std::size_t result_cache_bytes = 0;
+  std::uint64_t result_cache_evictions = 0;
+  std::size_t engine_memo_bytes = 0;
+  std::size_t engine_fsp_cache_bytes = 0;
+  std::uint64_t engine_cache_evictions = 0;
+};
+
+class AnalysisService {
+ public:
+  /// Delivered exactly once per submitted request with the reply *body*
+  /// (a {"code": ...} object; the transport adds the envelope). May be
+  /// invoked from a worker, the supervisor, or submit() itself (shed /
+  /// drain rejections) — never twice.
+  using ReplyFn = std::function<void(std::string body)>;
+
+  explicit AnalysisService(ServiceConfig cfg);
+  ~AnalysisService();
+
+  /// Spawn the worker pool and supervisor and install the shared engine
+  /// caches. Call once, before the first submit().
+  void start();
+
+  /// Admit one ANALYZE payload. Shedding, drain rejection, and enqueue
+  /// faults all still reply (with kOverloaded / kShuttingDown / kInternal).
+  void submit(std::string payload, ReplyFn reply);
+
+  /// Stop admission, cancel in-flight requests, flush replies, join all
+  /// threads (bounded by `deadline` per joinable stage). Idempotent.
+  void drain(std::chrono::milliseconds deadline = std::chrono::milliseconds(10000));
+
+  bool draining() const;
+  ServiceStats stats() const;
+  /// The stats snapshot as a JSON object (for the STATS command).
+  std::string stats_json() const;
+
+ private:
+  struct Pending {
+    std::string payload;
+    ReplyFn reply;
+    std::atomic<bool> replied{false};
+
+    /// Exactly-once delivery; the losing caller's body is dropped.
+    bool deliver(const std::string& body) {
+      if (replied.exchange(true)) return false;
+      reply(body);
+      return true;
+    }
+  };
+  using PendingPtr = std::shared_ptr<Pending>;
+
+  struct WorkerSlot {
+    std::thread thread;
+    std::uint64_t generation = 0;
+    // Supervisor-visible view of the in-flight request (guarded by mu_).
+    bool busy = false;
+    std::chrono::steady_clock::time_point started{};
+    std::chrono::milliseconds deadline{0};
+    bool cancel_fired = false;
+    CancelToken token;
+    PendingPtr current;
+  };
+
+  struct FlightEntry {
+    std::vector<PendingPtr> waiters;
+  };
+
+  struct ExecResult {
+    std::string body;
+    /// True when the body cannot depend on timing or injected faults: safe
+    /// to cache and to hand to single-flight followers.
+    bool cacheable = false;
+  };
+
+  void worker_loop(std::size_t slot, std::uint64_t generation);
+  void supervisor_loop();
+  /// Run one request end to end; returns the reply body. Never throws.
+  ExecResult execute(const std::string& payload, const CancelToken& token);
+  /// True when `body` came from a run whose outcome cannot depend on
+  /// timing: safe to cache and to hand to single-flight followers.
+  static bool deterministic_body(const AnalysisReport& report);
+
+  std::string result_cache_find(const std::string& payload);
+  void result_cache_store(const std::string& payload, const std::string& body);
+
+  ServiceConfig cfg_;
+  SharedCacheRegistry registry_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<PendingPtr> queue_;
+  std::vector<std::unique_ptr<WorkerSlot>> slots_;
+  std::vector<std::thread> zombies_;  // replaced worker threads, joined at drain
+  std::unordered_map<std::string, FlightEntry> in_flight_;
+  bool started_ = false;
+  bool draining_ = false;
+  bool drained_ = false;
+  bool supervisor_stop_ = false;
+  std::thread supervisor_;
+
+  // Result cache: payload -> deterministic reply body, LRU by payload.
+  struct CacheEntry {
+    std::string payload;
+    std::string body;
+  };
+  std::list<CacheEntry> cache_lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<CacheEntry>::iterator> cache_index_;
+  std::size_t cache_bytes_ = 0;
+
+  ServiceStats stats_;
+};
+
+}  // namespace ccfsp::server

@@ -261,6 +261,40 @@ std::string tristate_json(const std::optional<bool>& b) {
 
 }  // namespace
 
+std::string analysis_report_json(const AnalysisReport& report) {
+  std::string out = "{\"status\": \"";
+  out += to_string(report.status);
+  out += "\", \"cyclic_semantics\": ";
+  out += report.cyclic_semantics ? "true" : "false";
+  if (report.decided_by) {
+    out += ", \"decided_by\": \"";
+    out += to_string(*report.decided_by);
+    out += '"';
+  }
+  out += ", \"verdict\": {\"unavoidable_success\": " +
+         tristate_json(report.verdict.unavoidable_success);
+  out += ", \"success_collab\": " + tristate_json(report.verdict.success_collab);
+  out += ", \"success_adversity\": " + tristate_json(report.verdict.success_adversity);
+  out += ", \"adversity_applicable\": ";
+  out += report.verdict.adversity_applicable ? "true" : "false";
+  out += "}, \"rungs\": [";
+  for (std::size_t i = 0; i < report.rungs.size(); ++i) {
+    const RungOutcome& r = report.rungs[i];
+    if (i) out += ", ";
+    out += "{\"rung\": \"";
+    out += to_string(r.rung);
+    out += "\", \"status\": \"";
+    out += to_string(r.status);
+    out += "\", \"attempt\": " + std::to_string(r.attempt);
+    out += ", \"states_charged\": " + std::to_string(r.states_charged);
+    out += ", \"budget_reason\": \"";
+    out += to_string(r.budget_reason);
+    out += "\", \"detail\": \"" + metrics::json_escape(r.detail) + "\"}";
+  }
+  out += "]}";
+  return out;
+}
+
 std::string observability_document_json(const metrics::Snapshot& snap,
                                         const AnalysisReport* report) {
   // Keep every key in lockstep with docs/observability.md and the
@@ -270,36 +304,7 @@ std::string observability_document_json(const metrics::Snapshot& snap,
   out += "  \"counters\": " + metrics::counters_json(snap);
   out += ",\n  \"spans\": " + metrics::span_tree_json(snap);
   if (report) {
-    out += ",\n  \"report\": {\"status\": \"";
-    out += to_string(report->status);
-    out += "\", \"cyclic_semantics\": ";
-    out += report->cyclic_semantics ? "true" : "false";
-    if (report->decided_by) {
-      out += ", \"decided_by\": \"";
-      out += to_string(*report->decided_by);
-      out += '"';
-    }
-    out += ", \"verdict\": {\"unavoidable_success\": " +
-           tristate_json(report->verdict.unavoidable_success);
-    out += ", \"success_collab\": " + tristate_json(report->verdict.success_collab);
-    out += ", \"success_adversity\": " + tristate_json(report->verdict.success_adversity);
-    out += ", \"adversity_applicable\": ";
-    out += report->verdict.adversity_applicable ? "true" : "false";
-    out += "}, \"rungs\": [";
-    for (std::size_t i = 0; i < report->rungs.size(); ++i) {
-      const RungOutcome& r = report->rungs[i];
-      if (i) out += ", ";
-      out += "{\"rung\": \"";
-      out += to_string(r.rung);
-      out += "\", \"status\": \"";
-      out += to_string(r.status);
-      out += "\", \"attempt\": " + std::to_string(r.attempt);
-      out += ", \"states_charged\": " + std::to_string(r.states_charged);
-      out += ", \"budget_reason\": \"";
-      out += to_string(r.budget_reason);
-      out += "\", \"detail\": \"" + metrics::json_escape(r.detail) + "\"}";
-    }
-    out += "]}";
+    out += ",\n  \"report\": " + analysis_report_json(*report);
   }
   out += "\n}\n";
   return out;

@@ -119,6 +119,14 @@ struct AnalyzeOptions {
 AnalysisReport analyze(const Network& net, std::size_t p_index,
                        const AnalyzeOptions& opt = {});
 
+/// The report object shared by the observability document and the ccfspd
+/// reply protocol: status, semantics, verdict, and the full rung trace.
+/// Deterministic for count-governed runs — the engine is deterministic and
+/// the shared caches are charge-equivalent, so two runs of the same input
+/// under the same count limits render byte-identically (a deadline- or
+/// cancellation-tripped rung is the only timing-dependent content).
+std::string analysis_report_json(const AnalysisReport& report);
+
 /// The versioned observability document emitted by `ccfsp_analyze
 /// --metrics-json` (schema_version, the full counter catalogue, the span
 /// tree, and — when `report` is non-null — the rung trace and verdict).

@@ -1,5 +1,7 @@
 #include "success/game.hpp"
 
+#include <memory>
+#include <optional>
 #include <set>
 #include <stdexcept>
 
@@ -42,7 +44,18 @@ SolvedGame solve(const Fsp& p, const Fsp& q, bool cyclic_goal, const Budget& bud
     throw std::logic_error("success_adversity: P must have no tau moves (Fig 4 assumption)");
   }
   SolvedGame g;
-  FspAnalysisCache qc(q, &budget);
+  // Q is rebuilt identically for every request on the same model, so a
+  // long-lived server shares its analysis tables across requests; the
+  // registry charges a warm hit exactly what the cold build costs
+  // (charge-equivalence), keeping governed runs cache-oblivious.
+  std::shared_ptr<const FspAnalysisCache> shared_qc;
+  std::optional<FspAnalysisCache> local_qc;
+  if (SharedCacheRegistry* registry = SharedCacheRegistry::current()) {
+    shared_qc = registry->fsp_cache(q, &budget);
+  } else {
+    local_qc.emplace(q, &budget);
+  }
+  const FspAnalysisCache& qc = shared_qc ? *shared_qc : *local_qc;
 
   std::map<Belief, std::uint32_t> belief_ids;
   auto intern_belief = [&](Belief b) {

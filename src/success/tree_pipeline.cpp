@@ -44,14 +44,14 @@ Fsp normal_form_of(const PipelineState& st, const Fsp& acc) {
     return nf;
   }
   if (st.memo) {
-    if (std::optional<Fsp> hit = st.memo->find(acc, st.opt->poss_limit)) {
+    if (std::optional<Fsp> hit = st.memo->find(acc, st.opt->poss_limit, st.opt->budget)) {
       note_size(*st.result, acc, *hit);
       return std::move(*hit);
     }
   }
   std::shared_ptr<const NfLabelShape> shape;
   Fsp nf = poss_normal_form(acc, st.opt->poss_limit, st.opt->budget, &shape);
-  if (st.memo) st.memo->store(acc, nf, shape);
+  if (st.memo) st.memo->store(acc, nf, shape, st.opt->budget);
   note_size(*st.result, acc, nf);
   return nf;
 }
@@ -110,7 +110,12 @@ Theorem3Result theorem3_decide(const Network& net, std::size_t p_index,
   st.net = &net;
   st.opt = &opt;
   st.result = &result;
-  NormalFormMemo memo(opt.memo_max_bytes, opt.budget);
+  // An installed SharedCacheRegistry (the ccfspd server) supplies a
+  // cross-request memo; every find/store passes this run's budget
+  // explicitly, so a shared memo never charges a stale budget.
+  NormalFormMemo local_memo(opt.memo_max_bytes, opt.budget);
+  SharedCacheRegistry* registry = SharedCacheRegistry::current();
+  NormalFormMemo& memo = registry ? registry->memo() : local_memo;
   if (opt.use_flat_kernels && opt.memoize && opt.use_normal_form) st.memo = &memo;
   st.part_members = partition->parts;
   st.quotient_adj.assign(partition->parts.size(), {});

@@ -284,6 +284,7 @@ bool arm_from_env(std::string* error) {
 const std::vector<std::string>& catalog() {
   static const std::vector<std::string> kSites = {
       "analyze.rung",          // success/analyze.cpp: entering a ladder rung
+      "cache.evict",           // fsp/cache.cpp: per LRU eviction (memo + fsp pool)
       "cache.fill",            // fsp/cache.cpp: per-state row of FspAnalysisCache
       "cache.nf_memo",         // fsp/cache.cpp: NormalFormMemo hit / store
       "determinize.subset",    // semantics/poss_automaton.cpp: fresh DFA subset
@@ -294,6 +295,10 @@ const std::vector<std::string>& catalog() {
       "interner.tuple_grow",   // util/flat_interner.hpp: TupleArena rehash
       "normal_form.refine",    // util/refine.cpp: per popped splitter block
       "parse.process",         // fsp/parse.cpp: per parsed process block
+      "server.accept",         // server/daemon.cpp: per accepted connection
+      "server.enqueue",        // server/service.cpp: per admission attempt
+      "server.frame_read",     // server/daemon.cpp: per complete request frame
+      "server.worker",         // server/service.cpp: per dequeued request
   };
   return kSites;
 }

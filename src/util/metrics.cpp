@@ -36,6 +36,8 @@ constexpr CounterInfo kCounterInfo[] = {
     {"nf_memo.misses", Kind::kSum},
     {"nf_memo.stores", Kind::kSum},
     {"nf_memo.stored_bytes", Kind::kSum},
+    {"cache.evictions", Kind::kSum},
+    {"cache.bytes", Kind::kMax},
     {"ladder.attempts", Kind::kSum},
     {"ladder.decided", Kind::kSum},
     {"ladder.unsupported", Kind::kSum},

@@ -68,6 +68,8 @@ enum class Counter : std::uint16_t {
   kNfMemoMisses,
   kNfMemoStores,      // blueprints actually stored (cap/duplicate stores excluded)
   kNfMemoStoredBytes, // bytes those blueprints retain
+  kCacheEvictions,    // LRU entries evicted (nf memo + shared fsp-cache pool)
+  kCacheBytes,        // peak bytes retained by a bounded cache (max)
   // success/analyze.cpp decider ladder
   kLadderAttempts,    // rung attempts (retries included)
   kLadderDecided,     // attempts that returned an answer

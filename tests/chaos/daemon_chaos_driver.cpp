@@ -1,0 +1,360 @@
+// Standalone chaos driver for the ccfspd stack: each schedule boots a fresh
+// in-process daemon, arms a randomized failpoint schedule over the server
+// seams (server.accept, server.frame_read, server.enqueue, server.worker,
+// cache.evict), and turns loose a small swarm of adversarial clients —
+// well-formed analyses, pipelined bursts, poisoned frames, oversize
+// declarations, slow readers — sometimes pulling the drain lever while they
+// are still mid-flight. The CI chaos-smoke job runs
+//
+//   daemon_chaos_driver --iterations 500 --seed 1
+//
+// and expects exit 0 plus a machine-readable summary line on stdout.
+//
+// Invariants held on every schedule:
+//   1. Exactly-one-reply-or-shed: on any connection, each reply carries a
+//      seq the client actually sent, no seq is answered twice, and the
+//      reply count never exceeds the request count. (Sheds and error
+//      frames *are* replies; a dropped connection is a clean EOF.)
+//   2. Drain completes: daemon.drain() returns — with stalls armed, with
+//      clients mid-flight, with poisoned frames buffered — within a
+//      10-second bound.
+//   3. Post-fault determinism: after disarm, a fresh daemon answers the
+//      probe payloads byte-identically to the baseline captured before any
+//      fault was armed (fresh connection, so seq restarts at 0).
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/client.hpp"
+#include "server/daemon.hpp"
+#include "server/frame.hpp"
+#include "server/service.hpp"
+#include "util/failpoint.hpp"
+#include "util/rng.hpp"
+
+using namespace ccfsp;
+using namespace ccfsp::server;
+
+namespace {
+
+const std::vector<std::string>& probe_payloads() {
+  static const std::vector<std::string> payloads = {
+      "ANALYZE\n"
+      "process P { start p1; p1 -a-> p2; }\n"
+      "process Q { start q1; q1 -a-> q2; }\n",
+      "ANALYZE --rungs linear,tree\n"
+      "process A { start a1; a1 -x-> a2; a2 -y-> a3; }\n"
+      "process B { start b1; b1 -x-> b2; b2 -z-> b3; }\n"
+      "process C { start c1; c1 -y-> c2; c2 -z-> c3; }\n",
+      "ANALYZE --max-states 10 --rungs explicit --retries 0\n"
+      "process A { start a1; a1 -x1-> a2; a2 -x2-> a3; }\n"
+      "process B { start b1; b1 -x1-> b2; b2 -x3-> b3; }\n"
+      "process C { start c1; c1 -x2-> c2; c2 -x3-> c3; }\n",
+      "ANALYZE --timeout-ms nope\nnot a model",
+  };
+  return payloads;
+}
+
+struct Stats {
+  std::uint64_t schedules = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t replies = 0;
+  std::uint64_t sheds = 0;
+  std::uint64_t closed_connections = 0;
+  std::uint64_t sites_armed = 0;
+  std::uint64_t drained_midflight = 0;
+};
+
+/// Extract "seq": N from a reply body; SIZE_MAX when absent.
+std::uint64_t seq_of(const std::string& reply) {
+  const char* p = std::strstr(reply.c_str(), "\"seq\": ");
+  if (!p) return ~std::uint64_t{0};
+  return std::strtoull(p + 7, nullptr, 10);
+}
+
+/// One adversarial client session; returns a violation string or "".
+std::string client_session(std::uint16_t port, Rng& rng, Stats& stats,
+                           std::atomic<std::uint64_t>* requests,
+                           std::atomic<std::uint64_t>* replies,
+                           std::atomic<std::uint64_t>* sheds,
+                           std::atomic<std::uint64_t>* closed) {
+  BlockingClient client;
+  if (!client.connect("127.0.0.1", port)) {
+    // A refused/dropped connect (accept fault, drain) is a clean outcome.
+    closed->fetch_add(1);
+    return "";
+  }
+  const std::uint64_t style = rng.below(10);
+  std::uint64_t sent = 0;
+  // Poisoned bytes can accidentally decode as frames (4 random bytes are a
+  // syntactically valid header), so only well-formed sessions can bound the
+  // reply count; unbounded sessions still enforce seq uniqueness.
+  bool bounded = true;
+  if (style < 5) {
+    // Well-formed, possibly pipelined, burst.
+    const std::uint64_t burst = 1 + rng.below(4);
+    std::string wire;
+    for (std::uint64_t i = 0; i < burst; ++i) {
+      wire += encode_frame(probe_payloads()[rng.below(probe_payloads().size())]);
+    }
+    if (!client.send_raw(wire)) {
+      closed->fetch_add(1);
+      return "";
+    }
+    sent = burst;
+  } else if (style < 7) {
+    // Poisoned bytes.
+    std::string junk(rng.below(64), '\0');
+    for (auto& b : junk) b = static_cast<char>(rng.below(256));
+    client.send_raw(junk);
+    client.shutdown_write();
+    bounded = false;
+  } else if (style == 7) {
+    // Oversize declaration.
+    client.send_raw(std::string("\x7f\xff\xff\xff", 4));
+    sent = 1;  // owed exactly one kOversize reply (then close)
+  } else {
+    // Slow reader: a real request, but dawdle before reading the reply.
+    if (client.send_frame(probe_payloads()[rng.below(2)])) {
+      sent = 1;
+      std::this_thread::sleep_for(std::chrono::milliseconds(rng.below(30)));
+    }
+  }
+  requests->fetch_add(sent);
+
+  // Read replies until EOF/timeout; hold invariant 1 on what arrives.
+  std::set<std::uint64_t> seen;
+  std::string reply;
+  std::uint64_t got = 0;
+  while (client.recv_frame(reply, 5000)) {
+    ++got;
+    replies->fetch_add(1);
+    if (reply.find("\"code\": \"overloaded\"") != std::string::npos) sheds->fetch_add(1);
+    const std::uint64_t seq = seq_of(reply);
+    if (seq == ~std::uint64_t{0}) return "reply without a seq: " + reply;
+    if (!seen.insert(seq).second) {
+      return "duplicate reply for seq " + std::to_string(seq);
+    }
+    if (bounded && got > sent) {
+      return "received " + std::to_string(got) + " replies for " + std::to_string(sent) +
+             " requests";
+    }
+    if (bounded && got == sent) break;  // all owed replies arrived; skip the EOF wait
+  }
+  (void)stats;
+  return "";
+}
+
+std::string run_schedule(std::uint64_t seed, Stats& stats) {
+  Rng rng(seed);
+  failpoint::disarm_all();
+
+  // Arm 1-3 random server-seam failpoints.
+  static const char* kSites[] = {"server.accept", "server.frame_read", "server.enqueue",
+                                 "server.worker", "cache.evict"};
+  const std::uint64_t num_armed = 1 + rng.below(3);
+  for (std::uint64_t i = 0; i < num_armed; ++i) {
+    failpoint::Spec spec;
+    switch (rng.below(4)) {
+      case 0: spec.action = failpoint::Action::kThrowBudget; break;
+      case 1: spec.action = failpoint::Action::kThrowBadAlloc; break;
+      case 2:
+        spec.action = failpoint::Action::kDelay;
+        spec.delay_ms = 1 + rng.below(10);
+        break;
+      default:
+        spec.action = failpoint::Action::kStall;
+        spec.delay_ms = 50;  // hard cap; drain releases earlier
+        break;
+    }
+    switch (rng.below(3)) {
+      case 0:
+        spec.trigger = failpoint::Trigger::kOnHit;
+        spec.n = 1 + rng.below(3);
+        break;
+      case 1:
+        spec.trigger = failpoint::Trigger::kEveryK;
+        spec.n = 2 + rng.below(3);
+        break;
+      default:
+        spec.trigger = failpoint::Trigger::kProbability;
+        spec.num = 1;
+        spec.den = 2 + rng.below(3);
+        spec.seed = seed;
+        break;
+    }
+    failpoint::arm(kSites[rng.below(5)], spec);
+    ++stats.sites_armed;
+  }
+
+  ServiceConfig scfg;
+  scfg.workers = 2;
+  scfg.queue_capacity = 4;
+  scfg.default_timeout_ms = 500;
+  scfg.wedge_grace_ms = 100;
+  scfg.supervisor_poll_ms = 10;
+  AnalysisService service(scfg);
+  service.start();
+  DaemonConfig dcfg;
+  dcfg.max_frame_bytes = 4096;
+  dcfg.read_timeout_ms = 400;
+  dcfg.write_timeout_ms = 400;
+  Daemon daemon(dcfg, service);
+  std::string error;
+  if (!daemon.start(&error)) return "daemon failed to start: " + error;
+
+  const std::uint64_t num_clients = 2 + rng.below(4);
+  const bool drain_midflight = rng.below(4) == 0;
+  std::vector<std::thread> threads;
+  std::vector<std::string> violations(num_clients);
+  std::atomic<std::uint64_t> requests{0}, replies{0}, sheds{0}, closed{0};
+  for (std::uint64_t c = 0; c < num_clients; ++c) {
+    const std::uint64_t client_seed = seed * 1000003 + c;
+    threads.emplace_back([&, c, client_seed] {
+      Rng crng(client_seed);
+      violations[c] =
+          client_session(daemon.port(), crng, stats, &requests, &replies, &sheds, &closed);
+    });
+  }
+
+  if (drain_midflight) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(rng.below(20)));
+    ++stats.drained_midflight;
+  } else {
+    for (auto& t : threads) t.join();
+  }
+
+  // Invariant 2: drain completes, bounded.
+  const auto d0 = std::chrono::steady_clock::now();
+  daemon.drain();
+  const double drain_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - d0)
+          .count();
+  for (auto& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  if (drain_ms > 10000) {
+    return "drain took " + std::to_string(drain_ms) + " ms";
+  }
+  for (auto& v : violations) {
+    if (!v.empty()) return v;
+  }
+
+  failpoint::disarm_all();
+  stats.requests += requests.load();
+  stats.replies += replies.load();
+  stats.sheds += sheds.load();
+  stats.closed_connections += closed.load();
+  ++stats.schedules;
+  return "";
+}
+
+/// Capture (or verify) the disarmed baseline: one fresh daemon, one fresh
+/// connection per probe payload, replies recorded byte-for-byte.
+std::string baseline_replies(std::vector<std::string>* out) {
+  AnalysisService service(ServiceConfig{});
+  service.start();
+  Daemon daemon(DaemonConfig{}, service);
+  std::string error;
+  if (!daemon.start(&error)) return "baseline daemon failed to start: " + error;
+  for (const std::string& payload : probe_payloads()) {
+    BlockingClient client;
+    if (!client.connect("127.0.0.1", daemon.port())) return "baseline connect failed";
+    if (!client.send_frame(payload)) return "baseline send failed";
+    std::string reply;
+    if (!client.recv_frame(reply, 30000)) return "baseline recv failed";
+    out->push_back(reply);
+  }
+  daemon.drain();
+  return "";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t iterations = 500;
+  std::uint64_t seed = 1;
+  std::uint64_t verify_every = 10;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--iterations") == 0 && i + 1 < argc) {
+      iterations = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--verify-every") == 0 && i + 1 < argc) {
+      verify_every = std::strtoull(argv[++i], nullptr, 10);
+      if (verify_every == 0) verify_every = 1;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--iterations N] [--seed S] [--verify-every K]\n"
+                   "  sweeps N randomized failpoint schedules through a live\n"
+                   "  ccfspd instance; exit 0 iff every schedule upholds the\n"
+                   "  invariants (exactly-one-reply-or-shed, bounded drain,\n"
+                   "  byte-identical disarmed replies every K schedules).\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::vector<std::string> baseline;
+  if (std::string err = baseline_replies(&baseline); !err.empty()) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return 1;
+  }
+
+  Stats stats;
+  std::uint64_t determinism_checks = 0;
+  for (std::uint64_t i = 0; i < iterations; ++i) {
+    const std::string violation = run_schedule(seed + i, stats);
+    if (!violation.empty()) {
+      std::fprintf(stderr, "daemon chaos violation at iteration %llu (seed %llu):\n%s\n",
+                   static_cast<unsigned long long>(i),
+                   static_cast<unsigned long long>(seed + i), violation.c_str());
+      return 1;
+    }
+    if ((i + 1) % verify_every == 0) {
+      // Invariant 3: disarmed re-runs are byte-identical to the baseline.
+      std::vector<std::string> again;
+      if (std::string err = baseline_replies(&again); !err.empty()) {
+        std::fprintf(stderr, "post-fault verify failed at iteration %llu: %s\n",
+                     static_cast<unsigned long long>(i), err.c_str());
+        return 1;
+      }
+      for (std::size_t p = 0; p < baseline.size(); ++p) {
+        if (again[p] != baseline[p]) {
+          std::fprintf(stderr,
+                       "determinism violation at iteration %llu, probe %zu:\n"
+                       "  baseline: %s\n  re-run:   %s\n",
+                       static_cast<unsigned long long>(i), p, baseline[p].c_str(),
+                       again[p].c_str());
+          return 1;
+        }
+      }
+      ++determinism_checks;
+    }
+    if ((i + 1) % 50 == 0) {
+      std::fprintf(stderr, "  %llu/%llu schedules ok\n",
+                   static_cast<unsigned long long>(i + 1),
+                   static_cast<unsigned long long>(iterations));
+    }
+  }
+
+  std::printf(
+      "{\"daemon_chaos\": {\"schedules\": %llu, \"requests\": %llu, \"replies\": %llu, "
+      "\"sheds\": %llu, \"closed_connections\": %llu, \"sites_armed\": %llu, "
+      "\"drained_midflight\": %llu, \"determinism_checks\": %llu, \"violations\": 0}}\n",
+      static_cast<unsigned long long>(stats.schedules),
+      static_cast<unsigned long long>(stats.requests),
+      static_cast<unsigned long long>(stats.replies),
+      static_cast<unsigned long long>(stats.sheds),
+      static_cast<unsigned long long>(stats.closed_connections),
+      static_cast<unsigned long long>(stats.sites_armed),
+      static_cast<unsigned long long>(stats.drained_midflight),
+      static_cast<unsigned long long>(determinism_checks));
+  return 0;
+}

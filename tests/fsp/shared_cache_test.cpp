@@ -1,0 +1,195 @@
+// Byte accounting and eviction invariants of the shared (cross-request)
+// caches behind ccfspd: the NormalFormMemo LRU and SharedCacheRegistry's
+// FspAnalysisCache pool. The invariants held here are the ones the STATS
+// counters report: retained bytes never exceed the cap, every eviction is
+// counted, hits + misses add up to lookups, and LRU order decides victims.
+#include "fsp/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fsp/builder.hpp"
+#include "semantics/normal_form.hpp"
+#include "util/failpoint.hpp"
+
+namespace ccfsp {
+namespace {
+
+class SharedCacheTest : public ::testing::Test {
+ protected:
+  AlphabetPtr alphabet = std::make_shared<Alphabet>();
+
+  /// Structurally distinct processes: a chain of length n over distinct
+  /// actions (action *pattern* is canonicalized away; the state/edge shape
+  /// is what keys the memo).
+  Fsp chain(int n, const std::string& name) {
+    FspBuilder b(alphabet, name);
+    for (int i = 0; i < n; ++i) {
+      b.trans(std::to_string(i), "a" + std::to_string(i), std::to_string(i + 1));
+    }
+    return b.build();
+  }
+
+  void store_nf(NormalFormMemo& memo, const Fsp& f) {
+    std::shared_ptr<const NfLabelShape> shape;
+    Fsp nf = poss_normal_form(f, 1u << 20, nullptr, &shape);
+    memo.store(f, nf, shape);
+  }
+};
+
+TEST_F(SharedCacheTest, MemoBytesNeverExceedCapAndEvictionsAreCounted) {
+  // Size the cap from real entry sizes: room for the three largest chains,
+  // so storing ten must evict.
+  NormalFormMemo probe(64u << 20);
+  for (int n = 8; n <= 10; ++n) store_nf(probe, chain(n, "probe" + std::to_string(n)));
+  const std::size_t cap = probe.bytes();
+
+  NormalFormMemo memo(cap);
+  for (int n = 1; n <= 10; ++n) {
+    store_nf(memo, chain(n, "c" + std::to_string(n)));
+    EXPECT_LE(memo.bytes(), cap) << "after storing chain " << n;
+  }
+  EXPECT_GT(memo.evictions(), 0u);
+  EXPECT_GT(memo.entries(), 0u);
+  // Conservation: every admitted entry is either resident or was evicted.
+  // (chain(1) alone might have been refused only if larger than the cap,
+  // which three chain(8..10) entries rule out.)
+  EXPECT_EQ(memo.entries() + memo.evictions(), 10u);
+}
+
+TEST_F(SharedCacheTest, MemoHitsPlusMissesEqualLookupsAcrossChurn) {
+  NormalFormMemo probe(64u << 20);
+  for (int n = 4; n <= 6; ++n) store_nf(probe, chain(n, "p" + std::to_string(n)));
+  NormalFormMemo memo(probe.bytes());
+
+  std::size_t lookups = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (int n = 1; n <= 6; ++n) {
+      Fsp f = chain(n, "q" + std::to_string(n));
+      if (!memo.find(f).has_value()) store_nf(memo, f);
+      ++lookups;
+      // A just-stored (or just-hit) entry is MRU: this lookup must hit even
+      // while the scan above churns the cold end of the LRU.
+      EXPECT_TRUE(memo.find(f).has_value()) << n;
+      ++lookups;
+    }
+  }
+  EXPECT_EQ(memo.hits() + memo.misses(), lookups);
+  EXPECT_GE(memo.hits(), lookups / 2);
+  EXPECT_GT(memo.evictions(), 0u);
+}
+
+TEST_F(SharedCacheTest, MemoEvictsLeastRecentlyUsedFirst) {
+  // Cap = exactly three resident chains (5, 6, 7).
+  NormalFormMemo probe(64u << 20);
+  store_nf(probe, chain(5, "p5"));
+  store_nf(probe, chain(6, "p6"));
+  store_nf(probe, chain(7, "p7"));
+  const std::size_t cap = probe.bytes();
+
+  NormalFormMemo memo(cap);
+  store_nf(memo, chain(5, "e5"));
+  store_nf(memo, chain(6, "e6"));
+  store_nf(memo, chain(7, "e7"));
+  ASSERT_EQ(memo.evictions(), 0u);
+  // Refresh chain(5): chain(6) is now the coldest entry.
+  ASSERT_TRUE(memo.find(chain(5, "r5")).has_value());
+  // chain(4) is smaller than chain(6), so evicting the one victim suffices.
+  store_nf(memo, chain(4, "e4"));
+  EXPECT_GE(memo.evictions(), 1u);
+  EXPECT_LE(memo.bytes(), cap);
+  EXPECT_TRUE(memo.find(chain(5, "r5b")).has_value()) << "refreshed entry evicted";
+  EXPECT_FALSE(memo.find(chain(6, "r6")).has_value()) << "LRU victim survived";
+}
+
+TEST_F(SharedCacheTest, MemoEvictionFaultLeavesCacheConsistent) {
+  failpoint::ScopedDisarm guard;
+  NormalFormMemo probe(64u << 20);
+  store_nf(probe, chain(5, "p5"));
+  store_nf(probe, chain(6, "p6"));
+  const std::size_t cap = probe.bytes();
+
+  NormalFormMemo memo(cap);
+  store_nf(memo, chain(5, "e5"));
+  store_nf(memo, chain(6, "e6"));
+  failpoint::Spec s;
+  s.action = failpoint::Action::kThrowBadAlloc;
+  s.trigger = failpoint::Trigger::kOnHit;
+  s.n = 1;
+  failpoint::arm("cache.evict", s);
+  // The store admits the entry, then the eviction pass faults. The cache
+  // may be left over its cap, but must stay structurally consistent.
+  EXPECT_THROW(store_nf(memo, chain(7, "e7")), std::bad_alloc);
+  failpoint::disarm_all();
+  EXPECT_TRUE(memo.find(chain(7, "r7")).has_value());
+  // The next eviction-triggering store resumes shrinking below the cap.
+  store_nf(memo, chain(4, "e4"));
+  EXPECT_LE(memo.bytes(), cap);
+  EXPECT_GT(memo.evictions(), 0u);
+}
+
+TEST_F(SharedCacheTest, FspPoolCountsHitsMissesAndRespectsByteCap) {
+  SharedCacheRegistry::Config probe_cfg;
+  SharedCacheRegistry probe(probe_cfg);
+  std::size_t three = 0;
+  for (int n = 6; n <= 8; ++n) {
+    probe.fsp_cache(chain(n, "p" + std::to_string(n)), nullptr);
+  }
+  three = probe.fsp_cache_bytes();
+
+  SharedCacheRegistry::Config cfg;
+  cfg.fsp_cache_max_bytes = three;
+  SharedCacheRegistry reg(cfg);
+  std::size_t calls = 0;
+  for (int round = 0; round < 2; ++round) {
+    for (int n = 1; n <= 8; ++n) {
+      auto cache = reg.fsp_cache(chain(n, "f" + std::to_string(n)), nullptr);
+      ASSERT_NE(cache, nullptr);
+      EXPECT_EQ(cache->fsp().num_states(), static_cast<std::size_t>(n + 1));
+      EXPECT_LE(reg.fsp_cache_bytes(), three);
+      ++calls;
+    }
+  }
+  EXPECT_EQ(reg.fsp_cache_hits() + reg.fsp_cache_misses(), calls);
+  EXPECT_GT(reg.fsp_cache_evictions(), 0u);
+}
+
+TEST_F(SharedCacheTest, EvictedPoolEntryStaysAliveThroughItsHandle) {
+  // Cap = room for exactly chains 5 and 6 together, so admitting chain 4
+  // must evict the colder of the two residents.
+  SharedCacheRegistry::Config probe_cfg;
+  SharedCacheRegistry probe(probe_cfg);
+  probe.fsp_cache(chain(5, "p5"), nullptr);
+  probe.fsp_cache(chain(6, "p6"), nullptr);
+  SharedCacheRegistry::Config cfg;
+  cfg.fsp_cache_max_bytes = probe.fsp_cache_bytes();
+  SharedCacheRegistry reg(cfg);
+
+  auto held = reg.fsp_cache(chain(5, "h5"), nullptr);
+  reg.fsp_cache(chain(6, "h6"), nullptr);  // held (chain 5) is now LRU
+  reg.fsp_cache(chain(4, "h4"), nullptr);  // evicts it
+  EXPECT_GT(reg.fsp_cache_evictions(), 0u);
+  // The handle keeps the evicted tables (and their Fsp) valid.
+  EXPECT_EQ(held->fsp().num_states(), 6u);
+  EXPECT_FALSE(held->tau_closure(0).empty());
+}
+
+TEST_F(SharedCacheTest, WarmPoolHitChargesLikeAColdBuild) {
+  SharedCacheRegistry reg{SharedCacheRegistry::Config{}};
+  Fsp f = chain(6, "charge");
+  reg.fsp_cache(f, nullptr);  // warm the pool, uncharged
+
+  // A budget too small for the cold build must trip identically on the warm
+  // hit: cache temperature is invisible to governed accounting.
+  Budget tiny = Budget().limit_bytes(8);
+  try {
+    reg.fsp_cache(f, &tiny);
+    FAIL() << "expected BudgetExceeded on the warm hit";
+  } catch (const BudgetExceeded& e) {
+    EXPECT_EQ(e.reason(), BudgetDimension::kBytes);
+  }
+}
+
+}  // namespace
+}  // namespace ccfsp

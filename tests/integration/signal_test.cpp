@@ -1,0 +1,74 @@
+// Cooperative interruption of the CLI (docs/robustness.md §7): SIGINT or
+// SIGTERM delivered mid-ladder must cancel the governed budget, let the
+// run finish with a complete budget-exhausted (cancelled) report, and exit
+// with the documented budget exit code 3 — not die on the default signal
+// disposition with no report.
+#include <gtest/gtest.h>
+
+#ifdef CCFSP_ANALYZE_BIN
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ccfsp {
+namespace {
+
+/// Launch ccfsp_analyze on a workload that runs for minutes unless
+/// interrupted, with stdout redirected to `out_path`.
+pid_t spawn_long_analysis(const std::string& out_path) {
+  const pid_t pid = fork();
+  if (pid != 0) return pid;
+  const int fd = ::open(out_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) _exit(97);
+  ::dup2(fd, STDOUT_FILENO);
+  ::close(fd);
+  ::execl(CCFSP_ANALYZE_BIN, CCFSP_ANALYZE_BIN, "--gen", "wave:64:32", "--rungs",
+          "explicit", "--timeout-ms", "600000", "--retries", "0",
+          static_cast<char*>(nullptr));
+  _exit(98);
+}
+
+void expect_signal_yields_clean_budget_exit(int sig) {
+  const std::string out_path = ::testing::TempDir() + "/ccfsp_signal_test.out";
+  const pid_t pid = spawn_long_analysis(out_path);
+  ASSERT_GT(pid, 0);
+
+  // Give the run time to install its handlers and enter the explicit rung;
+  // the workload itself needs minutes, so this cannot race completion.
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  ASSERT_EQ(::kill(pid, sig), 0);
+
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status)) << "died on the signal instead of cancelling";
+  EXPECT_EQ(WEXITSTATUS(status), 3);  // the documented budget exit code
+
+  std::ifstream in(out_path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("outcome: budget-exhausted"), std::string::npos) << out;
+  std::remove(out_path.c_str());
+}
+
+TEST(SignalHandling, SigintCancelsCooperatively) {
+  expect_signal_yields_clean_budget_exit(SIGINT);
+}
+
+TEST(SignalHandling, SigtermCancelsCooperatively) {
+  expect_signal_yields_clean_budget_exit(SIGTERM);
+}
+
+}  // namespace
+}  // namespace ccfsp
+
+#endif  // CCFSP_ANALYZE_BIN

@@ -1,0 +1,237 @@
+// End-to-end daemon tests: a live Daemon on an ephemeral loopback port,
+// exercised through BlockingClient — including the poisoned-frame paths a
+// well-behaved client can never produce.
+#include "server/daemon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <thread>
+
+#include "../support/mini_json.hpp"
+#include "server/client.hpp"
+#include "server/frame.hpp"
+#include "util/failpoint.hpp"
+
+namespace ccfsp::server {
+namespace {
+
+using testsupport::JsonParser;
+using testsupport::JsonPtr;
+
+constexpr const char* kTinyRequest =
+    "ANALYZE\n"
+    "process P { start p1; p1 -a-> p2; }\n"
+    "process Q { start q1; q1 -a-> q2; }\n";
+
+/// A daemon on an ephemeral port, torn down (service and all) on scope exit.
+struct LiveDaemon {
+  explicit LiveDaemon(DaemonConfig dcfg = DaemonConfig{},
+                      ServiceConfig scfg = ServiceConfig{})
+      : service(scfg), daemon(std::move(dcfg), service) {
+    service.start();
+    std::string error;
+    ok = daemon.start(&error);
+    EXPECT_TRUE(ok) << error;
+  }
+  ~LiveDaemon() {
+    failpoint::release_stalls();
+    failpoint::disarm_all();
+    daemon.drain();
+  }
+
+  BlockingClient connect() {
+    BlockingClient client;
+    std::string error;
+    EXPECT_TRUE(client.connect("127.0.0.1", daemon.port(), &error)) << error;
+    return client;
+  }
+
+  AnalysisService service;
+  Daemon daemon;
+  bool ok = false;
+};
+
+JsonPtr request_reply(BlockingClient& client, const std::string& payload) {
+  EXPECT_TRUE(client.send_frame(payload));
+  std::string reply;
+  EXPECT_TRUE(client.recv_frame(reply, 30000));
+  return JsonParser(reply).parse();
+}
+
+TEST(Daemon, AnalyzePingStatsOverOneConnection) {
+  LiveDaemon live;
+  BlockingClient client = live.connect();
+
+  JsonPtr analyze = request_reply(client, kTinyRequest);
+  EXPECT_EQ(analyze->at("schema_version").as_u64(), 1u);
+  EXPECT_EQ(analyze->at("seq").as_u64(), 0u);
+  EXPECT_EQ(analyze->at("code").string, "decided");
+  EXPECT_EQ(analyze->at("report").at("status").string, "decided");
+
+  JsonPtr ping = request_reply(client, "PING");
+  EXPECT_EQ(ping->at("seq").as_u64(), 1u);
+  EXPECT_EQ(ping->at("code").string, "ok");
+  EXPECT_TRUE(ping->at("pong").boolean);
+
+  JsonPtr stats = request_reply(client, "STATS");
+  EXPECT_EQ(stats->at("seq").as_u64(), 2u);
+  EXPECT_EQ(stats->at("code").string, "ok");
+  EXPECT_GE(stats->at("stats").at("accepted").as_u64(), 1u);
+}
+
+TEST(Daemon, FreshConnectionsGetByteIdenticalReplies) {
+  LiveDaemon live;
+  std::string first, second;
+  {
+    BlockingClient client = live.connect();
+    ASSERT_TRUE(client.send_frame(kTinyRequest));
+    ASSERT_TRUE(client.recv_frame(first, 30000));
+  }
+  {
+    BlockingClient client = live.connect();
+    ASSERT_TRUE(client.send_frame(kTinyRequest));
+    ASSERT_TRUE(client.recv_frame(second, 30000));
+  }
+  // seq restarts at 0 per connection and the body is deterministic, so a
+  // re-run of the same request is bit-identical — warm caches and all.
+  EXPECT_EQ(first, second);
+}
+
+TEST(Daemon, PipelinedRequestsEachGetTheirSeq) {
+  LiveDaemon live;
+  BlockingClient client = live.connect();
+  ASSERT_TRUE(client.send_raw(encode_frame(kTinyRequest) + encode_frame("PING") +
+                              encode_frame(kTinyRequest)));
+  std::set<std::uint64_t> seqs;
+  for (int i = 0; i < 3; ++i) {
+    std::string reply;
+    ASSERT_TRUE(client.recv_frame(reply, 30000)) << "reply " << i;
+    seqs.insert(JsonParser(reply).parse()->at("seq").as_u64());
+  }
+  EXPECT_EQ(seqs, (std::set<std::uint64_t>{0, 1, 2}));
+}
+
+TEST(Daemon, OversizeDeclarationRepliedThenConnectionClosed) {
+  DaemonConfig cfg;
+  cfg.max_frame_bytes = 64;
+  LiveDaemon live(cfg);
+  BlockingClient client = live.connect();
+  // Declare 2^24 bytes; send only the header.
+  ASSERT_TRUE(client.send_raw(std::string("\x01\x00\x00\x00", 4)));
+  std::string reply;
+  ASSERT_TRUE(client.recv_frame(reply, 5000));
+  EXPECT_EQ(JsonParser(reply).parse()->at("code").string, "oversize");
+  // The stream position past a refused payload is unknowable: EOF follows.
+  EXPECT_FALSE(client.recv_frame(reply, 5000));
+}
+
+TEST(Daemon, OversizePayloadItselfIsRefused) {
+  DaemonConfig cfg;
+  cfg.max_frame_bytes = 64;
+  LiveDaemon live(cfg);
+  BlockingClient client = live.connect();
+  ASSERT_TRUE(client.send_frame(std::string(65, 'x')));
+  std::string reply;
+  ASSERT_TRUE(client.recv_frame(reply, 5000));
+  EXPECT_EQ(JsonParser(reply).parse()->at("code").string, "oversize");
+}
+
+TEST(Daemon, MalformedCommandRepliesAndConnectionSurvives) {
+  LiveDaemon live;
+  BlockingClient client = live.connect();
+  JsonPtr bad = request_reply(client, "FROBNICATE the network");
+  EXPECT_EQ(bad->at("code").string, "invalid-request");
+  // One bad command must not poison the connection.
+  JsonPtr ping = request_reply(client, "PING");
+  EXPECT_EQ(ping->at("code").string, "ok");
+}
+
+TEST(Daemon, TruncatedFrameAtEofClosesWithoutReply) {
+  LiveDaemon live;
+  {
+    BlockingClient client = live.connect();
+    // Declare 100 bytes, deliver 3, then half-close: no complete frame ever
+    // arrives, so no reply is owed and the server just closes.
+    ASSERT_TRUE(client.send_raw(std::string("\x00\x00\x00\x64", 4) + "abc"));
+    client.shutdown_write();
+    std::string reply;
+    EXPECT_FALSE(client.recv_frame(reply, 5000));
+  }
+  // The daemon is still healthy for the next connection.
+  BlockingClient client = live.connect();
+  EXPECT_EQ(request_reply(client, "PING")->at("code").string, "ok");
+}
+
+TEST(Daemon, IdleConnectionIsReaped) {
+  DaemonConfig cfg;
+  cfg.read_timeout_ms = 150;
+  LiveDaemon live(cfg);
+  BlockingClient client = live.connect();
+  // Send nothing: the read watchdog must close us, not leak the connection.
+  std::string reply;
+  EXPECT_FALSE(client.recv_frame(reply, 5000));
+}
+
+TEST(Daemon, AcceptFaultDropsOneConnectionNotTheListener) {
+  failpoint::ScopedDisarm guard;
+  LiveDaemon live;
+  failpoint::Spec s;
+  s.action = failpoint::Action::kThrowBadAlloc;
+  s.trigger = failpoint::Trigger::kOnHit;
+  s.n = 1;
+  failpoint::arm("server.accept", s);
+  {
+    // This connection may be accepted-then-dropped; tolerate either a
+    // refused connect or an immediate EOF.
+    BlockingClient victim;
+    if (victim.connect("127.0.0.1", live.daemon.port())) {
+      std::string reply;
+      victim.send_frame("PING");
+      victim.recv_frame(reply, 2000);
+    }
+  }
+  failpoint::disarm_all();
+  BlockingClient client = live.connect();
+  EXPECT_EQ(request_reply(client, "PING")->at("code").string, "ok");
+}
+
+TEST(Daemon, DrainMidFlightDeliversExactlyOneReply) {
+  failpoint::ScopedDisarm guard;
+  ServiceConfig scfg;
+  scfg.workers = 1;
+  LiveDaemon live(DaemonConfig{}, scfg);
+  failpoint::Spec s;
+  s.action = failpoint::Action::kStall;
+  s.trigger = failpoint::Trigger::kOnHit;
+  s.n = 1;
+  s.delay_ms = 5000;
+  failpoint::arm("server.worker", s);
+
+  BlockingClient client = live.connect();
+  ASSERT_TRUE(client.send_frame(kTinyRequest));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));  // let it start
+  std::thread drainer([&] { live.daemon.drain(); });
+
+  // Drain releases the stall and cancels the budget: exactly one reply
+  // arrives (whatever its code), then EOF.
+  std::string reply;
+  ASSERT_TRUE(client.recv_frame(reply, 15000));
+  JsonPtr v = JsonParser(reply).parse();
+  EXPECT_TRUE(v->has("code"));
+  std::string extra;
+  EXPECT_FALSE(client.recv_frame(extra, 2000));
+  drainer.join();
+}
+
+TEST(Daemon, DrainIsIdempotent) {
+  LiveDaemon live;
+  live.daemon.drain();
+  live.daemon.drain();
+  BlockingClient client;
+  EXPECT_FALSE(client.connect("127.0.0.1", live.daemon.port()));
+}
+
+}  // namespace
+}  // namespace ccfsp::server

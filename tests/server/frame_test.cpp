@@ -1,0 +1,100 @@
+#include "server/frame.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccfsp::server {
+namespace {
+
+TEST(Frame, RoundTrip) {
+  const std::string payload = "ANALYZE\nprocess P { start p1; }";
+  const std::string wire = encode_frame(payload);
+  ASSERT_EQ(wire.size(), payload.size() + 4);
+
+  FrameParser parser(1 << 20);
+  parser.feed(wire.data(), wire.size());
+  std::string out;
+  ASSERT_EQ(parser.next(out), FrameParser::Status::kFrame);
+  EXPECT_EQ(out, payload);
+  EXPECT_EQ(parser.next(out), FrameParser::Status::kNeedMore);
+  EXPECT_FALSE(parser.mid_frame());
+}
+
+TEST(Frame, HeaderIsBigEndian) {
+  const std::string wire = encode_frame("abc");
+  EXPECT_EQ(wire[0], '\x00');
+  EXPECT_EQ(wire[1], '\x00');
+  EXPECT_EQ(wire[2], '\x00');
+  EXPECT_EQ(wire[3], '\x03');
+}
+
+TEST(Frame, ZeroLengthPayload) {
+  FrameParser parser(64);
+  const std::string wire = encode_frame("");
+  parser.feed(wire.data(), wire.size());
+  std::string out = "sentinel";
+  ASSERT_EQ(parser.next(out), FrameParser::Status::kFrame);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Frame, IncrementalByteAtATime) {
+  const std::string payload = "hello frames";
+  const std::string wire = encode_frame(payload);
+  FrameParser parser(1 << 20);
+  std::string out;
+  for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+    parser.feed(wire.data() + i, 1);
+    EXPECT_EQ(parser.next(out), FrameParser::Status::kNeedMore) << "at byte " << i;
+    EXPECT_TRUE(parser.mid_frame());
+  }
+  parser.feed(wire.data() + wire.size() - 1, 1);
+  ASSERT_EQ(parser.next(out), FrameParser::Status::kFrame);
+  EXPECT_EQ(out, payload);
+}
+
+TEST(Frame, PipelinedFramesDrainInOrder) {
+  const std::string wire =
+      encode_frame("first") + encode_frame("") + encode_frame("third");
+  FrameParser parser(1 << 20);
+  parser.feed(wire.data(), wire.size());
+  std::string out;
+  ASSERT_EQ(parser.next(out), FrameParser::Status::kFrame);
+  EXPECT_EQ(out, "first");
+  ASSERT_EQ(parser.next(out), FrameParser::Status::kFrame);
+  EXPECT_EQ(out, "");
+  ASSERT_EQ(parser.next(out), FrameParser::Status::kFrame);
+  EXPECT_EQ(out, "third");
+  EXPECT_EQ(parser.next(out), FrameParser::Status::kNeedMore);
+}
+
+TEST(Frame, OversizeDeclarationRefusedBeforeBuffering) {
+  FrameParser parser(16);
+  // Declares 2^31 bytes; only the header ever arrives.
+  const char header[4] = {'\x80', '\x00', '\x00', '\x00'};
+  parser.feed(header, 4);
+  std::string out;
+  EXPECT_EQ(parser.next(out), FrameParser::Status::kOversize);
+  EXPECT_EQ(parser.declared(), std::size_t{1} << 31);
+  // Sticky: the stream position past the refusal is unknowable.
+  EXPECT_EQ(parser.next(out), FrameParser::Status::kOversize);
+}
+
+TEST(Frame, ExactCapIsNotOversize) {
+  FrameParser parser(8);
+  const std::string wire = encode_frame("12345678");
+  parser.feed(wire.data(), wire.size());
+  std::string out;
+  EXPECT_EQ(parser.next(out), FrameParser::Status::kFrame);
+  EXPECT_EQ(out, "12345678");
+}
+
+TEST(Frame, OneOverCapIsOversize) {
+  FrameParser parser(8);
+  const std::string wire = encode_frame("123456789");
+  parser.feed(wire.data(), wire.size());
+  std::string out;
+  EXPECT_EQ(parser.next(out), FrameParser::Status::kOversize);
+  EXPECT_EQ(parser.declared(), 9u);
+}
+
+}  // namespace
+}  // namespace ccfsp::server

@@ -1,0 +1,135 @@
+#include "server/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../support/mini_json.hpp"
+
+namespace ccfsp::server {
+namespace {
+
+using testsupport::JsonParser;
+using testsupport::JsonPtr;
+
+TEST(Protocol, ReplyCodeNamesRoundTrip) {
+  for (int i = 0; i <= static_cast<int>(ReplyCode::kInternal); ++i) {
+    const ReplyCode c = static_cast<ReplyCode>(i);
+    auto back = reply_code_from_string(to_string(c));
+    ASSERT_TRUE(back.has_value()) << to_string(c);
+    EXPECT_EQ(*back, c);
+  }
+  EXPECT_FALSE(reply_code_from_string("nonsense").has_value());
+}
+
+TEST(Protocol, ParseAnalyzeWithFlags) {
+  ParsedRequest p = parse_request(
+      "ANALYZE --timeout-ms 250 --max-states 1000 --retries 2 --rungs linear,tree "
+      "--distinguished P\nprocess P { start p1; }\n");
+  ASSERT_EQ(p.command, Command::kAnalyze);
+  EXPECT_EQ(p.analyze.timeout_ms, 250u);
+  EXPECT_EQ(p.analyze.max_states, 1000u);
+  EXPECT_TRUE(p.analyze.retries_set);
+  EXPECT_EQ(p.analyze.retries, 2u);
+  ASSERT_EQ(p.analyze.rungs.size(), 2u);
+  EXPECT_EQ(p.analyze.rungs[0], Rung::kLinear);
+  EXPECT_EQ(p.analyze.rungs[1], Rung::kTree);
+  EXPECT_EQ(p.analyze.distinguished, "P");
+  EXPECT_EQ(p.analyze.model_text, "process P { start p1; }\n");
+}
+
+TEST(Protocol, ParseAnalyzeBareCommand) {
+  ParsedRequest p = parse_request("ANALYZE\nprocess P { start p1; }");
+  ASSERT_EQ(p.command, Command::kAnalyze);
+  EXPECT_EQ(p.analyze.timeout_ms, 0u);
+  EXPECT_FALSE(p.analyze.retries_set);
+  EXPECT_TRUE(p.analyze.rungs.empty());
+}
+
+TEST(Protocol, ParsePingIgnoresPadding) {
+  EXPECT_EQ(parse_request("PING").command, Command::kPing);
+  EXPECT_EQ(parse_request("PING xxxxxxxx").command, Command::kPing);
+  EXPECT_EQ(parse_request("PING\nextra body ignored").command, Command::kPing);
+}
+
+TEST(Protocol, ParseStats) {
+  EXPECT_EQ(parse_request("STATS").command, Command::kStats);
+  EXPECT_EQ(parse_request("STATS verbose").command, Command::kInvalid);
+}
+
+TEST(Protocol, InvalidRequests) {
+  EXPECT_EQ(parse_request("").command, Command::kInvalid);
+  EXPECT_EQ(parse_request("\nmodel").command, Command::kInvalid);
+  EXPECT_EQ(parse_request("FROBNICATE\nx").command, Command::kInvalid);
+  EXPECT_EQ(parse_request("ANALYZE").command, Command::kInvalid);  // no model text
+  EXPECT_EQ(parse_request("ANALYZE\n").command, Command::kInvalid);
+  EXPECT_EQ(parse_request("ANALYZE --timeout-ms\nmodel").command, Command::kInvalid);
+  EXPECT_EQ(parse_request("ANALYZE --timeout-ms abc\nmodel").command, Command::kInvalid);
+  EXPECT_EQ(parse_request("ANALYZE --rungs bogus\nmodel").command, Command::kInvalid);
+  EXPECT_EQ(parse_request("ANALYZE --wat\nmodel").command, Command::kInvalid);
+  // Every invalid parse carries a human-readable reason.
+  EXPECT_FALSE(parse_request("FROBNICATE\nx").error.empty());
+}
+
+TEST(Protocol, WindowsLineEndingTolerated) {
+  ParsedRequest p = parse_request("ANALYZE --timeout-ms 5\r\nprocess P { start p1; }");
+  ASSERT_EQ(p.command, Command::kAnalyze);
+  EXPECT_EQ(p.analyze.timeout_ms, 5u);
+}
+
+TEST(Protocol, BodiesAreValidJsonWithCodes) {
+  for (const std::string& body :
+       {error_body(ReplyCode::kInternal, "boom \"quoted\" \n newline"),
+        overloaded_body(125, "queue full"), pong_body(), stats_body("{\"accepted\": 3}")}) {
+    JsonPtr v = JsonParser(body).parse();
+    ASSERT_TRUE(v->is_object()) << body;
+    ASSERT_TRUE(v->has("code")) << body;
+    EXPECT_TRUE(reply_code_from_string(v->at("code").string).has_value()) << body;
+  }
+}
+
+TEST(Protocol, OverloadedBodyCarriesRetryAfter) {
+  JsonPtr v = JsonParser(overloaded_body(250, "shed")).parse();
+  EXPECT_EQ(v->at("code").string, "overloaded");
+  EXPECT_EQ(v->at("retry_after_ms").as_u64(), 250u);
+}
+
+TEST(Protocol, WrapReplySplicesEnvelope) {
+  const std::string wrapped = wrap_reply(7, pong_body());
+  JsonPtr v = JsonParser(wrapped).parse();
+  EXPECT_EQ(v->at("schema_version").as_u64(), 1u);
+  EXPECT_EQ(v->at("seq").as_u64(), 7u);
+  EXPECT_EQ(v->at("code").string, "ok");
+  EXPECT_TRUE(v->at("pong").boolean);
+}
+
+TEST(Protocol, ReportBodyEmbedsAnalysisReportSchema) {
+  AnalysisReport report;
+  report.status = OutcomeStatus::kDecided;
+  report.decided_by = Rung::kLinear;
+  report.verdict.unavoidable_success = true;
+  report.verdict.success_collab = true;
+  RungOutcome r;
+  r.rung = Rung::kLinear;
+  r.status = OutcomeStatus::kDecided;
+  r.detail = "S_u=yes S_c=yes";
+  report.rungs.push_back(r);
+
+  JsonPtr v = JsonParser(report_body(report)).parse();
+  EXPECT_EQ(v->at("code").string, "decided");
+  const auto& rep = v->at("report");
+  EXPECT_EQ(rep.at("status").string, "decided");
+  EXPECT_EQ(rep.at("decided_by").string, "linear");
+  EXPECT_TRUE(rep.at("verdict").at("unavoidable_success").boolean);
+  ASSERT_EQ(rep.at("rungs").array.size(), 1u);
+  EXPECT_EQ(rep.at("rungs").array[0]->at("rung").string, "linear");
+  EXPECT_EQ(rep.at("rungs").array[0]->at("budget_reason").string, "none");
+}
+
+TEST(Protocol, CodeOfMirrorsOutcomeTaxonomy) {
+  EXPECT_EQ(code_of(OutcomeStatus::kDecided), ReplyCode::kDecided);
+  EXPECT_EQ(code_of(OutcomeStatus::kBudgetExhausted), ReplyCode::kBudgetExhausted);
+  EXPECT_EQ(code_of(OutcomeStatus::kUnsupported), ReplyCode::kUnsupported);
+  EXPECT_EQ(code_of(OutcomeStatus::kInvalidInput), ReplyCode::kInvalidInput);
+}
+
+}  // namespace
+}  // namespace ccfsp::server

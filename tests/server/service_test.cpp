@@ -1,0 +1,297 @@
+// AnalysisService behaviour without sockets: admission, shedding, budget
+// isolation, fault containment, single-flight, the result cache, wedge
+// escalation, and drain semantics. Failpoints are process-global, so every
+// test that arms one disarms on exit.
+#include "server/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <vector>
+
+#include "../support/mini_json.hpp"
+#include "util/failpoint.hpp"
+
+namespace ccfsp::server {
+namespace {
+
+using testsupport::JsonParser;
+using testsupport::JsonPtr;
+
+constexpr const char* kTinyModel =
+    "process P { start p1; p1 -a-> p2; }\n"
+    "process Q { start q1; q1 -a-> q2; }\n";
+
+std::string analyze_payload(const std::string& flags = "") {
+  return "ANALYZE" + (flags.empty() ? "" : " " + flags) + "\n" + kTinyModel;
+}
+
+/// Submit and wait for the (exactly-once) reply body.
+std::string roundtrip(AnalysisService& service, const std::string& payload,
+                      std::chrono::seconds timeout = std::chrono::seconds(30)) {
+  auto promise = std::make_shared<std::promise<std::string>>();
+  auto future = promise->get_future();
+  service.submit(payload, [promise](std::string body) { promise->set_value(std::move(body)); });
+  if (future.wait_for(timeout) != std::future_status::ready) return "<no reply>";
+  return future.get();
+}
+
+std::string code_of_body(const std::string& body) {
+  return JsonParser(body).parse()->at("code").string;
+}
+
+struct FailpointGuard {
+  ~FailpointGuard() {
+    failpoint::release_stalls();
+    failpoint::disarm_all();
+  }
+};
+
+TEST(Service, AnalyzeDecides) {
+  AnalysisService service(ServiceConfig{});
+  service.start();
+  const std::string body = roundtrip(service, analyze_payload());
+  JsonPtr v = JsonParser(body).parse();
+  EXPECT_EQ(v->at("code").string, "decided");
+  EXPECT_EQ(v->at("report").at("status").string, "decided");
+  service.drain();
+}
+
+TEST(Service, InvalidModelIsInvalidInput) {
+  AnalysisService service(ServiceConfig{});
+  service.start();
+  EXPECT_EQ(code_of_body(roundtrip(service, "ANALYZE\nprocess {{{ nope")), "invalid-input");
+  // A Definition 2 violation (action in one process only) is invalid input
+  // too, not an internal error.
+  EXPECT_EQ(code_of_body(roundtrip(service, "ANALYZE\nprocess P { start p1; p1 -a-> p2; }\n")),
+            "invalid-input");
+  service.drain();
+}
+
+TEST(Service, InvalidRequestIsTaxonomyCoded) {
+  AnalysisService service(ServiceConfig{});
+  service.start();
+  EXPECT_EQ(code_of_body(roundtrip(service, "FROBNICATE\nx")), "invalid-request");
+  EXPECT_EQ(code_of_body(roundtrip(service, "ANALYZE --timeout-ms nope\nx")),
+            "invalid-request");
+  service.drain();
+}
+
+TEST(Service, StateBudgetTripsAsBudgetExhausted) {
+  AnalysisService service(ServiceConfig{});
+  service.start();
+  // Pin the ladder to the explicit rung and cap states below the 3x3x3
+  // product machine: the wall must surface as a structured reply, not an
+  // error frame.
+  std::string model =
+      "ANALYZE --max-states 10 --rungs explicit --retries 0\n"
+      "process A { start a1; a1 -x1-> a2; a2 -x2-> a3; }\n"
+      "process B { start b1; b1 -x1-> b2; b2 -x3-> b3; }\n"
+      "process C { start c1; c1 -x2-> c2; c2 -x3-> c3; }\n";
+  const std::string body = roundtrip(service, model);
+  JsonPtr v = JsonParser(body).parse();
+  EXPECT_EQ(v->at("code").string, "budget-exhausted");
+  service.drain();
+}
+
+TEST(Service, DrainRejectsNewWork) {
+  AnalysisService service(ServiceConfig{});
+  service.start();
+  service.drain();
+  EXPECT_EQ(code_of_body(roundtrip(service, analyze_payload())), "shutting-down");
+}
+
+TEST(Service, SubmitBeforeStartRejects) {
+  AnalysisService service(ServiceConfig{});
+  EXPECT_EQ(code_of_body(roundtrip(service, analyze_payload())), "shutting-down");
+}
+
+TEST(Service, OverloadShedsWithRetryAfter) {
+  FailpointGuard guard;
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_capacity = 2;
+  AnalysisService service(cfg);
+  service.start();
+  // Hold the lone worker inside its first request so the queue backs up.
+  failpoint::arm("server.worker", [] {
+    failpoint::Spec s;
+    s.action = failpoint::Action::kStall;
+    s.delay_ms = 2000;
+    s.trigger = failpoint::Trigger::kOnHit;
+    s.n = 1;
+    return s;
+  }());
+
+  std::vector<std::future<std::string>> futures;
+  auto submit = [&](const std::string& payload) {
+    auto p = std::make_shared<std::promise<std::string>>();
+    futures.push_back(p->get_future());
+    service.submit(payload, [p](std::string body) { p->set_value(std::move(body)); });
+  };
+  // Distinct payloads so single-flight cannot merge them: the worker takes
+  // one, two fill the queue, the rest must shed.
+  for (int i = 0; i < 6; ++i) {
+    submit(analyze_payload("--max-states " + std::to_string(100000 + i)));
+  }
+
+  int shed = 0;
+  {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ServiceStats s = service.stats();
+    EXPECT_GE(s.shed, 3u);
+  }
+  failpoint::release_stalls();
+  failpoint::disarm_all();
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(30)), std::future_status::ready);
+    JsonPtr v = JsonParser(f.get()).parse();
+    const std::string code = v->at("code").string;
+    if (code == "overloaded") {
+      ++shed;
+      EXPECT_GT(v->at("retry_after_ms").as_u64(), 0u);
+    } else {
+      EXPECT_EQ(code, "decided");
+    }
+  }
+  EXPECT_GE(shed, 3);  // exactly one reply each, some shed, none lost
+  service.drain();
+}
+
+TEST(Service, SingleFlightSharesDeterministicReplies) {
+  FailpointGuard guard;
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  AnalysisService service(cfg);
+  service.start();
+  // Stall the leader mid-execute so identical followers park as waiters.
+  failpoint::arm("server.worker", [] {
+    failpoint::Spec s;
+    s.action = failpoint::Action::kStall;
+    s.delay_ms = 400;
+    s.trigger = failpoint::Trigger::kOnHit;
+    s.n = 1;
+    return s;
+  }());
+
+  std::vector<std::future<std::string>> futures;
+  for (int i = 0; i < 3; ++i) {
+    auto p = std::make_shared<std::promise<std::string>>();
+    futures.push_back(p->get_future());
+    service.submit(analyze_payload(), [p](std::string body) { p->set_value(std::move(body)); });
+  }
+  std::vector<std::string> bodies;
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(30)), std::future_status::ready);
+    bodies.push_back(f.get());
+  }
+  EXPECT_EQ(bodies[0], bodies[1]);
+  EXPECT_EQ(bodies[1], bodies[2]);
+  EXPECT_EQ(code_of_body(bodies[0]), "decided");
+  ServiceStats s = service.stats();
+  EXPECT_GE(s.single_flight_joins + s.result_cache_hits, 2u);
+  service.drain();
+}
+
+TEST(Service, ResultCacheHitsAreByteIdentical) {
+  AnalysisService service(ServiceConfig{});
+  service.start();
+  const std::string first = roundtrip(service, analyze_payload());
+  const std::string second = roundtrip(service, analyze_payload());
+  EXPECT_EQ(first, second);
+  EXPECT_GE(service.stats().result_cache_hits, 1u);
+  service.drain();
+}
+
+TEST(Service, WorkerFaultIsContained) {
+  FailpointGuard guard;
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  AnalysisService service(cfg);
+  service.start();
+  failpoint::arm("server.worker", [] {
+    failpoint::Spec s;
+    s.action = failpoint::Action::kThrowBadAlloc;
+    s.trigger = failpoint::Trigger::kOnHit;
+    s.n = 1;
+    return s;
+  }());
+  EXPECT_EQ(code_of_body(roundtrip(service, analyze_payload())), "budget-exhausted");
+  // The worker survived its contained fault and serves the next request.
+  EXPECT_EQ(code_of_body(roundtrip(service, analyze_payload())), "decided");
+  EXPECT_EQ(service.stats().completed, 2u);
+  service.drain();
+}
+
+TEST(Service, EnqueueFaultShedsOneRequestOnly) {
+  FailpointGuard guard;
+  AnalysisService service(ServiceConfig{});
+  service.start();
+  failpoint::arm("server.enqueue", [] {
+    failpoint::Spec s;
+    s.action = failpoint::Action::kThrowBudget;
+    s.trigger = failpoint::Trigger::kOnHit;
+    s.n = 1;
+    return s;
+  }());
+  EXPECT_EQ(code_of_body(roundtrip(service, analyze_payload())), "internal");
+  EXPECT_EQ(code_of_body(roundtrip(service, analyze_payload())), "decided");
+  service.drain();
+}
+
+TEST(Service, WedgedWorkerIsReplacedAndRequestGetsWedgedReply) {
+  FailpointGuard guard;
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.wedge_grace_ms = 60;
+  cfg.supervisor_poll_ms = 10;
+  AnalysisService service(cfg);
+  service.start();
+  // A stall far past deadline + 2*grace wedges the worker hard: the token
+  // cancel cannot unwedge a thread parked in a stall.
+  failpoint::arm("server.worker", [] {
+    failpoint::Spec s;
+    s.action = failpoint::Action::kStall;
+    s.delay_ms = 10000;
+    s.trigger = failpoint::Trigger::kOnHit;
+    s.n = 1;
+    return s;
+  }());
+  const std::string body =
+      roundtrip(service, analyze_payload("--timeout-ms 20"), std::chrono::seconds(10));
+  EXPECT_EQ(code_of_body(body), "wedged");
+  ServiceStats s = service.stats();
+  EXPECT_EQ(s.wedged, 1u);
+  EXPECT_EQ(s.workers_replaced, 1u);
+  EXPECT_GE(s.cancelled_by_supervisor, 1u);
+  // The replacement worker serves the next request.
+  failpoint::release_stalls();
+  failpoint::disarm_all();
+  EXPECT_EQ(code_of_body(roundtrip(service, analyze_payload())), "decided");
+  service.drain();
+}
+
+TEST(Service, StatsJsonIsWellFormed) {
+  AnalysisService service(ServiceConfig{});
+  service.start();
+  roundtrip(service, analyze_payload());
+  JsonPtr v = JsonParser(service.stats_json()).parse();
+  EXPECT_EQ(v->at("accepted").as_u64(), 1u);
+  EXPECT_EQ(v->at("completed").as_u64(), 1u);
+  EXPECT_TRUE(v->has("queue_depth"));
+  EXPECT_TRUE(v->has("engine_memo_bytes"));
+  service.drain();
+}
+
+TEST(Service, DrainIsIdempotentAndDtorSafe) {
+  auto service = std::make_unique<AnalysisService>(ServiceConfig{});
+  service->start();
+  roundtrip(*service, analyze_payload());
+  service->drain();
+  service->drain();
+  service.reset();  // dtor drains again — must not deadlock or throw
+}
+
+}  // namespace
+}  // namespace ccfsp::server
