@@ -1,11 +1,29 @@
 #include "network/network.hpp"
 
+#include <mutex>
 #include <stdexcept>
 
 namespace ccfsp {
 
+struct Network::IndexCache {
+  std::once_flag once;
+  std::vector<ActionIndex> index;
+};
+
+const std::vector<ActionIndex>& Network::action_indexes() const {
+  IndexCache& cache = *index_cache_;
+  std::call_once(cache.once, [&] {
+    cache.index.reserve(processes_.size());
+    for (const Fsp& p : processes_) cache.index.emplace_back(p);
+  });
+  return cache.index;
+}
+
 Network::Network(AlphabetPtr alphabet, std::vector<Fsp> processes)
-    : alphabet_(std::move(alphabet)), processes_(std::move(processes)), comm_graph_(0) {
+    : alphabet_(std::move(alphabet)),
+      processes_(std::move(processes)),
+      comm_graph_(0),
+      index_cache_(std::make_shared<IndexCache>()) {
   if (processes_.empty()) throw std::logic_error("Network: empty process list");
   for (const auto& p : processes_) {
     if (p.alphabet() != alphabet_) {

@@ -1,11 +1,13 @@
 #include "semantics/poss_automaton.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "fsp/cache.hpp"
 #include "util/failpoint.hpp"
 #include "util/metrics.hpp"
 #include "util/refine.hpp"
+#include "util/simd.hpp"
 
 namespace ccfsp {
 
@@ -228,6 +230,11 @@ FlatAnnotatedDfa annotated_determinize_flat(const Fsp& p, SemanticAnnotation kin
   std::vector<std::uint32_t> ann;
   std::vector<std::pair<ActionId, StateId>> moves;
   std::vector<StateId> next;
+  // Scratch bitmap over the NFA states for the successor unions below;
+  // always left all-zero between uses.
+  std::vector<std::uint64_t> union_words((n + 63) / 64, 0);
+  metrics::record_max(metrics::Counter::kSimdDispatch,
+                      static_cast<std::uint64_t>(simd::active_path()));
   for (std::uint32_t i = 0; i < dfa.subsets.size(); ++i) {
     // Copy: the interner's packed storage may move as successors are interned.
     const auto sp = dfa.subsets.get(i);
@@ -282,13 +289,37 @@ FlatAnnotatedDfa annotated_determinize_flat(const Fsp& p, SemanticAnnotation kin
     std::sort(moves.begin(), moves.end());
     for (std::size_t k = 0; k < moves.size();) {
       const ActionId a = moves[k].first;
+      std::size_t k2 = k + 1;
+      while (k2 < moves.size() && moves[k2].first == a) ++k2;
       next.clear();
-      for (; k < moves.size() && moves[k].first == a; ++k) {
+      if (k2 == k + 1) {
+        // Single a-mover: its closure is already sorted and unique, so the
+        // union degenerates to a copy (the common case on sparse alphabets).
         const auto& cl = closure_of(moves[k].second);
-        next.insert(next.end(), cl.begin(), cl.end());
+        next.assign(cl.begin(), cl.end());
+      } else {
+        // Union the closures through a scratch bitmap and read the result
+        // back ascending with the vectorized find-next kernel — ascending
+        // extraction of set bits IS sort+unique. Only the dirty word range
+        // is swept and cleared, so the scratch amortizes to O(union size).
+        std::size_t lo = union_words.size(), hi = 0;
+        for (; k < k2; ++k) {
+          const auto& cl = closure_of(moves[k].second);
+          lo = std::min(lo, static_cast<std::size_t>(cl.front() >> 6));
+          hi = std::max(hi, static_cast<std::size_t>(cl.back() >> 6));
+          for (StateId q : cl) union_words[q >> 6] |= std::uint64_t{1} << (q & 63);
+        }
+        for (std::size_t w = simd::next_nonzero_word(union_words.data(), hi + 1, lo);
+             w <= hi; w = simd::next_nonzero_word(union_words.data(), hi + 1, w + 1)) {
+          std::uint64_t bits = union_words[w];
+          union_words[w] = 0;
+          while (bits != 0) {
+            next.push_back(static_cast<StateId>(w * 64 + std::countr_zero(bits)));
+            bits &= bits - 1;
+          }
+        }
       }
-      std::sort(next.begin(), next.end());
-      next.erase(std::unique(next.begin(), next.end()), next.end());
+      k = k2;
       const std::uint32_t target = intern_subset({next.data(), next.size()});
       dfa.trans_action.push_back(a);
       dfa.trans_target.push_back(target);

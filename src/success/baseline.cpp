@@ -32,12 +32,12 @@ bool success_collab_cyclic_on(const Network& net, const GlobalMachine& g,
   (void)net;
   Digraph d(g.num_states());
   for (std::uint32_t s = 0; s < g.num_states(); ++s) {
-    for (const auto& e : g.out(s)) d.add_edge(s, e.target);
+    for (std::uint32_t t : g.out_targets(s)) d.add_edge(s, t);
   }
   auto scc = d.scc();
   for (std::uint32_t s = 0; s < g.num_states(); ++s) {
-    for (const auto& e : g.out(s)) {
-      if (g.process_moves(e, p_index) && scc.component[s] == scc.component[e.target]) {
+    for (std::uint32_t k = g.edge_offsets[s]; k < g.edge_offsets[s + 1]; ++k) {
+      if (g.process_moves(k, p_index) && scc.component[s] == scc.component[g.target(k)]) {
         return true;
       }
     }
@@ -58,14 +58,14 @@ bool potential_blocking_cyclic_on(const Network& net, const GlobalMachine& g,
   // the network can churn forever while P is starved.
   Digraph d(g.num_states());
   for (std::uint32_t s = 0; s < g.num_states(); ++s) {
-    for (const auto& e : g.out(s)) {
-      if (!g.process_moves(e, p_index)) d.add_edge(s, e.target);
+    for (std::uint32_t k = g.edge_offsets[s]; k < g.edge_offsets[s + 1]; ++k) {
+      if (!g.process_moves(k, p_index)) d.add_edge(s, g.target(k));
     }
   }
   auto scc = d.scc();
   for (std::uint32_t s = 0; s < g.num_states(); ++s) {
-    for (const auto& e : g.out(s)) {
-      if (!g.process_moves(e, p_index) && scc.component[s] == scc.component[e.target]) {
+    for (std::uint32_t k = g.edge_offsets[s]; k < g.edge_offsets[s + 1]; ++k) {
+      if (!g.process_moves(k, p_index) && scc.component[s] == scc.component[g.target(k)]) {
         return true;
       }
     }

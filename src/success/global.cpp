@@ -1,9 +1,11 @@
 #include "success/global.hpp"
 
 #include <atomic>
-#include <deque>
+#include <condition_variable>
 #include <cstring>
+#include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <string>
@@ -30,6 +32,35 @@ std::uint64_t splitmix64(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
+/// Upper bound on the reachable state count: the product of the component
+/// state counts, saturated. Used as a capacity hint — a small product means
+/// the whole build fits a pre-sized arena and edge buffer, so tiny corpus
+/// models pay no rehash/regrow overhead at all (the "small-model fast path"
+/// is the same code, minus every reallocation).
+std::size_t product_bound(const Network& net) {
+  constexpr std::size_t kCap = std::size_t{1} << 20;
+  std::size_t prod = 1;
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    const std::size_t ns = net.process(i).num_states();
+    if (ns == 0) return 0;
+    if (prod > kCap / ns) return kCap;
+    prod *= ns;
+  }
+  return prod;
+}
+
+/// Arena capacity hint derived from the product bound: exact for small
+/// models, clamped low for big ones. The clamp is deliberately modest —
+/// reachable states usually sit far below the product, the arena's 4x
+/// growth amortizes cheaply on models that do explode, and a large upfront
+/// slot block (zeroed on construction) is pure fixed cost on the tiny
+/// models where the flat build has to beat the map-based reference on
+/// microseconds.
+std::size_t expected_states_hint(const Network& net) {
+  constexpr std::size_t kClamp = 256;
+  return std::max<std::size_t>(16, std::min(product_bound(net), kClamp));
+}
+
 /// One local transition with everything the expansion inner loop needs
 /// precomputed at flatten time: the handshake partner, the partner's dense
 /// action slot in its ActionIndex cell table, the Zobrist hash delta of the
@@ -45,19 +76,23 @@ struct FlatTr {
   ActionId action;
 };
 
-/// One process's surviving transitions as CSR (declaration order kept).
-/// Fsp stores a heap-allocated vector per state; the expansion loop touches
-/// a random state of every process for every global state, so the copy buys
-/// locality for the price of one pass over each process.
-struct FlatProc {
-  std::vector<std::uint32_t> off;  // num_states + 1
-  std::vector<FlatTr> tr;
+/// Every process's surviving transitions as one shared CSR (declaration
+/// order kept, processes concatenated). Fsp stores a heap-allocated vector
+/// per state; the expansion loop touches a random state of every process
+/// for every global state, so the copy buys locality for the price of one
+/// pass over each process — and packing all processes into two arrays
+/// keeps the flatten to three allocations total, part of the small-model
+/// fixed cost the bench's flat-vs-reference gate measures.
+struct FlatNet {
+  std::vector<FlatTr> tr;           // all processes, concatenated
+  std::vector<std::uint32_t> off;   // process i, state q: off[base[i]+q .. +q+1]
+  std::vector<std::uint32_t> base;  // per process, start index into off
 };
 
 struct Packer;  // fwd
 struct Zobrist;
 
-std::vector<FlatProc> flatten_processes(
+FlatNet flatten_processes(
     const Network& net, const std::vector<ActionIndex>& index,
     const std::vector<std::pair<std::uint32_t, std::uint32_t>>& owners, const Packer& packer,
     const Zobrist& zob);
@@ -74,8 +109,9 @@ struct IdxRef {
 /// bit_width(|Q_i| - 1) bits (min 1) and never straddles a 32-bit word
 /// boundary, so a patch is one masked OR. Interning packed keys shrinks the
 /// probe working set by ~4-8x (phil:12 drops from 24 words to 3), which is
-/// what keeps the hash table's payload compares inside the cache; the public
-/// GlobalMachine::tuple_data stays unpacked — builders decode on the way out.
+/// what keeps the hash table's payload compares inside the cache. The
+/// machine keeps the packed block as GlobalMachine::tuple_words — no decode
+/// pass on the way out, and a ~12x smaller per-state tuple footprint.
 struct Packer {
   struct Coord {
     std::uint32_t word, shift, mask;
@@ -113,9 +149,13 @@ struct Packer {
       out[i] = (packed[coord[i].word] >> coord[i].shift) & coord[i].mask;
     }
   }
-  void patch(std::uint32_t* packed, std::uint32_t i, StateId q) const {
-    const Coord& c = coord[i];
-    packed[c.word] = (packed[c.word] & ~(c.mask << c.shift)) | ((q & c.mask) << c.shift);
+
+  /// The public Field table of this packing (what GlobalMachine retains).
+  std::vector<GlobalMachine::Field> fields() const {
+    std::vector<GlobalMachine::Field> out;
+    out.reserve(coord.size());
+    for (const Coord& c : coord) out.push_back({c.word, c.shift, c.mask});
+    return out;
   }
 };
 
@@ -147,18 +187,24 @@ struct Zobrist {
   }
 };
 
-std::vector<FlatProc> flatten_processes(
+FlatNet flatten_processes(
     const Network& net, const std::vector<ActionIndex>& index,
     const std::vector<std::pair<std::uint32_t, std::uint32_t>>& owners, const Packer& packer,
     const Zobrist& zob) {
-  std::vector<FlatProc> procs(net.size());
+  FlatNet fn;
+  std::size_t states_total = 0, trans_total = 0;
+  for (std::uint32_t i = 0; i < net.size(); ++i) {
+    states_total += net.process(i).num_states();
+    trans_total += net.process(i).num_transitions();
+  }
+  fn.base.reserve(net.size());
+  fn.off.reserve(states_total + net.size());
+  fn.tr.reserve(trans_total);
   for (std::uint32_t i = 0; i < net.size(); ++i) {
     const Fsp& p = net.process(i);
     const Packer::Coord ci = packer.coord[i];
-    FlatProc& fp = procs[i];
-    fp.off.reserve(p.num_states() + 1);
-    fp.off.push_back(0);
-    fp.tr.reserve(p.num_transitions());
+    fn.base.push_back(static_cast<std::uint32_t>(fn.off.size()));
+    fn.off.push_back(static_cast<std::uint32_t>(fn.tr.size()));
     for (StateId q = 0; q < p.num_states(); ++q) {
       for (const Transition& t : p.out(q)) {
         FlatTr ft;
@@ -175,12 +221,12 @@ std::vector<FlatProc> flatten_processes(
           ft.slot = index[ft.partner].slot_of(t.action);
           if (ft.slot == UINT32_MAX) continue;  // partner never fires it
         }
-        fp.tr.push_back(ft);
+        fn.tr.push_back(ft);
       }
-      fp.off.push_back(static_cast<std::uint32_t>(fp.tr.size()));
+      fn.off.push_back(static_cast<std::uint32_t>(fn.tr.size()));
     }
   }
-  return procs;
+  return fn;
 }
 
 /// Enumerate the Definition 3 successors of `tuple` in the canonical order
@@ -191,20 +237,20 @@ std::vector<FlatProc> flatten_processes(
 /// Zobrist hash) in O(1), emits, and restores — the emit callback sees the
 /// successor's packed key and hash.
 template <typename Emit>
-void expand_tuple(const std::vector<FlatProc>& procs, const std::vector<IdxRef>& idx,
+void expand_tuple(const FlatNet& fn, const std::vector<IdxRef>& idx,
                   const Packer& packer, const Zobrist& zob, const StateId* tuple,
                   std::uint64_t h, std::uint32_t m, std::uint32_t* pscratch, Emit&& emit) {
   for (std::uint32_t i = 0; i < m; ++i) {
-    const FlatProc& pi = procs[i];
     const StateId qi = tuple[i];
-    std::uint32_t k = pi.off[qi];
-    const std::uint32_t kend = pi.off[qi + 1];
+    const std::uint32_t bi = fn.base[i] + qi;
+    std::uint32_t k = fn.off[bi];
+    const std::uint32_t kend = fn.off[bi + 1];
     if (k == kend) continue;
     const Packer::Coord ci = packer.coord[i];
     const std::uint32_t save_i = pscratch[ci.word];
     const std::uint32_t base_i = save_i & ci.clear;
     for (; k < kend; ++k) {
-      const FlatTr& t = pi.tr[k];
+      const FlatTr& t = fn.tr[k];
       const std::uint32_t j = t.partner;
       if (j == i) {  // tau move
         pscratch[ci.word] = base_i | t.set_i;
@@ -234,33 +280,100 @@ void expand_tuple(const std::vector<FlatProc>& procs, const std::vector<IdxRef>&
   }
 }
 
+/// Growable struct-of-arrays edge buffer for the builders: three uint32
+/// columns (target, action, (mover<<16)|partner) grown together, so the hot
+/// emission loop pays one capacity check per edge instead of three
+/// std::vector bookkeeping updates.
+struct EdgeCols {
+  std::unique_ptr<std::uint32_t[]> tgt, act, pair;
+  std::size_t n = 0, cap = 0;
+
+  void reserve(std::size_t need) {
+    if (need <= cap) return;
+    std::size_t ncap = cap == 0 ? 1024 : cap * 2;
+    while (ncap < need) ncap *= 2;
+    std::unique_ptr<std::uint32_t[]> nt(new std::uint32_t[ncap]);
+    std::unique_ptr<std::uint32_t[]> na(new std::uint32_t[ncap]);
+    std::unique_ptr<std::uint32_t[]> np(new std::uint32_t[ncap]);
+    if (n != 0) {
+      std::memcpy(nt.get(), tgt.get(), n * sizeof(std::uint32_t));
+      std::memcpy(na.get(), act.get(), n * sizeof(std::uint32_t));
+      std::memcpy(np.get(), pair.get(), n * sizeof(std::uint32_t));
+    }
+    tgt = std::move(nt);
+    act = std::move(na);
+    pair = std::move(np);
+    cap = ncap;
+  }
+
+  void push(std::uint32_t target, std::uint32_t action, std::uint32_t movers) {
+    if (n == cap) reserve(n + 1);
+    tgt[n] = target;
+    act[n] = action;
+    pair[n] = movers;
+    ++n;
+  }
+};
+
+/// Exact-capacity copy of a vector (reserve-then-insert, so capacity ==
+/// size on every mainstream allocator). All build modes finalize through
+/// this, which is what makes memory_bytes() — and the csr.bytes counter —
+/// equal across them.
+template <typename T>
+std::vector<T> exact_fit(std::vector<T>&& v) {
+  if (v.capacity() == v.size()) return std::move(v);
+  std::vector<T> out;
+  out.reserve(v.size());
+  out.insert(out.end(), v.begin(), v.end());
+  return out;
+}
+
+std::vector<std::uint32_t> exact_fit(const std::uint32_t* data, std::size_t n) {
+  std::vector<std::uint32_t> out;
+  out.reserve(n);
+  out.insert(out.end(), data, data + n);
+  return out;
+}
+
+/// Move the builder's edge columns and offsets into the machine at exact
+/// capacity and record the retained footprint.
+void finalize_machine(GlobalMachine& g, EdgeCols&& cols,
+                      std::vector<std::uint32_t>&& offsets) {
+  g.edge_target = exact_fit(cols.tgt.get(), cols.n);
+  g.edge_action = exact_fit(cols.act.get(), cols.n);
+  g.edge_pair = exact_fit(cols.pair.get(), cols.n);
+  cols = EdgeCols{};
+  g.edge_offsets = exact_fit(std::move(offsets));
+  metrics::record_max(metrics::Counter::kCsrBytes, g.memory_bytes());
+}
+
 GlobalMachine build_sequential(const Network& net, const Budget& budget,
-                               const std::vector<FlatProc>& procs,
+                               const FlatNet& procs,
                                const std::vector<IdxRef>& idx, const Packer& packer,
-                               const Zobrist& zob) {
+                               const Zobrist& zob, std::size_t expected) {
   const std::uint32_t m = static_cast<std::uint32_t>(net.size());
   const std::size_t bytes_per_state = flat_bytes_per_state(m);
 
   const std::uint32_t W = packer.words;
-  TupleArena arena(W);
+  TupleArena arena(W, expected);
   GlobalMachine g;
   g.width = m;
-  g.edge_offsets.push_back(0);
+  g.words = W;
+  g.fields = packer.fields();
 
-  std::vector<StateId> cur_tuple(m);
-  std::vector<std::uint32_t> pscratch(W);
-  for (std::size_t i = 0; i < m; ++i) cur_tuple[i] = net.process(i).start();
-  packer.pack(cur_tuple.data(), pscratch.data());
-  arena.intern(pscratch.data(), zob.of_tuple(cur_tuple.data(), m));
-  budget.charge(1, bytes_per_state, "build_global");
-  metrics::add(metrics::Counter::kGlobalStates);
+  std::vector<std::uint32_t> offsets;
+  offsets.reserve(expected + 1);
+  offsets.push_back(0);
+  EdgeCols cols;
+  cols.reserve(expected * 4);
 
   // Successors pass through a small FIFO ring: each emit snapshots the
   // packed key, prefetches its hash slot, and the intern happens K entries
   // later (still in emission order, so the numbering is untouched) — by then
-  // the slot's cache line is usually in flight or resident. Networks too
-  // wide for the ring's inline key storage intern directly.
-  constexpr unsigned kRing = 16;     // power of two
+  // the slot's cache line is usually in flight or resident. Entries past the
+  // half-way mark get a second-stage payload prefetch (the memcmp target).
+  // Networks too wide for the ring's inline key storage intern directly.
+  constexpr unsigned kRing = 32;     // power of two
   constexpr unsigned kRingMaxW = 8;  // packed words storable inline
   struct Pending {
     std::uint32_t w[kRingMaxW];
@@ -270,12 +383,31 @@ GlobalMachine build_sequential(const Network& net, const Budget& budget,
   };
   Pending ring[kRing];
   unsigned rhead = 0, rcount = 0;
+
+  std::vector<StateId> cur_tuple(m);
+  // Sized for the fixed-width ring memcpy below, not just for W.
+  std::vector<std::uint32_t> pscratch(std::max<std::uint32_t>(W, kRingMaxW), 0);
+  for (std::size_t i = 0; i < m; ++i) cur_tuple[i] = net.process(i).start();
+  packer.pack(cur_tuple.data(), pscratch.data());
+  arena.intern(pscratch.data(), zob.of_tuple(cur_tuple.data(), m));
+  budget.charge(1, bytes_per_state, "build_global");
+  metrics::add(metrics::Counter::kGlobalStates);
+
+  // Home-slot view hoisted out of the emit path; refreshed after any fresh
+  // intern (only a fresh insert can grow the table).
+  const std::uint64_t* sl_data = arena.slot_data();
+  std::size_t sl_mask = arena.slot_mask();
+
   auto drain_one = [&] {
     Pending& p = ring[rhead++ & (kRing - 1)];
     --rcount;
     auto [target, fresh] = arena.intern(p.w, p.h);
-    if (fresh) budget.charge(1, bytes_per_state, "build_global");
-    g.edge_data.push_back({target, p.a, p.i, p.j});
+    if (fresh) {
+      budget.charge(1, bytes_per_state, "build_global");
+      sl_data = arena.slot_data();
+      sl_mask = arena.slot_mask();
+    }
+    cols.push(target, p.a, (static_cast<std::uint32_t>(p.i) << 16) | p.j);
   };
 
   for (std::uint32_t cur = 0; cur < arena.size(); ++cur) {
@@ -284,7 +416,7 @@ GlobalMachine build_sequential(const Network& net, const Budget& budget,
     // Metrics follow the same rule: per-state deltas, never per-edge adds.
     failpoint::hit("global.intern_ring");
     const std::size_t states_before = arena.size();
-    const std::size_t edges_before = g.edge_data.size();
+    const std::size_t edges_before = cols.n;
     // Copy: the arena's packed block may reallocate as we intern successors.
     std::memcpy(pscratch.data(), arena[cur], W * sizeof(std::uint32_t));
     packer.unpack(pscratch.data(), cur_tuple.data());
@@ -294,12 +426,18 @@ GlobalMachine build_sequential(const Network& net, const Budget& budget,
                    [&](std::uint32_t i, std::uint32_t j, ActionId a, std::uint64_t h) {
                      if (rcount == kRing) drain_one();
                      Pending& p = ring[(rhead + rcount++) & (kRing - 1)];
-                     std::memcpy(p.w, pscratch.data(), W * sizeof(std::uint32_t));
+                     // Fixed-width copy: one unrolled 32-byte move beats a
+                     // variable-length memcpy; pscratch is padded to kRingMaxW.
+                     std::memcpy(p.w, pscratch.data(), sizeof(p.w));
                      p.h = h;
                      p.a = a;
                      p.i = static_cast<std::uint16_t>(i);
                      p.j = static_cast<std::uint16_t>(j);
-                     arena.prefetch(h);
+                     __builtin_prefetch(sl_data + (h & sl_mask));
+                     if (rcount > kRing / 2) {
+                       arena.prefetch_payload(
+                           ring[(rhead + rcount - kRing / 2) & (kRing - 1)].h);
+                     }
                    });
       while (rcount > 0) drain_one();
     } else {
@@ -307,13 +445,12 @@ GlobalMachine build_sequential(const Network& net, const Budget& budget,
                    [&](std::uint32_t i, std::uint32_t j, ActionId a, std::uint64_t h) {
                      auto [target, fresh] = arena.intern(pscratch.data(), h);
                      if (fresh) budget.charge(1, bytes_per_state, "build_global");
-                     g.edge_data.push_back({target, a, static_cast<std::uint16_t>(i),
-                                            static_cast<std::uint16_t>(j)});
+                     cols.push(target, a, (i << 16) | j);
                    });
     }
-    g.edge_offsets.push_back(static_cast<std::uint32_t>(g.edge_data.size()));
+    offsets.push_back(static_cast<std::uint32_t>(cols.n));
     if (metrics::enabled()) {
-      const std::uint64_t edge_delta = g.edge_data.size() - edges_before;
+      const std::uint64_t edge_delta = cols.n - edges_before;
       metrics::add(metrics::Counter::kGlobalStates, arena.size() - states_before);
       metrics::add(metrics::Counter::kGlobalEdges, edge_delta);
       // Every successor of this state went through the prefetch ring iff the
@@ -321,23 +458,23 @@ GlobalMachine build_sequential(const Network& net, const Budget& budget,
       if (W <= kRingMaxW) metrics::add(metrics::Counter::kGlobalRingInterns, edge_delta);
     }
   }
-  // Decode the packed arena into the public unpacked tuple block.
-  const std::vector<std::uint32_t> packed = arena.release_data();
-  g.tuple_data.resize(static_cast<std::size_t>(g.edge_offsets.size() - 1) * m);
-  for (std::size_t id = 0; id + 1 < g.edge_offsets.size(); ++id) {
-    packer.unpack(packed.data() + id * W, g.tuple_data.data() + id * m);
-  }
+  // The packed arena block *is* the machine's tuple storage — no decode pass.
+  g.tuple_words = exact_fit(arena.release_data());
+  finalize_machine(g, std::move(cols), std::move(offsets));
   return g;
 }
 
-/// Parallel level-synchronous BFS. Tuples are interned into `threads` shards
-/// selected by hash; workers expand disjoint slices of the current frontier
-/// and record each source's edges as one contiguous run in a worker-local
-/// buffer, so the final sequential renumber pass — a BFS over the runs in
-/// canonical edge order — reproduces the sequential numbering exactly.
+/// Parallel level-synchronous BFS on a persistent worker pool. Tuples are
+/// interned into `threads` shards selected by hash; workers claim fixed-size
+/// chunks of the current frontier off a shared cursor (one atomic per chunk,
+/// one synchronization per level) and record each source's edges as one
+/// contiguous run in a worker-local buffer. The final sequential renumber
+/// pass — a BFS over the runs in canonical edge order — is agnostic to which
+/// worker claimed which chunk, so it reproduces the sequential numbering
+/// exactly no matter how the chunks raced.
 GlobalMachine build_parallel(const Network& net, const Budget& budget, unsigned threads,
-                             const std::vector<FlatProc>& procs, const std::vector<IdxRef>& idx,
-                             const Packer& packer, const Zobrist& zob) {
+                             const FlatNet& procs, const std::vector<IdxRef>& idx,
+                             const Packer& packer, const Zobrist& zob, std::size_t expected) {
   const std::uint32_t m = static_cast<std::uint32_t>(net.size());
   const std::size_t bytes_per_state = flat_bytes_per_state(m);
   const unsigned T = threads;
@@ -354,7 +491,8 @@ GlobalMachine build_parallel(const Network& net, const Budget& budget, unsigned 
     std::uint32_t count = 0;
   };
   struct Shard {
-    explicit Shard(std::size_t width) : arena(width) {}
+    explicit Shard(std::size_t width, std::size_t expected_per_shard)
+        : arena(width, expected_per_shard) {}
     TupleArena arena;
     std::mutex mu;
     std::vector<std::uint32_t> fresh;  // locals interned this level
@@ -363,8 +501,14 @@ GlobalMachine build_parallel(const Network& net, const Budget& budget, unsigned 
 
   const std::uint32_t W = packer.words;
   std::deque<Shard> shards;  // deque: Shard holds a mutex and cannot move
-  for (unsigned s = 0; s < T; ++s) shards.emplace_back(W);
+  for (unsigned s = 0; s < T; ++s) shards.emplace_back(W, std::max<std::size_t>(16, expected / T));
   std::vector<std::vector<PEdge>> worker_edges(T);
+  std::vector<std::vector<std::uint32_t>> worker_pscratch(T);
+  std::vector<std::vector<StateId>> worker_tuple(T);
+  for (unsigned w = 0; w < T; ++w) {
+    worker_pscratch[w].assign(W, 0);
+    worker_tuple[w].assign(m, 0);
+  }
 
   auto provisional = [](std::uint32_t shard, std::uint32_t local) {
     return (static_cast<std::uint64_t>(shard) << 32) | local;
@@ -382,8 +526,10 @@ GlobalMachine build_parallel(const Network& net, const Budget& budget, unsigned 
   budget.charge(1, bytes_per_state, "build_global");
   metrics::add(metrics::Counter::kGlobalStates);
 
+  // Frontier snapshot: packed tuples + hashes (workers must never read a
+  // shard arena another worker may be growing).
   std::vector<std::uint64_t> frontier{provisional(init_shard, 0)};
-  std::vector<StateId> frontier_tuples = init;        // |frontier| * m snapshot
+  std::vector<std::uint32_t> frontier_words(init_packed);  // |frontier| * W
   std::vector<std::uint64_t> frontier_hashes{init_hash};
 
   std::atomic<bool> stop{false};
@@ -391,56 +537,66 @@ GlobalMachine build_parallel(const Network& net, const Budget& budget, unsigned 
   const std::size_t max_states = budget.max_states();
   std::size_t states_total = 1;
   std::size_t levels_spawned = 0;
+  std::uint64_t chunks_claimed = 0;
+
+  // Per-level chunked work distribution (set by the build thread before each
+  // generation, read by the workers).
+  std::size_t level_n = 0;
+  std::size_t chunk_size = 1;
+  std::size_t num_chunks = 0;
+  std::atomic<std::size_t> next_chunk{0};
 
   // A worker that throws (an injected failure in a shard arena, a real
   // bad_alloc, a failpoint at "global.worker") must never unwind out of the
-  // std::thread body — that is std::terminate. The first exception is
-  // parked here, every other worker is stopped, all threads are joined,
-  // and only then is it rethrown on the build thread.
+  // pool thread body — that is std::terminate. The first exception is
+  // parked here, every other worker is stopped, the level completes, and
+  // the exception is rethrown on the build thread.
   std::exception_ptr worker_error;
   std::mutex worker_error_mu;
 
-  while (!frontier.empty()) {
-    budget.tick("build_global");
-    const std::size_t n = frontier.size();
-
-    auto work = [&](unsigned w) noexcept {
-      try {
-        const std::size_t begin = n * w / T, end = n * (w + 1) / T;
-        std::vector<std::uint32_t> pscratch(W);
-        std::vector<PEdge>& edges = worker_edges[w];
-        std::size_t emitted = 0;
+  auto work = [&](unsigned w) noexcept {
+    try {
+      std::vector<std::uint32_t>& pscratch = worker_pscratch[w];
+      std::vector<StateId>& tuple = worker_tuple[w];
+      std::vector<PEdge>& edges = worker_edges[w];
+      std::size_t emitted = 0;
+      std::size_t c;
+      while ((c = next_chunk.fetch_add(1, std::memory_order_relaxed)) < num_chunks) {
+        const std::size_t begin = c * chunk_size;
+        const std::size_t end = std::min(level_n, begin + chunk_size);
         for (std::size_t f = begin; f < end; ++f) {
           failpoint::hit("global.worker");
           const std::uint64_t src = frontier[f];
           Run run;
           run.worker = w;
           run.begin = static_cast<std::uint32_t>(edges.size());
-          const StateId* tuple = frontier_tuples.data() + f * m;
-          packer.pack(tuple, pscratch.data());
-          expand_tuple(procs, idx, packer, zob, tuple, frontier_hashes[f], m, pscratch.data(),
-                       [&](std::uint32_t i, std::uint32_t j, ActionId a, std::uint64_t h) {
-                         const std::uint32_t sh = static_cast<std::uint32_t>(h % T);
-                         Shard& shard = shards[sh];
-                         std::uint32_t local;
-                         bool fresh;
-                         {
-                           std::lock_guard<std::mutex> lock(shard.mu);
-                           std::tie(local, fresh) = shard.arena.intern(pscratch.data(), h);
-                           if (fresh) shard.fresh.push_back(local);
-                         }
-                         if (fresh) level_fresh.fetch_add(1, std::memory_order_relaxed);
-                         edges.push_back({provisional(sh, local), i, j, a});
-                         if ((++emitted & 1023u) == 0 && !stop.load(std::memory_order_relaxed)) {
-                           // Cooperative early-out: the level result is discarded
-                           // on abort, so a partial expansion is harmless.
-                           if (states_total + level_fresh.load(std::memory_order_relaxed) >
-                                   max_states ||
-                               budget.probe() != BudgetDimension::kNone) {
-                             stop.store(true, std::memory_order_relaxed);
-                           }
-                         }
-                       });
+          std::memcpy(pscratch.data(), frontier_words.data() + f * W,
+                      W * sizeof(std::uint32_t));
+          packer.unpack(pscratch.data(), tuple.data());
+          expand_tuple(
+              procs, idx, packer, zob, tuple.data(), frontier_hashes[f], m, pscratch.data(),
+              [&](std::uint32_t i, std::uint32_t j, ActionId a, std::uint64_t h) {
+                const std::uint32_t sh = static_cast<std::uint32_t>(h % T);
+                Shard& shard = shards[sh];
+                std::uint32_t local;
+                bool fresh;
+                {
+                  std::lock_guard<std::mutex> lock(shard.mu);
+                  std::tie(local, fresh) = shard.arena.intern(pscratch.data(), h);
+                  if (fresh) shard.fresh.push_back(local);
+                }
+                if (fresh) level_fresh.fetch_add(1, std::memory_order_relaxed);
+                edges.push_back({provisional(sh, local), i, j, a});
+                if ((++emitted & 1023u) == 0 && !stop.load(std::memory_order_relaxed)) {
+                  // Cooperative early-out: the level result is discarded
+                  // on abort, so a partial expansion is harmless.
+                  if (states_total + level_fresh.load(std::memory_order_relaxed) >
+                          max_states ||
+                      budget.probe() != BudgetDimension::kNone) {
+                    stop.store(true, std::memory_order_relaxed);
+                  }
+                }
+              });
           run.count = static_cast<std::uint32_t>(edges.size()) - run.begin;
           // Per expanded source, not per edge — same granularity rule as the
           // sequential loop. Shard-local, so workers never contend.
@@ -448,35 +604,104 @@ GlobalMachine build_parallel(const Network& net, const Budget& budget, unsigned 
           shards[src >> 32].runs[static_cast<std::uint32_t>(src)] = run;
           if (stop.load(std::memory_order_relaxed)) return;
         }
-      } catch (...) {
-        {
-          std::lock_guard<std::mutex> lock(worker_error_mu);
-          if (!worker_error) worker_error = std::current_exception();
-        }
-        stop.store(true, std::memory_order_relaxed);
       }
-    };
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(worker_error_mu);
+        if (!worker_error) worker_error = std::current_exception();
+      }
+      stop.store(true, std::memory_order_relaxed);
+    }
+  };
+
+  // Persistent pool, created lazily on the first level wide enough to fan
+  // out and kept until the build ends: one generation handoff per level
+  // replaces T thread spawns + joins per level. The guard joins the pool on
+  // every exit path (including a BudgetExceeded unwinding past it).
+  struct Pool {
+    std::mutex mu;
+    std::condition_variable start_cv, done_cv;
+    std::uint64_t gen = 0;
+    unsigned running = 0;
+    bool exiting = false;
+    std::vector<std::thread> members;
+
+    ~Pool() { shutdown(); }
+    void shutdown() {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        exiting = true;
+      }
+      start_cv.notify_all();
+      for (std::thread& t : members) t.join();
+      members.clear();
+    }
+  };
+  Pool pool;
+
+  auto pool_member = [&](unsigned w) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(pool.mu);
+        pool.start_cv.wait(lock, [&] { return pool.exiting || pool.gen != seen; });
+        if (pool.exiting) return;
+        seen = pool.gen;
+      }
+      work(w);
+      {
+        std::lock_guard<std::mutex> lock(pool.mu);
+        if (--pool.running == 0) pool.done_cv.notify_one();
+      }
+    }
+  };
+
+  auto ensure_pool = [&] {
+    if (!pool.members.empty()) return;
+    pool.members.reserve(T);
+    try {
+      for (unsigned w = 0; w < T; ++w) pool.members.emplace_back(pool_member, w);
+    } catch (...) {
+      // Thread spawn failed: release whatever did start, then let the
+      // failure surface as an outcome instead of terminating on ~thread().
+      pool.shutdown();
+      throw;
+    }
+  };
+
+  auto run_level_on_pool = [&] {
+    {
+      std::lock_guard<std::mutex> lock(pool.mu);
+      pool.running = T;
+      ++pool.gen;
+    }
+    pool.start_cv.notify_all();
+    std::unique_lock<std::mutex> lock(pool.mu);
+    pool.done_cv.wait(lock, [&] { return pool.running == 0; });
+  };
+
+  while (!frontier.empty()) {
+    budget.tick("build_global");
+    const std::size_t n = frontier.size();
+    level_n = n;
 
     if (n < kParallelFrontierThreshold) {
-      // Thread gate: a small frontier is all spawn/join overhead. Running
-      // the same worker bodies inline (in worker order) produces the same
+      // Thread gate: a small frontier is all handoff overhead. Running the
+      // same worker body inline (it claims every chunk) produces the same
       // edges, runs, and shard contents, so the renumber pass below — and
       // with it the machine — is unchanged.
-      for (unsigned w = 0; w < T; ++w) work(w);
+      chunk_size = n;
+      num_chunks = 1;
+      next_chunk.store(0, std::memory_order_relaxed);
+      work(0);
     } else {
       ++levels_spawned;
-      std::vector<std::thread> pool;
-      pool.reserve(T);
-      try {
-        for (unsigned w = 0; w < T; ++w) pool.emplace_back(work, w);
-      } catch (...) {
-        // Thread spawn failed: stop and join whatever did start, then let the
-        // failure surface as an outcome instead of terminating on ~thread().
-        stop.store(true, std::memory_order_relaxed);
-        for (auto& t : pool) t.join();
-        throw;
-      }
-      for (auto& t : pool) t.join();
+      chunk_size = std::max<std::size_t>(512, n / (static_cast<std::size_t>(T) * 8));
+      num_chunks = (n + chunk_size - 1) / chunk_size;
+      next_chunk.store(0, std::memory_order_relaxed);
+      chunks_claimed += num_chunks;
+      ensure_pool();
+      run_level_on_pool();
     }
     if (worker_error) std::rethrow_exception(worker_error);
     failpoint::hit("global.level");
@@ -501,34 +726,43 @@ GlobalMachine build_parallel(const Network& net, const Budget& budget, unsigned 
       metrics::record_max(metrics::Counter::kGlobalFrontierPeak, n);
     }
 
-    // Collect the next frontier and snapshot its tuples (workers must never
-    // read a shard arena another worker may be growing).
+    // Collect the next frontier and snapshot its packed tuples.
     frontier.clear();
-    frontier_tuples.clear();
+    frontier_words.clear();
     frontier_hashes.clear();
     for (std::uint32_t s = 0; s < T; ++s) {
       Shard& shard = shards[s];
       for (std::uint32_t local : shard.fresh) {
         frontier.push_back(provisional(s, local));
-        frontier_tuples.resize(frontier_tuples.size() + m);
-        packer.unpack(shard.arena[local], frontier_tuples.data() + frontier_tuples.size() - m);
+        frontier_words.insert(frontier_words.end(), shard.arena[local],
+                              shard.arena[local] + W);
         frontier_hashes.push_back(shard.arena.hash_of(local));
       }
       shard.fresh.clear();
       shard.runs.resize(shard.arena.size());
     }
   }
+  pool.shutdown();
 
   // Canonical renumber: FIFO BFS over the recorded runs assigns final ids in
   // first-discovery order scanning each state's edges in emission order —
   // exactly the id assignment of the sequential build.
   GlobalMachine g;
   g.width = m;
+  g.words = W;
+  g.fields = packer.fields();
   g.levels_spawned = levels_spawned;
   metrics::add(metrics::Counter::kGlobalLevelsSpawned, levels_spawned);
-  g.tuple_data.reserve(states_total * m);
-  g.edge_offsets.reserve(states_total + 1);
-  g.edge_offsets.push_back(0);
+  metrics::add(metrics::Counter::kFrontierChunks, chunks_claimed);
+
+  std::size_t edges_total = 0;
+  for (const auto& we : worker_edges) edges_total += we.size();
+  g.tuple_words.reserve(states_total * W);
+  EdgeCols cols;
+  cols.reserve(std::max<std::size_t>(1, edges_total));
+  std::vector<std::uint32_t> offsets;
+  offsets.reserve(states_total + 1);
+  offsets.push_back(0);
 
   constexpr std::uint32_t kUnassigned = UINT32_MAX;
   std::vector<std::vector<std::uint32_t>> canon(T);
@@ -541,8 +775,8 @@ GlobalMachine build_parallel(const Network& net, const Budget& budget, unsigned 
   for (std::size_t f = 0; f < order.size(); ++f) {
     const std::uint32_t sh = static_cast<std::uint32_t>(order[f] >> 32);
     const std::uint32_t local = static_cast<std::uint32_t>(order[f]);
-    g.tuple_data.resize(g.tuple_data.size() + m);
-    packer.unpack(shards[sh].arena[local], g.tuple_data.data() + g.tuple_data.size() - m);
+    g.tuple_words.insert(g.tuple_words.end(), shards[sh].arena[local],
+                         shards[sh].arena[local] + W);
     const Run& run = shards[sh].runs[local];
     const PEdge* e = worker_edges[run.worker].data() + run.begin;
     for (std::uint32_t k = 0; k < run.count; ++k) {
@@ -553,11 +787,12 @@ GlobalMachine build_parallel(const Network& net, const Budget& budget, unsigned 
         c = static_cast<std::uint32_t>(order.size());
         order.push_back(e[k].ptarget);
       }
-      g.edge_data.push_back({c, e[k].action, static_cast<std::uint16_t>(e[k].mover),
-                             static_cast<std::uint16_t>(e[k].partner)});
+      cols.push(c, e[k].action, (e[k].mover << 16) | e[k].partner);
     }
-    g.edge_offsets.push_back(static_cast<std::uint32_t>(g.edge_data.size()));
+    offsets.push_back(static_cast<std::uint32_t>(cols.n));
   }
+  g.tuple_words = exact_fit(std::move(g.tuple_words));
+  finalize_machine(g, std::move(cols), std::move(offsets));
   return g;
 }
 
@@ -596,9 +831,10 @@ GlobalMachine build_global(const Network& net, const Budget& budget, unsigned th
     throw std::logic_error("build_global: networks past 65535 processes are unsupported");
   }
   auto owners = action_owner_table(net.processes(), net.alphabet()->size());
-  std::vector<ActionIndex> index;
-  index.reserve(net.size());
-  for (std::size_t i = 0; i < net.size(); ++i) index.emplace_back(net.process(i));
+  // The per-process indexes are cached on the Network (pure function of the
+  // immutable processes); repeated builds of one network pay construction
+  // once, which matters on micro models where it rivals the build itself.
+  const std::vector<ActionIndex>& index = net.action_indexes();
   const Packer packer(net);
   const Zobrist zob(net);
   auto procs = flatten_processes(net, index, owners, packer, zob);
@@ -607,9 +843,12 @@ GlobalMachine build_global(const Network& net, const Budget& budget, unsigned th
   for (const ActionIndex& ai : index) {
     idx.push_back({ai.cells_data(), ai.targets_data(), ai.num_slots()});
   }
+  const std::size_t expected = expected_states_hint(net);
   if (threads > 64) threads = 64;
-  if (threads > 1) return build_parallel(net, budget, threads, procs, idx, packer, zob);
-  return build_sequential(net, budget, procs, idx, packer, zob);
+  if (threads > 1) {
+    return build_parallel(net, budget, threads, procs, idx, packer, zob, expected);
+  }
+  return build_sequential(net, budget, procs, idx, packer, zob, expected);
 }
 
 GlobalMachine build_global(const Network& net, const Budget& budget) {
@@ -629,8 +868,13 @@ GlobalMachine build_global_reference(const Network& net, const Budget& budget) {
 
   auto owners = action_owner_table(net.processes(), net.alphabet()->size());
 
+  struct RefEdge {
+    std::uint32_t target;
+    ActionId action;
+    std::uint16_t mover, partner;
+  };
   std::vector<std::vector<StateId>> tuples;
-  std::vector<std::vector<GlobalMachine::Edge>> edges;
+  std::vector<std::vector<RefEdge>> edges;
   std::map<std::vector<StateId>, std::uint32_t> ids;
   auto intern = [&](std::vector<StateId> tuple) {
     auto [it, fresh] = ids.try_emplace(tuple, static_cast<std::uint32_t>(tuples.size()));
@@ -677,20 +921,38 @@ GlobalMachine build_global_reference(const Network& net, const Budget& budget) {
     }
   }
 
+  // Flatten into the packed struct-of-arrays layout through the same Packer
+  // the flat builds use, so the machines compare bit-identically.
+  const Packer packer(net);
+  const std::uint32_t W = packer.words;
   GlobalMachine g;
   g.width = static_cast<std::uint32_t>(m);
-  g.tuple_data.reserve(tuples.size() * m);
-  g.edge_offsets.reserve(tuples.size() + 1);
-  g.edge_offsets.push_back(0);
+  g.words = W;
+  g.fields = packer.fields();
+  std::size_t edges_total = 0;
+  for (const auto& row : edges) edges_total += row.size();
+  g.tuple_words.reserve(tuples.size() * W);
+  EdgeCols cols;
+  cols.reserve(std::max<std::size_t>(1, edges_total));
+  std::vector<std::uint32_t> offsets;
+  offsets.reserve(tuples.size() + 1);
+  offsets.push_back(0);
+  std::vector<std::uint32_t> packed(W);
   for (std::uint32_t s = 0; s < tuples.size(); ++s) {
-    g.tuple_data.insert(g.tuple_data.end(), tuples[s].begin(), tuples[s].end());
-    g.edge_data.insert(g.edge_data.end(), edges[s].begin(), edges[s].end());
-    g.edge_offsets.push_back(static_cast<std::uint32_t>(g.edge_data.size()));
+    packer.pack(tuples[s].data(), packed.data());
+    g.tuple_words.insert(g.tuple_words.end(), packed.begin(), packed.end());
+    for (const RefEdge& e : edges[s]) {
+      cols.push(e.target, e.action,
+                (static_cast<std::uint32_t>(e.mover) << 16) | e.partner);
+    }
+    offsets.push_back(static_cast<std::uint32_t>(cols.n));
   }
+  g.tuple_words = exact_fit(std::move(g.tuple_words));
+  finalize_machine(g, std::move(cols), std::move(offsets));
   // End-of-build totals: the oracle is not a hot path, and whole-build
   // counts are what the flat-vs-reference identity tests compare.
   metrics::add(metrics::Counter::kGlobalStates, tuples.size());
-  metrics::add(metrics::Counter::kGlobalEdges, g.edge_data.size());
+  metrics::add(metrics::Counter::kGlobalEdges, g.num_edges());
   return g;
 }
 

@@ -3,9 +3,9 @@
 // inefficient"; here it serves exactly that role — the oracle baseline that
 // the structured algorithms (Prop 1, Thm 3, Thm 4) are validated against
 // and benchmarked around — so its construction is the hottest loop in the
-// library and is stored flat: tuples packed into one block, edges in CSR
-// form (see docs/perf.md for the memory layout and the determinism
-// guarantees of the parallel build).
+// library and is stored flat: tuples bit-packed into one word block, edges
+// in struct-of-arrays CSR columns (see docs/perf.md for the memory layout
+// and the determinism guarantees of the parallel build).
 #pragma once
 
 #include <cstdint>
@@ -20,68 +20,99 @@
 namespace ccfsp {
 
 struct GlobalMachine {
-  /// Number of processes m; tuple g occupies tuple_data[g*width .. +width).
+  /// Number of processes m.
   std::uint32_t width = 0;
+  /// Packed words per tuple: state g's tuple is tuple_words[g*words .. +words).
+  std::uint32_t words = 0;
 
-  /// Packed local-state tuples: tuple_data[g * width + i] = local state of
-  /// process i in global state g. State 0 is the initial tuple.
-  std::vector<StateId> tuple_data;
-
-  struct Edge {
-    std::uint32_t target;
-    /// The handshake symbol, or kTau for an internal move. (The global
-    /// process itself has only tau moves — this remembers what was hidden.)
-    ActionId action;
-    /// Index of a moving process, and of the second one for a handshake
-    /// (== mover otherwise). Lets callers ask "did process i move here?".
-    /// 16 bits: the edge array dominates the machine's footprint, and
-    /// build_global rejects networks past 65535 processes anyway.
-    std::uint16_t mover;
-    std::uint16_t partner;
-
-    bool operator==(const Edge&) const = default;
+  /// Where process i's local state sits inside a packed tuple: coordinate i
+  /// occupies bit_width(|Q_i|-1) bits of word `word`, never straddling a
+  /// 32-bit boundary, so extraction is one load, shift, and mask.
+  struct Field {
+    std::uint32_t word, shift, mask;
   };
+  std::vector<Field> fields;  // one per process
 
-  /// CSR edge storage: state g's out-edges are
-  /// edge_data[edge_offsets[g] .. edge_offsets[g+1]).
-  std::vector<Edge> edge_data;
+  /// Bit-packed local-state tuples, exactly as the build interner stored
+  /// them — the machine keeps the packed form (m*4 bytes/state unpacked vs
+  /// words*4 packed; phil:12 is 144 vs 12) and decodes on demand. State 0 is
+  /// the initial tuple.
+  std::vector<std::uint32_t> tuple_words;
+
+  /// CSR edge storage, struct-of-arrays: edge k of state g (for k in
+  /// edge_offsets[g] .. edge_offsets[g+1]) has target edge_target[k],
+  /// handshake symbol edge_action[k] (kTau for an internal move — the global
+  /// process itself has only tau moves; this remembers what was hidden), and
+  /// its one or two moving processes packed into edge_pair[k] as
+  /// (mover << 16) | partner (partner == mover for a tau move). Columns,
+  /// not an array-of-structs: the reachability and SCC scans touch only the
+  /// 4-byte target column, the decider filters only the pair column.
+  std::vector<std::uint32_t> edge_target;
+  std::vector<ActionId> edge_action;
+  std::vector<std::uint32_t> edge_pair;
   std::vector<std::uint32_t> edge_offsets;  // num_states() + 1 entries
 
-  std::size_t num_states() const { return width == 0 ? 0 : tuple_data.size() / width; }
-  std::size_t num_edges() const { return edge_data.size(); }
+  std::size_t num_states() const {
+    return edge_offsets.empty() ? 0 : edge_offsets.size() - 1;
+  }
+  std::size_t num_edges() const { return edge_target.size(); }
 
-  std::span<const StateId> tuple(std::uint32_t g) const {
-    return {tuple_data.data() + static_cast<std::size_t>(g) * width, width};
+  /// Packed tuple of state g.
+  std::span<const std::uint32_t> packed_tuple(std::uint32_t g) const {
+    return {tuple_words.data() + static_cast<std::size_t>(g) * words, words};
   }
   StateId local_state(std::uint32_t g, std::size_t i) const {
-    return tuple_data[static_cast<std::size_t>(g) * width + i];
+    const Field& f = fields[i];
+    return (tuple_words[static_cast<std::size_t>(g) * words + f.word] >> f.shift) & f.mask;
   }
-  /// Owned copy of a tuple, for witness payloads and comparisons.
+  /// Decoded (unpacked) copy of a tuple, for witness payloads and comparisons.
   std::vector<StateId> tuple_vec(std::uint32_t g) const {
-    auto t = tuple(g);
-    return {t.begin(), t.end()};
+    std::vector<StateId> out(width);
+    const std::uint32_t* p = tuple_words.data() + static_cast<std::size_t>(g) * words;
+    for (std::size_t i = 0; i < width; ++i) {
+      out[i] = (p[fields[i].word] >> fields[i].shift) & fields[i].mask;
+    }
+    return out;
   }
 
-  std::span<const Edge> out(std::uint32_t g) const {
-    return {edge_data.data() + edge_offsets[g],
+  /// The target column of state g's out-edges (the only column the graph
+  /// scans need).
+  std::span<const std::uint32_t> out_targets(std::uint32_t g) const {
+    return {edge_target.data() + edge_offsets[g],
             static_cast<std::size_t>(edge_offsets[g + 1] - edge_offsets[g])};
   }
 
+  std::uint32_t target(std::uint32_t k) const { return edge_target[k]; }
+  ActionId action(std::uint32_t k) const { return edge_action[k]; }
+  std::uint16_t mover(std::uint32_t k) const {
+    return static_cast<std::uint16_t>(edge_pair[k] >> 16);
+  }
+  std::uint16_t partner(std::uint32_t k) const {
+    return static_cast<std::uint16_t>(edge_pair[k] & 0xffffu);
+  }
+
   bool is_stuck(std::uint32_t g) const { return edge_offsets[g] == edge_offsets[g + 1]; }
-  bool process_moves(const Edge& e, std::size_t i) const {
-    return e.mover == i || e.partner == i;
+  /// Did process i move on edge k? (One load on the pair column.)
+  bool process_moves(std::uint32_t k, std::size_t i) const {
+    return mover(k) == i || partner(k) == i;
   }
 
   /// Retained footprint of the machine itself (excludes transient build
-  /// structures), for the benches' bytes-per-state counter.
+  /// structures), for the benches' bytes-per-state counter. Every builder
+  /// finalizes its columns to exact capacity, so this is equal across the
+  /// sequential, parallel, and reference builds (the csr.bytes counter
+  /// asserts it).
   std::size_t memory_bytes() const {
-    return tuple_data.capacity() * sizeof(StateId) + edge_data.capacity() * sizeof(Edge) +
+    return fields.capacity() * sizeof(Field) + tuple_words.capacity() * sizeof(std::uint32_t) +
+           edge_target.capacity() * sizeof(std::uint32_t) +
+           edge_action.capacity() * sizeof(ActionId) +
+           edge_pair.capacity() * sizeof(std::uint32_t) +
            edge_offsets.capacity() * sizeof(std::uint32_t);
   }
 
   /// Diagnostic only (not part of the machine's identity, excluded from the
   /// bit-identity comparisons): number of BFS levels the parallel build
-  /// actually spawned worker threads for. Small frontiers are expanded
+  /// actually fanned out to the worker pool. Small frontiers are expanded
   /// inline on the build thread — see build_global.
   std::size_t levels_spawned = 0;
 };
@@ -105,15 +136,16 @@ std::vector<std::pair<std::uint32_t, std::uint32_t>> action_owner_table(
 /// The machine is never returned truncated — it is complete or the call
 /// throws.
 ///
-/// `threads > 1` expands BFS levels in parallel with sharded interning and
-/// canonically renumbers the result, so the returned machine — state
-/// numbering, edge order, everything — is bit-identical to the threads == 1
-/// build. Budget accounting is then applied at level granularity (same
-/// totals, coarser trip points).
+/// `threads > 1` expands BFS levels on a persistent worker pool with sharded
+/// interning (workers claim fixed-size frontier chunks, one synchronization
+/// per level) and canonically renumbers the result, so the returned machine
+/// — state numbering, edge order, everything — is bit-identical to the
+/// threads == 1 build. Budget accounting is then applied at level
+/// granularity (same totals, coarser trip points).
 ///
 /// `threads` means *up to* that many: levels whose frontier is below
 /// kParallelFrontierThreshold (~5k states per level) are expanded inline on
-/// the build thread — spawn/join overhead dwarfs the work there, and small
+/// the build thread — the pool handoff dwarfs the work there, and small
 /// corpus models never leave the sequential path at all. The result is
 /// unaffected (the gate picks who runs the same expansion loop);
 /// GlobalMachine::levels_spawned reports what actually ran in parallel.

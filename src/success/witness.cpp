@@ -14,7 +14,7 @@ template <typename Goal>
 std::optional<Witness> shortest_to(const Network& net, const GlobalMachine& g, Goal&& goal) {
   constexpr std::uint32_t kUnseen = UINT32_MAX;
   std::vector<std::uint32_t> parent(g.num_states(), kUnseen);
-  std::vector<const GlobalMachine::Edge*> via(g.num_states(), nullptr);
+  std::vector<std::uint32_t> via(g.num_states(), kUnseen);  // edge index taken
   std::queue<std::uint32_t> queue;
   parent[0] = 0;
   queue.push(0);
@@ -26,11 +26,12 @@ std::optional<Witness> shortest_to(const Network& net, const GlobalMachine& g, G
       found = cur;
       break;
     }
-    for (const auto& e : g.out(cur)) {
-      if (parent[e.target] == kUnseen) {
-        parent[e.target] = cur;
-        via[e.target] = &e;
-        queue.push(e.target);
+    for (std::uint32_t k = g.edge_offsets[cur]; k < g.edge_offsets[cur + 1]; ++k) {
+      const std::uint32_t t = g.target(k);
+      if (parent[t] == kUnseen) {
+        parent[t] = cur;
+        via[t] = k;
+        queue.push(t);
       }
     }
   }
@@ -40,8 +41,8 @@ std::optional<Witness> shortest_to(const Network& net, const GlobalMachine& g, G
   w.final_tuple = g.tuple_vec(found);
   std::vector<WitnessStep> rev;
   for (std::uint32_t cur = found; cur != 0;) {
-    const GlobalMachine::Edge* e = via[cur];
-    rev.push_back({e->mover, e->partner, g.tuple_vec(cur)});
+    const std::uint32_t k = via[cur];
+    rev.push_back({g.mover(k), g.partner(k), g.tuple_vec(cur)});
     cur = parent[cur];
   }
   w.steps.assign(rev.rbegin(), rev.rend());
@@ -80,13 +81,14 @@ std::optional<Witness> collab_witness(const Network& net, std::size_t p_index,
 namespace {
 
 /// BFS over a restricted edge set; returns the step sequence from `from` to
-/// the first node satisfying `goal`, or nullopt. `allow` filters edges.
+/// the first node satisfying `goal`, or nullopt. `allow` filters by edge
+/// index into the CSR columns.
 template <typename Goal, typename Allow>
 std::optional<std::vector<WitnessStep>> bfs_path(const GlobalMachine& g, std::uint32_t from,
                                                  Goal&& goal, Allow&& allow) {
   constexpr std::uint32_t kUnseen = UINT32_MAX;
   std::vector<std::uint32_t> parent(g.num_states(), kUnseen);
-  std::vector<const GlobalMachine::Edge*> via(g.num_states(), nullptr);
+  std::vector<std::uint32_t> via(g.num_states(), kUnseen);  // edge index taken
   std::queue<std::uint32_t> queue;
   parent[from] = from;
   queue.push(from);
@@ -98,20 +100,21 @@ std::optional<std::vector<WitnessStep>> bfs_path(const GlobalMachine& g, std::ui
       found = cur;
       break;
     }
-    for (const auto& e : g.out(cur)) {
-      if (!allow(e)) continue;
-      if (parent[e.target] == kUnseen) {
-        parent[e.target] = cur;
-        via[e.target] = &e;
-        queue.push(e.target);
+    for (std::uint32_t k = g.edge_offsets[cur]; k < g.edge_offsets[cur + 1]; ++k) {
+      if (!allow(k)) continue;
+      const std::uint32_t t = g.target(k);
+      if (parent[t] == kUnseen) {
+        parent[t] = cur;
+        via[t] = k;
+        queue.push(t);
       }
     }
   }
   if (found == kUnseen) return std::nullopt;
   std::vector<WitnessStep> rev;
   for (std::uint32_t cur = found; cur != from;) {
-    const GlobalMachine::Edge* e = via[cur];
-    rev.push_back({e->mover, e->partner, g.tuple_vec(cur)});
+    const std::uint32_t k = via[cur];
+    rev.push_back({g.mover(k), g.partner(k), g.tuple_vec(cur)});
     cur = parent[cur];
   }
   return std::vector<WitnessStep>(rev.rbegin(), rev.rend());
@@ -127,7 +130,7 @@ std::optional<LassoWitness> cyclic_blocking_witness(const Network& net, std::siz
 std::optional<LassoWitness> cyclic_blocking_witness(const Network& net, std::size_t p_index,
                                                     const Budget& budget) {
   GlobalMachine g = build_global(net, budget);
-  auto any_edge = [](const GlobalMachine::Edge&) { return true; };
+  auto any_edge = [](std::uint32_t) { return true; };
 
   // Case 1: a reachable stuck state.
   if (auto prefix = bfs_path(g, 0, [&](std::uint32_t s) { return g.is_stuck(s); }, any_edge)) {
@@ -139,25 +142,26 @@ std::optional<LassoWitness> cyclic_blocking_witness(const Network& net, std::siz
 
   // Case 2: a reachable cycle of non-P moves: find a state on such a cycle,
   // walk to it, then extract one round of the cycle.
-  auto non_p = [&](const GlobalMachine::Edge& e) { return !g.process_moves(e, p_index); };
+  auto non_p = [&](std::uint32_t k) { return !g.process_moves(k, p_index); };
   Digraph d(g.num_states());
   for (std::uint32_t s = 0; s < g.num_states(); ++s) {
-    for (const auto& e : g.out(s)) {
-      if (non_p(e)) d.add_edge(s, e.target);
+    for (std::uint32_t k = g.edge_offsets[s]; k < g.edge_offsets[s + 1]; ++k) {
+      if (non_p(k)) d.add_edge(s, g.target(k));
     }
   }
   auto scc = d.scc();
   for (std::uint32_t s = 0; s < g.num_states(); ++s) {
-    for (const auto& e : g.out(s)) {
-      if (!non_p(e) || scc.component[s] != scc.component[e.target]) continue;
-      // s -> e.target closes a non-P cycle; the cycle body is the non-P
-      // path from e.target back to s, plus this edge.
+    for (std::uint32_t k = g.edge_offsets[s]; k < g.edge_offsets[s + 1]; ++k) {
+      const std::uint32_t t = g.target(k);
+      if (!non_p(k) || scc.component[s] != scc.component[t]) continue;
+      // s -> t closes a non-P cycle; the cycle body is the non-P path from
+      // t back to s, plus this edge.
       auto prefix = bfs_path(g, 0, [&](std::uint32_t v) { return v == s; }, any_edge);
-      auto back = bfs_path(g, e.target, [&](std::uint32_t v) { return v == s; }, non_p);
+      auto back = bfs_path(g, t, [&](std::uint32_t v) { return v == s; }, non_p);
       if (!prefix || !back) continue;  // unreachable witness candidate
       LassoWitness w;
       w.prefix = std::move(*prefix);
-      w.cycle.push_back({e.mover, e.partner, g.tuple_vec(e.target)});
+      w.cycle.push_back({g.mover(k), g.partner(k), g.tuple_vec(t)});
       w.cycle.insert(w.cycle.end(), back->begin(), back->end());
       w.pump_tuple = g.tuple_vec(s);
       return w;

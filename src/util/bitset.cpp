@@ -4,27 +4,22 @@
 #include <bit>
 #include <cassert>
 
+#include "util/simd.hpp"
+
 namespace ccfsp {
 
 bool DynamicBitset::any() const {
-  for (word_t w : words_)
-    if (w != 0) return true;
-  return false;
+  return simd::any(words_.data(), words_.size());
 }
 
 std::size_t DynamicBitset::count() const {
-  std::size_t c = 0;
-  for (word_t w : words_) c += static_cast<std::size_t>(std::popcount(w));
-  return c;
+  return static_cast<std::size_t>(simd::popcount(words_.data(), words_.size()));
 }
 
 std::size_t DynamicBitset::find_first() const {
-  for (std::size_t wi = 0; wi < words_.size(); ++wi) {
-    if (words_[wi] != 0) {
-      return wi * kWordBits + static_cast<std::size_t>(std::countr_zero(words_[wi]));
-    }
-  }
-  return num_bits_;
+  const std::size_t wi = simd::next_nonzero_word(words_.data(), words_.size(), 0);
+  if (wi == words_.size()) return num_bits_;
+  return wi * kWordBits + static_cast<std::size_t>(std::countr_zero(words_[wi]));
 }
 
 std::size_t DynamicBitset::find_next(std::size_t i) const {
@@ -33,44 +28,37 @@ std::size_t DynamicBitset::find_next(std::size_t i) const {
   std::size_t wi = i / kWordBits;
   word_t w = words_[wi] >> (i % kWordBits);
   if (w != 0) return i + static_cast<std::size_t>(std::countr_zero(w));
-  for (++wi; wi < words_.size(); ++wi) {
-    if (words_[wi] != 0) {
-      return wi * kWordBits + static_cast<std::size_t>(std::countr_zero(words_[wi]));
-    }
-  }
-  return num_bits_;
+  wi = simd::next_nonzero_word(words_.data(), words_.size(), wi + 1);
+  if (wi == words_.size()) return num_bits_;
+  return wi * kWordBits + static_cast<std::size_t>(std::countr_zero(words_[wi]));
 }
 
 DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& o) {
   assert(num_bits_ == o.num_bits_);
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+  simd::or_into(words_.data(), o.words_.data(), words_.size());
   return *this;
 }
 
 DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& o) {
   assert(num_bits_ == o.num_bits_);
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+  simd::and_into(words_.data(), o.words_.data(), words_.size());
   return *this;
 }
 
 DynamicBitset& DynamicBitset::operator-=(const DynamicBitset& o) {
   assert(num_bits_ == o.num_bits_);
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~o.words_[i];
+  simd::andnot_into(words_.data(), o.words_.data(), words_.size());
   return *this;
 }
 
 bool DynamicBitset::intersects(const DynamicBitset& o) const {
   assert(num_bits_ == o.num_bits_);
-  for (std::size_t i = 0; i < words_.size(); ++i)
-    if (words_[i] & o.words_[i]) return true;
-  return false;
+  return simd::intersects(words_.data(), o.words_.data(), words_.size());
 }
 
 bool DynamicBitset::is_subset_of(const DynamicBitset& o) const {
   assert(num_bits_ == o.num_bits_);
-  for (std::size_t i = 0; i < words_.size(); ++i)
-    if (words_[i] & ~o.words_[i]) return false;
-  return true;
+  return simd::is_subset_of(words_.data(), o.words_.data(), words_.size());
 }
 
 bool DynamicBitset::operator<(const DynamicBitset& o) const {

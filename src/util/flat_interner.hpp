@@ -61,7 +61,7 @@ class TupleArena {
  public:
   explicit TupleArena(std::size_t width, std::size_t expected = 64) : width_(width) {
     std::size_t cap = 16;
-    while (cap < expected * 2) cap <<= 1;  // keep load under 1/2
+    while (cap < expected * 3) cap <<= 1;  // keep load under 1/3
     slots_.assign(cap, 0);
     data_.reserve(expected * width_);
   }
@@ -76,8 +76,12 @@ class TupleArena {
   std::pair<std::uint32_t, bool> intern(const std::uint32_t* tuple, std::uint64_t h) {
     // Grow *before* touching anything: a throwing rehash (real bad_alloc or
     // an injected one) then leaves the arena byte-identical to before the
-    // call, and the insert below always has a slot free.
-    if ((count_ + 1) * 2 >= slots_.size()) grow();
+    // call, and the insert below always has a slot free. Load is capped at
+    // 1/3 and growth is 4x: the intern loop is probe-bound (every fresh
+    // tuple walks a cluster before finding its empty slot), and the deeper
+    // table both shortens clusters and quarters the number of whole-table
+    // rehash sweeps on a growing state space.
+    if ((count_ + 1) * 3 >= slots_.size()) grow();
     std::size_t mask = slots_.size() - 1;
     const std::uint64_t fp = h >> 32;
     for (std::size_t probe = h & mask;; probe = (probe + 1) & mask) {
@@ -123,6 +127,13 @@ class TupleArena {
     if (width_ > 16) __builtin_prefetch(p + 16);
   }
 
+  /// Raw view of the hash-slot block for callers that hoist the home-slot
+  /// prefetch out of intern() (the global build's emission ring). The
+  /// pointer and mask are invalidated by any fresh intern that grows the
+  /// table — re-read them after every fresh insert.
+  const std::uint64_t* slot_data() const { return slots_.data(); }
+  std::size_t slot_mask() const { return slots_.size() - 1; }
+
   const std::uint32_t* operator[](std::uint32_t id) const {
     return data_.data() + static_cast<std::size_t>(id) * width_;
   }
@@ -155,7 +166,7 @@ class TupleArena {
     failpoint::hit("interner.tuple_grow");
     // Rehash into a fresh block and swap only on success; a throw anywhere
     // in here leaves slots_ (and the rest of the arena) untouched.
-    std::vector<std::uint64_t> next(slots_.size() * 2, 0);
+    std::vector<std::uint64_t> next(slots_.size() * 4, 0);
     const std::size_t mask = next.size() - 1;
     for (std::uint64_t slot : slots_) {
       if ((slot & 0xffffffffull) == 0) continue;

@@ -22,9 +22,12 @@ constexpr CounterInfo kCounterInfo[] = {
     {"global.levels_spawned", Kind::kSum},
     {"global.frontier_peak", Kind::kMax},
     {"global.ring_interns", Kind::kSum},
+    {"frontier.chunks", Kind::kSum},
+    {"csr.bytes", Kind::kMax},
     {"determinize.subsets", Kind::kSum},
     {"determinize.closures", Kind::kSum},
     {"determinize.closure_states", Kind::kSum},
+    {"simd.dispatch", Kind::kMax},
     {"refine.pops", Kind::kSum},
     {"refine.splits", Kind::kSum},
     {"refine.smaller_half", Kind::kSum},
@@ -216,6 +219,8 @@ const std::vector<Counter>& execution_shape_counters() {
       Counter::kGlobalLevelsSpawned,
       Counter::kGlobalFrontierPeak,
       Counter::kGlobalRingInterns,
+      Counter::kFrontierChunks,
+      Counter::kSimdDispatch,
   };
   return kShape;
 }

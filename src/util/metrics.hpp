@@ -51,10 +51,14 @@ enum class Counter : std::uint16_t {
   kGlobalLevelsSpawned, // levels that ran on a spawned thread pool
   kGlobalFrontierPeak,  // largest BFS frontier (max, parallel path)
   kGlobalRingInterns,   // successors interned through the prefetch ring
+  kFrontierChunks,      // frontier chunks claimed by pool workers (parallel path)
+  kCsrBytes,            // retained GlobalMachine bytes (max; equal across build modes)
   // annotated_determinize[_flat]
   kDeterminizeSubsets,       // fresh DFA subsets interned
   kDeterminizeClosures,      // tau closures computed (flat kernel, lazy)
   kDeterminizeClosureStates, // total states pushed across those closures
+  // util/simd.hpp dispatch (max of the Path enum seen: 1 scalar, 2 avx2)
+  kSimdDispatch,
   // util/refine.cpp splitter-queue kernel
   kRefinePops,        // splitter blocks popped off the queue
   kRefineSplits,      // blocks split

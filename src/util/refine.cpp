@@ -1,9 +1,11 @@
 #include "util/refine.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "util/failpoint.hpp"
 #include "util/metrics.hpp"
+#include "util/simd.hpp"
 
 namespace ccfsp {
 
@@ -93,13 +95,36 @@ std::vector<std::uint32_t> refine_partition(std::uint32_t num_states,
   in_queue.assign(num_initial, 1);
   for (std::uint32_t c = 0; c < num_initial; ++c) queue.push_back(c);
 
-  std::vector<std::uint32_t> members;              // splitter snapshot
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> preds;  // (label, source)
+  std::vector<std::uint32_t> members;  // splitter snapshot
   std::vector<std::uint8_t> marked(n, 0);
   std::vector<std::uint32_t> marked_list;
   std::vector<std::uint32_t> moved;  // per block id, cursor into its front
   std::vector<std::uint32_t> touched;
   moved.assign(num_initial, 0);
+
+  // Per-pop predecessor grouping: instead of collecting (label, source)
+  // pairs and sorting them (O(P log P) per pop), sources are scattered into
+  // per-label buckets and a touched-label bitmap, and the bitmap is swept
+  // ascending with the vectorized next_nonzero_word kernel — O(P) plus a
+  // SIMD scan over the words the pop actually dirtied. Labels are ActionId
+  // values and need not be dense (kTau is 0xffffffff), so in_act is remapped
+  // to dense ids once up front; the sweep order over dense ids is still a
+  // fixed total order on labels, so splits stay deterministic.
+  metrics::record_max(metrics::Counter::kSimdDispatch,
+                      static_cast<std::uint64_t>(simd::active_path()));
+  std::vector<std::uint32_t> label_ids(edge_label.begin(), edge_label.end());
+  std::sort(label_ids.begin(), label_ids.end());
+  label_ids.erase(std::unique(label_ids.begin(), label_ids.end()), label_ids.end());
+  for (std::size_t k = 0; k < m; ++k) {
+    in_act[k] = static_cast<std::uint32_t>(
+        std::lower_bound(label_ids.begin(), label_ids.end(), in_act[k]) -
+        label_ids.begin());
+  }
+  const std::uint32_t num_labels = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(label_ids.size()));
+  std::vector<std::vector<std::uint32_t>> bucket(num_labels);
+  const std::size_t label_words = (num_labels + 63) / 64;
+  std::vector<std::uint64_t> label_bits(label_words, 0);
 
   while (!queue.empty()) {
     const std::uint32_t b = queue.back();
@@ -110,72 +135,77 @@ std::vector<std::uint32_t> refine_partition(std::uint32_t num_states,
 
     // Snapshot: the block may itself split while it acts as the splitter.
     members.assign(elems.begin() + blocks[b].begin, elems.begin() + blocks[b].end);
-    preds.clear();
     for (std::uint32_t s : members) {
       for (std::uint32_t k = in_off[s]; k < in_off[s + 1]; ++k) {
-        preds.emplace_back(in_act[k], in_src[k]);
+        const std::uint32_t a = in_act[k];
+        bucket[a].push_back(in_src[k]);
+        label_bits[a >> 6] |= std::uint64_t{1} << (a & 63);
       }
     }
-    std::sort(preds.begin(), preds.end(),
-              [](const auto& x, const auto& y) { return x.first < y.first; });
 
-    for (std::size_t i = 0; i < preds.size();) {
-      const std::uint32_t a = preds[i].first;
-      std::size_t j = i;
-      // Mark the distinct a-predecessors of the splitter.
-      marked_list.clear();
-      for (; j < preds.size() && preds[j].first == a; ++j) {
-        const std::uint32_t s = preds[j].second;
-        if (!marked[s]) {
-          marked[s] = 1;
-          marked_list.push_back(s);
+    for (std::size_t w = simd::next_nonzero_word(label_bits.data(), label_words, 0);
+         w < label_words;
+         w = simd::next_nonzero_word(label_bits.data(), label_words, w + 1)) {
+      std::uint64_t bits = label_bits[w];
+      label_bits[w] = 0;
+      while (bits != 0) {
+        const std::uint32_t a =
+            static_cast<std::uint32_t>(w * 64 + std::countr_zero(bits));
+        bits &= bits - 1;
+        // Mark the distinct a-predecessors of the splitter.
+        marked_list.clear();
+        for (const std::uint32_t s : bucket[a]) {
+          if (!marked[s]) {
+            marked[s] = 1;
+            marked_list.push_back(s);
+          }
         }
-      }
-      // Move each block's marked members to its front.
-      touched.clear();
-      for (std::uint32_t s : marked_list) {
-        const std::uint32_t c = block_of[s];
-        if (moved[c] == 0) touched.push_back(c);
-        const std::uint32_t at = blocks[c].begin + moved[c]++;
-        const std::uint32_t other = elems[at];
-        elems[pos[s]] = other;
-        pos[other] = pos[s];
-        elems[at] = s;
-        pos[s] = at;
-      }
-      // Split every partially-marked block; enqueue per Hopcroft's rule.
-      for (std::uint32_t c : touched) {
-        const std::uint32_t cnt = moved[c];
-        moved[c] = 0;
-        if (cnt == blocks[c].size()) continue;  // fully marked: stable
-        const std::uint32_t d = static_cast<std::uint32_t>(blocks.size());
-        blocks.push_back({blocks[c].begin, blocks[c].begin + cnt});
-        blocks[c].begin += cnt;
-        moved.push_back(0);
-        in_queue.push_back(0);
-        for (std::uint32_t at = blocks[d].begin; at < blocks[d].end; ++at) {
-          block_of[elems[at]] = d;
+        bucket[a].clear();
+        // Move each block's marked members to its front.
+        touched.clear();
+        for (std::uint32_t s : marked_list) {
+          const std::uint32_t c = block_of[s];
+          if (moved[c] == 0) touched.push_back(c);
+          const std::uint32_t at = blocks[c].begin + moved[c]++;
+          const std::uint32_t other = elems[at];
+          elems[pos[s]] = other;
+          pos[other] = pos[s];
+          elems[at] = s;
+          pos[s] = at;
         }
-        metrics::add(metrics::Counter::kRefineSplits);
-        if (in_queue[c]) {
-          // Parent already queued: neither enqueue rule applies.
-          in_queue[d] = 1;
-          queue.push_back(d);
-        } else if (deterministic) {
-          metrics::add(metrics::Counter::kRefineSmallerHalf);
-          const std::uint32_t smaller = blocks[d].size() <= blocks[c].size() ? d : c;
-          in_queue[smaller] = 1;
-          queue.push_back(smaller);
-        } else {
-          metrics::add(metrics::Counter::kRefineBothHalves);
-          in_queue[c] = 1;
-          queue.push_back(c);
-          in_queue[d] = 1;
-          queue.push_back(d);
+        // Split every partially-marked block; enqueue per Hopcroft's rule.
+        for (std::uint32_t c : touched) {
+          const std::uint32_t cnt = moved[c];
+          moved[c] = 0;
+          if (cnt == blocks[c].size()) continue;  // fully marked: stable
+          const std::uint32_t d = static_cast<std::uint32_t>(blocks.size());
+          blocks.push_back({blocks[c].begin, blocks[c].begin + cnt});
+          blocks[c].begin += cnt;
+          moved.push_back(0);
+          in_queue.push_back(0);
+          for (std::uint32_t at = blocks[d].begin; at < blocks[d].end; ++at) {
+            block_of[elems[at]] = d;
+          }
+          metrics::add(metrics::Counter::kRefineSplits);
+          if (in_queue[c]) {
+            // Parent already queued: neither enqueue rule applies.
+            in_queue[d] = 1;
+            queue.push_back(d);
+          } else if (deterministic) {
+            metrics::add(metrics::Counter::kRefineSmallerHalf);
+            const std::uint32_t smaller = blocks[d].size() <= blocks[c].size() ? d : c;
+            in_queue[smaller] = 1;
+            queue.push_back(smaller);
+          } else {
+            metrics::add(metrics::Counter::kRefineBothHalves);
+            in_queue[c] = 1;
+            queue.push_back(c);
+            in_queue[d] = 1;
+            queue.push_back(d);
+          }
         }
+        for (std::uint32_t s : marked_list) marked[s] = 0;
       }
-      for (std::uint32_t s : marked_list) marked[s] = 0;
-      i = j;
     }
   }
 

@@ -1,0 +1,259 @@
+#include "util/simd.hpp"
+
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+
+// The AVX2 path is compiled with per-function target attributes (no -mavx2
+// needed for the translation unit), so a binary built for plain x86-64 still
+// carries it and picks it at runtime. Non-x86 or non-GNU toolchains compile
+// the scalar table only.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define CCFSP_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define CCFSP_SIMD_X86 0
+#endif
+
+namespace ccfsp::simd {
+
+namespace {
+
+// ---- scalar path -----------------------------------------------------------
+// Plain word loops. Under a -mavx2 build the compiler may auto-vectorize
+// these; they remain the "scalar algorithm" and stay bit-identical — every
+// kernel is exact bitwise arithmetic.
+
+void scalar_or_into(std::uint64_t* dst, const std::uint64_t* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] |= src[i];
+}
+
+void scalar_and_into(std::uint64_t* dst, const std::uint64_t* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] &= src[i];
+}
+
+void scalar_andnot_into(std::uint64_t* dst, const std::uint64_t* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] &= ~src[i];
+}
+
+std::uint64_t scalar_popcount(const std::uint64_t* w, std::size_t n) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) total += static_cast<std::uint64_t>(std::popcount(w[i]));
+  return total;
+}
+
+bool scalar_any(const std::uint64_t* w, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i)
+    if (w[i] != 0) return true;
+  return false;
+}
+
+bool scalar_intersects(const std::uint64_t* a, const std::uint64_t* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i)
+    if (a[i] & b[i]) return true;
+  return false;
+}
+
+bool scalar_is_subset_of(const std::uint64_t* a, const std::uint64_t* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i)
+    if (a[i] & ~b[i]) return false;
+  return true;
+}
+
+std::size_t scalar_next_nonzero_word(const std::uint64_t* w, std::size_t n, std::size_t from) {
+  for (std::size_t i = from; i < n; ++i)
+    if (w[i] != 0) return i;
+  return n;
+}
+
+constexpr detail::Kernels kScalarKernels = {
+    scalar_or_into,    scalar_and_into,     scalar_andnot_into,
+    scalar_popcount,   scalar_any,          scalar_intersects,
+    scalar_is_subset_of, scalar_next_nonzero_word,
+};
+
+#if CCFSP_SIMD_X86
+
+// ---- AVX2 path -------------------------------------------------------------
+// 64-byte sweeps: two 256-bit lanes per iteration for the streaming ops,
+// testz/testc for the early-exit predicates, and the classic nibble-LUT +
+// psadbw horizontal popcount. All loads are unaligned (loadu): the callers'
+// spans live in std::vector storage with no alignment guarantee.
+
+__attribute__((target("avx2"))) void avx2_or_into(std::uint64_t* dst, const std::uint64_t* src,
+                                                  std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256i a0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    __m256i a1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i + 4));
+    __m256i b0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    __m256i b1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i + 4));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), _mm256_or_si256(a0, b0));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 4), _mm256_or_si256(a1, b1));
+  }
+  for (; i < n; ++i) dst[i] |= src[i];
+}
+
+__attribute__((target("avx2"))) void avx2_and_into(std::uint64_t* dst, const std::uint64_t* src,
+                                                   std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256i a0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    __m256i a1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i + 4));
+    __m256i b0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    __m256i b1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i + 4));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), _mm256_and_si256(a0, b0));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 4), _mm256_and_si256(a1, b1));
+  }
+  for (; i < n; ++i) dst[i] &= src[i];
+}
+
+__attribute__((target("avx2"))) void avx2_andnot_into(std::uint64_t* dst,
+                                                      const std::uint64_t* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256i a0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    __m256i a1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i + 4));
+    __m256i b0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    __m256i b1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i + 4));
+    // andnot computes ~first & second, so src goes first.
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), _mm256_andnot_si256(b0, a0));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 4), _mm256_andnot_si256(b1, a1));
+  }
+  for (; i < n; ++i) dst[i] &= ~src[i];
+}
+
+__attribute__((target("avx2,popcnt"))) std::uint64_t avx2_popcount(const std::uint64_t* w,
+                                                                   std::size_t n) {
+  const __m256i lut =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1, 1, 2, 1, 2, 2, 3,
+                       1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low = _mm256_set1_epi8(0x0f);
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i));
+    __m256i lo = _mm256_shuffle_epi8(lut, _mm256_and_si256(v, low));
+    __m256i hi = _mm256_shuffle_epi8(lut, _mm256_and_si256(_mm256_srli_epi16(v, 4), low));
+    acc = _mm256_add_epi64(
+        acc, _mm256_sad_epu8(_mm256_add_epi8(lo, hi), _mm256_setzero_si256()));
+  }
+  std::uint64_t lanes[4];
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  std::uint64_t total = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  for (; i < n; ++i) total += static_cast<std::uint64_t>(_mm_popcnt_u64(w[i]));
+  return total;
+}
+
+__attribute__((target("avx2"))) bool avx2_any(const std::uint64_t* w, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i));
+    if (!_mm256_testz_si256(v, v)) return true;
+  }
+  for (; i < n; ++i)
+    if (w[i] != 0) return true;
+  return false;
+}
+
+__attribute__((target("avx2"))) bool avx2_intersects(const std::uint64_t* a,
+                                                     const std::uint64_t* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    if (!_mm256_testz_si256(va, vb)) return true;
+  }
+  for (; i < n; ++i)
+    if (a[i] & b[i]) return true;
+  return false;
+}
+
+__attribute__((target("avx2"))) bool avx2_is_subset_of(const std::uint64_t* a,
+                                                       const std::uint64_t* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    // testc(b, a) == 1  <=>  (~b & a) == 0  <=>  a ⊆ b.
+    if (!_mm256_testc_si256(vb, va)) return false;
+  }
+  for (; i < n; ++i)
+    if (a[i] & ~b[i]) return false;
+  return true;
+}
+
+__attribute__((target("avx2"))) std::size_t avx2_next_nonzero_word(const std::uint64_t* w,
+                                                                   std::size_t n,
+                                                                   std::size_t from) {
+  std::size_t i = from;
+  for (; i < n && (i & 3) != 0; ++i)
+    if (w[i] != 0) return i;
+  for (; i + 4 <= n; i += 4) {
+    __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i));
+    if (!_mm256_testz_si256(v, v)) {
+      for (std::size_t k = 0; k < 4; ++k)
+        if (w[i + k] != 0) return i + k;
+    }
+  }
+  for (; i < n; ++i)
+    if (w[i] != 0) return i;
+  return n;
+}
+
+constexpr detail::Kernels kAvx2Kernels = {
+    avx2_or_into,    avx2_and_into,     avx2_andnot_into,
+    avx2_popcount,   avx2_any,          avx2_intersects,
+    avx2_is_subset_of, avx2_next_nonzero_word,
+};
+
+#endif  // CCFSP_SIMD_X86
+
+}  // namespace
+
+namespace detail {
+
+bool avx2_supported() {
+#if CCFSP_SIMD_X86
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+Path resolve_path(const char* env, bool avx2_ok) {
+  if (env != nullptr) {
+    if (std::strcmp(env, "scalar") == 0) return Path::kScalar;
+    if (std::strcmp(env, "avx2") == 0) return avx2_ok ? Path::kAvx2 : Path::kScalar;
+    // Unknown strings (and "auto") fall through to detection.
+  }
+  return avx2_ok ? Path::kAvx2 : Path::kScalar;
+}
+
+const Kernels& kernels(Path p) {
+#if CCFSP_SIMD_X86
+  if (p == Path::kAvx2 && avx2_supported()) return kAvx2Kernels;
+#else
+  (void)p;
+#endif
+  return kScalarKernels;
+}
+
+const Kernels& active() {
+  static const Kernels& k = kernels(active_path());
+  return k;
+}
+
+}  // namespace detail
+
+Path active_path() {
+  static const Path p =
+      detail::resolve_path(std::getenv("CCFSP_SIMD"), detail::avx2_supported());
+  return p;
+}
+
+const char* path_name(Path p) {
+  return p == Path::kAvx2 ? "avx2" : "scalar";
+}
+
+}  // namespace ccfsp::simd

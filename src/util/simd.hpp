@@ -1,0 +1,113 @@
+// Vectorized word kernels for the flat engine's set scans. Everything the
+// hot loops do to a bitset is one of a handful of shapes — OR a span into an
+// accumulator, AND/ANDNOT for intersection and difference, popcount, find
+// the next set bit or nonzero word — and all of them sweep uint64_t spans.
+// This layer provides those sweeps once, in 64-byte strides, with an AVX2
+// path selected by runtime dispatch and a scalar fallback that is
+// bit-identical (every kernel is exact bitwise arithmetic, so the two paths
+// cannot diverge; tests/util/simd_test.cpp asserts it anyway, tails
+// included).
+//
+// Dispatch is resolved once per process: the CCFSP_SIMD environment variable
+// ("scalar", "avx2", "auto") wins, then __builtin_cpu_supports("avx2").
+// Forcing "avx2" on a machine without it quietly degrades to scalar — an env
+// override must never turn into SIGILL. Callers on a hot path should hoist
+// nothing: the per-call cost is one load of the cached kernel table.
+//
+// DynamicBitset routes its word loops through these kernels; refine_partition
+// and annotated_determinize_flat use them directly on their scratch bitmaps.
+// Both dispatch paths are exported under detail:: so the property tests can
+// drive them explicitly regardless of what the host CPU supports.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ccfsp::simd {
+
+enum class Path : std::uint8_t {
+  kScalar = 1,
+  kAvx2 = 2,
+};
+
+/// The path every kernel below dispatches through, resolved once per
+/// process (env override, then CPU detection — see file comment).
+Path active_path();
+
+/// "scalar" / "avx2", for logs and the bench JSON.
+const char* path_name(Path p);
+
+namespace detail {
+
+/// Table of per-path kernel entry points. The property tests fetch both
+/// tables and compare outputs; production code goes through the free
+/// functions below, which forward to the active path's table.
+struct Kernels {
+  void (*or_into)(std::uint64_t* dst, const std::uint64_t* src, std::size_t n);
+  void (*and_into)(std::uint64_t* dst, const std::uint64_t* src, std::size_t n);
+  void (*andnot_into)(std::uint64_t* dst, const std::uint64_t* src, std::size_t n);
+  std::uint64_t (*popcount)(const std::uint64_t* w, std::size_t n);
+  bool (*any)(const std::uint64_t* w, std::size_t n);
+  bool (*intersects)(const std::uint64_t* a, const std::uint64_t* b, std::size_t n);
+  bool (*is_subset_of)(const std::uint64_t* a, const std::uint64_t* b, std::size_t n);
+  std::size_t (*next_nonzero_word)(const std::uint64_t* w, std::size_t n, std::size_t from);
+};
+
+/// True when the host CPU (not the build flags) can run the AVX2 path.
+bool avx2_supported();
+
+/// The kernel table for a path. Asking for kAvx2 on a host without AVX2
+/// returns the scalar table (same quiet degradation as dispatch).
+const Kernels& kernels(Path p);
+
+/// Resolution rule, exposed for tests: maps an env string (may be null) and
+/// an availability flag to the chosen path. Unknown strings behave as "auto".
+Path resolve_path(const char* env, bool avx2_ok);
+
+const Kernels& active();  // cached table of active_path()
+
+}  // namespace detail
+
+/// dst[i] |= src[i]. Spans must not partially overlap.
+inline void or_into(std::uint64_t* dst, const std::uint64_t* src, std::size_t n) {
+  detail::active().or_into(dst, src, n);
+}
+
+/// dst[i] &= src[i].
+inline void and_into(std::uint64_t* dst, const std::uint64_t* src, std::size_t n) {
+  detail::active().and_into(dst, src, n);
+}
+
+/// dst[i] &= ~src[i] (set difference).
+inline void andnot_into(std::uint64_t* dst, const std::uint64_t* src, std::size_t n) {
+  detail::active().andnot_into(dst, src, n);
+}
+
+/// Total set bits over the span.
+inline std::uint64_t popcount(const std::uint64_t* w, std::size_t n) {
+  return detail::active().popcount(w, n);
+}
+
+/// Any set bit?
+inline bool any(const std::uint64_t* w, std::size_t n) {
+  return detail::active().any(w, n);
+}
+
+/// Do the spans share a set bit?
+inline bool intersects(const std::uint64_t* a, const std::uint64_t* b, std::size_t n) {
+  return detail::active().intersects(a, b, n);
+}
+
+/// Is a ⊆ b (no bit of a outside b)?
+inline bool is_subset_of(const std::uint64_t* a, const std::uint64_t* b, std::size_t n) {
+  return detail::active().is_subset_of(a, b, n);
+}
+
+/// Index of the first nonzero word at or after `from`, or n if none — the
+/// sweep primitive behind find_first/find_next and the scratch-bitmap
+/// extraction loops.
+inline std::size_t next_nonzero_word(const std::uint64_t* w, std::size_t n, std::size_t from) {
+  return detail::active().next_nonzero_word(w, n, from);
+}
+
+}  // namespace ccfsp::simd

@@ -38,7 +38,12 @@ pid_t spawn_long_analysis(const std::string& out_path) {
 }
 
 void expect_signal_yields_clean_budget_exit(int sig) {
-  const std::string out_path = ::testing::TempDir() + "/ccfsp_signal_test.out";
+  // Unique per test process AND per signal: ctest -j runs the SIGINT and
+  // SIGTERM cases concurrently, and a shared path would let one child's
+  // O_TRUNC race the other test's read.
+  const std::string out_path = ::testing::TempDir() + "/ccfsp_signal_test." +
+                               std::to_string(::getpid()) + "." + std::to_string(sig) +
+                               ".out";
   const pid_t pid = spawn_long_analysis(out_path);
   ASSERT_GT(pid, 0);
 

@@ -51,8 +51,9 @@ void arm_cancel_on_worker_hit(const CancelToken& token, std::uint64_t nth) {
 }
 
 bool same_machine(const GlobalMachine& a, const GlobalMachine& b) {
-  return a.width == b.width && a.tuple_data == b.tuple_data && a.edge_data == b.edge_data &&
-         a.edge_offsets == b.edge_offsets;
+  return a.width == b.width && a.words == b.words && a.tuple_words == b.tuple_words &&
+         a.edge_target == b.edge_target && a.edge_action == b.edge_action &&
+         a.edge_pair == b.edge_pair && a.edge_offsets == b.edge_offsets;
 }
 
 TEST(GlobalCancel, MidLevelCancelOnModelCorpusJoinsWorkersAndClassifies) {

@@ -23,9 +23,15 @@ namespace {
 
 void expect_identical(const GlobalMachine& a, const GlobalMachine& b, const char* what) {
   ASSERT_EQ(a.width, b.width) << what;
-  ASSERT_EQ(a.tuple_data, b.tuple_data) << what;
+  ASSERT_EQ(a.words, b.words) << what;
+  ASSERT_EQ(a.tuple_words, b.tuple_words) << what;
   ASSERT_EQ(a.edge_offsets, b.edge_offsets) << what;
-  ASSERT_EQ(a.edge_data, b.edge_data) << what;
+  ASSERT_EQ(a.edge_target, b.edge_target) << what;
+  ASSERT_EQ(a.edge_action, b.edge_action) << what;
+  ASSERT_EQ(a.edge_pair, b.edge_pair) << what;
+  // Every builder finalizes to exact capacity, so the retained footprint is
+  // part of the bit-identity contract too (csr.bytes relies on it).
+  ASSERT_EQ(a.memory_bytes(), b.memory_bytes()) << what;
 }
 
 Network load_model(const std::string& name, AlphabetPtr alphabet) {

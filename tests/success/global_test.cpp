@@ -14,7 +14,7 @@ TEST(GlobalMachine, Figure3StateSpace) {
   Network net = figure3_network();
   GlobalMachine g = build_global(net);
   EXPECT_EQ(g.num_states(), 3u);
-  EXPECT_EQ(g.out(0).size(), 2u);  // handshake a, or Q's tau
+  EXPECT_EQ(g.out_targets(0).size(), 2u);  // handshake a, or Q's tau
   std::size_t stuck = 0;
   for (std::uint32_t s = 0; s < g.num_states(); ++s) {
     if (g.is_stuck(s)) ++stuck;
@@ -29,11 +29,11 @@ TEST(GlobalMachine, HandshakeMovesBothComponents) {
   procs.push_back(FspBuilder(alphabet, "Q").trans("0", "a", "1").build());
   Network net(alphabet, std::move(procs));
   GlobalMachine g = build_global(net);
-  ASSERT_EQ(g.out(0).size(), 1u);
-  const auto& e = g.out(0)[0];
+  ASSERT_EQ(g.out_targets(0).size(), 1u);
+  const std::uint32_t e = g.edge_offsets[0];
   EXPECT_TRUE(g.process_moves(e, 0));
   EXPECT_TRUE(g.process_moves(e, 1));
-  EXPECT_EQ(g.tuple_vec(e.target), (std::vector<StateId>{1, 1}));
+  EXPECT_EQ(g.tuple_vec(g.target(e)), (std::vector<StateId>{1, 1}));
 }
 
 TEST(GlobalMachine, TauMovesSingleComponent) {
@@ -43,7 +43,7 @@ TEST(GlobalMachine, TauMovesSingleComponent) {
   procs.push_back(FspBuilder(alphabet, "Q").trans("0", "a", "1").build());
   Network net(alphabet, std::move(procs));
   GlobalMachine g = build_global(net);
-  const auto& e = g.out(0)[0];
+  const std::uint32_t e = g.edge_offsets[0];
   EXPECT_TRUE(g.process_moves(e, 0));
   EXPECT_FALSE(g.process_moves(e, 1));
 }
@@ -54,7 +54,7 @@ TEST(GlobalMachine, TokenRingIsALoop) {
   // Token circulates: exactly 3 global states, one edge each, no stuck.
   EXPECT_EQ(g.num_states(), 3u);
   for (std::uint32_t s = 0; s < g.num_states(); ++s) {
-    EXPECT_EQ(g.out(s).size(), 1u);
+    EXPECT_EQ(g.out_targets(s).size(), 1u);
   }
 }
 

@@ -1,0 +1,161 @@
+// Property tests for the vectorized word kernels: the AVX2 and scalar
+// dispatch paths must be bit-identical on every kernel, every span length —
+// the 8-word vector blocks AND the 0..7-word scalar tails — and the
+// CCFSP_SIMD resolution rule must degrade quietly. On a host without AVX2,
+// detail::kernels(kAvx2) returns the scalar table and the identity checks
+// pass trivially (that degradation is itself part of the contract).
+#include "util/simd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ccfsp {
+namespace {
+
+using simd::Path;
+using simd::detail::Kernels;
+using simd::detail::kernels;
+
+std::vector<std::uint64_t> random_words(Rng& rng, std::size_t n, int density) {
+  std::vector<std::uint64_t> out(n);
+  for (auto& w : out) {
+    w = rng.next();
+    // Vary density so any/intersects/subset see both early-exit and
+    // full-sweep outcomes.
+    for (int d = 0; d < density; ++d) w &= rng.next();
+  }
+  return out;
+}
+
+// Lengths covering every tail residue 0..7 around the 8-word block size,
+// plus longer spans that exercise several full 64-byte strides.
+const std::size_t kLengths[] = {0,  1,  2,  3,  4,  5,  6,  7,  8,  9,  10, 11,
+                                12, 13, 14, 15, 16, 17, 23, 24, 31, 32, 33, 64,
+                                65, 71, 100};
+
+TEST(Simd, MutatingKernelsBitIdenticalAcrossPaths) {
+  const Kernels& scalar = kernels(Path::kScalar);
+  const Kernels& avx2 = kernels(Path::kAvx2);
+  Rng rng(0x51D0);
+  for (std::size_t n : kLengths) {
+    for (int density = 0; density < 3; ++density) {
+      const auto src = random_words(rng, n, density);
+      const auto base = random_words(rng, n, density);
+      auto a = base, b = base;
+      scalar.or_into(a.data(), src.data(), n);
+      avx2.or_into(b.data(), src.data(), n);
+      EXPECT_EQ(a, b) << "or_into n=" << n;
+
+      a = base, b = base;
+      scalar.and_into(a.data(), src.data(), n);
+      avx2.and_into(b.data(), src.data(), n);
+      EXPECT_EQ(a, b) << "and_into n=" << n;
+
+      a = base, b = base;
+      scalar.andnot_into(a.data(), src.data(), n);
+      avx2.andnot_into(b.data(), src.data(), n);
+      EXPECT_EQ(a, b) << "andnot_into n=" << n;
+    }
+  }
+}
+
+TEST(Simd, QueryKernelsBitIdenticalAcrossPaths) {
+  const Kernels& scalar = kernels(Path::kScalar);
+  const Kernels& avx2 = kernels(Path::kAvx2);
+  Rng rng(0xB17F1E1D);
+  for (std::size_t n : kLengths) {
+    for (int density = 0; density < 4; ++density) {
+      const auto a = random_words(rng, n, density);
+      auto b = random_words(rng, n, density);
+      if (density == 3) {
+        // Force genuine subset/empty cases, not just random near-misses.
+        b = a;
+        for (auto& w : b) w |= rng.next();
+      }
+      EXPECT_EQ(scalar.popcount(a.data(), n), avx2.popcount(a.data(), n)) << n;
+      EXPECT_EQ(scalar.any(a.data(), n), avx2.any(a.data(), n)) << n;
+      EXPECT_EQ(scalar.intersects(a.data(), b.data(), n),
+                avx2.intersects(a.data(), b.data(), n))
+          << n;
+      EXPECT_EQ(scalar.is_subset_of(a.data(), b.data(), n),
+                avx2.is_subset_of(a.data(), b.data(), n))
+          << n;
+      EXPECT_EQ(scalar.is_subset_of(b.data(), a.data(), n),
+                avx2.is_subset_of(b.data(), a.data(), n))
+          << n;
+      for (std::size_t from = 0; from <= n; ++from) {
+        EXPECT_EQ(scalar.next_nonzero_word(a.data(), n, from),
+                  avx2.next_nonzero_word(a.data(), n, from))
+            << "n=" << n << " from=" << from;
+      }
+    }
+  }
+}
+
+TEST(Simd, ZeroAndSaturatedSpans) {
+  const Kernels& scalar = kernels(Path::kScalar);
+  const Kernels& avx2 = kernels(Path::kAvx2);
+  for (std::size_t n : kLengths) {
+    const std::vector<std::uint64_t> zero(n, 0);
+    const std::vector<std::uint64_t> full(n, ~std::uint64_t{0});
+    for (const Kernels* k : {&scalar, &avx2}) {
+      EXPECT_EQ(k->popcount(zero.data(), n), 0u);
+      EXPECT_EQ(k->popcount(full.data(), n), n * 64);
+      EXPECT_FALSE(k->any(zero.data(), n));
+      EXPECT_EQ(k->any(full.data(), n), n > 0);
+      EXPECT_TRUE(k->is_subset_of(zero.data(), full.data(), n));
+      EXPECT_EQ(k->is_subset_of(full.data(), zero.data(), n), n == 0);
+      EXPECT_FALSE(k->intersects(zero.data(), full.data(), n));
+      EXPECT_EQ(k->next_nonzero_word(zero.data(), n, 0), n);
+      EXPECT_EQ(k->next_nonzero_word(full.data(), n, 0), n > 0 ? 0u : n);
+    }
+  }
+}
+
+TEST(Simd, NextNonzeroWordFindsExactIndex) {
+  const Kernels& scalar = kernels(Path::kScalar);
+  const Kernels& avx2 = kernels(Path::kAvx2);
+  for (std::size_t n : {1u, 7u, 8u, 9u, 40u}) {
+    for (std::size_t hot = 0; hot < n; ++hot) {
+      std::vector<std::uint64_t> w(n, 0);
+      w[hot] = 1;
+      for (const Kernels* k : {&scalar, &avx2}) {
+        EXPECT_EQ(k->next_nonzero_word(w.data(), n, 0), hot);
+        EXPECT_EQ(k->next_nonzero_word(w.data(), n, hot), hot);
+        EXPECT_EQ(k->next_nonzero_word(w.data(), n, hot + 1), n);
+      }
+    }
+  }
+}
+
+TEST(Simd, ResolutionRule) {
+  using simd::detail::resolve_path;
+  // Explicit overrides.
+  EXPECT_EQ(resolve_path("scalar", true), Path::kScalar);
+  EXPECT_EQ(resolve_path("scalar", false), Path::kScalar);
+  EXPECT_EQ(resolve_path("avx2", true), Path::kAvx2);
+  // Forcing avx2 without hardware support degrades quietly, never SIGILL.
+  EXPECT_EQ(resolve_path("avx2", false), Path::kScalar);
+  // Auto (explicit, absent, or unrecognized) follows the hardware.
+  EXPECT_EQ(resolve_path("auto", true), Path::kAvx2);
+  EXPECT_EQ(resolve_path("auto", false), Path::kScalar);
+  EXPECT_EQ(resolve_path(nullptr, true), Path::kAvx2);
+  EXPECT_EQ(resolve_path(nullptr, false), Path::kScalar);
+  EXPECT_EQ(resolve_path("bogus", true), Path::kAvx2);
+  EXPECT_EQ(resolve_path("", false), Path::kScalar);
+}
+
+TEST(Simd, ActivePathIsCoherent) {
+  const Path p = simd::active_path();
+  EXPECT_TRUE(p == Path::kScalar || p == Path::kAvx2);
+  if (!simd::detail::avx2_supported()) EXPECT_EQ(p, Path::kScalar);
+  EXPECT_STREQ(simd::path_name(Path::kScalar), "scalar");
+  EXPECT_STREQ(simd::path_name(Path::kAvx2), "avx2");
+}
+
+}  // namespace
+}  // namespace ccfsp
