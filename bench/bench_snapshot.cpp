@@ -1,0 +1,183 @@
+// Snapshot warm-start benchmark: is loading a persisted global machine
+// actually faster than rebuilding it? The headline model is phil:12 (the
+// flat-engine benchmark family); the tool times the fresh sequential flat
+// build, the save, and the validated load over several repetitions, takes
+// medians, and verifies on every repetition that the loaded machine is
+// bit-identical to the built one (a fast wrong answer is not a win). Emits
+// machine-readable JSON (BENCH_snapshot.json by default).
+//
+//   bench_snapshot [--quick] [--out PATH] [--check BASELINE.json]
+//
+// --check enforces the warm-start contract, machine-independently:
+//   - the median validated load must beat the median fresh build (the whole
+//     point of persisting; CRC-validating a file should never cost more
+//     than re-running BFS + interning);
+//   - the within-run speedup build_ms / load_ms must stay within 3x of the
+//     committed baseline's speedup, catching a load path that quietly
+//     degrades to rebuild-grade cost while still technically "winning".
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "network/families.hpp"
+#include "snapshot/global_io.hpp"
+#include "success/global.hpp"
+#include "util/budget.hpp"
+
+using namespace ccfsp;
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v.empty() ? 0 : v[v.size() / 2];
+}
+
+bool identical(const GlobalMachine& a, const GlobalMachine& b) {
+  return a.width == b.width && a.words == b.words && a.tuple_words == b.tuple_words &&
+         a.edge_target == b.edge_target && a.edge_action == b.edge_action &&
+         a.edge_pair == b.edge_pair && a.edge_offsets == b.edge_offsets;
+}
+
+/// Minimal scanner for the JSON this tool itself writes.
+bool load_baseline(const std::string& path, double* speedup) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (!f) return false;
+  char line[256];
+  bool have = false;
+  while (std::fgets(line, sizeof line, f)) {
+    have |= std::sscanf(line, " \"speedup\": %lf", speedup) == 1;
+  }
+  std::fclose(f);
+  return have;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_snapshot.json";
+  std::string check_path;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--quick")) {
+      quick = true;
+    } else if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--check") && i + 1 < argc) {
+      check_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out PATH] [--check BASELINE.json]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const std::size_t phil = quick ? 8 : 12;
+  const int reps = quick ? 3 : 5;
+  const Network net = dining_philosophers(phil);
+  const std::string snap_path =
+      "/tmp/ccfsp_bench_snapshot_" + std::to_string(::getpid()) + ".snap";
+
+  std::vector<double> build_ms, save_ms, load_ms;
+  std::size_t states = 0, edges = 0, file_bytes = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto t0 = std::chrono::steady_clock::now();
+    const GlobalMachine built = build_global(net, Budget::unlimited(), 1);
+    build_ms.push_back(ms_since(t0));
+    states = built.num_states();
+    edges = built.num_edges();
+
+    t0 = std::chrono::steady_clock::now();
+    std::string error;
+    if (!snapshot::save_global(built, net, snap_path, &error)) {
+      std::fprintf(stderr, "save failed: %s\n", error.c_str());
+      return 1;
+    }
+    save_ms.push_back(ms_since(t0));
+
+    t0 = std::chrono::steady_clock::now();
+    snapshot::LoadError err;
+    auto loaded = snapshot::load_global(snap_path, net, &err);
+    load_ms.push_back(ms_since(t0));
+    if (!loaded.has_value()) {
+      std::fprintf(stderr, "load failed: %s\n", snapshot::to_string(err.reason));
+      return 1;
+    }
+    if (!identical(built, *loaded)) {
+      std::fprintf(stderr, "loaded machine differs from the built one\n");
+      return 1;
+    }
+  }
+  {
+    std::FILE* f = std::fopen(snap_path.c_str(), "rb");
+    if (f) {
+      std::fseek(f, 0, SEEK_END);
+      file_bytes = static_cast<std::size_t>(std::ftell(f));
+      std::fclose(f);
+    }
+  }
+  ::unlink(snap_path.c_str());
+
+  const double build = median(build_ms), save = median(save_ms), load = median(load_ms);
+  const double speedup = load > 0 ? build / load : 0;
+
+  char buf[1024];
+  std::snprintf(buf, sizeof buf,
+                "{\n"
+                "  \"bench\": \"snapshot\",\n"
+                "  \"model\": \"phil:%zu\",\n"
+                "  \"states\": %zu,\n"
+                "  \"edges\": %zu,\n"
+                "  \"snapshot_bytes\": %zu,\n"
+                "  \"build_ms\": %.3f,\n"
+                "  \"save_ms\": %.3f,\n"
+                "  \"load_ms\": %.3f,\n"
+                "  \"speedup\": %.2f,\n"
+                "  \"quick\": %s\n"
+                "}\n",
+                phil, states, edges, file_bytes, build, save, load, speedup,
+                quick ? "true" : "false");
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fputs(buf, out);
+  std::fclose(out);
+  std::fputs(buf, stderr);
+
+  if (!check_path.empty()) {
+    bool ok = true;
+    if (load >= build) {
+      std::fprintf(stderr, "check: warm load (%.3f ms) does not beat fresh build (%.3f ms)\n",
+                   load, build);
+      ok = false;
+    }
+    double committed = 0;
+    if (!load_baseline(check_path, &committed)) {
+      std::fprintf(stderr, "cannot read baseline %s\n", check_path.c_str());
+      return 2;
+    }
+    const double regression = committed > 0 && speedup > 0 ? committed / speedup : 0;
+    std::fprintf(stderr, "check: speedup=%.2f committed=%.2f ratio=%.2f%s\n", speedup,
+                 committed, regression, regression > 3.0 ? "  REGRESSION" : "");
+    if (regression > 3.0) ok = false;
+    if (!ok) {
+      std::fprintf(stderr, "check: snapshot warm-start contract violated vs %s\n",
+                   check_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "check: within bounds of %s\n", check_path.c_str());
+  }
+  return 0;
+}

@@ -31,11 +31,27 @@
 //                            stdout when PATH is '-'
 //     --trace                print the phase-span tree (human-readable)
 //                            after the ladder report
+//   Persistence (all imply --ladder; see docs/robustness.md §11):
+//     --save-global PATH     save the explicit rung's global machine as a
+//                            checksummed snapshot after building it
+//     --load-global PATH     load the global machine from a snapshot instead
+//                            of building it; any validation failure degrades
+//                            quietly to a fresh build (never an error)
+//     --checkpoint PATH      persist periodic build checkpoints of the
+//                            explicit rung (forces the sequential builder;
+//                            the machine is bit-identical either way)
+//     --checkpoint-interval N  checkpoint every N expanded states (default
+//                            32768)
+//     --resume               resume the build from an existing checkpoint at
+//                            the --checkpoint path (falls back to a cold
+//                            build when none validates)
 //   Fault injection (testing / chaos):
 //     --failpoints SPEC      arm failpoints, e.g.
 //                            'interner.tuple_grow=bad_alloc@hit:2'; the
 //                            CCFSP_FAILPOINTS env var is read additionally
 //                            (see docs/robustness.md §6 for the grammar)
+//   --version prints the build stamp (git describe + snapshot format
+//   version) and exits 0.
 //
 //   Exit codes: 0 decided, 1 internal error, 2 usage, 3 budget exhausted
 //   (including out-of-memory and interruption), 4 invalid input
@@ -72,9 +88,11 @@
 #include "success/simulate.hpp"
 #include "success/tree_pipeline.hpp"
 #include "success/witness.hpp"
+#include "snapshot/persist.hpp"
 #include "util/failpoint.hpp"
 #include "util/rng.hpp"
 #include "util/trace.hpp"
+#include "util/version.hpp"
 
 using namespace ccfsp;
 
@@ -114,6 +132,8 @@ int usage(const char* argv0) {
                "          [--simulate N] [--gen SPEC] [--ladder] [--timeout-ms N]\n"
                "          [--max-states N] [--rungs a,b,...] [--threads N]\n"
                "          [--retries N] [--metrics-json PATH] [--trace]\n"
+               "          [--save-global PATH] [--load-global PATH] [--checkpoint PATH]\n"
+               "          [--checkpoint-interval N] [--resume] [--version]\n"
                "          [--failpoints SPEC] [file]\n",
                argv0);
   return kExitUsage;
@@ -251,10 +271,16 @@ int main(int argc, char** argv) {
   long threads = 1;
   long retries = 0;
   bool trace = false;
+  bool resume = false;
+  long checkpoint_interval = 1 << 15;
   std::string rungs_csv, gen_spec, failpoints_spec, metrics_json;
+  std::string save_global_path, load_global_path, checkpoint_path;
   std::string path;
   for (int i = 1; i < argc; ++i) {
-    if (!std::strcmp(argv[i], "--distinguished") && i + 1 < argc) {
+    if (!std::strcmp(argv[i], "--version")) {
+      std::printf("%s\n", build_info_string("ccfsp_analyze").c_str());
+      return 0;
+    } else if (!std::strcmp(argv[i], "--distinguished") && i + 1 < argc) {
       distinguished_name = argv[++i];
     } else if (!std::strcmp(argv[i], "--cyclic")) {
       cyclic = true;
@@ -286,6 +312,23 @@ int main(int argc, char** argv) {
       ladder = true;
     } else if (!std::strcmp(argv[i], "--trace")) {
       trace = true;
+      ladder = true;
+    } else if (!std::strcmp(argv[i], "--save-global") && i + 1 < argc) {
+      save_global_path = argv[++i];
+      ladder = true;
+    } else if (!std::strcmp(argv[i], "--load-global") && i + 1 < argc) {
+      load_global_path = argv[++i];
+      ladder = true;
+    } else if (!std::strcmp(argv[i], "--checkpoint") && i + 1 < argc) {
+      checkpoint_path = argv[++i];
+      ladder = true;
+    } else if (!std::strcmp(argv[i], "--checkpoint-interval") && i + 1 < argc) {
+      if (!parse_count(argv[++i], checkpoint_interval) || checkpoint_interval == 0) {
+        return bad_number(argv[i]);
+      }
+      ladder = true;
+    } else if (!std::strcmp(argv[i], "--resume")) {
+      resume = true;
       ladder = true;
     } else if (!std::strcmp(argv[i], "--failpoints") && i + 1 < argc) {
       failpoints_spec = argv[++i];
@@ -373,8 +416,26 @@ int main(int argc, char** argv) {
                   format_schedule(net, run).c_str());
     }
 
+    if (resume && checkpoint_path.empty()) {
+      std::fprintf(stderr, "--resume needs --checkpoint PATH\n");
+      return kExitUsage;
+    }
+
     if (ladder) {
       AnalyzeOptions opt;
+      if (!save_global_path.empty() || !load_global_path.empty() ||
+          !checkpoint_path.empty()) {
+        snapshot::GlobalPersistOptions persist;
+        persist.load_path = load_global_path;
+        persist.save_path = save_global_path;
+        persist.checkpoint_path = checkpoint_path;
+        persist.resume = resume;
+        persist.checkpoint_interval = static_cast<std::size_t>(checkpoint_interval);
+        persist.note = [](const std::string& msg) {
+          std::fprintf(stderr, "snapshot: %s\n", msg.c_str());
+        };
+        opt.global_source = snapshot::make_global_source(persist);
+      }
       install_interrupt_handlers();
       opt.budget.watch(g_interrupt);
       opt.threads = static_cast<unsigned>(threads);

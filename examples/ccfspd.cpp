@@ -16,8 +16,14 @@
 //     --read-timeout-ms N    idle-connection watchdog (default 5000)
 //     --write-timeout-ms N   slow-client cumulative write budget (2000)
 //     --wedge-grace-ms N     supervisor escalation grace (default 500)
+//     --cache-dir DIR        warm-restart directory: graceful drain saves
+//                            the result LRU and engine caches there as a
+//                            checksummed snapshot, startup reloads whatever
+//                            validates (a corrupt image is a structured
+//                            cold start, never a crash)
 //     --failpoints SPEC      arm failpoints (grammar: docs/robustness.md);
 //                            CCFSP_FAILPOINTS is read additionally
+//     --version              print the build stamp and exit 0
 //
 // On successful startup prints exactly one line to stdout:
 //   ccfspd listening on HOST:PORT
@@ -39,6 +45,7 @@
 #include "server/daemon.hpp"
 #include "server/service.hpp"
 #include "util/failpoint.hpp"
+#include "util/version.hpp"
 
 using namespace ccfsp;
 
@@ -70,7 +77,7 @@ int usage(const char* argv0) {
                "          [--timeout-ms N] [--max-timeout-ms N] [--max-states N]\n"
                "          [--max-frame-bytes N] [--read-timeout-ms N]\n"
                "          [--write-timeout-ms N] [--wedge-grace-ms N]\n"
-               "          [--failpoints SPEC]\n",
+               "          [--cache-dir DIR] [--failpoints SPEC] [--version]\n",
                argv0);
   return 2;
 }
@@ -92,7 +99,10 @@ int main(int argc, char** argv) {
       }
       return true;
     };
-    if (!std::strcmp(argv[i], "--host") && i + 1 < argc) {
+    if (!std::strcmp(argv[i], "--version")) {
+      std::printf("%s\n", build_info_string("ccfspd").c_str());
+      return 0;
+    } else if (!std::strcmp(argv[i], "--host") && i + 1 < argc) {
       daemon_cfg.host = argv[++i];
     } else if (num("--port")) {
       daemon_cfg.port = static_cast<std::uint16_t>(v);
@@ -114,6 +124,8 @@ int main(int argc, char** argv) {
       daemon_cfg.write_timeout_ms = static_cast<std::uint64_t>(v);
     } else if (num("--wedge-grace-ms")) {
       service_cfg.wedge_grace_ms = static_cast<std::uint64_t>(v);
+    } else if (!std::strcmp(argv[i], "--cache-dir") && i + 1 < argc) {
+      service_cfg.cache_dir = argv[++i];
     } else if (!std::strcmp(argv[i], "--failpoints") && i + 1 < argc) {
       failpoints_spec = argv[++i];
     } else {

@@ -290,6 +290,123 @@ std::size_t NormalFormMemo::evictions() const {
 
 namespace {
 
+/// Re-parse an exported key as the fingerprint encoding fingerprint_of
+/// produces: [n, start, deg_0, (canon act, tgt)..., deg_1, ...] with canon
+/// action ids dense in first-use order. Returns the canon id bound (tau slot
+/// included) — find() indexes real_of_canon with the blueprint's canon ids,
+/// so every id an imported blueprint carries must stay under this bound —
+/// or 0 if the words are not a well-formed encoding.
+std::uint32_t scan_memo_key(const std::vector<std::uint32_t>& enc) {
+  if (enc.size() < 2) return 0;
+  const std::uint64_t n = enc[0];
+  if (n == 0 || enc[1] >= n) return 0;
+  std::size_t i = 2;
+  std::uint32_t next_canon = 1;
+  for (std::uint64_t s = 0; s < n; ++s) {
+    if (i >= enc.size()) return 0;
+    const std::uint64_t deg = enc[i++];
+    for (std::uint64_t d = 0; d < deg; ++d) {
+      if (i + 1 >= enc.size()) return 0;
+      const std::uint32_t c = enc[i];
+      const std::uint32_t t = enc[i + 1];
+      i += 2;
+      if (c > next_canon) return 0;  // ids must appear densely, in first use order
+      if (c == next_canon) ++next_canon;
+      if (t >= n) return 0;
+    }
+  }
+  return i == enc.size() ? next_canon : 0;
+}
+
+}  // namespace
+
+std::vector<NormalFormMemo::ExportedEntry> NormalFormMemo::export_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ExportedEntry> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) {  // front first == MRU first
+    ExportedEntry x;
+    x.key = e.key;
+    x.num_states = e.bp.num_states;
+    x.start = e.bp.start;
+    x.num_routers = e.bp.num_routers;
+    x.off = e.bp.off;
+    x.act_canon = e.bp.act_canon;
+    x.tgt = e.bp.tgt;
+    x.parent = e.bp.parent;
+    x.via_canon = e.bp.via_canon;
+    x.owner = e.bp.owner;
+    out.push_back(std::move(x));
+  }
+  return out;
+}
+
+bool NormalFormMemo::import_entry(const ExportedEntry& e) {
+  // Everything find()'s rebuild dereferences must be proven in range here:
+  // a snapshot survives CRC checks and is still untrusted input.
+  const std::uint32_t canon_bound = scan_memo_key(e.key);
+  if (canon_bound == 0) return false;
+  if (e.num_states == 0 || e.start >= e.num_states) return false;
+  if (e.num_routers > e.num_states) return false;
+  if (e.off.size() != static_cast<std::size_t>(e.num_states) + 1) return false;
+  if (e.off.front() != 0 || e.off.back() != e.tgt.size()) return false;
+  for (std::size_t i = 1; i < e.off.size(); ++i) {
+    if (e.off[i] < e.off[i - 1]) return false;
+  }
+  if (e.act_canon.size() != e.tgt.size()) return false;
+  for (std::size_t k = 0; k < e.tgt.size(); ++k) {
+    if (e.tgt[k] >= e.num_states || e.act_canon[k] >= canon_bound) return false;
+  }
+  if (e.parent.size() != e.num_routers || e.via_canon.size() != e.num_routers) {
+    return false;
+  }
+  if (e.owner.size() != e.num_states - e.num_routers) return false;
+  for (std::uint32_t r = 0; r < e.num_routers; ++r) {
+    // Routers are created parent-before-child, so parent[r] < r; this also
+    // makes the label walk provably terminating.
+    if (e.parent[r] != UINT32_MAX && e.parent[r] >= r) return false;
+    if (e.via_canon[r] >= canon_bound) return false;
+  }
+  for (std::uint32_t o : e.owner) {
+    if (o >= e.num_routers) return false;
+  }
+
+  const std::uint64_t h = hash_words(e.key.data(), e.key.size());
+  const std::size_t entry_bytes =
+      (e.key.size() + e.off.size() + e.act_canon.size() + e.tgt.size() +
+       e.parent.size() + e.via_canon.size() + e.owner.size()) *
+          sizeof(std::uint32_t) +
+      160;
+  if (entry_bytes > max_bytes_) return false;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto bucket = buckets_.find(h); bucket != buckets_.end()) {
+    for (Lru::iterator it : bucket->second) {
+      if (it->key == e.key) return false;  // already present
+    }
+  }
+  Blueprint bp;
+  bp.num_states = e.num_states;
+  bp.start = e.start;
+  bp.num_routers = e.num_routers;
+  bp.off = e.off;
+  bp.act_canon = e.act_canon;
+  bp.tgt = e.tgt;
+  bp.parent = e.parent;
+  bp.via_canon = e.via_canon;
+  bp.owner = e.owner;
+  // Appended at the cold end so importing in export order (MRU first)
+  // reproduces the exported LRU order exactly.
+  entries_.push_back(Entry{e.key, h, entry_bytes, std::move(bp)});
+  buckets_[h].push_back(std::prev(entries_.end()));
+  bytes_ += entry_bytes;
+  while (bytes_ > max_bytes_) evict_lru_locked();
+  metrics::record_max(metrics::Counter::kCacheBytes, bytes_);
+  return true;
+}
+
+namespace {
+
 /// The shared-pool key speaks *real* action ids (the tables it guards do),
 /// so it prepends the alphabet size — ready-set bitsets are sized to it —
 /// and encodes actions without canonicalization.
@@ -381,6 +498,14 @@ std::shared_ptr<const FspAnalysisCache> SharedCacheRegistry::fsp_cache(const Fsp
     metrics::record_max(metrics::Counter::kCacheBytes, pool_bytes_);
   }
   return cache;
+}
+
+std::vector<std::shared_ptr<const Fsp>> SharedCacheRegistry::fsp_pool_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::shared_ptr<const Fsp>> out;
+  out.reserve(pool_.size());
+  for (const PoolEntry& e : pool_) out.push_back(e.owned);  // MRU first
+  return out;
 }
 
 std::size_t SharedCacheRegistry::fsp_cache_entries() const {

@@ -131,6 +131,34 @@ class NormalFormMemo {
   std::size_t bytes() const;
   std::size_t evictions() const;
 
+  /// One memo entry in portable form — the canonical key plus the blueprint
+  /// columns, exactly what a warm restart needs to rebuild the entry. The
+  /// daemon's cache snapshot (snapshot/cache_io) is the only intended
+  /// producer/consumer.
+  struct ExportedEntry {
+    std::vector<std::uint32_t> key;
+    std::uint32_t num_states = 0;
+    std::uint32_t start = 0;
+    std::uint32_t num_routers = 0;
+    std::vector<std::uint32_t> off;
+    std::vector<std::uint32_t> act_canon;
+    std::vector<std::uint32_t> tgt;
+    std::vector<std::uint32_t> parent;
+    std::vector<std::uint32_t> via_canon;
+    std::vector<std::uint32_t> owner;
+  };
+
+  /// Snapshot every entry, most recently used first.
+  std::vector<ExportedEntry> export_entries() const;
+
+  /// Re-admit one exported entry. Fully re-validates the key encoding and
+  /// the blueprint shape (a snapshot passes CRC checks but is still
+  /// untrusted input for find()'s rebuild), recomputes hash and byte
+  /// accounting, and rejects duplicates and entries over the byte cap.
+  /// Entries are appended coldest-so-far, so importing in export order
+  /// reproduces the LRU order. Returns whether the entry was admitted.
+  bool import_entry(const ExportedEntry& e);
+
  private:
   struct Blueprint {
     std::uint32_t num_states = 0;
@@ -195,6 +223,11 @@ class SharedCacheRegistry {
   /// if it is evicted mid-request. Charges `budget` the build's byte
   /// footprint on hit and miss alike (charge-equivalence).
   std::shared_ptr<const FspAnalysisCache> fsp_cache(const Fsp& f, const Budget* budget);
+
+  /// The pooled processes, most recently used first — the warm-restart
+  /// snapshot serializes these and re-admits them through fsp_cache()
+  /// coldest-first on startup.
+  std::vector<std::shared_ptr<const Fsp>> fsp_pool_entries() const;
 
   std::size_t fsp_cache_entries() const;
   std::size_t fsp_cache_bytes() const;

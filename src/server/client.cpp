@@ -12,6 +12,7 @@
 #include <cstring>
 
 #include "server/frame.hpp"
+#include "util/io.hpp"
 
 namespace ccfsp::server {
 
@@ -49,11 +50,8 @@ bool BlockingClient::send_raw(std::string_view bytes) {
   if (fd_ < 0) return false;
   std::size_t sent = 0;
   while (sent < bytes.size()) {
-    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
+    const long n = ioutil::send_retry(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) return false;
     sent += static_cast<std::size_t>(n);
   }
   return true;
@@ -78,11 +76,8 @@ bool BlockingClient::recv_frame(std::string& payload, std::uint64_t timeout_ms) 
     const int rc = ::poll(&pfd, 1, static_cast<int>(left));
     if (rc < 0 && errno == EINTR) continue;
     if (rc <= 0) return false;
-    const ssize_t n = ::read(fd_, buf, sizeof(buf));
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return false;
-    }
+    const long n = ioutil::read_retry(fd_, buf, sizeof(buf));
+    if (n <= 0) return false;
     parser_.feed(buf, static_cast<std::size_t>(n));
   }
 }

@@ -15,6 +15,7 @@
 
 #include "server/frame.hpp"
 #include "util/failpoint.hpp"
+#include "util/io.hpp"
 
 namespace ccfsp::server {
 
@@ -83,7 +84,7 @@ void Daemon::accept_loop() {
     pollfd pfd{listen_fd_, POLLIN, 0};
     const int rc = ::poll(&pfd, 1, 100);
     if (rc <= 0) continue;
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int fd = ioutil::accept_retry(listen_fd_);
     if (fd < 0) continue;
     try {
       failpoint::hit("server.accept");
@@ -120,13 +121,13 @@ void Daemon::send_reply(const std::shared_ptr<Connection>& conn, const std::stri
   std::size_t sent = 0;
   std::uint64_t blocked_ms = 0;
   while (sent < frame.size()) {
-    const ssize_t n =
-        ::send(conn->fd, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    const long n =
+        ioutil::send_retry(conn->fd, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
     if (n > 0) {
       sent += static_cast<std::size_t>(n);
       continue;
     }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
       // The slow-client write budget: wait for writability in slices and
       // cap the *cumulative* blocked time, so a reader that stalls forever
       // costs a bounded amount of a worker's (or supervisor's) time.
@@ -176,13 +177,13 @@ void Daemon::connection_loop(std::shared_ptr<Connection> conn) {
       }
       continue;
     }
-    const ssize_t n = ::read(conn->fd, buf, sizeof(buf));
+    const long n = ioutil::read_retry(conn->fd, buf, sizeof(buf));
     if (n == 0) {
       eof = true;
       break;
     }
     if (n < 0) {
-      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) continue;
       condemned = true;
       break;
     }

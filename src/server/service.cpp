@@ -1,11 +1,14 @@
 #include "server/service.hpp"
 
+#include <sys/stat.h>
+
 #include <algorithm>
 #include <new>
 #include <stdexcept>
 
 #include "fsp/parse.hpp"
 #include "network/network.hpp"
+#include "snapshot/cache_io.hpp"
 #include "util/failpoint.hpp"
 
 namespace ccfsp::server {
@@ -16,6 +19,8 @@ namespace {
 std::string shutting_down_body() {
   return error_body(ReplyCode::kShuttingDown, "service is draining; retry against a fresh instance");
 }
+
+std::string cache_image_path(const std::string& dir) { return dir + "/daemon_cache.snap"; }
 
 }  // namespace
 
@@ -31,7 +36,9 @@ void AnalysisService::start() {
   std::lock_guard<std::mutex> lock(mu_);
   if (started_) return;
   started_ = true;
+  started_at_ = std::chrono::steady_clock::now();
   SharedCacheRegistry::install(&registry_);
+  load_cache_image_locked();
   slots_.reserve(cfg_.workers);
   for (unsigned i = 0; i < cfg_.workers; ++i) {
     auto slot = std::make_unique<WorkerSlot>();
@@ -116,6 +123,76 @@ void AnalysisService::result_cache_store(const std::string& payload, const std::
     cache_index_.erase(cold.payload);
     cache_lru_.pop_back();
     ++stats_.result_cache_evictions;
+  }
+}
+
+void AnalysisService::load_cache_image_locked() {
+  if (cfg_.cache_dir.empty()) return;
+  snapshot::LoadError err;
+  auto img = snapshot::load_daemon_cache(cache_image_path(cfg_.cache_dir), &err);
+  if (!img) {
+    // A missing image is the normal first boot; anything else is a detected
+    // torn write or corruption, degraded to a counted cold start.
+    if (err.reason != snapshot::LoadError::Reason::kOpenFailed) {
+      ++stats_.snapshot_cold_starts;
+    }
+    return;
+  }
+  ++stats_.snapshot_loads;
+
+  // Result LRU: the image is MRU-first, so appending at the back rebuilds
+  // the order; admission stops at the byte cap (coldest entries lose).
+  for (auto& [payload, body] : img->results) {
+    if (cache_index_.count(payload)) continue;
+    const std::size_t entry_bytes = payload.size() + body.size() + 128;
+    if (cache_bytes_ + entry_bytes > cfg_.result_cache_max_bytes) break;
+    cache_lru_.push_back(CacheEntry{payload, body});
+    cache_index_.emplace(payload, std::prev(cache_lru_.end()));
+    cache_bytes_ += entry_bytes;
+    ++stats_.warm_restored_results;
+  }
+
+  // Normal-form memo: import_entry re-validates every blueprint and appends
+  // coldest-so-far, so image order (MRU first) is preserved.
+  for (const auto& e : img->memo) {
+    if (registry_.memo().import_entry(e)) ++stats_.warm_restored_memo;
+  }
+
+  // Analysis-table pool: rebuild each process and re-admit through the
+  // ordinary miss path, coldest first so the MRU order comes out right.
+  for (auto it = img->pool.rbegin(); it != img->pool.rend(); ++it) {
+    try {
+      const Fsp f = snapshot::fsp_from_image(*it);
+      registry_.fsp_cache(f, nullptr);
+      ++stats_.warm_restored_pool;
+    } catch (const std::exception&) {
+      // One unbuildable entry (e.g. an allocation failure on a huge table)
+      // costs that entry's warmth only.
+    }
+  }
+
+  if (stats_.warm_restored_results + stats_.warm_restored_memo +
+          stats_.warm_restored_pool >
+      0) {
+    stats_.warm_start = 1;
+  }
+}
+
+void AnalysisService::save_cache_image_locked() {
+  if (cfg_.cache_dir.empty()) return;
+  ::mkdir(cfg_.cache_dir.c_str(), 0755);  // EEXIST is fine
+  snapshot::DaemonCacheImage img;
+  img.results.reserve(cache_lru_.size());
+  for (const CacheEntry& e : cache_lru_) img.results.emplace_back(e.payload, e.body);
+  img.memo = registry_.memo().export_entries();
+  for (const auto& f : registry_.fsp_pool_entries()) {
+    img.pool.push_back(snapshot::fsp_image_of(*f));
+  }
+  std::string error;
+  if (snapshot::save_daemon_cache(img, cache_image_path(cfg_.cache_dir), &error)) {
+    ++stats_.snapshot_saves;
+  } else {
+    ++stats_.snapshot_save_failures;
   }
 }
 
@@ -362,6 +439,9 @@ void AnalysisService::drain(std::chrono::milliseconds /*deadline*/) {
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // Workers are gone and admission is closed: the caches are quiescent,
+    // so this is the one moment the image is a consistent snapshot.
+    save_cache_image_locked();
     SharedCacheRegistry::install(nullptr);
     drained_ = true;
   }
@@ -376,6 +456,12 @@ ServiceStats AnalysisService::stats() const {
   s.engine_fsp_cache_bytes = registry_.fsp_cache_bytes();
   s.engine_cache_evictions =
       registry_.memo().evictions() + registry_.fsp_cache_evictions();
+  if (started_) {
+    s.uptime_ms = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - started_at_)
+            .count());
+  }
   return s;
 }
 
@@ -401,6 +487,15 @@ std::string AnalysisService::stats_json() const {
   field("engine_memo_bytes", s.engine_memo_bytes);
   field("engine_fsp_cache_bytes", s.engine_fsp_cache_bytes);
   field("engine_cache_evictions", s.engine_cache_evictions);
+  field("uptime_ms", s.uptime_ms);
+  field("warm_start", s.warm_start);
+  field("warm_restored_results", s.warm_restored_results);
+  field("warm_restored_memo", s.warm_restored_memo);
+  field("warm_restored_pool", s.warm_restored_pool);
+  field("snapshot_saves", s.snapshot_saves);
+  field("snapshot_save_failures", s.snapshot_save_failures);
+  field("snapshot_loads", s.snapshot_loads);
+  field("snapshot_cold_starts", s.snapshot_cold_starts);
   out += "}";
   return out;
 }

@@ -56,6 +56,12 @@ struct ServiceConfig {
   std::uint64_t supervisor_poll_ms = 20;
   std::size_t result_cache_max_bytes = 8u << 20;
   SharedCacheRegistry::Config engine_caches;
+  /// When non-empty, drain() persists the result LRU and the engine caches
+  /// to a checksummed snapshot under this directory and start() reloads
+  /// whatever validates (--cache-dir). A missing, torn, or corrupt image
+  /// costs warmth, never correctness: every entry is re-validated on import
+  /// and any failure is a structured cold start.
+  std::string cache_dir;
 };
 
 struct ServiceStats {
@@ -74,6 +80,19 @@ struct ServiceStats {
   std::size_t engine_memo_bytes = 0;
   std::size_t engine_fsp_cache_bytes = 0;
   std::uint64_t engine_cache_evictions = 0;
+  /// Milliseconds since start(); 0 before the service started.
+  std::uint64_t uptime_ms = 0;
+  /// 1 when start() restored at least one entry from the cache snapshot.
+  std::uint64_t warm_start = 0;
+  std::uint64_t warm_restored_results = 0;
+  std::uint64_t warm_restored_memo = 0;
+  std::uint64_t warm_restored_pool = 0;
+  /// Service-local snapshot ops (the global metrics registry is only armed
+  /// per-request; these count the daemon's own cache persistence).
+  std::uint64_t snapshot_saves = 0;
+  std::uint64_t snapshot_save_failures = 0;
+  std::uint64_t snapshot_loads = 0;
+  std::uint64_t snapshot_cold_starts = 0;
 };
 
 class AnalysisService {
@@ -144,6 +163,9 @@ class AnalysisService {
 
   void worker_loop(std::size_t slot, std::uint64_t generation);
   void supervisor_loop();
+  /// Warm restart halves (no-ops without cfg_.cache_dir). Caller holds mu_.
+  void load_cache_image_locked();
+  void save_cache_image_locked();
   /// Run one request end to end; returns the reply body. Never throws.
   ExecResult execute(const std::string& payload, const CancelToken& token);
   /// True when `body` came from a run whose outcome cannot depend on
@@ -177,6 +199,8 @@ class AnalysisService {
   std::list<CacheEntry> cache_lru_;  // front = most recently used
   std::unordered_map<std::string, std::list<CacheEntry>::iterator> cache_index_;
   std::size_t cache_bytes_ = 0;
+
+  std::chrono::steady_clock::time_point started_at_{};
 
   ServiceStats stats_;
 };

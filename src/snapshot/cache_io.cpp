@@ -1,0 +1,280 @@
+#include "snapshot/cache_io.hpp"
+
+#include <cstring>
+#include <unordered_set>
+
+#include "fsp/alphabet.hpp"
+#include "util/metrics.hpp"
+
+namespace ccfsp::snapshot {
+
+namespace {
+
+constexpr std::uint32_t kSecResults = 1;
+constexpr std::uint32_t kSecMemo = 2;
+constexpr std::uint32_t kSecPool = 3;
+
+// Sanity ceilings for decoded counts. Real images stay far under these; a
+// corrupt count that slipped past the CRCs must not drive a multi-gigabyte
+// reserve before the per-element bounds checks get a chance to reject it.
+constexpr std::uint32_t kMaxItems = 1u << 22;
+constexpr std::uint32_t kMaxStringLen = 1u << 26;
+
+void put_u32(std::string* out, std::uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>(v >> (i * 8));
+  out->append(b, 4);
+}
+
+void put_str(std::string* out, std::string_view s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+void put_u32s(std::string* out, const std::vector<std::uint32_t>& v) {
+  put_u32(out, static_cast<std::uint32_t>(v.size()));
+  for (std::uint32_t x : v) put_u32(out, x);
+}
+
+/// Bounds-checked cursor over one section payload. Every get_* returns a
+/// safe default once `ok` drops; callers check ok at the end (and may check
+/// early to stop loops).
+struct Src {
+  const char* p;
+  std::size_t n;
+  std::size_t at = 0;
+  bool ok = true;
+
+  explicit Src(std::span<const char> s) : p(s.data()), n(s.size()) {}
+
+  std::uint32_t get_u32() {
+    if (!ok || n - at < 4) {
+      ok = false;
+      return 0;
+    }
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[at + i])) << (i * 8);
+    }
+    at += 4;
+    return v;
+  }
+
+  std::uint32_t get_count(std::uint32_t cap) {
+    const std::uint32_t v = get_u32();
+    if (v > cap) ok = false;
+    return ok ? v : 0;
+  }
+
+  std::string get_str() {
+    const std::uint32_t len = get_count(kMaxStringLen);
+    if (!ok || n - at < len) {
+      ok = false;
+      return {};
+    }
+    std::string s(p + at, len);
+    at += len;
+    return s;
+  }
+
+  std::vector<std::uint32_t> get_u32s() {
+    const std::uint32_t len = get_count(kMaxItems);
+    std::vector<std::uint32_t> v;
+    if (!ok || (n - at) / 4 < len) {
+      ok = false;
+      return v;
+    }
+    v.reserve(len);
+    for (std::uint32_t i = 0; i < len; ++i) v.push_back(get_u32());
+    return v;
+  }
+
+  bool done() const { return ok && at == n; }
+};
+
+std::optional<DaemonCacheImage> reject(LoadError* err, std::string detail) {
+  metrics::add(metrics::Counter::kSnapshotColdStarts);
+  if (err) {
+    err->reason = LoadError::Reason::kWrongContent;
+    err->detail = std::move(detail);
+  }
+  return std::nullopt;
+}
+
+bool valid_fsp_image(const FspImage& img) {
+  if (img.num_states == 0 || img.start >= img.num_states) return false;
+  if (img.first_edge.size() != static_cast<std::size_t>(img.num_states) + 1) return false;
+  if (img.first_edge.front() != 0 || img.first_edge.back() != img.act.size()) return false;
+  for (std::size_t i = 1; i < img.first_edge.size(); ++i) {
+    if (img.first_edge[i] < img.first_edge[i - 1]) return false;
+  }
+  if (img.tgt.size() != img.act.size()) return false;
+  for (std::size_t k = 0; k < img.act.size(); ++k) {
+    if (img.act[k] != 0 && img.act[k] - 1 >= img.action_names.size()) return false;
+    if (img.tgt[k] >= img.num_states) return false;
+  }
+  // Re-interning must reproduce ids 0..n-1 in order, so names are unique;
+  // every declared Sigma name must resolve without growing the alphabet.
+  std::unordered_set<std::string_view> seen;
+  for (const std::string& s : img.action_names) {
+    if (!seen.insert(s).second) return false;
+  }
+  for (const std::string& s : img.sigma_names) {
+    if (!seen.count(s)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+FspImage fsp_image_of(const Fsp& f) {
+  FspImage img;
+  img.name = f.name();
+  const auto& alphabet = *f.alphabet();
+  img.action_names.reserve(alphabet.size());
+  for (ActionId a = 0; a < alphabet.size(); ++a) img.action_names.push_back(alphabet.name(a));
+  img.num_states = static_cast<std::uint32_t>(f.num_states());
+  img.start = f.start();
+  img.first_edge.reserve(f.num_states() + 1);
+  img.first_edge.push_back(0);
+  for (StateId s = 0; s < f.num_states(); ++s) {
+    for (const Transition& t : f.out(s)) {
+      img.act.push_back(t.action == kTau ? 0 : t.action + 1);
+      img.tgt.push_back(t.target);
+    }
+    img.first_edge.push_back(static_cast<std::uint32_t>(img.act.size()));
+  }
+  for (ActionId a : f.sigma()) img.sigma_names.push_back(alphabet.name(a));
+  return img;
+}
+
+Fsp fsp_from_image(const FspImage& img) {
+  auto alphabet = std::make_shared<Alphabet>();
+  for (const std::string& s : img.action_names) alphabet->intern(s);
+  Fsp f(alphabet, img.name);
+  for (std::uint32_t s = 0; s < img.num_states; ++s) f.add_state();
+  f.set_start(img.start);
+  for (std::uint32_t s = 0; s < img.num_states; ++s) {
+    for (std::uint32_t k = img.first_edge[s]; k < img.first_edge[s + 1]; ++k) {
+      f.add_transition(s, img.act[k] == 0 ? kTau : img.act[k] - 1, img.tgt[k]);
+    }
+  }
+  for (const std::string& s : img.sigma_names) f.declare_action(*alphabet->find(s));
+  return f;
+}
+
+bool save_daemon_cache(const DaemonCacheImage& img, const std::string& path,
+                       std::string* error) {
+  Writer w(Kind::kDaemonCache);
+
+  std::string results;
+  put_u32(&results, static_cast<std::uint32_t>(img.results.size()));
+  for (const auto& [payload, body] : img.results) {
+    put_str(&results, payload);
+    put_str(&results, body);
+  }
+  w.add_bytes(kSecResults, results);
+
+  std::string memo;
+  put_u32(&memo, static_cast<std::uint32_t>(img.memo.size()));
+  for (const auto& e : img.memo) {
+    put_u32s(&memo, e.key);
+    put_u32(&memo, e.num_states);
+    put_u32(&memo, e.start);
+    put_u32(&memo, e.num_routers);
+    put_u32s(&memo, e.off);
+    put_u32s(&memo, e.act_canon);
+    put_u32s(&memo, e.tgt);
+    put_u32s(&memo, e.parent);
+    put_u32s(&memo, e.via_canon);
+    put_u32s(&memo, e.owner);
+  }
+  w.add_bytes(kSecMemo, memo);
+
+  std::string pool;
+  put_u32(&pool, static_cast<std::uint32_t>(img.pool.size()));
+  for (const FspImage& f : img.pool) {
+    put_str(&pool, f.name);
+    put_u32(&pool, static_cast<std::uint32_t>(f.action_names.size()));
+    for (const std::string& s : f.action_names) put_str(&pool, s);
+    put_u32(&pool, f.num_states);
+    put_u32(&pool, f.start);
+    put_u32s(&pool, f.first_edge);
+    put_u32s(&pool, f.act);
+    put_u32s(&pool, f.tgt);
+    put_u32(&pool, static_cast<std::uint32_t>(f.sigma_names.size()));
+    for (const std::string& s : f.sigma_names) put_str(&pool, s);
+  }
+  w.add_bytes(kSecPool, pool);
+
+  return w.write_file(path, error);
+}
+
+std::optional<DaemonCacheImage> load_daemon_cache(const std::string& path, LoadError* err) {
+  auto r = Reader::load_file(path, Kind::kDaemonCache, err);
+  if (!r) return std::nullopt;
+  if (!r->has(kSecResults) || !r->has(kSecMemo) || !r->has(kSecPool)) {
+    return reject(err, "missing section");
+  }
+
+  DaemonCacheImage img;
+  {
+    Src s(r->section(kSecResults));
+    const std::uint32_t count = s.get_count(kMaxItems);
+    for (std::uint32_t i = 0; i < count && s.ok; ++i) {
+      std::string payload = s.get_str();
+      std::string body = s.get_str();
+      img.results.emplace_back(std::move(payload), std::move(body));
+    }
+    if (!s.done()) return reject(err, "results section malformed");
+  }
+  {
+    Src s(r->section(kSecMemo));
+    const std::uint32_t count = s.get_count(kMaxItems);
+    for (std::uint32_t i = 0; i < count && s.ok; ++i) {
+      NormalFormMemo::ExportedEntry e;
+      e.key = s.get_u32s();
+      e.num_states = s.get_u32();
+      e.start = s.get_u32();
+      e.num_routers = s.get_u32();
+      e.off = s.get_u32s();
+      e.act_canon = s.get_u32s();
+      e.tgt = s.get_u32s();
+      e.parent = s.get_u32s();
+      e.via_canon = s.get_u32s();
+      e.owner = s.get_u32s();
+      // Blueprint-level invariants are import_entry's contract; the decoder
+      // only proves the framing.
+      img.memo.push_back(std::move(e));
+    }
+    if (!s.done()) return reject(err, "memo section malformed");
+  }
+  {
+    Src s(r->section(kSecPool));
+    const std::uint32_t count = s.get_count(kMaxItems);
+    for (std::uint32_t i = 0; i < count && s.ok; ++i) {
+      FspImage f;
+      f.name = s.get_str();
+      const std::uint32_t names = s.get_count(kMaxItems);
+      for (std::uint32_t k = 0; k < names && s.ok; ++k) {
+        f.action_names.push_back(s.get_str());
+      }
+      f.num_states = s.get_u32();
+      f.start = s.get_u32();
+      f.first_edge = s.get_u32s();
+      f.act = s.get_u32s();
+      f.tgt = s.get_u32s();
+      const std::uint32_t sigmas = s.get_count(kMaxItems);
+      for (std::uint32_t k = 0; k < sigmas && s.ok; ++k) {
+        f.sigma_names.push_back(s.get_str());
+      }
+      if (!s.ok) break;
+      if (!valid_fsp_image(f)) return reject(err, "pool entry shape");
+      img.pool.push_back(std::move(f));
+    }
+    if (!s.done()) return reject(err, "pool section malformed");
+  }
+  return img;
+}
+
+}  // namespace ccfsp::snapshot

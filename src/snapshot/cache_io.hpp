@@ -1,0 +1,69 @@
+// Warm-restart image for the ccfspd analysis service: the deterministic
+// result LRU, the normal-form memo, and the FspAnalysisCache pool, all in
+// one Kind::kDaemonCache snapshot. The image is best-effort by design — a
+// daemon that fails to load it starts cold and correct, and every entry is
+// re-validated on import (the container's CRCs prove the bytes survived,
+// not that they are safe inputs), so a stale or hostile cache file can cost
+// warmth but never correctness. Charge-equivalence of the engine caches is
+// what makes a warm daemon answer bit-identically to a cold one; this file
+// only moves cache temperature across a restart.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fsp/cache.hpp"
+#include "fsp/fsp.hpp"
+#include "snapshot/snapshot.hpp"
+
+namespace ccfsp::snapshot {
+
+/// One pooled process in portable form. Action ids are alphabet-relative,
+/// so the image carries the alphabet's names in interned-id order and the
+/// restore re-interns them in that order — the rebuilt process reproduces
+/// the pool's exact structural key. Labels and atoms are deliberately not
+/// carried: pool entries are consulted only for their analysis tables
+/// (exact_key_of ignores both), and the restored process re-derives
+/// self-consistent defaults.
+struct FspImage {
+  std::string name;
+  std::vector<std::string> action_names;  // alphabet, in interned id order
+  std::uint32_t num_states = 0;
+  std::uint32_t start = 0;
+  /// Per state: first_edge[s] .. first_edge[s+1] indexes into act/tgt.
+  std::vector<std::uint32_t> first_edge;  // CSR, num_states + 1 entries
+  std::vector<std::uint32_t> act;         // 0 = tau, else action id + 1
+  std::vector<std::uint32_t> tgt;
+  std::vector<std::string> sigma_names;   // declared Sigma, by name
+};
+
+/// Everything drain() persists. All three lists are most-recently-used
+/// first, so a restore that re-admits in reverse ends with the same LRU
+/// order the old process had.
+struct DaemonCacheImage {
+  std::vector<std::pair<std::string, std::string>> results;  // payload, body
+  std::vector<NormalFormMemo::ExportedEntry> memo;
+  std::vector<FspImage> pool;
+};
+
+/// Snapshot a process into portable form.
+FspImage fsp_image_of(const Fsp& f);
+
+/// Rebuild a process from a *validated* image (load_daemon_cache proves the
+/// shape; passing an unvalidated image is a programming error).
+Fsp fsp_from_image(const FspImage& img);
+
+bool save_daemon_cache(const DaemonCacheImage& img, const std::string& path,
+                       std::string* error = nullptr);
+
+/// Load and structurally validate a cache image: every count, offset,
+/// action id, and target is bounds-checked before the image is returned.
+/// Memo entries still pass through NormalFormMemo::import_entry (which owns
+/// the blueprint-level invariants). Failure is a structured cold start.
+std::optional<DaemonCacheImage> load_daemon_cache(const std::string& path,
+                                                  LoadError* err = nullptr);
+
+}  // namespace ccfsp::snapshot

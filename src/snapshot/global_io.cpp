@@ -1,0 +1,283 @@
+#include "snapshot/global_io.hpp"
+
+#include <cstring>
+
+#include "util/io.hpp"
+#include "util/metrics.hpp"
+
+namespace ccfsp::snapshot {
+
+namespace {
+
+// Section ids shared by the global-machine and checkpoint kinds.
+constexpr std::uint32_t kSecMeta = 1;
+constexpr std::uint32_t kSecFields = 2;
+constexpr std::uint32_t kSecTuples = 3;
+constexpr std::uint32_t kSecEdgeTarget = 4;
+constexpr std::uint32_t kSecEdgeAction = 5;
+constexpr std::uint32_t kSecEdgePair = 6;
+constexpr std::uint32_t kSecEdgeOffsets = 7;
+constexpr std::uint32_t kSecNetFp = 8;
+
+/// FNV-1a 64-bit over an explicit value stream — stable, order-sensitive,
+/// and independent of alphabet interning order (names, not ids).
+struct FpStream {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  void byte(unsigned char b) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) byte(static_cast<unsigned char>(v >> (i * 8)));
+  }
+  void str(std::string_view s) {
+    u64(s.size());
+    for (char c : s) byte(static_cast<unsigned char>(c));
+  }
+};
+
+std::optional<GlobalMachine> content_fail(LoadError* err, std::string detail) {
+  if (err) {
+    err->reason = LoadError::Reason::kWrongContent;
+    err->detail = std::move(detail);
+  }
+  return std::nullopt;
+}
+
+/// Shared by both loaders: the fingerprint section must match `net`.
+bool check_fingerprint(const Reader& r, const Network& net, LoadError* err) {
+  std::uint64_t fp = 0;
+  if (!r.read_u64(kSecNetFp, &fp) || fp != network_fingerprint(net)) {
+    if (err) {
+      err->reason = LoadError::Reason::kWrongContent;
+      err->detail = "network fingerprint mismatch";
+    }
+    return false;
+  }
+  return true;
+}
+
+/// CSR shape validation shared by machine and checkpoint loads: offsets
+/// monotone from 0 to the edge count, targets within `num_states`, movers
+/// and partners within `width`, actions within the alphabet (or tau).
+bool check_csr(const std::vector<std::uint32_t>& offsets,
+               const std::vector<std::uint32_t>& target,
+               const std::vector<std::uint32_t>& action,
+               const std::vector<std::uint32_t>& pair, std::size_t num_states,
+               std::size_t width, std::size_t alphabet_size, std::string* why) {
+  const std::size_t edges = target.size();
+  if (action.size() != edges || pair.size() != edges) {
+    *why = "edge column sizes disagree";
+    return false;
+  }
+  if (offsets.empty() || offsets.front() != 0 || offsets.back() != edges) {
+    *why = "offset bounds";
+    return false;
+  }
+  for (std::size_t i = 1; i < offsets.size(); ++i) {
+    if (offsets[i] < offsets[i - 1]) {
+      *why = "offsets not monotone";
+      return false;
+    }
+  }
+  for (std::size_t k = 0; k < edges; ++k) {
+    if (target[k] >= num_states) {
+      *why = "edge target out of range";
+      return false;
+    }
+    if (action[k] != kTau && action[k] >= alphabet_size) {
+      *why = "edge action out of range";
+      return false;
+    }
+    if ((pair[k] >> 16) >= width || (pair[k] & 0xffffu) >= width) {
+      *why = "edge mover out of range";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t network_fingerprint(const Network& net) {
+  FpStream fp;
+  const auto& alphabet = *net.alphabet();
+  fp.u64(net.size());
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    const Fsp& p = net.process(i);
+    fp.u64(p.num_states());
+    fp.u64(p.start());
+    for (StateId q = 0; q < p.num_states(); ++q) {
+      const auto& out = p.out(q);
+      fp.u64(out.size());
+      for (const Transition& t : out) {
+        if (t.action == kTau) {
+          fp.str("\ttau");
+        } else {
+          fp.str(alphabet.name(t.action));
+        }
+        fp.u64(t.target);
+      }
+    }
+    fp.u64(p.sigma().size());
+    for (ActionId a : p.sigma()) fp.str(alphabet.name(a));
+  }
+  return fp.h;
+}
+
+bool save_global(const GlobalMachine& g, const Network& net, const std::string& path,
+                 std::string* error) {
+  Writer w(Kind::kGlobalMachine);
+  w.add_u32s(kSecMeta, {g.width, g.words, static_cast<std::uint32_t>(g.num_states()),
+                        static_cast<std::uint32_t>(g.num_edges())});
+  std::vector<std::uint32_t> fields;
+  fields.reserve(g.fields.size() * 3);
+  for (const GlobalMachine::Field& f : g.fields) {
+    fields.push_back(f.word);
+    fields.push_back(f.shift);
+    fields.push_back(f.mask);
+  }
+  w.add_u32s(kSecFields, fields);
+  w.add_u32s(kSecTuples, g.tuple_words);
+  w.add_u32s(kSecEdgeTarget, g.edge_target);
+  w.add_u32s(kSecEdgeAction, g.edge_action);
+  w.add_u32s(kSecEdgePair, g.edge_pair);
+  w.add_u32s(kSecEdgeOffsets, g.edge_offsets);
+  w.add_u64(kSecNetFp, network_fingerprint(net));
+  return w.write_file(path, error);
+}
+
+std::optional<GlobalMachine> load_global(const std::string& path, const Network& net,
+                                         LoadError* err) {
+  auto r = Reader::load_file(path, Kind::kGlobalMachine, err);
+  if (!r) return std::nullopt;
+  if (!check_fingerprint(*r, net, err)) {
+    metrics::add(metrics::Counter::kSnapshotColdStarts);
+    return std::nullopt;
+  }
+
+  auto reject = [&](std::string detail) {
+    metrics::add(metrics::Counter::kSnapshotColdStarts);
+    return content_fail(err, std::move(detail));
+  };
+
+  std::vector<std::uint32_t> meta, fields;
+  GlobalMachine g;
+  if (!r->read_u32s(kSecMeta, &meta) || meta.size() != 4) return reject("meta section");
+  if (!r->read_u32s(kSecFields, &fields) || fields.size() % 3 != 0) {
+    return reject("fields section");
+  }
+  if (!r->read_u32s(kSecTuples, &g.tuple_words) ||
+      !r->read_u32s(kSecEdgeTarget, &g.edge_target) ||
+      !r->read_u32s(kSecEdgeAction, &g.edge_action) ||
+      !r->read_u32s(kSecEdgePair, &g.edge_pair) ||
+      !r->read_u32s(kSecEdgeOffsets, &g.edge_offsets)) {
+    return reject("missing section");
+  }
+  g.width = meta[0];
+  g.words = meta[1];
+  const std::size_t num_states = meta[2];
+  const std::size_t num_edges = meta[3];
+
+  if (g.width != net.size()) return reject("width mismatch");
+  if (g.words == 0 || fields.size() / 3 != g.width) return reject("field count");
+  g.fields.reserve(g.width);
+  for (std::size_t i = 0; i < fields.size(); i += 3) {
+    if (fields[i] >= g.words) return reject("field word out of range");
+    g.fields.push_back({fields[i], fields[i + 1], fields[i + 2]});
+  }
+  if (g.tuple_words.size() != num_states * g.words) return reject("tuple block size");
+  if (g.edge_target.size() != num_edges) return reject("edge count");
+  if (g.edge_offsets.size() != num_states + 1) return reject("offset count");
+  std::string why;
+  if (!check_csr(g.edge_offsets, g.edge_target, g.edge_action, g.edge_pair, num_states,
+                 g.width, net.alphabet()->size(), &why)) {
+    return reject(why);
+  }
+  if (num_states == 0) return reject("empty machine");
+
+  // Every stored tuple must decode to in-range local states, and state 0
+  // must decode to the network's initial tuple — the "never a silently
+  // wrong machine" guard for a file whose CRCs pass but whose content was
+  // written against different engine internals.
+  for (std::uint32_t s = 0; s < num_states; ++s) {
+    for (std::size_t i = 0; i < g.width; ++i) {
+      if (g.local_state(s, i) >= net.process(i).num_states()) {
+        return reject("tuple decodes out of range");
+      }
+    }
+  }
+  for (std::size_t i = 0; i < g.width; ++i) {
+    if (g.local_state(0, i) != net.process(i).start()) {
+      return reject("state 0 is not the initial tuple");
+    }
+  }
+  return g;
+}
+
+void charge_loaded_global(const GlobalMachine& g, const Budget& budget) {
+  const std::size_t n = g.num_states();
+  budget.charge(n, n * flat_build_bytes_per_state(g.width), "build_global");
+  metrics::add(metrics::Counter::kGlobalStates, n);
+  metrics::add(metrics::Counter::kGlobalEdges, g.num_edges());
+  metrics::record_max(metrics::Counter::kCsrBytes, g.memory_bytes());
+}
+
+bool save_checkpoint(const GlobalBuildProgress& p, const Network& net,
+                     const std::string& path, std::string* error) {
+  Writer w(Kind::kBuildCheckpoint);
+  w.add_u32s(kSecMeta, {p.words, p.cursor});
+  w.add_u32s(kSecTuples, p.tuple_words);
+  w.add_u32s(kSecEdgeTarget, p.edge_target);
+  w.add_u32s(kSecEdgeAction, p.edge_action);
+  w.add_u32s(kSecEdgePair, p.edge_pair);
+  w.add_u32s(kSecEdgeOffsets, p.edge_offsets);
+  w.add_u64(kSecNetFp, network_fingerprint(net));
+  if (!w.write_file(path, error)) return false;
+  metrics::add(metrics::Counter::kCheckpointWrites);
+  return true;
+}
+
+std::optional<GlobalBuildProgress> load_checkpoint(const std::string& path,
+                                                   const Network& net, LoadError* err) {
+  auto r = Reader::load_file(path, Kind::kBuildCheckpoint, err);
+  if (!r) return std::nullopt;
+  auto reject = [&](std::string detail) -> std::optional<GlobalBuildProgress> {
+    metrics::add(metrics::Counter::kSnapshotColdStarts);
+    if (err) {
+      err->reason = LoadError::Reason::kWrongContent;
+      err->detail = std::move(detail);
+    }
+    return std::nullopt;
+  };
+  if (!check_fingerprint(*r, net, err)) {
+    metrics::add(metrics::Counter::kSnapshotColdStarts);
+    return std::nullopt;
+  }
+  std::vector<std::uint32_t> meta;
+  GlobalBuildProgress p;
+  if (!r->read_u32s(kSecMeta, &meta) || meta.size() != 2) return reject("meta section");
+  if (!r->read_u32s(kSecTuples, &p.tuple_words) ||
+      !r->read_u32s(kSecEdgeTarget, &p.edge_target) ||
+      !r->read_u32s(kSecEdgeAction, &p.edge_action) ||
+      !r->read_u32s(kSecEdgePair, &p.edge_pair) ||
+      !r->read_u32s(kSecEdgeOffsets, &p.edge_offsets)) {
+    return reject("missing section");
+  }
+  p.words = meta[0];
+  p.cursor = meta[1];
+  if (p.words == 0 || p.tuple_words.size() % p.words != 0) return reject("tuple block size");
+  const std::size_t num_states = p.tuple_words.size() / p.words;
+  if (num_states == 0 || p.cursor > num_states) return reject("cursor out of range");
+  if (p.edge_offsets.size() != static_cast<std::size_t>(p.cursor) + 1) {
+    return reject("offset count");
+  }
+  std::string why;
+  if (!check_csr(p.edge_offsets, p.edge_target, p.edge_action, p.edge_pair, num_states,
+                 net.size(), net.alphabet()->size(), &why)) {
+    return reject(why);
+  }
+  return p;
+}
+
+}  // namespace ccfsp::snapshot

@@ -1,0 +1,56 @@
+// Persistence of the v2 GlobalMachine and of mid-build checkpoint images,
+// on top of the sectioned snapshot container. Every file embeds a
+// structural fingerprint of the network it was built from, so a snapshot
+// can never be applied to the wrong model — a mismatch is a structured
+// cold start (LoadError::Reason::kWrongContent), exactly like a torn write.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "network/network.hpp"
+#include "snapshot/snapshot.hpp"
+#include "success/global.hpp"
+#include "util/budget.hpp"
+
+namespace ccfsp::snapshot {
+
+/// Structural fingerprint of a network: process count, per-process state
+/// counts, starts, transition structure with action *names* (ids are
+/// alphabet-relative and not stable across parses), and declared alphabets.
+/// Two networks fingerprint equal iff build_global would produce the same
+/// machine for both.
+std::uint64_t network_fingerprint(const Network& net);
+
+/// Serialize `g` (built from `net`) and commit it atomically to `path`.
+bool save_global(const GlobalMachine& g, const Network& net, const std::string& path,
+                 std::string* error = nullptr);
+
+/// Load a machine persisted by save_global and validate it end to end:
+/// container CRCs, network fingerprint, packing layout against Packer(net),
+/// CSR shape (monotone offsets, in-range targets/actions/movers), and the
+/// initial tuple. Returns nullopt with *err filled on any failure — the
+/// caller cold-builds instead.
+std::optional<GlobalMachine> load_global(const std::string& path, const Network& net,
+                                         LoadError* err = nullptr);
+
+/// Charge `budget` and bump the build counters exactly as a fresh flat
+/// build of `g` would have (states, bytes, global.states/edges, csr.bytes)
+/// — the charge-equivalence contract: analyses over a loaded machine see
+/// the same budget walls and the same non-execution-shape counters as over
+/// a freshly built one. Throws BudgetExceeded like the build would.
+void charge_loaded_global(const GlobalMachine& g, const Budget& budget);
+
+/// Serialize a mid-build checkpoint image and commit it atomically.
+/// Bumps checkpoint.writes on success.
+bool save_checkpoint(const GlobalBuildProgress& p, const Network& net,
+                     const std::string& path, std::string* error = nullptr);
+
+/// Load and validate a checkpoint image for `net` (fingerprint + internal
+/// consistency; the builder re-validates the parts only it can check).
+std::optional<GlobalBuildProgress> load_checkpoint(const std::string& path,
+                                                   const Network& net,
+                                                   LoadError* err = nullptr);
+
+}  // namespace ccfsp::snapshot

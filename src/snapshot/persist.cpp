@@ -1,0 +1,96 @@
+#include "snapshot/persist.hpp"
+
+#include <algorithm>
+
+#include <unistd.h>
+
+#include "snapshot/global_io.hpp"
+#include "success/global.hpp"
+
+namespace ccfsp::snapshot {
+
+namespace {
+
+void tell(const GlobalPersistOptions& opt, const std::string& msg) {
+  if (opt.note) opt.note(msg);
+}
+
+}  // namespace
+
+AnalyzeOptions::GlobalSource make_global_source(const GlobalPersistOptions& opt) {
+  return [opt](const Network& net, const Budget& budget, unsigned threads) -> GlobalMachine {
+    // 1. A saved machine short-circuits everything (charged like a build).
+    if (!opt.load_path.empty()) {
+      LoadError err;
+      if (auto g = load_global(opt.load_path, net, &err)) {
+        charge_loaded_global(*g, budget);
+        tell(opt, "loaded global machine from " + opt.load_path + " (" +
+                      std::to_string(g->num_states()) + " states)");
+        if (!opt.save_path.empty() && opt.save_path != opt.load_path) {
+          std::string werr;
+          if (!save_global(*g, net, opt.save_path, &werr)) {
+            tell(opt, "save-global failed: " + werr);
+          }
+        }
+        return *std::move(g);
+      }
+      tell(opt, std::string("load-global degraded to a cold build (") +
+                    to_string(err.reason) +
+                    (err.detail.empty() ? "" : ": " + err.detail) + ")");
+    }
+
+    GlobalMachine g;
+    if (opt.checkpoint_path.empty()) {
+      g = build_global(net, budget, threads);
+    } else {
+      // 2. Checkpointed (sequential) build, resuming when asked and possible.
+      CheckpointOptions ckpt;
+      ckpt.interval_states = opt.checkpoint_interval;
+      ckpt.on_checkpoint = [&](const GlobalBuildProgress& p) {
+        std::string werr;
+        if (!save_checkpoint(p, net, opt.checkpoint_path, &werr)) {
+          // A failed checkpoint write must not kill the build it protects;
+          // the previous durable checkpoint (if any) stays valid.
+          tell(opt, "checkpoint write failed: " + werr);
+        }
+      };
+      GlobalBuildProgress resume_image;
+      if (opt.resume) {
+        LoadError err;
+        if (auto p = load_checkpoint(opt.checkpoint_path, net, &err)) {
+          resume_image = *std::move(p);
+          ckpt.resume = &resume_image;
+          tell(opt, "resuming build from checkpoint (" +
+                        std::to_string(resume_image.tuple_words.size() /
+                                       std::max<std::uint32_t>(1, resume_image.words)) +
+                        " states, cursor " + std::to_string(resume_image.cursor) + ")");
+        } else {
+          tell(opt, std::string("no usable checkpoint (") + to_string(err.reason) +
+                        (err.detail.empty() ? "" : ": " + err.detail) +
+                        "), cold build");
+        }
+      }
+      if (threads > 1) {
+        tell(opt, "checkpointing forces the sequential build path "
+                  "(result is bit-identical)");
+      }
+      g = build_global_checkpointed(net, budget, ckpt);
+      // Completed: the checkpoint is consumed. A stale checkpoint must not
+      // shadow a finished build on the next run.
+      ::unlink(opt.checkpoint_path.c_str());
+    }
+
+    if (!opt.save_path.empty()) {
+      std::string werr;
+      if (save_global(g, net, opt.save_path, &werr)) {
+        tell(opt, "saved global machine to " + opt.save_path + " (" +
+                      std::to_string(g.num_states()) + " states)");
+      } else {
+        tell(opt, "save-global failed: " + werr);
+      }
+    }
+    return g;
+  };
+}
+
+}  // namespace ccfsp::snapshot

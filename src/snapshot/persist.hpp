@@ -1,0 +1,44 @@
+// Wires snapshot persistence into the decider ladder: a factory producing
+// the AnalyzeOptions::global_source hook that (in priority order) loads a
+// saved machine, resumes a checkpointed build, runs a fresh build with
+// periodic durable checkpoints, and/or saves the finished machine. All
+// charge-equivalent to a plain build_global — decisions, budget walls, and
+// non-execution-shape counters match a fresh run bit for bit.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "success/analyze.hpp"
+
+namespace ccfsp::snapshot {
+
+struct GlobalPersistOptions {
+  /// Try to load the machine from this snapshot before building
+  /// (--load-global). A failed load degrades to whatever the remaining
+  /// options say — never an error.
+  std::string load_path;
+  /// Save the machine here after a successful build or load (--save-global).
+  std::string save_path;
+  /// Persist periodic build checkpoints here (--checkpoint). Forces the
+  /// sequential build path (checkpoints are state-boundary images of the
+  /// sequential BFS); the machine is unchanged — sequential and parallel
+  /// builds are bit-identical by contract. Deleted after a completed build.
+  std::string checkpoint_path;
+  /// Resume from checkpoint_path if a validating checkpoint exists there
+  /// (--resume). In-process retry escalations resume from the newest
+  /// checkpoint too — a budget-doubled retry keeps the states it paid for.
+  bool resume = false;
+  /// Checkpoint every this many expanded states.
+  std::size_t checkpoint_interval = 1 << 15;
+  /// Where degradation notes go ("checkpoint load failed: torn write, cold
+  /// build instead"); null = silent. The CLI points this at stderr.
+  std::function<void(const std::string&)> note;
+};
+
+/// Build the explicit-rung hook. The returned callable is stateless across
+/// invocations except through the filesystem, so ladder retries compose:
+/// every call re-probes load_path/checkpoint_path afresh.
+AnalyzeOptions::GlobalSource make_global_source(const GlobalPersistOptions& opt);
+
+}  // namespace ccfsp::snapshot

@@ -1,0 +1,277 @@
+#include "snapshot/snapshot.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "util/failpoint.hpp"
+#include "util/io.hpp"
+#include "util/metrics.hpp"
+
+namespace ccfsp::snapshot {
+
+namespace {
+
+constexpr char kMagic[8] = {'C', 'C', 'F', 'S', 'P', 'S', 'N', 'P'};
+constexpr char kFooterMagic[8] = {'C', 'C', 'F', 'S', 'P', 'E', 'N', 'D'};
+// Fixed header: magic + version + kind + stamp_len (stamp follows).
+constexpr std::size_t kHeaderFixed = 8 + 4 + 4 + 4;
+constexpr std::size_t kSectionHeader = 4 + 8 + 4;
+constexpr std::size_t kFooterSize = 8 + 4 + 4;
+// Caps a hostile stamp/section-count field before any allocation happens.
+constexpr std::size_t kMaxStamp = 4096;
+constexpr std::size_t kMaxSections = 4096;
+
+void put_u32(std::string& out, std::uint32_t v) {
+  char b[4] = {static_cast<char>(v), static_cast<char>(v >> 8), static_cast<char>(v >> 16),
+               static_cast<char>(v >> 24)};
+  out.append(b, 4);
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t get_u32(const char* p) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(p[0])) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(p[1])) << 8) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(p[2])) << 16) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(p[3])) << 24);
+}
+
+std::uint64_t get_u64(const char* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
+}
+
+std::optional<Reader> fail(LoadError* err, LoadError::Reason reason, std::string detail) {
+  if (err) {
+    err->reason = reason;
+    err->detail = std::move(detail);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+const char* to_string(LoadError::Reason r) {
+  switch (r) {
+    case LoadError::Reason::kOpenFailed: return "open_failed";
+    case LoadError::Reason::kTooShort: return "too_short";
+    case LoadError::Reason::kBadMagic: return "bad_magic";
+    case LoadError::Reason::kBadVersion: return "bad_version";
+    case LoadError::Reason::kWrongKind: return "wrong_kind";
+    case LoadError::Reason::kTruncatedSection: return "truncated_section";
+    case LoadError::Reason::kSectionCrc: return "section_crc";
+    case LoadError::Reason::kMissingFooter: return "missing_footer";
+    case LoadError::Reason::kFooterCrc: return "footer_crc";
+    case LoadError::Reason::kMalformed: return "malformed";
+    case LoadError::Reason::kWrongContent: return "wrong_content";
+    case LoadError::Reason::kInjected: return "injected";
+  }
+  return "unknown";
+}
+
+Writer::Writer(Kind kind) : kind_(kind) {}
+
+void Writer::add_section(std::uint32_t id, const void* data, std::size_t n) {
+  for (const Section& s : sections_) assert(s.id != id && "duplicate snapshot section id");
+  sections_.push_back({id, std::string(static_cast<const char*>(data), n)});
+}
+
+void Writer::add_bytes(std::uint32_t id, std::string_view bytes) {
+  add_section(id, bytes.data(), bytes.size());
+}
+
+void Writer::add_u32s(std::uint32_t id, const std::vector<std::uint32_t>& v) {
+  std::string payload;
+  payload.reserve(v.size() * 4);
+  for (std::uint32_t x : v) put_u32(payload, x);
+  sections_.push_back({id, std::move(payload)});
+}
+
+void Writer::add_u64(std::uint32_t id, std::uint64_t v) {
+  std::string payload;
+  put_u64(payload, v);
+  sections_.push_back({id, std::move(payload)});
+}
+
+std::string Writer::serialize() const {
+  const std::string stamp = build_info_string("ccfsp");
+  std::string out;
+  std::size_t total = kHeaderFixed + stamp.size() + 4 + kFooterSize;
+  for (const Section& s : sections_) total += kSectionHeader + s.payload.size();
+  out.reserve(total);
+
+  out.append(kMagic, 8);
+  put_u32(out, kSnapshotFormatVersion);
+  put_u32(out, static_cast<std::uint32_t>(kind_));
+  put_u32(out, static_cast<std::uint32_t>(stamp.size()));
+  out.append(stamp);
+  put_u32(out, static_cast<std::uint32_t>(sections_.size()));
+  for (const Section& s : sections_) {
+    put_u32(out, s.id);
+    put_u64(out, s.payload.size());
+    put_u32(out, ioutil::crc32c(s.payload.data(), s.payload.size()));
+    out.append(s.payload);
+  }
+  const std::uint32_t body_crc = ioutil::crc32c(out.data(), out.size());
+  out.append(kFooterMagic, 8);
+  put_u32(out, static_cast<std::uint32_t>(sections_.size()));
+  put_u32(out, body_crc);
+  return out;
+}
+
+bool Writer::write_file(const std::string& path, std::string* error) const {
+  const std::string bytes = serialize();
+  if (!ioutil::atomic_write_file(path, bytes, error)) {
+    metrics::add(metrics::Counter::kSnapshotSaveFailures);
+    return false;
+  }
+  metrics::add(metrics::Counter::kSnapshotSaves);
+  metrics::add(metrics::Counter::kSnapshotBytesWritten, bytes.size());
+  return true;
+}
+
+std::optional<Reader> Reader::load_bytes(std::string bytes, Kind expect, LoadError* err) {
+  const std::size_t n = bytes.size();
+  const char* p = bytes.data();
+  if (n < kHeaderFixed) return fail(err, LoadError::Reason::kTooShort, "header");
+  if (std::memcmp(p, kMagic, 8) != 0) return fail(err, LoadError::Reason::kBadMagic, "");
+  const std::uint32_t version = get_u32(p + 8);
+  if (version != kSnapshotFormatVersion) {
+    return fail(err, LoadError::Reason::kBadVersion,
+                "format version " + std::to_string(version));
+  }
+  const std::uint32_t kind = get_u32(p + 12);
+  const std::uint32_t stamp_len = get_u32(p + 16);
+  if (stamp_len > kMaxStamp || kHeaderFixed + stamp_len + 4 > n) {
+    return fail(err, LoadError::Reason::kTooShort, "stamp");
+  }
+  std::size_t off = kHeaderFixed + stamp_len;
+  const std::uint32_t section_count = get_u32(p + off);
+  off += 4;
+  if (section_count > kMaxSections) {
+    return fail(err, LoadError::Reason::kMalformed,
+                "section count " + std::to_string(section_count));
+  }
+
+  // Walk the section framing first — bounds checks only, no payload reads.
+  // If the file is long enough for a footer we validate the whole-file CRC
+  // *before* trusting any length field deeply; but the framing walk itself
+  // is needed to find where the footer should start, so it stays purely
+  // arithmetic with overflow-safe comparisons.
+  std::vector<Section> sections;
+  sections.reserve(section_count);
+  for (std::uint32_t s = 0; s < section_count; ++s) {
+    if (off + kSectionHeader > n) return fail(err, LoadError::Reason::kTruncatedSection, "");
+    const std::uint32_t id = get_u32(p + off);
+    const std::uint64_t len = get_u64(p + off + 4);
+    off += kSectionHeader;
+    if (len > n || off + len > n) {
+      return fail(err, LoadError::Reason::kTruncatedSection,
+                  "section " + std::to_string(id));
+    }
+    for (const Section& prev : sections) {
+      if (prev.id == id) {
+        return fail(err, LoadError::Reason::kMalformed,
+                    "duplicate section " + std::to_string(id));
+      }
+    }
+    sections.push_back({id, off, static_cast<std::size_t>(len)});
+    off += static_cast<std::size_t>(len);
+  }
+
+  // Commit record.
+  if (off + kFooterSize > n) return fail(err, LoadError::Reason::kMissingFooter, "");
+  if (std::memcmp(p + off, kFooterMagic, 8) != 0) {
+    return fail(err, LoadError::Reason::kMissingFooter, "footer magic");
+  }
+  if (get_u32(p + off + 8) != section_count) {
+    return fail(err, LoadError::Reason::kMalformed, "footer section count");
+  }
+  if (get_u32(p + off + 12) != ioutil::crc32c(p, off)) {
+    return fail(err, LoadError::Reason::kFooterCrc, "");
+  }
+  if (off + kFooterSize != n) {
+    return fail(err, LoadError::Reason::kMalformed, "trailing bytes");
+  }
+
+  // Per-section payload CRCs (localizes a bit flip to one section in the
+  // error detail; the footer CRC above already covered the bytes).
+  for (const Section& s : sections) {
+    try {
+      failpoint::hit("snapshot.load_section");
+    } catch (...) {
+      return fail(err, LoadError::Reason::kInjected,
+                  "section " + std::to_string(s.id));
+    }
+    const std::uint32_t want = get_u32(p + s.offset - 4);
+    if (ioutil::crc32c(p + s.offset, s.size) != want) {
+      return fail(err, LoadError::Reason::kSectionCrc, "section " + std::to_string(s.id));
+    }
+  }
+
+  // Only after full validation: reject a kind mismatch (the file is intact,
+  // just not the artifact the caller asked for).
+  if (kind != static_cast<std::uint32_t>(expect)) {
+    return fail(err, LoadError::Reason::kWrongKind, "kind " + std::to_string(kind));
+  }
+
+  Reader r;
+  r.bytes_ = std::move(bytes);
+  r.sections_ = std::move(sections);
+  r.kind_ = static_cast<Kind>(kind);
+  r.stamp_.assign(r.bytes_.data() + kHeaderFixed, stamp_len);
+  return r;
+}
+
+std::optional<Reader> Reader::load_file(const std::string& path, Kind expect, LoadError* err) {
+  std::string bytes;
+  std::string io_error;
+  if (!ioutil::read_file(path, &bytes, &io_error)) {
+    metrics::add(metrics::Counter::kSnapshotColdStarts);
+    fail(err, LoadError::Reason::kOpenFailed, path + ": " + io_error);
+    return std::nullopt;
+  }
+  auto r = load_bytes(std::move(bytes), expect, err);
+  if (!r) {
+    metrics::add(metrics::Counter::kSnapshotColdStarts);
+    return std::nullopt;
+  }
+  metrics::add(metrics::Counter::kSnapshotLoads);
+  metrics::add(metrics::Counter::kSnapshotBytesRead, r->total_bytes());
+  return r;
+}
+
+bool Reader::has(std::uint32_t id) const {
+  for (const Section& s : sections_) {
+    if (s.id == id) return true;
+  }
+  return false;
+}
+
+std::span<const char> Reader::section(std::uint32_t id) const {
+  for (const Section& s : sections_) {
+    if (s.id == id) return {bytes_.data() + s.offset, s.size};
+  }
+  return {};
+}
+
+bool Reader::read_u32s(std::uint32_t id, std::vector<std::uint32_t>* out) const {
+  if (!has(id)) return false;
+  const std::span<const char> sec = section(id);
+  if (sec.size() % 4 != 0) return false;
+  out->resize(sec.size() / 4);
+  for (std::size_t i = 0; i < out->size(); ++i) (*out)[i] = get_u32(sec.data() + i * 4);
+  return true;
+}
+
+bool Reader::read_u64(std::uint32_t id, std::uint64_t* out) const {
+  const std::span<const char> sec = section(id);
+  if (!has(id) || sec.size() != 8) return false;
+  *out = get_u64(sec.data());
+  return true;
+}
+
+}  // namespace ccfsp::snapshot

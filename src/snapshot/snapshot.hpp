@@ -1,0 +1,134 @@
+// The sectioned snapshot container every persisted artifact shares: global
+// machines, build checkpoints, daemon cache images. Layout (little-endian):
+//
+//   header   "CCFSPSNP" | u32 format_version | u32 kind | u32 stamp_len |
+//            stamp bytes (build_info_string of the writer) | u32 section_count
+//   sections section_count times:
+//            u32 section_id | u64 payload_len | u32 crc32c(payload) | payload
+//   footer   "CCFSPEND" | u32 section_count | u32 crc32c(everything above)
+//
+// The footer is the commit record: a file without a valid footer is a torn
+// write (the atomic_write_file rename never happened, or the storage lost
+// the tail) and loads as a structured cold start. Per-section CRCs localize
+// bit flips; the footer CRC covers the header and section framing too, so
+// no flipped length field can walk the parser out of bounds unnoticed.
+// Loading NEVER throws on malformed input and never returns a partially
+// validated view — it is all-or-nothing by construction.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/version.hpp"
+
+namespace ccfsp::snapshot {
+
+/// What a snapshot file contains; a reader rejects a kind mismatch (e.g. a
+/// checkpoint handed to --load-global) as a structured cold start.
+enum class Kind : std::uint32_t {
+  kGlobalMachine = 1,
+  kBuildCheckpoint = 2,
+  kDaemonCache = 3,
+};
+
+/// Why a load degraded to a cold start. Every rejection path maps to one of
+/// these — the daemon logs it, tests assert on it, and the fuzz suite
+/// requires a structured reason (never a crash) for every corpus file.
+struct LoadError {
+  enum class Reason {
+    kOpenFailed,        // file missing or unreadable
+    kTooShort,          // shorter than the fixed header
+    kBadMagic,          // not a snapshot file
+    kBadVersion,        // written by an incompatible format version
+    kWrongKind,         // valid snapshot of a different artifact kind
+    kTruncatedSection,  // section framing walks past end of file
+    kSectionCrc,        // a section's payload failed its CRC32C
+    kMissingFooter,     // no commit record — torn write
+    kFooterCrc,         // framing/commit record failed its CRC32C
+    kMalformed,         // inconsistent counts or duplicate section ids
+    kWrongContent,      // sections validated but contents don't apply
+                        // (missing section, fingerprint mismatch, bad shape)
+    kInjected,          // a snapshot.load_section failpoint fired
+  };
+  Reason reason = Reason::kOpenFailed;
+  std::string detail;
+};
+
+const char* to_string(LoadError::Reason r);
+
+/// Accumulates sections and commits them as one atomic file. Section ids
+/// are caller-defined per Kind; duplicate ids are a programming error
+/// (asserted). The build stamp is embedded automatically.
+class Writer {
+ public:
+  explicit Writer(Kind kind);
+
+  void add_section(std::uint32_t id, const void* data, std::size_t n);
+  void add_bytes(std::uint32_t id, std::string_view bytes);
+  void add_u32s(std::uint32_t id, const std::vector<std::uint32_t>& v);
+  void add_u64(std::uint32_t id, std::uint64_t v);
+
+  /// The serialized container (header + sections + footer).
+  std::string serialize() const;
+
+  /// serialize() + ioutil::atomic_write_file + snapshot.saves/bytes_written
+  /// metrics (snapshot.save_failures on any failure).
+  bool write_file(const std::string& path, std::string* error = nullptr) const;
+
+ private:
+  Kind kind_;
+  struct Section {
+    std::uint32_t id;
+    std::string payload;
+  };
+  std::vector<Section> sections_;
+};
+
+/// A fully validated, immutable view of a loaded snapshot. Construction via
+/// load_file/load_bytes only; if either returns a value, every section's
+/// framing and CRC checked out and accessors cannot fail structurally.
+class Reader {
+ public:
+  /// Reads and validates `path`. On any failure returns nullopt with *err
+  /// filled (when non-null) and bumps snapshot.cold_starts; on success
+  /// bumps snapshot.loads / snapshot.bytes_read.
+  static std::optional<Reader> load_file(const std::string& path, Kind expect,
+                                         LoadError* err = nullptr);
+  /// Same validation over an in-memory image (fuzzing, tests). Does not
+  /// touch the metrics registry.
+  static std::optional<Reader> load_bytes(std::string bytes, Kind expect,
+                                          LoadError* err = nullptr);
+
+  Kind kind() const { return kind_; }
+  /// Build stamp of the writer that produced the file.
+  std::string_view stamp() const { return stamp_; }
+
+  bool has(std::uint32_t id) const;
+  /// Raw payload of a section; empty span if absent (check has() to
+  /// distinguish an absent section from an empty one).
+  std::span<const char> section(std::uint32_t id) const;
+  /// Decodes a section of packed u32s. False if absent or its size is not
+  /// a multiple of 4.
+  bool read_u32s(std::uint32_t id, std::vector<std::uint32_t>* out) const;
+  /// Decodes an 8-byte section. False if absent or mis-sized.
+  bool read_u64(std::uint32_t id, std::uint64_t* out) const;
+
+  std::size_t total_bytes() const { return bytes_.size(); }
+
+ private:
+  Reader() = default;
+  std::string bytes_;  // owns the image; sections_ index into it
+  struct Section {
+    std::uint32_t id;
+    std::size_t offset, size;
+  };
+  std::vector<Section> sections_;
+  Kind kind_ = Kind::kGlobalMachine;
+  std::string stamp_;
+};
+
+}  // namespace ccfsp::snapshot

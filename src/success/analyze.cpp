@@ -10,6 +10,7 @@
 #include "success/unary_sc.hpp"
 #include "util/failpoint.hpp"
 #include "util/trace.hpp"
+#include "util/version.hpp"
 
 namespace ccfsp {
 
@@ -51,7 +52,8 @@ std::string render(const Verdict& v) {
 /// Run one rung against its forked budget, merging whatever it establishes
 /// into `verdict` as it goes (so a mid-rung wall keeps partial answers).
 RungOutcome attempt(Rung rung, const Network& net, std::size_t p_index, bool cyclic,
-                    const Budget& rung_budget, unsigned threads, Verdict& verdict) {
+                    const Budget& rung_budget, unsigned threads,
+                    const AnalyzeOptions::GlobalSource& global_source, Verdict& verdict) {
   RungOutcome out;
   out.rung = rung;
   const Fsp& p = net.process(p_index);
@@ -103,7 +105,8 @@ RungOutcome attempt(Rung rung, const Network& net, std::size_t p_index, bool cyc
         break;
       }
       case Rung::kExplicit: {
-        GlobalMachine g = build_global(net, rung_budget, threads);
+        GlobalMachine g = global_source ? global_source(net, rung_budget, threads)
+                                        : build_global(net, rung_budget, threads);
         if (cyclic) {
           merge(verdict.unavoidable_success, !potential_blocking_cyclic_on(net, g, p_index));
           merge(verdict.success_collab, success_collab_cyclic_on(net, g, p_index));
@@ -212,7 +215,8 @@ AnalysisReport analyze(const Network& net, std::size_t p_index, const AnalyzeOpt
       rung_budget.limit_states(escalate(opt.budget.max_states(), att));
       rung_budget.limit_bytes(escalate(opt.budget.max_bytes(), att));
       RungOutcome outcome = attempt(rung, net, p_index, report.cyclic_semantics, rung_budget,
-                                    opt.threads == 0 ? 1 : opt.threads, report.verdict);
+                                    opt.threads == 0 ? 1 : opt.threads, opt.global_source,
+                                    report.verdict);
       outcome.attempt = att;
       if (metrics::enabled()) {
         metrics::add(metrics::Counter::kLadderAttempts);
@@ -299,8 +303,12 @@ std::string observability_document_json(const metrics::Snapshot& snap,
                                         const AnalysisReport* report) {
   // Keep every key in lockstep with docs/observability.md and the
   // golden-schema test — the document is a contract, not a debug dump.
+  // v2 added the "build" object (git stamp + snapshot format version) so
+  // any archived document traces to the binary that produced it.
   std::string out = "{\n";
-  out += "  \"schema_version\": 1,\n";
+  out += "  \"schema_version\": 2,\n";
+  out += "  \"build\": {\"version\": \"" + metrics::json_escape(build_git_describe()) +
+         "\", \"snapshot_format\": " + std::to_string(kSnapshotFormatVersion) + "},\n";
   out += "  \"counters\": " + metrics::counters_json(snap);
   out += ",\n  \"spans\": " + metrics::span_tree_json(snap);
   if (report) {

@@ -18,11 +18,13 @@
 // established. See docs/robustness.md.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "network/network.hpp"
+#include "success/global.hpp"
 #include "util/budget.hpp"
 #include "util/metrics.hpp"
 #include "util/outcome.hpp"
@@ -111,6 +113,16 @@ struct AnalyzeOptions {
   /// merged counter/span snapshot lands here when analyze() returns. Null
   /// (the default) keeps the whole metrics layer on its disarmed fast path.
   metrics::MetricsSink* metrics = nullptr;
+  /// How the explicit rung acquires its GlobalMachine.
+  using GlobalSource = std::function<GlobalMachine(const Network&, const Budget&, unsigned)>;
+  /// When set, the explicit rung calls this instead of build_global — the
+  /// snapshot layer's load/save/checkpoint orchestration plugs in here (see
+  /// snapshot/persist.hpp) without the success layer growing a file-I/O
+  /// dependency. The hook must be charge-equivalent to build_global: same
+  /// budget charges, same machine, same counters (execution shape aside) —
+  /// the decider ladder, the retry escalation, and every downstream
+  /// predicate treat its result exactly like a fresh build.
+  GlobalSource global_source;
 };
 
 /// Analyze net.process(p_index) under the options. Never throws on budget

@@ -350,7 +350,8 @@ void finalize_machine(GlobalMachine& g, EdgeCols&& cols,
 GlobalMachine build_sequential(const Network& net, const Budget& budget,
                                const FlatNet& procs,
                                const std::vector<IdxRef>& idx, const Packer& packer,
-                               const Zobrist& zob, std::size_t expected) {
+                               const Zobrist& zob, std::size_t expected,
+                               const CheckpointOptions* ckpt = nullptr) {
   const std::uint32_t m = static_cast<std::uint32_t>(net.size());
   const std::size_t bytes_per_state = flat_bytes_per_state(m);
 
@@ -363,7 +364,6 @@ GlobalMachine build_sequential(const Network& net, const Budget& budget,
 
   std::vector<std::uint32_t> offsets;
   offsets.reserve(expected + 1);
-  offsets.push_back(0);
   EdgeCols cols;
   cols.reserve(expected * 4);
 
@@ -387,11 +387,54 @@ GlobalMachine build_sequential(const Network& net, const Budget& budget,
   std::vector<StateId> cur_tuple(m);
   // Sized for the fixed-width ring memcpy below, not just for W.
   std::vector<std::uint32_t> pscratch(std::max<std::uint32_t>(W, kRingMaxW), 0);
-  for (std::size_t i = 0; i < m; ++i) cur_tuple[i] = net.process(i).start();
-  packer.pack(cur_tuple.data(), pscratch.data());
-  arena.intern(pscratch.data(), zob.of_tuple(cur_tuple.data(), m));
-  budget.charge(1, bytes_per_state, "build_global");
-  metrics::add(metrics::Counter::kGlobalStates);
+  std::uint32_t start_cur = 0;
+  if (ckpt != nullptr && ckpt->resume != nullptr) {
+    // Resume: re-intern the image's tuples in id order. The arena assigns
+    // dense ids in insertion order and Zobrist keys are a pure function of
+    // (process, local state), so the restored arena — ids, hashes, packed
+    // payload — is bit-identical to the one the checkpointed run held.
+    // Restored states are charged like fresh interns: a resumed run must
+    // hit the same budget walls as an uninterrupted one.
+    const GlobalBuildProgress& r = *ckpt->resume;
+    const std::size_t restored = r.words == 0 ? 0 : r.tuple_words.size() / r.words;
+    const std::size_t redges = r.edge_target.size();
+    if (r.words != W || r.tuple_words.size() != restored * W || restored == 0 ||
+        restored > UINT32_MAX || r.cursor > restored ||
+        r.edge_offsets.size() != static_cast<std::size_t>(r.cursor) + 1 ||
+        r.edge_offsets.front() != 0 || r.edge_offsets.back() != redges ||
+        r.edge_action.size() != redges || r.edge_pair.size() != redges) {
+      throw std::invalid_argument("build_global: inconsistent resume image");
+    }
+    for (std::size_t t = 0; t < restored; ++t) {
+      std::memcpy(pscratch.data(), r.tuple_words.data() + t * W, W * sizeof(std::uint32_t));
+      packer.unpack(pscratch.data(), cur_tuple.data());
+      const auto [id, fresh] = arena.intern(pscratch.data(), zob.of_tuple(cur_tuple.data(), m));
+      if (!fresh || id != t) {
+        throw std::invalid_argument("build_global: duplicate tuple in resume image");
+      }
+      budget.charge(1, bytes_per_state, "build_global");
+    }
+    cols.reserve(redges);
+    for (std::size_t k = 0; k < redges; ++k) {
+      if (r.edge_target[k] >= restored) {
+        throw std::invalid_argument("build_global: dangling edge in resume image");
+      }
+      cols.push(r.edge_target[k], r.edge_action[k], r.edge_pair[k]);
+    }
+    offsets.assign(r.edge_offsets.begin(), r.edge_offsets.end());
+    start_cur = r.cursor;
+    metrics::add(metrics::Counter::kGlobalStates, restored);
+    metrics::add(metrics::Counter::kGlobalEdges, redges);
+    metrics::add(metrics::Counter::kCheckpointResumes);
+    metrics::add(metrics::Counter::kCheckpointResumedStates, restored);
+  } else {
+    offsets.push_back(0);
+    for (std::size_t i = 0; i < m; ++i) cur_tuple[i] = net.process(i).start();
+    packer.pack(cur_tuple.data(), pscratch.data());
+    arena.intern(pscratch.data(), zob.of_tuple(cur_tuple.data(), m));
+    budget.charge(1, bytes_per_state, "build_global");
+    metrics::add(metrics::Counter::kGlobalStates);
+  }
 
   // Home-slot view hoisted out of the emit path; refreshed after any fresh
   // intern (only a fresh insert can grow the table).
@@ -410,7 +453,7 @@ GlobalMachine build_sequential(const Network& net, const Budget& budget,
     cols.push(target, p.a, (static_cast<std::uint32_t>(p.i) << 16) | p.j);
   };
 
-  for (std::uint32_t cur = 0; cur < arena.size(); ++cur) {
+  for (std::uint32_t cur = start_cur; cur < arena.size(); ++cur) {
     // Injection seam: per expanded state, NOT per edge — the disarmed check
     // must stay invisible on the phil:12 profile (bench_failpoint.cpp).
     // Metrics follow the same rule: per-state deltas, never per-edge adds.
@@ -456,6 +499,21 @@ GlobalMachine build_sequential(const Network& net, const Budget& budget,
       // Every successor of this state went through the prefetch ring iff the
       // network fit the ring's inline key storage.
       if (W <= kRingMaxW) metrics::add(metrics::Counter::kGlobalRingInterns, edge_delta);
+    }
+    if (ckpt != nullptr && ckpt->on_checkpoint && ckpt->interval_states != 0 &&
+        (static_cast<std::size_t>(cur) + 1) % ckpt->interval_states == 0) {
+      // State boundary: the ring is drained and offsets cover 0..cur, so the
+      // image is self-consistent by construction. The copies are the price
+      // of durability and scale with what is being made durable.
+      GlobalBuildProgress progress;
+      progress.words = W;
+      progress.cursor = cur + 1;
+      progress.tuple_words.assign(arena[0], arena[0] + arena.size() * W);
+      progress.edge_target.assign(cols.tgt.get(), cols.tgt.get() + cols.n);
+      progress.edge_action.assign(cols.act.get(), cols.act.get() + cols.n);
+      progress.edge_pair.assign(cols.pair.get(), cols.pair.get() + cols.n);
+      progress.edge_offsets = offsets;
+      ckpt->on_checkpoint(progress);
     }
   }
   // The packed arena block *is* the machine's tuple storage — no decode pass.
@@ -825,30 +883,60 @@ std::vector<std::pair<std::uint32_t, std::uint32_t>> action_owner_table(
   return owners;
 }
 
+namespace {
+
+/// Everything the expansion loops need, flattened once per build. Shared by
+/// the plain and the checkpointed entry points.
+struct BuildContext {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> owners;
+  Packer packer;
+  Zobrist zob;
+  FlatNet procs;
+  std::vector<IdxRef> idx;
+  std::size_t expected;
+
+  explicit BuildContext(const Network& net) : packer(net), zob(net) {
+    if (net.size() > UINT16_MAX) {
+      throw std::logic_error("build_global: networks past 65535 processes are unsupported");
+    }
+    owners = action_owner_table(net.processes(), net.alphabet()->size());
+    // The per-process indexes are cached on the Network (pure function of
+    // the immutable processes); repeated builds of one network pay
+    // construction once, which matters on micro models where it rivals the
+    // build itself.
+    const std::vector<ActionIndex>& index = net.action_indexes();
+    procs = flatten_processes(net, index, owners, packer, zob);
+    idx.reserve(index.size());
+    for (const ActionIndex& ai : index) {
+      idx.push_back({ai.cells_data(), ai.targets_data(), ai.num_slots()});
+    }
+    expected = expected_states_hint(net);
+  }
+};
+
+}  // namespace
+
+std::size_t flat_build_bytes_per_state(std::size_t width) {
+  return flat_bytes_per_state(width);
+}
+
 GlobalMachine build_global(const Network& net, const Budget& budget, unsigned threads) {
   metrics::ScopedSpan span("build_global");
-  if (net.size() > UINT16_MAX) {
-    throw std::logic_error("build_global: networks past 65535 processes are unsupported");
-  }
-  auto owners = action_owner_table(net.processes(), net.alphabet()->size());
-  // The per-process indexes are cached on the Network (pure function of the
-  // immutable processes); repeated builds of one network pay construction
-  // once, which matters on micro models where it rivals the build itself.
-  const std::vector<ActionIndex>& index = net.action_indexes();
-  const Packer packer(net);
-  const Zobrist zob(net);
-  auto procs = flatten_processes(net, index, owners, packer, zob);
-  std::vector<IdxRef> idx;
-  idx.reserve(index.size());
-  for (const ActionIndex& ai : index) {
-    idx.push_back({ai.cells_data(), ai.targets_data(), ai.num_slots()});
-  }
-  const std::size_t expected = expected_states_hint(net);
+  BuildContext cx(net);
   if (threads > 64) threads = 64;
   if (threads > 1) {
-    return build_parallel(net, budget, threads, procs, idx, packer, zob, expected);
+    return build_parallel(net, budget, threads, cx.procs, cx.idx, cx.packer, cx.zob,
+                          cx.expected);
   }
-  return build_sequential(net, budget, procs, idx, packer, zob, expected);
+  return build_sequential(net, budget, cx.procs, cx.idx, cx.packer, cx.zob, cx.expected);
+}
+
+GlobalMachine build_global_checkpointed(const Network& net, const Budget& budget,
+                                        const CheckpointOptions& ckpt) {
+  metrics::ScopedSpan span("build_global");
+  BuildContext cx(net);
+  return build_sequential(net, budget, cx.procs, cx.idx, cx.packer, cx.zob, cx.expected,
+                          &ckpt);
 }
 
 GlobalMachine build_global(const Network& net, const Budget& budget) {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <utility>
 #include <vector>
@@ -158,6 +159,50 @@ GlobalMachine build_global(const Network& net, const Budget& budget);
 
 /// Legacy shape: a bare state cap. Equivalent to a states-only Budget.
 GlobalMachine build_global(const Network& net, std::size_t max_states = kDefaultMaxStates);
+
+/// Estimated retained bytes per interned tuple in the flat build (the unit
+/// every flat builder charges against Budget). Exposed so a snapshot load
+/// can charge exactly what a fresh build of the same machine would have —
+/// the charge-equivalence contract the resume/load tests pin down.
+std::size_t flat_build_bytes_per_state(std::size_t width);
+
+/// A consistent mid-build image of the sequential flat BFS, taken at a
+/// state boundary (the prefetch ring drained, state `cursor`-1 fully
+/// expanded). Everything needed to continue: the arena's packed tuples in
+/// id order (re-interning them in order reproduces ids AND hashes — the
+/// Zobrist keys are a pure function of (process, state)), the edge columns,
+/// and the CSR offsets so far. Deliberately all-POD vectors: the snapshot
+/// layer serializes it without knowing anything about builder internals.
+struct GlobalBuildProgress {
+  std::uint32_t words = 0;   // packed words per tuple (layout guard)
+  std::uint32_t cursor = 0;  // next state index to expand
+  std::vector<std::uint32_t> tuple_words;  // interned tuples, id order
+  std::vector<std::uint32_t> edge_target, edge_action, edge_pair;
+  std::vector<std::uint32_t> edge_offsets;  // cursor + 1 entries
+};
+
+/// Periodic-checkpoint configuration for build_global_checkpointed.
+struct CheckpointOptions {
+  /// Take a checkpoint every this many expanded states (0 = never; the
+  /// build still honours `resume`).
+  std::size_t interval_states = 1 << 15;
+  /// Called at each checkpoint with a consistent progress image. Writing it
+  /// durably (or not) is the callback's business; a throw from here aborts
+  /// the build (strong guarantee — nothing half-written escapes).
+  std::function<void(const GlobalBuildProgress&)> on_checkpoint;
+  /// Resume from this image instead of the initial tuple. The image must
+  /// come from the same network (the snapshot layer fingerprints that);
+  /// restored states are re-charged against the budget exactly like fresh
+  /// interns, so a resumed run hits the same walls as an uninterrupted one.
+  const GlobalBuildProgress* resume = nullptr;
+};
+
+/// build_global, sequential path, with periodic checkpoints and/or resume.
+/// The returned machine is bit-identical to a plain build_global of the
+/// same network whatever checkpoint/kill/resume schedule produced it (the
+/// crash-recovery chaos driver sweeps exactly that property).
+GlobalMachine build_global_checkpointed(const Network& net, const Budget& budget,
+                                        const CheckpointOptions& ckpt);
 
 /// The retained pre-flat reference implementation: std::map tuple interning
 /// and per-state edge vectors, flattened into the CSR struct at the end. It

@@ -299,6 +299,11 @@ const std::vector<std::string>& catalog() {
       "server.enqueue",        // server/service.cpp: per admission attempt
       "server.frame_read",     // server/daemon.cpp: per complete request frame
       "server.worker",         // server/service.cpp: per dequeued request
+      "snapshot.corrupt",      // util/io.cpp: bit-flip the payload, commit anyway
+      "snapshot.fsync",        // util/io.cpp: before fsync of the temp file
+      "snapshot.load_section", // snapshot/snapshot.cpp: per section validated on load
+      "snapshot.rename",       // util/io.cpp: after fsync, before the rename commit
+      "snapshot.write_short",  // util/io.cpp: before the payload tail (torn write)
   };
   return kSites;
 }

@@ -1,0 +1,219 @@
+#include "util/io.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "util/failpoint.hpp"
+
+namespace ccfsp::ioutil {
+
+namespace {
+
+// Slicing-by-4 CRC32C tables, generated once at first use. The generator
+// polynomial is 0x82F63B78 (0x1EDC6F41 reflected).
+struct Crc32cTables {
+  std::uint32_t t[4][256];
+  Crc32cTables() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c >> 1) ^ ((c & 1) ? 0x82F63B78u : 0);
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xff];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xff];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xff];
+    }
+  }
+};
+
+const Crc32cTables& tables() {
+  static const Crc32cTables kTables;
+  return kTables;
+}
+
+std::string errno_string(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+void set_error(std::string* error, std::string msg) {
+  if (error) *error = std::move(msg);
+}
+
+/// fsync the directory containing `path`, so the rename itself is durable.
+bool fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash + 1);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(const void* data, std::size_t n, std::uint32_t seed) {
+  const Crc32cTables& tb = tables();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = ~seed;
+  while (n >= 4) {
+    c ^= static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+    c = tb.t[3][c & 0xff] ^ tb.t[2][(c >> 8) & 0xff] ^ tb.t[1][(c >> 16) & 0xff] ^
+        tb.t[0][c >> 24];
+    p += 4;
+    n -= 4;
+  }
+  while (n-- > 0) c = (c >> 8) ^ tb.t[0][(c ^ *p++) & 0xff];
+  return ~c;
+}
+
+long read_retry(int fd, void* buf, std::size_t n) {
+  for (;;) {
+    const ssize_t r = ::read(fd, buf, n);
+    if (r >= 0 || errno != EINTR) return static_cast<long>(r);
+  }
+}
+
+long write_retry(int fd, const void* buf, std::size_t n) {
+  for (;;) {
+    const ssize_t r = ::write(fd, buf, n);
+    if (r >= 0 || errno != EINTR) return static_cast<long>(r);
+  }
+}
+
+long send_retry(int fd, const void* buf, std::size_t n, int flags) {
+  for (;;) {
+    const ssize_t r = ::send(fd, buf, n, flags);
+    if (r >= 0 || errno != EINTR) return static_cast<long>(r);
+  }
+}
+
+int accept_retry(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0 || errno != EINTR) return fd;
+  }
+}
+
+bool write_full(int fd, const void* buf, std::size_t n) {
+  const char* p = static_cast<const char*>(buf);
+  while (n > 0) {
+    const long w = write_retry(fd, p, n);
+    if (w <= 0) return false;
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool read_full(int fd, void* buf, std::size_t n) {
+  char* p = static_cast<char*>(buf);
+  while (n > 0) {
+    const long r = read_retry(fd, p, n);
+    if (r <= 0) return false;
+    p += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool read_file(const std::string& path, std::string* out, std::string* error) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    set_error(error, errno_string("open"));
+    return false;
+  }
+  out->clear();
+  char buf[1 << 16];
+  for (;;) {
+    const long r = read_retry(fd, buf, sizeof(buf));
+    if (r == 0) break;
+    if (r < 0) {
+      set_error(error, errno_string("read"));
+      ::close(fd);
+      return false;
+    }
+    out->append(buf, static_cast<std::size_t>(r));
+  }
+  ::close(fd);
+  return true;
+}
+
+bool atomic_write_file(const std::string& path, const void* data, std::size_t n,
+                       std::string* error) {
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    set_error(error, errno_string("open " + tmp));
+    return false;
+  }
+
+  // Payload staging copy only when the corrupt failpoint fires; the common
+  // path writes straight from the caller's buffer.
+  const char* payload = static_cast<const char*>(data);
+  std::string corrupted;
+  try {
+    failpoint::hit("snapshot.corrupt");
+  } catch (...) {
+    // Injected "storage corrupted the committed bytes" fault: flip one bit
+    // mid-payload and carry on — the write SUCCEEDS, the reader must catch it.
+    corrupted.assign(payload, n);
+    if (n > 0) corrupted[n / 2] ^= 0x01;
+    payload = corrupted.data();
+  }
+
+  auto fail = [&](std::string msg) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    set_error(error, std::move(msg));
+    return false;
+  };
+
+  bool closed = false;
+  try {
+    // Split the payload so the torn-write failpoint sits between the two
+    // chunks: an armed throw leaves a genuinely short temp file behind.
+    const std::size_t tail = n < 64 ? n : 64;
+    if (!write_full(fd, payload, n - tail)) return fail(errno_string("write " + tmp));
+    failpoint::hit("snapshot.write_short");
+    if (!write_full(fd, payload + (n - tail), tail)) return fail(errno_string("write " + tmp));
+    failpoint::hit("snapshot.fsync");
+    if (::fsync(fd) != 0) return fail(errno_string("fsync " + tmp));
+    closed = true;
+    if (::close(fd) != 0) {
+      ::unlink(tmp.c_str());
+      set_error(error, errno_string("close " + tmp));
+      return false;
+    }
+    failpoint::hit("snapshot.rename");
+  } catch (...) {
+    // A failpoint threw mid-write: the destination is untouched; drop the
+    // (possibly torn) temp file and report the injected failure.
+    if (!closed) ::close(fd);
+    ::unlink(tmp.c_str());
+    set_error(error, "injected fault before commit of " + path);
+    return false;
+  }
+
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string msg = errno_string("rename " + tmp);
+    ::unlink(tmp.c_str());
+    set_error(error, msg);
+    return false;
+  }
+  if (!fsync_parent_dir(path)) {
+    // The rename already committed; a failed directory fsync only weakens
+    // durability of the *name*, not atomicity. Report success.
+  }
+  return true;
+}
+
+}  // namespace ccfsp::ioutil

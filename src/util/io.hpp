@@ -1,0 +1,69 @@
+// Low-level I/O substrate shared by the snapshot subsystem and the daemon:
+// EINTR-safe syscall wrappers (one audited retry loop instead of inline
+// copies at every call site), CRC32C (Castagnoli) for section checksums,
+// and crash-safe whole-file replacement via the classic temp-file + fsync +
+// rename + directory-fsync dance. Failure injection for the write path goes
+// through the snapshot.* failpoint sites (see failpoint::catalog()).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ccfsp::ioutil {
+
+/// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected), the checksum the
+/// snapshot format uses per section and for its footer commit record.
+/// Table-driven (slicing-by-4); `seed` chains incremental computations —
+/// pass a previous result to continue it over the next buffer.
+std::uint32_t crc32c(const void* data, std::size_t n, std::uint32_t seed = 0);
+
+/// ::read that retries EINTR. Returns the syscall result otherwise
+/// (0 on EOF, -1 with errno set on any other error).
+long read_retry(int fd, void* buf, std::size_t n);
+
+/// ::write that retries EINTR.
+long write_retry(int fd, const void* buf, std::size_t n);
+
+/// ::send that retries EINTR (flags pass through, e.g. MSG_NOSIGNAL).
+long send_retry(int fd, const void* buf, std::size_t n, int flags);
+
+/// ::accept that retries EINTR. Returns the connection fd, or -1 with
+/// errno set (never EINTR).
+int accept_retry(int listen_fd);
+
+/// Write all n bytes, retrying EINTR and short writes. False on error.
+bool write_full(int fd, const void* buf, std::size_t n);
+
+/// Read exactly n bytes, retrying EINTR and short reads. False on EOF or
+/// error before n bytes arrived.
+bool read_full(int fd, void* buf, std::size_t n);
+
+/// Read a whole regular file into `out`. False (with *error set when
+/// non-null) if the file cannot be opened or read.
+bool read_file(const std::string& path, std::string* out, std::string* error = nullptr);
+
+/// Atomically replace `path` with `data`: write `path`.tmp.<pid>, fsync it,
+/// rename over `path`, fsync the parent directory. A crash at any point
+/// leaves either the old file or the new one, never a mix; a failure leaves
+/// `path` untouched (the temp file is unlinked on the error paths that
+/// reach it). Failpoint sites, in write order:
+///   snapshot.write_short — before the final bytes of the payload are
+///     written (an armed throw leaves a torn temp file, exercising the
+///     short-write path);
+///   snapshot.corrupt — after the payload is staged; an armed throw is
+///     swallowed and instead flips one bit of the payload mid-file, so the
+///     commit SUCCEEDS with a corrupted file (exercising load-side CRC
+///     detection, the "silently wrong machine" guard);
+///   snapshot.fsync — before fsync(tmp);
+///   snapshot.rename — after fsync, before the rename commit point.
+/// Returns false with *error set (when non-null) on any failure.
+bool atomic_write_file(const std::string& path, const void* data, std::size_t n,
+                       std::string* error = nullptr);
+
+inline bool atomic_write_file(const std::string& path, const std::string& data,
+                              std::string* error = nullptr) {
+  return atomic_write_file(path, data.data(), data.size(), error);
+}
+
+}  // namespace ccfsp::ioutil

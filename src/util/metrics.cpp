@@ -47,6 +47,15 @@ constexpr CounterInfo kCounterInfo[] = {
     {"ladder.budget_trips", Kind::kSum},
     {"ladder.retries", Kind::kSum},
     {"ladder.skips", Kind::kSum},
+    {"snapshot.saves", Kind::kSum},
+    {"snapshot.save_failures", Kind::kSum},
+    {"snapshot.loads", Kind::kSum},
+    {"snapshot.cold_starts", Kind::kSum},
+    {"snapshot.bytes_written", Kind::kSum},
+    {"snapshot.bytes_read", Kind::kSum},
+    {"checkpoint.writes", Kind::kSum},
+    {"checkpoint.resumes", Kind::kSum},
+    {"checkpoint.resumed_states", Kind::kSum},
 };
 static_assert(sizeof(kCounterInfo) / sizeof(kCounterInfo[0]) == kNumCounters,
               "counter catalogue table out of sync with the Counter enum");
@@ -221,6 +230,15 @@ const std::vector<Counter>& execution_shape_counters() {
       Counter::kGlobalRingInterns,
       Counter::kFrontierChunks,
       Counter::kSimdDispatch,
+      Counter::kSnapshotSaves,
+      Counter::kSnapshotSaveFailures,
+      Counter::kSnapshotLoads,
+      Counter::kSnapshotColdStarts,
+      Counter::kSnapshotBytesWritten,
+      Counter::kSnapshotBytesRead,
+      Counter::kCheckpointWrites,
+      Counter::kCheckpointResumes,
+      Counter::kCheckpointResumedStates,
   };
   return kShape;
 }

@@ -81,6 +81,19 @@ enum class Counter : std::uint16_t {
   kLadderBudgetTrips, // attempts that hit a budget wall
   kLadderRetries,     // escalated re-runs (attempt index >= 1)
   kLadderSkips,       // rungs skipped because the budget was already spent
+  // snapshot subsystem (src/snapshot/): persistence of global machines,
+  // build checkpoints, and daemon cache images. All execution shape — a
+  // load-instead-of-build run legitimately differs from a fresh one, while
+  // what it builds (global.states/edges, csr.bytes) must not.
+  kSnapshotSaves,           // snapshot files committed (atomic rename succeeded)
+  kSnapshotSaveFailures,    // snapshot writes that failed before the commit point
+  kSnapshotLoads,           // snapshot files loaded and validated end-to-end
+  kSnapshotColdStarts,      // loads rejected (missing/torn/corrupt) -> cold rebuild
+  kSnapshotBytesWritten,    // bytes committed across saves
+  kSnapshotBytesRead,       // bytes of validated snapshot payload loaded
+  kCheckpointWrites,        // periodic build checkpoints persisted
+  kCheckpointResumes,       // builds resumed from a durable checkpoint
+  kCheckpointResumedStates, // states restored by those resumes
   kNumCounters_,      // sentinel, not a counter
 };
 

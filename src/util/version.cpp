@@ -1,0 +1,16 @@
+#include "util/version.hpp"
+
+#ifndef CCFSP_GIT_DESCRIBE
+#define CCFSP_GIT_DESCRIBE "unknown"
+#endif
+
+namespace ccfsp {
+
+const char* build_git_describe() { return CCFSP_GIT_DESCRIBE; }
+
+std::string build_info_string(const char* tool) {
+  return std::string(tool) + " " + CCFSP_GIT_DESCRIBE + " (snapshot format " +
+         std::to_string(kSnapshotFormatVersion) + ")";
+}
+
+}  // namespace ccfsp

@@ -1,0 +1,25 @@
+// Build identity: the git revision stamped in at configure time and the
+// on-disk snapshot format version. Both CLIs print it (--version), the
+// snapshot writer embeds it in every file header, and the metrics JSON
+// document carries it so an artifact can always be traced to the build
+// that produced it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ccfsp {
+
+/// Version of the sectioned snapshot container format (src/snapshot/).
+/// Bump on any incompatible layout change; readers reject other versions
+/// as a structured cold start, never a guess.
+inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+
+/// `git describe --always --dirty` of the tree this binary was built from,
+/// or "unknown" when the stamp was unavailable at configure time.
+const char* build_git_describe();
+
+/// One-line build stamp, e.g. "ccfspd 3daa80f (snapshot format 1)".
+std::string build_info_string(const char* tool);
+
+}  // namespace ccfsp

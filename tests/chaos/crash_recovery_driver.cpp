@@ -1,0 +1,191 @@
+// Kill-recover chaos sweep for the checkpointed global build. Each schedule
+// forks a child that builds the machine through the snapshot layer's
+// checkpoint/resume path and SIGKILLs *itself* at a seeded-random moment —
+// mid-expansion (the global.intern_ring site) or inside a checkpoint commit
+// (the snapshot.write_short / snapshot.fsync / snapshot.rename sites, i.e.
+// power loss mid-write). The parent relaunches until a child survives, then
+// requires the recovery contract: however many kills and partial files the
+// schedule produced, the surviving build's machine is bit-identical to an
+// uninterrupted build_global, and the consumed checkpoint is cleaned up.
+//
+// CI runs: crash_recovery_driver --iterations 40 --seed 1
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "network/families.hpp"
+#include "snapshot/global_io.hpp"
+#include "snapshot/persist.hpp"
+#include "success/global.hpp"
+#include "util/failpoint.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ccfsp;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--iterations N] [--seed S]\n"
+               "  sweeps N SIGKILL-at-random-moment schedules through the\n"
+               "  checkpointed global build; exit 0 iff every schedule\n"
+               "  recovers into a machine bit-identical to an uninterrupted\n"
+               "  build.\n",
+               argv0);
+  return 2;
+}
+
+bool machines_identical(const GlobalMachine& a, const GlobalMachine& b) {
+  if (a.width != b.width || a.words != b.words || a.fields.size() != b.fields.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.fields.size(); ++i) {
+    if (a.fields[i].word != b.fields[i].word || a.fields[i].shift != b.fields[i].shift ||
+        a.fields[i].mask != b.fields[i].mask) {
+      return false;
+    }
+  }
+  return a.tuple_words == b.tuple_words && a.edge_target == b.edge_target &&
+         a.edge_action == b.edge_action && a.edge_pair == b.edge_pair &&
+         a.edge_offsets == b.edge_offsets;
+}
+
+/// Child body: build through the persistence source with a suicide
+/// failpoint armed. Exit codes: 0 = completed and bit-identical to the
+/// oracle, 3 = completed but WRONG MACHINE, 4 = unexpected error. A SIGKILL
+/// death is the intended outcome of most schedules.
+int run_child(const Network& net, const std::string& ckpt_path, std::uint64_t seed) {
+  const GlobalMachine oracle = build_global(net, Budget::unlimited(), 1);
+
+  Rng rng(seed);
+  failpoint::Spec s;
+  s.action = failpoint::Action::kCallback;
+  s.trigger = failpoint::Trigger::kOnHit;
+  s.callback = [](const char*, std::uint64_t) { ::kill(::getpid(), SIGKILL); };
+  const char* site;
+  switch (rng.below(4)) {
+    case 0:
+      // Mid-expansion: anywhere in the whole BFS, including past the last
+      // checkpoint (work since the checkpoint is lost and redone).
+      site = "global.intern_ring";
+      s.n = 1 + rng.below(oracle.num_states() + oracle.num_states() / 4);
+      break;
+    case 1:
+      site = "snapshot.write_short";  // power loss mid-payload
+      s.n = 1 + rng.below(6);
+      break;
+    case 2:
+      site = "snapshot.fsync";  // committed bytes, death before durability
+      s.n = 1 + rng.below(4);
+      break;
+    default:
+      site = "snapshot.rename";  // death at the commit point itself
+      s.n = 1 + rng.below(4);
+      break;
+  }
+  failpoint::arm(site, s);
+
+  snapshot::GlobalPersistOptions opt;
+  opt.checkpoint_path = ckpt_path;
+  opt.resume = true;
+  opt.checkpoint_interval = 16 + rng.below(64);
+  AnalyzeOptions::GlobalSource source = snapshot::make_global_source(opt);
+  try {
+    const GlobalMachine built = source(net, Budget::unlimited(), 1);
+    failpoint::disarm_all();
+    return machines_identical(built, oracle) ? 0 : 3;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "child: unexpected error: %s\n", e.what());
+    return 4;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t iterations = 40;
+  std::uint64_t seed = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--iterations") == 0 && i + 1 < argc) {
+      iterations = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  const Network net = dining_philosophers(4);
+  std::uint64_t kills = 0, resumes_observed = 0;
+
+  for (std::uint64_t iter = 0; iter < iterations; ++iter) {
+    const std::string ckpt_path = "/tmp/ccfsp_crash_recovery_" +
+                                  std::to_string(::getpid()) + "_" +
+                                  std::to_string(iter) + ".ckpt";
+    // Relaunch until one child survives its own schedule. Each attempt gets
+    // a fresh kill point; attempts resume from whatever checkpoint the
+    // previous death left behind (possibly none, possibly torn).
+    bool survived = false;
+    for (int attempt = 0; attempt < 200 && !survived; ++attempt) {
+      const pid_t pid = ::fork();
+      if (pid < 0) {
+        std::perror("fork");
+        return 1;
+      }
+      if (pid == 0) {
+        ::_exit(run_child(net, ckpt_path, seed * 1000003u + iter * 257u + attempt));
+      }
+      int status = 0;
+      if (::waitpid(pid, &status, 0) != pid) {
+        std::perror("waitpid");
+        return 1;
+      }
+      if (WIFEXITED(status)) {
+        const int code = WEXITSTATUS(status);
+        if (code == 0) {
+          survived = true;
+        } else {
+          std::fprintf(stderr,
+                       "crash-recovery violation at iteration %llu attempt %d: "
+                       "child exit %d (3 = machine mismatch after resume)\n",
+                       static_cast<unsigned long long>(iter), attempt, code);
+          return 1;
+        }
+      } else if (WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL) {
+        ++kills;
+        snapshot::LoadError err;
+        if (snapshot::load_checkpoint(ckpt_path, net, &err).has_value()) {
+          ++resumes_observed;  // the next attempt will restore this image
+        }
+      } else {
+        std::fprintf(stderr, "child died unexpectedly (status 0x%x)\n", status);
+        return 1;
+      }
+    }
+    if (!survived) {
+      std::fprintf(stderr, "no child survived 200 attempts at iteration %llu\n",
+                   static_cast<unsigned long long>(iter));
+      return 1;
+    }
+    // A completed build consumes its checkpoint.
+    snapshot::LoadError err;
+    if (snapshot::load_checkpoint(ckpt_path, net, &err).has_value()) {
+      std::fprintf(stderr, "iteration %llu: checkpoint not cleaned up after completion\n",
+                   static_cast<unsigned long long>(iter));
+      return 1;
+    }
+    ::unlink(ckpt_path.c_str());
+  }
+
+  std::printf(
+      "{\"crash_recovery\": {\"schedules\": %llu, \"kills\": %llu, "
+      "\"loadable_checkpoints_seen\": %llu, \"violations\": 0}}\n",
+      static_cast<unsigned long long>(iterations), static_cast<unsigned long long>(kills),
+      static_cast<unsigned long long>(resumes_observed));
+  return 0;
+}

@@ -17,6 +17,7 @@
 #include "success/analyze.hpp"
 #include "../support/mini_json.hpp"
 #include "util/metrics.hpp"
+#include "util/version.hpp"
 
 namespace ccfsp {
 namespace {
@@ -47,9 +48,21 @@ void check_span_node(const JsonValue& node, int depth) {
 void check_document(const std::string& text, bool expect_report) {
   auto docp = parse_json(text);
   const JsonValue& doc = *docp;
-  expect_only_keys(doc, {"schema_version", "counters", "spans", "report"}, "document");
+  expect_only_keys(doc, {"schema_version", "build", "counters", "spans", "report"},
+                   "document");
   ASSERT_TRUE(doc.has("schema_version"));
-  EXPECT_EQ(doc.at("schema_version").as_u64(), 1u);
+  EXPECT_EQ(doc.at("schema_version").as_u64(), 2u);
+
+  // Build stamp: the writer's version string plus the snapshot format it
+  // speaks — what a fleet operator correlates persisted artifacts against.
+  ASSERT_TRUE(doc.has("build"));
+  const JsonValue& build = doc.at("build");
+  expect_only_keys(build, {"version", "snapshot_format"}, "build");
+  ASSERT_TRUE(build.has("version"));
+  EXPECT_TRUE(build.at("version").is_string());
+  EXPECT_FALSE(build.at("version").string.empty());
+  ASSERT_TRUE(build.has("snapshot_format"));
+  EXPECT_EQ(build.at("snapshot_format").as_u64(), kSnapshotFormatVersion);
 
   // Counters: exactly the compiled-in catalogue — no more, no less — each a
   // non-negative number. Zeros are emitted, so the key set never depends on

@@ -79,6 +79,8 @@ TEST(Daemon, AnalyzePingStatsOverOneConnection) {
   EXPECT_EQ(stats->at("seq").as_u64(), 2u);
   EXPECT_EQ(stats->at("code").string, "ok");
   EXPECT_GE(stats->at("stats").at("accepted").as_u64(), 1u);
+  EXPECT_TRUE(stats->at("stats").has("uptime_ms"));
+  EXPECT_EQ(stats->at("stats").at("warm_start").as_u64(), 0u);
 }
 
 TEST(Daemon, FreshConnectionsGetByteIdenticalReplies) {

@@ -7,11 +7,14 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdio>
 #include <future>
+#include <set>
 #include <vector>
 
 #include "../support/mini_json.hpp"
 #include "util/failpoint.hpp"
+#include "util/io.hpp"
 
 namespace ccfsp::server {
 namespace {
@@ -281,7 +284,80 @@ TEST(Service, StatsJsonIsWellFormed) {
   EXPECT_EQ(v->at("completed").as_u64(), 1u);
   EXPECT_TRUE(v->has("queue_depth"));
   EXPECT_TRUE(v->has("engine_memo_bytes"));
+  EXPECT_TRUE(v->has("uptime_ms"));
+  // No --cache-dir: this instance started cold and never touched a snapshot.
+  EXPECT_EQ(v->at("warm_start").as_u64(), 0u);
+  EXPECT_EQ(v->at("snapshot_loads").as_u64(), 0u);
+  EXPECT_EQ(v->at("snapshot_cold_starts").as_u64(), 0u);
+  EXPECT_TRUE(v->has("snapshot_saves"));
+  EXPECT_TRUE(v->has("snapshot_save_failures"));
+
+  // Golden key set: the STATS document is a versioned contract
+  // (docs/observability.md §6) — a field appearing or vanishing here must
+  // be a deliberate schema change, updated in docs and in this list.
+  const std::set<std::string> kStatsKeys = {
+      "accepted", "shed", "rejected_draining", "completed", "wedged",
+      "cancelled_by_supervisor", "workers_replaced", "result_cache_hits",
+      "single_flight_joins", "queue_depth", "result_cache_bytes",
+      "result_cache_evictions", "engine_memo_bytes", "engine_fsp_cache_bytes",
+      "engine_cache_evictions", "uptime_ms", "warm_start",
+      "warm_restored_results", "warm_restored_memo", "warm_restored_pool",
+      "snapshot_saves", "snapshot_save_failures", "snapshot_loads",
+      "snapshot_cold_starts"};
+  std::set<std::string> actual;
+  for (const auto& [key, value] : v->object) actual.insert(key);
+  EXPECT_EQ(actual, kStatsKeys);
   service.drain();
+}
+
+TEST(Service, WarmRestartRestoresCachesAcrossProcessesInSpirit) {
+  // Two services sharing a cache_dir model a daemon restart: the first
+  // drains (persisting its caches), the second starts warm and must answer
+  // byte-identically while reporting the restore in its stats.
+  const std::string dir = ::testing::TempDir() + "/ccfsp_warm_restart_test";
+  ServiceConfig cfg;
+  cfg.cache_dir = dir;
+
+  std::string cold_body;
+  {
+    AnalysisService service(cfg);
+    service.start();
+    cold_body = roundtrip(service, analyze_payload());
+    EXPECT_EQ(code_of_body(cold_body), "decided");
+    service.drain();
+    EXPECT_EQ(service.stats().snapshot_saves, 1u);
+    EXPECT_EQ(service.stats().snapshot_save_failures, 0u);
+  }
+  {
+    AnalysisService service(cfg);
+    service.start();
+    ServiceStats warm = service.stats();
+    EXPECT_EQ(warm.warm_start, 1u);
+    EXPECT_EQ(warm.snapshot_loads, 1u);
+    EXPECT_GE(warm.warm_restored_results, 1u);
+
+    const std::string body = roundtrip(service, analyze_payload());
+    EXPECT_EQ(body, cold_body) << "warm answers must be bit-identical to cold ones";
+    EXPECT_GE(service.stats().result_cache_hits, 1u)
+        << "the restored result LRU must serve the repeat request";
+    service.drain();
+  }
+  {
+    // A corrupted cache file is a structured cold start, never a failure.
+    const std::string snap = dir + "/daemon_cache.snap";
+    std::string bytes, error;
+    ASSERT_TRUE(ccfsp::ioutil::read_file(snap, &bytes, &error)) << error;
+    bytes[bytes.size() / 2] ^= 0x01;
+    ASSERT_TRUE(ccfsp::ioutil::atomic_write_file(snap, bytes, &error)) << error;
+    AnalysisService service(cfg);
+    service.start();
+    ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.warm_start, 0u);
+    EXPECT_EQ(stats.snapshot_cold_starts, 1u);
+    EXPECT_EQ(code_of_body(roundtrip(service, analyze_payload())), "decided");
+    service.drain();
+  }
+  std::remove((dir + "/daemon_cache.snap").c_str());
 }
 
 TEST(Service, DrainIsIdempotentAndDtorSafe) {

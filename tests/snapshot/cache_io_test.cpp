@@ -1,0 +1,242 @@
+// The daemon warm-restart image: pooled processes must round-trip into the
+// exact pool key they came from, memo entries must survive export/import
+// with their rebuilds intact, and every tampered or malformed entry must be
+// refused at import — a cache file is untrusted input even after its CRCs
+// pass.
+#include "snapshot/cache_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fsp/builder.hpp"
+#include "semantics/normal_form.hpp"
+
+namespace ccfsp::snapshot {
+namespace {
+
+std::string temp_path(const char* tag) {
+  return "/tmp/ccfsp_cache_io_test_" + std::to_string(::getpid()) + "_" + tag;
+}
+
+Fsp sample_fsp(const AlphabetPtr& alphabet) {
+  return FspBuilder(alphabet, "P")
+      .trans("0", "a", "1")
+      .trans("0", "tau", "2")
+      .trans("2", "b", "3")
+      .trans("1", "a", "3")
+      .action("ghost")
+      .build();
+}
+
+TEST(CacheIo, FspImageRoundTripsStructureAndAlphabet) {
+  AlphabetPtr alphabet = std::make_shared<Alphabet>();
+  const Fsp f = sample_fsp(alphabet);
+  const FspImage img = fsp_image_of(f);
+  const Fsp back = fsp_from_image(img);
+
+  EXPECT_EQ(back.name(), f.name());
+  ASSERT_EQ(back.num_states(), f.num_states());
+  EXPECT_EQ(back.start(), f.start());
+  EXPECT_EQ(back.sigma(), f.sigma());
+  // The image carries the alphabet in interned-id order, so action ids —
+  // not just names — survive the round trip and the transitions compare
+  // word for word.
+  ASSERT_EQ(back.alphabet()->size(), f.alphabet()->size());
+  for (ActionId a = 0; a < f.alphabet()->size(); ++a) {
+    EXPECT_EQ(back.alphabet()->name(a), f.alphabet()->name(a)) << a;
+  }
+  for (StateId s = 0; s < f.num_states(); ++s) {
+    EXPECT_EQ(back.out(s), f.out(s)) << "state " << s;
+  }
+}
+
+TEST(CacheIo, RestoredProcessHitsTheSamePoolEntry) {
+  AlphabetPtr alphabet = std::make_shared<Alphabet>();
+  const Fsp f = sample_fsp(alphabet);
+  SharedCacheRegistry registry;
+  auto first = registry.fsp_cache(f, nullptr);
+  ASSERT_EQ(registry.fsp_cache_misses(), 1u);
+
+  const Fsp back = fsp_from_image(fsp_image_of(f));
+  auto second = registry.fsp_cache(back, nullptr);
+  EXPECT_EQ(registry.fsp_cache_hits(), 1u) << "round trip must reproduce the exact pool key";
+  EXPECT_EQ(registry.fsp_cache_entries(), 1u);
+  EXPECT_EQ(first->bytes(), second->bytes());
+}
+
+TEST(CacheIo, MemoExportImportReproducesHitsAndOrder) {
+  AlphabetPtr alphabet = std::make_shared<Alphabet>();
+  const Fsp f = sample_fsp(alphabet);
+  const Fsp g = FspBuilder(alphabet, "Q").trans("0", "b", "1").trans("1", "c", "2").build();
+
+  NormalFormMemo memo;
+  for (const Fsp* p : {&f, &g}) {
+    std::shared_ptr<const NfLabelShape> shape;
+    Fsp nf = poss_normal_form(*p, 1u << 20, nullptr, &shape);
+    memo.store(*p, nf, shape);
+  }
+  const auto exported = memo.export_entries();
+  ASSERT_EQ(exported.size(), 2u);
+
+  NormalFormMemo fresh;
+  for (const auto& e : exported) {
+    EXPECT_TRUE(fresh.import_entry(e));
+  }
+  EXPECT_EQ(fresh.entries(), memo.entries());
+  EXPECT_EQ(fresh.bytes(), memo.bytes());
+  for (const Fsp* p : {&f, &g}) {
+    auto from_fresh = fresh.find(*p);
+    auto from_orig = memo.find(*p);
+    ASSERT_TRUE(from_fresh.has_value());
+    ASSERT_TRUE(from_orig.has_value());
+    ASSERT_EQ(from_fresh->num_states(), from_orig->num_states());
+    EXPECT_EQ(from_fresh->start(), from_orig->start());
+    EXPECT_EQ(from_fresh->sigma(), from_orig->sigma());
+    for (StateId s = 0; s < from_fresh->num_states(); ++s) {
+      EXPECT_EQ(from_fresh->out(s), from_orig->out(s)) << "state " << s;
+      EXPECT_EQ(from_fresh->state_label(s), from_orig->state_label(s)) << "state " << s;
+    }
+  }
+  // A re-import of an already-present key is refused, not duplicated.
+  EXPECT_FALSE(fresh.import_entry(exported.front()));
+  EXPECT_EQ(fresh.entries(), 2u);
+}
+
+TEST(CacheIo, ImportRefusesEveryTamperedEntry) {
+  AlphabetPtr alphabet = std::make_shared<Alphabet>();
+  const Fsp f = sample_fsp(alphabet);
+  NormalFormMemo memo;
+  std::shared_ptr<const NfLabelShape> shape;
+  Fsp nf = poss_normal_form(f, 1u << 20, nullptr, &shape);
+  memo.store(f, nf, shape);
+  const auto exported = memo.export_entries();
+  ASSERT_EQ(exported.size(), 1u);
+  const NormalFormMemo::ExportedEntry& good = exported.front();
+  ASSERT_GE(good.num_routers, 1u);
+
+  auto refuse = [](NormalFormMemo::ExportedEntry e, const char* what) {
+    NormalFormMemo m;
+    EXPECT_FALSE(m.import_entry(e)) << what;
+    EXPECT_EQ(m.entries(), 0u) << what;
+  };
+  {
+    auto e = good;
+    e.key.pop_back();
+    refuse(e, "truncated key");
+  }
+  {
+    auto e = good;
+    e.start = e.num_states;
+    refuse(e, "start out of range");
+  }
+  {
+    auto e = good;
+    e.num_states = 0;
+    refuse(e, "zero states");
+  }
+  {
+    auto e = good;
+    e.parent[0] = 0;  // the root's parent must stay UINT32_MAX
+    refuse(e, "router pointing at itself");
+  }
+  {
+    auto e = good;
+    e.off.back() += 1;
+    refuse(e, "CSR tail off the edge columns");
+  }
+  {
+    auto e = good;
+    if (!e.tgt.empty()) {
+      e.tgt[0] = e.num_states;
+      refuse(e, "edge target out of range");
+    }
+  }
+  {
+    auto e = good;
+    if (!e.act_canon.empty()) {
+      e.act_canon[0] = 1u << 20;  // far beyond any canon id the key defines
+      refuse(e, "canon action beyond the key's bound");
+    }
+  }
+  {
+    auto e = good;
+    e.owner.assign(e.owner.size(), e.num_routers);
+    refuse(e, "stable state owned by a nonexistent router");
+  }
+  // The untouched entry still imports: the harness itself is not rejecting
+  // everything.
+  NormalFormMemo m;
+  EXPECT_TRUE(m.import_entry(good));
+}
+
+TEST(CacheIo, DaemonCacheSaveLoadRoundTrips) {
+  AlphabetPtr alphabet = std::make_shared<Alphabet>();
+  const Fsp f = sample_fsp(alphabet);
+  NormalFormMemo memo;
+  std::shared_ptr<const NfLabelShape> shape;
+  Fsp nf = poss_normal_form(f, 1u << 20, nullptr, &shape);
+  memo.store(f, nf, shape);
+
+  DaemonCacheImage img;
+  img.results.emplace_back("ANALYZE\nmodel one", "{\"code\":\"decided\"}");
+  img.results.emplace_back("ANALYZE\nmodel two", "{\"code\":\"budget-exhausted\"}");
+  img.memo = memo.export_entries();
+  img.pool.push_back(fsp_image_of(f));
+
+  const std::string path = temp_path("roundtrip");
+  std::string error;
+  ASSERT_TRUE(save_daemon_cache(img, path, &error)) << error;
+
+  LoadError err;
+  auto back = load_daemon_cache(path, &err);
+  ASSERT_TRUE(back.has_value()) << to_string(err.reason) << ": " << err.detail;
+  EXPECT_EQ(back->results, img.results);
+  ASSERT_EQ(back->memo.size(), 1u);
+  NormalFormMemo fresh;
+  EXPECT_TRUE(fresh.import_entry(back->memo.front()));
+  ASSERT_EQ(back->pool.size(), 1u);
+  const Fsp rebuilt = fsp_from_image(back->pool.front());
+  EXPECT_EQ(rebuilt.num_states(), f.num_states());
+  EXPECT_EQ(rebuilt.name(), f.name());
+  ::unlink(path.c_str());
+}
+
+TEST(CacheIo, LoadRejectsMalformedPoolImages) {
+  AlphabetPtr alphabet = std::make_shared<Alphabet>();
+  DaemonCacheImage img;
+  img.pool.push_back(fsp_image_of(sample_fsp(alphabet)));
+  img.pool.back().tgt[0] = img.pool.back().num_states;  // out-of-range edge
+
+  const std::string path = temp_path("bad_pool");
+  std::string error;
+  ASSERT_TRUE(save_daemon_cache(img, path, &error)) << error;
+  LoadError err;
+  EXPECT_FALSE(load_daemon_cache(path, &err));
+  EXPECT_EQ(err.reason, LoadError::Reason::kWrongContent);
+  ::unlink(path.c_str());
+}
+
+TEST(CacheIo, MissingAndForeignFilesAreStructuredColdStarts) {
+  LoadError err;
+  EXPECT_FALSE(load_daemon_cache(temp_path("never_written"), &err));
+  EXPECT_EQ(err.reason, LoadError::Reason::kOpenFailed);
+
+  // A valid snapshot of another kind must be refused as the wrong kind, not
+  // parsed as a cache.
+  const std::string path = temp_path("foreign");
+  Writer w(Kind::kGlobalMachine);
+  w.add_u64(1, 42);
+  std::string error;
+  ASSERT_TRUE(w.write_file(path, &error)) << error;
+  EXPECT_FALSE(load_daemon_cache(path, &err));
+  EXPECT_EQ(err.reason, LoadError::Reason::kWrongKind);
+  ::unlink(path.c_str());
+}
+
+}  // namespace
+}  // namespace ccfsp::snapshot

@@ -1,0 +1,264 @@
+// Global-machine and checkpoint persistence: a loaded machine must be
+// bit-identical to a fresh build, charge the budget identically, refuse the
+// wrong network, and resume a checkpointed build into exactly the machine
+// an uninterrupted build produces — whatever the checkpoint schedule.
+#include "snapshot/global_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "network/families.hpp"
+#include "snapshot/persist.hpp"
+#include "util/metrics.hpp"
+
+namespace ccfsp::snapshot {
+namespace {
+
+std::string temp_path(const char* tag) {
+  return "/tmp/ccfsp_global_io_test_" + std::to_string(::getpid()) + "_" + tag;
+}
+
+void expect_identical(const GlobalMachine& a, const GlobalMachine& b) {
+  EXPECT_EQ(a.width, b.width);
+  EXPECT_EQ(a.words, b.words);
+  ASSERT_EQ(a.fields.size(), b.fields.size());
+  for (std::size_t i = 0; i < a.fields.size(); ++i) {
+    EXPECT_EQ(a.fields[i].word, b.fields[i].word) << i;
+    EXPECT_EQ(a.fields[i].shift, b.fields[i].shift) << i;
+    EXPECT_EQ(a.fields[i].mask, b.fields[i].mask) << i;
+  }
+  EXPECT_EQ(a.tuple_words, b.tuple_words);
+  EXPECT_EQ(a.edge_target, b.edge_target);
+  EXPECT_EQ(a.edge_action, b.edge_action);
+  EXPECT_EQ(a.edge_pair, b.edge_pair);
+  EXPECT_EQ(a.edge_offsets, b.edge_offsets);
+}
+
+TEST(GlobalIo, SaveLoadRoundTripIsBitIdentical) {
+  const Network net = dining_philosophers(4);
+  const GlobalMachine fresh = build_global(net, Budget::unlimited(), 1);
+  const std::string path = temp_path("roundtrip");
+  std::string error;
+  ASSERT_TRUE(save_global(fresh, net, path, &error)) << error;
+
+  LoadError err;
+  auto loaded = load_global(path, net, &err);
+  ASSERT_TRUE(loaded.has_value()) << to_string(err.reason) << ": " << err.detail;
+  expect_identical(fresh, *loaded);
+  ::unlink(path.c_str());
+}
+
+TEST(GlobalIo, WrongNetworkIsAFingerprintReject) {
+  const Network net = dining_philosophers(4);
+  const GlobalMachine fresh = build_global(net, Budget::unlimited(), 1);
+  const std::string path = temp_path("wrong_net");
+  std::string error;
+  ASSERT_TRUE(save_global(fresh, net, path, &error)) << error;
+
+  LoadError err;
+  EXPECT_FALSE(load_global(path, dining_philosophers(3), &err));
+  EXPECT_EQ(err.reason, LoadError::Reason::kWrongContent);
+  // A different family with a different shape rejects too.
+  EXPECT_FALSE(load_global(path, token_ring(4), &err));
+  EXPECT_EQ(err.reason, LoadError::Reason::kWrongContent);
+  ::unlink(path.c_str());
+}
+
+TEST(GlobalIo, FingerprintSeparatesFamiliesAndSizes) {
+  const std::uint64_t a = network_fingerprint(dining_philosophers(4));
+  EXPECT_EQ(a, network_fingerprint(dining_philosophers(4)));
+  EXPECT_NE(a, network_fingerprint(dining_philosophers(5)));
+  EXPECT_NE(a, network_fingerprint(token_ring(4)));
+}
+
+TEST(GlobalIo, ChargeLoadedGlobalMatchesAFreshBuild) {
+  const Network net = dining_philosophers(4);
+  const Budget build_budget = Budget::unlimited();
+  const GlobalMachine g = build_global(net, build_budget, 1);
+
+  const Budget load_budget = Budget::unlimited();
+  charge_loaded_global(g, load_budget);
+  EXPECT_EQ(load_budget.states_used(), build_budget.states_used());
+  EXPECT_EQ(load_budget.bytes_used(), build_budget.bytes_used());
+
+  // The same wall a fresh build would hit: a cap below the machine trips.
+  const Budget tight = Budget::with_states(g.num_states() - 1);
+  EXPECT_THROW(charge_loaded_global(g, tight), BudgetExceeded);
+}
+
+TEST(GlobalIo, ChargeEquivalentCountersOnLoad) {
+  const Network net = dining_philosophers(4);
+  const GlobalMachine fresh = build_global(net, Budget::unlimited(), 1);
+  const std::string path = temp_path("counters");
+  std::string error;
+  ASSERT_TRUE(save_global(fresh, net, path, &error)) << error;
+
+  metrics::reset();
+  metrics::enable();
+  LoadError err;
+  auto loaded = load_global(path, net, &err);
+  ASSERT_TRUE(loaded.has_value()) << to_string(err.reason);
+  charge_loaded_global(*loaded, Budget::unlimited());
+  metrics::disable();
+  const metrics::Snapshot after_load = metrics::snapshot();
+
+  metrics::reset();
+  metrics::enable();
+  const GlobalMachine rebuilt = build_global(net, Budget::unlimited(), 1);
+  metrics::disable();
+  const metrics::Snapshot after_build = metrics::snapshot();
+
+  // What the machine *is* must count the same either way; only the
+  // execution-shape counters (frontier peaks, interner probes, snapshot.*)
+  // may differ.
+  EXPECT_EQ(after_load.value(metrics::Counter::kGlobalStates),
+            after_build.value(metrics::Counter::kGlobalStates));
+  EXPECT_EQ(after_load.value(metrics::Counter::kGlobalEdges),
+            after_build.value(metrics::Counter::kGlobalEdges));
+  EXPECT_EQ(after_load.value(metrics::Counter::kSnapshotLoads), 1u);
+  EXPECT_EQ(after_build.value(metrics::Counter::kSnapshotLoads), 0u);
+  metrics::reset();
+  ::unlink(path.c_str());
+}
+
+TEST(GlobalIo, CheckpointRoundTripPreservesProgress) {
+  const Network net = dining_philosophers(4);
+  std::optional<GlobalBuildProgress> taken;
+  CheckpointOptions ckpt;
+  ckpt.interval_states = 64;
+  ckpt.on_checkpoint = [&](const GlobalBuildProgress& p) {
+    if (!taken) taken = p;  // keep the first (earliest) image
+  };
+  build_global_checkpointed(net, Budget::unlimited(), ckpt);
+  ASSERT_TRUE(taken.has_value());
+  ASSERT_GT(taken->cursor, 0u);
+
+  const std::string path = temp_path("ckpt");
+  std::string error;
+  ASSERT_TRUE(save_checkpoint(*taken, net, path, &error)) << error;
+  LoadError err;
+  auto back = load_checkpoint(path, net, &err);
+  ASSERT_TRUE(back.has_value()) << to_string(err.reason) << ": " << err.detail;
+  EXPECT_EQ(back->words, taken->words);
+  EXPECT_EQ(back->cursor, taken->cursor);
+  EXPECT_EQ(back->tuple_words, taken->tuple_words);
+  EXPECT_EQ(back->edge_target, taken->edge_target);
+  EXPECT_EQ(back->edge_action, taken->edge_action);
+  EXPECT_EQ(back->edge_pair, taken->edge_pair);
+  EXPECT_EQ(back->edge_offsets, taken->edge_offsets);
+
+  EXPECT_FALSE(load_checkpoint(path, dining_philosophers(3), &err));
+  EXPECT_EQ(err.reason, LoadError::Reason::kWrongContent);
+  ::unlink(path.c_str());
+}
+
+TEST(GlobalIo, ResumeFromAnyCheckpointReproducesTheMachine) {
+  const Network net = dining_philosophers(4);
+  const GlobalMachine oracle = build_global(net, Budget::unlimited(), 1);
+
+  // Collect every image a fine-grained schedule produces, then resume from
+  // each one — early, middle, late — and demand the identical machine.
+  std::vector<GlobalBuildProgress> images;
+  CheckpointOptions record;
+  record.interval_states = 16;  // phil:4 is ~80 states; several images fit
+  record.on_checkpoint = [&](const GlobalBuildProgress& p) { images.push_back(p); };
+  expect_identical(oracle, build_global_checkpointed(net, Budget::unlimited(), record));
+  ASSERT_GE(images.size(), 3u);
+
+  for (std::size_t pick : {std::size_t{0}, images.size() / 2, images.size() - 1}) {
+    CheckpointOptions resume;
+    resume.resume = &images[pick];
+    const GlobalMachine redone = build_global_checkpointed(net, Budget::unlimited(), resume);
+    expect_identical(oracle, redone);
+  }
+}
+
+TEST(GlobalIo, ResumedBuildRechargesRestoredStates) {
+  const Network net = dining_philosophers(4);
+  std::optional<GlobalBuildProgress> taken;
+  CheckpointOptions record;
+  record.interval_states = 24;
+  record.on_checkpoint = [&](const GlobalBuildProgress& p) {
+    if (!taken) taken = p;
+  };
+  const Budget clean = Budget::unlimited();
+  build_global_checkpointed(net, clean, record);
+  ASSERT_TRUE(taken.has_value());
+
+  // Restored states are re-charged like fresh interns: a resumed run's
+  // budget usage equals the uninterrupted run's, and a cap below the total
+  // trips even though the wall sits inside the restored prefix's worth.
+  CheckpointOptions resume;
+  resume.resume = &*taken;
+  const Budget resumed = Budget::unlimited();
+  build_global_checkpointed(net, resumed, resume);
+  EXPECT_EQ(resumed.states_used(), clean.states_used());
+  EXPECT_EQ(resumed.bytes_used(), clean.bytes_used());
+
+  const Budget tight = Budget::with_states(taken->cursor / 2);
+  CheckpointOptions resume_tight;
+  resume_tight.resume = &*taken;
+  EXPECT_THROW(build_global_checkpointed(net, tight, resume_tight), BudgetExceeded);
+}
+
+TEST(GlobalPersist, SourceLoadsSavesAndDegrades) {
+  const Network net = dining_philosophers(4);
+  const GlobalMachine oracle = build_global(net, Budget::unlimited(), 1);
+  const std::string path = temp_path("source");
+  std::vector<std::string> notes;
+
+  // First run: nothing on disk — builds fresh, saves.
+  GlobalPersistOptions opt;
+  opt.load_path = path;
+  opt.save_path = path;
+  opt.note = [&](const std::string& n) { notes.push_back(n); };
+  AnalyzeOptions::GlobalSource source = make_global_source(opt);
+  expect_identical(oracle, source(net, Budget::unlimited(), 1));
+
+  // Second run: loads the file it saved; still bit-identical.
+  expect_identical(oracle, source(net, Budget::unlimited(), 1));
+
+  // Wrong network on the same path: degradation note + a correct fresh
+  // build for *that* network, never a wrong machine.
+  const Network other = dining_philosophers(3);
+  const std::size_t notes_before = notes.size();
+  GlobalPersistOptions wrong;
+  wrong.load_path = path;
+  wrong.note = [&](const std::string& n) { notes.push_back(n); };
+  const GlobalMachine degraded = make_global_source(wrong)(other, Budget::unlimited(), 1);
+  expect_identical(build_global(other, Budget::unlimited(), 1), degraded);
+  ASSERT_GT(notes.size(), notes_before);
+  EXPECT_NE(notes.back().find("wrong_content"), std::string::npos) << notes.back();
+  ::unlink(path.c_str());
+}
+
+TEST(GlobalPersist, CheckpointedSourceResumesAndCleansUp) {
+  const Network net = dining_philosophers(4);
+  const GlobalMachine oracle = build_global(net, Budget::unlimited(), 1);
+  const std::string ckpt = temp_path("source_ckpt");
+
+  // A budget-walled first attempt leaves a durable checkpoint behind.
+  GlobalPersistOptions opt;
+  opt.checkpoint_path = ckpt;
+  opt.checkpoint_interval = 10;
+  opt.resume = true;
+  AnalyzeOptions::GlobalSource source = make_global_source(opt);
+  EXPECT_THROW(source(net, Budget::with_states(oracle.num_states() / 2), 1), BudgetExceeded);
+  LoadError err;
+  EXPECT_TRUE(load_checkpoint(ckpt, net, &err).has_value())
+      << "interrupted build must leave a loadable checkpoint";
+
+  // The retry resumes from it and completes bit-identically; the consumed
+  // checkpoint is unlinked after the completed build.
+  expect_identical(oracle, source(net, Budget::unlimited(), 1));
+  EXPECT_FALSE(load_checkpoint(ckpt, net, &err).has_value());
+  EXPECT_EQ(err.reason, LoadError::Reason::kOpenFailed);
+}
+
+}  // namespace
+}  // namespace ccfsp::snapshot

@@ -1,0 +1,148 @@
+#include "util/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "util/failpoint.hpp"
+
+namespace ccfsp::ioutil {
+namespace {
+
+std::string temp_path(const char* tag) {
+  return "/tmp/ccfsp_io_test_" + std::to_string(::getpid()) + "_" + tag;
+}
+
+TEST(Crc32c, KnownVectors) {
+  // The RFC 3720 check value for the Castagnoli polynomial.
+  EXPECT_EQ(crc32c("123456789", 9), 0xE3069283u);
+  EXPECT_EQ(crc32c("", 0), 0u);
+  // 32 zero bytes, another published vector.
+  const std::string zeros(32, '\0');
+  EXPECT_EQ(crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+}
+
+TEST(Crc32c, SeedChainsAcrossSplits) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const std::uint32_t whole = crc32c(data.data(), data.size());
+  for (std::size_t cut : {std::size_t{0}, std::size_t{1}, std::size_t{7}, data.size()}) {
+    const std::uint32_t first = crc32c(data.data(), cut);
+    const std::uint32_t chained = crc32c(data.data() + cut, data.size() - cut, first);
+    EXPECT_EQ(chained, whole) << "cut at " << cut;
+  }
+}
+
+TEST(Crc32c, DetectsSingleBitFlip) {
+  std::string data(257, 'x');
+  const std::uint32_t clean = crc32c(data.data(), data.size());
+  data[100] ^= 0x01;
+  EXPECT_NE(crc32c(data.data(), data.size()), clean);
+}
+
+TEST(AtomicWrite, RoundTripsAndOverwrites) {
+  const std::string path = temp_path("roundtrip");
+  const std::string payload = "hello snapshot";
+  std::string error;
+  ASSERT_TRUE(atomic_write_file(path, payload.data(), payload.size(), &error)) << error;
+  std::string back;
+  ASSERT_TRUE(read_file(path, &back, &error)) << error;
+  EXPECT_EQ(back, payload);
+
+  const std::string second(100000, 'y');
+  ASSERT_TRUE(atomic_write_file(path, second.data(), second.size(), &error)) << error;
+  ASSERT_TRUE(read_file(path, &back, &error)) << error;
+  EXPECT_EQ(back, second);
+  ::unlink(path.c_str());
+}
+
+TEST(AtomicWrite, MissingDirectoryFailsWithError) {
+  std::string error;
+  EXPECT_FALSE(atomic_write_file("/nonexistent_dir_ccfsp/file", "x", 1, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ReadFile, MissingFileFailsWithError) {
+  std::string out, error;
+  EXPECT_FALSE(read_file(temp_path("never_written"), &out, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+/// Each injected writer fault must leave the destination exactly as it was
+/// (old contents or absent) and leave no temp litter behind.
+class AtomicWriteFaults : public ::testing::Test {
+ protected:
+  void TearDown() override { failpoint::disarm_all(); }
+
+  static void arm_throw(const char* site) {
+    failpoint::Spec s;
+    s.action = failpoint::Action::kThrowBadAlloc;
+    s.trigger = failpoint::Trigger::kOnHit;
+    s.n = 1;
+    failpoint::arm(site, s);
+  }
+};
+
+TEST_F(AtomicWriteFaults, TornWriteLeavesDestinationUntouched) {
+  const std::string path = temp_path("torn");
+  const std::string old_payload = "previous committed contents";
+  std::string error;
+  ASSERT_TRUE(atomic_write_file(path, old_payload.data(), old_payload.size(), &error));
+
+  arm_throw("snapshot.write_short");
+  const std::string next(4096, 'z');
+  EXPECT_FALSE(atomic_write_file(path, next.data(), next.size(), &error));
+  EXPECT_NE(error.find("injected"), std::string::npos) << error;
+
+  std::string back;
+  ASSERT_TRUE(read_file(path, &back, &error));
+  EXPECT_EQ(back, old_payload);
+  ::unlink(path.c_str());
+}
+
+TEST_F(AtomicWriteFaults, FsyncAndRenameFaultsFailCleanly) {
+  for (const char* site : {"snapshot.fsync", "snapshot.rename"}) {
+    const std::string path = temp_path(site);
+    arm_throw(site);
+    std::string error;
+    EXPECT_FALSE(atomic_write_file(path, "abc", 3, &error)) << site;
+    std::string back;
+    EXPECT_FALSE(read_file(path, &back, &error)) << site << ": destination must not exist";
+    failpoint::disarm_all();
+  }
+}
+
+TEST_F(AtomicWriteFaults, CorruptFaultCommitsFlippedBit) {
+  // snapshot.corrupt models storage that commits the WRONG bytes: the write
+  // succeeds, one mid-payload bit differs. Reader-side CRCs own detection.
+  const std::string path = temp_path("corrupt");
+  arm_throw("snapshot.corrupt");
+  const std::string payload(512, 'q');
+  std::string error;
+  ASSERT_TRUE(atomic_write_file(path, payload.data(), payload.size(), &error)) << error;
+  std::string back;
+  ASSERT_TRUE(read_file(path, &back, &error));
+  ASSERT_EQ(back.size(), payload.size());
+  EXPECT_NE(back, payload);
+  EXPECT_EQ(back[payload.size() / 2] ^ payload[payload.size() / 2], 0x01);
+  ::unlink(path.c_str());
+}
+
+TEST(RetryWrappers, FullReadWriteOverPipe) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const std::string msg = "wrapped";
+  EXPECT_TRUE(write_full(fds[1], msg.data(), msg.size()));
+  std::string buf(msg.size(), '\0');
+  EXPECT_TRUE(read_full(fds[0], buf.data(), buf.size()));
+  EXPECT_EQ(buf, msg);
+  ::close(fds[1]);
+  // Writer closed: a full-length read can no longer be satisfied.
+  EXPECT_FALSE(read_full(fds[0], buf.data(), buf.size()));
+  ::close(fds[0]);
+}
+
+}  // namespace
+}  // namespace ccfsp::ioutil
