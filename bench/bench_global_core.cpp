@@ -17,6 +17,8 @@
 //
 // --check turns the output into a gate:
 //   - every row: flat at least as fast as the reference build;
+//   - phil rows of size >= 10: flat >= 2x reference states/sec (the probe-
+//     wave floor — a within-run ratio, so it holds on any machine);
 //   - rows whose parallel build actually fanned out (levels_spawned > 0),
 //     when the machine has more than one hardware thread: best parallel
 //     throughput >= 0.9x flat.
@@ -184,7 +186,9 @@ int main(int argc, char** argv) {
       {"wave_chain", {10, 12, 14}, {6}},
       {"wave_tree", {12, 16, 20}, {6}},
       {"ring", {5, 6}, {4}},
-      {"phil", {10, 11, 12}, {6}},
+      // phil:10 rides in quick mode so the 2x flat-vs-reference floor below
+      // fires in CI's perf-smoke job, not just in full local runs.
+      {"phil", {10, 11, 12}, {6, 10}},
   };
 
   std::vector<Row> rows;
@@ -238,6 +242,16 @@ int main(int argc, char** argv) {
     for (const Row& r : rows) {
       if (r.flat_ms > r.reference_ms) {
         std::fprintf(stderr, "CHECK FAIL: %s:%zu flat (%.3fms) slower than reference (%.3fms)\n",
+                     r.family.c_str(), r.size, r.flat_ms, r.reference_ms);
+        ++failures;
+      }
+      // Probe-wave floor: on the synchronization-heavy phil family (size >=
+      // 10, where fixed overheads have amortized away) the wave-batched flat
+      // build must hold at least 2x the reference throughput. A within-run
+      // ratio, so the gate is machine-independent.
+      if (r.family == "phil" && r.size >= 10 && r.flat_ms > r.reference_ms / 2.0) {
+        std::fprintf(stderr,
+                     "CHECK FAIL: %s:%zu flat (%.3fms) below 2x reference (%.3fms)\n",
                      r.family.c_str(), r.size, r.flat_ms, r.reference_ms);
         ++failures;
       }

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdlib>
 #include <cstring>
 #include <deque>
 #include <map>
@@ -264,11 +265,16 @@ void expand_tuple(const FlatNet& fn, const std::vector<IdxRef>& idx,
         pscratch[ci.word] = base_i | t.set_i;
         const Packer::Coord cj = packer.coord[j];
         const std::uint32_t base_j = pscratch[cj.word] & cj.clear;  // sees i's patch
-        const std::uint64_t hi = h ^ t.zdelta ^ zob.key(j, qj);
+        // Row pointers hoisted into locals: emit's stores are uint32_t/
+        // uint64_t writes the compiler must assume alias the tables, so
+        // without these it re-loads zob.off[j] on every emitted edge.
+        const std::uint64_t* const zj = zob.keys.data() + zob.off[j];
+        const StateId* const tj = rj.targets;
+        const std::uint64_t hi = h ^ t.zdelta ^ zj[qj];
         for (std::uint32_t e = cell.first; e < cell.second; ++e) {
-          const StateId u = rj.targets[e];
+          const StateId u = tj[e];
           pscratch[cj.word] = base_j | ((u & cj.mask) << cj.shift);
-          emit(i, j, t.action, hi ^ zob.key(j, u));
+          emit(i, j, t.action, hi ^ zj[u]);
         }
         // Restore j's coordinate first, then i's whole word — the order makes
         // the shared-word case (base_j already carries i's patch) come out
@@ -285,32 +291,46 @@ void expand_tuple(const FlatNet& fn, const std::vector<IdxRef>& idx,
 /// emission loop pays one capacity check per edge instead of three
 /// std::vector bookkeeping updates.
 struct EdgeCols {
-  std::unique_ptr<std::uint32_t[]> tgt, act, pair;
+  // realloc-backed columns: the arena hint clamps low on purpose, so big
+  // models grow these from ~1K to millions of edges — with realloc, glibc
+  // extends the large mmap'd blocks in place (mremap) instead of copying
+  // ~2x the final column bytes the way new[]+memcpy doubling would.
+  struct Buf {
+    std::uint32_t* p = nullptr;
+    ~Buf() { std::free(p); }
+    Buf() = default;
+    Buf(const Buf&) = delete;
+    Buf& operator=(const Buf&) = delete;
+    Buf(Buf&& o) noexcept : p(o.p) { o.p = nullptr; }
+    Buf& operator=(Buf&& o) noexcept {
+      std::swap(p, o.p);
+      return *this;
+    }
+    std::uint32_t* get() const { return p; }
+    void extend(std::size_t ncap) {
+      void* np = std::realloc(p, ncap * sizeof(std::uint32_t));
+      if (np == nullptr) throw std::bad_alloc();
+      p = static_cast<std::uint32_t*>(np);
+    }
+  };
+  Buf tgt, act, pair;
   std::size_t n = 0, cap = 0;
 
   void reserve(std::size_t need) {
     if (need <= cap) return;
     std::size_t ncap = cap == 0 ? 1024 : cap * 2;
     while (ncap < need) ncap *= 2;
-    std::unique_ptr<std::uint32_t[]> nt(new std::uint32_t[ncap]);
-    std::unique_ptr<std::uint32_t[]> na(new std::uint32_t[ncap]);
-    std::unique_ptr<std::uint32_t[]> np(new std::uint32_t[ncap]);
-    if (n != 0) {
-      std::memcpy(nt.get(), tgt.get(), n * sizeof(std::uint32_t));
-      std::memcpy(na.get(), act.get(), n * sizeof(std::uint32_t));
-      std::memcpy(np.get(), pair.get(), n * sizeof(std::uint32_t));
-    }
-    tgt = std::move(nt);
-    act = std::move(na);
-    pair = std::move(np);
+    tgt.extend(ncap);
+    act.extend(ncap);
+    pair.extend(ncap);
     cap = ncap;
   }
 
   void push(std::uint32_t target, std::uint32_t action, std::uint32_t movers) {
     if (n == cap) reserve(n + 1);
-    tgt[n] = target;
-    act[n] = action;
-    pair[n] = movers;
+    tgt.p[n] = target;
+    act.p[n] = action;
+    pair.p[n] = movers;
     ++n;
   }
 };
@@ -367,26 +387,66 @@ GlobalMachine build_sequential(const Network& net, const Budget& budget,
   EdgeCols cols;
   cols.reserve(expected * 4);
 
-  // Successors pass through a small FIFO ring: each emit snapshots the
-  // packed key, prefetches its hash slot, and the intern happens K entries
-  // later (still in emission order, so the numbering is untouched) — by then
-  // the slot's cache line is usually in flight or resident. Entries past the
-  // half-way mark get a second-stage payload prefetch (the memcmp target).
-  // Networks too wide for the ring's inline key storage intern directly.
-  constexpr unsigned kRing = 32;     // power of two
-  constexpr unsigned kRingMaxW = 8;  // packed words storable inline
-  struct Pending {
-    std::uint32_t w[kRingMaxW];
-    std::uint64_t h;
-    ActionId a;
-    std::uint16_t i, j;
-  };
-  Pending ring[kRing];
-  unsigned rhead = 0, rcount = 0;
+  // Successors are staged into a *wave*: a contiguous SoA buffer of packed
+  // keys and hashes filled across many source states, then resolved by one
+  // TupleArena::intern_batch call that prefetches every home slot before any
+  // probe runs. The wave spans state boundaries, so the prefetch pipeline is
+  // hundreds of keys deep instead of one state's out-degree — that depth is
+  // what hides the table's cache misses on models past the LLC. Resolution
+  // order equals emission order, so the dense numbering (and with it every
+  // bit-identity oracle) is exactly the one-at-a-time loop's. The two edge
+  // columns that don't depend on the target id (action, pair) are written
+  // straight into the CSR at their final offsets at emit time, and
+  // intern_batch writes resolved ids straight into the target column — no
+  // bounce buffers, no bulk copy at flush. Per-source edge counts are staged
+  // alongside so the offsets column is rebuilt at flush time.
+  constexpr std::size_t kWaveKeys = 256;
+
+  // Exact bound on one state's successor count, from the static structure:
+  // per process the widest fan-out any local state contributes (tau moves
+  // count 1, handshakes the largest partner cell for that slot), summed.
+  // Sized to it, the wave buffers never reallocate, so the emit path below
+  // is pure stores through hoisted pointers — no capacity check per edge.
+  std::size_t max_out = 0;
+  for (std::uint32_t i = 0; i < m; ++i) {
+    std::size_t widest = 0;
+    const std::size_t nq = net.process(i).num_states();
+    for (std::size_t q = 0; q < nq; ++q) {
+      const std::uint32_t bi = procs.base[i] + static_cast<std::uint32_t>(q);
+      std::size_t s = 0;
+      for (std::uint32_t k = procs.off[bi]; k < procs.off[bi + 1]; ++k) {
+        const FlatTr& t = procs.tr[k];
+        if (t.partner == i) {
+          ++s;
+          continue;
+        }
+        const IdxRef& rj = idx[t.partner];
+        const std::size_t nqj = net.process(t.partner).num_states();
+        std::size_t cmax = 0;
+        for (std::size_t qj = 0; qj < nqj; ++qj) {
+          const auto cell = rj.cells[qj * rj.slots + t.slot];
+          cmax = std::max(cmax, static_cast<std::size_t>(cell.second - cell.first));
+        }
+        s += cmax;
+      }
+      widest = std::max(widest, s);
+    }
+    max_out += widest;
+  }
+
+  const std::size_t wave_cap = kWaveKeys + max_out;
+  struct Wave {
+    std::vector<std::uint32_t> words;    // n * W packed successor keys
+    std::vector<std::uint64_t> hash;     // n Zobrist hashes
+    std::vector<std::uint32_t> src_len;  // per staged source: its edge count
+    std::size_t n = 0;                   // staged keys (logical size)
+  } wave;
+  wave.words.resize(wave_cap * W);
+  wave.hash.resize(wave_cap);
+  wave.src_len.reserve(2 * kWaveKeys);
 
   std::vector<StateId> cur_tuple(m);
-  // Sized for the fixed-width ring memcpy below, not just for W.
-  std::vector<std::uint32_t> pscratch(std::max<std::uint32_t>(W, kRingMaxW), 0);
+  std::vector<std::uint32_t> pscratch(W, 0);
   std::uint32_t start_cur = 0;
   if (ckpt != nullptr && ckpt->resume != nullptr) {
     // Resume: re-intern the image's tuples in id order. The arena assigns
@@ -434,80 +494,125 @@ GlobalMachine build_sequential(const Network& net, const Budget& budget,
     arena.intern(pscratch.data(), zob.of_tuple(cur_tuple.data(), m));
     budget.charge(1, bytes_per_state, "build_global");
     metrics::add(metrics::Counter::kGlobalStates);
+    // Level 0 is the initial state alone — counted here so the sequential
+    // build reports the same global.levels total as the parallel one (which
+    // counts every non-empty frontier it processes).
+    if (metrics::enabled()) {
+      metrics::add(metrics::Counter::kGlobalLevels);
+      metrics::record_max(metrics::Counter::kGlobalFrontierPeak, 1);
+    }
   }
 
-  // Home-slot view hoisted out of the emit path; refreshed after any fresh
-  // intern (only a fresh insert can grow the table).
-  const std::uint64_t* sl_data = arena.slot_data();
-  std::size_t sl_mask = arena.slot_mask();
+  // Gather-free edge emission: the action and mover-pair columns are staged
+  // *directly* into the CSR at their final offsets (the wave only buffers
+  // what interning needs — keys and hashes), and intern_batch writes the
+  // resolved ids straight into the target column. ensure_stage keeps one
+  // wave's worth of headroom reserved so the emit path never checks
+  // capacity; ca/cp are re-hoisted whenever the reserve reallocates.
+  std::uint32_t* ca = nullptr;
+  std::uint32_t* cp = nullptr;
+  auto ensure_stage = [&] {
+    cols.reserve(cols.n + wave_cap);
+    ca = cols.act.get();
+    cp = cols.pair.get();
+  };
+  ensure_stage();
 
-  auto drain_one = [&] {
-    Pending& p = ring[rhead++ & (kRing - 1)];
-    --rcount;
-    auto [target, fresh] = arena.intern(p.w, p.h);
-    if (fresh) {
-      budget.charge(1, bytes_per_state, "build_global");
-      sl_data = arena.slot_data();
-      sl_mask = arena.slot_mask();
+  auto flush_wave = [&] {
+    const std::size_t n = wave.n;
+    if (n != 0) {
+      // Resolved ids land in the reserved tgt stripe — no bounce buffer.
+      const TupleArena::BatchStats st = arena.intern_batch(
+          wave.words.data(), wave.hash.data(), n, cols.tgt.get() + cols.n);
+      if (st.fresh != 0) {
+        // Same totals as the one-at-a-time loop, coarser trip points — the
+        // precedent the parallel build's per-level charge set.
+        budget.charge(st.fresh, st.fresh * bytes_per_state, "build_global");
+      }
+      cols.n += n;
+      if (metrics::enabled()) {
+        metrics::add(metrics::Counter::kGlobalStates, st.fresh);
+        metrics::add(metrics::Counter::kGlobalEdges, n);
+        metrics::add(metrics::Counter::kGlobalRingInterns, n);
+        metrics::add(metrics::Counter::kInternWaves);
+        metrics::add(metrics::Counter::kInternWaveKeys, n);
+        metrics::add(metrics::Counter::kInternWaveConflicts, st.conflicts);
+      }
     }
-    cols.push(target, p.a, (static_cast<std::uint32_t>(p.i) << 16) | p.j);
+    // Offsets for every source staged in this wave (zero-successor states
+    // included): offsets.back() == cols.n - n held before the append, so the
+    // running sum lands exactly on the new cols.n.
+    std::uint32_t acc = static_cast<std::uint32_t>(cols.n - n);
+    for (const std::uint32_t c : wave.src_len) {
+      acc += c;
+      offsets.push_back(acc);
+    }
+    wave.n = 0;
+    wave.src_len.clear();
+    ensure_stage();
   };
 
-  for (std::uint32_t cur = start_cur; cur < arena.size(); ++cur) {
+  std::uint32_t cur = start_cur;
+  std::size_t level_end = arena.size();
+  // Staging pointers, hoisted: the wave buffers are sized once and never
+  // reallocate, so the emit lambda writes through them unconditionally. The
+  // edge columns (ca/cp) are refreshed by ensure_stage whenever cols grows.
+  std::uint32_t* const ww = wave.words.data();
+  std::uint64_t* const wh = wave.hash.data();
+  for (;;) {
+    if (cur >= level_end) {
+      // BFS level boundary: everything below level_end is expanded and
+      // staged; completing the wave materializes the whole next level.
+      // (On resume the restored prefix counts as one level — global.levels
+      // is an execution-shape counter, not part of the machine.)
+      flush_wave();
+      if (cur == arena.size()) break;  // wave added nothing: build complete
+      if (metrics::enabled()) {
+        metrics::add(metrics::Counter::kGlobalLevels);
+        metrics::record_max(metrics::Counter::kGlobalFrontierPeak, arena.size() - level_end);
+      }
+      level_end = arena.size();
+    }
     // Injection seam: per expanded state, NOT per edge — the disarmed check
     // must stay invisible on the phil:12 profile (bench_failpoint.cpp).
-    // Metrics follow the same rule: per-state deltas, never per-edge adds.
+    // Metrics follow the same rule: per-wave deltas, never per-edge adds.
     failpoint::hit("global.intern_ring");
-    const std::size_t states_before = arena.size();
-    const std::size_t edges_before = cols.n;
-    // Copy: the arena's packed block may reallocate as we intern successors.
+    // Copy: the arena's packed block may reallocate as the wave interns.
     std::memcpy(pscratch.data(), arena[cur], W * sizeof(std::uint32_t));
     packer.unpack(pscratch.data(), cur_tuple.data());
     const std::uint64_t cur_hash = arena.hash_of(cur);
-    if (W <= kRingMaxW) {
-      expand_tuple(procs, idx, packer, zob, cur_tuple.data(), cur_hash, m, pscratch.data(),
-                   [&](std::uint32_t i, std::uint32_t j, ActionId a, std::uint64_t h) {
-                     if (rcount == kRing) drain_one();
-                     Pending& p = ring[(rhead + rcount++) & (kRing - 1)];
-                     // Fixed-width copy: one unrolled 32-byte move beats a
-                     // variable-length memcpy; pscratch is padded to kRingMaxW.
-                     std::memcpy(p.w, pscratch.data(), sizeof(p.w));
-                     p.h = h;
-                     p.a = a;
-                     p.i = static_cast<std::uint16_t>(i);
-                     p.j = static_cast<std::uint16_t>(j);
-                     __builtin_prefetch(sl_data + (h & sl_mask));
-                     if (rcount > kRing / 2) {
-                       arena.prefetch_payload(
-                           ring[(rhead + rcount - kRing / 2) & (kRing - 1)].h);
-                     }
-                   });
-      while (rcount > 0) drain_one();
-    } else {
-      expand_tuple(procs, idx, packer, zob, cur_tuple.data(), cur_hash, m, pscratch.data(),
-                   [&](std::uint32_t i, std::uint32_t j, ActionId a, std::uint64_t h) {
-                     auto [target, fresh] = arena.intern(pscratch.data(), h);
-                     if (fresh) budget.charge(1, bytes_per_state, "build_global");
-                     cols.push(target, a, (i << 16) | j);
-                   });
-    }
-    offsets.push_back(static_cast<std::uint32_t>(cols.n));
-    if (metrics::enabled()) {
-      const std::uint64_t edge_delta = cols.n - edges_before;
-      metrics::add(metrics::Counter::kGlobalStates, arena.size() - states_before);
-      metrics::add(metrics::Counter::kGlobalEdges, edge_delta);
-      // Every successor of this state went through the prefetch ring iff the
-      // network fit the ring's inline key storage.
-      if (W <= kRingMaxW) metrics::add(metrics::Counter::kGlobalRingInterns, edge_delta);
-    }
+    const std::size_t staged_before = wave.n;
+    const std::uint32_t* const ps = pscratch.data();
+    // wn lives in a register across the whole expansion: wave.n is a struct
+    // member the compiler would reload per edge (wh's uint64_t stores may
+    // alias it). Same story for the cols.n-offset column bases.
+    std::size_t wn = staged_before;
+    std::uint32_t* const cab = ca + cols.n;
+    std::uint32_t* const cpb = cp + cols.n;
+    expand_tuple(procs, idx, packer, zob, cur_tuple.data(), cur_hash, m, pscratch.data(),
+                 [&](std::uint32_t i, std::uint32_t j, ActionId a, std::uint64_t h) {
+                   // Pure stores: wave_cap bounds this state's fan-out, so no
+                   // buffer can need growth mid-state (flush runs below).
+                   const std::size_t at = wn++;
+                   std::uint32_t* const wp = ww + at * W;
+                   for (std::uint32_t k = 0; k < W; ++k) wp[k] = ps[k];
+                   wh[at] = h;
+                   cab[at] = a;
+                   cpb[at] = (i << 16) | j;
+                 });
+    wave.n = wn;
+    wave.src_len.push_back(static_cast<std::uint32_t>(wn - staged_before));
+    ++cur;
+    if (wave.n >= kWaveKeys) flush_wave();
     if (ckpt != nullptr && ckpt->on_checkpoint && ckpt->interval_states != 0 &&
-        (static_cast<std::size_t>(cur) + 1) % ckpt->interval_states == 0) {
-      // State boundary: the ring is drained and offsets cover 0..cur, so the
-      // image is self-consistent by construction. The copies are the price
-      // of durability and scale with what is being made durable.
+        static_cast<std::size_t>(cur) % ckpt->interval_states == 0) {
+      // State boundary: flush first so offsets cover every expanded state
+      // and the image is self-consistent by construction. The copies are the
+      // price of durability and scale with what is being made durable.
+      flush_wave();
       GlobalBuildProgress progress;
       progress.words = W;
-      progress.cursor = cur + 1;
+      progress.cursor = cur;
       progress.tuple_words.assign(arena[0], arena[0] + arena.size() * W);
       progress.edge_target.assign(cols.tgt.get(), cols.tgt.get() + cols.n);
       progress.edge_action.assign(cols.act.get(), cols.act.get() + cols.n);
@@ -563,10 +668,27 @@ GlobalMachine build_parallel(const Network& net, const Budget& budget, unsigned 
   std::vector<std::vector<PEdge>> worker_edges(T);
   std::vector<std::vector<std::uint32_t>> worker_pscratch(T);
   std::vector<std::vector<StateId>> worker_tuple(T);
+  // Worker-local per-shard staging: successors accumulate by home shard and
+  // are interned as one intern_batch per shard per flush — one lock
+  // acquisition per wave instead of one per edge, and the batch's prefetch
+  // pipeline runs under the lock where the misses actually happen. Edges are
+  // recorded at emit time with the target patched in at flush (runs index
+  // into the edge vector by position, so late patching is invisible to the
+  // renumber pass; aborted levels discard the vectors wholesale).
+  struct ShardStage {
+    std::vector<std::uint32_t> words;     // n * W packed keys
+    std::vector<std::uint64_t> hash;      // n hashes
+    std::vector<std::size_t> edge_idx;    // n indices into the worker's edges
+    std::vector<std::uint32_t> ids;       // intern_batch output
+    std::vector<std::uint8_t> fresh;      // intern_batch fresh flags
+  };
+  std::vector<std::vector<ShardStage>> worker_stage(T);
   for (unsigned w = 0; w < T; ++w) {
     worker_pscratch[w].assign(W, 0);
     worker_tuple[w].assign(m, 0);
+    worker_stage[w].resize(T);
   }
+  constexpr std::size_t kWaveKeys = 256;  // staged keys per worker before a flush
 
   auto provisional = [](std::uint32_t shard, std::uint32_t local) {
     return (static_cast<std::uint64_t>(shard) << 32) | local;
@@ -617,6 +739,46 @@ GlobalMachine build_parallel(const Network& net, const Budget& budget, unsigned 
       std::vector<std::uint32_t>& pscratch = worker_pscratch[w];
       std::vector<StateId>& tuple = worker_tuple[w];
       std::vector<PEdge>& edges = worker_edges[w];
+      std::vector<ShardStage>& stage = worker_stage[w];
+      std::size_t staged_total = 0;
+
+      // Resolve one shard's staged keys under its lock, then patch the
+      // recorded edges' provisional targets. Shards are flushed one at a
+      // time (never holding two locks), so flushes cannot deadlock.
+      auto flush_shard = [&](std::uint32_t s) {
+        ShardStage& st = stage[s];
+        const std::size_t n = st.hash.size();
+        if (n == 0) return;
+        st.ids.resize(n);
+        st.fresh.resize(n);
+        TupleArena::BatchStats bs;
+        Shard& shard = shards[s];
+        {
+          std::lock_guard<std::mutex> lock(shard.mu);
+          bs = shard.arena.intern_batch(st.words.data(), st.hash.data(), n, st.ids.data(),
+                                        st.fresh.data());
+          for (std::size_t k = 0; k < n; ++k) {
+            if (st.fresh[k] != 0) shard.fresh.push_back(st.ids[k]);
+          }
+        }
+        if (bs.fresh != 0) level_fresh.fetch_add(bs.fresh, std::memory_order_relaxed);
+        for (std::size_t k = 0; k < n; ++k) {
+          edges[st.edge_idx[k]].ptarget = provisional(s, st.ids[k]);
+        }
+        if (metrics::enabled()) {
+          metrics::add(metrics::Counter::kInternWaves);
+          metrics::add(metrics::Counter::kInternWaveKeys, n);
+          metrics::add(metrics::Counter::kInternWaveConflicts, bs.conflicts);
+        }
+        st.words.clear();
+        st.hash.clear();
+        st.edge_idx.clear();
+      };
+      auto flush_all = [&] {
+        for (std::uint32_t s = 0; s < T; ++s) flush_shard(s);
+        staged_total = 0;
+      };
+
       std::size_t emitted = 0;
       std::size_t c;
       while ((c = next_chunk.fetch_add(1, std::memory_order_relaxed)) < num_chunks) {
@@ -635,19 +797,16 @@ GlobalMachine build_parallel(const Network& net, const Budget& budget, unsigned 
               procs, idx, packer, zob, tuple.data(), frontier_hashes[f], m, pscratch.data(),
               [&](std::uint32_t i, std::uint32_t j, ActionId a, std::uint64_t h) {
                 const std::uint32_t sh = static_cast<std::uint32_t>(h % T);
-                Shard& shard = shards[sh];
-                std::uint32_t local;
-                bool fresh;
-                {
-                  std::lock_guard<std::mutex> lock(shard.mu);
-                  std::tie(local, fresh) = shard.arena.intern(pscratch.data(), h);
-                  if (fresh) shard.fresh.push_back(local);
-                }
-                if (fresh) level_fresh.fetch_add(1, std::memory_order_relaxed);
-                edges.push_back({provisional(sh, local), i, j, a});
+                ShardStage& st = stage[sh];
+                st.words.insert(st.words.end(), pscratch.data(), pscratch.data() + W);
+                st.hash.push_back(h);
+                st.edge_idx.push_back(edges.size());
+                edges.push_back({0, i, j, a});  // target patched at flush
+                ++staged_total;
                 if ((++emitted & 1023u) == 0 && !stop.load(std::memory_order_relaxed)) {
                   // Cooperative early-out: the level result is discarded
-                  // on abort, so a partial expansion is harmless.
+                  // on abort (stop always ends in a throw on the build
+                  // thread), so partially staged waves are harmless.
                   if (states_total + level_fresh.load(std::memory_order_relaxed) >
                           max_states ||
                       budget.probe() != BudgetDimension::kNone) {
@@ -661,8 +820,10 @@ GlobalMachine build_parallel(const Network& net, const Budget& budget, unsigned 
           metrics::add(metrics::Counter::kGlobalEdges, run.count);
           shards[src >> 32].runs[static_cast<std::uint32_t>(src)] = run;
           if (stop.load(std::memory_order_relaxed)) return;
+          if (staged_total >= kWaveKeys) flush_all();
         }
       }
+      flush_all();
     } catch (...) {
       {
         std::lock_guard<std::mutex> lock(worker_error_mu);

@@ -22,29 +22,128 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
+#include <new>
 #include <span>
 #include <utility>
 #include <vector>
 
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
 #include "util/failpoint.hpp"
+#include "util/simd.hpp"
 
 namespace ccfsp {
 
-/// 64-bit hash of a word span (multiply-xor per word, murmur-style finalizer).
-/// The length participates so that [1,2]+[3] and [1]+[2,3] collide no more
-/// often than random spans do.
-inline std::uint64_t hash_words(const std::uint32_t* words, std::size_t n) {
-  std::uint64_t h = 0x9e3779b97f4a7c15ull ^ (n * 0xff51afd7ed558ccdull);
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= words[i];
-    h *= 0xff51afd7ed558ccdull;
-    h = (h << 27) | (h >> 37);
+/// Zero-initialized block backing an open-addressing slot table. Small
+/// tables sit on the heap; once a table reaches kHugeBytes the block is
+/// mmap'd and tagged MADV_HUGEPAGE instead. A probe is a random access into
+/// the whole table, so past a few MB nearly every lookup costs a dTLB miss
+/// on 4K pages — 2MB pages put the entire table behind a handful of TLB
+/// entries. The mmap path also gets its zero pages from the kernel lazily,
+/// which turns the eager memset a vector would do on each 4x growth into
+/// first-touch faults spread across the rehash.
+template <typename Word>
+class SlotBlock {
+ public:
+  SlotBlock() = default;
+  explicit SlotBlock(std::size_t n) { reset(n); }
+  ~SlotBlock() { release(); }
+  SlotBlock(const SlotBlock&) = delete;
+  SlotBlock& operator=(const SlotBlock&) = delete;
+  SlotBlock(SlotBlock&& o) noexcept { swap(o); }
+  SlotBlock& operator=(SlotBlock&& o) noexcept {
+    swap(o);
+    return *this;
   }
-  h ^= h >> 33;
-  h *= 0xc4ceb9fe1a85ec53ull;
-  h ^= h >> 33;
-  return h;
+
+  /// Discard the current block and allocate a fresh zeroed one. The new
+  /// block is acquired before the old one is released, so a std::bad_alloc
+  /// leaves the current contents untouched (strong guarantee).
+  void reset(std::size_t n) {
+    SlotBlock next;
+    next.acquire(n);
+    swap(next);
+  }
+
+  void swap(SlotBlock& o) noexcept {
+    std::swap(p_, o.p_);
+    std::swap(n_, o.n_);
+    std::swap(mapped_, o.mapped_);
+  }
+
+  Word* data() { return p_; }
+  const Word* data() const { return p_; }
+  std::size_t size() const { return n_; }
+  Word& operator[](std::size_t i) { return p_[i]; }
+  const Word& operator[](std::size_t i) const { return p_[i]; }
+  const Word* begin() const { return p_; }
+  const Word* end() const { return p_ + n_; }
+
+ private:
+  static constexpr std::size_t kHugeBytes = std::size_t{2} << 20;
+
+  void acquire(std::size_t n) {
+    const std::size_t bytes = n * sizeof(Word);
+#if defined(__linux__)
+    if (bytes >= kHugeBytes) {
+      void* p = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_PRIVATE | MAP_ANONYMOUS,
+                       -1, 0);
+      if (p == MAP_FAILED) throw std::bad_alloc();
+      ::madvise(p, bytes, MADV_HUGEPAGE);  // best effort; 4K pages still work
+      p_ = static_cast<Word*>(p);
+      n_ = n;
+      mapped_ = true;
+      return;
+    }
+#endif
+    p_ = static_cast<Word*>(std::calloc(n, sizeof(Word)));
+    if (p_ == nullptr) throw std::bad_alloc();
+    n_ = n;
+    mapped_ = false;
+  }
+
+  void release() noexcept {
+    if (p_ == nullptr) return;
+#if defined(__linux__)
+    if (mapped_) {
+      ::munmap(p_, n_ * sizeof(Word));
+      p_ = nullptr;
+      n_ = 0;
+      return;
+    }
+#endif
+    std::free(p_);
+    p_ = nullptr;
+    n_ = 0;
+  }
+
+  Word* p_ = nullptr;
+  std::size_t n_ = 0;
+  bool mapped_ = false;
+};
+
+/// 64-bit hash of a word span. The canonical definition lives in the simd
+/// layer (simd::hash_tuples is its batched form and must match it bit for
+/// bit); this alias keeps the interners' historical spelling.
+inline std::uint64_t hash_words(const std::uint32_t* words, std::size_t n) {
+  return simd::hash_words(words, n);
+}
+
+/// Payload compare for interner probes: spans wide enough to amortize a
+/// kernel dispatch go through the simd layer (one 256-bit xor+testz per 8
+/// words on the AVX2 path); narrow spans — the packed global-machine tuples
+/// are 1-3 words — use a branchless xor-accumulate loop. (Not memcmp: with
+/// a runtime length that's a real library call, and the probe loop makes
+/// one per duplicate successor — millions on a big build.)
+inline bool intern_keys_equal(const std::uint32_t* a, const std::uint32_t* b, std::size_t n) {
+  if (n >= 8) return simd::equal_u32(a, b, n);
+  std::uint32_t d = 0;
+  for (std::size_t k = 0; k < n; ++k) d |= a[k] ^ b[k];
+  return d == 0;
 }
 
 /// Interns fixed-width tuples of 32-bit words. Ids are dense and assigned in
@@ -62,7 +161,7 @@ class TupleArena {
   explicit TupleArena(std::size_t width, std::size_t expected = 64) : width_(width) {
     std::size_t cap = 16;
     while (cap < expected * 3) cap <<= 1;  // keep load under 1/3
-    slots_.assign(cap, 0);
+    slots_.reset(cap);
     data_.reserve(expected * width_);
   }
 
@@ -74,38 +173,119 @@ class TupleArena {
   /// Same, with a caller-supplied hash (all interns into one arena must use
   /// the same hash function).
   std::pair<std::uint32_t, bool> intern(const std::uint32_t* tuple, std::uint64_t h) {
-    // Grow *before* touching anything: a throwing rehash (real bad_alloc or
-    // an injected one) then leaves the arena byte-identical to before the
-    // call, and the insert below always has a slot free. Load is capped at
-    // 1/3 and growth is 4x: the intern loop is probe-bound (every fresh
-    // tuple walks a cluster before finding its empty slot), and the deeper
-    // table both shortens clusters and quarters the number of whole-table
-    // rehash sweeps on a growing state space.
-    if ((count_ + 1) * 3 >= slots_.size()) grow();
-    std::size_t mask = slots_.size() - 1;
-    const std::uint64_t fp = h >> 32;
-    for (std::size_t probe = h & mask;; probe = (probe + 1) & mask) {
-      std::uint64_t slot = slots_[probe];
-      if ((slot & 0xffffffffull) == 0) {
-        const std::uint32_t id = static_cast<std::uint32_t>(count_);
-        data_.insert(data_.end(), tuple, tuple + width_);  // append: strong
-        try {
-          hashes_.push_back(h);
-        } catch (...) {
-          data_.resize(data_.size() - width_);  // roll the payload back
-          throw;
-        }
-        ++count_;
-        slots_[probe] = (fp << 32) | (id + 1);
-        return {id, true};
-      }
-      if ((slot >> 32) != fp) continue;  // fingerprint miss: skip the payload
-      const std::uint32_t id = static_cast<std::uint32_t>(slot & 0xffffffffull) - 1;
-      if (std::memcmp(data_.data() + static_cast<std::size_t>(id) * width_, tuple,
-                      width_ * sizeof(std::uint32_t)) == 0) {
-        return {id, false};
-      }
+    std::uint32_t conflicts = 0;
+    return intern_probe<false>(tuple, h, conflicts);
+  }
+
+  /// Per-wave statistics from intern_batch. `conflicts` counts keys whose
+  /// home slot held a different entry (resolution took more than one probe
+  /// step) — the table-pressure signal behind the intern.wave_conflicts
+  /// counter.
+  struct BatchStats {
+    std::uint32_t fresh = 0;
+    std::uint32_t conflicts = 0;
+  };
+
+  /// Intern `n` tuples (each exactly width() words, packed back to back in
+  /// `keys`) with caller-supplied hashes. Exactly equivalent to calling
+  /// intern(keys + i*width, hashes[i]) in ascending i — same dense ids, same
+  /// growth points, same failpoint hits, same strong guarantee per key (a
+  /// throw on key k leaves keys [0, k) interned and the arena consistent) —
+  /// but software-pipelined: every key's home-slot cache line is prefetched
+  /// up front, and candidate payloads are prefetched a few keys ahead of
+  /// their probe, so the wave overlaps the memory latency the one-at-a-time
+  /// loop pays serially. out_ids[i] receives the id; out_fresh[i] (when
+  /// non-null) 1/0 for fresh/seen.
+  BatchStats intern_batch(const std::uint32_t* keys, const std::uint64_t* hashes,
+                          std::size_t n, std::uint32_t* out_ids,
+                          std::uint8_t* out_fresh = nullptr) {
+    BatchStats st;
+    {
+      // Wave 1: home slots. A mid-batch grow invalidates these hints (the
+      // resolve loop re-reads the table, so only the overlap is lost).
+      const std::uint64_t* slots = slots_.data();
+      const std::size_t mask = slots_.size() - 1;
+      for (std::size_t i = 0; i < n; ++i) __builtin_prefetch(&slots[hashes[i] & mask]);
     }
+    // Wave 2: resolve in key order. The payload hint runs a few keys ahead:
+    // by then the home slot is resident (wave 1), so peeking it to find the
+    // candidate payload is cheap, and the payload line arrives by probe time.
+    //
+    // The probe below is intern_probe<true> hand-inlined with the table view
+    // (slot block, mask, payload base, count) held in locals: the resolve
+    // loop's own stores make the compiler re-load those members on every key
+    // if they live behind `this`. Any change to the probe or its growth
+    // discipline must be mirrored in intern_probe — the contract above (same
+    // growth points, same failpoint hits as the scalar loop) is load-bearing
+    // for the failpoint property tests.
+    constexpr std::size_t kPayloadLead = 8;
+    const std::size_t w = width_;
+    std::uint64_t* slots = slots_.data();
+    std::size_t nslots = slots_.size();
+    std::size_t mask = nslots - 1;
+    const std::uint32_t* payload = data_.data();
+    std::size_t cnt = count_;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i + kPayloadLead < n) prefetch_payload(hashes[i + kPayloadLead]);
+      const std::uint64_t h = hashes[i];
+      const std::uint32_t* const key = keys + i * w;
+      // Pre-grow exactly like the scalar loop: checked per key, duplicate or
+      // not, so an injected grow failure trips at the same key index.
+      if ((cnt + 1) * 3 >= nslots) {
+        grow();
+        slots = slots_.data();
+        nslots = slots_.size();
+        mask = nslots - 1;
+      }
+      const std::uint64_t fp = h >> 32;
+      bool collided = false;
+      std::uint32_t id;
+      std::uint8_t fresh;
+      for (std::size_t probe = h & mask;; probe = (probe + 1) & mask) {
+        const std::uint64_t slot = slots[probe];
+        if ((slot & 0xffffffffull) == 0) {
+          id = static_cast<std::uint32_t>(cnt);
+          data_.insert(data_.end(), key, key + w);  // append: strong
+          try {
+            hashes_.push_back(h);
+          } catch (...) {
+            data_.resize(data_.size() - w);  // roll the payload back
+            throw;
+          }
+          count_ = ++cnt;
+          slots[probe] = (fp << 32) | (id + 1);
+          payload = data_.data();  // append may have moved the block
+          fresh = 1;
+          ++st.fresh;
+          break;
+        }
+        if ((slot >> 32) != fp) {  // fingerprint miss: skip the payload
+          collided = true;
+          continue;
+        }
+        const std::uint32_t cand = static_cast<std::uint32_t>(slot & 0xffffffffull) - 1;
+        if (intern_keys_equal(payload + static_cast<std::size_t>(cand) * w, key, w)) {
+          id = cand;
+          fresh = 0;
+          break;
+        }
+        collided = true;
+      }
+      if (collided) ++st.conflicts;
+      out_ids[i] = id;
+      if (out_fresh != nullptr) out_fresh[i] = fresh;
+    }
+    return st;
+  }
+
+  /// Batch intern without precomputed hashes: the fingerprint wave runs
+  /// through the simd::hash_tuples kernel first (bit-identical to hash_words
+  /// on every dispatch path), then resolves as above.
+  BatchStats intern_batch(const std::uint32_t* keys, std::size_t n, std::uint32_t* out_ids,
+                          std::uint8_t* out_fresh = nullptr) {
+    hash_scratch_.resize(n);
+    simd::hash_tuples(keys, width_, n, hash_scratch_.data());
+    return intern_batch(keys, hash_scratch_.data(), n, out_ids, out_fresh);
   }
 
   /// Hint that intern(tuple, h) is imminent: pull the home slot's cache line
@@ -156,17 +336,67 @@ class TupleArena {
     std::vector<std::uint32_t> out = std::move(data_);
     data_.clear();
     hashes_.clear();
-    slots_.assign(16, 0);
+    slots_.reset(16);
     count_ = 0;
     return out;
   }
 
  private:
+  /// The probe loop shared by intern() and intern_batch(). kCount statically
+  /// gates the conflict bookkeeping so the single-key path pays nothing for
+  /// it. Grows lazily exactly like the historical intern(): batch callers
+  /// hit the same grow() points (and the same injected failures) as the
+  /// equivalent scalar loop.
+  template <bool kCount>
+  std::pair<std::uint32_t, bool> intern_probe(const std::uint32_t* tuple, std::uint64_t h,
+                                              std::uint32_t& conflicts) {
+    // Grow *before* touching anything: a throwing rehash (real bad_alloc or
+    // an injected one) then leaves the arena byte-identical to before the
+    // call, and the insert below always has a slot free. Load is capped at
+    // 1/3 and growth is 2x: clusters stay short at that load, and doubling
+    // (rather than quadrupling) keeps the final table within one size class
+    // of what the state count needs — the probe loop is cache/TLB-miss
+    // bound, so on big models halving the table's footprint buys more than
+    // fewer rehash sweeps would.
+    if ((count_ + 1) * 3 >= slots_.size()) grow();
+    std::size_t mask = slots_.size() - 1;
+    const std::uint64_t fp = h >> 32;
+    bool collided = false;
+    for (std::size_t probe = h & mask;; probe = (probe + 1) & mask) {
+      std::uint64_t slot = slots_[probe];
+      if ((slot & 0xffffffffull) == 0) {
+        const std::uint32_t id = static_cast<std::uint32_t>(count_);
+        data_.insert(data_.end(), tuple, tuple + width_);  // append: strong
+        try {
+          hashes_.push_back(h);
+        } catch (...) {
+          data_.resize(data_.size() - width_);  // roll the payload back
+          throw;
+        }
+        ++count_;
+        slots_[probe] = (fp << 32) | (id + 1);
+        if (kCount && collided) ++conflicts;
+        return {id, true};
+      }
+      if ((slot >> 32) != fp) {  // fingerprint miss: skip the payload
+        collided = true;
+        continue;
+      }
+      const std::uint32_t id = static_cast<std::uint32_t>(slot & 0xffffffffull) - 1;
+      if (intern_keys_equal(data_.data() + static_cast<std::size_t>(id) * width_, tuple,
+                            width_)) {
+        if (kCount && collided) ++conflicts;
+        return {id, false};
+      }
+      collided = true;
+    }
+  }
+
   void grow() {
     failpoint::hit("interner.tuple_grow");
     // Rehash into a fresh block and swap only on success; a throw anywhere
     // in here leaves slots_ (and the rest of the arena) untouched.
-    std::vector<std::uint64_t> next(slots_.size() * 4, 0);
+    SlotBlock<std::uint64_t> next(slots_.size() * 2);
     const std::size_t mask = next.size() - 1;
     for (std::uint64_t slot : slots_) {
       if ((slot & 0xffffffffull) == 0) continue;
@@ -182,7 +412,8 @@ class TupleArena {
   std::size_t count_ = 0;
   std::vector<std::uint32_t> data_;    // count_ * width_ packed payloads
   std::vector<std::uint64_t> hashes_;  // per id, as supplied at intern time
-  std::vector<std::uint64_t> slots_;   // fingerprint<<32 | id+1; low half 0 = empty
+  SlotBlock<std::uint64_t> slots_;     // fingerprint<<32 | id+1; low half 0 = empty
+  std::vector<std::uint64_t> hash_scratch_;  // hash-less intern_batch staging
 };
 
 /// Interns variable-length spans of 32-bit words (canonical form is the
@@ -194,7 +425,7 @@ class SpanInterner {
   explicit SpanInterner(std::size_t expected = 64) {
     std::size_t cap = 16;
     while (cap * 10 < expected * 16) cap <<= 1;
-    slots_.assign(cap, 0);
+    slots_.reset(cap);
     offsets_.push_back(0);
   }
 
@@ -220,11 +451,13 @@ class SpanInterner {
         return {id, true};
       }
       const std::uint32_t id = slot - 1;
-      // The empty span is a legal key; memcmp's pointers are nonnull-
-      // attributed, so size 0 must short-circuit before the call.
+      // The empty span is a legal key; the compare's pointers are nonnull-
+      // attributed, so size 0 must short-circuit before the call. Subset
+      // keys from determinization run long, so the wide-compare path routes
+      // through the simd kernel (see intern_keys_equal).
       if (length(id) == span.size() &&
-          (span.empty() || std::memcmp(data_.data() + offsets_[id], span.data(),
-                                       span.size() * sizeof(std::uint32_t)) == 0)) {
+          (span.empty() ||
+           intern_keys_equal(data_.data() + offsets_[id], span.data(), span.size()))) {
         return {id, false};
       }
     }
@@ -247,7 +480,7 @@ class SpanInterner {
 
   void grow() {
     failpoint::hit("interner.span_grow");
-    std::vector<std::uint32_t> next(slots_.size() * 2, 0);
+    SlotBlock<std::uint32_t> next(slots_.size() * 2);
     const std::size_t mask = next.size() - 1;
     for (std::uint32_t slot : slots_) {
       if (slot == 0) continue;
@@ -263,7 +496,7 @@ class SpanInterner {
   std::size_t count_ = 0;
   std::vector<std::uint32_t> data_;
   std::vector<std::uint64_t> offsets_;  // count_ + 1 entries
-  std::vector<std::uint32_t> slots_;
+  SlotBlock<std::uint32_t> slots_;
 };
 
 }  // namespace ccfsp

@@ -22,6 +22,9 @@ constexpr CounterInfo kCounterInfo[] = {
     {"global.levels_spawned", Kind::kSum},
     {"global.frontier_peak", Kind::kMax},
     {"global.ring_interns", Kind::kSum},
+    {"intern.waves", Kind::kSum},
+    {"intern.wave_keys", Kind::kSum},
+    {"intern.wave_conflicts", Kind::kSum},
     {"frontier.chunks", Kind::kSum},
     {"csr.bytes", Kind::kMax},
     {"determinize.subsets", Kind::kSum},
@@ -228,6 +231,9 @@ const std::vector<Counter>& execution_shape_counters() {
       Counter::kGlobalLevelsSpawned,
       Counter::kGlobalFrontierPeak,
       Counter::kGlobalRingInterns,
+      Counter::kInternWaves,
+      Counter::kInternWaveKeys,
+      Counter::kInternWaveConflicts,
       Counter::kFrontierChunks,
       Counter::kSimdDispatch,
       Counter::kSnapshotSaves,

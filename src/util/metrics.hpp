@@ -50,7 +50,10 @@ enum class Counter : std::uint16_t {
   kGlobalLevels,        // parallel BFS levels processed
   kGlobalLevelsSpawned, // levels that ran on a spawned thread pool
   kGlobalFrontierPeak,  // largest BFS frontier (max, parallel path)
-  kGlobalRingInterns,   // successors interned through the prefetch ring
+  kGlobalRingInterns,   // successors interned through the staged wave buffer
+  kInternWaves,         // intern_batch waves flushed (all build modes)
+  kInternWaveKeys,      // keys resolved across those waves
+  kInternWaveConflicts, // wave keys that probed past an occupied home slot
   kFrontierChunks,      // frontier chunks claimed by pool workers (parallel path)
   kCsrBytes,            // retained GlobalMachine bytes (max; equal across build modes)
   // annotated_determinize[_flat]

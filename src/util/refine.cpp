@@ -32,10 +32,12 @@ std::vector<std::uint32_t> refine_partition(std::uint32_t num_states,
     }
   }
 
-  // Incoming edges in CSR form, grouped by target (counting sort).
+  // Incoming edges in CSR form, grouped by target (counting sort). The
+  // offsets pass is the simd prefix-sum kernel; the scatter stays scalar
+  // (data-dependent addressing).
   std::vector<std::uint32_t> in_off(n + 1, 0);
   for (std::size_t k = 0; k < m; ++k) ++in_off[edge_dst[k] + 1];
-  for (std::uint32_t s = 0; s < n; ++s) in_off[s + 1] += in_off[s];
+  simd::prefix_sum_u32(in_off.data(), n + 1);
   std::vector<std::uint32_t> in_act(m);
   std::vector<std::uint32_t> in_src(m);
   {
@@ -57,9 +59,7 @@ std::vector<std::uint32_t> refine_partition(std::uint32_t num_states,
   bool deterministic = true;
   {
     std::vector<std::uint64_t> keys(m);
-    for (std::size_t k = 0; k < m; ++k) {
-      keys[k] = (static_cast<std::uint64_t>(edge_src[k]) << 32) | edge_label[k];
-    }
+    simd::pack_pairs_u64(edge_src.data(), edge_label.data(), m, keys.data());
     std::sort(keys.begin(), keys.end());
     deterministic = std::adjacent_find(keys.begin(), keys.end()) == keys.end();
   }
@@ -74,10 +74,8 @@ std::vector<std::uint32_t> refine_partition(std::uint32_t num_states,
   {
     std::vector<std::uint32_t> count(num_initial + 1, 0);
     for (std::uint32_t s = 0; s < n; ++s) ++count[cls[s] + 1];
-    for (std::uint32_t c = 0; c < num_initial; ++c) {
-      blocks[c] = {count[c], count[c] + count[c + 1]};
-      count[c + 1] = blocks[c].end;
-    }
+    simd::prefix_sum_u32(count.data(), num_initial + 1);
+    for (std::uint32_t c = 0; c < num_initial; ++c) blocks[c] = {count[c], count[c + 1]};
     std::vector<std::uint32_t> cursor(num_initial);
     for (std::uint32_t c = 0; c < num_initial; ++c) cursor[c] = blocks[c].begin;
     for (std::uint32_t s = 0; s < n; ++s) {

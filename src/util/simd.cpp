@@ -66,10 +66,36 @@ std::size_t scalar_next_nonzero_word(const std::uint64_t* w, std::size_t n, std:
   return n;
 }
 
+void scalar_hash_tuples(const std::uint32_t* keys, std::size_t width, std::size_t n,
+                        std::uint64_t* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = hash_words(keys + i * width, width);
+}
+
+bool scalar_equal_u32(const std::uint32_t* a, const std::uint32_t* b, std::size_t n) {
+  return n == 0 || std::memcmp(a, b, n * sizeof(std::uint32_t)) == 0;
+}
+
+void scalar_prefix_sum_u32(std::uint32_t* v, std::size_t n) {
+  std::uint32_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += v[i];
+    v[i] = acc;
+  }
+}
+
+void scalar_pack_pairs_u64(const std::uint32_t* hi, const std::uint32_t* lo, std::size_t n,
+                           std::uint64_t* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = (static_cast<std::uint64_t>(hi[i]) << 32) | lo[i];
+  }
+}
+
 constexpr detail::Kernels kScalarKernels = {
     scalar_or_into,    scalar_and_into,     scalar_andnot_into,
     scalar_popcount,   scalar_any,          scalar_intersects,
     scalar_is_subset_of, scalar_next_nonzero_word,
+    scalar_hash_tuples, scalar_equal_u32,   scalar_prefix_sum_u32,
+    scalar_pack_pairs_u64,
 };
 
 #if CCFSP_SIMD_X86
@@ -201,10 +227,106 @@ __attribute__((target("avx2"))) std::size_t avx2_next_nonzero_word(const std::ui
   return n;
 }
 
+// 64x64 -> low-64 multiply per lane from three 32x32 halves — AVX2 has no
+// 64-bit mullo. Exact mod-2^64 arithmetic, so the batch hash below is
+// bit-identical to the scalar hash_words.
+__attribute__((target("avx2"))) inline __m256i avx2_mul64(__m256i a, __m256i b) {
+  const __m256i alo_bhi = _mm256_mul_epu32(a, _mm256_srli_epi64(b, 32));
+  const __m256i ahi_blo = _mm256_mul_epu32(_mm256_srli_epi64(a, 32), b);
+  const __m256i cross = _mm256_add_epi64(alo_bhi, ahi_blo);
+  return _mm256_add_epi64(_mm256_mul_epu32(a, b), _mm256_slli_epi64(cross, 32));
+}
+
+__attribute__((target("avx2"))) void avx2_hash_tuples(const std::uint32_t* keys,
+                                                      std::size_t width, std::size_t n,
+                                                      std::uint64_t* out) {
+  const __m256i c1 = _mm256_set1_epi64x(static_cast<long long>(0xff51afd7ed558ccdull));
+  const __m256i c2 = _mm256_set1_epi64x(static_cast<long long>(0xc4ceb9fe1a85ec53ull));
+  const std::uint64_t seed = 0x9e3779b97f4a7c15ull ^ (width * 0xff51afd7ed558ccdull);
+  const __m256i vseed = _mm256_set1_epi64x(static_cast<long long>(seed));
+  // Word j of tuples i..i+3 sits at stride `width`; one gather pulls all
+  // four lanes per round of the per-word mix.
+  const __m128i lane_off = _mm_setr_epi32(0, static_cast<int>(width), static_cast<int>(2 * width),
+                                          static_cast<int>(3 * width));
+  std::size_t i = 0;
+  if (width <= (std::size_t{1} << 29)) {  // gather indices are 32-bit
+    for (; i + 4 <= n; i += 4) {
+      const std::uint32_t* base = keys + i * width;
+      __m256i h = vseed;
+      __m128i idx = lane_off;
+      const __m128i one = _mm_set1_epi32(1);
+      for (std::size_t j = 0; j < width; ++j) {
+        const __m128i w32 = _mm_i32gather_epi32(reinterpret_cast<const int*>(base), idx, 4);
+        idx = _mm_add_epi32(idx, one);
+        h = _mm256_xor_si256(h, _mm256_cvtepu32_epi64(w32));
+        h = avx2_mul64(h, c1);
+        h = _mm256_or_si256(_mm256_slli_epi64(h, 27), _mm256_srli_epi64(h, 37));
+      }
+      h = _mm256_xor_si256(h, _mm256_srli_epi64(h, 33));
+      h = avx2_mul64(h, c2);
+      h = _mm256_xor_si256(h, _mm256_srli_epi64(h, 33));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), h);
+    }
+  }
+  for (; i < n; ++i) out[i] = hash_words(keys + i * width, width);
+}
+
+__attribute__((target("avx2"))) bool avx2_equal_u32(const std::uint32_t* a,
+                                                    const std::uint32_t* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i x = _mm256_xor_si256(va, vb);
+    if (!_mm256_testz_si256(x, x)) return false;
+  }
+  for (; i < n; ++i)
+    if (a[i] != b[i]) return false;
+  return true;
+}
+
+__attribute__((target("avx2"))) void avx2_prefix_sum_u32(std::uint32_t* v, std::size_t n) {
+  // Hillis-Steele inside each 256-bit block, then carry the block total.
+  // uint32 wrap-around matches the scalar loop exactly.
+  __m256i carry = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+    x = _mm256_add_epi32(x, _mm256_slli_si256(x, 4));
+    x = _mm256_add_epi32(x, _mm256_slli_si256(x, 8));
+    // Add the low lane's running total into every element of the high lane.
+    __m256i low = _mm256_permute2x128_si256(x, x, 0x08);  // [0, x.low]
+    x = _mm256_add_epi32(x, _mm256_shuffle_epi32(low, 0xff));
+    x = _mm256_add_epi32(x, carry);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(v + i), x);
+    carry = _mm256_permutevar8x32_epi32(x, _mm256_set1_epi32(7));
+  }
+  std::uint32_t acc = i == 0 ? 0 : v[i - 1];
+  for (; i < n; ++i) {
+    acc += v[i];
+    v[i] = acc;
+  }
+}
+
+__attribute__((target("avx2"))) void avx2_pack_pairs_u64(const std::uint32_t* hi,
+                                                         const std::uint32_t* lo,
+                                                         std::size_t n, std::uint64_t* out) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i vh = _mm_loadu_si128(reinterpret_cast<const __m128i*>(hi + i));
+    const __m128i vl = _mm_loadu_si128(reinterpret_cast<const __m128i*>(lo + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), _mm_unpacklo_epi32(vl, vh));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i + 2), _mm_unpackhi_epi32(vl, vh));
+  }
+  for (; i < n; ++i) out[i] = (static_cast<std::uint64_t>(hi[i]) << 32) | lo[i];
+}
+
 constexpr detail::Kernels kAvx2Kernels = {
     avx2_or_into,    avx2_and_into,     avx2_andnot_into,
     avx2_popcount,   avx2_any,          avx2_intersects,
     avx2_is_subset_of, avx2_next_nonzero_word,
+    avx2_hash_tuples,  avx2_equal_u32,  avx2_prefix_sum_u32,
+    avx2_pack_pairs_u64,
 };
 
 #endif  // CCFSP_SIMD_X86

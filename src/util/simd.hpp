@@ -25,6 +25,25 @@
 
 namespace ccfsp::simd {
 
+/// 64-bit hash of a word span (multiply-xor per word, murmur-style finalizer).
+/// The length participates so that [1,2]+[3] and [1]+[2,3] collide no more
+/// often than random spans do. This is the canonical definition — the
+/// interners' hash and the hash_tuples kernel below both compute exactly
+/// this function, and the batch kernel's AVX2 path must reproduce it bit for
+/// bit (exact integer arithmetic, asserted by tests/util/simd_test.cpp).
+inline std::uint64_t hash_words(const std::uint32_t* words, std::size_t n) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ull ^ (n * 0xff51afd7ed558ccdull);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= words[i];
+    h *= 0xff51afd7ed558ccdull;
+    h = (h << 27) | (h >> 37);
+  }
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ull;
+  h ^= h >> 33;
+  return h;
+}
+
 enum class Path : std::uint8_t {
   kScalar = 1,
   kAvx2 = 2,
@@ -51,6 +70,12 @@ struct Kernels {
   bool (*intersects)(const std::uint64_t* a, const std::uint64_t* b, std::size_t n);
   bool (*is_subset_of)(const std::uint64_t* a, const std::uint64_t* b, std::size_t n);
   std::size_t (*next_nonzero_word)(const std::uint64_t* w, std::size_t n, std::size_t from);
+  void (*hash_tuples)(const std::uint32_t* keys, std::size_t width, std::size_t n,
+                      std::uint64_t* out);
+  bool (*equal_u32)(const std::uint32_t* a, const std::uint32_t* b, std::size_t n);
+  void (*prefix_sum_u32)(std::uint32_t* v, std::size_t n);
+  void (*pack_pairs_u64)(const std::uint32_t* hi, const std::uint32_t* lo, std::size_t n,
+                         std::uint64_t* out);
 };
 
 /// True when the host CPU (not the build flags) can run the AVX2 path.
@@ -108,6 +133,34 @@ inline bool is_subset_of(const std::uint64_t* a, const std::uint64_t* b, std::si
 /// extraction loops.
 inline std::size_t next_nonzero_word(const std::uint64_t* w, std::size_t n, std::size_t from) {
   return detail::active().next_nonzero_word(w, n, from);
+}
+
+/// out[i] = hash_words(keys + i * width, width) for n fixed-width tuples —
+/// the fingerprint wave of the batched intern. The AVX2 path hashes four
+/// tuples per step (64x64 multiply built from 32x32 parts, rotate from
+/// shifts) and is bit-identical to the scalar loop.
+inline void hash_tuples(const std::uint32_t* keys, std::size_t width, std::size_t n,
+                        std::uint64_t* out) {
+  detail::active().hash_tuples(keys, width, n, out);
+}
+
+/// a[0..n) == b[0..n) over uint32 spans — the interners' payload compare for
+/// wide keys (packed tuples past the memcmp sweet spot, determinize subsets).
+inline bool equal_u32(const std::uint32_t* a, const std::uint32_t* b, std::size_t n) {
+  return detail::active().equal_u32(a, b, n);
+}
+
+/// In-place inclusive prefix sum, wrapping mod 2^32 like the scalar loop —
+/// the offsets pass of refine_partition's counting sorts.
+inline void prefix_sum_u32(std::uint32_t* v, std::size_t n) {
+  detail::active().prefix_sum_u32(v, n);
+}
+
+/// out[i] = hi[i] << 32 | lo[i] — key packing for sort-based uniqueness
+/// scans (refine_partition's determinism check).
+inline void pack_pairs_u64(const std::uint32_t* hi, const std::uint32_t* lo, std::size_t n,
+                           std::uint64_t* out) {
+  detail::active().pack_pairs_u64(hi, lo, n, out);
 }
 
 }  // namespace ccfsp::simd

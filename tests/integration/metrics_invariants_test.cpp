@@ -84,6 +84,38 @@ TEST(MetricsInvariants, Threads1And4ReportIdenticalSemanticCounters) {
   }
 }
 
+TEST(MetricsInvariants, SequentialAndParallelBuildsReportSameLevelCounts) {
+  // global.levels and global.frontier_peak describe the BFS level structure
+  // of the state graph, which is a property of the network, not of the
+  // execution mode: a --threads 1 wave build and a --threads 4 fused
+  // frontier build must agree on both. (They sit in the execution-shape set
+  // only because checkpoint *resume* compresses the restored prefix into a
+  // single level, not because thread count may move them.)
+  for (const Network& net : corpus()) {
+    Budget budget;
+    const Snapshot t1 = counters_of([&] { build_global(net, budget, 1); });
+    const Snapshot t4 = counters_of([&] { build_global(net, budget, 4); });
+    EXPECT_GT(t1.value(Counter::kGlobalLevels), 0u);
+    EXPECT_EQ(t1.value(Counter::kGlobalLevels), t4.value(Counter::kGlobalLevels));
+    EXPECT_EQ(t1.value(Counter::kGlobalFrontierPeak),
+              t4.value(Counter::kGlobalFrontierPeak));
+  }
+}
+
+TEST(MetricsInvariants, SequentialWaveKeysCoverEveryEmittedEdge) {
+  // The sequential builder interns every successor through intern_batch:
+  // keys resolved across waves must equal edges emitted, and every key goes
+  // through the staged wave buffer.
+  for (const Network& net : corpus()) {
+    Budget budget;
+    const Snapshot t1 = counters_of([&] { build_global(net, budget, 1); });
+    EXPECT_GT(t1.value(Counter::kInternWaves), 0u);
+    EXPECT_EQ(t1.value(Counter::kInternWaveKeys), t1.value(Counter::kGlobalEdges));
+    EXPECT_EQ(t1.value(Counter::kInternWaveKeys),
+              t1.value(Counter::kGlobalRingInterns));
+  }
+}
+
 TEST(MetricsInvariants, LadderRunThreads1And4AgreeEndToEnd) {
   // The same identity through the public entry point: a full analyze() run
   // only differs between thread counts on the execution-shape counters.

@@ -1,15 +1,40 @@
 // TupleArena / SpanInterner: dense first-insertion ids, exact dedup, payload
 // round-trips, and behavior across hash-table growth — the invariants the
-// flat global-machine build and the subset construction lean on.
+// flat global-machine build and the subset construction lean on. The
+// intern_batch suite runs under both ctest legs (native and .simd_scalar),
+// pinning the batch API to the scalar loop on every dispatch path.
 #include "util/flat_interner.hpp"
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <vector>
+
+#include "util/failpoint.hpp"
 
 namespace ccfsp {
 namespace {
+
+/// Deterministic pseudo-random words (splitmix-style) for the batch
+/// property suites.
+std::uint32_t mix32(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return static_cast<std::uint32_t>(x ^ (x >> 31));
+}
+
+/// n keys of `width` words drawn from a small universe so waves carry
+/// plenty of duplicates (within and across waves).
+std::vector<std::uint32_t> random_keys(std::size_t n, std::size_t width,
+                                       std::uint32_t universe, std::uint64_t seed) {
+  std::vector<std::uint32_t> keys(n * width);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = mix32(seed + i) % universe;
+  }
+  return keys;
+}
 
 TEST(HashWords, LengthParticipates) {
   // Same words split differently must not be forced to collide: the length
@@ -75,6 +100,155 @@ TEST(TupleArena, ReleaseDataPreservesAddressing) {
   EXPECT_EQ(data[3], 40u);
   EXPECT_EQ(arena.size(), 0u);  // arena is reusable but empty
   EXPECT_EQ(arena.intern(b), (std::pair<std::uint32_t, bool>{0, true}));
+}
+
+// ---- intern_batch: the wave API must be indistinguishable from the scalar
+// loop (ids, fresh flags, payloads, hashes, growth and rollback behavior) ----
+
+TEST(TupleArenaBatch, MatchesScalarLoopExactly) {
+  for (const std::size_t width : {1u, 3u, 8u, 16u}) {
+    const std::size_t n = 2000;
+    const auto keys = random_keys(n, width, /*universe=*/17, /*seed=*/width);
+    std::vector<std::uint64_t> hashes(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      hashes[i] = hash_words(keys.data() + i * width, width);
+    }
+
+    TupleArena scalar(width);
+    std::vector<std::uint32_t> scalar_ids(n);
+    std::vector<std::uint8_t> scalar_fresh(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto [id, fresh] = scalar.intern(keys.data() + i * width, hashes[i]);
+      scalar_ids[i] = id;
+      scalar_fresh[i] = fresh ? 1 : 0;
+    }
+
+    // Feed the same stream through waves of varying size (1 exercises the
+    // degenerate wave, 333 spans several growths at once).
+    for (const std::size_t wave : {std::size_t{1}, std::size_t{7}, std::size_t{333}}) {
+      TupleArena batch(width);
+      std::vector<std::uint32_t> ids(n);
+      std::vector<std::uint8_t> fresh(n);
+      std::size_t total_fresh = 0;
+      for (std::size_t at = 0; at < n; at += wave) {
+        const std::size_t take = std::min(wave, n - at);
+        const auto st = batch.intern_batch(keys.data() + at * width, hashes.data() + at,
+                                           take, ids.data() + at, fresh.data() + at);
+        total_fresh += st.fresh;
+      }
+      ASSERT_EQ(ids, scalar_ids) << "width=" << width << " wave=" << wave;
+      ASSERT_EQ(fresh, scalar_fresh) << "width=" << width << " wave=" << wave;
+      ASSERT_EQ(batch.size(), scalar.size());
+      ASSERT_EQ(total_fresh, batch.size());
+      for (std::uint32_t id = 0; id < batch.size(); ++id) {
+        ASSERT_EQ(batch.get(id).size(), scalar.get(id).size());
+        ASSERT_TRUE(std::equal(batch.get(id).begin(), batch.get(id).end(),
+                               scalar.get(id).begin()));
+        ASSERT_EQ(batch.hash_of(id), scalar.hash_of(id));
+      }
+    }
+  }
+}
+
+TEST(TupleArenaBatch, HashlessOverloadMatchesHashWords) {
+  // The convenience overload routes through simd::hash_tuples, which must be
+  // bit-identical to hash_words on every dispatch path — same ids out.
+  const std::size_t width = 3, n = 500;
+  const auto keys = random_keys(n, width, /*universe=*/11, /*seed=*/42);
+  TupleArena with_hashes(width), without(width);
+  std::vector<std::uint32_t> ids_a(n), ids_b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ids_a[i] = with_hashes.intern(keys.data() + i * width).first;
+  }
+  without.intern_batch(keys.data(), n, ids_b.data());
+  EXPECT_EQ(ids_a, ids_b);
+  ASSERT_EQ(with_hashes.size(), without.size());
+  for (std::uint32_t id = 0; id < without.size(); ++id) {
+    EXPECT_EQ(without.hash_of(id), with_hashes.hash_of(id));
+  }
+}
+
+TEST(TupleArenaBatch, DuplicatesWithinOneWave) {
+  TupleArena arena(2);
+  // a, b, a, a, b, c in a single wave: ids must dedup in first-seen order.
+  const std::uint32_t keys[] = {5, 6, 7, 8, 5, 6, 5, 6, 7, 8, 9, 10};
+  std::vector<std::uint32_t> ids(6);
+  std::vector<std::uint8_t> fresh(6);
+  const auto st = arena.intern_batch(keys, 6, ids.data(), fresh.data());
+  EXPECT_EQ(ids, (std::vector<std::uint32_t>{0, 1, 0, 0, 1, 2}));
+  EXPECT_EQ(fresh, (std::vector<std::uint8_t>{1, 1, 0, 0, 0, 1}));
+  EXPECT_EQ(st.fresh, 3u);
+  EXPECT_EQ(arena.size(), 3u);
+}
+
+TEST(TupleArenaBatch, StatsAreDeterministic) {
+  // Two identical runs see identical conflict counts: conflicts are a pure
+  // function of the key stream, not of timing or dispatch path.
+  const std::size_t width = 2, n = 4000;
+  const auto keys = random_keys(n, width, /*universe=*/4096, /*seed=*/7);
+  TupleArena a(width), b(width);
+  std::vector<std::uint32_t> ids(n);
+  const auto sa = a.intern_batch(keys.data(), n, ids.data());
+  const auto sb = b.intern_batch(keys.data(), n, ids.data());
+  EXPECT_EQ(sa.fresh, sb.fresh);
+  EXPECT_EQ(sa.conflicts, sb.conflicts);
+}
+
+TEST(TupleArenaBatch, GrowFailureLeavesPrefixAndArenaUsable) {
+  failpoint::ScopedDisarm guard;
+  const std::size_t width = 2, n = 64;
+  std::vector<std::uint32_t> keys(n * width);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    keys[i * width] = i;
+    keys[i * width + 1] = i + 1000;
+  }
+  // Scalar oracle for the converged state.
+  TupleArena oracle(width, /*expected=*/4);
+  for (std::size_t i = 0; i < n; ++i) oracle.intern(keys.data() + i * width);
+
+  // expected=4 starts at 16 slots; the pre-grow check fires while interning
+  // key 5 ((5+1)*3 >= 16) — mid-wave. The batch must throw there, leaving
+  // keys [0, 5) interned with their scalar ids and the arena intact.
+  TupleArena arena(width, /*expected=*/4);
+  failpoint::Spec s;
+  s.action = failpoint::Action::kThrowBadAlloc;
+  s.n = 1;
+  failpoint::arm("interner.tuple_grow", s);
+  std::vector<std::uint32_t> ids(n);
+  EXPECT_THROW(arena.intern_batch(keys.data(), n, ids.data()), std::bad_alloc);
+  ASSERT_EQ(arena.size(), 5u);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(arena[i][0], keys[i * width]);
+    EXPECT_EQ(arena[i][1], keys[i * width + 1]);
+  }
+  // Strong guarantee per key: retrying the whole stream converges to the
+  // scalar result (prefix keys dedup onto their existing ids).
+  std::vector<std::uint8_t> fresh(n);
+  const auto st = arena.intern_batch(keys.data(), n, ids.data(), fresh.data());
+  EXPECT_EQ(st.fresh, n - 5u);
+  ASSERT_EQ(arena.size(), oracle.size());
+  for (std::uint32_t id = 0; id < arena.size(); ++id) {
+    EXPECT_TRUE(std::equal(arena.get(id).begin(), arena.get(id).end(),
+                           oracle.get(id).begin()));
+  }
+  for (std::uint32_t i = 0; i < n; ++i) EXPECT_EQ(ids[i], i);
+}
+
+TEST(SpanInterner, WideSpansDedupThroughKernelCompare) {
+  // Spans >= 8 words take the simd::equal_u32 compare path; dedup and
+  // mismatch detection must be exact there too (including same-hash-length
+  // near misses differing only in the last word).
+  SpanInterner si;
+  std::vector<std::uint32_t> a(23), b(23);
+  for (std::uint32_t i = 0; i < 23; ++i) a[i] = b[i] = i * 3 + 1;
+  b[22] ^= 1;  // differs only at the tail
+  const auto [ida, fa] = si.intern({a.data(), a.size()});
+  const auto [idb, fb] = si.intern({b.data(), b.size()});
+  EXPECT_TRUE(fa);
+  EXPECT_TRUE(fb);
+  EXPECT_NE(ida, idb);
+  EXPECT_EQ(si.intern({a.data(), a.size()}), (std::pair<std::uint32_t, bool>{ida, false}));
+  EXPECT_EQ(si.intern({b.data(), b.size()}), (std::pair<std::uint32_t, bool>{idb, false}));
 }
 
 TEST(SpanInterner, VariableLengthDedup) {

@@ -132,6 +132,94 @@ TEST(Simd, NextNonzeroWordFindsExactIndex) {
   }
 }
 
+std::vector<std::uint32_t> random_u32(Rng& rng, std::size_t n) {
+  std::vector<std::uint32_t> out(n);
+  for (auto& w : out) w = static_cast<std::uint32_t>(rng.next());
+  return out;
+}
+
+TEST(Simd, HashTuplesMatchesHashWordsOnBothPaths) {
+  const Kernels& scalar = kernels(Path::kScalar);
+  const Kernels& avx2 = kernels(Path::kAvx2);
+  Rng rng(0x7A5E);
+  // Widths hit the gather path (>=1 word) and counts hit the 4-tuple vector
+  // blocks plus 0..3 scalar tails.
+  for (std::size_t width : {1u, 2u, 3u, 7u, 8u, 16u, 33u}) {
+    for (std::size_t n : {0u, 1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u, 63u}) {
+      const auto keys = random_u32(rng, width * n);
+      std::vector<std::uint64_t> a(n, 0xDEAD), b(n, 0xBEEF);
+      scalar.hash_tuples(keys.data(), width, n, a.data());
+      avx2.hash_tuples(keys.data(), width, n, b.data());
+      EXPECT_EQ(a, b) << "width=" << width << " n=" << n;
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(a[i], simd::hash_words(keys.data() + i * width, width))
+            << "width=" << width << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(Simd, EqualU32BitIdenticalIncludingTailOnlyDifferences) {
+  const Kernels& scalar = kernels(Path::kScalar);
+  const Kernels& avx2 = kernels(Path::kAvx2);
+  Rng rng(0xE0A1);
+  for (std::size_t n : {0u, 1u, 3u, 7u, 8u, 9u, 15u, 16u, 17u, 40u}) {
+    const auto a = random_u32(rng, n);
+    auto b = a;
+    EXPECT_EQ(scalar.equal_u32(a.data(), b.data(), n), true) << n;
+    EXPECT_EQ(avx2.equal_u32(a.data(), b.data(), n), true) << n;
+    // Flip exactly one word at every position: differences inside vector
+    // blocks AND differences only the tail loop can see must both register.
+    for (std::size_t flip = 0; flip < n; ++flip) {
+      b = a;
+      b[flip] ^= 1;
+      EXPECT_FALSE(scalar.equal_u32(a.data(), b.data(), n)) << n << ":" << flip;
+      EXPECT_FALSE(avx2.equal_u32(a.data(), b.data(), n)) << n << ":" << flip;
+    }
+  }
+}
+
+TEST(Simd, PrefixSumMatchesScalarIncludingWraparound) {
+  const Kernels& scalar = kernels(Path::kScalar);
+  const Kernels& avx2 = kernels(Path::kAvx2);
+  Rng rng(0x50F7);
+  for (std::size_t n : {0u, 1u, 2u, 7u, 8u, 9u, 16u, 17u, 33u, 100u}) {
+    for (int round = 0; round < 3; ++round) {
+      auto base = random_u32(rng, n);
+      if (round == 2) {
+        // Force uint32 wraparound: inclusive sums must agree mod 2^32.
+        for (auto& w : base) w |= 0xC0000000u;
+      }
+      auto a = base, b = base;
+      scalar.prefix_sum_u32(a.data(), n);
+      avx2.prefix_sum_u32(b.data(), n);
+      EXPECT_EQ(a, b) << "n=" << n << " round=" << round;
+      std::uint32_t acc = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        acc += base[i];
+        EXPECT_EQ(a[i], acc) << "n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(Simd, PackPairsBitIdenticalAcrossPaths) {
+  const Kernels& scalar = kernels(Path::kScalar);
+  const Kernels& avx2 = kernels(Path::kAvx2);
+  Rng rng(0x9A1B);
+  for (std::size_t n : {0u, 1u, 3u, 7u, 8u, 9u, 31u, 64u, 65u}) {
+    const auto hi = random_u32(rng, n);
+    const auto lo = random_u32(rng, n);
+    std::vector<std::uint64_t> a(n), b(n);
+    scalar.pack_pairs_u64(hi.data(), lo.data(), n, a.data());
+    avx2.pack_pairs_u64(hi.data(), lo.data(), n, b.data());
+    EXPECT_EQ(a, b) << n;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(a[i], (std::uint64_t{hi[i]} << 32) | lo[i]) << n << ":" << i;
+    }
+  }
+}
+
 TEST(Simd, ResolutionRule) {
   using simd::detail::resolve_path;
   // Explicit overrides.
